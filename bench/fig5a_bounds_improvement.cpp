@@ -1,0 +1,112 @@
+// Reproduces Figure 5(a): iterative improvement of the POMDP lower bound
+// during the bootstrapping phase, for the Random and Average variants.
+//
+// The y-values are upper bounds on recovery cost: the negation of the
+// lower-bound value V_B⁻ evaluated at the uniform belief {1/|S|}. The
+// paper's claims, checked here:
+//   - the bound improves monotonically with bootstrap iterations,
+//   - tightening is rapid in the first few iterations, then slows,
+//   - the Average variant tightens faster than Random on this model.
+//
+// Flags: --iterations=20 --depth=1 --seed=N --top=SECONDS plus the common
+// EMN flags (see bench_common). Output: a table plus CSV rows
+// (variant,iteration,upper_bound_on_cost).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bounds/ra_bound.hpp"
+#include "controller/bootstrap.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace recoverd::bench {
+namespace {
+
+int run(const CliArgs& args) {
+  const EmnExperimentSetup setup = parse_emn_setup(args);
+  const auto iterations = static_cast<std::size_t>(args.get_int("iterations", 20));
+  const int depth = static_cast<int>(args.get_int("depth", 1));
+
+  const Pomdp recovery = models::make_emn_recovery_model(setup.emn);
+  const models::EmnIds ids = models::emn_ids(recovery, setup.emn);
+
+  // The paper evaluates at {1/|S|} on the original state space: uniform over
+  // the 14 original states (sT excluded).
+  std::vector<StateId> original_states;
+  for (StateId s = 0; s < recovery.num_states(); ++s) {
+    if (s != recovery.terminate_state()) original_states.push_back(s);
+  }
+  const Belief reference = Belief::uniform_over(recovery.num_states(), original_states);
+
+  struct Series {
+    const char* label;
+    controller::BootstrapVariant variant;
+    controller::BootstrapTrace trace;
+    double initial = 0.0;
+  };
+  std::vector<Series> series{
+      {"Random", controller::BootstrapVariant::Random, {}, 0.0},
+      {"Average", controller::BootstrapVariant::Average, {}, 0.0},
+  };
+
+  for (auto& s : series) {
+    // Unlimited storage by default: these figures demonstrate growth, and
+    // capacity eviction would make the Fig. 5(a) series non-monotonic.
+    const std::size_t capacity = args.has("capacity") ? setup.bound_capacity : 0;
+    bounds::BoundSet set = bounds::make_ra_bound_set(recovery.mdp(), capacity);
+    s.initial = -set.evaluate(reference.probabilities());
+    controller::BootstrapOptions opts;
+    opts.iterations = iterations;
+    opts.tree_depth = depth;
+    opts.variant = s.variant;
+    opts.seed = setup.seed;
+    opts.observe_action = ids.topo.observe_action;
+    s.trace = controller::bootstrap_bounds(recovery, set, reference, opts);
+  }
+
+  std::cout << "=== Figure 5(a): Iterative Bounds Improvement (EMN model) ===\n"
+            << "Upper bound on cost = -V_B^-({1/|S|}); lower is tighter.\n\n";
+  TextTable table;
+  table.set_header({"Iteration", "Random", "Average"});
+  table.add_row({"0 (RA-Bound)", TextTable::num(series[0].initial),
+                 TextTable::num(series[1].initial)});
+  for (std::size_t i = 0; i < iterations; ++i) {
+    table.add_row({std::to_string(i + 1),
+                   TextTable::num(-series[0].trace.bound_at_reference[i]),
+                   TextTable::num(-series[1].trace.bound_at_reference[i])});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCSV:\nvariant,iteration,upper_bound_on_cost\n";
+  CsvWriter csv(std::cout);
+  for (const auto& s : series) {
+    csv.write_row({std::string(s.label), "0", TextTable::num(s.initial, 6)});
+    for (std::size_t i = 0; i < iterations; ++i) {
+      csv.write_row({std::string(s.label), std::to_string(i + 1),
+                     TextTable::num(-s.trace.bound_at_reference[i], 6)});
+    }
+  }
+
+  // Shape checks mirrored from the paper's discussion.
+  const auto& random_trace = series[0].trace.bound_at_reference;
+  const auto& average_trace = series[1].trace.bound_at_reference;
+  const double random_total = random_trace.back() - (-series[0].initial);
+  const double early = random_trace[iterations / 4] - (-series[0].initial);
+  std::cout << "\nShape: early-quarter improvement fraction (Random): "
+            << (random_total > 0 ? early / random_total : 0.0)
+            << " (paper: tightening is rapid at first, then slows)\n"
+            << "Average final bound " << -average_trace.back() << " vs Random "
+            << -random_trace.back()
+            << " (paper: Average achieves a tighter bound on this model)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace recoverd::bench
+
+int main(int argc, char** argv) {
+  const recoverd::CliArgs args(argc, argv);
+  args.require_known({"iterations", "depth", "top", "seed", "capacity", "branch-floor",
+                      "termination-probability", "bootstrap-runs", "bootstrap-depth"});
+  return recoverd::bench::run(args);
+}

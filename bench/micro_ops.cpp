@@ -1,0 +1,110 @@
+// Micro-costs of the controller's building blocks on the EMN model
+// (§4.1/§4.3): belief updates, successor enumeration, incremental bound
+// updates as a function of |B|, and Max-Avg tree expansion by depth.
+#include <benchmark/benchmark.h>
+
+#include "bounds/incremental_update.hpp"
+#include "bounds/ra_bound.hpp"
+#include "models/emn.hpp"
+#include "pomdp/bellman.hpp"
+#include "pomdp/sampling.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::bench {
+namespace {
+
+const Pomdp& emn_recovery() {
+  static const Pomdp model = models::make_emn_recovery_model();
+  return model;
+}
+
+const models::EmnIds& ids() {
+  static const models::EmnIds value = models::emn_ids(emn_recovery());
+  return value;
+}
+
+Belief uniform_fault_belief() {
+  const Pomdp& p = emn_recovery();
+  std::vector<StateId> faults;
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    if (!p.mdp().is_goal(s) && s != p.terminate_state()) faults.push_back(s);
+  }
+  return Belief::uniform_over(p.num_states(), faults);
+}
+
+void BM_BeliefUpdate(benchmark::State& state) {
+  const Pomdp& p = emn_recovery();
+  const Belief pi = uniform_fault_belief();
+  Rng rng(3);
+  const ActionId observe = ids().topo.observe_action;
+  for (auto _ : state) {
+    const ObsId obs = sample_observation(p, rng.uniform_index(p.num_states()), observe, rng);
+    const auto upd = update_belief(p, pi, observe, obs);
+    benchmark::DoNotOptimize(upd.has_value());
+  }
+}
+BENCHMARK(BM_BeliefUpdate);
+
+void BM_BeliefSuccessors(benchmark::State& state) {
+  const Pomdp& p = emn_recovery();
+  const Belief pi = uniform_fault_belief();
+  const ActionId observe = ids().topo.observe_action;
+  const double floor = static_cast<double>(state.range(0)) * 1e-3;
+  for (auto _ : state) {
+    const auto branches = belief_successors(p, pi, observe, floor);
+    benchmark::DoNotOptimize(branches.size());
+  }
+  state.counters["floor_milli"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_BeliefSuccessors)->Arg(0)->Arg(1)->Arg(10);
+
+void BM_IncrementalUpdate(benchmark::State& state) {
+  const Pomdp& p = emn_recovery();
+  const Belief pi = uniform_fault_belief();
+  // Pre-grow the bound set to the requested |B| with random-belief backups.
+  bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
+  Rng rng(11);
+  while (set.size() < static_cast<std::size_t>(state.range(0))) {
+    std::vector<double> raw(p.num_states());
+    for (auto& v : raw) v = rng.uniform01() + 1e-6;
+    const auto before = set.size();
+    bounds::improve_at(p, set, Belief(raw));
+    if (set.size() == before) break;  // saturated below the target size
+  }
+  for (auto _ : state) {
+    const auto backup = bounds::backup_vector(p, set, pi);
+    benchmark::DoNotOptimize(backup.data());
+  }
+  state.counters["bound_vectors"] = static_cast<double>(set.size());
+}
+BENCHMARK(BM_IncrementalUpdate)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_TreeExpansion(benchmark::State& state) {
+  const Pomdp& p = emn_recovery();
+  const Belief pi = uniform_fault_belief();
+  bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
+  const LeafEvaluator leaf = [&set](const Belief& b) {
+    return set.evaluate(b.probabilities());
+  };
+  const int depth = static_cast<int>(state.range(0));
+  const double floor = 1e-2;
+  for (auto _ : state) {
+    const auto best = bellman_best_action(p, pi, depth, leaf, 1.0, kInvalidId, floor);
+    benchmark::DoNotOptimize(best.value);
+  }
+}
+BENCHMARK(BM_TreeExpansion)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
+
+void BM_RaBoundEmn(benchmark::State& state) {
+  const Pomdp& p = emn_recovery();
+  for (auto _ : state) {
+    const auto ra = bounds::compute_ra_bound(p.mdp());
+    benchmark::DoNotOptimize(ra.values.data());
+  }
+}
+BENCHMARK(BM_RaBoundEmn);
+
+}  // namespace
+}  // namespace recoverd::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+#include "bounds/bound_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::bounds {
+
+BoundSet::BoundSet(std::size_t dimension, std::size_t capacity)
+    : dimension_(dimension), capacity_(capacity) {
+  RD_EXPECTS(dimension > 0, "BoundSet: dimension must be positive");
+}
+
+BoundSet::AddResult BoundSet::add(BoundVector vector) {
+  RD_EXPECTS(vector.size() == dimension_, "BoundSet::add: dimension mismatch");
+  for (double v : vector) {
+    RD_EXPECTS(std::isfinite(v), "BoundSet::add: entries must be finite");
+  }
+
+  // Dropped if an existing hyperplane already dominates it everywhere.
+  for (const auto& entry : entries_) {
+    if (linalg::dominates(entry.vector, vector)) return AddResult::Dominated;
+  }
+  // Prune existing hyperplanes the newcomer dominates (never the protected
+  // base plane: by the check above the newcomer is not *strictly* needed to
+  // keep it, but the base plane carries the standalone RA guarantee).
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) {
+                                  return !e.is_protected &&
+                                         linalg::dominates(vector, e.vector);
+                                }),
+                 entries_.end());
+
+  if (capacity_ > 0 && entries_.size() >= capacity_) evict_least_used();
+
+  Entry entry;
+  entry.vector = std::move(vector);
+  entry.is_protected = !first_added_;  // the first vector (RA-Bound) is protected
+  first_added_ = true;
+  entries_.push_back(std::move(entry));
+  return AddResult::Added;
+}
+
+void BoundSet::protect(std::size_t index) {
+  RD_EXPECTS(index < entries_.size(), "BoundSet::protect: index out of range");
+  entries_[index].is_protected = true;
+}
+
+double BoundSet::evaluate(std::span<const double> belief) const {
+  const std::size_t best = best_index(belief);
+  ++entries_[best].uses;
+  return linalg::dot(entries_[best].vector, belief);
+}
+
+std::size_t BoundSet::best_index(std::span<const double> belief) const {
+  RD_EXPECTS(!entries_.empty(), "BoundSet: no vectors stored");
+  RD_EXPECTS(belief.size() == dimension_, "BoundSet: belief dimension mismatch");
+  std::size_t best = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const double v = linalg::dot(entries_[i].vector, belief);
+    if (v > best_value) {
+      best_value = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+const BoundVector& BoundSet::vector_at(std::size_t index) const {
+  RD_EXPECTS(index < entries_.size(), "BoundSet::vector_at: index out of range");
+  return entries_[index].vector;
+}
+
+std::size_t BoundSet::use_count(std::size_t index) const {
+  RD_EXPECTS(index < entries_.size(), "BoundSet::use_count: index out of range");
+  return entries_[index].uses;
+}
+
+void BoundSet::evict_least_used() {
+  std::size_t victim = entries_.size();
+  std::size_t fewest = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].is_protected) continue;
+    if (entries_[i].uses < fewest) {
+      fewest = entries_[i].uses;
+      victim = i;
+    }
+  }
+  RD_ENSURES(victim < entries_.size(),
+             "BoundSet: capacity exhausted by protected vectors");
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+}
+
+}  // namespace recoverd::bounds

@@ -1,0 +1,75 @@
+// Sets of lower-bound hyperplanes over the belief simplex (Eq. 6).
+//
+// Each bound vector b assigns value b(s) to the simplex vertex of state s;
+// the set's value at a belief π is V_B⁻(π) = max_{b∈B} Σ_s b(s)·π(s).
+// Adding vectors can only raise the pointwise maximum, which is how the
+// iterative improvement of §4.1 monotonically tightens the bound.
+//
+// Storage is bounded (§4.3): when a capacity is set, the least-used
+// unprotected vector is evicted. The first vector added is protected by
+// default so the RA-Bound guarantee never degrades.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace recoverd::bounds {
+
+/// One bounding hyperplane: an entry per POMDP state.
+using BoundVector = std::vector<double>;
+
+class BoundSet {
+ public:
+  /// `dimension` = |S|; `capacity` = maximum number of stored vectors
+  /// (0 = unlimited).
+  explicit BoundSet(std::size_t dimension, std::size_t capacity = 0);
+
+  std::size_t dimension() const { return dimension_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Outcome of an add() call.
+  enum class AddResult {
+    Added,            ///< stored (possibly evicting or pruning others)
+    Dominated,        ///< an existing vector pointwise-dominates it; dropped
+  };
+
+  /// Inserts a hyperplane. Vectors pointwise-dominated by the newcomer are
+  /// pruned (they can never attain the max); a newcomer dominated by an
+  /// existing vector is dropped. On overflow the least-used unprotected
+  /// vector is evicted.
+  AddResult add(BoundVector vector);
+
+  /// Marks the vector at `index` as non-evictable (the RA-Bound base plane).
+  void protect(std::size_t index);
+
+  /// V_B⁻(π) = max_b ⟨b, π⟩, and records a "use" of the attaining vector
+  /// (for least-used eviction). Precondition: at least one vector stored.
+  double evaluate(std::span<const double> belief) const;
+
+  /// Index of the hyperplane attaining the max at `belief`.
+  std::size_t best_index(std::span<const double> belief) const;
+
+  /// Read access to a stored hyperplane.
+  const BoundVector& vector_at(std::size_t index) const;
+
+  /// Number of evaluate() calls the vector at `index` has won.
+  std::size_t use_count(std::size_t index) const;
+
+ private:
+  struct Entry {
+    BoundVector vector;
+    bool is_protected = false;
+    mutable std::size_t uses = 0;
+  };
+
+  void evict_least_used();
+
+  std::size_t dimension_;
+  std::size_t capacity_;
+  bool first_added_ = false;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace recoverd::bounds

@@ -1,0 +1,95 @@
+#include "bounds/hsvi.hpp"
+
+#include <limits>
+
+#include "bounds/incremental_update.hpp"
+#include "linalg/vector_ops.hpp"
+#include "pomdp/bellman.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::bounds {
+
+namespace {
+
+struct TrialContext {
+  const Pomdp& pomdp;
+  BoundSet& lower;
+  SawtoothUpperBound& upper;
+  const HsviOptions& options;
+};
+
+// One recursive trial: descend along the optimistic action and the
+// largest-weighted-gap observation, then back up both bounds.
+void trial(const TrialContext& ctx, const Belief& belief, std::size_t depth) {
+  const double gap =
+      ctx.upper.evaluate(belief) - ctx.lower.evaluate(belief.probabilities());
+  if (depth >= ctx.options.max_trial_depth || gap <= ctx.options.node_epsilon) return;
+
+  // Action selection: maximise the depth-1 value under the UPPER bound
+  // (optimism in the face of uncertainty drives exploration).
+  const LeafEvaluator upper_leaf = [&ctx](const Belief& b) {
+    return ctx.upper.evaluate(b);
+  };
+  const auto upper_values = bellman_action_values(ctx.pomdp, belief, 1, upper_leaf);
+  ActionId best_action = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (const auto& av : upper_values) {
+    if (av.value > best_value) {
+      best_value = av.value;
+      best_action = av.action;
+    }
+  }
+
+  // Observation selection: the branch with the largest probability-weighted
+  // residual gap.
+  const auto branches = belief_successors(ctx.pomdp, belief, best_action);
+  const Belief* chosen = nullptr;
+  double best_score = 0.0;
+  for (const auto& branch : branches) {
+    const double branch_gap = ctx.upper.evaluate(branch.posterior) -
+                              ctx.lower.evaluate(branch.posterior.probabilities());
+    const double score = branch.probability * branch_gap;
+    if (score > best_score) {
+      best_score = score;
+      chosen = &branch.posterior;
+    }
+  }
+  if (chosen != nullptr && best_score > ctx.options.node_epsilon) {
+    trial(ctx, *chosen, depth + 1);
+  }
+
+  // Back up both bounds at this belief on the way out.
+  improve_at(ctx.pomdp, ctx.lower, belief);
+  ctx.upper.improve_at(belief);
+}
+
+}  // namespace
+
+HsviResult hsvi_solve(const Pomdp& pomdp, BoundSet& lower, SawtoothUpperBound& upper,
+                      const Belief& root, const HsviOptions& options) {
+  RD_EXPECTS(lower.size() > 0, "hsvi_solve: lower bound set must be seeded");
+  RD_EXPECTS(lower.dimension() == pomdp.num_states(),
+             "hsvi_solve: lower bound dimension mismatch");
+  RD_EXPECTS(root.size() == pomdp.num_states(), "hsvi_solve: root dimension mismatch");
+  RD_EXPECTS(options.epsilon > 0.0, "hsvi_solve: epsilon must be positive");
+
+  const TrialContext ctx{pomdp, lower, upper, options};
+  HsviResult result;
+  for (std::size_t i = 0; i < options.max_trials; ++i) {
+    result.lower = lower.evaluate(root.probabilities());
+    result.upper = upper.evaluate(root);
+    result.trials = i;
+    if (result.gap() <= options.epsilon) {
+      result.converged = true;
+      return result;
+    }
+    trial(ctx, root, 0);
+  }
+  result.lower = lower.evaluate(root.probabilities());
+  result.upper = upper.evaluate(root);
+  result.trials = options.max_trials;
+  result.converged = result.gap() <= options.epsilon;
+  return result;
+}
+
+}  // namespace recoverd::bounds

@@ -1,0 +1,43 @@
+// Heuristic search value iteration (HSVI-style) offline solver: the natural
+// consequence of having both bound families (§6's "branch and bound"
+// direction taken to completion). Starting from a root belief, trials
+// descend the Max-Avg tree — choosing actions optimistically by the upper
+// bound and observations by weighted gap — and tighten both bounds on the
+// way back up. The result is a certified interval [V_B⁻(π₀), UB(π₀)]
+// around the optimal value of the recovery POMDP at the root.
+#pragma once
+
+#include "bounds/bound_set.hpp"
+#include "bounds/sawtooth_upper.hpp"
+#include "pomdp/belief.hpp"
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd::bounds {
+
+struct HsviOptions {
+  /// Stop when upper − lower at the root drops below this.
+  double epsilon = 1.0;
+  /// Maximum exploration trials.
+  std::size_t max_trials = 200;
+  /// Depth cap per trial (the undiscounted criterion has no γ^t contraction
+  /// to derive one from).
+  std::size_t max_trial_depth = 60;
+  /// Per-node gap threshold below which a trial stops descending.
+  double node_epsilon = 1e-3;
+};
+
+struct HsviResult {
+  double lower = 0.0;
+  double upper = 0.0;
+  std::size_t trials = 0;
+  bool converged = false;  ///< gap ≤ epsilon reached
+
+  double gap() const { return upper - lower; }
+};
+
+/// Runs HSVI on `pomdp`, refining `lower` and `upper` in place (both must
+/// outlive the call; `lower` must be seeded, e.g. by make_ra_bound_set).
+HsviResult hsvi_solve(const Pomdp& pomdp, BoundSet& lower, SawtoothUpperBound& upper,
+                      const Belief& root, const HsviOptions& options = {});
+
+}  // namespace recoverd::bounds

@@ -1,0 +1,39 @@
+// Hauskrecht's incremental linear-function update (Eq. 7, §4.1):
+// a point-based backup that creates one new bounding hyperplane tailored to
+// a chosen belief π from the current set B:
+//
+//   b      = argmax_{b_a, a∈A}  Σ_s b_a(s)·π(s)
+//   b_a(s) = r(s,a) + β Σ_o Σ_{s'} p(s',o|s,a) · b^{π,a,o}(s')
+//   b^{π,a,o} = argmax_{b∈B} Σ_{s'} [Σ_s p(s',o|s,a)·π(s)] · b(s')
+//
+// where p(s',o|s,a) = q(o|s',a)·p(s'|s,a). The backed-up vector is itself a
+// valid lower bound whenever every member of B is, so adding it to B keeps
+// V_B⁻ a lower bound while (weakly) improving it at π.
+#pragma once
+
+#include "bounds/bound_set.hpp"
+#include "pomdp/belief.hpp"
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd::bounds {
+
+/// Outcome of one incremental update step.
+struct UpdateResult {
+  bool added = false;       ///< a new hyperplane entered the set
+  double value_before = 0;  ///< V_B⁻(π) before the update
+  double value_after = 0;   ///< V_B⁻(π) after the update
+  ActionId backing_action = kInvalidId;  ///< action attaining the outer argmax
+
+  double improvement() const { return value_after - value_before; }
+};
+
+/// Computes the Eq. 7 backup of `set` at `belief` without modifying the set.
+BoundVector backup_vector(const Pomdp& pomdp, const BoundSet& set, const Belief& belief,
+                          ActionId* backing_action = nullptr, double beta = 1.0);
+
+/// Performs one incremental update: computes the backup at `belief` and adds
+/// it to `set` when it improves the bound there by more than `min_gain`.
+UpdateResult improve_at(const Pomdp& pomdp, BoundSet& set, const Belief& belief,
+                        double min_gain = 1e-12, double beta = 1.0);
+
+}  // namespace recoverd::bounds

@@ -1,0 +1,65 @@
+#include "bounds/ra_bound.hpp"
+
+#include "util/check.hpp"
+
+namespace recoverd::bounds {
+
+linalg::GaussSeidelOptions default_ra_solver_options() {
+  linalg::GaussSeidelOptions options;
+  options.relaxation = 1.1;  // mild successive over-relaxation (§3.1)
+  options.tolerance = 1e-10;
+  return options;
+}
+
+namespace {
+RaBoundResult solve_random_action_chain(const Mdp& mdp, double beta,
+                                        const linalg::GaussSeidelOptions& options) {
+  const std::size_t n = mdp.num_states();
+  const double inv_actions = 1.0 / static_cast<double>(mdp.num_actions());
+
+  // Q = β/|A| Σ_a P(a), c = 1/|A| Σ_a r(·,a).
+  linalg::SparseMatrixBuilder qb(n, n);
+  std::vector<double> c(n, 0.0);
+  for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+    const auto& t = mdp.transition(a);
+    for (StateId s = 0; s < n; ++s) {
+      for (const auto& e : t.row(s)) qb.add(s, e.col, beta * inv_actions * e.value);
+      c[s] += inv_actions * mdp.reward(s, a);
+    }
+  }
+
+  const auto solve = linalg::solve_fixed_point(qb.build(), c, options);
+  RaBoundResult result;
+  result.status = solve.status;
+  result.iterations = solve.iterations;
+  if (solve.converged()) result.values = solve.x;
+  return result;
+}
+}  // namespace
+
+RaBoundResult compute_ra_bound(const Mdp& mdp, const linalg::GaussSeidelOptions& options) {
+  return solve_random_action_chain(mdp, 1.0, options);
+}
+
+RaBoundResult compute_ra_bound_discounted(const Mdp& mdp, double beta,
+                                          const linalg::GaussSeidelOptions& options) {
+  RD_EXPECTS(beta > 0.0 && beta < 1.0,
+             "compute_ra_bound_discounted: beta must lie in (0,1)");
+  return solve_random_action_chain(mdp, beta, options);
+}
+
+BoundSet make_ra_bound_set(const Mdp& mdp, std::size_t capacity,
+                           const linalg::GaussSeidelOptions& options) {
+  const RaBoundResult ra = compute_ra_bound(mdp, options);
+  if (!ra.converged()) {
+    throw ModelError(
+        "make_ra_bound_set: the RA-Bound linear system did not converge (" +
+        linalg::to_string(ra.status) +
+        "); apply with_recovery_notification or add_termination first (see §3.1)");
+  }
+  BoundSet set(mdp.num_states(), capacity);
+  set.add(ra.values);  // first vector: protected automatically
+  return set;
+}
+
+}  // namespace recoverd::bounds

@@ -1,0 +1,49 @@
+// The random-action bound (RA-Bound, §3.1) — the paper's core contribution.
+//
+// V_m⁻ solves the linear system of Eq. 5:
+//    V_m⁻(s) = (1/|A|) Σ_a [ r(s,a) + β Σ_{s'} p(s'|s,a) V_m⁻(s') ]
+// i.e. the expected accumulated reward of the Markov chain obtained from the
+// MDP by choosing actions uniformly at random. The POMDP bound is the single
+// hyperplane V_p⁻(π) = Σ_s π(s)·V_m⁻(s).
+//
+// Convergence on undiscounted models requires the §3.1 transforms
+// (with_recovery_notification or add_termination); compute_ra_bound reports
+// a Diverged status otherwise instead of hanging.
+#pragma once
+
+#include "linalg/gauss_seidel.hpp"
+#include "bounds/bound_set.hpp"
+#include "pomdp/mdp.hpp"
+
+namespace recoverd::bounds {
+
+struct RaBoundResult {
+  linalg::SolveStatus status = linalg::SolveStatus::MaxIterations;
+  BoundVector values;          ///< V_m⁻(s) (meaningful when converged)
+  std::size_t iterations = 0;  ///< Gauss–Seidel sweeps used
+
+  bool converged() const { return status == linalg::SolveStatus::Converged; }
+};
+
+/// Default solver settings for Eq. 5: Gauss–Seidel with successive
+/// over-relaxation (ω = 1.1), per the paper's implementation note.
+linalg::GaussSeidelOptions default_ra_solver_options();
+
+/// Computes V_m⁻ by iterating Eq. 5 (β = 1, the undiscounted criterion).
+RaBoundResult compute_ra_bound(const Mdp& mdp,
+                               const linalg::GaussSeidelOptions& options =
+                                   default_ra_solver_options());
+
+/// Discounted variant (β < 1), used by comparison tests against the
+/// literature bounds that only converge with discounting.
+RaBoundResult compute_ra_bound_discounted(const Mdp& mdp, double beta,
+                                          const linalg::GaussSeidelOptions& options =
+                                              default_ra_solver_options());
+
+/// Convenience: computes the RA-Bound, throws ModelError when it does not
+/// converge, and seeds a BoundSet with the resulting (protected) hyperplane.
+BoundSet make_ra_bound_set(const Mdp& mdp, std::size_t capacity = 0,
+                           const linalg::GaussSeidelOptions& options =
+                               default_ra_solver_options());
+
+}  // namespace recoverd::bounds

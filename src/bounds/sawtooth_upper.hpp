@@ -1,0 +1,67 @@
+// Sawtooth upper bound on the POMDP value function — the paper's §6
+// future-work extension ("generation of upper bounds in addition to the
+// lower bounds to facilitate branch and bound techniques").
+//
+// Representation (Hauskrecht 2000): QMDP corner values v_c(s) at the simplex
+// vertices plus a point set U = {(π_i, v_i)}. The bound at π interpolates
+// each point against the corners:
+//
+//   f_i(π) = Σ_s π(s)·v_c(s) + (v_i − Σ_s π_i(s)·v_c(s)) · min_{s:π_i(s)>0} π(s)/π_i(s)
+//   UB(π)  = min( Σ_s π(s)·v_c(s),  min_i f_i(π) )
+//
+// Validity: v_c upper-bounds V* at the corners (full observability can only
+// help), each stored v_i upper-bounds V*(π_i), and the interpolation is a
+// concave-majorant argument. Point-based updates apply L_p (Eq. 2 with this
+// bound at the leaves), which maps upper bounds to upper bounds, so the
+// bound only tightens.
+#pragma once
+
+#include <vector>
+
+#include "pomdp/belief.hpp"
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd::bounds {
+
+class SawtoothUpperBound {
+ public:
+  /// Builds the initial bound from the QMDP corner values (computed
+  /// internally via max value iteration). Throws ModelError when the
+  /// underlying MDP has no finite optimal value (untransformed model).
+  /// `capacity` limits the point set (0 = unlimited); least-used points are
+  /// evicted.
+  explicit SawtoothUpperBound(const Pomdp& pomdp, std::size_t capacity = 0);
+
+  /// UB(π).
+  double evaluate(const Belief& belief) const;
+
+  /// Corner (QMDP) values.
+  const std::vector<double>& corner_values() const { return corners_; }
+
+  /// Number of stored sawtooth points.
+  std::size_t size() const { return points_.size(); }
+
+  /// One point-based update at `belief`: computes the depth-1 Bellman value
+  /// with this bound at the leaves and stores the point when it lowers the
+  /// bound by more than `min_gain`. Returns the improvement (≥ 0).
+  double improve_at(const Belief& belief, double min_gain = 1e-12,
+                    double branch_floor = 0.0);
+
+ private:
+  struct Point {
+    std::vector<double> belief;
+    double value;
+    double corner_mix;  ///< Σ_s π_i(s)·v_c(s), cached
+    mutable std::size_t uses = 0;
+  };
+
+  double interpolate(const Point& point, std::span<const double> pi) const;
+  void add_point(const Belief& belief, double value);
+
+  const Pomdp& pomdp_;
+  std::size_t capacity_;
+  std::vector<double> corners_;
+  std::vector<Point> points_;
+};
+
+}  // namespace recoverd::bounds

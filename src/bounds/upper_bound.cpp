@@ -1,0 +1,21 @@
+#include "bounds/upper_bound.hpp"
+
+#include "linalg/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::bounds {
+
+double QmdpBoundResult::evaluate(std::span<const double> belief) const {
+  RD_EXPECTS(converged(), "QmdpBoundResult::evaluate: bound did not converge");
+  return linalg::dot(values, belief);
+}
+
+QmdpBoundResult compute_qmdp_bound(const Mdp& mdp, const ValueIterationOptions& options) {
+  const auto vi = value_iteration(mdp, options, Extremum::Max);
+  QmdpBoundResult result;
+  result.status = vi.status;
+  if (vi.converged()) result.values = vi.values;
+  return result;
+}
+
+}  // namespace recoverd::bounds

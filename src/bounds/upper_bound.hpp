@@ -1,0 +1,34 @@
+// Upper bounds on the POMDP value (the paper's §6 future-work extension,
+// implemented here to report bound gaps in Fig. 5-style output):
+//
+//  - the trivial bound 0 (Condition 2 makes all accumulated reward ≤ 0);
+//    the paper's Fig. 5(a) x-axis note uses exactly this;
+//  - the QMDP / full-observability bound: V*_p(π) ≤ Σ_s π(s)·V_m(s), where
+//    V_m solves the underlying MDP (more information can only help).
+#pragma once
+
+#include "bounds/bound_set.hpp"
+#include "linalg/gauss_seidel.hpp"
+#include "pomdp/mdp.hpp"
+#include "pomdp/value_iteration.hpp"
+
+namespace recoverd::bounds {
+
+struct QmdpBoundResult {
+  linalg::SolveStatus status = linalg::SolveStatus::MaxIterations;
+  BoundVector values;  ///< V_m(s) (meaningful when converged)
+
+  bool converged() const { return status == linalg::SolveStatus::Converged; }
+
+  /// Σ_s π(s)·V_m(s). Precondition: converged().
+  double evaluate(std::span<const double> belief) const;
+};
+
+/// Solves the fully observable MDP (max value iteration).
+QmdpBoundResult compute_qmdp_bound(const Mdp& mdp,
+                                   const ValueIterationOptions& options = {});
+
+/// The trivial upper bound of Condition 2 models.
+inline double trivial_upper_bound() { return 0.0; }
+
+}  // namespace recoverd::bounds

@@ -1,0 +1,78 @@
+#include "controller/bootstrap.hpp"
+
+#include "bounds/incremental_update.hpp"
+#include "pomdp/bellman.hpp"
+#include "pomdp/sampling.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::controller {
+
+BootstrapTrace bootstrap_bounds(const Pomdp& model, bounds::BoundSet& set,
+                                const Belief& reference_belief,
+                                const BootstrapOptions& options) {
+  RD_EXPECTS(options.observe_action < model.num_actions(),
+             "bootstrap_bounds: observe action out of range");
+  RD_EXPECTS(options.tree_depth >= 1, "bootstrap_bounds: tree depth must be >= 1");
+  RD_EXPECTS(set.size() > 0, "bootstrap_bounds: bound set must be seeded (RA-Bound)");
+  RD_EXPECTS(reference_belief.size() == model.num_states(),
+             "bootstrap_bounds: reference belief dimension mismatch");
+
+  std::vector<StateId> support = options.fault_support;
+  if (support.empty()) {
+    for (StateId s = 0; s < model.num_states(); ++s) {
+      if (!model.mdp().is_goal(s) && s != model.terminate_state()) support.push_back(s);
+    }
+  }
+  RD_EXPECTS(!support.empty(), "bootstrap_bounds: no fault states to sample");
+
+  Rng rng(options.seed);
+  BootstrapTrace trace;
+  trace.bound_at_reference.reserve(options.iterations);
+  trace.set_sizes.reserve(options.iterations);
+
+  const LeafEvaluator leaf = [&set](const Belief& b) {
+    return set.evaluate(b.probabilities());
+  };
+
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    // Choose the episode's hidden fault and starting belief.
+    const Belief uniform_faults = Belief::uniform_over(model.num_states(), support);
+    StateId true_state = support[rng.uniform_index(support.size())];
+    Belief belief = uniform_faults;
+
+    if (options.variant == BootstrapVariant::Random) {
+      // Simulate the monitors once and condition the starting belief on the
+      // reading, exactly as the online controller would (§4).
+      const ObsId obs = sample_observation(model, true_state, options.observe_action, rng);
+      if (const auto upd = update_belief(model, belief, options.observe_action, obs)) {
+        belief = upd->next;
+      }
+    }
+
+    // Simulated recovery episode: improve the bound at each visited belief,
+    // act greedily w.r.t. the improved bound, evolve the hidden state.
+    for (std::size_t step = 0; step < options.max_episode_steps; ++step) {
+      bounds::improve_at(model, set, belief);
+
+      const ActionValue best = bellman_best_action(model, belief, options.tree_depth, leaf,
+                                                   1.0, kInvalidId, options.branch_floor);
+      if (model.has_terminate_action() && best.action == model.terminate_action()) break;
+      if (!model.has_terminate_action() &&
+          model.mdp().goal_probability(belief.probabilities()) >= 1.0 - 1e-9) {
+        break;
+      }
+
+      true_state = sample_transition(model.mdp(), true_state, best.action, rng);
+      const ObsId obs = sample_observation(model, true_state, best.action, rng);
+      const auto upd = update_belief(model, belief, best.action, obs);
+      if (!upd.has_value()) break;  // impossible under the model; restart episode
+      belief = upd->next;
+    }
+
+    trace.bound_at_reference.push_back(set.evaluate(reference_belief.probabilities()));
+    trace.set_sizes.push_back(set.size());
+  }
+  return trace;
+}
+
+}  // namespace recoverd::controller

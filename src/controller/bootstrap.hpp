@@ -1,0 +1,59 @@
+// Bootstrapping phase (§4.1, evaluated in Fig. 5): before any real fault
+// occurs, the controller warms its lower-bound set by running simulated
+// recovery episodes and applying the incremental update (Eq. 7) at every
+// belief visited.
+//
+// Two variants from §5:
+//  - Random:  a fault is drawn uniformly, a monitor observation is sampled
+//             from q for it, and the episode starts from the corresponding
+//             posterior belief;
+//  - Average: the episode starts directly from the "all faults equally
+//             likely" belief.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bounds/bound_set.hpp"
+#include "pomdp/belief.hpp"
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd::controller {
+
+enum class BootstrapVariant { Random, Average };
+
+struct BootstrapOptions {
+  std::size_t iterations = 20;       ///< Fig. 5 sweeps 1..20
+  int tree_depth = 1;                ///< depth of the decision expansion
+  std::size_t max_episode_steps = 12;
+  BootstrapVariant variant = BootstrapVariant::Random;
+  std::uint64_t seed = 1;
+  /// The model's monitoring action, used to sample the initial observation
+  /// in the Random variant. Required.
+  ActionId observe_action = kInvalidId;
+  /// Fault states episodes start from; empty = all non-goal states except a
+  /// terminate state.
+  std::vector<StateId> fault_support;
+  /// Observation-branch pruning floor for the decision expansion (see
+  /// BoundedControllerOptions::branch_floor). 0 = exact.
+  double branch_floor = 0.0;
+};
+
+/// One point per bootstrap iteration (the Fig. 5 series).
+struct BootstrapTrace {
+  /// V_B⁻ evaluated at the reference belief after each iteration. The values
+  /// are non-decreasing (Fig. 5(a) plots their negation as an upper bound on
+  /// cost).
+  std::vector<double> bound_at_reference;
+  /// |B| after each iteration (Fig. 5(b)); grows by at most one per update.
+  std::vector<std::size_t> set_sizes;
+};
+
+/// Runs the bootstrap phase, improving `set` in place. `reference_belief` is
+/// where the trace samples the bound (the paper uses the uniform belief
+/// {1/|S|}); pass Belief::uniform(model.num_states()) to match.
+BootstrapTrace bootstrap_bounds(const Pomdp& model, bounds::BoundSet& set,
+                                const Belief& reference_belief,
+                                const BootstrapOptions& options);
+
+}  // namespace recoverd::controller

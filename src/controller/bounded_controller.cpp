@@ -1,0 +1,64 @@
+#include "controller/bounded_controller.hpp"
+
+#include "bounds/incremental_update.hpp"
+#include "pomdp/bellman.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::controller {
+
+BoundedController::BoundedController(const Pomdp& model, bounds::BoundSet& set,
+                                     BoundedControllerOptions options)
+    : BeliefTrackingController(model),
+      name_("Bounded(d=" + std::to_string(options.tree_depth) + ")"),
+      set_(set),
+      options_(options) {
+  RD_EXPECTS(options.tree_depth >= 1, "BoundedController: tree depth must be >= 1");
+  RD_EXPECTS(set.dimension() == model.num_states(),
+             "BoundedController: bound set dimension mismatch");
+  RD_EXPECTS(set.size() > 0, "BoundedController: bound set must be seeded (RA-Bound)");
+}
+
+Decision BoundedController::decide() {
+  const Pomdp& pomdp = model();
+  const Belief& pi = belief();
+
+  // Models with recovery notification: stop once the belief is (numerically)
+  // certain the system recovered.
+  if (!pomdp.has_terminate_action() &&
+      pomdp.mdp().goal_probability(pi.probabilities()) >= options_.goal_certainty) {
+    return {kInvalidId, true};
+  }
+
+  if (options_.online_improvement) {
+    double fault_mass = 1.0 - pomdp.mdp().goal_probability(pi.probabilities());
+    if (pomdp.has_terminate_action()) fault_mass -= pi[pomdp.terminate_state()];
+    if (fault_mass >= options_.improvement_min_fault_mass) {
+      bounds::improve_at(pomdp, set_, pi);
+    }
+  }
+
+  const LeafEvaluator leaf = [this](const Belief& b) {
+    return set_.evaluate(b.probabilities());
+  };
+  const auto values = bellman_action_values(pomdp, pi, options_.tree_depth, leaf, 1.0,
+                                            kInvalidId, options_.branch_floor);
+  ActionValue best = values.front();
+  for (const auto& av : values) {
+    if (av.value > best.value) best = av;
+  }
+
+  if (pomdp.has_terminate_action()) {
+    // Property 1(a) assumes no free actions; real models often have a
+    // zero-cost Observe in null-fault states, which can tie with aT once
+    // recovery is (almost) certain. Prefer termination on (near-)ties —
+    // continuing offers no strictly positive benefit.
+    const ActionId at = pomdp.terminate_action();
+    if (values[at].value >= best.value - options_.terminate_tie_epsilon) {
+      best = values[at];
+    }
+    if (best.action == at) return {best.action, true};
+  }
+  return {best.action, false};
+}
+
+}  // namespace recoverd::controller

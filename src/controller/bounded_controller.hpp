@@ -1,0 +1,67 @@
+// The paper's bounded recovery controller (§4):
+//
+//  - unrolls the POMDP recursion (Eq. 2) to a small fixed depth from the
+//    current belief,
+//  - evaluates leaves with the lower-bound hyperplane set V_B⁻ (Eq. 6),
+//  - executes the maximising action,
+//  - optionally refines the bound at every belief visited online (§4.1),
+//  - terminates when the terminate action aT wins (models without recovery
+//    notification) or when the belief is fully inside Sφ (models with it).
+//
+// Property 1 gives this controller finite termination: with V_B⁻ ≤ L_p V_B⁻
+// and no free actions, every step strictly improves the expected bound.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bounds/bound_set.hpp"
+#include "controller/controller.hpp"
+
+namespace recoverd::controller {
+
+struct BoundedControllerOptions {
+  int tree_depth = 1;              ///< recursion depth (Table 1 uses 1)
+  bool online_improvement = true;  ///< run Eq. 7 updates at visited beliefs
+  /// Treat the model as having recovery notification: stop once the belief
+  /// places at least `goal_certainty` mass on Sφ. Only meaningful for models
+  /// without a terminate action.
+  double goal_certainty = 1.0 - 1e-9;
+  /// Prefer aT when its value is within this margin of the best action.
+  /// Models with zero-cost monitoring in Sφ (violating Property 1(a)'s
+  /// no-free-actions assumption) tie aT against Observe once recovery is
+  /// near-certain; terminating is the right resolution.
+  double terminate_tie_epsilon = 1e-9;
+  /// Observation branches with probability below this floor are pruned from
+  /// the Max-Avg tree (renormalising the rest). 0 = exact expansion; set
+  /// ~1e-3 for models with large joint-observation alphabets.
+  double branch_floor = 0.0;
+  /// Skip the online Eq. 7 update when the belief puts less than this much
+  /// mass outside Sφ ∪ {sT}: the bound is already tight there and the
+  /// update would only burn time (§4.3's cost-limiting advice).
+  double improvement_min_fault_mass = 0.01;
+};
+
+/// Bounded controller over a §3.1-transformed model. The model must either
+/// carry a terminate action (add_termination) or have absorbing goal states
+/// (with_recovery_notification).
+class BoundedController : public BeliefTrackingController {
+ public:
+  /// `set` is the shared lower-bound set, normally seeded by
+  /// bounds::make_ra_bound_set and warmed by a bootstrap phase. It must
+  /// outlive the controller; online improvement mutates it.
+  BoundedController(const Pomdp& model, bounds::BoundSet& set,
+                    BoundedControllerOptions options = {});
+
+  const std::string& name() const override { return name_; }
+  Decision decide() override;
+
+  const bounds::BoundSet& bound_set() const { return set_; }
+
+ private:
+  std::string name_;
+  bounds::BoundSet& set_;
+  BoundedControllerOptions options_;
+};
+
+}  // namespace recoverd::controller

@@ -1,0 +1,30 @@
+#include "controller/controller.hpp"
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace recoverd::controller {
+
+BeliefTrackingController::BeliefTrackingController(const Pomdp& model)
+    : model_(model), belief_(Belief::uniform(model.num_states())) {}
+
+void BeliefTrackingController::begin_episode(const Belief& initial_belief) {
+  RD_EXPECTS(initial_belief.size() == model_.num_states(),
+             "BeliefTrackingController: belief dimension mismatch");
+  belief_ = initial_belief;
+  mismatches_ = 0;
+}
+
+void BeliefTrackingController::record(ActionId action, ObsId obs) {
+  const auto update = update_belief(model_, belief_, action, obs);
+  if (!update.has_value()) {
+    ++mismatches_;
+    log_warn("controller: observation '", model_.observation_name(obs),
+             "' has zero likelihood after action '", model_.mdp().action_name(action),
+             "'; belief unchanged");
+    return;
+  }
+  belief_ = update->next;
+}
+
+}  // namespace recoverd::controller

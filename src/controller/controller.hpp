@@ -1,0 +1,77 @@
+// Recovery controller interface (§4).
+//
+// A controller drives one recovery episode: the experiment harness injects a
+// fault, gives the controller an initial belief (uniform over fault states,
+// refined by the first monitor reading — §4), then repeatedly asks for a
+// decision, executes it against the environment, and feeds the resulting
+// observation back. The episode ends when the controller terminates (either
+// by choosing the terminate action aT or by a controller-specific stopping
+// rule such as a recovered-probability threshold).
+#pragma once
+
+#include <string>
+
+#include "pomdp/belief.hpp"
+#include "pomdp/pomdp.hpp"
+#include "pomdp/types.hpp"
+
+namespace recoverd::controller {
+
+/// One controller decision.
+struct Decision {
+  /// Action to execute; ignored when `terminate` is true.
+  ActionId action = kInvalidId;
+  /// True when the controller declares recovery finished.
+  bool terminate = false;
+};
+
+/// Abstract recovery controller.
+class RecoveryController {
+ public:
+  virtual ~RecoveryController() = default;
+
+  /// Display name for experiment tables.
+  virtual const std::string& name() const = 0;
+
+  /// Starts a new episode from the given initial belief.
+  virtual void begin_episode(const Belief& initial_belief) = 0;
+
+  /// Chooses the next decision given the current belief state.
+  virtual Decision decide() = 0;
+
+  /// Incorporates the executed action and resulting observation.
+  virtual void record(ActionId action, ObsId obs) = 0;
+
+  /// Current belief (controllers that do not track beliefs may return the
+  /// episode's initial belief).
+  virtual const Belief& belief() const = 0;
+
+  /// The decision model this controller plans over. May have more states
+  /// than the environment's model (the terminate transform appends sT), but
+  /// shares ids for all common states/actions/observations.
+  virtual const Pomdp& model() const = 0;
+};
+
+/// Common base for controllers that track a Bayes belief over the model.
+/// An observation that the model assigns zero likelihood (a model-mismatch
+/// event) leaves the belief unchanged and increments a counter the harness
+/// can report.
+class BeliefTrackingController : public RecoveryController {
+ public:
+  explicit BeliefTrackingController(const Pomdp& model);
+
+  void begin_episode(const Belief& initial_belief) override;
+  void record(ActionId action, ObsId obs) override;
+  const Belief& belief() const override { return belief_; }
+  const Pomdp& model() const override { return model_; }
+
+  /// Number of zero-likelihood observations swallowed this episode.
+  std::size_t mismatch_count() const { return mismatches_; }
+
+ private:
+  const Pomdp& model_;
+  Belief belief_;
+  std::size_t mismatches_ = 0;
+};
+
+}  // namespace recoverd::controller

@@ -1,0 +1,48 @@
+#include "controller/heuristic_controller.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "pomdp/bellman.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::controller {
+
+HeuristicController::HeuristicController(const Pomdp& model,
+                                         HeuristicControllerOptions options)
+    : BeliefTrackingController(model),
+      name_("Heuristic(d=" + std::to_string(options.tree_depth) + ")"),
+      options_(options) {
+  RD_EXPECTS(options.tree_depth >= 1, "HeuristicController: tree depth must be >= 1");
+  RD_EXPECTS(options.termination_probability > 0.0 && options.termination_probability < 1.0,
+             "HeuristicController: termination probability must lie in (0,1)");
+
+  most_expensive_cost_ = 0.0;
+  for (ActionId a = 0; a < model.num_actions(); ++a) {
+    if (a == model.terminate_action()) continue;
+    for (StateId s = 0; s < model.num_states(); ++s) {
+      most_expensive_cost_ = std::min(most_expensive_cost_, model.mdp().reward(s, a));
+    }
+  }
+}
+
+Decision HeuristicController::decide() {
+  const Pomdp& pomdp = model();
+  const Belief& pi = belief();
+
+  if (pomdp.mdp().goal_probability(pi.probabilities()) >=
+      options_.termination_probability) {
+    return {kInvalidId, true};
+  }
+
+  const double worst_cost = most_expensive_cost_;
+  const LeafEvaluator leaf = [&pomdp, worst_cost](const Belief& b) {
+    return (1.0 - pomdp.mdp().goal_probability(b.probabilities())) * worst_cost;
+  };
+  const ActionValue best = bellman_best_action(pomdp, pi, options_.tree_depth, leaf, 1.0,
+                                               pomdp.terminate_action(),
+                                               options_.branch_floor);
+  return {best.action, false};
+}
+
+}  // namespace recoverd::controller

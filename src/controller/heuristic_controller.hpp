@@ -1,0 +1,44 @@
+// The heuristic controller of [8] that the paper compares against (§5):
+// the same finite-depth Max-Avg expansion as the bounded controller, but the
+// leaves are evaluated with the best-performing heuristic from [8]:
+//
+//   V̂(π) = (1 − P[Sφ]) · C_max,
+//
+// the probability that the system has not recovered times the cost of the
+// most expensive recovery action in the model (C_max = min_{s,a} r(s,a), the
+// most negative single-step reward). Termination is by a recovered-
+// probability threshold (0.9999 in the paper's experiments), not by aT — so
+// the controller keeps invoking monitors until the belief is near-certain.
+#pragma once
+
+#include <string>
+
+#include "controller/controller.hpp"
+
+namespace recoverd::controller {
+
+struct HeuristicControllerOptions {
+  int tree_depth = 1;                     ///< Table 1 sweeps 1, 2, 3
+  double termination_probability = 0.9999;  ///< P[Sφ] threshold to stop
+  /// Observation-branch pruning floor for the Max-Avg tree (see
+  /// BoundedControllerOptions::branch_floor). 0 = exact.
+  double branch_floor = 0.0;
+};
+
+/// Heuristic controller over the *untransformed* recovery model (no aT; the
+/// terminate decision is the probability threshold). If the model does carry
+/// a terminate action the controller masks it out of the expansion.
+class HeuristicController : public BeliefTrackingController {
+ public:
+  HeuristicController(const Pomdp& model, HeuristicControllerOptions options = {});
+
+  const std::string& name() const override { return name_; }
+  Decision decide() override;
+
+ private:
+  std::string name_;
+  HeuristicControllerOptions options_;
+  double most_expensive_cost_;  ///< min_{s,a} r(s,a) over non-terminate actions
+};
+
+}  // namespace recoverd::controller

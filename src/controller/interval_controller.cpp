@@ -1,0 +1,91 @@
+#include "controller/interval_controller.hpp"
+
+#include <limits>
+
+#include "bounds/incremental_update.hpp"
+#include "pomdp/bellman.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::controller {
+
+IntervalController::IntervalController(const Pomdp& model, bounds::BoundSet& lower,
+                                       bounds::SawtoothUpperBound& upper,
+                                       IntervalControllerOptions options)
+    : BeliefTrackingController(model),
+      name_("BranchBound(d=" + std::to_string(options.tree_depth) + ")"),
+      lower_(lower),
+      upper_(upper),
+      options_(options) {
+  RD_EXPECTS(options.tree_depth >= 1, "IntervalController: tree depth must be >= 1");
+  RD_EXPECTS(lower.dimension() == model.num_states(),
+             "IntervalController: lower bound dimension mismatch");
+  RD_EXPECTS(lower.size() > 0, "IntervalController: lower bound set must be seeded");
+}
+
+Decision IntervalController::decide() {
+  const Pomdp& pomdp = model();
+  const Belief& pi = belief();
+  stats_ = IntervalDecisionStats{};
+
+  if (!pomdp.has_terminate_action() &&
+      pomdp.mdp().goal_probability(pi.probabilities()) >= 1.0 - 1e-9) {
+    return {kInvalidId, true};
+  }
+
+  if (options_.online_improvement) {
+    double fault_mass = 1.0 - pomdp.mdp().goal_probability(pi.probabilities());
+    if (pomdp.has_terminate_action()) fault_mass -= pi[pomdp.terminate_state()];
+    if (fault_mass >= options_.improvement_min_fault_mass) {
+      bounds::improve_at(pomdp, lower_, pi);
+      // Upper-bound refinement stays exact (no branch pruning) so the
+      // certified gap remains sound.
+      upper_.improve_at(pi);
+    }
+  }
+
+  const LeafEvaluator lower_leaf = [this](const Belief& b) {
+    return lower_.evaluate(b.probabilities());
+  };
+  const LeafEvaluator upper_leaf = [this](const Belief& b) { return upper_.evaluate(b); };
+
+  const auto lower_values = bellman_action_values(pomdp, pi, options_.tree_depth,
+                                                  lower_leaf, 1.0, kInvalidId,
+                                                  options_.branch_floor);
+  const auto upper_values = bellman_action_values(pomdp, pi, options_.tree_depth,
+                                                  upper_leaf, 1.0, kInvalidId,
+                                                  options_.branch_floor);
+
+  // Branch and bound: the best lower bound eliminates every action whose
+  // upper bound falls beneath it; among survivors pick the most optimistic.
+  double best_lower = -std::numeric_limits<double>::infinity();
+  for (const auto& lv : lower_values) best_lower = std::max(best_lower, lv.value);
+
+  ActionId best_action = kInvalidId;
+  double best_upper = -std::numeric_limits<double>::infinity();
+  for (ActionId a = 0; a < pomdp.num_actions(); ++a) {
+    if (upper_values[a].value < best_lower - 1e-12) {
+      ++stats_.actions_pruned;
+      continue;
+    }
+    if (upper_values[a].value > best_upper) {
+      best_upper = upper_values[a].value;
+      best_action = a;
+    }
+  }
+  RD_ENSURES(best_action != kInvalidId, "IntervalController: every action pruned");
+  stats_.lower = lower_values[best_action].value;
+  stats_.upper = best_upper;
+
+  if (pomdp.has_terminate_action()) {
+    const ActionId at = pomdp.terminate_action();
+    if (best_action != at &&
+        upper_values[at].value >= best_upper - options_.terminate_tie_epsilon &&
+        lower_values[at].value >= best_lower - options_.terminate_tie_epsilon) {
+      best_action = at;
+    }
+    if (best_action == at) return {at, true};
+  }
+  return {best_action, false};
+}
+
+}  // namespace recoverd::controller

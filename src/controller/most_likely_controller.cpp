@@ -1,0 +1,57 @@
+#include "controller/most_likely_controller.hpp"
+
+#include "controller/repair.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::controller {
+
+MostLikelyController::MostLikelyController(const Pomdp& model,
+                                           MostLikelyControllerOptions options)
+    : BeliefTrackingController(model), options_(options) {
+  RD_EXPECTS(options.observe_action < model.num_actions(),
+             "MostLikelyController: observe action out of range");
+  RD_EXPECTS(options.termination_probability > 0.0 && options.termination_probability < 1.0,
+             "MostLikelyController: termination probability must lie in (0,1)");
+  repair_table_ = build_repair_table(model.mdp());
+}
+
+void MostLikelyController::begin_episode(const Belief& initial_belief) {
+  BeliefTrackingController::begin_episode(initial_belief);
+  need_observation_ = false;  // the harness starts episodes from an observed belief
+}
+
+Decision MostLikelyController::decide() {
+  const Mdp& mdp = model().mdp();
+  const Belief& pi = belief();
+
+  if (mdp.goal_probability(pi.probabilities()) >= options_.termination_probability) {
+    return {kInvalidId, true};
+  }
+  if (need_observation_) {
+    return {options_.observe_action, false};
+  }
+
+  // Most likely *fault*: argmax over non-goal states.
+  StateId diagnosed = kInvalidId;
+  double best = -1.0;
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    if (mdp.is_goal(s)) continue;
+    if (pi[s] > best) {
+      best = pi[s];
+      diagnosed = s;
+    }
+  }
+  if (diagnosed == kInvalidId || repair_table_[diagnosed] == kInvalidId) {
+    // Nothing actionable (or the diagnosed state has no single-step fix):
+    // gather more information.
+    return {options_.observe_action, false};
+  }
+  return {repair_table_[diagnosed], false};
+}
+
+void MostLikelyController::record(ActionId action, ObsId obs) {
+  BeliefTrackingController::record(action, obs);
+  need_observation_ = action != options_.observe_action;
+}
+
+}  // namespace recoverd::controller

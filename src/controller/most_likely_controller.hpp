@@ -1,0 +1,38 @@
+// The "most likely" baseline controller of §5: Bayes diagnosis picks the
+// most probable fault, and the controller executes the cheapest action that
+// deterministically fixes it. After each repair it re-invokes the monitors
+// (an Observe action) to refresh the diagnosis, and it stops once the belief
+// puts at least `termination_probability` mass on Sφ.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "controller/controller.hpp"
+
+namespace recoverd::controller {
+
+struct MostLikelyControllerOptions {
+  /// The model's monitoring action (identity transitions, emits monitor
+  /// output). Required.
+  ActionId observe_action = kInvalidId;
+  double termination_probability = 0.9999;
+};
+
+class MostLikelyController : public BeliefTrackingController {
+ public:
+  MostLikelyController(const Pomdp& model, MostLikelyControllerOptions options);
+
+  const std::string& name() const override { return name_; }
+  void begin_episode(const Belief& initial_belief) override;
+  Decision decide() override;
+  void record(ActionId action, ObsId obs) override;
+
+ private:
+  std::string name_ = "Most Likely";
+  MostLikelyControllerOptions options_;
+  std::vector<ActionId> repair_table_;
+  bool need_observation_ = false;  ///< true right after executing a repair
+};
+
+}  // namespace recoverd::controller

@@ -1,0 +1,38 @@
+#include "controller/oracle_controller.hpp"
+
+#include "controller/repair.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::controller {
+
+OracleController::OracleController(const Pomdp& model, std::function<StateId()> true_state)
+    : model_(model),
+      true_state_(std::move(true_state)),
+      belief_(Belief::uniform(model.num_states())) {
+  RD_EXPECTS(static_cast<bool>(true_state_), "OracleController: true-state provider required");
+  repair_table_ = build_repair_table(model.mdp());
+}
+
+void OracleController::begin_episode(const Belief& initial_belief) {
+  RD_EXPECTS(initial_belief.size() == model_.num_states(),
+             "OracleController: belief dimension mismatch");
+  belief_ = initial_belief;
+}
+
+Decision OracleController::decide() {
+  const StateId s = true_state_();
+  RD_EXPECTS(s < model_.num_states(), "OracleController: provider returned a bad state");
+  if (model_.mdp().is_goal(s)) return {kInvalidId, true};
+  const ActionId fix = repair_table_[s];
+  RD_EXPECTS(fix != kInvalidId,
+             "OracleController: no single-step fix for state '" +
+                 model_.mdp().state_name(s) + "'");
+  return {fix, false};
+}
+
+void OracleController::record(ActionId, ObsId) {
+  // The oracle reads the true state directly; observations carry no
+  // additional information for it.
+}
+
+}  // namespace recoverd::controller

@@ -1,0 +1,35 @@
+// The Oracle baseline of §5: a hypothetical controller that knows the true
+// fault and recovers with the single cheapest fixing action — the
+// unattainable ideal row of Table 1.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "controller/controller.hpp"
+
+namespace recoverd::controller {
+
+class OracleController : public RecoveryController {
+ public:
+  /// `true_state` is invoked at each decision to read the environment's
+  /// hidden state (the harness wires it to the simulator).
+  OracleController(const Pomdp& model, std::function<StateId()> true_state);
+
+  const std::string& name() const override { return name_; }
+  void begin_episode(const Belief& initial_belief) override;
+  Decision decide() override;
+  void record(ActionId action, ObsId obs) override;
+  const Belief& belief() const override { return belief_; }
+  const Pomdp& model() const override { return model_; }
+
+ private:
+  std::string name_ = "Oracle";
+  const Pomdp& model_;
+  std::function<StateId()> true_state_;
+  std::vector<ActionId> repair_table_;
+  Belief belief_;
+};
+
+}  // namespace recoverd::controller

@@ -1,0 +1,36 @@
+#include "controller/policy_controller.hpp"
+
+#include "util/check.hpp"
+
+namespace recoverd::controller {
+
+PolicyController::PolicyController(const Pomdp& model, Policy policy,
+                                   PolicyControllerOptions options)
+    : BeliefTrackingController(model), policy_(std::move(policy)), options_(options) {
+  RD_EXPECTS(policy_.size() == model.num_states(),
+             "PolicyController: one action per state required");
+  for (ActionId a : policy_) {
+    RD_EXPECTS(a < model.num_actions(), "PolicyController: action out of range");
+  }
+  RD_EXPECTS(options.termination_probability > 0.0 &&
+                 options.termination_probability < 1.0,
+             "PolicyController: termination probability must lie in (0,1)");
+}
+
+Decision PolicyController::decide() {
+  const Pomdp& pomdp = model();
+  const Belief& pi = belief();
+
+  double done_mass = pomdp.mdp().goal_probability(pi.probabilities());
+  if (pomdp.has_terminate_action()) done_mass += pi[pomdp.terminate_state()];
+  if (done_mass >= options_.termination_probability) return {kInvalidId, true};
+
+  // Most likely state; ties break to the lowest id via Belief::most_likely.
+  const StateId mls = pi.most_likely();
+  const ActionId action = policy_[mls];
+  const bool terminates =
+      pomdp.has_terminate_action() && action == pomdp.terminate_action();
+  return {action, terminates};
+}
+
+}  // namespace recoverd::controller

@@ -1,0 +1,38 @@
+// Fixed-policy baseline: plays a precomputed MDP policy on the most likely
+// state of the tracked belief (the "MLS" heuristic from the POMDP
+// literature). Sits between Most-Likely (diagnose + cheapest fix) and the
+// bounded controller: it uses the full MDP solution offline but ignores
+// belief uncertainty online — a useful ablation of what the belief-aware
+// tree expansion actually buys.
+#pragma once
+
+#include <string>
+
+#include "controller/controller.hpp"
+#include "pomdp/policy.hpp"
+
+namespace recoverd::controller {
+
+struct PolicyControllerOptions {
+  /// Stop when P[Sφ] (plus sT mass, if any) exceeds this, or — on models
+  /// with a terminate action — when the policy itself plays aT.
+  double termination_probability = 0.9999;
+};
+
+class PolicyController : public BeliefTrackingController {
+ public:
+  /// `policy` maps every model state to an action (e.g. from
+  /// value_iteration or policy_iteration on the transformed model).
+  PolicyController(const Pomdp& model, Policy policy,
+                   PolicyControllerOptions options = {});
+
+  const std::string& name() const override { return name_; }
+  Decision decide() override;
+
+ private:
+  std::string name_ = "MLS Policy";
+  Policy policy_;
+  PolicyControllerOptions options_;
+};
+
+}  // namespace recoverd::controller

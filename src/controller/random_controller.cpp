@@ -1,0 +1,21 @@
+#include "controller/random_controller.hpp"
+
+namespace recoverd::controller {
+
+RandomController::RandomController(const Pomdp& model, Rng rng)
+    : BeliefTrackingController(model), rng_(rng) {}
+
+Decision RandomController::decide() {
+  const Pomdp& pomdp = model();
+  // Models with recovery notification stop on certainty of recovery (the
+  // monitors would have told a real controller to stop).
+  if (!pomdp.has_terminate_action() &&
+      pomdp.mdp().goal_probability(belief().probabilities()) >= 1.0 - 1e-9) {
+    return {kInvalidId, true};
+  }
+  const ActionId a = rng_.uniform_index(pomdp.num_actions());
+  const bool terminate = pomdp.has_terminate_action() && a == pomdp.terminate_action();
+  return {a, terminate};
+}
+
+}  // namespace recoverd::controller

@@ -1,0 +1,25 @@
+// Uniform-random controller: the policy whose value the RA-Bound computes.
+// Used by tests (its empirical episode cost must respect the bound) and as a
+// sanity baseline.
+#pragma once
+
+#include <string>
+
+#include "controller/controller.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::controller {
+
+class RandomController : public BeliefTrackingController {
+ public:
+  RandomController(const Pomdp& model, Rng rng);
+
+  const std::string& name() const override { return name_; }
+  Decision decide() override;
+
+ private:
+  std::string name_ = "Random";
+  Rng rng_;
+};
+
+}  // namespace recoverd::controller

@@ -1,0 +1,35 @@
+#include "controller/repair.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace recoverd::controller {
+
+ActionId cheapest_fixing_action(const Mdp& mdp, StateId s) {
+  RD_EXPECTS(s < mdp.num_states(), "cheapest_fixing_action: state out of range");
+  if (mdp.is_goal(s)) return kInvalidId;
+  ActionId best = kInvalidId;
+  double best_reward = -std::numeric_limits<double>::infinity();
+  for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+    double goal_mass = 0.0;
+    for (const auto& e : mdp.transition(a).row(s)) {
+      if (mdp.is_goal(e.col)) goal_mass += e.value;
+    }
+    if (goal_mass >= 1.0 - 1e-12 && mdp.reward(s, a) > best_reward) {
+      best_reward = mdp.reward(s, a);
+      best = a;
+    }
+  }
+  return best;
+}
+
+std::vector<ActionId> build_repair_table(const Mdp& mdp) {
+  std::vector<ActionId> table(mdp.num_states(), kInvalidId);
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    table[s] = cheapest_fixing_action(mdp, s);
+  }
+  return table;
+}
+
+}  // namespace recoverd::controller

@@ -1,0 +1,21 @@
+// Repair tables: which actions deterministically fix which fault states.
+// Used by the Oracle controller (cheapest single fixing action) and the
+// Most-Likely controller (cheapest fix for the diagnosed fault).
+#pragma once
+
+#include <vector>
+
+#include "pomdp/mdp.hpp"
+
+namespace recoverd::controller {
+
+/// The cheapest (highest-reward) action a with p(Sφ | s, a) = 1, i.e. an
+/// action guaranteed to put the system into a null-fault state in one step.
+/// Returns kInvalidId when no such action exists for `s`.
+ActionId cheapest_fixing_action(const Mdp& mdp, StateId s);
+
+/// Repair table for all states (kInvalidId entries where no single-step fix
+/// exists). Goal states map to kInvalidId as well (nothing to fix).
+std::vector<ActionId> build_repair_table(const Mdp& mdp);
+
+}  // namespace recoverd::controller

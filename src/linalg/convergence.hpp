@@ -1,0 +1,36 @@
+// Shared stall detection for the iterative solvers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace recoverd::linalg {
+
+/// Tracks sweep deltas over a circular window and flags iterations whose
+/// delta fails to strictly decrease across the window — the signature of a
+/// fixed-point iteration that is drifting linearly (no finite solution)
+/// rather than converging geometrically.
+class StallDetector {
+ public:
+  /// window == 0 disables detection.
+  explicit StallDetector(std::size_t window) : window_(window), history_(window, 0.0) {}
+
+  /// Records the delta of iteration `iter` (0-based) and returns true when a
+  /// stall is detected.
+  bool stalled(std::size_t iter, double delta) {
+    if (window_ == 0) return false;
+    const std::size_t slot = iter % window_;
+    bool result = false;
+    if (iter >= window_) {
+      result = delta >= history_[slot];
+    }
+    history_[slot] = delta;
+    return result;
+  }
+
+ private:
+  std::size_t window_;
+  std::vector<double> history_;
+};
+
+}  // namespace recoverd::linalg

@@ -1,0 +1,119 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace recoverd::linalg {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+double& DenseMatrix::at(std::size_t i, std::size_t j) {
+  RD_EXPECTS(i < rows_ && j < cols_, "DenseMatrix::at: index out of range");
+  return data_[i * cols_ + j];
+}
+
+double DenseMatrix::at(std::size_t i, std::size_t j) const {
+  RD_EXPECTS(i < rows_ && j < cols_, "DenseMatrix::at: index out of range");
+  return data_[i * cols_ + j];
+}
+
+std::vector<double> DenseMatrix::multiply(std::span<const double> x) const {
+  RD_EXPECTS(x.size() == cols_, "DenseMatrix::multiply: dimension mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += data_[i * cols_ + j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::add(const DenseMatrix& other) const {
+  RD_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_, "DenseMatrix::add: shape mismatch");
+  DenseMatrix out(rows_, cols_);
+  for (std::size_t k = 0; k < data_.size(); ++k) out.data_[k] = data_[k] + other.data_[k];
+  return out;
+}
+
+DenseMatrix DenseMatrix::subtract(const DenseMatrix& other) const {
+  RD_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_,
+             "DenseMatrix::subtract: shape mismatch");
+  DenseMatrix out(rows_, cols_);
+  for (std::size_t k = 0; k < data_.size(); ++k) out.data_[k] = data_[k] - other.data_[k];
+  return out;
+}
+
+DenseMatrix DenseMatrix::scale(double alpha) const {
+  DenseMatrix out(rows_, cols_);
+  for (std::size_t k = 0; k < data_.size(); ++k) out.data_[k] = alpha * data_[k];
+  return out;
+}
+
+LuFactorization::LuFactorization(const DenseMatrix& a) : n_(a.rows()) {
+  RD_EXPECTS(a.rows() == a.cols(), "LuFactorization: matrix must be square");
+  lu_.resize(n_ * n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) lu_[i * n_ + j] = a.at(i, j);
+  }
+  piv_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) piv_[i] = i;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivot.
+    std::size_t pivot = k;
+    double best = std::abs(lu_[k * n_ + k]);
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double v = std::abs(lu_[i * n_ + k]);
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    RD_ENSURES(best > 1e-300, "LuFactorization: matrix is singular");
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n_; ++j) std::swap(lu_[k * n_ + j], lu_[pivot * n_ + j]);
+      std::swap(piv_[k], piv_[pivot]);
+    }
+    const double inv = 1.0 / lu_[k * n_ + k];
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double factor = lu_[i * n_ + k] * inv;
+      lu_[i * n_ + k] = factor;
+      for (std::size_t j = k + 1; j < n_; ++j) lu_[i * n_ + j] -= factor * lu_[k * n_ + j];
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve(std::span<const double> b) const {
+  RD_EXPECTS(b.size() == n_, "LuFactorization::solve: dimension mismatch");
+  std::vector<double> x(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] = b[piv_[i]];
+  // Forward substitution (unit lower triangle).
+  for (std::size_t i = 1; i < n_; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_[i * n_ + j] * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_[ii * n_ + j] * x[j];
+    x[ii] = acc / lu_[ii * n_ + ii];
+  }
+  return x;
+}
+
+double LuFactorization::abs_determinant() const {
+  double det = 1.0;
+  for (std::size_t i = 0; i < n_; ++i) det *= lu_[i * n_ + i];
+  return std::abs(det);
+}
+
+}  // namespace recoverd::linalg

@@ -1,0 +1,58 @@
+// Small dense matrices with LU factorisation.
+//
+// Used as a verification oracle for the iterative Gauss–Seidel solver and
+// for exact solves of tiny textbook models (Figure 1(a)/2 of the paper).
+// Not intended for the large state spaces of §4.3 — those go through the
+// sparse iterative path.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace recoverd::linalg {
+
+/// Row-major dense matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static DenseMatrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t i, std::size_t j);
+  double at(std::size_t i, std::size_t j) const;
+
+  std::vector<double> multiply(std::span<const double> x) const;
+
+  DenseMatrix add(const DenseMatrix& other) const;
+  DenseMatrix subtract(const DenseMatrix& other) const;
+  DenseMatrix scale(double alpha) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorisation with partial pivoting of a square matrix.
+/// Throws InvariantError on (numerical) singularity.
+class LuFactorization {
+ public:
+  explicit LuFactorization(const DenseMatrix& a);
+
+  /// Solves A x = b.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// |det A| as a byproduct of the factorisation (for conditioning tests).
+  double abs_determinant() const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> lu_;       // packed LU, row-major
+  std::vector<std::size_t> piv_; // row permutation
+};
+
+}  // namespace recoverd::linalg

@@ -1,0 +1,138 @@
+#include "linalg/gauss_seidel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/convergence.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::linalg {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Converged: return "converged";
+    case SolveStatus::MaxIterations: return "max-iterations";
+    case SolveStatus::Diverged: return "diverged";
+  }
+  return "unknown";
+}
+
+namespace {
+void check_inputs(const SparseMatrix& q, std::span<const double> c,
+                  const GaussSeidelOptions& options) {
+  RD_EXPECTS(q.rows() == q.cols(), "solve_fixed_point: Q must be square");
+  RD_EXPECTS(c.size() == q.rows(), "solve_fixed_point: dimension mismatch");
+  RD_EXPECTS(options.relaxation > 0.0 && options.relaxation < 2.0,
+             "solve_fixed_point: relaxation must lie in (0, 2)");
+  RD_EXPECTS(options.tolerance > 0.0, "solve_fixed_point: tolerance must be positive");
+}
+}  // namespace
+
+SolveResult solve_fixed_point(const SparseMatrix& q, std::span<const double> c,
+                              const GaussSeidelOptions& options) {
+  check_inputs(q, c, options);
+  const std::size_t n = q.rows();
+
+  SolveResult result;
+  result.x.assign(n, 0.0);
+
+  // Cache diagonal to apply the implicit (I − Q) split. A fully absorbing
+  // row with a nonzero source (x_i = c_i + x_i, c_i ≠ 0) has no finite
+  // solution — report Diverged immediately, the §3.1 signal that the model
+  // needs a convergence transform.
+  std::vector<double> diag(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& e : q.row(i)) {
+      if (e.col == i) diag[i] = e.value;
+    }
+    if (diag[i] >= 1.0 - 1e-15 && c[i] != 0.0) {
+      result.status = SolveStatus::Diverged;
+      return result;
+    }
+  }
+  auto& x = result.x;
+  StallDetector stall(options.stall_window);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double denom = 1.0 - diag[i];
+      double candidate;
+      if (denom <= 1e-15) {
+        // Fully absorbing self-loop row: the fixed point is forced to 0
+        // (checked above that c(i) == 0).
+        candidate = 0.0;
+      } else {
+        double acc = c[i];
+        for (const auto& e : q.row(i)) {
+          if (e.col != i) acc += e.value * x[e.col];
+        }
+        candidate = acc / denom;
+      }
+      const double updated = x[i] + options.relaxation * (candidate - x[i]);
+      delta = std::max(delta, std::abs(updated - x[i]));
+      x[i] = updated;
+    }
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (!std::isfinite(delta) ||
+        std::any_of(x.begin(), x.end(),
+                    [&](double v) { return std::abs(v) > options.divergence_threshold; })) {
+      result.status = SolveStatus::Diverged;
+      return result;
+    }
+    if (delta <= options.tolerance) {
+      result.status = SolveStatus::Converged;
+      return result;
+    }
+    if (stall.stalled(iter, delta)) {
+      result.status = SolveStatus::Diverged;
+      return result;
+    }
+  }
+  result.status = SolveStatus::MaxIterations;
+  return result;
+}
+
+SolveResult solve_fixed_point_jacobi(const SparseMatrix& q, std::span<const double> c,
+                                     const GaussSeidelOptions& options) {
+  check_inputs(q, c, options);
+  const std::size_t n = q.rows();
+
+  SolveResult result;
+  result.x.assign(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  StallDetector stall(options.stall_window);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = c[i];
+      for (const auto& e : q.row(i)) acc += e.value * result.x[e.col];
+      next[i] = acc;
+      delta = std::max(delta, std::abs(next[i] - result.x[i]));
+    }
+    result.x.swap(next);
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (!std::isfinite(delta) ||
+        std::any_of(result.x.begin(), result.x.end(), [&](double v) {
+          return std::abs(v) > options.divergence_threshold;
+        })) {
+      result.status = SolveStatus::Diverged;
+      return result;
+    }
+    if (delta <= options.tolerance) {
+      result.status = SolveStatus::Converged;
+      return result;
+    }
+    if (stall.stalled(iter, delta)) {
+      result.status = SolveStatus::Diverged;
+      return result;
+    }
+  }
+  result.status = SolveStatus::MaxIterations;
+  return result;
+}
+
+}  // namespace recoverd::linalg

@@ -1,0 +1,63 @@
+// Gauss–Seidel / successive over-relaxation solver for fixed points
+//   x = c + Q x     (equivalently (I − Q) x = c),
+// the form taken by the RA-Bound linear system of Eq. 5 and by the
+// blind-policy / BI-POMDP bound recursions.
+//
+// Q is a (sub)stochastic matrix; when its non-absorbing part is transient
+// the iteration converges geometrically. The solver *detects divergence*
+// instead of looping forever, because the paper's §3.1 comparisons hinge on
+// exactly this: competitor bounds fail to converge on undiscounted recovery
+// models, and we want to demonstrate that rather than hang.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/sparse_matrix.hpp"
+
+namespace recoverd::linalg {
+
+/// Tuning knobs for the iteration.
+struct GaussSeidelOptions {
+  double relaxation = 1.0;       ///< SOR factor ω ∈ (0, 2); 1.0 = plain Gauss–Seidel.
+  double tolerance = 1e-10;      ///< stop when max |x_new − x_old| ≤ tolerance
+  std::size_t max_iterations = 100000;
+  double divergence_threshold = 1e12;  ///< |x|∞ beyond this ⇒ diverged
+  /// Stall detection: when the sweep delta has not strictly decreased over
+  /// this many iterations, the iteration is classified as Diverged. This
+  /// catches the *linear* cost drift of recurrent nonzero-reward chains
+  /// (the §3.1 failure mode of competitor bounds), which would otherwise
+  /// take ~divergence_threshold iterations to detect. Set to 0 to disable.
+  std::size_t stall_window = 1000;
+};
+
+enum class SolveStatus { Converged, MaxIterations, Diverged };
+
+/// Outcome of an iterative solve.
+struct SolveResult {
+  SolveStatus status = SolveStatus::MaxIterations;
+  std::vector<double> x;          ///< last iterate (the solution when Converged)
+  std::size_t iterations = 0;
+  double final_delta = 0.0;       ///< max-norm change of the last sweep
+
+  bool converged() const { return status == SolveStatus::Converged; }
+};
+
+/// Human-readable status label (for logs and bench output).
+std::string to_string(SolveStatus status);
+
+/// Solves x = c + Q x by forward Gauss–Seidel sweeps with relaxation.
+///
+/// Preconditions: Q square, c.size() == Q.rows(), diagonal entries
+/// Q(i,i) < 1 (an absorbing state must carry c(i) = 0 and is then fixed at
+/// x(i) = c(i)/(1−Q(i,i)) — encode absorbing rows as Q(i,i) = 0 instead).
+SolveResult solve_fixed_point(const SparseMatrix& q, std::span<const double> c,
+                              const GaussSeidelOptions& options = {});
+
+/// Jacobi variant (used by tests to cross-check sweep ordering effects).
+SolveResult solve_fixed_point_jacobi(const SparseMatrix& q, std::span<const double> c,
+                                     const GaussSeidelOptions& options = {});
+
+}  // namespace recoverd::linalg

@@ -1,0 +1,47 @@
+#include "linalg/power_iteration.hpp"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::linalg {
+
+PowerIterationResult estimate_spectral_radius(const SparseMatrix& q,
+                                              std::size_t max_iterations,
+                                              double tolerance) {
+  RD_EXPECTS(q.rows() == q.cols(), "estimate_spectral_radius: Q must be square");
+  const std::size_t n = q.rows();
+  PowerIterationResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> x(n, 1.0 / static_cast<double>(n));
+  double prev_estimate = 0.0;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    std::vector<double> y = q.multiply(x);
+    const double norm = max_abs(y);
+    result.iterations = iter + 1;
+    if (norm == 0.0) {
+      // Q is nilpotent along this vector: radius estimate 0.
+      result.spectral_radius_estimate = 0.0;
+      result.converged = true;
+      return result;
+    }
+    for (double& v : y) v /= norm;
+    result.spectral_radius_estimate = norm;
+    if (std::abs(norm - prev_estimate) <= tolerance) {
+      result.converged = true;
+      result.spectral_radius_estimate = norm;
+      x.swap(y);
+      return result;
+    }
+    prev_estimate = norm;
+    x.swap(y);
+  }
+  return result;
+}
+
+}  // namespace recoverd::linalg

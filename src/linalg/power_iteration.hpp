@@ -1,0 +1,28 @@
+// Power iteration for spectral-radius estimates.
+//
+// Diagnostics: the Gauss–Seidel fixed point x = c + Qx converges iff the
+// spectral radius of the transient part of Q is below 1. The RA-Bound
+// transforms of §3.1 guarantee that; this estimator lets tests and the
+// scaling bench verify it numerically on generated models.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/sparse_matrix.hpp"
+
+namespace recoverd::linalg {
+
+struct PowerIterationResult {
+  double spectral_radius_estimate = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Estimates ρ(Q) for a non-negative square matrix Q by power iteration on a
+/// strictly positive start vector. For substochastic matrices this converges
+/// to the dominant eigenvalue magnitude.
+PowerIterationResult estimate_spectral_radius(const SparseMatrix& q,
+                                              std::size_t max_iterations = 10000,
+                                              double tolerance = 1e-10);
+
+}  // namespace recoverd::linalg

@@ -1,0 +1,103 @@
+#include "linalg/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace recoverd::linalg {
+
+std::span<const SparseEntry> SparseMatrix::row(std::size_t i) const {
+  RD_EXPECTS(i < rows(), "SparseMatrix::row: index out of range");
+  return {entries_.data() + row_ptr_[i], row_ptr_[i + 1] - row_ptr_[i]};
+}
+
+double SparseMatrix::at(std::size_t i, std::size_t j) const {
+  RD_EXPECTS(j < cols_, "SparseMatrix::at: column out of range");
+  const auto r = row(i);
+  const auto it = std::lower_bound(
+      r.begin(), r.end(), j,
+      [](const SparseEntry& e, std::size_t col) { return e.col < col; });
+  return (it != r.end() && it->col == j) ? it->value : 0.0;
+}
+
+std::vector<double> SparseMatrix::multiply(std::span<const double> x) const {
+  RD_EXPECTS(x.size() == cols_, "SparseMatrix::multiply: dimension mismatch");
+  std::vector<double> y(rows(), 0.0);
+  for (std::size_t i = 0; i < rows(); ++i) {
+    double acc = 0.0;
+    for (const auto& e : row(i)) acc += e.value * x[e.col];
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<double> SparseMatrix::multiply_transpose(std::span<const double> x) const {
+  RD_EXPECTS(x.size() == rows(), "SparseMatrix::multiply_transpose: dimension mismatch");
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t i = 0; i < rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (const auto& e : row(i)) y[e.col] += e.value * xi;
+  }
+  return y;
+}
+
+std::vector<double> SparseMatrix::row_sums() const {
+  std::vector<double> sums(rows(), 0.0);
+  for (std::size_t i = 0; i < rows(); ++i) {
+    for (const auto& e : row(i)) sums[i] += e.value;
+  }
+  return sums;
+}
+
+SparseMatrix SparseMatrix::transpose() const {
+  SparseMatrixBuilder builder(cols_, rows());
+  for (std::size_t i = 0; i < rows(); ++i) {
+    for (const auto& e : row(i)) builder.add(e.col, i, e.value);
+  }
+  return builder.build();
+}
+
+SparseMatrixBuilder::SparseMatrixBuilder(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {}
+
+void SparseMatrixBuilder::add(std::size_t row, std::size_t col, double value) {
+  RD_EXPECTS(row < rows_, "SparseMatrixBuilder::add: row out of range");
+  RD_EXPECTS(col < cols_, "SparseMatrixBuilder::add: column out of range");
+  RD_EXPECTS(std::isfinite(value), "SparseMatrixBuilder::add: value must be finite");
+  if (value == 0.0) return;
+  triplets_.push_back({row, col, value});
+}
+
+SparseMatrix SparseMatrixBuilder::build(double drop_tol) const {
+  std::vector<Triplet> sorted = triplets_;
+  std::sort(sorted.begin(), sorted.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  SparseMatrix out;
+  out.cols_ = cols_;
+  out.row_ptr_.assign(rows_ + 1, 0);
+  out.entries_.reserve(sorted.size());
+
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    double acc = 0.0;
+    while (j < sorted.size() && sorted[j].row == sorted[i].row &&
+           sorted[j].col == sorted[i].col) {
+      acc += sorted[j].value;
+      ++j;
+    }
+    if (std::abs(acc) > drop_tol) {
+      out.entries_.push_back({sorted[i].col, acc});
+      ++out.row_ptr_[sorted[i].row + 1];
+    }
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) out.row_ptr_[r + 1] += out.row_ptr_[r];
+  return out;
+}
+
+}  // namespace recoverd::linalg

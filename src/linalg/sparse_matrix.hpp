@@ -1,0 +1,81 @@
+// Compressed sparse row matrices for transition and observation functions.
+//
+// Recovery models are very sparse (a recovery action reaches a handful of
+// next states), so every per-action transition matrix P(a) and observation
+// matrix Q(a) is stored in CSR form; §4.3 of the paper relies on exactly
+// this structure for the O(|S||A||O||B|) incremental-update cost.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace recoverd::linalg {
+
+/// One stored entry of a sparse row: column index plus value.
+struct SparseEntry {
+  std::size_t col;
+  double value;
+};
+
+/// Immutable CSR matrix. Build with SparseMatrixBuilder.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  std::size_t rows() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return entries_.size(); }
+
+  /// Entries of row i, ordered by column.
+  std::span<const SparseEntry> row(std::size_t i) const;
+
+  /// Dense lookup (O(log nnz(row))). Returns 0 for absent entries.
+  double at(std::size_t i, std::size_t j) const;
+
+  /// y = A x  (y sized to rows()).
+  std::vector<double> multiply(std::span<const double> x) const;
+
+  /// y = Aᵀ x  (y sized to cols()). Used for belief propagation, where the
+  /// next belief is πᵀP(a).
+  std::vector<double> multiply_transpose(std::span<const double> x) const;
+
+  /// Sum of each row (useful for checking stochasticity).
+  std::vector<double> row_sums() const;
+
+  /// Materialised transpose (also CSR). Used by solvers that need fast
+  /// column access.
+  SparseMatrix transpose() const;
+
+ private:
+  friend class SparseMatrixBuilder;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;  // size rows()+1
+  std::vector<SparseEntry> entries_;
+};
+
+/// Accumulating triplet builder: duplicate (row, col) contributions are
+/// summed, zero results dropped.
+class SparseMatrixBuilder {
+ public:
+  SparseMatrixBuilder(std::size_t rows, std::size_t cols);
+
+  /// Adds `value` to entry (row, col).
+  void add(std::size_t row, std::size_t col, double value);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Finalises into CSR; entries below `drop_tol` in magnitude are dropped.
+  SparseMatrix build(double drop_tol = 0.0) const;
+
+ private:
+  struct Triplet {
+    std::size_t row, col;
+    double value;
+  };
+  std::size_t rows_, cols_;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace recoverd::linalg

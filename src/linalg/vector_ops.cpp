@@ -1,0 +1,68 @@
+#include "linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace recoverd::linalg {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  RD_EXPECTS(a.size() == b.size(), "dot: length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  RD_EXPECTS(x.size() == y.size(), "axpy: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+std::vector<double> elementwise_max(std::span<const double> a, std::span<const double> b) {
+  RD_EXPECTS(a.size() == b.size(), "elementwise_max: length mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::max(a[i], b[i]);
+  return out;
+}
+
+double max_abs(std::span<const double> a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  RD_EXPECTS(a.size() == b.size(), "max_abs_diff: length mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+double sum(std::span<const double> a) {
+  double acc = 0.0;
+  for (double v : a) acc += v;
+  return acc;
+}
+
+void normalize_probability(std::span<double> a) {
+  const double total = sum(a);
+  RD_EXPECTS(total > 0.0 && std::isfinite(total),
+             "normalize_probability: entries must have a positive finite sum");
+  for (double& v : a) v /= total;
+}
+
+bool approx_equal(std::span<const double> a, std::span<const double> b, double tol) {
+  if (a.size() != b.size()) return false;
+  return max_abs_diff(a, b) <= tol;
+}
+
+bool dominates(std::span<const double> a, std::span<const double> b, double tol) {
+  RD_EXPECTS(a.size() == b.size(), "dominates: length mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i] - tol) return false;
+  }
+  return true;
+}
+
+}  // namespace recoverd::linalg

@@ -1,0 +1,40 @@
+// Dense vector helpers shared by the POMDP and bounds code.
+//
+// Beliefs, reward vectors, and bound hyperplanes are all std::vector<double>
+// of |S| entries; these free functions keep that code at the mathematical
+// level of Eq. 2–7 in the paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace recoverd::linalg {
+
+/// Inner product <a, b>. Precondition: equal lengths.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x. Precondition: equal lengths.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Element-wise max over two vectors, returned as a new vector.
+std::vector<double> elementwise_max(std::span<const double> a, std::span<const double> b);
+
+/// max_i |a(i)|.
+double max_abs(std::span<const double> a);
+
+/// max_i |a(i) - b(i)|. Precondition: equal lengths.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+/// Sum of entries.
+double sum(std::span<const double> a);
+
+/// Scales `a` in place so its entries sum to 1. Precondition: positive sum.
+void normalize_probability(std::span<double> a);
+
+/// True when every |a(i) - b(i)| <= tol.
+bool approx_equal(std::span<const double> a, std::span<const double> b, double tol);
+
+/// True when a(i) >= b(i) - tol for every i (a dominates b up to tolerance).
+bool dominates(std::span<const double> a, std::span<const double> b, double tol = 0.0);
+
+}  // namespace recoverd::linalg

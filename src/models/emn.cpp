@@ -1,0 +1,60 @@
+#include "models/emn.hpp"
+
+#include "pomdp/transforms.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::models {
+
+Topology make_emn_topology(const EmnConfig& config) {
+  RD_EXPECTS(config.http_fraction > 0.0 && config.http_fraction < 1.0,
+             "make_emn_topology: http fraction must lie in (0,1)");
+
+  Topology t;
+  const HostId host_a = t.add_host("HostA", config.host_reboot);
+  const HostId host_b = t.add_host("HostB", config.host_reboot);
+  const HostId host_c = t.add_host("HostC", config.host_reboot);
+
+  const ComponentId hg = t.add_component("HG", host_a, config.hg_restart);
+  const ComponentId vg = t.add_component("VG", host_a, config.vg_restart);
+  const ComponentId s1 = t.add_component("S1", host_b, config.emn_restart);
+  const ComponentId s2 = t.add_component("S2", host_b, config.emn_restart);
+  const ComponentId db = t.add_component("DB", host_c, config.db_restart);
+
+  const PathId http = t.add_path("HTTP", config.http_fraction);
+  t.add_path_stage(http, {{hg, 1.0}});
+  t.add_path_stage(http, {{s1, 0.5}, {s2, 0.5}});
+  t.add_path_stage(http, {{db, 1.0}});
+
+  const PathId voice = t.add_path("Voice", 1.0 - config.http_fraction);
+  t.add_path_stage(voice, {{vg, 1.0}});
+  t.add_path_stage(voice, {{s1, 0.5}, {s2, 0.5}});
+  t.add_path_stage(voice, {{db, 1.0}});
+
+  t.add_ping_monitor("HGMon", hg, config.ping_coverage, config.ping_false_positive);
+  t.add_ping_monitor("VGMon", vg, config.ping_coverage, config.ping_false_positive);
+  t.add_ping_monitor("S1Mon", s1, config.ping_coverage, config.ping_false_positive);
+  t.add_ping_monitor("S2Mon", s2, config.ping_coverage, config.ping_false_positive);
+  t.add_ping_monitor("DBMon", db, config.ping_coverage, config.ping_false_positive);
+  t.add_path_monitor("HPathMon", http, config.path_coverage, config.path_false_positive);
+  t.add_path_monitor("VPathMon", voice, config.path_coverage, config.path_false_positive);
+  return t;
+}
+
+Pomdp make_emn_base(const EmnConfig& config) {
+  TopologyModelConfig model_config;
+  model_config.observe_duration = config.monitor_duration;
+  model_config.observe_impulse_cost = config.monitor_impulse_cost;
+  return build_recovery_pomdp(make_emn_topology(config), model_config);
+}
+
+Pomdp make_emn_recovery_model(const EmnConfig& config) {
+  return add_termination(make_emn_base(config), config.operator_response_time);
+}
+
+EmnIds emn_ids(const Pomdp& pomdp, const EmnConfig& config) {
+  EmnIds ids;
+  ids.topo = resolve_topology_ids(pomdp, make_emn_topology(config));
+  return ids;
+}
+
+}  // namespace recoverd::models

@@ -1,0 +1,70 @@
+// The paper's evaluation system (§5, Fig. 4): a simple deployment of AT&T's
+// Enterprise Messaging Network platform — a classic 3-tier e-commerce
+// system.
+//
+//   HostA: HTTP Gateway (HG), Voice Gateway (VG)
+//   HostB: EMN Server 1 (S1), EMN Server 2 (S2)
+//   HostC: Oracle DB (DB)
+//
+// Requests (80 % HTTP, 20 % voice) flow gateway → {S1|S2, 50/50} → DB.
+// Monitoring: one ping monitor per component (HGMon, VGMon, S1Mon, S2Mon,
+// DBMon) and two path monitors (HPathMon, VPathMon). The model has 14
+// states — Null, 5 component crashes, 3 host crashes, and 5 "zombie" faults
+// that answer pings but drop requests — and lacks recovery notification, so
+// the terminate transform applies with an operator response time of 6 hours.
+//
+// Action durations from §5: host reboot 5 min, DB restart 4 min, VG restart
+// 2 min, HG/S1/S2 restart 1 min, monitor execution 5 s.
+#pragma once
+
+#include "models/topology.hpp"
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd::models {
+
+struct EmnConfig {
+  // Traffic mix.
+  double http_fraction = 0.8;
+  // Action durations, seconds.
+  double host_reboot = 300.0;
+  double db_restart = 240.0;
+  double vg_restart = 120.0;
+  double hg_restart = 60.0;
+  double emn_restart = 60.0;
+  double monitor_duration = 5.0;
+  /// Fixed capacity consumed by one monitor sweep (request-seconds): path
+  /// probes are real requests. Keeps Property 1(a)'s no-free-actions
+  /// assumption satisfied in the Null state.
+  double monitor_impulse_cost = 2.0;
+  // Monitor quality.
+  double ping_coverage = 0.95;
+  double ping_false_positive = 0.01;
+  double path_coverage = 0.95;
+  double path_false_positive = 0.01;
+  // Operator response time for the terminate transform (§5 uses 6 h).
+  double operator_response_time = 21600.0;
+};
+
+/// Builds the Fig. 4 topology (hosts, components, paths, monitors).
+Topology make_emn_topology(const EmnConfig& config = {});
+
+/// The untransformed EMN recovery POMDP (14 states, 9 actions, 128 joint
+/// observations). This is the environment model for fault injection.
+Pomdp make_emn_base(const EmnConfig& config = {});
+
+/// The controller's model: the same POMDP with the terminate transform
+/// applied (the EMN system lacks recovery notification, §5).
+Pomdp make_emn_recovery_model(const EmnConfig& config = {});
+
+/// Well-known ids of an EMN model (works on both variants).
+struct EmnIds {
+  TopologyIds topo;
+  /// Component order: HG, VG, S1, S2, DB.
+  enum Component { HG = 0, VG = 1, S1 = 2, S2 = 3, DB = 4 };
+  /// Host order: HostA, HostB, HostC.
+  enum Host { HostA = 0, HostB = 1, HostC = 2 };
+};
+
+EmnIds emn_ids(const Pomdp& pomdp, const EmnConfig& config = {});
+
+}  // namespace recoverd::models

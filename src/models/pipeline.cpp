@@ -1,0 +1,55 @@
+#include "models/pipeline.hpp"
+
+#include "pomdp/transforms.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::models {
+
+Topology make_pipeline_topology(const PipelineConfig& config) {
+  RD_EXPECTS(config.stages >= 2, "make_pipeline_topology: need at least 2 stages");
+  RD_EXPECTS(config.stages <= 9,
+             "make_pipeline_topology: joint observation enumeration caps monitors at 20 "
+             "(stages + 1 path monitor); keep stages <= 9");
+
+  Topology t;
+  std::vector<HostId> hosts;
+  for (std::size_t h = 0; h < (config.stages + 1) / 2; ++h) {
+    std::string name = "Host";
+    name += std::to_string(h + 1);
+    hosts.push_back(t.add_host(name, config.host_reboot));
+  }
+
+  std::vector<ComponentId> stages;
+  for (std::size_t i = 0; i < config.stages; ++i) {
+    std::string name = "Stage";
+    name += std::to_string(i + 1);
+    stages.push_back(t.add_component(name, hosts[i / 2], config.restart_duration));
+  }
+
+  const PathId path = t.add_path("pipeline", 1.0);
+  for (const ComponentId c : stages) t.add_path_stage(path, {{c, 1.0}});
+
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    std::string name = "Stage";
+    name += std::to_string(i + 1);
+    name += "Mon";
+    t.add_ping_monitor(name, stages[i], config.ping_coverage,
+                       config.ping_false_positive);
+  }
+  t.add_path_monitor("PipelineMon", path, config.path_coverage,
+                     config.path_false_positive);
+  return t;
+}
+
+Pomdp make_pipeline_base(const PipelineConfig& config) {
+  TopologyModelConfig model_config;
+  model_config.observe_duration = config.monitor_duration;
+  model_config.observe_impulse_cost = config.monitor_impulse_cost;
+  return build_recovery_pomdp(make_pipeline_topology(config), model_config);
+}
+
+Pomdp make_pipeline_recovery_model(const PipelineConfig& config) {
+  return add_termination(make_pipeline_base(config), config.operator_response_time);
+}
+
+}  // namespace recoverd::models

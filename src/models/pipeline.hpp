@@ -1,0 +1,40 @@
+// A second built-in evaluation system: a linear N-stage processing pipeline
+// (one component per stage, no redundancy) across ceil(N/2) hosts.
+//
+// Its diagnosability profile is the opposite of the EMN system: with no
+// routing alternatives a path probe crosses *every* stage, so a path alarm
+// says "something is wrong" with no localisation at all, while ping
+// monitors localise crashes exactly. Zombie faults are therefore maximally
+// ambiguous — a stress case for belief-space planning that complements the
+// EMN model's 50/50 routing ambiguity.
+#pragma once
+
+#include "models/topology.hpp"
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd::models {
+
+struct PipelineConfig {
+  std::size_t stages = 4;
+  double restart_duration = 60.0;
+  double host_reboot = 300.0;
+  double monitor_duration = 5.0;
+  double monitor_impulse_cost = 2.0;
+  double ping_coverage = 0.95;
+  double ping_false_positive = 0.01;
+  double path_coverage = 0.95;
+  double path_false_positive = 0.01;
+  double operator_response_time = 21600.0;
+};
+
+/// The pipeline topology: stages named "Stage1".."StageN", hosts "Host1"..,
+/// one end-to-end path monitor plus one ping monitor per stage.
+Topology make_pipeline_topology(const PipelineConfig& config = {});
+
+/// Untransformed recovery POMDP of the pipeline.
+Pomdp make_pipeline_base(const PipelineConfig& config = {});
+
+/// Terminate-transformed controller model.
+Pomdp make_pipeline_recovery_model(const PipelineConfig& config = {});
+
+}  // namespace recoverd::models

@@ -1,0 +1,67 @@
+#include "models/synthetic.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::models {
+
+Mdp make_synthetic_recovery_mdp(const SyntheticMdpParams& params) {
+  RD_EXPECTS(params.num_states >= 2, "make_synthetic_recovery_mdp: need >= 2 states");
+  RD_EXPECTS(params.num_actions >= 1, "make_synthetic_recovery_mdp: need >= 1 action");
+  RD_EXPECTS(params.branching >= 1, "make_synthetic_recovery_mdp: branching must be >= 1");
+  RD_EXPECTS(params.repair_probability >= 0.0 && params.repair_probability <= 1.0,
+             "make_synthetic_recovery_mdp: repair probability must lie in [0,1]");
+
+  Rng rng(params.seed);
+  MdpBuilder b;
+  b.add_state("goal", 0.0);
+  for (std::size_t s = 1; s < params.num_states; ++s) {
+    b.add_state("fault" + std::to_string(s), -rng.uniform(0.05, 1.0));
+  }
+  for (std::size_t a = 0; a < params.num_actions; ++a) {
+    b.add_action("action" + std::to_string(a), 1.0);
+  }
+  b.mark_goal(0);
+
+  for (StateId s = 0; s < params.num_states; ++s) {
+    for (ActionId a = 0; a < params.num_actions; ++a) {
+      if (s == 0) {
+        // Absorbing zero-reward goal (the recovery-notification transform
+        // applied by construction).
+        b.set_transition(0, a, 0, 1.0);
+        b.set_rate_reward(0, a, 0.0);
+        continue;
+      }
+      // Collect target states and split probability mass evenly.
+      std::vector<StateId> targets;
+      if (a == 0) {
+        targets.push_back(rng.uniform_index(s));  // backbone: strictly lower id
+      }
+      if (rng.bernoulli(params.repair_probability)) {
+        targets.push_back(rng.uniform_index(std::min<std::size_t>(s, 8)));
+      }
+      while (targets.size() < params.branching) {
+        targets.push_back(rng.uniform_index(params.num_states));
+      }
+      const double p = 1.0 / static_cast<double>(targets.size());
+      // Accumulate duplicate targets by summing (builder overwrites, so
+      // pre-merge here).
+      std::vector<std::pair<StateId, double>> merged;
+      for (StateId t : targets) {
+        bool found = false;
+        for (auto& [state, prob] : merged) {
+          if (state == t) {
+            prob += p;
+            found = true;
+            break;
+          }
+        }
+        if (!found) merged.emplace_back(t, p);
+      }
+      for (const auto& [state, prob] : merged) b.set_transition(s, a, state, prob);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace recoverd::models

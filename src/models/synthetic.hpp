@@ -1,0 +1,34 @@
+// Synthetic large recovery MDPs for the §4.3 scaling claim ("models with up
+// to hundreds of thousands of states" solvable by the RA-Bound linear
+// system). Observations are deliberately omitted: Eq. 5 is defined on the
+// underlying MDP, which is where the scaling claim lives.
+#pragma once
+
+#include <cstdint>
+
+#include "pomdp/mdp.hpp"
+
+namespace recoverd::models {
+
+struct SyntheticMdpParams {
+  std::size_t num_states = 1000;   ///< including the goal state (id 0)
+  std::size_t num_actions = 10;
+  /// Expected number of next states per (state, action) row.
+  std::size_t branching = 4;
+  /// Probability that a row includes a direct repair edge toward the goal
+  /// region (guarantees Condition 1 together with the backbone edge).
+  double repair_probability = 0.3;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a random recovery MDP satisfying Conditions 1 and 2 with an
+/// absorbing zero-reward goal (state 0):
+///  - every state keeps a "backbone" edge to a strictly lower-numbered state
+///    under action 0, so the goal is reachable from everywhere;
+///  - other actions get `branching` random outgoing edges, plus a repair
+///    edge with probability `repair_probability`;
+///  - rewards are uniform in [-1, 0) (ambient rates scaled by unit
+///    durations).
+Mdp make_synthetic_recovery_mdp(const SyntheticMdpParams& params = {});
+
+}  // namespace recoverd::models

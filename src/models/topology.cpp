@@ -1,0 +1,346 @@
+#include "models/topology.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace recoverd::models {
+
+HostId Topology::add_host(std::string name, double reboot_duration) {
+  RD_EXPECTS(!name.empty(), "Topology::add_host: name must be non-empty");
+  RD_EXPECTS(reboot_duration > 0.0, "Topology::add_host: reboot duration must be positive");
+  hosts_.push_back({std::move(name), reboot_duration});
+  return hosts_.size() - 1;
+}
+
+ComponentId Topology::add_component(std::string name, HostId host,
+                                    double restart_duration) {
+  RD_EXPECTS(!name.empty(), "Topology::add_component: name must be non-empty");
+  RD_EXPECTS(host < hosts_.size(), "Topology::add_component: host out of range");
+  RD_EXPECTS(restart_duration > 0.0,
+             "Topology::add_component: restart duration must be positive");
+  components_.push_back({std::move(name), host, restart_duration});
+  return components_.size() - 1;
+}
+
+PathId Topology::add_path(std::string name, double traffic_fraction) {
+  RD_EXPECTS(!name.empty(), "Topology::add_path: name must be non-empty");
+  RD_EXPECTS(traffic_fraction > 0.0 && traffic_fraction <= 1.0,
+             "Topology::add_path: traffic fraction must lie in (0,1]");
+  paths_.push_back({std::move(name), traffic_fraction, {}});
+  return paths_.size() - 1;
+}
+
+void Topology::add_path_stage(PathId path,
+                              std::vector<std::pair<ComponentId, double>> alternatives) {
+  RD_EXPECTS(path < paths_.size(), "Topology::add_path_stage: path out of range");
+  RD_EXPECTS(!alternatives.empty(), "Topology::add_path_stage: stage must be non-empty");
+  double total = 0.0;
+  for (const auto& [component, weight] : alternatives) {
+    RD_EXPECTS(component < components_.size(),
+               "Topology::add_path_stage: component out of range");
+    RD_EXPECTS(weight > 0.0 && std::isfinite(weight),
+               "Topology::add_path_stage: weights must be positive");
+    total += weight;
+  }
+  RD_EXPECTS(total > 0.0, "Topology::add_path_stage: weights must have positive sum");
+  paths_[path].stages.push_back({std::move(alternatives)});
+}
+
+MonitorId Topology::add_ping_monitor(std::string name, ComponentId target,
+                                     double coverage, double false_positive) {
+  RD_EXPECTS(!name.empty(), "Topology::add_ping_monitor: name must be non-empty");
+  RD_EXPECTS(target < components_.size(), "Topology::add_ping_monitor: target out of range");
+  RD_EXPECTS(coverage >= 0.0 && coverage <= 1.0,
+             "Topology::add_ping_monitor: coverage must lie in [0,1]");
+  RD_EXPECTS(false_positive >= 0.0 && false_positive < 1.0,
+             "Topology::add_ping_monitor: false positive must lie in [0,1)");
+  monitors_.push_back({std::move(name), MonitorKind::Ping, target, coverage, false_positive});
+  return monitors_.size() - 1;
+}
+
+MonitorId Topology::add_path_monitor(std::string name, PathId path, double coverage,
+                                     double false_positive) {
+  RD_EXPECTS(!name.empty(), "Topology::add_path_monitor: name must be non-empty");
+  RD_EXPECTS(path < paths_.size(), "Topology::add_path_monitor: path out of range");
+  RD_EXPECTS(coverage >= 0.0 && coverage <= 1.0,
+             "Topology::add_path_monitor: coverage must lie in [0,1]");
+  RD_EXPECTS(false_positive >= 0.0 && false_positive < 1.0,
+             "Topology::add_path_monitor: false positive must lie in [0,1)");
+  monitors_.push_back(
+      {std::move(name), MonitorKind::PathProbe, path, coverage, false_positive});
+  return monitors_.size() - 1;
+}
+
+const std::string& Topology::host_name(HostId h) const {
+  RD_EXPECTS(h < hosts_.size(), "Topology::host_name: out of range");
+  return hosts_[h].name;
+}
+
+const std::string& Topology::component_name(ComponentId c) const {
+  RD_EXPECTS(c < components_.size(), "Topology::component_name: out of range");
+  return components_[c].name;
+}
+
+HostId Topology::component_host(ComponentId c) const {
+  RD_EXPECTS(c < components_.size(), "Topology::component_host: out of range");
+  return components_[c].host;
+}
+
+double Topology::path_hit_probability(PathId path, const std::vector<bool>& faulty) const {
+  RD_EXPECTS(path < paths_.size(), "Topology::path_hit_probability: path out of range");
+  RD_EXPECTS(faulty.size() == components_.size(),
+             "Topology::path_hit_probability: faulty mask size mismatch");
+  double survive = 1.0;
+  for (const auto& stage : paths_[path].stages) {
+    double total = 0.0;
+    double healthy = 0.0;
+    for (const auto& [component, weight] : stage.alternatives) {
+      total += weight;
+      if (!faulty[component]) healthy += weight;
+    }
+    survive *= healthy / total;
+  }
+  return 1.0 - survive;
+}
+
+double Topology::drop_fraction(const std::vector<bool>& faulty) const {
+  double dropped = 0.0;
+  for (PathId p = 0; p < paths_.size(); ++p) {
+    dropped += paths_[p].traffic_fraction * path_hit_probability(p, faulty);
+  }
+  return dropped;
+}
+
+namespace {
+
+// Per-state fault annotations used during compilation.
+struct StateInfo {
+  std::string name;
+  std::vector<bool> faulty;  // components unable to serve in this state
+};
+
+std::string crash_name(const std::string& component) { return "Crash(" + component + ")"; }
+std::string host_crash_name(const std::string& host) { return "HostCrash(" + host + ")"; }
+std::string zombie_name(const std::string& component) { return "Zombie(" + component + ")"; }
+
+}  // namespace
+
+Pomdp build_recovery_pomdp(const Topology& topology, const TopologyModelConfig& config) {
+  const auto& hosts = topology.hosts_;
+  const auto& components = topology.components_;
+  const auto& paths = topology.paths_;
+  const auto& monitors = topology.monitors_;
+
+  if (components.empty()) throw ModelError("build_recovery_pomdp: no components");
+  if (paths.empty()) throw ModelError("build_recovery_pomdp: no paths");
+  if (monitors.empty()) throw ModelError("build_recovery_pomdp: no monitors");
+  if (monitors.size() > 20) {
+    throw ModelError("build_recovery_pomdp: joint observation enumeration supports at "
+                     "most 20 monitors (|O| = 2^M)");
+  }
+  double traffic = 0.0;
+  for (const auto& path : paths) {
+    if (path.stages.empty()) {
+      throw ModelError("build_recovery_pomdp: path '" + path.name + "' has no stages");
+    }
+    traffic += path.traffic_fraction;
+  }
+  if (std::abs(traffic - 1.0) > 1e-9) {
+    throw ModelError("build_recovery_pomdp: traffic fractions sum to " +
+                     std::to_string(traffic) + " (expected 1)");
+  }
+
+  const std::size_t num_components = components.size();
+
+  // --- state enumeration ---
+  std::vector<StateInfo> states;
+  states.push_back({"Null", std::vector<bool>(num_components, false)});
+  std::vector<std::size_t> crash_index(num_components);
+  for (ComponentId c = 0; c < num_components; ++c) {
+    StateInfo info{crash_name(components[c].name), std::vector<bool>(num_components, false)};
+    info.faulty[c] = true;
+    crash_index[c] = states.size();
+    states.push_back(std::move(info));
+  }
+  std::vector<std::size_t> host_index(hosts.size(), kInvalidId);
+  if (config.include_host_faults) {
+    for (HostId h = 0; h < hosts.size(); ++h) {
+      StateInfo info{host_crash_name(hosts[h].name),
+                     std::vector<bool>(num_components, false)};
+      for (ComponentId c = 0; c < num_components; ++c) {
+        if (components[c].host == h) info.faulty[c] = true;
+      }
+      host_index[h] = states.size();
+      states.push_back(std::move(info));
+    }
+  }
+  std::vector<std::size_t> zombie_index(num_components, kInvalidId);
+  if (config.include_zombie_faults) {
+    for (ComponentId c = 0; c < num_components; ++c) {
+      StateInfo info{zombie_name(components[c].name),
+                     std::vector<bool>(num_components, false)};
+      info.faulty[c] = true;
+      zombie_index[c] = states.size();
+      states.push_back(std::move(info));
+    }
+  }
+
+  PomdpBuilder b;
+  for (const auto& info : states) {
+    b.add_state(info.name, -topology.drop_fraction(info.faulty));
+  }
+  b.mark_goal(0);
+
+  // --- actions ---
+  std::vector<ActionId> restart_actions(num_components);
+  for (ComponentId c = 0; c < num_components; ++c) {
+    restart_actions[c] =
+        b.add_action("Restart(" + components[c].name + ")", components[c].restart_duration);
+  }
+  std::vector<ActionId> reboot_actions;
+  if (config.include_host_faults) {
+    reboot_actions.resize(hosts.size());
+    for (HostId h = 0; h < hosts.size(); ++h) {
+      reboot_actions[h] = b.add_action("Reboot(" + hosts[h].name + ")",
+                                       hosts[h].reboot_duration);
+    }
+  }
+  const ActionId observe_action = b.add_action("Observe", config.observe_duration);
+
+  // Components made unavailable while each action runs.
+  const std::size_t num_actions = b.num_actions();
+  std::vector<std::vector<bool>> action_down(num_actions,
+                                             std::vector<bool>(num_components, false));
+  for (ComponentId c = 0; c < num_components; ++c) action_down[restart_actions[c]][c] = true;
+  if (config.include_host_faults) {
+    for (HostId h = 0; h < hosts.size(); ++h) {
+      for (ComponentId c = 0; c < num_components; ++c) {
+        if (components[c].host == h) action_down[reboot_actions[h]][c] = true;
+      }
+    }
+  }
+
+  // --- transitions: which state does each (state, action) lead to? ---
+  auto next_state = [&](std::size_t s, ActionId a) -> std::size_t {
+    if (s == 0) return 0;  // Null is unaffected by any action
+    // Crash of a component: fixed by its restart or its host's reboot.
+    for (ComponentId c = 0; c < num_components; ++c) {
+      if (s == crash_index[c] || (config.include_zombie_faults && s == zombie_index[c])) {
+        if (a == restart_actions[c]) return 0;
+        if (config.include_host_faults && a == reboot_actions[components[c].host]) return 0;
+        return s;
+      }
+    }
+    if (config.include_host_faults) {
+      for (HostId h = 0; h < hosts.size(); ++h) {
+        if (s == host_index[h]) {
+          // Only a reboot of the crashed host helps; restarting components
+          // on a dead host does nothing.
+          return a == reboot_actions[h] ? 0 : s;
+        }
+      }
+    }
+    return s;
+  };
+
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    for (ActionId a = 0; a < num_actions; ++a) {
+      b.set_transition(s, a, next_state(s, a), 1.0);
+      // Cost rate while the action runs: the fault's drop fraction plus the
+      // components the action itself takes down.
+      std::vector<bool> effective = states[s].faulty;
+      for (ComponentId c = 0; c < num_components; ++c) {
+        if (action_down[a][c]) effective[c] = true;
+      }
+      b.set_rate_reward(s, a, -topology.drop_fraction(effective));
+      if (a == observe_action && config.observe_impulse_cost > 0.0) {
+        b.set_impulse_reward(s, a, -config.observe_impulse_cost);
+      }
+    }
+  }
+
+  // --- observations: joint outcome of all monitors ---
+  const std::size_t num_obs = std::size_t{1} << monitors.size();
+  for (std::size_t bits = 0; bits < num_obs; ++bits) {
+    std::string name = "obs[";
+    for (std::size_t m = 0; m < monitors.size(); ++m) {
+      name += (bits >> m) & 1 ? '1' : '0';
+    }
+    name += ']';
+    b.add_observation(name);
+  }
+
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    // Per-monitor failure-reading probability in this state.
+    std::vector<double> fail(monitors.size());
+    for (std::size_t m = 0; m < monitors.size(); ++m) {
+      const auto& monitor = monitors[m];
+      if (monitor.kind == Topology::MonitorKind::Ping) {
+        const ComponentId c = monitor.target;
+        const bool ping_dead =
+            s == crash_index[c] ||
+            (config.include_host_faults && host_index[components[c].host] != kInvalidId &&
+             s == host_index[components[c].host]);
+        // Zombies answer pings, so only real crashes are covered.
+        fail[m] = ping_dead ? monitor.coverage : monitor.false_positive;
+      } else {
+        const double hit = topology.path_hit_probability(monitor.target, states[s].faulty);
+        fail[m] = hit * monitor.coverage + (1.0 - hit) * monitor.false_positive;
+      }
+    }
+
+    // Enumerate joint outcomes with pruning, then renormalise the row.
+    std::vector<std::pair<std::size_t, double>> row;
+    std::vector<std::pair<std::size_t, double>> frontier{{0, 1.0}};
+    for (std::size_t m = 0; m < monitors.size(); ++m) {
+      std::vector<std::pair<std::size_t, double>> next;
+      next.reserve(frontier.size() * 2);
+      for (const auto& [bits, prob] : frontier) {
+        const double p_fail = prob * fail[m];
+        const double p_ok = prob * (1.0 - fail[m]);
+        if (p_fail > config.observation_floor) {
+          next.emplace_back(bits | (std::size_t{1} << m), p_fail);
+        }
+        if (p_ok > config.observation_floor) next.emplace_back(bits, p_ok);
+      }
+      frontier = std::move(next);
+    }
+    row = std::move(frontier);
+    if (row.empty()) {
+      throw ModelError("build_recovery_pomdp: observation row pruned to nothing for "
+                       "state '" + states[s].name + "' (floor too aggressive)");
+    }
+    double total = 0.0;
+    for (const auto& entry : row) total += entry.second;
+    for (const auto& [bits, prob] : row) {
+      b.set_observation_all_actions(s, bits, prob / total);
+    }
+  }
+
+  return b.build();
+}
+
+TopologyIds resolve_topology_ids(const Pomdp& pomdp, const Topology& topology) {
+  const Mdp& mdp = pomdp.mdp();
+  TopologyIds ids;
+  ids.null_state = mdp.find_state("Null");
+  RD_EXPECTS(ids.null_state != kInvalidId, "resolve_topology_ids: not a topology model");
+  for (ComponentId c = 0; c < topology.num_components(); ++c) {
+    ids.crash_states.push_back(mdp.find_state(crash_name(topology.component_name(c))));
+    const StateId zombie = mdp.find_state(zombie_name(topology.component_name(c)));
+    if (zombie != kInvalidId) ids.zombie_states.push_back(zombie);
+    ids.restart_actions.push_back(
+        mdp.find_action("Restart(" + topology.component_name(c) + ")"));
+  }
+  for (HostId h = 0; h < topology.num_hosts(); ++h) {
+    const StateId crash = mdp.find_state(host_crash_name(topology.host_name(h)));
+    if (crash != kInvalidId) ids.host_states.push_back(crash);
+    const ActionId reboot = mdp.find_action("Reboot(" + topology.host_name(h) + ")");
+    if (reboot != kInvalidId) ids.reboot_actions.push_back(reboot);
+  }
+  ids.observe_action = mdp.find_action("Observe");
+  return ids;
+}
+
+}  // namespace recoverd::models

@@ -1,0 +1,155 @@
+// Generic distributed-system topology DSL.
+//
+// Describes a system the way §5 describes the EMN deployment: hosts running
+// components, request paths flowing through alternative components with
+// routing weights, and two monitor families — component (ping) monitors and
+// end-to-end path monitors. build_recovery_pomdp() compiles the description
+// into the recovery POMDP of §2/§5:
+//
+//  states       null fault, crash(c), crash(h), zombie(c)
+//  actions      restart(c), reboot(h), observe
+//  observations the joint outcome bit-vector of all monitors (|O| = 2^M)
+//  rewards      rate = −(fraction of requests dropped), where a request is
+//               dropped when its sampled route crosses a faulty component or
+//               one made unavailable by the in-flight recovery action
+//
+// Fault semantics: crashes are detected by ping monitors (with coverage /
+// false-positive noise); zombies answer pings but corrupt requests, so only
+// the path monitors can (statistically) see them — and cannot localise them,
+// because routing picks alternatives by chance. This is exactly the
+// diagnosability gap the paper's controllers must handle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd::models {
+
+using HostId = std::size_t;
+using ComponentId = std::size_t;
+using PathId = std::size_t;
+using MonitorId = std::size_t;
+
+/// System description. Populate, then compile with build_recovery_pomdp().
+class Topology {
+ public:
+  /// Adds a host; `reboot_duration` is the reboot action's execution time.
+  HostId add_host(std::string name, double reboot_duration);
+
+  /// Adds a component running on `host`; `restart_duration` is its restart
+  /// action's execution time.
+  ComponentId add_component(std::string name, HostId host, double restart_duration);
+
+  /// Adds a request path carrying `traffic_fraction` of the load (fractions
+  /// across paths must sum to 1 at build time). Stages are added in order
+  /// with add_path_stage().
+  PathId add_path(std::string name, double traffic_fraction);
+
+  /// Appends one stage to a path: the request passes through exactly one of
+  /// the alternatives, chosen with probability proportional to its weight.
+  void add_path_stage(PathId path,
+                      std::vector<std::pair<ComponentId, double>> alternatives);
+
+  /// Ping monitor on one component: detects crashes with probability
+  /// `coverage`, reports a spurious failure with probability
+  /// `false_positive`; zombies always ping OK (modulo false positives).
+  MonitorId add_ping_monitor(std::string name, ComponentId target, double coverage,
+                             double false_positive);
+
+  /// End-to-end path monitor: sends one probe down the path (sampling stage
+  /// alternatives by weight); a probe crossing any faulty component is
+  /// detected with probability `coverage`; otherwise a false alarm fires
+  /// with probability `false_positive`.
+  MonitorId add_path_monitor(std::string name, PathId path, double coverage,
+                             double false_positive);
+
+  std::size_t num_hosts() const { return hosts_.size(); }
+  std::size_t num_components() const { return components_.size(); }
+  std::size_t num_paths() const { return paths_.size(); }
+  std::size_t num_monitors() const { return monitors_.size(); }
+
+  const std::string& host_name(HostId h) const;
+  const std::string& component_name(ComponentId c) const;
+  HostId component_host(ComponentId c) const;
+
+  /// Fraction of requests dropped when exactly the components in
+  /// `faulty` (a bitmask by ComponentId) are unable to serve.
+  double drop_fraction(const std::vector<bool>& faulty) const;
+
+  /// Probability that a single probe of `path` crosses a faulty component.
+  double path_hit_probability(PathId path, const std::vector<bool>& faulty) const;
+
+ private:
+  friend Pomdp build_recovery_pomdp(const Topology&, const struct TopologyModelConfig&);
+
+  struct Host {
+    std::string name;
+    double reboot_duration;
+  };
+  struct Component {
+    std::string name;
+    HostId host;
+    double restart_duration;
+  };
+  struct Stage {
+    std::vector<std::pair<ComponentId, double>> alternatives;  // weights normalised lazily
+  };
+  struct Path {
+    std::string name;
+    double traffic_fraction;
+    std::vector<Stage> stages;
+  };
+  enum class MonitorKind { Ping, PathProbe };
+  struct Monitor {
+    std::string name;
+    MonitorKind kind;
+    std::size_t target;  // ComponentId or PathId
+    double coverage;
+    double false_positive;
+  };
+
+  std::vector<Host> hosts_;
+  std::vector<Component> components_;
+  std::vector<Path> paths_;
+  std::vector<Monitor> monitors_;
+};
+
+/// Compilation options.
+struct TopologyModelConfig {
+  double observe_duration = 5.0;    ///< monitors' execution time, seconds
+  /// Fixed cost of one monitor sweep, in request-seconds (path probes are
+  /// real requests and pings consume capacity). A strictly positive value
+  /// satisfies Property 1(a)'s "no free actions" assumption and gives the
+  /// bounded controller a principled termination point.
+  double observe_impulse_cost = 0.0;
+  bool include_zombie_faults = true;
+  bool include_host_faults = true;
+  /// Joint observations with probability below this are dropped and the row
+  /// renormalised (keeps |O| rows sparse for many-monitor systems).
+  double observation_floor = 1e-12;
+};
+
+/// Well-known ids of the compiled model.
+struct TopologyIds {
+  StateId null_state = kInvalidId;
+  std::vector<StateId> crash_states;   ///< by ComponentId
+  std::vector<StateId> host_states;    ///< by HostId (empty if disabled)
+  std::vector<StateId> zombie_states;  ///< by ComponentId (empty if disabled)
+  std::vector<ActionId> restart_actions;  ///< by ComponentId
+  std::vector<ActionId> reboot_actions;   ///< by HostId (empty if disabled)
+  ActionId observe_action = kInvalidId;
+};
+
+/// Compiles the topology into the recovery POMDP (untransformed: apply
+/// with_recovery_notification or add_termination afterwards as appropriate).
+/// Throws ModelError on inconsistent descriptions (traffic fractions not
+/// summing to 1, empty paths, too many monitors for joint enumeration, ...).
+Pomdp build_recovery_pomdp(const Topology& topology,
+                           const TopologyModelConfig& config = {});
+
+/// Resolves the well-known ids in a compiled model (by name lookup).
+TopologyIds resolve_topology_ids(const Pomdp& pomdp, const Topology& topology);
+
+}  // namespace recoverd::models

@@ -1,0 +1,94 @@
+#include "models/two_server.hpp"
+
+#include "pomdp/transforms.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::models {
+
+Pomdp make_two_server(const TwoServerParams& params) {
+  RD_EXPECTS(params.coverage >= 0.0 && params.coverage <= 1.0,
+             "two_server: coverage must lie in [0,1]");
+  RD_EXPECTS(params.false_positive >= 0.0 && params.false_positive <= 0.5,
+             "two_server: false positive must lie in [0,0.5]");
+  RD_EXPECTS(params.action_duration > 0.0, "two_server: duration must be positive");
+  RD_EXPECTS(params.per_server_load > 0.0, "two_server: load must be positive");
+
+  const double load = params.per_server_load;
+
+  PomdpBuilder b;
+  const StateId null_state = b.add_state("Null", 0.0);
+  const StateId fault_a = b.add_state("Fault(a)", -load);
+  const StateId fault_b = b.add_state("Fault(b)", -load);
+  b.mark_goal(null_state);
+
+  const ActionId restart_a = b.add_action("Restart(a)", params.action_duration);
+  const ActionId restart_b = b.add_action("Restart(b)", params.action_duration);
+  const ActionId observe = b.add_action("Observe", params.action_duration);
+
+  // Transitions: the correct restart recovers deterministically; everything
+  // else leaves the state unchanged.
+  b.set_transition(fault_a, restart_a, null_state, 1.0);
+  b.set_transition(fault_a, restart_b, fault_a, 1.0);
+  b.set_transition(fault_a, observe, fault_a, 1.0);
+  b.set_transition(fault_b, restart_b, null_state, 1.0);
+  b.set_transition(fault_b, restart_a, fault_b, 1.0);
+  b.set_transition(fault_b, observe, fault_b, 1.0);
+  for (ActionId a : {restart_a, restart_b, observe}) {
+    b.set_transition(null_state, a, null_state, 1.0);
+  }
+
+  // Rate rewards. Default is the ambient fault rate; restarting a server
+  // additionally takes its half of the load down for the duration.
+  b.set_rate_reward(fault_a, restart_a, -load);        // -0.5: fault(a)'s load lost
+  b.set_rate_reward(fault_a, restart_b, -2.0 * load);  // -1.0: fault + healthy b down
+  b.set_rate_reward(fault_b, restart_b, -load);
+  b.set_rate_reward(fault_b, restart_a, -2.0 * load);
+  b.set_rate_reward(null_state, restart_a, -load);     // -0.5: healthy server down
+  b.set_rate_reward(null_state, restart_b, -load);
+  // Observe keeps the ambient rates (0 in Null, -load in fault states).
+
+  // Monitor observations, identical after every action.
+  const ObsId alarm_a = b.add_observation("alarm(a)");
+  const ObsId alarm_b = b.add_observation("alarm(b)");
+  const ObsId clear = b.add_observation("clear");
+
+  const double c = params.coverage;
+  const double f = params.false_positive;
+  b.set_observation_all_actions(fault_a, alarm_a, c);
+  b.set_observation_all_actions(fault_a, clear, 1.0 - c);
+  b.set_observation_all_actions(fault_b, alarm_b, c);
+  b.set_observation_all_actions(fault_b, clear, 1.0 - c);
+  b.set_observation_all_actions(null_state, alarm_a, f);
+  b.set_observation_all_actions(null_state, alarm_b, f);
+  b.set_observation_all_actions(null_state, clear, 1.0 - 2.0 * f);
+
+  return b.build();
+}
+
+Pomdp make_two_server_with_notification(const TwoServerParams& params) {
+  return with_recovery_notification(make_two_server(params));
+}
+
+Pomdp make_two_server_without_notification(double t_op, const TwoServerParams& params) {
+  return add_termination(make_two_server(params), t_op);
+}
+
+TwoServerIds two_server_ids(const Pomdp& pomdp) {
+  const Mdp& mdp = pomdp.mdp();
+  TwoServerIds ids{};
+  ids.null_state = mdp.find_state("Null");
+  ids.fault_a = mdp.find_state("Fault(a)");
+  ids.fault_b = mdp.find_state("Fault(b)");
+  ids.restart_a = mdp.find_action("Restart(a)");
+  ids.restart_b = mdp.find_action("Restart(b)");
+  ids.observe = mdp.find_action("Observe");
+  ids.alarm_a = pomdp.find_observation("alarm(a)");
+  ids.alarm_b = pomdp.find_observation("alarm(b)");
+  ids.clear = pomdp.find_observation("clear");
+  RD_ENSURES(ids.null_state != kInvalidId && ids.fault_a != kInvalidId &&
+                 ids.fault_b != kInvalidId,
+             "two_server_ids: model is not a two-server model");
+  return ids;
+}
+
+}  // namespace recoverd::models

@@ -1,0 +1,61 @@
+// The paper's running example (Fig. 1(a) / Fig. 2): two redundant servers a
+// and b, each serving half the request load.
+//
+// States:   Null (no fault), Fault(a), Fault(b).
+// Actions:  Restart(a), Restart(b), Observe — all of unit duration.
+//           Restarting the faulty server recovers with probability 1 at cost
+//           0.5 (the fault keeps dropping its half of the load during the
+//           restart); restarting the healthy one costs an extra 0.5 of
+//           availability, for −1 total in a fault state and −0.5 in Null;
+//           Observe costs the ambient fault rate (−0.5 in fault states, 0 in
+//           Null).
+// Monitors: one noisy failure detector emitting "alarm(a)", "alarm(b)", or
+//           "clear" after every action, with configurable coverage and
+//           false-positive probability.
+#pragma once
+
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd::models {
+
+struct TwoServerParams {
+  /// P(monitor raises the right alarm | that server is faulty).
+  double coverage = 0.9;
+  /// P(monitor raises a given spurious alarm | system in Null).
+  double false_positive = 0.05;
+  /// Duration of every action, seconds (the paper uses unit time).
+  double action_duration = 1.0;
+  /// Per-unit-time cost of one server's lost load.
+  double per_server_load = 0.5;
+};
+
+/// Observation/state/action names used by the model (also usable as lookup
+/// keys through Mdp::find_state / Mdp::find_action / Pomdp::find_observation).
+struct TwoServerIds {
+  StateId null_state;
+  StateId fault_a;
+  StateId fault_b;
+  ActionId restart_a;
+  ActionId restart_b;
+  ActionId observe;
+  ObsId alarm_a;
+  ObsId alarm_b;
+  ObsId clear;
+};
+
+/// The untransformed recovery model of Fig. 1(a).
+Pomdp make_two_server(const TwoServerParams& params = {});
+
+/// Fig. 2(a): the same model under the recovery-notification transform
+/// (Null absorbing with zero reward).
+Pomdp make_two_server_with_notification(const TwoServerParams& params = {});
+
+/// Fig. 2(b): the same model under the terminate transform with operator
+/// response time `t_op`.
+Pomdp make_two_server_without_notification(double t_op,
+                                           const TwoServerParams& params = {});
+
+/// Resolves the well-known ids in any of the three variants above.
+TwoServerIds two_server_ids(const Pomdp& pomdp);
+
+}  // namespace recoverd::models

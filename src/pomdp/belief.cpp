@@ -1,0 +1,144 @@
+#include "pomdp/belief.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace recoverd {
+
+Belief Belief::uniform(std::size_t n) {
+  RD_EXPECTS(n > 0, "Belief::uniform: dimension must be positive");
+  return Belief(std::vector<double>(n, 1.0 / static_cast<double>(n)));
+}
+
+Belief Belief::uniform_over(std::size_t n, std::span<const StateId> support) {
+  RD_EXPECTS(!support.empty(), "Belief::uniform_over: support must be non-empty");
+  std::vector<double> pi(n, 0.0);
+  for (StateId s : support) {
+    RD_EXPECTS(s < n, "Belief::uniform_over: support state out of range");
+    pi[s] = 1.0;
+  }
+  return Belief(std::move(pi));
+}
+
+Belief Belief::point(std::size_t n, StateId s) {
+  RD_EXPECTS(s < n, "Belief::point: state out of range");
+  std::vector<double> pi(n, 0.0);
+  pi[s] = 1.0;
+  return Belief(std::move(pi));
+}
+
+Belief::Belief(std::vector<double> probabilities) : pi_(std::move(probabilities)) {
+  RD_EXPECTS(!pi_.empty(), "Belief: distribution must be non-empty");
+  for (double v : pi_) {
+    RD_EXPECTS(std::isfinite(v) && v >= 0.0, "Belief: entries must be finite and >= 0");
+  }
+  linalg::normalize_probability(pi_);
+}
+
+StateId Belief::most_likely() const {
+  return static_cast<StateId>(std::max_element(pi_.begin(), pi_.end()) - pi_.begin());
+}
+
+double Belief::entropy() const {
+  double h = 0.0;
+  for (double p : pi_) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+double Belief::distance(const Belief& other) const {
+  return linalg::max_abs_diff(pi_, other.pi_);
+}
+
+std::vector<double> predict_state_distribution(const Pomdp& pomdp, const Belief& belief,
+                                               ActionId action) {
+  RD_EXPECTS(belief.size() == pomdp.num_states(),
+             "predict_state_distribution: belief dimension mismatch");
+  RD_EXPECTS(action < pomdp.num_actions(),
+             "predict_state_distribution: action out of range");
+  // pred = πᵀ P(a): propagate belief mass along transition rows.
+  return pomdp.mdp().transition(action).multiply_transpose(belief.probabilities());
+}
+
+double observation_likelihood(const Pomdp& pomdp, const Belief& belief, ActionId action,
+                              ObsId obs) {
+  RD_EXPECTS(obs < pomdp.num_observations(),
+             "observation_likelihood: observation out of range");
+  const auto pred = predict_state_distribution(pomdp, belief, action);
+  const auto& q = pomdp.observation(action);
+  double gamma = 0.0;
+  for (StateId s = 0; s < pred.size(); ++s) {
+    if (pred[s] > 0.0) gamma += q.at(s, obs) * pred[s];
+  }
+  return gamma;
+}
+
+std::optional<BeliefUpdate> update_belief(const Pomdp& pomdp, const Belief& belief,
+                                          ActionId action, ObsId obs) {
+  RD_EXPECTS(obs < pomdp.num_observations(), "update_belief: observation out of range");
+  const auto pred = predict_state_distribution(pomdp, belief, action);
+  const auto& q = pomdp.observation(action);
+  std::vector<double> unnormalized(pred.size(), 0.0);
+  double gamma = 0.0;
+  for (StateId s = 0; s < pred.size(); ++s) {
+    if (pred[s] <= 0.0) continue;
+    const double w = q.at(s, obs) * pred[s];
+    unnormalized[s] = w;
+    gamma += w;
+  }
+  if (gamma <= 0.0) return std::nullopt;
+  for (double& v : unnormalized) v /= gamma;
+  return BeliefUpdate{Belief(std::move(unnormalized)), gamma};
+}
+
+std::vector<ObservationBranch> belief_successors(const Pomdp& pomdp, const Belief& belief,
+                                                 ActionId action,
+                                                 double min_probability) {
+  const auto pred = predict_state_distribution(pomdp, belief, action);
+  const auto& q = pomdp.observation(action);
+  const std::size_t num_obs = pomdp.num_observations();
+  const std::size_t num_states = pred.size();
+
+  // Two sparse passes over q's rows (the hot path of the Max-Avg tree):
+  // pass 1 accumulates the per-observation likelihoods γ; pass 2 scatters
+  // posterior mass only into the observations that survive the floor, so a
+  // wide observation alphabet with mostly negligible outcomes costs no
+  // posterior allocations.
+  std::vector<double> weight(num_obs, 0.0);
+  for (StateId s = 0; s < num_states; ++s) {
+    if (pred[s] <= 0.0) continue;
+    for (const auto& e : q.row(s)) weight[e.col] += e.value * pred[s];
+  }
+
+  constexpr std::size_t kSkip = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> branch_of(num_obs, kSkip);
+  std::vector<ObsId> kept;
+  for (ObsId o = 0; o < num_obs; ++o) {
+    if (weight[o] <= 0.0 || weight[o] < min_probability) continue;
+    branch_of[o] = kept.size();
+    kept.push_back(o);
+  }
+
+  std::vector<std::vector<double>> unnormalized(kept.size(),
+                                                std::vector<double>(num_states, 0.0));
+  for (StateId s = 0; s < num_states; ++s) {
+    if (pred[s] <= 0.0) continue;
+    for (const auto& e : q.row(s)) {
+      const std::size_t idx = branch_of[e.col];
+      if (idx != kSkip) unnormalized[idx][s] += e.value * pred[s];
+    }
+  }
+
+  std::vector<ObservationBranch> branches;
+  branches.reserve(kept.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    branches.push_back({kept[i], weight[kept[i]], Belief(std::move(unnormalized[i]))});
+  }
+  return branches;
+}
+
+}  // namespace recoverd

@@ -1,0 +1,85 @@
+// Belief states over the POMDP state space and the Bayes update of Eq. 3/4.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "pomdp/pomdp.hpp"
+#include "pomdp/types.hpp"
+
+namespace recoverd {
+
+/// A probability distribution π over states. Always normalised (sum 1).
+class Belief {
+ public:
+  /// Uniform belief over all `n` states.
+  static Belief uniform(std::size_t n);
+
+  /// Uniform belief over a subset of states (e.g. "all faults equally
+  /// likely" excludes the null state — §4 of the paper).
+  static Belief uniform_over(std::size_t n, std::span<const StateId> support);
+
+  /// Point-mass belief at state s.
+  static Belief point(std::size_t n, StateId s);
+
+  /// From an explicit distribution; normalised on construction.
+  /// Precondition: non-negative entries with a positive sum.
+  explicit Belief(std::vector<double> probabilities);
+
+  std::size_t size() const { return pi_.size(); }
+  double operator[](StateId s) const { return pi_[s]; }
+  std::span<const double> probabilities() const { return pi_; }
+
+  /// State with the highest probability (ties break to the lowest id).
+  StateId most_likely() const;
+
+  /// Shannon entropy in nats (0 for point masses).
+  double entropy() const;
+
+  /// Max-norm distance to another belief of the same dimension.
+  double distance(const Belief& other) const;
+
+ private:
+  std::vector<double> pi_;
+};
+
+/// Result of conditioning a belief on (action, observation).
+struct BeliefUpdate {
+  Belief next;        ///< π^{π,a,o} of Eq. 4
+  double likelihood;  ///< γ^{π,a}(o) of Eq. 3
+};
+
+/// Predicted (pre-observation) state distribution after action a:
+/// pred(s) = Σ_{s'} p(s|s', a) π(s').
+std::vector<double> predict_state_distribution(const Pomdp& pomdp, const Belief& belief,
+                                               ActionId action);
+
+/// γ^{π,a}(o) of Eq. 3.
+double observation_likelihood(const Pomdp& pomdp, const Belief& belief, ActionId action,
+                              ObsId obs);
+
+/// Bayes update (Eq. 4). Returns nullopt when the observation has zero
+/// likelihood under (π, a) — the caller observed something the model says is
+/// impossible (a model-mismatch signal the controller surfaces).
+std::optional<BeliefUpdate> update_belief(const Pomdp& pomdp, const Belief& belief,
+                                          ActionId action, ObsId obs);
+
+/// One reachable (observation, probability, posterior) branch of the
+/// Max-Avg tree (Fig. 1(b)).
+struct ObservationBranch {
+  ObsId obs;
+  double probability;  ///< γ^{π,a}(o) > 0
+  Belief posterior;
+};
+
+/// All observation branches with likelihood above `min_probability`,
+/// ordered by ObsId. With min_probability = 0 the probabilities sum to 1;
+/// a positive floor skips the (possibly many) negligible branches *before*
+/// constructing their posteriors — the hot-path knob behind the Max-Avg
+/// tree's branch pruning.
+std::vector<ObservationBranch> belief_successors(const Pomdp& pomdp, const Belief& belief,
+                                                 ActionId action,
+                                                 double min_probability = 0.0);
+
+}  // namespace recoverd

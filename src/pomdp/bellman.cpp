@@ -1,0 +1,115 @@
+#include "pomdp/bellman.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "linalg/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace recoverd {
+
+namespace {
+struct ExpandContext {
+  const Pomdp& pomdp;
+  const LeafEvaluator& leaf;
+  double beta;
+  ActionId skip_action;
+  double branch_floor;
+};
+
+// Future value of taking `a` at `belief`: β Σ_o γ(o) V_{d-1}(π^o), with
+// sub-floor branches pruned and the kept mass renormalised.
+double action_future_value(const ExpandContext& ctx, const Belief& belief, ActionId a,
+                           int depth);
+
+double expand(const ExpandContext& ctx, const Belief& belief, int depth) {
+  if (depth <= 0) return ctx.leaf(belief);
+  double best = -std::numeric_limits<double>::infinity();
+  for (ActionId a = 0; a < ctx.pomdp.num_actions(); ++a) {
+    if (a == ctx.skip_action) continue;
+    const double value =
+        linalg::dot(ctx.pomdp.mdp().rewards(a), belief.probabilities()) +
+        action_future_value(ctx, belief, a, depth);
+    best = std::max(best, value);
+  }
+  return best;
+}
+
+double action_future_value(const ExpandContext& ctx, const Belief& belief, ActionId a,
+                           int depth) {
+  double value = 0.0;
+  double kept_mass = 0.0;
+  for (const auto& branch :
+       belief_successors(ctx.pomdp, belief, a, ctx.branch_floor)) {
+    kept_mass += branch.probability;
+    value += ctx.beta * branch.probability *
+             expand(ctx, branch.posterior, depth - 1);
+  }
+  if (kept_mass <= 0.0) return 0.0;  // everything pruned: treat future as the floor 0
+  return value / kept_mass;
+}
+}  // namespace
+
+double bellman_value(const Pomdp& pomdp, const Belief& belief, int depth,
+                     const LeafEvaluator& leaf, double beta, ActionId skip_action,
+                     double branch_floor) {
+  RD_EXPECTS(depth >= 0, "bellman_value: depth must be >= 0");
+  RD_EXPECTS(beta >= 0.0 && beta <= 1.0, "bellman_value: beta must lie in [0,1]");
+  RD_EXPECTS(static_cast<bool>(leaf), "bellman_value: leaf evaluator required");
+  RD_EXPECTS(belief.size() == pomdp.num_states(), "bellman_value: belief dimension mismatch");
+  RD_EXPECTS(skip_action == kInvalidId || pomdp.num_actions() > 1,
+             "bellman_value: cannot mask the only action");
+  RD_EXPECTS(branch_floor >= 0.0 && branch_floor < 1.0,
+             "bellman_value: branch floor must lie in [0,1)");
+  const ExpandContext ctx{pomdp, leaf, beta, skip_action, branch_floor};
+  return expand(ctx, belief, depth);
+}
+
+std::vector<ActionValue> bellman_action_values(const Pomdp& pomdp, const Belief& belief,
+                                               int depth, const LeafEvaluator& leaf,
+                                               double beta, ActionId skip_action,
+                                               double branch_floor) {
+  RD_EXPECTS(depth >= 1, "bellman_action_values: depth must be >= 1");
+  RD_EXPECTS(beta >= 0.0 && beta <= 1.0, "bellman_action_values: beta must lie in [0,1]");
+  RD_EXPECTS(static_cast<bool>(leaf), "bellman_action_values: leaf evaluator required");
+  RD_EXPECTS(belief.size() == pomdp.num_states(),
+             "bellman_action_values: belief dimension mismatch");
+  RD_EXPECTS(branch_floor >= 0.0 && branch_floor < 1.0,
+             "bellman_action_values: branch floor must lie in [0,1)");
+
+  const ExpandContext ctx{pomdp, leaf, beta, skip_action, branch_floor};
+  std::vector<ActionValue> out;
+  out.reserve(pomdp.num_actions());
+  for (ActionId a = 0; a < pomdp.num_actions(); ++a) {
+    if (a == skip_action) {
+      out.push_back({a, -std::numeric_limits<double>::infinity()});
+      continue;
+    }
+    const double value = linalg::dot(pomdp.mdp().rewards(a), belief.probabilities()) +
+                         action_future_value(ctx, belief, a, depth);
+    out.push_back({a, value});
+  }
+  return out;
+}
+
+ActionValue bellman_best_action(const Pomdp& pomdp, const Belief& belief, int depth,
+                                const LeafEvaluator& leaf, double beta,
+                                ActionId skip_action, double branch_floor) {
+  const auto values =
+      bellman_action_values(pomdp, belief, depth, leaf, beta, skip_action, branch_floor);
+  RD_EXPECTS(skip_action != 0 || values.size() > 1,
+             "bellman_best_action: cannot mask the only action");
+  ActionValue best = skip_action == 0 ? values[1] : values.front();
+  for (const auto& av : values) {
+    if (av.action == skip_action) continue;
+    if (av.value > best.value) best = av;
+  }
+  return best;
+}
+
+double apply_lp(const Pomdp& pomdp, const Belief& belief, const LeafEvaluator& leaf,
+                double beta) {
+  return bellman_value(pomdp, belief, 1, leaf, beta);
+}
+
+}  // namespace recoverd

@@ -1,0 +1,64 @@
+// Finite-depth expansion of the belief-state Bellman recursion (Eq. 2) —
+// the Max-Avg tree of Fig. 1(b).
+//
+// The same expansion serves three masters:
+//  - the online controllers (choose the root action that maximises the
+//    depth-d value with a bound/heuristic at the leaves),
+//  - the bounds module (the operator L_p, i.e. depth-1 expansion, used to
+//    verify the V ≤ L_p V property of Property 1(b)),
+//  - the tests' exact finite-horizon oracle (leaf value 0, large depth).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "pomdp/belief.hpp"
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd {
+
+/// Evaluates the value assigned to a leaf belief of the recursion tree.
+using LeafEvaluator = std::function<double(const Belief&)>;
+
+/// Value of one root action after a depth-d expansion.
+struct ActionValue {
+  ActionId action = kInvalidId;
+  double value = 0.0;
+};
+
+/// Depth-d Bellman value:
+///   V_d(π) = max_a [ π·r(a) + β Σ_o γ^{π,a}(o) V_{d−1}(π^{π,a,o}) ],
+///   V_0(π) = leaf(π).
+/// `depth` ≥ 0; depth 0 returns leaf(π) directly. `skip_action` masks one
+/// action out of every max (used by threshold controllers that must ignore
+/// a terminate action present in the model); kInvalidId disables masking.
+/// `branch_floor` prunes observation branches with probability below the
+/// floor and renormalises the rest — the standard sparse-tree approximation
+/// for models with large joint-observation alphabets (e.g. the EMN model's
+/// 2^7 monitor outcomes); 0 keeps the expansion exact.
+double bellman_value(const Pomdp& pomdp, const Belief& belief, int depth,
+                     const LeafEvaluator& leaf, double beta = 1.0,
+                     ActionId skip_action = kInvalidId, double branch_floor = 0.0);
+
+/// Values of every action at the root of a depth-d expansion (depth ≥ 1).
+/// Element i corresponds to action i; a masked action gets value -inf.
+std::vector<ActionValue> bellman_action_values(const Pomdp& pomdp, const Belief& belief,
+                                               int depth, const LeafEvaluator& leaf,
+                                               double beta = 1.0,
+                                               ActionId skip_action = kInvalidId,
+                                               double branch_floor = 0.0);
+
+/// The maximising root action (ties break to the lowest ActionId, which
+/// gives deterministic controllers). Precondition: depth ≥ 1.
+ActionValue bellman_best_action(const Pomdp& pomdp, const Belief& belief, int depth,
+                                const LeafEvaluator& leaf, double beta = 1.0,
+                                ActionId skip_action = kInvalidId,
+                                double branch_floor = 0.0);
+
+/// One application of the operator L_p of Eq. 2 to the function represented
+/// by `leaf` at belief π (identical to bellman_value with depth 1; named for
+/// readability at call sites that check V ≤ L_p V).
+double apply_lp(const Pomdp& pomdp, const Belief& belief, const LeafEvaluator& leaf,
+                double beta = 1.0);
+
+}  // namespace recoverd

@@ -1,0 +1,118 @@
+#include "pomdp/conditions.hpp"
+
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace recoverd {
+
+namespace {
+// Marks every state that can reach a state in `targets` in the union graph
+// by BFS on reversed edges from the target set.
+std::vector<bool> can_reach(const Mdp& mdp, const std::vector<StateId>& targets) {
+  const std::size_t n = mdp.num_states();
+  // Reverse adjacency of the union of per-action graphs.
+  std::vector<std::vector<StateId>> reverse(n);
+  for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+    const auto& t = mdp.transition(a);
+    for (StateId s = 0; s < n; ++s) {
+      for (const auto& e : t.row(s)) {
+        if (e.value > 0.0 && e.col != s) reverse[e.col].push_back(s);
+      }
+    }
+  }
+  std::vector<bool> reach(n, false);
+  std::queue<StateId> frontier;
+  for (StateId g : targets) {
+    reach[g] = true;
+    frontier.push(g);
+  }
+  while (!frontier.empty()) {
+    const StateId v = frontier.front();
+    frontier.pop();
+    for (StateId u : reverse[v]) {
+      if (!reach[u]) {
+        reach[u] = true;
+        frontier.push(u);
+      }
+    }
+  }
+  return reach;
+}
+}  // namespace
+
+namespace {
+ConditionReport condition1_with_targets(const Mdp& mdp,
+                                        const std::vector<StateId>& targets) {
+  if (mdp.goal_states().empty()) {
+    return {false, "Condition 1 violated: the null-fault set Sphi is empty"};
+  }
+  const auto reach = can_reach(mdp, targets);
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    if (!reach[s]) {
+      return {false, "Condition 1 violated: no action sequence recovers from state '" +
+                         mdp.state_name(s) + "'"};
+    }
+  }
+  return {true, ""};
+}
+}  // namespace
+
+ConditionReport check_condition1(const Mdp& mdp) {
+  const std::vector<StateId> targets(mdp.goal_states().begin(), mdp.goal_states().end());
+  return condition1_with_targets(mdp, targets);
+}
+
+ConditionReport check_condition1(const Pomdp& pomdp) {
+  const Mdp& mdp = pomdp.mdp();
+  std::vector<StateId> targets(mdp.goal_states().begin(), mdp.goal_states().end());
+  if (pomdp.has_terminate_action()) targets.push_back(pomdp.terminate_state());
+  return condition1_with_targets(mdp, targets);
+}
+
+ConditionReport check_condition2(const Mdp& mdp) {
+  for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+    for (StateId s = 0; s < mdp.num_states(); ++s) {
+      if (mdp.reward(s, a) > 0.0) {
+        return {false, "Condition 2 violated: r('" + mdp.state_name(s) + "', '" +
+                           mdp.action_name(a) + "') = " +
+                           std::to_string(mdp.reward(s, a)) + " > 0"};
+      }
+    }
+  }
+  return {true, ""};
+}
+
+std::vector<StateId> unrecoverable_states(const Mdp& mdp) {
+  const std::vector<StateId> targets(mdp.goal_states().begin(), mdp.goal_states().end());
+  const auto reach = can_reach(mdp, targets);
+  std::vector<StateId> bad;
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    if (!reach[s]) bad.push_back(s);
+  }
+  return bad;
+}
+
+bool detect_recovery_notification(const Pomdp& pomdp) {
+  const Mdp& mdp = pomdp.mdp();
+  if (mdp.goal_states().empty()) return false;
+  // Observations reachable (positive probability) from goal / non-goal
+  // states across all actions must not overlap.
+  std::vector<bool> from_goal(pomdp.num_observations(), false);
+  std::vector<bool> from_fault(pomdp.num_observations(), false);
+  for (ActionId a = 0; a < pomdp.num_actions(); ++a) {
+    const auto& q = pomdp.observation(a);
+    for (StateId s = 0; s < mdp.num_states(); ++s) {
+      auto& mark = mdp.is_goal(s) ? from_goal : from_fault;
+      for (const auto& e : q.row(s)) {
+        if (e.value > 0.0) mark[e.col] = true;
+      }
+    }
+  }
+  for (ObsId o = 0; o < pomdp.num_observations(); ++o) {
+    if (from_goal[o] && from_fault[o]) return false;
+  }
+  return true;
+}
+
+}  // namespace recoverd

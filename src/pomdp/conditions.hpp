@@ -1,0 +1,48 @@
+// Checkers for the paper's recovery-model conditions (§3.1) and the
+// recovery-notification property.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pomdp/mdp.hpp"
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd {
+
+/// Result of a condition check, with a human-readable explanation of the
+/// first violation found (empty when satisfied).
+struct ConditionReport {
+  bool satisfied = false;
+  std::string detail;
+};
+
+/// Condition 1: the model has a non-empty null-fault set Sφ, and from every
+/// state some state in Sφ is reachable under *some* sequence of actions
+/// (reachability in the union of the per-action transition graphs).
+ConditionReport check_condition1(const Mdp& mdp);
+
+/// Condition 1 on a (possibly terminate-transformed) POMDP: the absorbing
+/// terminated state sT introduced by add_termination is — by construction —
+/// an acceptable sink, so it is treated as if it were in Sφ for the
+/// reachability check.
+ConditionReport check_condition1(const Pomdp& pomdp);
+
+/// Condition 2: every single-step reward is non-positive. (MdpBuilder
+/// already enforces this at construction; the checker exists for models
+/// produced by transforms or deserialisation.)
+ConditionReport check_condition2(const Mdp& mdp);
+
+/// States from which no goal state is reachable (diagnostic companion to
+/// check_condition1; empty iff Condition 1's reachability part holds).
+std::vector<StateId> unrecoverable_states(const Mdp& mdp);
+
+/// Conservative recovery-notification detector (§3.1 suggests this is
+/// derivable from q; the paper leaves it to future work — we implement the
+/// sufficient condition): the system has recovery notification when the set
+/// of observations emitted with positive probability from goal states is
+/// disjoint from the set emitted from non-goal states, for every action.
+/// Then "the monitors say recovered" identifies membership of Sφ exactly.
+bool detect_recovery_notification(const Pomdp& pomdp);
+
+}  // namespace recoverd

@@ -1,0 +1,135 @@
+#include "pomdp/exact_solver.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <limits>
+
+#include "linalg/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace recoverd {
+
+namespace {
+
+// g_{a,o,α}(s) = Σ_{s'} p(s'|s,a)·q(o|s',a)·α(s'): the contribution of
+// observation o under action a if the future follows α.
+std::vector<AlphaVector> back_project(const Pomdp& pomdp, ActionId a, ObsId o,
+                                      const std::vector<AlphaVector>& gamma) {
+  const std::size_t n = pomdp.num_states();
+  const auto& t = pomdp.mdp().transition(a);
+  const auto& q = pomdp.observation(a);
+
+  // Weight each α by q(o|s',a) once, then push through P(a).
+  std::vector<AlphaVector> out;
+  out.reserve(gamma.size());
+  for (const auto& alpha : gamma) {
+    AlphaVector weighted(n, 0.0);
+    for (StateId sp = 0; sp < n; ++sp) {
+      const double qv = q.at(sp, o);
+      if (qv > 0.0) weighted[sp] = qv * alpha[sp];
+    }
+    AlphaVector g(n, 0.0);
+    for (StateId s = 0; s < n; ++s) {
+      double acc = 0.0;
+      for (const auto& e : t.row(s)) acc += e.value * weighted[e.col];
+      g[s] = acc;
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+// Cross-sum {u + v : u ∈ a, v ∈ b}.
+std::vector<AlphaVector> cross_sum(const std::vector<AlphaVector>& a,
+                                   const std::vector<AlphaVector>& b) {
+  std::vector<AlphaVector> out;
+  out.reserve(a.size() * b.size());
+  for (const auto& u : a) {
+    for (const auto& v : b) {
+      AlphaVector w(u);
+      linalg::axpy(1.0, v, w);
+      out.push_back(std::move(w));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<AlphaVector> prune_pointwise_dominated(std::vector<AlphaVector> vectors,
+                                                   double tolerance) {
+  std::vector<AlphaVector> kept;
+  kept.reserve(vectors.size());
+  for (auto& candidate : vectors) {
+    bool dominated = false;
+    for (const auto& other : kept) {
+      if (linalg::dominates(other, candidate, tolerance)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    // Remove previously kept vectors the candidate dominates.
+    kept.erase(std::remove_if(kept.begin(), kept.end(),
+                              [&](const AlphaVector& other) {
+                                return linalg::dominates(candidate, other, tolerance);
+                              }),
+               kept.end());
+    kept.push_back(std::move(candidate));
+  }
+  return kept;
+}
+
+ExactSolveResult solve_finite_horizon(const Pomdp& pomdp,
+                                      const ExactSolverOptions& options) {
+  RD_EXPECTS(options.horizon >= 0, "solve_finite_horizon: horizon must be >= 0");
+  RD_EXPECTS(options.prune_tolerance >= 0.0,
+             "solve_finite_horizon: tolerance must be >= 0");
+  const std::size_t n = pomdp.num_states();
+
+  ExactSolveResult result;
+  std::vector<AlphaVector> gamma{AlphaVector(n, 0.0)};  // V_0 = {0}
+
+  for (int stage = 0; stage < options.horizon; ++stage) {
+    std::vector<AlphaVector> next;
+    for (ActionId a = 0; a < pomdp.num_actions(); ++a) {
+      // Start from the reward vector, then cross-sum one observation at a
+      // time, pruning between steps to keep the set manageable.
+      std::vector<AlphaVector> acc{
+          AlphaVector(pomdp.mdp().rewards(a).begin(), pomdp.mdp().rewards(a).end())};
+      for (ObsId o = 0; o < pomdp.num_observations(); ++o) {
+        const auto projected = back_project(pomdp, a, o, gamma);
+        acc = prune_pointwise_dominated(cross_sum(acc, projected),
+                                        options.prune_tolerance);
+        if (acc.size() > options.max_vectors) {
+          result.truncated = true;
+          result.alpha_vectors = std::move(gamma);
+          return result;
+        }
+      }
+      next.insert(next.end(), std::make_move_iterator(acc.begin()),
+                  std::make_move_iterator(acc.end()));
+    }
+    gamma = prune_pointwise_dominated(std::move(next), options.prune_tolerance);
+    result.stage_sizes.push_back(gamma.size());
+    result.horizon_reached = stage + 1;
+    if (gamma.size() > options.max_vectors) {
+      result.truncated = true;
+      break;
+    }
+  }
+  result.alpha_vectors = std::move(gamma);
+  return result;
+}
+
+double evaluate_alpha_vectors(const std::vector<AlphaVector>& vectors,
+                              const Belief& belief) {
+  RD_EXPECTS(!vectors.empty(), "evaluate_alpha_vectors: empty vector set");
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& alpha : vectors) {
+    best = std::max(best, linalg::dot(alpha, belief.probabilities()));
+  }
+  return best;
+}
+
+}  // namespace recoverd

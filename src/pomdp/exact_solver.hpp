@@ -1,0 +1,58 @@
+// Exact finite-horizon POMDP solution by alpha-vector dynamic programming
+// (Monahan's enumeration algorithm — the paper's reference [10]) with
+// pointwise-dominance pruning.
+//
+// The horizon-H value function of a POMDP is piecewise linear and convex:
+// V_H(π) = max_{α ∈ Γ_H} ⟨α, π⟩. Enumeration computes Γ_{t+1} from Γ_t by
+// cross-summing the observation back-projections, pruning pointwise-
+// dominated vectors after every cross-sum step.
+//
+// Complexity is exponential in the worst case; this solver is the *test
+// oracle* of the repository (small models, modest horizons), used to verify
+// that the RA-Bound and its refinements stay below the exact value
+// function — it is not part of the online controller path.
+#pragma once
+
+#include <vector>
+
+#include "pomdp/belief.hpp"
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd {
+
+using AlphaVector = std::vector<double>;
+
+struct ExactSolverOptions {
+  int horizon = 5;
+  /// Vectors within this pointwise tolerance of a dominator are pruned.
+  double prune_tolerance = 1e-12;
+  /// Hard cap on the per-stage vector-set size; exceeding it aborts the
+  /// solve (reported via `truncated`) instead of exhausting memory.
+  std::size_t max_vectors = 200000;
+};
+
+struct ExactSolveResult {
+  /// Γ_H: the exact horizon-H value function (when !truncated).
+  std::vector<AlphaVector> alpha_vectors;
+  int horizon_reached = 0;
+  bool truncated = false;
+  /// |Γ_t| after pruning, per stage (diagnostics).
+  std::vector<std::size_t> stage_sizes;
+};
+
+/// Runs Monahan's algorithm for `options.horizon` stages starting from
+/// V_0 = {0}. All rewards undiscounted (β = 1), matching the paper.
+ExactSolveResult solve_finite_horizon(const Pomdp& pomdp,
+                                      const ExactSolverOptions& options = {});
+
+/// V(π) = max_α ⟨α, π⟩ over a vector set. Precondition: non-empty set.
+double evaluate_alpha_vectors(const std::vector<AlphaVector>& vectors,
+                              const Belief& belief);
+
+/// Removes vectors pointwise-dominated (within `tolerance`) by another
+/// member of the set. Exposed for tests and for callers composing their own
+/// vector sets.
+std::vector<AlphaVector> prune_pointwise_dominated(std::vector<AlphaVector> vectors,
+                                                   double tolerance = 1e-12);
+
+}  // namespace recoverd

@@ -1,0 +1,236 @@
+#include "pomdp/io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace recoverd {
+
+namespace {
+
+std::string quote(const std::string& name) {
+  if (name.find_first_of(" \t|") == std::string::npos) return name;
+  RD_EXPECTS(name.find('|') == std::string::npos,
+             "save_pomdp: names must not contain '|'");
+  return "|" + name + "|";
+}
+
+// Splits one line into whitespace-separated tokens, honouring |...| quoting.
+std::vector<std::string> tokenize(const std::string& line, std::size_t line_no) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    if (line[i] == '#') break;  // trailing comment
+    if (line[i] == '|') {
+      const std::size_t end = line.find('|', i + 1);
+      if (end == std::string::npos) {
+        throw ModelError("load_pomdp: unterminated quoted name at line " +
+                         std::to_string(line_no));
+      }
+      tokens.push_back(line.substr(i + 1, end - i - 1));
+      i = end + 1;
+    } else {
+      std::size_t end = i;
+      while (end < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[end]))) {
+        ++end;
+      }
+      tokens.push_back(line.substr(i, end - i));
+      i = end;
+    }
+  }
+  return tokens;
+}
+
+double parse_number(const std::string& token, std::size_t line_no) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != token.size()) {
+    throw ModelError("load_pomdp: expected a number, got '" + token + "' at line " +
+                     std::to_string(line_no));
+  }
+  return value;
+}
+
+}  // namespace
+
+void save_pomdp(std::ostream& os, const Pomdp& pomdp) {
+  const Mdp& mdp = pomdp.mdp();
+  os << "# recoverd recovery-model POMDP\n";
+  os << "recoverd-pomdp 1\n";
+  os << std::setprecision(17);
+
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    os << "state " << quote(mdp.state_name(s)) << ' ' << mdp.state_rate_reward(s);
+    if (mdp.is_goal(s)) os << " goal";
+    os << '\n';
+  }
+  for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+    os << "action " << quote(mdp.action_name(a)) << ' ' << mdp.duration(a) << '\n';
+  }
+  for (ObsId o = 0; o < pomdp.num_observations(); ++o) {
+    os << "observation " << quote(pomdp.observation_name(o)) << '\n';
+  }
+  for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+    const auto& t = mdp.transition(a);
+    for (StateId s = 0; s < mdp.num_states(); ++s) {
+      for (const auto& e : t.row(s)) {
+        os << "T " << quote(mdp.state_name(s)) << ' ' << quote(mdp.action_name(a))
+           << ' ' << quote(mdp.state_name(e.col)) << ' ' << e.value << '\n';
+      }
+    }
+  }
+  for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+    for (StateId s = 0; s < mdp.num_states(); ++s) {
+      if (mdp.rate_reward(s, a) != mdp.state_rate_reward(s)) {
+        os << "Rrate " << quote(mdp.state_name(s)) << ' ' << quote(mdp.action_name(a))
+           << ' ' << mdp.rate_reward(s, a) << '\n';
+      }
+      if (mdp.impulse_reward(s, a) != 0.0) {
+        os << "Rimp " << quote(mdp.state_name(s)) << ' ' << quote(mdp.action_name(a))
+           << ' ' << mdp.impulse_reward(s, a) << '\n';
+      }
+    }
+  }
+  for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+    const auto& q = pomdp.observation(a);
+    for (StateId s = 0; s < mdp.num_states(); ++s) {
+      for (const auto& e : q.row(s)) {
+        os << "O " << quote(mdp.state_name(s)) << ' ' << quote(mdp.action_name(a))
+           << ' ' << quote(pomdp.observation_name(e.col)) << ' ' << e.value << '\n';
+      }
+    }
+  }
+  if (pomdp.has_terminate_action()) {
+    os << "terminate " << quote(mdp.action_name(pomdp.terminate_action())) << ' '
+       << quote(mdp.state_name(pomdp.terminate_state())) << '\n';
+  }
+}
+
+void save_pomdp_file(const std::string& path, const Pomdp& pomdp) {
+  std::ofstream file(path);
+  if (!file) throw ModelError("save_pomdp_file: cannot open '" + path + "'");
+  save_pomdp(file, pomdp);
+  if (!file) throw ModelError("save_pomdp_file: write to '" + path + "' failed");
+}
+
+Pomdp load_pomdp(std::istream& is) {
+  PomdpBuilder builder;
+  std::map<std::string, StateId> states;
+  std::map<std::string, ActionId> actions;
+  std::map<std::string, ObsId> observations;
+  bool header_seen = false;
+
+  auto lookup = [](const auto& table, const std::string& name, const char* kind,
+                   std::size_t line_no) {
+    const auto it = table.find(name);
+    if (it == table.end()) {
+      throw ModelError("load_pomdp: unknown " + std::string(kind) + " '" + name +
+                       "' at line " + std::to_string(line_no));
+    }
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line, line_no);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+    auto expect_arity = [&](std::size_t n) {
+      if (tokens.size() != n) {
+        throw ModelError("load_pomdp: '" + keyword + "' expects " + std::to_string(n - 1) +
+                         " arguments at line " + std::to_string(line_no));
+      }
+    };
+
+    if (keyword == "recoverd-pomdp") {
+      expect_arity(2);
+      if (tokens[1] != "1") {
+        throw ModelError("load_pomdp: unsupported format version '" + tokens[1] + "'");
+      }
+      header_seen = true;
+    } else if (keyword == "state") {
+      if (tokens.size() != 3 && !(tokens.size() == 4 && tokens[3] == "goal")) {
+        throw ModelError("load_pomdp: bad 'state' line " + std::to_string(line_no));
+      }
+      if (states.count(tokens[1]) != 0) {
+        throw ModelError("load_pomdp: duplicate state '" + tokens[1] + "' at line " +
+                         std::to_string(line_no));
+      }
+      const StateId s = builder.add_state(tokens[1], parse_number(tokens[2], line_no));
+      states[tokens[1]] = s;
+      if (tokens.size() == 4) builder.mark_goal(s);
+    } else if (keyword == "action") {
+      expect_arity(3);
+      if (actions.count(tokens[1]) != 0) {
+        throw ModelError("load_pomdp: duplicate action '" + tokens[1] + "' at line " +
+                         std::to_string(line_no));
+      }
+      actions[tokens[1]] = builder.add_action(tokens[1], parse_number(tokens[2], line_no));
+    } else if (keyword == "observation") {
+      expect_arity(2);
+      if (observations.count(tokens[1]) != 0) {
+        throw ModelError("load_pomdp: duplicate observation '" + tokens[1] +
+                         "' at line " + std::to_string(line_no));
+      }
+      observations[tokens[1]] = builder.add_observation(tokens[1]);
+    } else if (keyword == "T") {
+      expect_arity(5);
+      builder.set_transition(lookup(states, tokens[1], "state", line_no),
+                             lookup(actions, tokens[2], "action", line_no),
+                             lookup(states, tokens[3], "state", line_no),
+                             parse_number(tokens[4], line_no));
+    } else if (keyword == "Rrate") {
+      expect_arity(4);
+      builder.set_rate_reward(lookup(states, tokens[1], "state", line_no),
+                              lookup(actions, tokens[2], "action", line_no),
+                              parse_number(tokens[3], line_no));
+    } else if (keyword == "Rimp") {
+      expect_arity(4);
+      builder.set_impulse_reward(lookup(states, tokens[1], "state", line_no),
+                                 lookup(actions, tokens[2], "action", line_no),
+                                 parse_number(tokens[3], line_no));
+    } else if (keyword == "O") {
+      expect_arity(5);
+      builder.set_observation(lookup(states, tokens[1], "state", line_no),
+                              lookup(actions, tokens[2], "action", line_no),
+                              lookup(observations, tokens[3], "observation", line_no),
+                              parse_number(tokens[4], line_no));
+    } else if (keyword == "terminate") {
+      expect_arity(3);
+      builder.mark_terminate(lookup(actions, tokens[1], "action", line_no),
+                             lookup(states, tokens[2], "state", line_no));
+    } else {
+      throw ModelError("load_pomdp: unknown keyword '" + keyword + "' at line " +
+                       std::to_string(line_no));
+    }
+  }
+  if (!header_seen) {
+    throw ModelError("load_pomdp: missing 'recoverd-pomdp 1' header");
+  }
+  return builder.build();
+}
+
+Pomdp load_pomdp_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw ModelError("load_pomdp_file: cannot open '" + path + "'");
+  return load_pomdp(file);
+}
+
+}  // namespace recoverd

@@ -1,0 +1,43 @@
+// Lossless text serialisation of recovery POMDPs.
+//
+// The format is line-oriented and covers everything the Cassandra .pomdp
+// format cannot express about recovery models (action durations, ambient
+// cost rates, goal sets, rate/impulse reward split, the terminate marker):
+//
+//   # comments and blank lines are ignored
+//   recoverd-pomdp 1
+//   state <name> <ambient_rate> [goal]
+//   action <name> <duration>
+//   observation <name>
+//   T <state> <action> <next_state> <prob>
+//   Rrate <state> <action> <rate>          (only rows overriding the ambient)
+//   Rimp <state> <action> <impulse>        (only nonzero rows)
+//   O <next_state> <action> <observation> <prob>
+//   terminate <action> <state>             (optional)
+//
+// Names are quoted with |...| when they contain whitespace. Loading
+// re-validates through PomdpBuilder, so a hand-edited file that breaks
+// stochasticity or Condition 2 is rejected with a ModelError.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd {
+
+/// Writes `pomdp` to `os` in the format above.
+void save_pomdp(std::ostream& os, const Pomdp& pomdp);
+
+/// Saves to a file. Throws ModelError when the file cannot be opened.
+void save_pomdp_file(const std::string& path, const Pomdp& pomdp);
+
+/// Parses a model; throws ModelError on syntax or validation failures
+/// (message includes the offending line number).
+Pomdp load_pomdp(std::istream& is);
+
+/// Loads from a file. Throws ModelError when the file cannot be opened.
+Pomdp load_pomdp_file(const std::string& path);
+
+}  // namespace recoverd

@@ -1,0 +1,215 @@
+#include "pomdp/mdp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace recoverd {
+
+const std::string& Mdp::state_name(StateId s) const {
+  RD_EXPECTS(s < num_states(), "Mdp::state_name: state out of range");
+  return state_names_[s];
+}
+
+const std::string& Mdp::action_name(ActionId a) const {
+  RD_EXPECTS(a < num_actions(), "Mdp::action_name: action out of range");
+  return action_names_[a];
+}
+
+StateId Mdp::find_state(const std::string& name) const {
+  const auto it = std::find(state_names_.begin(), state_names_.end(), name);
+  return it == state_names_.end() ? kInvalidId
+                                  : static_cast<StateId>(it - state_names_.begin());
+}
+
+ActionId Mdp::find_action(const std::string& name) const {
+  const auto it = std::find(action_names_.begin(), action_names_.end(), name);
+  return it == action_names_.end() ? kInvalidId
+                                   : static_cast<ActionId>(it - action_names_.begin());
+}
+
+const linalg::SparseMatrix& Mdp::transition(ActionId a) const {
+  RD_EXPECTS(a < num_actions(), "Mdp::transition: action out of range");
+  return transitions_[a];
+}
+
+double Mdp::transition_prob(StateId s, ActionId a, StateId next) const {
+  RD_EXPECTS(s < num_states() && next < num_states(),
+             "Mdp::transition_prob: state out of range");
+  return transition(a).at(s, next);
+}
+
+double Mdp::reward(StateId s, ActionId a) const {
+  RD_EXPECTS(s < num_states(), "Mdp::reward: state out of range");
+  RD_EXPECTS(a < num_actions(), "Mdp::reward: action out of range");
+  return rewards_[a][s];
+}
+
+std::span<const double> Mdp::rewards(ActionId a) const {
+  RD_EXPECTS(a < num_actions(), "Mdp::rewards: action out of range");
+  return rewards_[a];
+}
+
+double Mdp::rate_reward(StateId s, ActionId a) const {
+  RD_EXPECTS(s < num_states() && a < num_actions(), "Mdp::rate_reward: out of range");
+  return rate_rewards_[a][s];
+}
+
+double Mdp::impulse_reward(StateId s, ActionId a) const {
+  RD_EXPECTS(s < num_states() && a < num_actions(), "Mdp::impulse_reward: out of range");
+  return impulse_rewards_[a][s];
+}
+
+double Mdp::duration(ActionId a) const {
+  RD_EXPECTS(a < num_actions(), "Mdp::duration: action out of range");
+  return durations_[a];
+}
+
+double Mdp::state_rate_reward(StateId s) const {
+  RD_EXPECTS(s < num_states(), "Mdp::state_rate_reward: state out of range");
+  return state_rate_rewards_[s];
+}
+
+bool Mdp::is_goal(StateId s) const {
+  RD_EXPECTS(s < num_states(), "Mdp::is_goal: state out of range");
+  return is_goal_[s];
+}
+
+double Mdp::goal_probability(std::span<const double> distribution) const {
+  RD_EXPECTS(distribution.size() == num_states(),
+             "Mdp::goal_probability: dimension mismatch");
+  double p = 0.0;
+  for (StateId s : goal_states_) p += distribution[s];
+  return p;
+}
+
+void MdpBuilder::check_state(StateId s) const {
+  RD_EXPECTS(s < states_.size(), "MdpBuilder: state id out of range");
+}
+
+void MdpBuilder::check_action(ActionId a) const {
+  RD_EXPECTS(a < actions_.size(), "MdpBuilder: action id out of range");
+}
+
+StateId MdpBuilder::add_state(std::string name, double ambient_rate) {
+  RD_EXPECTS(!name.empty(), "MdpBuilder::add_state: name must be non-empty");
+  RD_EXPECTS(std::isfinite(ambient_rate) && ambient_rate <= 0.0,
+             "MdpBuilder::add_state: ambient rate must be finite and <= 0");
+  states_.push_back({std::move(name), ambient_rate});
+  for (std::size_t a = 0; a < actions_.size(); ++a) {
+    transitions_[a].emplace_back();
+    rate_overrides_[a].emplace_back();
+    impulse_overrides_[a].emplace_back();
+  }
+  return states_.size() - 1;
+}
+
+ActionId MdpBuilder::add_action(std::string name, double duration) {
+  RD_EXPECTS(!name.empty(), "MdpBuilder::add_action: name must be non-empty");
+  RD_EXPECTS(std::isfinite(duration) && duration >= 0.0,
+             "MdpBuilder::add_action: duration must be finite and >= 0");
+  actions_.push_back({std::move(name), duration});
+  transitions_.emplace_back(states_.size());
+  rate_overrides_.emplace_back(states_.size());
+  impulse_overrides_.emplace_back(states_.size());
+  return actions_.size() - 1;
+}
+
+void MdpBuilder::set_transition(StateId s, ActionId a, StateId next, double prob) {
+  check_state(s);
+  check_state(next);
+  check_action(a);
+  RD_EXPECTS(std::isfinite(prob) && prob >= 0.0 && prob <= 1.0 + 1e-12,
+             "MdpBuilder::set_transition: probability must lie in [0,1]");
+  auto& row = transitions_[a][s];
+  const auto it = std::find_if(row.begin(), row.end(),
+                               [next](const auto& e) { return e.first == next; });
+  if (it != row.end()) {
+    it->second = prob;
+  } else {
+    row.emplace_back(next, prob);
+  }
+}
+
+void MdpBuilder::set_rate_reward(StateId s, ActionId a, double rate) {
+  check_state(s);
+  check_action(a);
+  RD_EXPECTS(std::isfinite(rate) && rate <= 0.0,
+             "MdpBuilder::set_rate_reward: rate must be finite and <= 0");
+  rate_overrides_[a][s] = {true, rate};
+}
+
+void MdpBuilder::set_impulse_reward(StateId s, ActionId a, double impulse) {
+  check_state(s);
+  check_action(a);
+  RD_EXPECTS(std::isfinite(impulse), "MdpBuilder::set_impulse_reward: must be finite");
+  impulse_overrides_[a][s] = {true, impulse};
+}
+
+void MdpBuilder::mark_goal(StateId s) {
+  check_state(s);
+  if (std::find(goals_.begin(), goals_.end(), s) == goals_.end()) goals_.push_back(s);
+}
+
+Mdp MdpBuilder::build(double tol) const {
+  if (states_.empty()) throw ModelError("MdpBuilder: model has no states");
+  if (actions_.empty()) throw ModelError("MdpBuilder: model has no actions");
+
+  Mdp m;
+  m.state_names_.reserve(states_.size());
+  m.state_rate_rewards_.reserve(states_.size());
+  for (const auto& st : states_) {
+    m.state_names_.push_back(st.name);
+    m.state_rate_rewards_.push_back(st.ambient_rate);
+  }
+  for (const auto& ac : actions_) {
+    m.action_names_.push_back(ac.name);
+    m.durations_.push_back(ac.duration);
+  }
+
+  const std::size_t n = states_.size();
+  for (std::size_t a = 0; a < actions_.size(); ++a) {
+    linalg::SparseMatrixBuilder tb(n, n);
+    std::vector<double> row_total(n, 0.0);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (const auto& [next, prob] : transitions_[a][s]) {
+        if (prob == 0.0) continue;
+        tb.add(s, next, prob);
+        row_total[s] += prob;
+      }
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      if (std::abs(row_total[s] - 1.0) > tol) {
+        throw ModelError("MdpBuilder: transition row for state '" + states_[s].name +
+                         "', action '" + actions_[a].name + "' sums to " +
+                         std::to_string(row_total[s]) + " (expected 1)");
+      }
+    }
+    m.transitions_.push_back(tb.build());
+
+    std::vector<double> rates(n), impulses(n), combined(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      rates[s] = rate_overrides_[a][s].set ? rate_overrides_[a][s].value
+                                           : states_[s].ambient_rate;
+      impulses[s] = impulse_overrides_[a][s].set ? impulse_overrides_[a][s].value : 0.0;
+      combined[s] = rates[s] * actions_[a].duration + impulses[s];
+      if (combined[s] > 0.0) {
+        throw ModelError("MdpBuilder: reward r('" + states_[s].name + "', '" +
+                         actions_[a].name +
+                         "') is positive, violating Condition 2 (non-positive rewards)");
+      }
+    }
+    m.rate_rewards_.push_back(std::move(rates));
+    m.impulse_rewards_.push_back(std::move(impulses));
+    m.rewards_.push_back(std::move(combined));
+  }
+
+  m.goal_states_ = goals_;
+  std::sort(m.goal_states_.begin(), m.goal_states_.end());
+  m.is_goal_.assign(n, false);
+  for (StateId g : m.goal_states_) m.is_goal_[g] = true;
+  return m;
+}
+
+}  // namespace recoverd

@@ -1,0 +1,156 @@
+// Markov decision process model for recovery problems (§2 of the paper).
+//
+// An Mdp is the tuple (S, A, p(·|s,a), r(s,a)) with the recovery-specific
+// extras the paper attaches to it:
+//  - per-action execution times t_a, so rewards decompose into rate and
+//    impulse parts: r(s,a) = r̄(s,a)·t_a + r̂(s,a);
+//  - an ambient per-state cost rate r̄(s) (the cost of simply being faulty),
+//    used by the terminate transform (r(s,aT) = r̄(s)·t_op) and by the
+//    simulator's residual-time accounting;
+//  - a set of "null fault" goal states Sφ (Condition 1).
+//
+// Instances are immutable; construct them through MdpBuilder, which
+// validates stochasticity and completeness.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/sparse_matrix.hpp"
+#include "pomdp/types.hpp"
+
+namespace recoverd {
+
+class MdpBuilder;
+
+/// Immutable finite MDP with recovery-model annotations.
+class Mdp {
+ public:
+  std::size_t num_states() const { return state_names_.size(); }
+  std::size_t num_actions() const { return action_names_.size(); }
+
+  const std::string& state_name(StateId s) const;
+  const std::string& action_name(ActionId a) const;
+
+  /// Index of a state/action by exact name; kInvalidId when absent.
+  StateId find_state(const std::string& name) const;
+  ActionId find_action(const std::string& name) const;
+
+  /// Row-stochastic |S|×|S| transition matrix of action a.
+  const linalg::SparseMatrix& transition(ActionId a) const;
+
+  /// p(s'|s,a).
+  double transition_prob(StateId s, ActionId a, StateId next) const;
+
+  /// Combined single-step reward r(s,a) = r̄(s,a)·t_a + r̂(s,a).
+  double reward(StateId s, ActionId a) const;
+
+  /// Reward column vector r(a) of Eq. 2.
+  std::span<const double> rewards(ActionId a) const;
+
+  double rate_reward(StateId s, ActionId a) const;
+  double impulse_reward(StateId s, ActionId a) const;
+
+  /// Execution time t_a (seconds).
+  double duration(ActionId a) const;
+
+  /// Ambient cost rate r̄(s) of state s (non-positive for recovery models).
+  double state_rate_reward(StateId s) const;
+
+  /// The null-fault set Sφ, sorted ascending.
+  std::span<const StateId> goal_states() const { return goal_states_; }
+  bool is_goal(StateId s) const;
+
+  /// Total probability mass a belief-like vector puts on Sφ.
+  double goal_probability(std::span<const double> distribution) const;
+
+ private:
+  friend class MdpBuilder;
+  friend class Pomdp;  // Pomdp owns an Mdp member it default-constructs
+  Mdp() = default;
+
+  std::vector<std::string> state_names_;
+  std::vector<std::string> action_names_;
+  std::vector<linalg::SparseMatrix> transitions_;       // [a] : |S|×|S|
+  std::vector<std::vector<double>> rewards_;            // [a][s]
+  std::vector<std::vector<double>> rate_rewards_;       // [a][s]
+  std::vector<std::vector<double>> impulse_rewards_;    // [a][s]
+  std::vector<double> durations_;                       // [a]
+  std::vector<double> state_rate_rewards_;              // [s]
+  std::vector<StateId> goal_states_;
+  std::vector<bool> is_goal_;
+};
+
+/// Incremental, validated construction of an Mdp.
+///
+/// Usage:
+///   MdpBuilder b;
+///   const StateId null_state = b.add_state("Null", /*ambient_rate=*/0.0);
+///   const StateId fault = b.add_state("Fault(a)", -0.5);
+///   const ActionId restart = b.add_action("Restart(a)", /*duration=*/60.0);
+///   b.set_transition(fault, restart, null_state, 1.0);
+///   b.set_transition(null_state, restart, null_state, 1.0);
+///   b.mark_goal(null_state);
+///   Mdp model = b.build();
+///
+/// Unless overridden, the rate reward of (s, a) defaults to the ambient rate
+/// of s — the natural recovery-model default where cost keeps accruing at
+/// the fault's drop rate while the action runs.
+class MdpBuilder {
+ public:
+  /// Adds a state; `ambient_rate` is r̄(s) and must be ≤ 0 and finite.
+  StateId add_state(std::string name, double ambient_rate = 0.0);
+
+  /// Adds an action with execution time `duration` ≥ 0 seconds.
+  ActionId add_action(std::string name, double duration);
+
+  /// Sets p(next|s,a) = prob (overwrites any previous value for the triple).
+  void set_transition(StateId s, ActionId a, StateId next, double prob);
+
+  /// Overrides the rate reward r̄(s,a); must be ≤ 0.
+  void set_rate_reward(StateId s, ActionId a, double rate);
+
+  /// Sets the impulse reward r̂(s,a); must be ≤ 0 for recovery models
+  /// (Condition 2), which build() enforces for the combined reward.
+  void set_impulse_reward(StateId s, ActionId a, double impulse);
+
+  /// Marks s as a member of the null-fault set Sφ.
+  void mark_goal(StateId s);
+
+  std::size_t num_states() const { return states_.size(); }
+  std::size_t num_actions() const { return actions_.size(); }
+
+  /// Validates and produces the immutable model. Throws ModelError when a
+  /// (state, action) row is missing, a row is not stochastic within `tol`,
+  /// or Condition 2 (non-positive rewards) is violated.
+  Mdp build(double tol = 1e-9) const;
+
+ private:
+  struct StateDef {
+    std::string name;
+    double ambient_rate;
+  };
+  struct ActionDef {
+    std::string name;
+    double duration;
+  };
+  struct Override {
+    bool set = false;
+    double value = 0.0;
+  };
+
+  void check_state(StateId s) const;
+  void check_action(ActionId a) const;
+
+  std::vector<StateDef> states_;
+  std::vector<ActionDef> actions_;
+  // transition_[a] maps flattened (s, next) -> prob; kept as a dense-keyed
+  // map via vector-of-rows for simplicity at model-building scale.
+  std::vector<std::vector<std::vector<std::pair<StateId, double>>>> transitions_;  // [a][s]
+  std::vector<std::vector<Override>> rate_overrides_;     // [a][s]
+  std::vector<std::vector<Override>> impulse_overrides_;  // [a][s]
+  std::vector<StateId> goals_;
+};
+
+}  // namespace recoverd

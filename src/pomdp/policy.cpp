@@ -1,0 +1,97 @@
+#include "pomdp/policy.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace recoverd {
+
+PolicyEvaluationResult evaluate_policy(const Mdp& mdp, const Policy& policy, double beta,
+                                       const linalg::GaussSeidelOptions& options) {
+  RD_EXPECTS(policy.size() == mdp.num_states(),
+             "evaluate_policy: one action per state required");
+  RD_EXPECTS(beta > 0.0 && beta <= 1.0, "evaluate_policy: beta must lie in (0,1]");
+  const std::size_t n = mdp.num_states();
+
+  linalg::SparseMatrixBuilder qb(n, n);
+  std::vector<double> c(n, 0.0);
+  for (StateId s = 0; s < n; ++s) {
+    RD_EXPECTS(policy[s] < mdp.num_actions(), "evaluate_policy: action out of range");
+    for (const auto& e : mdp.transition(policy[s]).row(s)) {
+      qb.add(s, e.col, beta * e.value);
+    }
+    c[s] = mdp.reward(s, policy[s]);
+  }
+
+  const auto solve = linalg::solve_fixed_point(qb.build(), c, options);
+  PolicyEvaluationResult result;
+  result.status = solve.status;
+  result.iterations = solve.iterations;
+  if (solve.converged()) result.values = solve.x;
+  return result;
+}
+
+Policy greedy_policy(const Mdp& mdp, std::span<const double> values, double beta) {
+  RD_EXPECTS(values.size() == mdp.num_states(), "greedy_policy: dimension mismatch");
+  Policy policy(mdp.num_states(), 0);
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+      double value = mdp.reward(s, a);
+      for (const auto& e : mdp.transition(a).row(s)) value += beta * e.value * values[e.col];
+      if (value > best) {
+        best = value;
+        policy[s] = a;
+      }
+    }
+  }
+  return policy;
+}
+
+PolicyIterationResult policy_iteration(const Mdp& mdp, Policy initial, double beta,
+                                       std::size_t max_rounds) {
+  RD_EXPECTS(max_rounds > 0, "policy_iteration: need at least one round");
+  PolicyIterationResult result;
+  result.policy = initial.empty() ? Policy(mdp.num_states(), 0) : std::move(initial);
+  RD_EXPECTS(result.policy.size() == mdp.num_states(),
+             "policy_iteration: initial policy must cover every state");
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const auto eval = evaluate_policy(mdp, result.policy, beta);
+    if (!eval.converged()) {
+      // The current policy has no finite value (improper policy on an
+      // undiscounted model): report it rather than iterating blindly.
+      result.status = eval.status;
+      return result;
+    }
+    result.values = eval.values;
+    result.improvement_steps = round + 1;
+
+    Policy improved = greedy_policy(mdp, result.values, beta);
+    // Keep the incumbent action on ties to guarantee termination.
+    bool changed = false;
+    for (StateId s = 0; s < mdp.num_states(); ++s) {
+      if (improved[s] == result.policy[s]) continue;
+      double incumbent = mdp.reward(s, result.policy[s]);
+      for (const auto& e : mdp.transition(result.policy[s]).row(s)) {
+        incumbent += beta * e.value * result.values[e.col];
+      }
+      double challenger = mdp.reward(s, improved[s]);
+      for (const auto& e : mdp.transition(improved[s]).row(s)) {
+        challenger += beta * e.value * result.values[e.col];
+      }
+      if (challenger > incumbent + 1e-12) {
+        result.policy[s] = improved[s];
+        changed = true;
+      }
+    }
+    if (!changed) {
+      result.status = linalg::SolveStatus::Converged;
+      return result;
+    }
+  }
+  result.status = linalg::SolveStatus::MaxIterations;
+  return result;
+}
+
+}  // namespace recoverd

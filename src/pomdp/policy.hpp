@@ -1,0 +1,55 @@
+// Stationary MDP policies: evaluation (the linear system of one fixed
+// policy) and Howard policy iteration. Used to audit recovery policies
+// extracted from value iteration and to give downstream users the classic
+// "what does this policy actually cost from each state" query.
+#pragma once
+
+#include <vector>
+
+#include "linalg/gauss_seidel.hpp"
+#include "pomdp/mdp.hpp"
+#include "pomdp/value_iteration.hpp"
+
+namespace recoverd {
+
+/// A deterministic stationary policy: one action per state.
+using Policy = std::vector<ActionId>;
+
+struct PolicyEvaluationResult {
+  linalg::SolveStatus status = linalg::SolveStatus::MaxIterations;
+  std::vector<double> values;  ///< V_ρ(s) (meaningful when converged)
+  std::size_t iterations = 0;
+
+  bool converged() const { return status == linalg::SolveStatus::Converged; }
+};
+
+/// Solves V_ρ = r_ρ + β P_ρ V_ρ for a fixed policy ρ. Reports Diverged when
+/// the policy loops through nonzero-reward recurrent states (undiscounted
+/// models) — e.g. a policy that never recovers.
+PolicyEvaluationResult evaluate_policy(const Mdp& mdp, const Policy& policy,
+                                       double beta = 1.0,
+                                       const linalg::GaussSeidelOptions& options = {});
+
+struct PolicyIterationResult {
+  linalg::SolveStatus status = linalg::SolveStatus::MaxIterations;
+  Policy policy;
+  std::vector<double> values;
+  std::size_t improvement_steps = 0;
+
+  bool converged() const { return status == linalg::SolveStatus::Converged; }
+};
+
+/// Howard policy iteration starting from `initial` (empty = the policy that
+/// plays action 0 everywhere; callers should seed with a proper — i.e.
+/// finite-value — policy on undiscounted models, e.g. the aT-everywhere
+/// policy of a terminate-transformed model). Each round evaluates the
+/// current policy exactly and greedily improves it; terminates when the
+/// policy is stable.
+PolicyIterationResult policy_iteration(const Mdp& mdp, Policy initial = {},
+                                       double beta = 1.0,
+                                       std::size_t max_rounds = 1000);
+
+/// The greedy policy w.r.t. a value vector: argmax_a r(s,a) + β Σ p·V.
+Policy greedy_policy(const Mdp& mdp, std::span<const double> values, double beta = 1.0);
+
+}  // namespace recoverd

@@ -1,0 +1,102 @@
+// Partially observable MDP: the Mdp plus a finite observation alphabet and
+// observation function q(o|s', a) — the probability that observation o is
+// generated when the system transitions *to* state s' as a result of action
+// a (the paper's convention, §2).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/sparse_matrix.hpp"
+#include "pomdp/mdp.hpp"
+#include "pomdp/types.hpp"
+
+namespace recoverd {
+
+class PomdpBuilder;
+
+/// Immutable POMDP. Construct through PomdpBuilder (or the transform
+/// functions in pomdp/transforms.hpp).
+class Pomdp {
+ public:
+  const Mdp& mdp() const { return mdp_; }
+
+  std::size_t num_states() const { return mdp_.num_states(); }
+  std::size_t num_actions() const { return mdp_.num_actions(); }
+  std::size_t num_observations() const { return obs_names_.size(); }
+
+  const std::string& observation_name(ObsId o) const;
+  ObsId find_observation(const std::string& name) const;
+
+  /// Row-stochastic |S|×|O| observation matrix of action a; row s' holds
+  /// q(·|s', a).
+  const linalg::SparseMatrix& observation(ActionId a) const;
+
+  /// q(o|s', a).
+  double observation_prob(StateId next, ActionId a, ObsId o) const;
+
+  /// Terminate action aT added by add_termination_action(); kInvalidId when
+  /// the model has no explicit terminate action.
+  ActionId terminate_action() const { return terminate_action_; }
+
+  /// Absorbing terminated state sT; kInvalidId when absent.
+  StateId terminate_state() const { return terminate_state_; }
+
+  bool has_terminate_action() const { return terminate_action_ != kInvalidId; }
+
+ private:
+  friend class PomdpBuilder;
+  Pomdp() = default;
+
+  Mdp mdp_;
+  std::vector<std::string> obs_names_;
+  std::vector<linalg::SparseMatrix> observations_;  // [a] : |S|×|O|
+  ActionId terminate_action_ = kInvalidId;
+  StateId terminate_state_ = kInvalidId;
+};
+
+/// Validated construction of a Pomdp on top of the MdpBuilder surface.
+class PomdpBuilder {
+ public:
+  // --- Mdp surface (delegates) ---
+  StateId add_state(std::string name, double ambient_rate = 0.0);
+  ActionId add_action(std::string name, double duration);
+  void set_transition(StateId s, ActionId a, StateId next, double prob);
+  void set_rate_reward(StateId s, ActionId a, double rate);
+  void set_impulse_reward(StateId s, ActionId a, double impulse);
+  void mark_goal(StateId s);
+
+  // --- observation surface ---
+  ObsId add_observation(std::string name);
+
+  /// Sets q(o|next, a) = prob.
+  void set_observation(StateId next, ActionId a, ObsId o, double prob);
+
+  /// Sets q(o|next, a) = prob for every action (common case: monitors behave
+  /// the same regardless of which recovery action just ran).
+  void set_observation_all_actions(StateId next, ObsId o, double prob);
+
+  /// Marks a previously added action as the terminate action aT (used by
+  /// the transform; exposed for hand-built models/tests).
+  void mark_terminate(ActionId a, StateId absorbing_state);
+
+  std::size_t num_states() const { return mdp_.num_states(); }
+  std::size_t num_actions() const { return mdp_.num_actions(); }
+  std::size_t num_observations() const { return obs_names_.size(); }
+
+  /// Validates (stochastic observation rows for every (s', a)) and builds.
+  Pomdp build(double tol = 1e-9) const;
+
+ private:
+  MdpBuilder mdp_;
+  std::vector<std::string> obs_names_;
+  // obs_[a][next] rows as (obs, prob) pairs.
+  std::vector<std::vector<std::vector<std::pair<ObsId, double>>>> obs_;
+  std::size_t states_ = 0;
+  std::size_t actions_ = 0;
+  ActionId terminate_action_ = kInvalidId;
+  StateId terminate_state_ = kInvalidId;
+};
+
+}  // namespace recoverd

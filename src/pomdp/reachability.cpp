@@ -1,0 +1,61 @@
+#include "pomdp/reachability.hpp"
+
+#include "util/check.hpp"
+
+namespace recoverd {
+
+namespace {
+bool is_known(const std::vector<Belief>& known, const Belief& candidate,
+              double tolerance) {
+  for (const auto& b : known) {
+    if (b.distance(candidate) <= tolerance) return true;
+  }
+  return false;
+}
+}  // namespace
+
+ReachabilityResult enumerate_reachable_beliefs(const Pomdp& pomdp, const Belief& root,
+                                               const ReachabilityOptions& options) {
+  RD_EXPECTS(root.size() == pomdp.num_states(),
+             "enumerate_reachable_beliefs: root dimension mismatch");
+  RD_EXPECTS(options.dedup_tolerance >= 0.0,
+             "enumerate_reachable_beliefs: tolerance must be >= 0");
+
+  ReachabilityResult result;
+  result.beliefs.push_back(root);
+  std::vector<std::size_t> frontier{0};
+
+  for (std::size_t depth = 0; depth < options.max_depth; ++depth) {
+    std::vector<std::size_t> next_frontier;
+    std::size_t found = 0;
+    for (const std::size_t index : frontier) {
+      // Copy: result.beliefs may reallocate while we expand.
+      const Belief current = result.beliefs[index];
+      for (ActionId a = 0; a < pomdp.num_actions(); ++a) {
+        for (const auto& branch :
+             belief_successors(pomdp, current, a, options.branch_floor)) {
+          if (result.beliefs.size() >= options.max_beliefs) {
+            result.truncated = true;
+            result.depth_counts.push_back(found);
+            return result;
+          }
+          if (is_known(result.beliefs, branch.posterior, options.dedup_tolerance)) {
+            continue;
+          }
+          next_frontier.push_back(result.beliefs.size());
+          result.beliefs.push_back(branch.posterior);
+          ++found;
+        }
+      }
+    }
+    result.depth_counts.push_back(found);
+    if (found == 0) {
+      result.saturated = true;
+      return result;
+    }
+    frontier = std::move(next_frontier);
+  }
+  return result;
+}
+
+}  // namespace recoverd

@@ -1,0 +1,36 @@
+// Reachable belief-space enumeration (§2's observation that the reachable
+// belief set is countable): breadth-first expansion of beliefs under all
+// (action, observation) pairs with tolerance-based deduplication. Used for
+// diagnostics (how big is the effective belief space a controller visits?)
+// and by tests that want exhaustive small-model coverage.
+#pragma once
+
+#include <vector>
+
+#include "pomdp/belief.hpp"
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd {
+
+struct ReachabilityOptions {
+  std::size_t max_depth = 5;
+  std::size_t max_beliefs = 10000;  ///< stop expanding beyond this many
+  /// Beliefs closer than this (max-norm) to an already-enumerated one are
+  /// considered duplicates.
+  double dedup_tolerance = 1e-9;
+  /// Skip observation branches below this probability.
+  double branch_floor = 0.0;
+};
+
+struct ReachabilityResult {
+  std::vector<Belief> beliefs;      ///< enumerated beliefs (root first)
+  std::vector<std::size_t> depth_counts;  ///< new beliefs found per depth
+  bool saturated = false;  ///< true when a full depth added nothing new
+  bool truncated = false;  ///< hit max_beliefs before max_depth
+};
+
+/// Enumerates beliefs reachable from `root` within the options' budget.
+ReachabilityResult enumerate_reachable_beliefs(const Pomdp& pomdp, const Belief& root,
+                                               const ReachabilityOptions& options = {});
+
+}  // namespace recoverd

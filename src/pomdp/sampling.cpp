@@ -1,0 +1,35 @@
+#include "pomdp/sampling.hpp"
+
+#include "util/check.hpp"
+
+namespace recoverd {
+
+namespace {
+// Walks a sparse probability row; the row is validated stochastic at model
+// build time, so the final entry absorbs any floating-point residue.
+std::size_t sample_sparse_row(std::span<const linalg::SparseEntry> row, Rng& rng) {
+  RD_EXPECTS(!row.empty(), "sample_sparse_row: empty probability row");
+  double u = rng.uniform01();
+  for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+    if (u < row[i].value) return row[i].col;
+    u -= row[i].value;
+  }
+  return row.back().col;
+}
+}  // namespace
+
+StateId sample_transition(const Mdp& mdp, StateId s, ActionId a, Rng& rng) {
+  RD_EXPECTS(s < mdp.num_states(), "sample_transition: state out of range");
+  return sample_sparse_row(mdp.transition(a).row(s), rng);
+}
+
+ObsId sample_observation(const Pomdp& pomdp, StateId next, ActionId a, Rng& rng) {
+  RD_EXPECTS(next < pomdp.num_states(), "sample_observation: state out of range");
+  return sample_sparse_row(pomdp.observation(a).row(next), rng);
+}
+
+StateId sample_state(const Belief& belief, Rng& rng) {
+  return rng.discrete(belief.probabilities());
+}
+
+}  // namespace recoverd

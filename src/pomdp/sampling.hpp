@@ -1,0 +1,20 @@
+// Sampling from the model's transition and observation distributions —
+// shared by the environment simulator and the bootstrap phase.
+#pragma once
+
+#include "pomdp/belief.hpp"
+#include "pomdp/pomdp.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd {
+
+/// Samples s' ~ p(·|s, a).
+StateId sample_transition(const Mdp& mdp, StateId s, ActionId a, Rng& rng);
+
+/// Samples o ~ q(·|next, a).
+ObsId sample_observation(const Pomdp& pomdp, StateId next, ActionId a, Rng& rng);
+
+/// Samples a state from a belief.
+StateId sample_state(const Belief& belief, Rng& rng);
+
+}  // namespace recoverd

@@ -1,0 +1,103 @@
+#include "pomdp/transforms.hpp"
+
+#include "util/check.hpp"
+
+namespace recoverd {
+
+namespace detail {
+
+void copy_pomdp_into_builder(const Pomdp& src, PomdpBuilder& dst) {
+  const Mdp& mdp = src.mdp();
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    dst.add_state(mdp.state_name(s), mdp.state_rate_reward(s));
+    if (mdp.is_goal(s)) dst.mark_goal(s);
+  }
+  for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+    dst.add_action(mdp.action_name(a), mdp.duration(a));
+  }
+  for (ObsId o = 0; o < src.num_observations(); ++o) {
+    dst.add_observation(src.observation_name(o));
+  }
+  for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+    const auto& t = mdp.transition(a);
+    const auto& q = src.observation(a);
+    for (StateId s = 0; s < mdp.num_states(); ++s) {
+      for (const auto& e : t.row(s)) dst.set_transition(s, a, e.col, e.value);
+      for (const auto& e : q.row(s)) dst.set_observation(s, a, e.col, e.value);
+      dst.set_rate_reward(s, a, mdp.rate_reward(s, a));
+      dst.set_impulse_reward(s, a, mdp.impulse_reward(s, a));
+    }
+  }
+  if (src.has_terminate_action()) {
+    dst.mark_terminate(src.terminate_action(), src.terminate_state());
+  }
+}
+
+}  // namespace detail
+
+Pomdp with_recovery_notification(const Pomdp& pomdp) {
+  const Mdp& mdp = pomdp.mdp();
+  RD_EXPECTS(!mdp.goal_states().empty(),
+             "with_recovery_notification: model needs a non-empty goal set");
+
+  PomdpBuilder b;
+  detail::copy_pomdp_into_builder(pomdp, b);
+
+  // Every goal state becomes absorbing with zero reward under every action.
+  for (StateId g : mdp.goal_states()) {
+    for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+      // Clear the copied row by overwriting each copied entry with 0, then
+      // install the self-loop.
+      for (const auto& e : mdp.transition(a).row(g)) b.set_transition(g, a, e.col, 0.0);
+      b.set_transition(g, a, g, 1.0);
+      b.set_rate_reward(g, a, 0.0);
+      b.set_impulse_reward(g, a, 0.0);
+    }
+  }
+  return b.build();
+}
+
+Pomdp add_termination(const Pomdp& pomdp, double operator_response_time,
+                      const std::string& terminated_obs_name) {
+  const Mdp& mdp = pomdp.mdp();
+  RD_EXPECTS(!mdp.goal_states().empty(),
+             "add_termination: model needs a non-empty goal set");
+  RD_EXPECTS(operator_response_time > 0.0,
+             "add_termination: operator response time must be positive");
+  RD_EXPECTS(!pomdp.has_terminate_action(),
+             "add_termination: model already has a terminate action");
+
+  PomdpBuilder b;
+  detail::copy_pomdp_into_builder(pomdp, b);
+
+  const StateId st = b.add_state("__terminated__", 0.0);
+  const ObsId term_obs = b.add_observation(terminated_obs_name);
+  const ActionId at = b.add_action("__terminate__", 0.0);
+
+  // sT is absorbing with zero reward under every action, and emits the
+  // dedicated observation deterministically.
+  for (ActionId a = 0; a < b.num_actions(); ++a) {
+    b.set_transition(st, a, st, 1.0);
+    b.set_rate_reward(st, a, 0.0);
+    b.set_impulse_reward(st, a, 0.0);
+    b.set_observation(st, a, term_obs, 1.0);
+  }
+
+  // aT maps every state to sT with the termination reward; its observation
+  // rows for states other than sT are unreachable but must be stochastic, so
+  // they also emit the dedicated observation.
+  const std::size_t n = mdp.num_states();
+  for (StateId s = 0; s < n; ++s) {
+    b.set_transition(s, at, st, 1.0);
+    b.set_rate_reward(s, at, 0.0);
+    const double termination_reward =
+        mdp.is_goal(s) ? 0.0 : mdp.state_rate_reward(s) * operator_response_time;
+    b.set_impulse_reward(s, at, termination_reward);
+    b.set_observation(s, at, term_obs, 1.0);
+  }
+
+  b.mark_terminate(at, st);
+  return b.build();
+}
+
+}  // namespace recoverd

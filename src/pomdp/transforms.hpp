@@ -1,0 +1,42 @@
+// Model transformations of §3.1 that make the undiscounted RA-Bound linear
+// system converge.
+//
+// Systems WITH recovery notification: the monitors tell the controller when
+// the system re-enters Sφ, so recovery stops there. The model is modified so
+// every goal state is absorbing with zero reward (Fig. 2(a)).
+//
+// Systems WITHOUT recovery notification: the controller itself must decide
+// when to stop. The model is refined with an absorbing terminated state sT
+// and a terminate action aT whose rewards r(s, aT) = r̄(s) · t_op encode the
+// risk of stopping too early, where t_op is the operator response time
+// (Fig. 2(b)).
+#pragma once
+
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd {
+
+/// Returns a copy of `pomdp` where every state in Sφ is absorbing under
+/// every action with zero reward. Observation rows are preserved.
+/// Precondition: the model has a non-empty goal set.
+Pomdp with_recovery_notification(const Pomdp& pomdp);
+
+/// Returns a copy of `pomdp` extended with:
+///  - an absorbing, zero-reward state sT (observable as `terminated_obs_name`),
+///  - a zero-duration action aT that maps every state to sT with termination
+///    reward r(s, aT) = r̄(s) · operator_response_time (and exactly 0 for
+///    s ∈ Sφ).
+/// The returned model reports the new ids through Pomdp::terminate_action()
+/// and Pomdp::terminate_state().
+/// Preconditions: non-empty goal set; operator_response_time > 0; the input
+/// has no terminate action already.
+Pomdp add_termination(const Pomdp& pomdp, double operator_response_time,
+                      const std::string& terminated_obs_name = "terminated");
+
+namespace detail {
+/// Copies every state/action/observation definition of `src` into `dst`
+/// (used by the transforms; exposed for tests).
+void copy_pomdp_into_builder(const Pomdp& src, PomdpBuilder& dst);
+}  // namespace detail
+
+}  // namespace recoverd

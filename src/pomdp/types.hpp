@@ -1,0 +1,21 @@
+// Identifier types shared across the POMDP layers.
+//
+// States, actions, and observations are dense indices into the model's
+// tables. Strong typedefs are deliberately avoided (the maths in Eq. 2–7
+// mixes them inside matrix code constantly), but the aliases keep signatures
+// self-describing per Core Guidelines P.1.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace recoverd {
+
+using StateId = std::size_t;
+using ActionId = std::size_t;
+using ObsId = std::size_t;
+
+/// Sentinel for "no such id" (e.g. a model without a terminate action).
+inline constexpr std::size_t kInvalidId = std::numeric_limits<std::size_t>::max();
+
+}  // namespace recoverd

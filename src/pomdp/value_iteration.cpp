@@ -1,0 +1,119 @@
+#include "pomdp/value_iteration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/convergence.hpp"
+#include "util/check.hpp"
+
+namespace recoverd {
+
+namespace {
+void check_options(const ValueIterationOptions& options) {
+  RD_EXPECTS(options.beta >= 0.0 && options.beta <= 1.0,
+             "value_iteration: beta must lie in [0,1]");
+  RD_EXPECTS(options.tolerance > 0.0, "value_iteration: tolerance must be positive");
+}
+
+bool out_of_range(const std::vector<double>& v, double threshold) {
+  return std::any_of(v.begin(), v.end(), [&](double x) {
+    return !std::isfinite(x) || std::abs(x) > threshold;
+  });
+}
+}  // namespace
+
+ValueIterationResult value_iteration(const Mdp& mdp, const ValueIterationOptions& options,
+                                     Extremum extremum) {
+  check_options(options);
+  const std::size_t n = mdp.num_states();
+
+  ValueIterationResult result;
+  result.values.assign(n, 0.0);
+  result.policy.assign(n, 0);
+  std::vector<double> next(n, 0.0);
+  linalg::StallDetector stall(options.stall_window);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (StateId s = 0; s < n; ++s) {
+      double best = extremum == Extremum::Max ? -std::numeric_limits<double>::infinity()
+                                              : std::numeric_limits<double>::infinity();
+      ActionId best_action = 0;
+      for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+        double value = mdp.reward(s, a);
+        for (const auto& e : mdp.transition(a).row(s)) {
+          value += options.beta * e.value * result.values[e.col];
+        }
+        const bool better =
+            extremum == Extremum::Max ? value > best : value < best;
+        if (better) {
+          best = value;
+          best_action = a;
+        }
+      }
+      next[s] = best;
+      result.policy[s] = best_action;
+      delta = std::max(delta, std::abs(next[s] - result.values[s]));
+    }
+    result.values.swap(next);
+    result.iterations = iter + 1;
+    if (!std::isfinite(delta) || out_of_range(result.values, options.divergence_threshold)) {
+      result.status = linalg::SolveStatus::Diverged;
+      return result;
+    }
+    if (delta <= options.tolerance) {
+      result.status = linalg::SolveStatus::Converged;
+      return result;
+    }
+    if (stall.stalled(iter, delta)) {
+      result.status = linalg::SolveStatus::Diverged;
+      return result;
+    }
+  }
+  result.status = linalg::SolveStatus::MaxIterations;
+  return result;
+}
+
+ValueIterationResult blind_policy_value(const Mdp& mdp, ActionId action,
+                                        const ValueIterationOptions& options) {
+  check_options(options);
+  RD_EXPECTS(action < mdp.num_actions(), "blind_policy_value: action out of range");
+  const std::size_t n = mdp.num_states();
+
+  ValueIterationResult result;
+  result.values.assign(n, 0.0);
+  result.policy.assign(n, action);
+  std::vector<double> next(n, 0.0);
+  linalg::StallDetector stall(options.stall_window);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (StateId s = 0; s < n; ++s) {
+      double value = mdp.reward(s, action);
+      for (const auto& e : mdp.transition(action).row(s)) {
+        value += options.beta * e.value * result.values[e.col];
+      }
+      next[s] = value;
+      delta = std::max(delta, std::abs(next[s] - result.values[s]));
+    }
+    result.values.swap(next);
+    result.iterations = iter + 1;
+    if (!std::isfinite(delta) || out_of_range(result.values, options.divergence_threshold)) {
+      result.status = linalg::SolveStatus::Diverged;
+      return result;
+    }
+    if (delta <= options.tolerance) {
+      result.status = linalg::SolveStatus::Converged;
+      return result;
+    }
+    if (stall.stalled(iter, delta)) {
+      result.status = linalg::SolveStatus::Diverged;
+      return result;
+    }
+  }
+  result.status = linalg::SolveStatus::MaxIterations;
+  return result;
+}
+
+}  // namespace recoverd

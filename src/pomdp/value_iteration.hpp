@@ -1,0 +1,56 @@
+// Dynamic-programming solution of the fully observable MDP (Eq. 1).
+//
+// Used for:
+//  - the QMDP-style upper bound on the POMDP value (V*_p(π) ≤ Σ π(s)V_m(s)),
+//  - the BI-POMDP comparison bound (Extremum::Min replaces max with min),
+//  - test oracles on small models.
+//
+// Like the linear solver, divergence is detected and reported rather than
+// looping: undiscounted models that violate the §3.1 conditions legitimately
+// have no finite solution, and the §3.1 comparison benches rely on seeing
+// that outcome.
+#pragma once
+
+#include <vector>
+
+#include "linalg/gauss_seidel.hpp"
+#include "pomdp/mdp.hpp"
+
+namespace recoverd {
+
+/// Whether the Bellman backup extremises with max (optimal value) or min
+/// (pessimal value, the BI-POMDP construction of [14]).
+enum class Extremum { Max, Min };
+
+struct ValueIterationOptions {
+  double beta = 1.0;        ///< discount factor (1 = undiscounted, the paper's choice)
+  double tolerance = 1e-10;
+  std::size_t max_iterations = 100000;
+  double divergence_threshold = 1e12;
+  /// Stall detection window (see GaussSeidelOptions::stall_window): a sweep
+  /// delta that fails to strictly decrease over this many iterations marks
+  /// the recursion Diverged — the linear-drift signature of undiscounted
+  /// models with recurrent nonzero-reward states. 0 disables.
+  std::size_t stall_window = 1000;
+};
+
+struct ValueIterationResult {
+  linalg::SolveStatus status = linalg::SolveStatus::MaxIterations;
+  std::vector<double> values;     ///< V_m(s) (last iterate)
+  std::vector<ActionId> policy;   ///< extremising action per state
+  std::size_t iterations = 0;
+
+  bool converged() const { return status == linalg::SolveStatus::Converged; }
+};
+
+/// Iterates V ← extremum_a [ r(·,a) + β P(a) V ] from V = 0.
+ValueIterationResult value_iteration(const Mdp& mdp,
+                                     const ValueIterationOptions& options = {},
+                                     Extremum extremum = Extremum::Max);
+
+/// Expected accumulated reward of the stationary policy that always plays
+/// `action` (the "blind policy" value of [6]): V ← r(·,action) + β P(action) V.
+ValueIterationResult blind_policy_value(const Mdp& mdp, ActionId action,
+                                        const ValueIterationOptions& options = {});
+
+}  // namespace recoverd

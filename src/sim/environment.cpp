@@ -1,0 +1,46 @@
+#include "sim/environment.hpp"
+
+#include "pomdp/sampling.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::sim {
+
+Environment::Environment(const Pomdp& model, Rng rng) : model_(model), rng_(rng) {}
+
+void Environment::reset(StateId initial_state) {
+  RD_EXPECTS(initial_state < model_.num_states(), "Environment::reset: state out of range");
+  state_ = initial_state;
+  elapsed_ = 0.0;
+  cost_ = 0.0;
+  steps_ = 0;
+  recovery_entered_ = model_.mdp().is_goal(state_)
+                          ? 0.0
+                          : std::numeric_limits<double>::infinity();
+}
+
+Environment::StepResult Environment::step(ActionId action) {
+  RD_EXPECTS(action < model_.num_actions(), "Environment::step: action out of range");
+  const Mdp& mdp = model_.mdp();
+
+  StepResult result;
+  result.reward = mdp.reward(state_, action);
+  result.duration = mdp.duration(action);
+  result.next_state = sample_transition(mdp, state_, action, rng_);
+  result.obs = sample_observation(model_, result.next_state, action, rng_);
+
+  cost_ -= result.reward;
+  elapsed_ += result.duration;
+  ++steps_;
+
+  const bool was_recovered = mdp.is_goal(state_);
+  state_ = result.next_state;
+  if (!was_recovered && mdp.is_goal(state_) &&
+      recovery_entered_ == std::numeric_limits<double>::infinity()) {
+    recovery_entered_ = elapsed_;
+  }
+  return result;
+}
+
+bool Environment::recovered() const { return model_.mdp().is_goal(state_); }
+
+}  // namespace recoverd::sim

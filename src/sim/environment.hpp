@@ -1,0 +1,62 @@
+// Hidden-state simulator of a recovery POMDP (§5's fault-injection
+// environment): tracks the true system state, samples observations from the
+// monitor model, and accounts cost and wall-clock time.
+#pragma once
+
+#include <limits>
+
+#include "pomdp/pomdp.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::sim {
+
+class Environment {
+ public:
+  /// `model` is the ground-truth dynamics (normally the *untransformed*
+  /// recovery model — a real system has no absorbing sT). Must outlive the
+  /// environment.
+  Environment(const Pomdp& model, Rng rng);
+
+  /// Injects a fault: sets the true state, resets clocks and accumulators.
+  void reset(StateId initial_state);
+
+  StateId true_state() const { return state_; }
+  const Pomdp& model() const { return model_; }
+
+  struct StepResult {
+    StateId next_state;
+    ObsId obs;
+    double reward;    ///< r(s, a) accrued by this step (≤ 0)
+    double duration;  ///< t_a, seconds
+  };
+
+  /// Executes an action: samples the state transition and the monitors'
+  /// observation, accrues cost and time.
+  StepResult step(ActionId action);
+
+  /// Seconds elapsed since the last reset (sum of action durations).
+  double elapsed_time() const { return elapsed_; }
+
+  /// −Σ rewards accrued since the last reset (≥ 0).
+  double accumulated_cost() const { return cost_; }
+
+  /// True when the current true state is in Sφ.
+  bool recovered() const;
+
+  /// Time at which the true state first entered Sφ after the last reset
+  /// (the Table 1 "residual time"); +inf while the fault persists.
+  double recovery_entered_time() const { return recovery_entered_; }
+
+  std::size_t steps() const { return steps_; }
+
+ private:
+  const Pomdp& model_;
+  Rng rng_;
+  StateId state_ = 0;
+  double elapsed_ = 0.0;
+  double cost_ = 0.0;
+  double recovery_entered_ = std::numeric_limits<double>::infinity();
+  std::size_t steps_ = 0;
+};
+
+}  // namespace recoverd::sim

@@ -1,0 +1,117 @@
+#include "sim/experiment.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace recoverd::sim {
+
+namespace {
+// Initial belief over the controller's model: uniform over the fault
+// support (§4 "all faults are equally likely").
+Belief initial_belief(const Pomdp& controller_model, const Pomdp& env_model,
+                      const EpisodeConfig& config) {
+  std::vector<StateId> support = config.fault_support;
+  if (support.empty()) {
+    for (StateId s = 0; s < env_model.num_states(); ++s) {
+      if (!env_model.mdp().is_goal(s)) support.push_back(s);
+    }
+  }
+  return Belief::uniform_over(controller_model.num_states(), support);
+}
+}  // namespace
+
+EpisodeMetrics run_episode(Environment& env, controller::RecoveryController& controller,
+                           StateId fault, const EpisodeConfig& config,
+                           EpisodeTrace* trace) {
+  const Pomdp& env_model = env.model();
+  RD_EXPECTS(config.observe_action < env_model.num_actions(),
+             "run_episode: observe action out of range");
+  RD_EXPECTS(fault < env_model.num_states(), "run_episode: fault out of range");
+
+  EpisodeMetrics metrics;
+  metrics.injected_fault = fault;
+
+  env.reset(fault);
+  controller.begin_episode(initial_belief(controller.model(), env_model, config));
+  if (trace != nullptr) *trace = EpisodeTrace{}, trace->set_injected_fault(fault);
+
+  Timer algorithm_timer;
+  double algorithm_ms = 0.0;
+
+  if (config.initial_observation) {
+    const StateId before = env.true_state();
+    const auto step = env.step(config.observe_action);
+    controller.record(config.observe_action, step.obs);
+    ++metrics.monitor_calls;
+    if (trace != nullptr) {
+      trace->add_step({0, before, config.observe_action, step.next_state, step.obs,
+                       step.reward, env.elapsed_time(), 0.0});
+    }
+  }
+
+  for (std::size_t i = 0; i < config.max_steps; ++i) {
+    algorithm_timer.reset();
+    const controller::Decision decision = controller.decide();
+    algorithm_ms += algorithm_timer.elapsed_ms();
+
+    if (decision.terminate) {
+      metrics.terminated = true;
+      break;
+    }
+    RD_ENSURES(decision.action < env_model.num_actions(),
+               "run_episode: controller chose an action the environment lacks");
+    const double goal_prob = controller.model().mdp().goal_probability(
+        controller.belief().probabilities());
+    const StateId before = env.true_state();
+    const auto step = env.step(decision.action);
+    controller.record(decision.action, step.obs);
+    if (trace != nullptr) {
+      trace->add_step({0, before, decision.action, step.next_state, step.obs,
+                       step.reward, env.elapsed_time(), goal_prob});
+    }
+    if (decision.action == config.observe_action) {
+      ++metrics.monitor_calls;
+    } else {
+      ++metrics.recovery_actions;
+    }
+  }
+
+  if (trace != nullptr) trace->set_terminated(metrics.terminated);
+  metrics.cost = env.accumulated_cost();
+  metrics.recovery_time = env.elapsed_time();
+  metrics.recovered = env.recovered();
+  metrics.residual_time =
+      std::isinf(env.recovery_entered_time()) ? env.elapsed_time()
+                                              : env.recovery_entered_time();
+  metrics.algorithm_time_ms = algorithm_ms;
+  return metrics;
+}
+
+ExperimentResult run_experiment(const Pomdp& env_model,
+                                controller::RecoveryController& controller,
+                                const FaultInjector& injector, std::size_t episodes,
+                                std::uint64_t seed, const EpisodeConfig& config) {
+  ExperimentResult result;
+  Rng master(seed);
+  for (std::size_t i = 0; i < episodes; ++i) {
+    Rng episode_rng = master.split();
+    Environment env(env_model, episode_rng.split());
+    const StateId fault = injector.sample(episode_rng);
+    const EpisodeMetrics m = run_episode(env, controller, fault, config);
+
+    result.cost.add(m.cost);
+    result.recovery_time.add(m.recovery_time);
+    result.residual_time.add(m.residual_time);
+    result.algorithm_time_ms.add(m.algorithm_time_ms);
+    result.recovery_actions.add(static_cast<double>(m.recovery_actions));
+    result.monitor_calls.add(static_cast<double>(m.monitor_calls));
+    ++result.episodes;
+    if (!m.recovered) ++result.unrecovered;
+    if (!m.terminated) ++result.not_terminated;
+  }
+  return result;
+}
+
+}  // namespace recoverd::sim

@@ -1,0 +1,72 @@
+// Fault-injection experiment harness: runs recovery episodes and collects
+// the per-fault metrics of Table 1 (cost, recovery time, residual time,
+// algorithm time, recovery actions, monitor calls).
+#pragma once
+
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "sim/environment.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/trace.hpp"
+#include "util/stats.hpp"
+
+namespace recoverd::sim {
+
+struct EpisodeConfig {
+  /// The monitoring action (counted as "monitor calls", used for the initial
+  /// observation). Required.
+  ActionId observe_action = kInvalidId;
+  /// Safety cap on episode length; exceeding it marks the episode
+  /// not-terminated rather than looping forever.
+  std::size_t max_steps = 100000;
+  /// Take one initial monitor reading to refine the controller's starting
+  /// belief (§4). Disabled for the Oracle, which needs no monitors.
+  bool initial_observation = true;
+  /// Support of the controller's initial belief ("all faults equally
+  /// likely", §4). Empty = all non-goal states of the *environment* model.
+  std::vector<StateId> fault_support;
+};
+
+/// Per-episode results.
+struct EpisodeMetrics {
+  double cost = 0.0;                ///< requests dropped (−Σ rewards)
+  double recovery_time = 0.0;       ///< seconds until the controller stopped
+  double residual_time = 0.0;       ///< seconds the fault was present
+  double algorithm_time_ms = 0.0;   ///< wall time inside decide()
+  std::size_t recovery_actions = 0; ///< non-monitor actions executed
+  std::size_t monitor_calls = 0;    ///< monitor invocations (incl. initial)
+  bool recovered = false;           ///< true state ended in Sφ
+  bool terminated = false;          ///< controller stopped on its own
+  StateId injected_fault = kInvalidId;
+};
+
+/// Runs one recovery episode of `controller` against `env` with fault
+/// `fault` injected. The controller's model may be a transformed variant of
+/// the environment model (shared ids for common states/actions). When
+/// `trace` is non-null every step is recorded for later CSV export.
+EpisodeMetrics run_episode(Environment& env, controller::RecoveryController& controller,
+                           StateId fault, const EpisodeConfig& config,
+                           EpisodeTrace* trace = nullptr);
+
+/// Aggregate over many injections.
+struct ExperimentResult {
+  RunningStats cost;
+  RunningStats recovery_time;
+  RunningStats residual_time;
+  RunningStats algorithm_time_ms;
+  RunningStats recovery_actions;
+  RunningStats monitor_calls;
+  std::size_t episodes = 0;
+  std::size_t unrecovered = 0;      ///< controller quit before the fault was fixed
+  std::size_t not_terminated = 0;   ///< hit the max_steps cap
+};
+
+/// Runs `episodes` injections sampled from `injector`, each on a fresh
+/// deterministic RNG stream derived from `seed`.
+ExperimentResult run_experiment(const Pomdp& env_model,
+                                controller::RecoveryController& controller,
+                                const FaultInjector& injector, std::size_t episodes,
+                                std::uint64_t seed, const EpisodeConfig& config);
+
+}  // namespace recoverd::sim

@@ -1,0 +1,24 @@
+#include "sim/fault_injector.hpp"
+
+#include "util/check.hpp"
+
+namespace recoverd::sim {
+
+FaultInjector::FaultInjector(std::vector<StateId> faults)
+    : FaultInjector(std::move(faults), std::vector<double>{}) {}
+
+FaultInjector::FaultInjector(std::vector<StateId> faults, std::span<const double> weights)
+    : faults_(std::move(faults)) {
+  RD_EXPECTS(!faults_.empty(), "FaultInjector: fault set must be non-empty");
+  if (weights.empty()) {
+    table_ = AliasTable(std::vector<double>(faults_.size(), 1.0));
+  } else {
+    RD_EXPECTS(weights.size() == faults_.size(),
+               "FaultInjector: one weight per fault required");
+    table_ = AliasTable(weights);
+  }
+}
+
+StateId FaultInjector::sample(Rng& rng) const { return faults_[table_.sample(rng)]; }
+
+}  // namespace recoverd::sim

@@ -1,0 +1,30 @@
+// Fault injection distributions for experiments (§5 injects only the
+// hard-to-diagnose zombie faults, uniformly).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pomdp/types.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::sim {
+
+class FaultInjector {
+ public:
+  /// Uniform injection over `faults`.
+  explicit FaultInjector(std::vector<StateId> faults);
+
+  /// Weighted injection (weights need not be normalised).
+  FaultInjector(std::vector<StateId> faults, std::span<const double> weights);
+
+  StateId sample(Rng& rng) const;
+
+  std::span<const StateId> faults() const { return faults_; }
+
+ private:
+  std::vector<StateId> faults_;
+  AliasTable table_;
+};
+
+}  // namespace recoverd::sim

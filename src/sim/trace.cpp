@@ -1,0 +1,34 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace recoverd::sim {
+
+void EpisodeTrace::add_step(TraceStep step) {
+  step.index = steps_.size();
+  steps_.push_back(step);
+}
+
+const TraceStep& EpisodeTrace::step(std::size_t i) const {
+  RD_EXPECTS(i < steps_.size(), "EpisodeTrace::step: index out of range");
+  return steps_[i];
+}
+
+void EpisodeTrace::write_csv(std::ostream& os) const {
+  CsvWriter csv(os);
+  csv.write_row(std::vector<std::string>{"index", "state_before", "action",
+                                         "state_after", "obs", "reward",
+                                         "elapsed_after", "goal_probability"});
+  for (const auto& s : steps_) {
+    csv.write_row(std::vector<std::string>{
+        std::to_string(s.index), std::to_string(s.state_before),
+        std::to_string(s.action), std::to_string(s.state_after), std::to_string(s.obs),
+        std::to_string(s.reward), std::to_string(s.elapsed_after),
+        std::to_string(s.goal_probability)});
+  }
+}
+
+}  // namespace recoverd::sim

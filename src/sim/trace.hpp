@@ -1,0 +1,49 @@
+// Episode trace recording: every step of a recovery episode (true state,
+// action, observation, reward, clock) for debugging controllers, producing
+// the examples' walkthroughs, and exporting campaigns to CSV for external
+// analysis.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pomdp/types.hpp"
+
+namespace recoverd::sim {
+
+struct TraceStep {
+  std::size_t index = 0;
+  StateId state_before = kInvalidId;
+  ActionId action = kInvalidId;
+  StateId state_after = kInvalidId;
+  ObsId obs = kInvalidId;
+  double reward = 0.0;
+  double elapsed_after = 0.0;  ///< simulation clock after the step
+  double goal_probability = 0.0;  ///< controller's P[Sφ] before deciding
+};
+
+/// One recorded episode.
+class EpisodeTrace {
+ public:
+  void set_injected_fault(StateId fault) { injected_fault_ = fault; }
+  StateId injected_fault() const { return injected_fault_; }
+
+  void add_step(TraceStep step);
+  void set_terminated(bool terminated) { terminated_ = terminated; }
+
+  std::size_t size() const { return steps_.size(); }
+  const TraceStep& step(std::size_t i) const;
+  bool terminated() const { return terminated_; }
+
+  /// Writes the trace as CSV with a header row. Ids are numeric; pass a
+  /// Pomdp through write_csv(os, trace, pomdp) below for named columns.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  StateId injected_fault_ = kInvalidId;
+  bool terminated_ = false;
+  std::vector<TraceStep> steps_;
+};
+
+}  // namespace recoverd::sim

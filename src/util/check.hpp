@@ -1,0 +1,57 @@
+// Checked-precondition and invariant support for the recoverd library.
+//
+// The library follows the Core Guidelines I.5/I.6 style: public entry points
+// state their preconditions with RD_EXPECTS, which throws (rather than
+// aborting) so that callers embedding the controller in a long-running
+// process can contain a misconfigured model.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace recoverd {
+
+/// Error thrown when a caller violates a documented precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Error thrown when an internal invariant fails (a library bug or numeric
+/// breakdown, e.g. a divergent linear solve).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Error thrown when a model fails validation (non-stochastic rows,
+/// violated recovery-model conditions, ...).
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file, int line,
+                                     const std::string& msg);
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& msg);
+}  // namespace detail
+
+}  // namespace recoverd
+
+/// Precondition check: throws recoverd::PreconditionError when `expr` is false.
+#define RD_EXPECTS(expr, msg)                                                  \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::recoverd::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                           \
+  } while (false)
+
+/// Invariant check: throws recoverd::InvariantError when `expr` is false.
+#define RD_ENSURES(expr, msg)                                                \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::recoverd::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                         \
+  } while (false)

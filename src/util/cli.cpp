@@ -1,0 +1,70 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace recoverd {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      kv_[body] = "true";
+    } else {
+      kv_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string CliArgs::get_string(const std::string& key, const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  RD_EXPECTS(end && *end == '\0', "CliArgs: --" + key + " expects an integer");
+  return v;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  RD_EXPECTS(end && *end == '\0', "CliArgs: --" + key + " expects a number");
+  return v;
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  RD_EXPECTS(false, "CliArgs: --" + key + " expects a boolean");
+  return fallback;
+}
+
+void CliArgs::require_known(const std::vector<std::string>& known) const {
+  for (const auto& [key, value] : kv_) {
+    (void)value;
+    RD_EXPECTS(std::find(known.begin(), known.end(), key) != known.end(),
+               "CliArgs: unknown flag --" + key);
+  }
+}
+
+}  // namespace recoverd

@@ -1,0 +1,37 @@
+// Tiny --key=value flag parser shared by the bench/example binaries, so each
+// experiment can expose the paper's parameters (fault count, seeds, t_op, …)
+// without pulling in a heavyweight CLI dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace recoverd {
+
+/// Parses `--key=value` and bare `--flag` arguments; anything else is kept
+/// as a positional argument. Unknown keys are allowed (callers query what
+/// they care about), but `require_known()` can reject typos.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Throws PreconditionError when an argument key is not in `known`.
+  void require_known(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace recoverd

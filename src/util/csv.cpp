@@ -1,0 +1,41 @@
+#include "util/csv.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace recoverd {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::fixed;
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    os.str("");
+    os << v;
+    text.push_back(os.str());
+  }
+  write_row(text);
+}
+
+}  // namespace recoverd

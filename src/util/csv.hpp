@@ -1,0 +1,26 @@
+// CSV emission so bench series (Fig. 5a/5b) can be re-plotted externally.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace recoverd {
+
+/// Streams rows as RFC-4180-ish CSV (quotes cells containing separators).
+class CsvWriter {
+ public:
+  /// Writes to `os`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Numeric convenience row.
+  void write_row(const std::vector<double>& cells, int precision = 6);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& os_;
+};
+
+}  // namespace recoverd

@@ -1,0 +1,32 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace recoverd {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace recoverd

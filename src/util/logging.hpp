@@ -1,0 +1,53 @@
+// Minimal levelled logger. The controller logs decisions at Debug level so
+// example binaries can show an episode trace without recompiling.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace recoverd {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr with a level prefix if `level` passes the
+/// threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_message(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_message(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_message(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_message(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace recoverd

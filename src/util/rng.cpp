@@ -1,0 +1,141 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace recoverd {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // Guard against the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  RD_EXPECTS(lo <= hi, "uniform: lo must not exceed hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+std::size_t Rng::uniform_index(std::size_t n) {
+  RD_EXPECTS(n > 0, "uniform_index: n must be positive");
+  const std::uint64_t bound = n;
+  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return static_cast<std::size_t>(r % bound);
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) {
+  RD_EXPECTS(!weights.empty(), "discrete: weights must be non-empty");
+  double total = 0.0;
+  for (double w : weights) {
+    RD_EXPECTS(w >= 0.0 && std::isfinite(w), "discrete: weights must be finite and >= 0");
+    total += w;
+  }
+  RD_EXPECTS(total > 0.0, "discrete: weights must have a positive sum");
+  double u = uniform01() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (u < weights[i]) return i;
+    u -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split() {
+  // Derive a child seed from two raw draws; the parent stream advances, so
+  // successive splits produce distinct children.
+  const std::uint64_t a = next_u64();
+  const std::uint64_t b = next_u64();
+  return Rng(a ^ rotl(b, 31));
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  RD_EXPECTS(!weights.empty(), "AliasTable: weights must be non-empty");
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    RD_EXPECTS(w >= 0.0 && std::isfinite(w), "AliasTable: weights must be finite and >= 0");
+    total += w;
+  }
+  RD_EXPECTS(total > 0.0, "AliasTable: weights must have a positive sum");
+
+  norm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) norm_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = norm_[i] * static_cast<double>(n);
+
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::size_t i : large) prob_[i] = 1.0;
+  for (std::size_t i : small) prob_[i] = 1.0;  // numeric leftovers are full buckets
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+  RD_EXPECTS(!prob_.empty(), "AliasTable: sampling from an empty table");
+  const std::size_t bucket = rng.uniform_index(prob_.size());
+  return rng.uniform01() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+double AliasTable::probability(std::size_t i) const {
+  RD_EXPECTS(i < norm_.size(), "AliasTable: index out of range");
+  return norm_[i];
+}
+
+}  // namespace recoverd

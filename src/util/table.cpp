@@ -1,0 +1,55 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace recoverd {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  RD_EXPECTS(!header.empty(), "TextTable: header must be non-empty");
+  RD_EXPECTS(rows_.empty(), "TextTable: set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  RD_EXPECTS(!header_.empty(), "TextTable: set_header first");
+  RD_EXPECTS(row.size() == header_.size(), "TextTable: row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  RD_EXPECTS(!header_.empty(), "TextTable: nothing to print");
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c], '-');
+    if (c + 1 < header_.size()) os << "  ";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace recoverd

@@ -1,0 +1,36 @@
+// ASCII table rendering for bench binaries (Table 1 style output).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace recoverd {
+
+/// Right-pads/aligns cells and prints a header rule, e.g.
+///
+///   Algorithm    Depth  Cost     ...
+///   -----------  -----  -------  ...
+///   Most Likely  1      244.40   ...
+class TextTable {
+ public:
+  /// Sets the column headers; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Adds one row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders the table to `os`.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace recoverd

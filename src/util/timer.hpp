@@ -1,0 +1,26 @@
+// Wall-clock timing for the "algorithm time" metric of Table 1.
+#pragma once
+
+#include <chrono>
+
+namespace recoverd {
+
+/// Monotonic stopwatch. `elapsed_ms()` reads without stopping.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace recoverd

@@ -1,0 +1,219 @@
+#include "bounds/ra_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/comparison_bounds.hpp"
+#include "bounds/upper_bound.hpp"
+#include "linalg/vector_ops.hpp"
+#include "models/two_server.hpp"
+#include "pomdp/bellman.hpp"
+#include "pomdp/conditions.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::bounds {
+namespace {
+
+Belief random_belief(std::size_t n, Rng& rng) {
+  std::vector<double> pi(n);
+  for (auto& v : pi) v = rng.uniform01() + 1e-9;
+  return Belief(std::move(pi));
+}
+
+TEST(RaBound, HandComputedValuesWithNotification) {
+  // Fig. 2(a) chain: V(Null)=0 (absorbing), and for the fault states
+  //   3V = (-0.5 + 0) + (-1 + V) + (-0.5 + V)  =>  V = -2.
+  const Pomdp p = models::make_two_server_with_notification();
+  const auto ids = models::two_server_ids(p);
+  const auto ra = compute_ra_bound(p.mdp());
+  ASSERT_TRUE(ra.converged());
+  EXPECT_NEAR(ra.values[ids.null_state], 0.0, 1e-8);
+  EXPECT_NEAR(ra.values[ids.fault_a], -2.0, 1e-8);
+  EXPECT_NEAR(ra.values[ids.fault_b], -2.0, 1e-8);
+}
+
+TEST(RaBound, HandComputedValuesWithTerminate) {
+  // Fig. 2(b) chain with t_op = 40:
+  //   V(sT) = 0
+  //   4V(Null) = -1 + 3V(Null)          => V(Null) = -1
+  //   4V(Fa) = -2 - 0.5·t_op + V(Null) + 2V(Fa) => V(Fa) = -1.5 - 0.25·t_op
+  const double t_op = 40.0;
+  const Pomdp p = models::make_two_server_without_notification(t_op);
+  const auto ids = models::two_server_ids(p);
+  const auto ra = compute_ra_bound(p.mdp());
+  ASSERT_TRUE(ra.converged());
+  EXPECT_NEAR(ra.values[p.terminate_state()], 0.0, 1e-8);
+  EXPECT_NEAR(ra.values[ids.null_state], -1.0, 1e-8);
+  EXPECT_NEAR(ra.values[ids.fault_a], -1.5 - 0.25 * t_op, 1e-7);
+  EXPECT_NEAR(ra.values[ids.fault_b], -1.5 - 0.25 * t_op, 1e-7);
+}
+
+TEST(RaBound, DivergesOnUntransformedModel) {
+  // The untransformed model keeps nonzero restart costs in the recurrent
+  // Null state, so the random-action chain accrues cost forever (§3.1).
+  const Pomdp p = models::make_two_server();
+  const auto ra = compute_ra_bound(p.mdp());
+  EXPECT_FALSE(ra.converged());
+}
+
+TEST(RaBound, BelowMdpOptimalValueStatewise) {
+  // Mean-vs-max: the random-action value can never exceed the optimal value.
+  for (const Pomdp& p : {models::make_two_server_with_notification(),
+                         models::make_two_server_without_notification(40.0)}) {
+    const auto ra = compute_ra_bound(p.mdp());
+    const auto qmdp = compute_qmdp_bound(p.mdp());
+    ASSERT_TRUE(ra.converged());
+    ASSERT_TRUE(qmdp.converged());
+    for (StateId s = 0; s < p.num_states(); ++s) {
+      EXPECT_LE(ra.values[s], qmdp.values[s] + 1e-9) << p.mdp().state_name(s);
+    }
+  }
+}
+
+TEST(RaBound, SatisfiesLpMonotonicity) {
+  // Property 1(b): with B = {RA-Bound}, V_B⁻(π) ≤ (L_p V_B⁻)(π) everywhere.
+  // This is the executable core of Lemma 3.1.
+  Rng rng(42);
+  for (const Pomdp& p : {models::make_two_server_with_notification(),
+                         models::make_two_server_without_notification(40.0)}) {
+    const BoundSet set = make_ra_bound_set(p.mdp());
+    const LeafEvaluator leaf = [&](const Belief& b) {
+      return set.evaluate(b.probabilities());
+    };
+    for (int trial = 0; trial < 50; ++trial) {
+      const Belief pi = random_belief(p.num_states(), rng);
+      const double v = set.evaluate(pi.probabilities());
+      const double lp_v = apply_lp(p, pi, leaf);
+      EXPECT_LE(v, lp_v + 1e-9);
+    }
+  }
+}
+
+TEST(RaBound, BelowFiniteHorizonUpperBounds) {
+  // V_d(π) with zero leaves upper-bounds V*_p(π) for every depth, so the
+  // RA-Bound must stay below each of them (Theorem 3.1 consequence).
+  Rng rng(7);
+  const Pomdp p = models::make_two_server_with_notification();
+  const BoundSet set = make_ra_bound_set(p.mdp());
+  const LeafEvaluator zero = [](const Belief&) { return 0.0; };
+  for (int trial = 0; trial < 20; ++trial) {
+    const Belief pi = random_belief(p.num_states(), rng);
+    const double ra_value = set.evaluate(pi.probabilities());
+    for (int depth = 0; depth <= 5; ++depth) {
+      EXPECT_LE(ra_value, bellman_value(p, pi, depth, zero) + 1e-9);
+    }
+  }
+}
+
+TEST(RaBound, DiscountedVariantConvergesOnUntransformedModel) {
+  const Pomdp p = models::make_two_server();
+  const auto ra = compute_ra_bound_discounted(p.mdp(), 0.9);
+  ASSERT_TRUE(ra.converged());
+  // Discounted values are finite and non-positive.
+  for (double v : ra.values) {
+    EXPECT_LE(v, 1e-12);
+    EXPECT_GT(v, -1e6);
+  }
+  EXPECT_THROW(compute_ra_bound_discounted(p.mdp(), 1.0), PreconditionError);
+}
+
+TEST(RaBound, MakeRaBoundSetSeedsProtectedPlane) {
+  const Pomdp p = models::make_two_server_with_notification();
+  const BoundSet set = make_ra_bound_set(p.mdp());
+  EXPECT_EQ(set.size(), 1u);
+  const auto ra = compute_ra_bound(p.mdp());
+  EXPECT_TRUE(linalg::approx_equal(set.vector_at(0), ra.values, 1e-12));
+}
+
+TEST(RaBound, MakeRaBoundSetThrowsOnDivergence) {
+  const Pomdp p = models::make_two_server();
+  EXPECT_THROW(make_ra_bound_set(p.mdp()), ModelError);
+}
+
+TEST(BiBound, DivergesOnRecoveryModelsBothVariants) {
+  // §3.1: the worst action makes no progress but accrues cost, with or
+  // without recovery notification.
+  const Pomdp with = models::make_two_server_with_notification();
+  EXPECT_FALSE(compute_bi_bound(with.mdp()).converged());
+  const Pomdp without = models::make_two_server_without_notification(40.0);
+  EXPECT_FALSE(compute_bi_bound(without.mdp()).converged());
+}
+
+TEST(BiBound, ConvergesWhenDiscountedAndBelowRa) {
+  const Pomdp p = models::make_two_server_with_notification();
+  ValueIterationOptions opts;
+  opts.beta = 0.9;
+  const auto bi = compute_bi_bound(p.mdp(), opts);
+  ASSERT_TRUE(bi.converged());
+  const auto ra = compute_ra_bound_discounted(p.mdp(), 0.9);
+  ASSERT_TRUE(ra.converged());
+  // Worst-action value is below the random-action value state by state.
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    EXPECT_LE(bi.values[s], ra.values[s] + 1e-8);
+  }
+}
+
+TEST(BlindPolicy, DivergesWithNotificationConvergesWithTerminate) {
+  // §3.1: no single recovery action progresses in all states, so blind
+  // bounds blow up on the notification variant; the terminate action makes
+  // every blind bound finite on the terminate variant... but only aT's own
+  // bound — the other blind policies still diverge. The *set* bound is
+  // usable only when every vector is finite, which holds only through aT.
+  const Pomdp with = models::make_two_server_with_notification();
+  const auto blind_with = compute_blind_policy_bounds(with.mdp());
+  EXPECT_FALSE(blind_with.all_converged());
+
+  const Pomdp without = models::make_two_server_without_notification(40.0);
+  const auto blind_without = compute_blind_policy_bounds(without.mdp());
+  EXPECT_TRUE(blind_without.any_converged());
+  const auto& at_bound = blind_without.per_action[without.terminate_action()];
+  ASSERT_TRUE(at_bound.converged());
+  const auto ids = models::two_server_ids(without);
+  EXPECT_NEAR(at_bound.values[ids.fault_a], -0.5 * 40.0, 1e-8);
+}
+
+TEST(BlindPolicy, SetBoundOnFullyConvergentModel) {
+  // With discounting every blind policy converges and the set-max bound is
+  // defined; verify it is a valid lower bound vs the QMDP upper bound.
+  const Pomdp p = models::make_two_server_with_notification();
+  ValueIterationOptions opts;
+  opts.beta = 0.8;
+  const auto blind = compute_blind_policy_bounds(p.mdp(), opts);
+  ASSERT_TRUE(blind.all_converged());
+  const BoundSet set = blind.to_bound_set();
+  EXPECT_GE(set.size(), 1u);
+  const auto qmdp = compute_qmdp_bound(p.mdp(), opts);
+  ASSERT_TRUE(qmdp.converged());
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Belief pi = random_belief(p.num_states(), rng);
+    EXPECT_LE(set.evaluate(pi.probabilities()), qmdp.evaluate(pi.probabilities()) + 1e-9);
+  }
+}
+
+TEST(UpperBound, QmdpDominatesRaEverywhere) {
+  Rng rng(13);
+  const Pomdp p = models::make_two_server_without_notification(40.0);
+  const BoundSet ra_set = make_ra_bound_set(p.mdp());
+  const auto qmdp = compute_qmdp_bound(p.mdp());
+  ASSERT_TRUE(qmdp.converged());
+  for (int trial = 0; trial < 30; ++trial) {
+    const Belief pi = random_belief(p.num_states(), rng);
+    const double lower = ra_set.evaluate(pi.probabilities());
+    const double upper = qmdp.evaluate(pi.probabilities());
+    EXPECT_LE(lower, upper + 1e-9);
+    EXPECT_LE(upper, trivial_upper_bound() + 1e-9);
+  }
+}
+
+TEST(RaBound, RecoveryModelConditionsHoldOnTransformedModels) {
+  for (const Pomdp& p : {models::make_two_server_with_notification(),
+                         models::make_two_server_without_notification(40.0)}) {
+    // The POMDP overload treats the absorbing terminate state as a sink.
+    EXPECT_TRUE(check_condition1(p).satisfied);
+    EXPECT_TRUE(check_condition2(p.mdp()).satisfied);
+  }
+}
+
+}  // namespace
+}  // namespace recoverd::bounds

@@ -1,0 +1,124 @@
+#include "bounds/bound_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace recoverd::bounds {
+namespace {
+
+TEST(BoundSet, EvaluateIsMaxOfHyperplanes) {
+  BoundSet set(2);
+  set.add({-4.0, 0.0});
+  set.add({0.0, -4.0});
+  const std::vector<double> left{1.0, 0.0};
+  const std::vector<double> right{0.0, 1.0};
+  const std::vector<double> mid{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(set.evaluate(left), 0.0);   // second plane wins at vertex 0
+  EXPECT_DOUBLE_EQ(set.evaluate(right), 0.0);  // first plane wins at vertex 1
+  EXPECT_DOUBLE_EQ(set.evaluate(mid), -2.0);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(BoundSet, NewcomerDominatedIsDropped) {
+  BoundSet set(2);
+  set.add({-1.0, -1.0});
+  EXPECT_EQ(set.add({-2.0, -1.5}), BoundSet::AddResult::Dominated);
+  EXPECT_EQ(set.size(), 1u);
+  // Equal vector is also dominated (>= everywhere).
+  EXPECT_EQ(set.add({-1.0, -1.0}), BoundSet::AddResult::Dominated);
+}
+
+TEST(BoundSet, DominatedExistingVectorsArePruned) {
+  BoundSet set(2);
+  set.add({-5.0, -5.0});  // protected base plane: never pruned
+  set.add({-4.0, -1.0});
+  set.add({-1.0, -4.0});
+  EXPECT_EQ(set.size(), 3u);
+  // Dominates both unprotected planes; base plane stays.
+  set.add({-0.5, -0.5});
+  EXPECT_EQ(set.size(), 2u);
+  const std::vector<double> v{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(set.evaluate(v), -0.5);
+}
+
+TEST(BoundSet, CapacityEvictsLeastUsedUnprotected) {
+  BoundSet set(2, 3);
+  set.add({-10.0, -10.0});  // protected
+  set.add({0.0, -20.0});    // wins at vertex 0
+  set.add({-20.0, 0.0});    // wins at vertex 1
+  // Heat up the vertex-0 winner.
+  const std::vector<double> v0{1.0, 0.0};
+  for (int i = 0; i < 5; ++i) set.evaluate(v0);
+  // Adding a 4th vector evicts the least-used unprotected one (vertex-1 winner).
+  set.add({-1.0, -1.0});
+  EXPECT_EQ(set.size(), 3u);
+  const std::vector<double> v1{0.0, 1.0};
+  // The vertex-1 specialist is gone: best available is the newcomer at -1.
+  EXPECT_DOUBLE_EQ(set.evaluate(v1), -1.0);
+  EXPECT_DOUBLE_EQ(set.evaluate(v0), 0.0);  // heated vector survived
+}
+
+TEST(BoundSet, ProtectedVectorsSurviveEviction) {
+  BoundSet set(1, 2);
+  set.add({-3.0});  // protected automatically
+  set.add({-2.0});
+  set.add({-1.0});  // evicts -2.0, not the protected -3.0
+  EXPECT_EQ(set.size(), 2u);
+  bool has_base = false;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (set.vector_at(i)[0] == -3.0) has_base = true;
+  }
+  EXPECT_TRUE(has_base);
+}
+
+TEST(BoundSet, ExplicitProtect) {
+  BoundSet set(1, 2);
+  set.add({-3.0});
+  set.add({-2.0});
+  set.protect(1);
+  EXPECT_THROW(set.add({-1.0}), InvariantError);  // both slots protected, no victim
+}
+
+TEST(BoundSet, AddingNeverLowersTheBoundAnywhere) {
+  BoundSet set(3);
+  set.add({-5.0, -2.0, -7.0});
+  const std::vector<std::vector<double>> beliefs{
+      {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.2, 0.3, 0.5}, {1.0 / 3, 1.0 / 3, 1.0 / 3}};
+  std::vector<double> before;
+  before.reserve(beliefs.size());
+  for (const auto& pi : beliefs) before.push_back(set.evaluate(pi));
+  set.add({-6.0, -1.0, -6.5});
+  for (std::size_t i = 0; i < beliefs.size(); ++i) {
+    EXPECT_GE(set.evaluate(beliefs[i]) + 1e-15, before[i]);
+  }
+}
+
+TEST(BoundSet, UseCountsTrackWinners) {
+  BoundSet set(2);
+  set.add({0.0, -10.0});
+  set.add({-10.0, 0.0});
+  const std::vector<double> v0{1.0, 0.0};
+  set.evaluate(v0);
+  set.evaluate(v0);
+  EXPECT_EQ(set.use_count(0), 2u);
+  EXPECT_EQ(set.use_count(1), 0u);
+}
+
+TEST(BoundSet, Validation) {
+  EXPECT_THROW(BoundSet(0), PreconditionError);
+  BoundSet set(2);
+  EXPECT_THROW(set.add({-1.0}), PreconditionError);  // wrong dimension
+  const std::vector<double> pi{0.5, 0.5};
+  EXPECT_THROW(set.evaluate(pi), PreconditionError);  // empty set
+  set.add({-1.0, -1.0});
+  const std::vector<double> bad{0.5, 0.25, 0.25};
+  EXPECT_THROW(set.evaluate(bad), PreconditionError);
+  EXPECT_THROW(set.vector_at(5), PreconditionError);
+  EXPECT_THROW(set.protect(5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace recoverd::bounds

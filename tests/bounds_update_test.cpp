@@ -1,0 +1,167 @@
+#include "bounds/incremental_update.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/ra_bound.hpp"
+#include "bounds/upper_bound.hpp"
+#include "models/two_server.hpp"
+#include "pomdp/bellman.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::bounds {
+namespace {
+
+Belief random_belief(std::size_t n, Rng& rng) {
+  std::vector<double> pi(n);
+  for (auto& v : pi) v = rng.uniform01() + 1e-9;
+  return Belief(std::move(pi));
+}
+
+class IncrementalUpdateTest : public ::testing::Test {
+ protected:
+  IncrementalUpdateTest()
+      : pomdp_(models::make_two_server_with_notification()),
+        ids_(models::two_server_ids(pomdp_)),
+        set_(make_ra_bound_set(pomdp_.mdp())) {}
+
+  Pomdp pomdp_;
+  models::TwoServerIds ids_;
+  BoundSet set_;
+};
+
+TEST_F(IncrementalUpdateTest, BackupImprovesAtVertexBelief) {
+  // RA-Bound at vertex Fault(a) is -2; the optimal value there is -0.5. One
+  // point-based backup must lift the bound strictly (toward -0.5).
+  const Belief pi = Belief::point(pomdp_.num_states(), ids_.fault_a);
+  const auto result = improve_at(pomdp_, set_, pi);
+  EXPECT_TRUE(result.added);
+  EXPECT_GT(result.improvement(), 0.1);
+  EXPECT_LE(result.value_after, -0.5 - 1e-12 + 1.0);  // still a lower bound of -0.5
+  EXPECT_LE(result.value_after, -0.5 + 1e-9);
+  EXPECT_EQ(result.backing_action, ids_.restart_a);
+}
+
+TEST_F(IncrementalUpdateTest, RepeatedBackupsConvergeTowardOptimum) {
+  const Belief pi = Belief::point(pomdp_.num_states(), ids_.fault_a);
+  double value = set_.evaluate(pi.probabilities());
+  for (int i = 0; i < 20; ++i) {
+    const auto result = improve_at(pomdp_, set_, pi);
+    EXPECT_GE(result.value_after + 1e-12, value);
+    value = result.value_after;
+  }
+  // At a vertex with deterministic recovery the bound reaches the optimum.
+  EXPECT_NEAR(value, -0.5, 1e-6);
+}
+
+TEST_F(IncrementalUpdateTest, UpdatesNeverLowerTheBoundAnywhere) {
+  Rng rng(31);
+  std::vector<Belief> probes;
+  for (int i = 0; i < 25; ++i) probes.push_back(random_belief(pomdp_.num_states(), rng));
+  std::vector<double> before;
+  before.reserve(probes.size());
+  for (const auto& pi : probes) before.push_back(set_.evaluate(pi.probabilities()));
+
+  for (int i = 0; i < 10; ++i) {
+    improve_at(pomdp_, set_, random_belief(pomdp_.num_states(), rng));
+  }
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_GE(set_.evaluate(probes[i].probabilities()) + 1e-12, before[i]);
+  }
+}
+
+TEST_F(IncrementalUpdateTest, BoundStaysBelowQmdpUpperBound) {
+  // Every hyperplane produced by backups must remain a valid lower bound:
+  // check against the QMDP upper bound at random beliefs and at vertices.
+  Rng rng(17);
+  const auto qmdp = compute_qmdp_bound(pomdp_.mdp());
+  ASSERT_TRUE(qmdp.converged());
+  for (int i = 0; i < 30; ++i) {
+    improve_at(pomdp_, set_, random_belief(pomdp_.num_states(), rng));
+  }
+  for (int i = 0; i < 50; ++i) {
+    const Belief pi = random_belief(pomdp_.num_states(), rng);
+    EXPECT_LE(set_.evaluate(pi.probabilities()), qmdp.evaluate(pi.probabilities()) + 1e-9);
+  }
+  for (StateId s = 0; s < pomdp_.num_states(); ++s) {
+    const Belief pi = Belief::point(pomdp_.num_states(), s);
+    EXPECT_LE(set_.evaluate(pi.probabilities()), qmdp.evaluate(pi.probabilities()) + 1e-9);
+  }
+}
+
+TEST_F(IncrementalUpdateTest, LpMonotonicityPreservedAfterUpdates) {
+  // Property 1(b) must keep holding as the set grows: V_B⁻ ≤ L_p V_B⁻.
+  Rng rng(23);
+  for (int i = 0; i < 15; ++i) {
+    improve_at(pomdp_, set_, random_belief(pomdp_.num_states(), rng));
+  }
+  const LeafEvaluator leaf = [&](const Belief& b) {
+    return set_.evaluate(b.probabilities());
+  };
+  for (int i = 0; i < 40; ++i) {
+    const Belief pi = random_belief(pomdp_.num_states(), rng);
+    EXPECT_LE(set_.evaluate(pi.probabilities()), apply_lp(pomdp_, pi, leaf) + 1e-9);
+  }
+}
+
+TEST_F(IncrementalUpdateTest, NoGainNoGrowth) {
+  // Once the bound is locally tight, further updates at the same belief stop
+  // adding vectors.
+  const Belief pi = Belief::point(pomdp_.num_states(), ids_.fault_a);
+  for (int i = 0; i < 30; ++i) improve_at(pomdp_, set_, pi);
+  const std::size_t size_before = set_.size();
+  const auto result = improve_at(pomdp_, set_, pi);
+  EXPECT_FALSE(result.added);
+  EXPECT_EQ(set_.size(), size_before);
+  EXPECT_NEAR(result.improvement(), 0.0, 1e-9);
+}
+
+TEST_F(IncrementalUpdateTest, GrowthIsAtMostOnePerUpdate) {
+  Rng rng(41);
+  std::size_t prev = set_.size();
+  for (int i = 0; i < 20; ++i) {
+    improve_at(pomdp_, set_, random_belief(pomdp_.num_states(), rng));
+    EXPECT_LE(set_.size(), prev + 1);  // §4.1: at most one new vector per update
+    prev = set_.size();
+  }
+}
+
+TEST(IncrementalUpdateTerminate, WorksOnTerminateTransformedModel) {
+  const double t_op = 40.0;
+  const Pomdp p = models::make_two_server_without_notification(t_op);
+  const auto ids = models::two_server_ids(p);
+  BoundSet set = make_ra_bound_set(p.mdp());
+  const auto qmdp = compute_qmdp_bound(p.mdp());
+  ASSERT_TRUE(qmdp.converged());
+
+  Rng rng(3);
+  const Belief start = Belief::uniform_over(
+      p.num_states(), std::vector<StateId>{ids.fault_a, ids.fault_b});
+  double prev = set.evaluate(start.probabilities());
+  for (int i = 0; i < 25; ++i) {
+    const auto result = improve_at(p, set, start);
+    EXPECT_GE(result.value_after + 1e-12, prev);
+    prev = result.value_after;
+    improve_at(p, set, random_belief(p.num_states(), rng));
+  }
+  EXPECT_LE(prev, qmdp.evaluate(start.probabilities()) + 1e-9);
+  // Improvement over the raw RA value must be substantial (Fig. 5(a) shape).
+  const BoundSet fresh = make_ra_bound_set(p.mdp());
+  EXPECT_GT(prev, fresh.evaluate(start.probabilities()) + 1.0);
+}
+
+TEST(IncrementalUpdateValidation, RejectsBadArguments) {
+  const Pomdp p = models::make_two_server_with_notification();
+  BoundSet empty(p.num_states());
+  const Belief pi = Belief::uniform(p.num_states());
+  EXPECT_THROW(backup_vector(p, empty, pi), PreconditionError);
+  BoundSet wrong_dim(p.num_states() + 1);
+  wrong_dim.add(BoundVector(p.num_states() + 1, -1.0));
+  EXPECT_THROW(backup_vector(p, wrong_dim, pi), PreconditionError);
+  BoundSet ok = make_ra_bound_set(p.mdp());
+  EXPECT_THROW(backup_vector(p, ok, pi, nullptr, 0.0), PreconditionError);
+  EXPECT_THROW(backup_vector(p, ok, pi, nullptr, 1.5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace recoverd::bounds

@@ -1,0 +1,154 @@
+#include "controller/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controller/most_likely_controller.hpp"
+#include "controller/oracle_controller.hpp"
+#include "controller/random_controller.hpp"
+#include "controller/repair.hpp"
+#include "models/two_server.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::controller {
+namespace {
+
+class TwoServerFixture : public ::testing::Test {
+ protected:
+  TwoServerFixture() : model_(models::make_two_server()), ids_(models::two_server_ids(model_)) {}
+  Pomdp model_;
+  models::TwoServerIds ids_;
+};
+
+TEST_F(TwoServerFixture, RepairTableFindsCheapestFix) {
+  EXPECT_EQ(cheapest_fixing_action(model_.mdp(), ids_.fault_a), ids_.restart_a);
+  EXPECT_EQ(cheapest_fixing_action(model_.mdp(), ids_.fault_b), ids_.restart_b);
+  EXPECT_EQ(cheapest_fixing_action(model_.mdp(), ids_.null_state), kInvalidId);
+  const auto table = build_repair_table(model_.mdp());
+  EXPECT_EQ(table[ids_.fault_a], ids_.restart_a);
+  EXPECT_EQ(table[ids_.null_state], kInvalidId);
+}
+
+TEST_F(TwoServerFixture, RepairTablePrefersCheaperAmongMultipleFixes) {
+  // Add a second, more expensive fixing action and confirm it loses.
+  PomdpBuilder b;
+  const StateId good = b.add_state("good", 0.0);
+  const StateId bad = b.add_state("bad", -1.0);
+  b.mark_goal(good);
+  const ActionId cheap = b.add_action("cheap-fix", 1.0);
+  const ActionId pricey = b.add_action("pricey-fix", 10.0);
+  for (ActionId a : {cheap, pricey}) {
+    b.set_transition(bad, a, good, 1.0);
+    b.set_transition(good, a, good, 1.0);
+    b.set_rate_reward(good, a, 0.0);
+  }
+  const ObsId o = b.add_observation("none");
+  b.set_observation_all_actions(good, o, 1.0);
+  b.set_observation_all_actions(bad, o, 1.0);
+  const Pomdp p = b.build();
+  EXPECT_EQ(cheapest_fixing_action(p.mdp(), bad), cheap);
+}
+
+TEST_F(TwoServerFixture, BeliefTrackerFollowsBayesUpdates) {
+  RandomController c(model_, Rng(1));
+  const Belief start = Belief::uniform_over(
+      model_.num_states(), std::vector<StateId>{ids_.fault_a, ids_.fault_b});
+  c.begin_episode(start);
+  EXPECT_DOUBLE_EQ(c.belief()[ids_.fault_a], 0.5);
+
+  c.record(ids_.observe, ids_.alarm_a);
+  // alarm(a) rules out Fault(b) entirely (it never emits alarm(a)).
+  EXPECT_NEAR(c.belief()[ids_.fault_a], 1.0, 1e-12);
+  EXPECT_EQ(c.mismatch_count(), 0u);
+}
+
+TEST_F(TwoServerFixture, BeliefTrackerSurvivesImpossibleObservation) {
+  RandomController c(model_, Rng(1));
+  c.begin_episode(Belief::point(model_.num_states(), ids_.fault_a));
+  // alarm(b) is impossible from a point belief on Fault(a) under Observe.
+  c.record(ids_.observe, ids_.alarm_b);
+  EXPECT_EQ(c.mismatch_count(), 1u);
+  EXPECT_NEAR(c.belief()[ids_.fault_a], 1.0, 1e-12);  // unchanged
+}
+
+TEST_F(TwoServerFixture, MostLikelyDiagnosesAndRepairs) {
+  MostLikelyControllerOptions opts;
+  opts.observe_action = ids_.observe;
+  MostLikelyController c(model_, opts);
+  c.begin_episode(Belief::uniform_over(model_.num_states(),
+                                       std::vector<StateId>{ids_.fault_a, ids_.fault_b}));
+  c.record(ids_.observe, ids_.alarm_a);  // diagnosis: Fault(a)
+  const Decision d = c.decide();
+  EXPECT_FALSE(d.terminate);
+  EXPECT_EQ(d.action, ids_.restart_a);
+
+  // After a repair the controller wants fresh monitor data.
+  c.record(ids_.restart_a, ids_.clear);
+  const Decision d2 = c.decide();
+  if (!d2.terminate) {
+    EXPECT_EQ(d2.action, ids_.observe);
+  }
+}
+
+TEST_F(TwoServerFixture, MostLikelyTerminatesAtThreshold) {
+  MostLikelyControllerOptions opts;
+  opts.observe_action = ids_.observe;
+  opts.termination_probability = 0.99;
+  MostLikelyController c(model_, opts);
+  c.begin_episode(Belief::point(model_.num_states(), ids_.null_state));
+  const Decision d = c.decide();
+  EXPECT_TRUE(d.terminate);
+}
+
+TEST_F(TwoServerFixture, MostLikelyValidatesOptions) {
+  MostLikelyControllerOptions opts;
+  opts.observe_action = 99;
+  EXPECT_THROW(MostLikelyController(model_, opts), PreconditionError);
+  opts.observe_action = ids_.observe;
+  opts.termination_probability = 1.0;
+  EXPECT_THROW(MostLikelyController(model_, opts), PreconditionError);
+}
+
+TEST_F(TwoServerFixture, OracleFixesTrueFaultInOneAction) {
+  StateId true_state = ids_.fault_b;
+  OracleController c(model_, [&] { return true_state; });
+  c.begin_episode(Belief::uniform(model_.num_states()));
+  const Decision d = c.decide();
+  EXPECT_FALSE(d.terminate);
+  EXPECT_EQ(d.action, ids_.restart_b);
+  true_state = ids_.null_state;
+  EXPECT_TRUE(c.decide().terminate);
+}
+
+TEST_F(TwoServerFixture, OracleRequiresProvider) {
+  EXPECT_THROW(OracleController(model_, nullptr), PreconditionError);
+}
+
+TEST_F(TwoServerFixture, RandomControllerCoversAllActions) {
+  RandomController c(model_, Rng(7));
+  c.begin_episode(Belief::point(model_.num_states(), ids_.fault_a));
+  std::vector<int> seen(model_.num_actions(), 0);
+  for (int i = 0; i < 200; ++i) {
+    const Decision d = c.decide();
+    ASSERT_FALSE(d.terminate);  // no aT, belief not certain of goal
+    ++seen[d.action];
+  }
+  for (ActionId a = 0; a < model_.num_actions(); ++a) EXPECT_GT(seen[a], 0);
+}
+
+TEST(RandomControllerTerminate, ChoosesTerminateOnTransformedModel) {
+  const Pomdp p = models::make_two_server_without_notification(40.0);
+  RandomController c(p, Rng(3));
+  c.begin_episode(Belief::uniform(p.num_states()));
+  bool saw_terminate = false;
+  for (int i = 0; i < 200 && !saw_terminate; ++i) {
+    const Decision d = c.decide();
+    if (d.terminate) {
+      EXPECT_EQ(d.action, p.terminate_action());
+      saw_terminate = true;
+    }
+  }
+  EXPECT_TRUE(saw_terminate);
+}
+
+}  // namespace
+}  // namespace recoverd::controller

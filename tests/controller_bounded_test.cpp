@@ -1,0 +1,189 @@
+#include "controller/bounded_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/ra_bound.hpp"
+#include "controller/bootstrap.hpp"
+#include "controller/heuristic_controller.hpp"
+#include "models/two_server.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::controller {
+namespace {
+
+TEST(BoundedController, PicksCorrectRestartAtPointBelief) {
+  const Pomdp p = models::make_two_server_without_notification(40.0);
+  const auto ids = models::two_server_ids(p);
+  bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
+  BoundedController c(p, set);
+  c.begin_episode(Belief::point(p.num_states(), ids.fault_a));
+  const Decision d = c.decide();
+  EXPECT_FALSE(d.terminate);
+  EXPECT_EQ(d.action, ids.restart_a);
+}
+
+TEST(BoundedController, TerminatesOnceRecovered) {
+  const Pomdp p = models::make_two_server_without_notification(40.0);
+  const auto ids = models::two_server_ids(p);
+  bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
+  BoundedController c(p, set);
+  c.begin_episode(Belief::point(p.num_states(), ids.null_state));
+  const Decision d = c.decide();
+  EXPECT_TRUE(d.terminate);
+  EXPECT_EQ(d.action, p.terminate_action());
+}
+
+TEST(BoundedController, DoesNotTerminateWhileFaultIsLikely) {
+  // t_op = 6h makes early termination hugely expensive; with half the mass
+  // on faults, aT must lose to any recovery action.
+  const Pomdp p = models::make_two_server_without_notification(21600.0);
+  const auto ids = models::two_server_ids(p);
+  bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
+  BoundedController c(p, set);
+  c.begin_episode(Belief::uniform_over(p.num_states(),
+                                       std::vector<StateId>{ids.fault_a, ids.fault_b}));
+  const Decision d = c.decide();
+  EXPECT_FALSE(d.terminate);
+}
+
+TEST(BoundedController, NotificationVariantStopsAtGoalCertainty) {
+  models::TwoServerParams params;
+  params.coverage = 1.0;
+  params.false_positive = 0.0;
+  const Pomdp p = models::make_two_server_with_notification(params);
+  const auto ids = models::two_server_ids(p);
+  bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
+  BoundedController c(p, set);
+  c.begin_episode(Belief::point(p.num_states(), ids.fault_a));
+  EXPECT_FALSE(c.decide().terminate);
+  // Perfect monitors: a clear reading after the restart collapses the
+  // belief onto Null, and the controller stops.
+  c.record(ids.restart_a, ids.clear);
+  EXPECT_TRUE(c.decide().terminate);
+}
+
+TEST(BoundedController, OnlineImprovementGrowsTheSharedSet) {
+  const Pomdp p = models::make_two_server_without_notification(40.0);
+  const auto ids = models::two_server_ids(p);
+  bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
+  BoundedControllerOptions opts;
+  opts.online_improvement = true;
+  BoundedController c(p, set, opts);
+  c.begin_episode(Belief::point(p.num_states(), ids.fault_a));
+  const std::size_t before = set.size();
+  (void)c.decide();
+  EXPECT_GE(set.size(), before);  // improvement may add a plane
+  EXPECT_LE(set.size(), before + 1);
+
+  BoundedControllerOptions off;
+  off.online_improvement = false;
+  bounds::BoundSet frozen = bounds::make_ra_bound_set(p.mdp());
+  BoundedController c2(p, frozen, off);
+  c2.begin_episode(Belief::point(p.num_states(), ids.fault_a));
+  (void)c2.decide();
+  EXPECT_EQ(frozen.size(), 1u);  // untouched
+}
+
+TEST(BoundedController, Validation) {
+  const Pomdp p = models::make_two_server_without_notification(40.0);
+  bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
+  BoundedControllerOptions opts;
+  opts.tree_depth = 0;
+  EXPECT_THROW(BoundedController(p, set, opts), PreconditionError);
+  bounds::BoundSet empty(p.num_states());
+  EXPECT_THROW(BoundedController(p, empty), PreconditionError);
+}
+
+TEST(HeuristicController, MatchesPaperLeafSemantics) {
+  const Pomdp p = models::make_two_server();
+  const auto ids = models::two_server_ids(p);
+  HeuristicController c(p);
+  c.begin_episode(Belief::point(p.num_states(), ids.fault_a));
+  const Decision d = c.decide();
+  EXPECT_FALSE(d.terminate);
+  EXPECT_EQ(d.action, ids.restart_a);
+}
+
+TEST(HeuristicController, TerminatesOnlyAtThreshold) {
+  const Pomdp p = models::make_two_server();
+  const auto ids = models::two_server_ids(p);
+  HeuristicControllerOptions opts;
+  opts.termination_probability = 0.9999;
+  HeuristicController c(p, opts);
+
+  // 0.999 certain is still below the threshold: keep going.
+  std::vector<double> nearly(p.num_states(), 0.0);
+  nearly[ids.null_state] = 0.999;
+  nearly[ids.fault_a] = 0.001;
+  c.begin_episode(Belief(nearly));
+  EXPECT_FALSE(c.decide().terminate);
+
+  std::vector<double> sure(p.num_states(), 0.0);
+  sure[ids.null_state] = 0.99995;
+  sure[ids.fault_a] = 0.00005;
+  c.begin_episode(Belief(sure));
+  EXPECT_TRUE(c.decide().terminate);
+}
+
+TEST(HeuristicController, MasksTerminateActionOnTransformedModels) {
+  const Pomdp p = models::make_two_server_without_notification(40.0);
+  const auto ids = models::two_server_ids(p);
+  HeuristicController c(p);
+  c.begin_episode(Belief::uniform_over(p.num_states(),
+                                       std::vector<StateId>{ids.fault_a, ids.fault_b}));
+  for (int i = 0; i < 5; ++i) {
+    const Decision d = c.decide();
+    if (d.terminate) break;
+    ASSERT_NE(d.action, p.terminate_action());
+    c.record(d.action, ids.clear);
+  }
+}
+
+TEST(HeuristicController, DeeperTreesAreAllowed) {
+  const Pomdp p = models::make_two_server();
+  for (int depth : {1, 2, 3}) {
+    HeuristicControllerOptions opts;
+    opts.tree_depth = depth;
+    HeuristicController c(p, opts);
+    c.begin_episode(Belief::uniform(p.num_states()));
+    EXPECT_NO_THROW(c.decide());
+    EXPECT_EQ(c.name(), "Heuristic(d=" + std::to_string(depth) + ")");
+  }
+}
+
+TEST(Bootstrap, BoundImprovesMonotonicallyBothVariants) {
+  const Pomdp p = models::make_two_server_without_notification(40.0);
+  const auto ids = models::two_server_ids(p);
+  const Belief reference = Belief::uniform(p.num_states());
+
+  for (const BootstrapVariant variant :
+       {BootstrapVariant::Random, BootstrapVariant::Average}) {
+    bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
+    BootstrapOptions opts;
+    opts.variant = variant;
+    opts.iterations = 10;
+    opts.observe_action = ids.observe;
+    opts.seed = 11;
+    const BootstrapTrace trace = bootstrap_bounds(p, set, reference, opts);
+    ASSERT_EQ(trace.bound_at_reference.size(), 10u);
+    for (std::size_t i = 1; i < trace.bound_at_reference.size(); ++i) {
+      EXPECT_GE(trace.bound_at_reference[i] + 1e-12, trace.bound_at_reference[i - 1]);
+      EXPECT_LE(trace.set_sizes[i], trace.set_sizes[i - 1] + opts.max_episode_steps);
+    }
+    // The bound must actually move off the raw RA plane.
+    const bounds::BoundSet fresh = bounds::make_ra_bound_set(p.mdp());
+    EXPECT_GT(trace.bound_at_reference.back(),
+              fresh.evaluate(reference.probabilities()));
+  }
+}
+
+TEST(Bootstrap, Validation) {
+  const Pomdp p = models::make_two_server_without_notification(40.0);
+  bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
+  const Belief reference = Belief::uniform(p.num_states());
+  BootstrapOptions opts;  // observe_action unset
+  EXPECT_THROW(bootstrap_bounds(p, set, reference, opts), PreconditionError);
+}
+
+}  // namespace
+}  // namespace recoverd::controller

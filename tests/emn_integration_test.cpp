@@ -1,0 +1,114 @@
+// End-to-end EMN integration: a miniature Table 1 campaign asserting the
+// paper's headline orderings hold in CI, not just in the bench binaries.
+#include <gtest/gtest.h>
+
+#include "bounds/ra_bound.hpp"
+#include "controller/bootstrap.hpp"
+#include "controller/bounded_controller.hpp"
+#include "controller/heuristic_controller.hpp"
+#include "controller/most_likely_controller.hpp"
+#include "models/emn.hpp"
+#include "sim/experiment.hpp"
+
+namespace recoverd {
+namespace {
+
+class EmnCampaign : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kFaults = 300;
+  static constexpr std::uint64_t kSeed = 2006;
+
+  EmnCampaign()
+      : base_(models::make_emn_base()),
+        recovery_(models::make_emn_recovery_model()),
+        ids_(models::emn_ids(base_)),
+        injector_(std::vector<StateId>(ids_.topo.zombie_states.begin(),
+                                       ids_.topo.zombie_states.end())) {
+    config_.observe_action = ids_.topo.observe_action;
+    for (StateId s = 0; s < base_.num_states(); ++s) {
+      if (!base_.mdp().is_goal(s)) config_.fault_support.push_back(s);
+    }
+  }
+
+  sim::ExperimentResult run_bounded() {
+    bounds::BoundSet set = bounds::make_ra_bound_set(recovery_.mdp(), 64);
+    controller::BootstrapOptions boot;
+    boot.iterations = 10;
+    boot.tree_depth = 2;
+    boot.observe_action = ids_.topo.observe_action;
+    boot.seed = kSeed;
+    boot.branch_floor = 1e-2;
+    controller::bootstrap_bounds(recovery_, set,
+                                 Belief::uniform(recovery_.num_states()), boot);
+    controller::BoundedControllerOptions opts;
+    opts.branch_floor = 1e-2;
+    controller::BoundedController c(recovery_, set, opts);
+    return run_experiment(base_, c, injector_, kFaults, kSeed, config_);
+  }
+
+  Pomdp base_;
+  Pomdp recovery_;
+  models::EmnIds ids_;
+  sim::FaultInjector injector_;
+  sim::EpisodeConfig config_;
+};
+
+TEST_F(EmnCampaign, BoundedBeatsMostLikelyAndHeuristicD1OnCost) {
+  const auto bounded = run_bounded();
+
+  controller::MostLikelyControllerOptions ml_opts;
+  ml_opts.observe_action = ids_.topo.observe_action;
+  controller::MostLikelyController most_likely(base_, ml_opts);
+  const auto ml = run_experiment(base_, most_likely, injector_, kFaults, kSeed, config_);
+
+  controller::HeuristicControllerOptions h_opts;
+  h_opts.branch_floor = 1e-2;
+  controller::HeuristicController heuristic(base_, h_opts);
+  const auto h1 = run_experiment(base_, heuristic, injector_, kFaults, kSeed, config_);
+
+  // Paper Table 1 orderings (cost): Bounded < Heuristic d1 < Most Likely.
+  EXPECT_LT(bounded.cost.mean() - bounded.cost.ci95_halfwidth(),
+            ml.cost.mean() + ml.cost.ci95_halfwidth());
+  EXPECT_LT(bounded.cost.mean(),
+            h1.cost.mean() + h1.cost.ci95_halfwidth() + bounded.cost.ci95_halfwidth());
+  EXPECT_LT(h1.cost.mean() - h1.cost.ci95_halfwidth(),
+            ml.cost.mean() + ml.cost.ci95_halfwidth());
+
+  // §5: "in the 10,000 fault injections, none of the controllers ever quit
+  // without recovering the system."
+  EXPECT_EQ(bounded.unrecovered, 0u);
+  EXPECT_EQ(ml.unrecovered, 0u);
+  EXPECT_EQ(h1.unrecovered, 0u);
+  EXPECT_EQ(bounded.not_terminated, 0u);
+
+  // Bounded terminates soon after actual recovery (recovery ≈ residual).
+  EXPECT_LT(bounded.recovery_time.mean() - bounded.residual_time.mean(), 60.0);
+  // And with a bounded number of monitor calls (paper: 7.69).
+  EXPECT_LT(bounded.monitor_calls.mean(), 12.0);
+  EXPECT_GT(bounded.monitor_calls.mean(), 2.0);
+}
+
+TEST_F(EmnCampaign, OnlineImprovementTightensTheBoundDuringTheCampaign) {
+  bounds::BoundSet set = bounds::make_ra_bound_set(recovery_.mdp(), 64);
+  const Belief reference = Belief::uniform(recovery_.num_states());
+  const double before = set.evaluate(reference.probabilities());
+
+  controller::BoundedControllerOptions opts;
+  opts.branch_floor = 1e-2;
+  controller::BoundedController c(recovery_, set, opts);
+  const auto result = run_experiment(base_, c, injector_, 50, kSeed, config_);
+  EXPECT_EQ(result.unrecovered, 0u);
+  EXPECT_GT(set.size(), 1u);  // online updates added hyperplanes
+  EXPECT_GE(set.evaluate(reference.probabilities()), before);
+}
+
+TEST_F(EmnCampaign, DeterministicGivenSeed) {
+  const auto first = run_bounded();
+  const auto second = run_bounded();
+  EXPECT_DOUBLE_EQ(first.cost.mean(), second.cost.mean());
+  EXPECT_DOUBLE_EQ(first.recovery_time.mean(), second.recovery_time.mean());
+  EXPECT_EQ(first.unrecovered, second.unrecovered);
+}
+
+}  // namespace
+}  // namespace recoverd

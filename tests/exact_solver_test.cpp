@@ -1,0 +1,150 @@
+#include "pomdp/exact_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/ra_bound.hpp"
+#include "bounds/upper_bound.hpp"
+#include "linalg/vector_ops.hpp"
+#include "models/two_server.hpp"
+#include "pomdp/bellman.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd {
+namespace {
+
+Belief random_belief(std::size_t n, Rng& rng) {
+  std::vector<double> pi(n);
+  for (auto& v : pi) v = rng.uniform01() + 1e-9;
+  return Belief(std::move(pi));
+}
+
+TEST(PrunePointwise, RemovesDominatedKeepsFrontier) {
+  std::vector<AlphaVector> vectors{
+      {-1.0, -5.0}, {-5.0, -1.0}, {-6.0, -2.0} /* dominated by second */,
+      {-1.0, -5.0} /* duplicate (dominated within tolerance) */};
+  const auto kept = prune_pointwise_dominated(std::move(vectors), 1e-12);
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(PrunePointwise, SingleVectorSurvives) {
+  std::vector<AlphaVector> vectors{{-1.0, -1.0}};
+  EXPECT_EQ(prune_pointwise_dominated(std::move(vectors)).size(), 1u);
+}
+
+TEST(ExactSolver, HorizonZeroIsZero) {
+  const Pomdp p = models::make_two_server_with_notification();
+  ExactSolverOptions opts;
+  opts.horizon = 0;
+  const auto result = solve_finite_horizon(p, opts);
+  ASSERT_EQ(result.alpha_vectors.size(), 1u);
+  const Belief pi = Belief::uniform(p.num_states());
+  EXPECT_DOUBLE_EQ(evaluate_alpha_vectors(result.alpha_vectors, pi), 0.0);
+}
+
+TEST(ExactSolver, MatchesTreeExpansionExactly) {
+  // Γ_H evaluated at any belief must equal the depth-H Max-Avg expansion
+  // with zero leaves — they compute the same recursion.
+  const Pomdp p = models::make_two_server_with_notification();
+  const LeafEvaluator zero = [](const Belief&) { return 0.0; };
+  Rng rng(3);
+  for (int horizon = 1; horizon <= 4; ++horizon) {
+    ExactSolverOptions opts;
+    opts.horizon = horizon;
+    const auto result = solve_finite_horizon(p, opts);
+    ASSERT_FALSE(result.truncated);
+    for (int trial = 0; trial < 10; ++trial) {
+      const Belief pi = random_belief(p.num_states(), rng);
+      EXPECT_NEAR(evaluate_alpha_vectors(result.alpha_vectors, pi),
+                  bellman_value(p, pi, horizon, zero), 1e-8)
+          << "horizon " << horizon;
+    }
+  }
+}
+
+TEST(ExactSolver, ValuesDecreaseWithHorizon) {
+  // Non-positive rewards: longer horizons only accumulate more cost.
+  const Pomdp p = models::make_two_server_without_notification(40.0);
+  Rng rng(7);
+  const Belief pi = random_belief(p.num_states(), rng);
+  double prev = 0.0;
+  for (int horizon = 1; horizon <= 4; ++horizon) {
+    ExactSolverOptions opts;
+    opts.horizon = horizon;
+    const auto result = solve_finite_horizon(p, opts);
+    ASSERT_FALSE(result.truncated);
+    const double v = evaluate_alpha_vectors(result.alpha_vectors, pi);
+    EXPECT_LE(v, prev + 1e-9);
+    prev = v;
+  }
+}
+
+TEST(ExactSolver, SandwichesRaBoundAndQmdp) {
+  // RA ≤ V* ≤ V_H ≤ 0 and V* ≤ QMDP: the exact finite-horizon solution must
+  // sit above the RA-Bound everywhere.
+  const Pomdp p = models::make_two_server_with_notification();
+  const auto ra = bounds::compute_ra_bound(p.mdp());
+  ASSERT_TRUE(ra.converged());
+  ExactSolverOptions opts;
+  opts.horizon = 6;
+  const auto exact = solve_finite_horizon(p, opts);
+  ASSERT_FALSE(exact.truncated);
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Belief pi = random_belief(p.num_states(), rng);
+    const double vh = evaluate_alpha_vectors(exact.alpha_vectors, pi);
+    EXPECT_GE(vh, linalg::dot(ra.values, pi.probabilities()) - 1e-9);
+    EXPECT_LE(vh, 1e-9);
+  }
+}
+
+TEST(ExactSolver, ConvergesToMdpValueUnderPerfectObservation) {
+  models::TwoServerParams params;
+  params.coverage = 1.0;
+  params.false_positive = 0.0;
+  const Pomdp p = models::make_two_server_with_notification(params);
+  const auto ids = models::two_server_ids(p);
+  const auto qmdp = bounds::compute_qmdp_bound(p.mdp());
+  ASSERT_TRUE(qmdp.converged());
+  ExactSolverOptions opts;
+  opts.horizon = 8;
+  const auto exact = solve_finite_horizon(p, opts);
+  ASSERT_FALSE(exact.truncated);
+  // At point beliefs of a perfectly observed absorbing model, the horizon-8
+  // value already equals the MDP optimum.
+  for (StateId s : {ids.null_state, ids.fault_a, ids.fault_b}) {
+    const Belief pi = Belief::point(p.num_states(), s);
+    EXPECT_NEAR(evaluate_alpha_vectors(exact.alpha_vectors, pi), qmdp.values[s], 1e-9);
+  }
+}
+
+TEST(ExactSolver, StageSizesReportedAndBounded) {
+  const Pomdp p = models::make_two_server();
+  ExactSolverOptions opts;
+  opts.horizon = 3;
+  const auto result = solve_finite_horizon(p, opts);
+  ASSERT_FALSE(result.truncated);
+  EXPECT_EQ(result.stage_sizes.size(), 3u);
+  for (std::size_t size : result.stage_sizes) EXPECT_GE(size, 1u);
+}
+
+TEST(ExactSolver, TruncationCapRespected) {
+  const Pomdp p = models::make_two_server();
+  ExactSolverOptions opts;
+  opts.horizon = 10;
+  opts.max_vectors = 2;  // absurdly small: must truncate, not explode
+  const auto result = solve_finite_horizon(p, opts);
+  EXPECT_TRUE(result.truncated);
+}
+
+TEST(ExactSolver, Validation) {
+  const Pomdp p = models::make_two_server();
+  ExactSolverOptions opts;
+  opts.horizon = -1;
+  EXPECT_THROW(solve_finite_horizon(p, opts), PreconditionError);
+  const std::vector<AlphaVector> empty;
+  EXPECT_THROW(evaluate_alpha_vectors(empty, Belief::uniform(3)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace recoverd

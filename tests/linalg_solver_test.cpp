@@ -1,0 +1,209 @@
+#include "linalg/gauss_seidel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/power_iteration.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::linalg {
+namespace {
+
+// Builds a random substochastic matrix whose rows leak at least `leak`
+// probability mass, guaranteeing a transient chain (spectral radius < 1).
+SparseMatrix random_substochastic(std::size_t n, double leak, Rng& rng) {
+  SparseMatrixBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> w(n);
+    double total = 0.0;
+    for (auto& v : w) {
+      v = rng.bernoulli(0.3) ? rng.uniform01() : 0.0;
+      total += v;
+    }
+    if (total == 0.0) continue;  // row of zeros is fine (fully leaking)
+    const double scale = (1.0 - leak) / total;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (w[j] > 0.0) b.add(i, j, w[j] * scale);
+    }
+  }
+  return b.build();
+}
+
+DenseMatrix to_dense(const SparseMatrix& m) {
+  DenseMatrix d(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (const auto& e : m.row(i)) d.at(i, e.col) = e.value;
+  }
+  return d;
+}
+
+TEST(GaussSeidel, SolvesSmallSystemExactly) {
+  // x = c + Qx with Q = [[0, .5], [.25, 0]] and c = [1, 2]:
+  // x0 = 1 + .5 x1; x1 = 2 + .25 x0  =>  x0 = 16/7, x1 = 18/7.
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 1, 0.5);
+  b.add(1, 0, 0.25);
+  const std::vector<double> c{1.0, 2.0};
+  const auto result = solve_fixed_point(b.build(), c);
+  ASSERT_TRUE(result.converged());
+  EXPECT_NEAR(result.x[0], 16.0 / 7.0, 1e-8);
+  EXPECT_NEAR(result.x[1], 18.0 / 7.0, 1e-8);
+}
+
+TEST(GaussSeidel, MatchesDenseLuOnRandomSystems) {
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 15;
+    const SparseMatrix q = random_substochastic(n, 0.1, rng);
+    std::vector<double> c(n);
+    for (auto& v : c) v = rng.uniform(-5.0, 0.0);
+
+    const auto iterative = solve_fixed_point(q, c);
+    ASSERT_TRUE(iterative.converged());
+
+    const DenseMatrix a = DenseMatrix::identity(n).subtract(to_dense(q));
+    const LuFactorization lu(a);
+    const auto direct = lu.solve(c);
+    EXPECT_TRUE(approx_equal(iterative.x, direct, 1e-6)) << "trial " << trial;
+  }
+}
+
+TEST(GaussSeidel, JacobiAgreesWithGaussSeidel) {
+  Rng rng(321);
+  const std::size_t n = 12;
+  const SparseMatrix q = random_substochastic(n, 0.2, rng);
+  std::vector<double> c(n);
+  for (auto& v : c) v = rng.uniform(-1.0, 1.0);
+  const auto gs = solve_fixed_point(q, c);
+  const auto jac = solve_fixed_point_jacobi(q, c);
+  ASSERT_TRUE(gs.converged());
+  ASSERT_TRUE(jac.converged());
+  EXPECT_TRUE(approx_equal(gs.x, jac.x, 1e-6));
+}
+
+TEST(GaussSeidel, OverRelaxationConvergesToSameSolution) {
+  Rng rng(555);
+  const std::size_t n = 25;
+  const SparseMatrix q = random_substochastic(n, 0.05, rng);
+  std::vector<double> c(n, -1.0);
+  const auto plain = solve_fixed_point(q, c);
+  GaussSeidelOptions sor;
+  sor.relaxation = 1.2;
+  const auto relaxed = solve_fixed_point(q, c, sor);
+  ASSERT_TRUE(plain.converged());
+  ASSERT_TRUE(relaxed.converged());
+  EXPECT_TRUE(approx_equal(plain.x, relaxed.x, 1e-6));
+}
+
+TEST(GaussSeidel, AbsorbingZeroRewardRowStaysZero) {
+  // State 1 is absorbing (self loop prob 1) with zero source: its value must
+  // be pinned at 0, and state 0 must get c0 + 0.9 * 0 = c0.
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 1, 0.9);
+  b.add(1, 1, 1.0);
+  const std::vector<double> c{-2.0, 0.0};
+  const auto result = solve_fixed_point(b.build(), c);
+  ASSERT_TRUE(result.converged());
+  EXPECT_NEAR(result.x[1], 0.0, 1e-12);
+  EXPECT_NEAR(result.x[0], -2.0, 1e-9);
+}
+
+TEST(GaussSeidel, AbsorbingRowWithNonzeroSourceIsDivergent) {
+  // x = -1 + x has no finite solution; the solver must say so immediately.
+  SparseMatrixBuilder b(1, 1);
+  b.add(0, 0, 1.0);
+  const std::vector<double> c{-1.0};
+  const auto result = solve_fixed_point(b.build(), c);
+  EXPECT_EQ(result.status, SolveStatus::Diverged);
+}
+
+TEST(GaussSeidel, DetectsDivergenceOnExpandingSystem) {
+  // Q with spectral radius > 1 and a forcing term: iteration must blow up
+  // and report Diverged rather than spinning forever.
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 1, 1.2);
+  b.add(1, 0, 1.2);
+  const std::vector<double> c{-1.0, -1.0};
+  const auto result = solve_fixed_point(b.build(), c);
+  EXPECT_EQ(result.status, SolveStatus::Diverged);
+}
+
+TEST(GaussSeidel, ReportsMaxIterationsOnSlowChain) {
+  // A recurrent zero-leak cycle with nonzero source drifts linearly: each
+  // sweep adds a constant, so it neither converges nor exceeds the
+  // divergence threshold within a tiny iteration budget.
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  const std::vector<double> c{-1.0, -1.0};
+  GaussSeidelOptions opts;
+  opts.max_iterations = 50;
+  const auto result = solve_fixed_point(b.build(), c, opts);
+  EXPECT_EQ(result.status, SolveStatus::MaxIterations);
+  EXPECT_EQ(result.iterations, 50u);
+}
+
+TEST(GaussSeidel, ValidatesOptions) {
+  SparseMatrixBuilder b(1, 1);
+  const std::vector<double> c{0.0};
+  GaussSeidelOptions bad;
+  bad.relaxation = 2.5;
+  EXPECT_THROW(solve_fixed_point(b.build(), c, bad), PreconditionError);
+  bad.relaxation = 1.0;
+  bad.tolerance = 0.0;
+  EXPECT_THROW(solve_fixed_point(b.build(), c, bad), PreconditionError);
+}
+
+TEST(LuFactorization, SolvesAndDetectsSingularity) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const LuFactorization lu(a);
+  const auto x = lu.solve(std::vector<double>{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(lu.abs_determinant(), 5.0, 1e-12);
+
+  DenseMatrix singular(2, 2);
+  singular.at(0, 0) = 1.0;
+  singular.at(0, 1) = 2.0;
+  singular.at(1, 0) = 2.0;
+  singular.at(1, 1) = 4.0;
+  EXPECT_THROW(LuFactorization{singular}, InvariantError);
+}
+
+TEST(PowerIteration, EstimatesKnownRadius) {
+  // Diagonal matrix: radius is the largest diagonal entry.
+  SparseMatrixBuilder b(3, 3);
+  b.add(0, 0, 0.2);
+  b.add(1, 1, 0.8);
+  b.add(2, 2, 0.5);
+  const auto result = estimate_spectral_radius(b.build());
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.spectral_radius_estimate, 0.8, 1e-6);
+}
+
+TEST(PowerIteration, SubstochasticBelowOne) {
+  Rng rng(888);
+  const auto q = random_substochastic(30, 0.1, rng);
+  const auto result = estimate_spectral_radius(q);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.spectral_radius_estimate, 1.0);
+}
+
+TEST(PowerIteration, NilpotentGivesZero) {
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 1, 1.0);  // strictly upper triangular => nilpotent
+  const auto result = estimate_spectral_radius(b.build());
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.spectral_radius_estimate, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace recoverd::linalg

@@ -1,0 +1,143 @@
+#include "linalg/sparse_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::linalg {
+namespace {
+
+TEST(SparseMatrixBuilder, BuildsSortedRows) {
+  SparseMatrixBuilder b(3, 4);
+  b.add(1, 3, 2.0);
+  b.add(1, 0, 1.0);
+  b.add(0, 2, 5.0);
+  const SparseMatrix m = b.build();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nonzeros(), 3u);
+  const auto row1 = m.row(1);
+  ASSERT_EQ(row1.size(), 2u);
+  EXPECT_EQ(row1[0].col, 0u);
+  EXPECT_EQ(row1[1].col, 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 0.0);
+}
+
+TEST(SparseMatrixBuilder, AccumulatesDuplicates) {
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 0, 0.5);
+  b.add(0, 0, 0.25);
+  b.add(1, 1, 1.0);
+  b.add(1, 1, -1.0);  // cancels to zero and is dropped
+  const SparseMatrix m = b.build();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.75);
+  EXPECT_EQ(m.row(1).size(), 0u);
+}
+
+TEST(SparseMatrixBuilder, DropToleranceRemovesNoise) {
+  SparseMatrixBuilder b(1, 2);
+  b.add(0, 0, 1e-15);
+  b.add(0, 1, 0.5);
+  const SparseMatrix m = b.build(1e-12);
+  EXPECT_EQ(m.nonzeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.5);
+}
+
+TEST(SparseMatrixBuilder, RejectsOutOfRange) {
+  SparseMatrixBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), PreconditionError);
+  EXPECT_THROW(b.add(0, 2, 1.0), PreconditionError);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  Rng rng(77);
+  const std::size_t n = 20;
+  SparseMatrixBuilder b(n, n);
+  DenseMatrix dense(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.2)) {
+        const double v = rng.uniform(-1.0, 1.0);
+        b.add(i, j, v);
+        dense.at(i, j) = v;
+      }
+    }
+  }
+  const SparseMatrix sparse = b.build();
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const auto ys = sparse.multiply(x);
+  const auto yd = dense.multiply(x);
+  EXPECT_TRUE(approx_equal(ys, yd, 1e-12));
+}
+
+TEST(SparseMatrix, TransposeMultiplyMatchesTransposedMultiply) {
+  Rng rng(99);
+  const std::size_t rows = 12, cols = 8;
+  SparseMatrixBuilder b(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (rng.bernoulli(0.3)) b.add(i, j, rng.uniform(-2.0, 2.0));
+    }
+  }
+  const SparseMatrix m = b.build();
+  const SparseMatrix mt = m.transpose();
+  std::vector<double> x(rows);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const auto via_transpose_multiply = m.multiply_transpose(x);
+  const auto via_materialized = mt.multiply(x);
+  EXPECT_TRUE(approx_equal(via_transpose_multiply, via_materialized, 1e-12));
+}
+
+TEST(SparseMatrix, RowSumsDetectStochasticity) {
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 0, 0.3);
+  b.add(0, 1, 0.7);
+  b.add(1, 1, 1.0);
+  const auto sums = b.build().row_sums();
+  EXPECT_NEAR(sums[0], 1.0, 1e-15);
+  EXPECT_NEAR(sums[1], 1.0, 1e-15);
+}
+
+TEST(VectorOps, DotAxpyMax) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> c{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, c), 4.0 - 10.0 + 18.0);
+  std::vector<double> y{1.0, 1.0, 1.0};
+  axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+  EXPECT_DOUBLE_EQ(max_abs(c), 6.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, c), 7.0);
+  EXPECT_DOUBLE_EQ(sum(a), 6.0);
+}
+
+TEST(VectorOps, ElementwiseMaxAndDominance) {
+  const std::vector<double> a{1.0, 5.0};
+  const std::vector<double> b{2.0, 3.0};
+  const auto m = elementwise_max(a, b);
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 5.0);
+  EXPECT_TRUE(dominates(m, a));
+  EXPECT_TRUE(dominates(m, b));
+  EXPECT_FALSE(dominates(a, b));
+  EXPECT_TRUE(dominates(a, std::vector<double>{1.0, 5.0 + 1e-12}, 1e-9));
+}
+
+TEST(VectorOps, NormalizeProbability) {
+  std::vector<double> p{1.0, 3.0};
+  normalize_probability(p);
+  EXPECT_DOUBLE_EQ(p[0], 0.25);
+  EXPECT_DOUBLE_EQ(p[1], 0.75);
+  std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(normalize_probability(zero), PreconditionError);
+}
+
+}  // namespace
+}  // namespace recoverd::linalg

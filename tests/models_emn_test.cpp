@@ -1,0 +1,137 @@
+#include "models/emn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/comparison_bounds.hpp"
+#include "bounds/ra_bound.hpp"
+#include "bounds/upper_bound.hpp"
+#include "models/synthetic.hpp"
+#include "pomdp/belief.hpp"
+#include "pomdp/conditions.hpp"
+
+namespace recoverd::models {
+namespace {
+
+TEST(EmnModel, RecoveryModelShape) {
+  const Pomdp p = make_emn_recovery_model();
+  EXPECT_EQ(p.num_states(), 15u);   // 14 + sT
+  EXPECT_EQ(p.num_actions(), 10u);  // 9 + aT
+  EXPECT_EQ(p.num_observations(), 129u);
+  EXPECT_TRUE(p.has_terminate_action());
+}
+
+TEST(EmnModel, SatisfiesRecoveryConditions) {
+  const Pomdp base = make_emn_base();
+  EXPECT_TRUE(check_condition1(base.mdp()).satisfied);
+  EXPECT_TRUE(check_condition2(base.mdp()).satisfied);
+  const Pomdp recovery = make_emn_recovery_model();
+  EXPECT_TRUE(check_condition1(recovery).satisfied);
+  EXPECT_TRUE(check_condition2(recovery.mdp()).satisfied);
+}
+
+TEST(EmnModel, LacksRecoveryNotification) {
+  // §5: "the system lacks recovery notification since an 'all clear' by the
+  // monitors might just mean that an EMN server has become a zombie".
+  EXPECT_FALSE(detect_recovery_notification(make_emn_base()));
+}
+
+TEST(EmnModel, TerminationRewardsUseOperatorResponseTime) {
+  EmnConfig config;
+  const Pomdp p = make_emn_recovery_model(config);
+  const EmnIds ids = emn_ids(p, config);
+  const ActionId at = p.terminate_action();
+  // Zombie(S1) drops half the requests: r(s, aT) = −0.5 · 21600.
+  EXPECT_NEAR(p.mdp().reward(ids.topo.zombie_states[EmnIds::S1], at),
+              -0.5 * config.operator_response_time, 1e-6);
+  EXPECT_NEAR(p.mdp().reward(ids.topo.null_state, at), 0.0, 1e-12);
+  // HostC crash drops everything.
+  EXPECT_NEAR(p.mdp().reward(ids.topo.host_states[EmnIds::HostC], at),
+              -config.operator_response_time, 1e-6);
+}
+
+TEST(EmnModel, RaBoundConvergesAndIsSane) {
+  const Pomdp p = make_emn_recovery_model();
+  const auto ra = bounds::compute_ra_bound(p.mdp());
+  ASSERT_TRUE(ra.converged());
+  const auto qmdp = bounds::compute_qmdp_bound(p.mdp());
+  ASSERT_TRUE(qmdp.converged());
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    EXPECT_LE(ra.values[s], qmdp.values[s] + 1e-8) << p.mdp().state_name(s);
+    EXPECT_LE(ra.values[s], 1e-9);
+  }
+  EXPECT_NEAR(ra.values[p.terminate_state()], 0.0, 1e-8);
+}
+
+TEST(EmnModel, CompetitorBoundsFailOnEmn) {
+  // §3.1 on the real evaluation model: BI-POMDP diverges; the blind-policy
+  // set is saved only by aT (the restart policies still diverge).
+  const Pomdp p = make_emn_recovery_model();
+  EXPECT_FALSE(bounds::compute_bi_bound(p.mdp()).converged());
+  const auto blind = bounds::compute_blind_policy_bounds(p.mdp());
+  EXPECT_FALSE(blind.all_converged());
+  EXPECT_TRUE(blind.per_action[p.terminate_action()].converged());
+}
+
+TEST(EmnModel, ZombieBeliefIsAmbiguousAcrossServers) {
+  // Path monitors cannot localise which EMN server is the zombie: from a
+  // uniform fault prior, a path-alarm observation must leave both server
+  // zombies with comparable posterior mass.
+  const Pomdp p = make_emn_base();
+  const EmnIds ids = emn_ids(p);
+  std::vector<StateId> faults;
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    if (!p.mdp().is_goal(s)) faults.push_back(s);
+  }
+  const Belief prior = Belief::uniform_over(p.num_states(), faults);
+  // Observation: both path monitors alarm, all pings clear (bits 5 and 6).
+  const ObsId obs = (1u << 5) | (1u << 6);
+  const auto upd = update_belief(p, prior, ids.topo.observe_action, obs);
+  ASSERT_TRUE(upd.has_value());
+  const double z1 = upd->next[ids.topo.zombie_states[EmnIds::S1]];
+  const double z2 = upd->next[ids.topo.zombie_states[EmnIds::S2]];
+  EXPECT_GT(z1, 0.01);
+  EXPECT_NEAR(z1, z2, 1e-9);  // symmetric servers stay indistinguishable
+  // Ping-silent alarms also implicate the DB zombie (hits both paths).
+  EXPECT_GT(upd->next[ids.topo.zombie_states[EmnIds::DB]], z1);
+}
+
+TEST(SyntheticModel, SatisfiesConditionsAndSolves) {
+  SyntheticMdpParams params;
+  params.num_states = 500;
+  params.seed = 7;
+  const Mdp m = make_synthetic_recovery_mdp(params);
+  EXPECT_EQ(m.num_states(), 500u);
+  EXPECT_TRUE(check_condition1(m).satisfied);
+  EXPECT_TRUE(check_condition2(m).satisfied);
+  const auto ra = bounds::compute_ra_bound(m);
+  ASSERT_TRUE(ra.converged());
+  EXPECT_NEAR(ra.values[0], 0.0, 1e-9);
+  for (StateId s = 1; s < m.num_states(); ++s) EXPECT_LT(ra.values[s], 0.0);
+}
+
+TEST(SyntheticModel, ScalesToLargeStateSpaces) {
+  // §4.3 claim at test scale: 20k states solve quickly; the bench pushes to
+  // hundreds of thousands.
+  SyntheticMdpParams params;
+  params.num_states = 20000;
+  params.seed = 3;
+  const Mdp m = make_synthetic_recovery_mdp(params);
+  const auto ra = bounds::compute_ra_bound(m);
+  EXPECT_TRUE(ra.converged());
+}
+
+TEST(SyntheticModel, DeterministicForSeed) {
+  SyntheticMdpParams params;
+  params.num_states = 100;
+  params.seed = 42;
+  const Mdp a = make_synthetic_recovery_mdp(params);
+  const Mdp c = make_synthetic_recovery_mdp(params);
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    for (ActionId act = 0; act < a.num_actions(); ++act) {
+      EXPECT_DOUBLE_EQ(a.reward(s, act), c.reward(s, act));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace recoverd::models

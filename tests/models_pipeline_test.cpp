@@ -1,0 +1,103 @@
+#include "models/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/ra_bound.hpp"
+#include "controller/bounded_controller.hpp"
+#include "models/topology.hpp"
+#include "pomdp/belief.hpp"
+#include "pomdp/conditions.hpp"
+#include "sim/experiment.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::models {
+namespace {
+
+TEST(PipelineModel, ShapeMatchesConfiguration) {
+  PipelineConfig config;
+  config.stages = 4;
+  const Pomdp p = make_pipeline_base(config);
+  // null + 4 crash + 2 host + 4 zombie = 11 states; 4 restarts + 2 reboots +
+  // observe = 7 actions; 2^(4+1) observations.
+  EXPECT_EQ(p.num_states(), 11u);
+  EXPECT_EQ(p.num_actions(), 7u);
+  EXPECT_EQ(p.num_observations(), 32u);
+  EXPECT_TRUE(check_condition1(p.mdp()).satisfied);
+  EXPECT_TRUE(check_condition2(p.mdp()).satisfied);
+  EXPECT_FALSE(detect_recovery_notification(p));
+}
+
+TEST(PipelineModel, AnyFaultDropsAllTraffic) {
+  // No redundancy: every single fault kills the whole pipeline.
+  const Topology t = make_pipeline_topology();
+  for (ComponentId c = 0; c < t.num_components(); ++c) {
+    std::vector<bool> faulty(t.num_components(), false);
+    faulty[c] = true;
+    EXPECT_NEAR(t.drop_fraction(faulty), 1.0, 1e-12);
+  }
+}
+
+TEST(PipelineModel, PathAlarmCannotLocaliseZombies) {
+  // After a path alarm with silent pings, all stage zombies must carry
+  // exactly equal posterior mass — total ambiguity.
+  const Pomdp p = make_pipeline_base();
+  const Mdp& m = p.mdp();
+  const ActionId observe = m.find_action("Observe");
+  std::vector<StateId> faults;
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    if (!m.is_goal(s)) faults.push_back(s);
+  }
+  const Belief prior = Belief::uniform_over(p.num_states(), faults);
+  // Path monitor is the last bit (monitor index = stages).
+  const ObsId path_alarm_only = 1u << 4;
+  const auto upd = update_belief(p, prior, observe, path_alarm_only);
+  ASSERT_TRUE(upd.has_value());
+  const double z1 = upd->next[m.find_state("Zombie(Stage1)")];
+  for (int i = 2; i <= 4; ++i) {
+    std::string name = "Zombie(Stage";
+    name += std::to_string(i);
+    name += ")";
+    EXPECT_NEAR(upd->next[m.find_state(name)], z1, 1e-12) << name;
+  }
+  EXPECT_GT(z1, 0.05);
+}
+
+TEST(PipelineModel, RaBoundConvergesAndControllerRecovers) {
+  const Pomdp base = make_pipeline_base();
+  const Pomdp recovery = make_pipeline_recovery_model();
+  bounds::BoundSet set = bounds::make_ra_bound_set(recovery.mdp(), 64);
+
+  std::vector<StateId> zombies;
+  for (StateId s = 0; s < base.num_states(); ++s) {
+    const std::string& name = base.mdp().state_name(s);
+    if (name.rfind("Zombie", 0) == 0) zombies.push_back(s);
+  }
+  ASSERT_EQ(zombies.size(), 4u);
+
+  controller::BoundedControllerOptions opts;
+  opts.branch_floor = 1e-2;
+  controller::BoundedController c(recovery, set, opts);
+  sim::FaultInjector injector(zombies);
+  sim::EpisodeConfig config;
+  config.observe_action = base.mdp().find_action("Observe");
+  for (StateId s = 0; s < base.num_states(); ++s) {
+    if (!base.mdp().is_goal(s)) config.fault_support.push_back(s);
+  }
+  const auto result = sim::run_experiment(base, c, injector, 80, 7, config);
+  EXPECT_EQ(result.unrecovered, 0u);
+  EXPECT_EQ(result.not_terminated, 0u);
+  // Under total path ambiguity the controller must try multiple restarts on
+  // average (it cannot localise from the path monitor alone).
+  EXPECT_GT(result.recovery_actions.mean(), 1.0);
+}
+
+TEST(PipelineModel, Validation) {
+  PipelineConfig config;
+  config.stages = 1;
+  EXPECT_THROW(make_pipeline_topology(config), PreconditionError);
+  config.stages = 15;
+  EXPECT_THROW(make_pipeline_topology(config), PreconditionError);
+}
+
+}  // namespace
+}  // namespace recoverd::models

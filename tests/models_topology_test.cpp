@@ -1,0 +1,201 @@
+#include "models/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/emn.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::models {
+namespace {
+
+class EmnTopologyTest : public ::testing::Test {
+ protected:
+  EmnTopologyTest() : topo_(make_emn_topology()) {}
+
+  std::vector<bool> faulty(std::initializer_list<ComponentId> comps) const {
+    std::vector<bool> mask(topo_.num_components(), false);
+    for (ComponentId c : comps) mask[c] = true;
+    return mask;
+  }
+
+  Topology topo_;
+};
+
+TEST_F(EmnTopologyTest, StructureMatchesFigure4) {
+  EXPECT_EQ(topo_.num_hosts(), 3u);
+  EXPECT_EQ(topo_.num_components(), 5u);
+  EXPECT_EQ(topo_.num_paths(), 2u);
+  EXPECT_EQ(topo_.num_monitors(), 7u);
+  EXPECT_EQ(topo_.component_name(EmnIds::HG), "HG");
+  EXPECT_EQ(topo_.component_host(EmnIds::HG), static_cast<HostId>(EmnIds::HostA));
+  EXPECT_EQ(topo_.component_host(EmnIds::S2), static_cast<HostId>(EmnIds::HostB));
+  EXPECT_EQ(topo_.component_host(EmnIds::DB), static_cast<HostId>(EmnIds::HostC));
+}
+
+TEST_F(EmnTopologyTest, DropFractionsMatchHandComputation) {
+  // No faults: nothing dropped.
+  EXPECT_DOUBLE_EQ(topo_.drop_fraction(faulty({})), 0.0);
+  // HG down kills all HTTP traffic (80%).
+  EXPECT_NEAR(topo_.drop_fraction(faulty({EmnIds::HG})), 0.8, 1e-12);
+  // VG down kills voice traffic (20%).
+  EXPECT_NEAR(topo_.drop_fraction(faulty({EmnIds::VG})), 0.2, 1e-12);
+  // One EMN server down: half of each path's requests route into it.
+  EXPECT_NEAR(topo_.drop_fraction(faulty({EmnIds::S1})), 0.5, 1e-12);
+  EXPECT_NEAR(topo_.drop_fraction(faulty({EmnIds::S2})), 0.5, 1e-12);
+  // DB down: everything dropped.
+  EXPECT_NEAR(topo_.drop_fraction(faulty({EmnIds::DB})), 1.0, 1e-12);
+  // Both servers: everything dropped.
+  EXPECT_NEAR(topo_.drop_fraction(faulty({EmnIds::S1, EmnIds::S2})), 1.0, 1e-12);
+  // HG + S1: HTTP all gone, voice loses half.
+  EXPECT_NEAR(topo_.drop_fraction(faulty({EmnIds::HG, EmnIds::S1})), 0.9, 1e-12);
+}
+
+TEST_F(EmnTopologyTest, PathHitProbability) {
+  EXPECT_NEAR(topo_.path_hit_probability(0, faulty({EmnIds::S1})), 0.5, 1e-12);
+  EXPECT_NEAR(topo_.path_hit_probability(0, faulty({EmnIds::VG})), 0.0, 1e-12);
+  EXPECT_NEAR(topo_.path_hit_probability(1, faulty({EmnIds::VG})), 1.0, 1e-12);
+  EXPECT_NEAR(topo_.path_hit_probability(1, faulty({EmnIds::DB})), 1.0, 1e-12);
+}
+
+TEST_F(EmnTopologyTest, ValidationErrors) {
+  Topology t;
+  EXPECT_THROW(t.add_host("", 300.0), PreconditionError);
+  const HostId h = t.add_host("H", 300.0);
+  EXPECT_THROW(t.add_component("c", 5, 60.0), PreconditionError);
+  const ComponentId c = t.add_component("c", h, 60.0);
+  EXPECT_THROW(t.add_path("p", 0.0), PreconditionError);
+  const PathId p = t.add_path("p", 1.0);
+  EXPECT_THROW(t.add_path_stage(p, {}), PreconditionError);
+  EXPECT_THROW(t.add_path_stage(p, {{c, -1.0}}), PreconditionError);
+  EXPECT_THROW(t.add_ping_monitor("m", 9, 0.9, 0.01), PreconditionError);
+  EXPECT_THROW(t.add_path_monitor("m", 7, 0.9, 0.01), PreconditionError);
+}
+
+TEST_F(EmnTopologyTest, BuildRejectsInconsistentDescriptions) {
+  // Traffic fractions not summing to 1.
+  Topology t;
+  const HostId h = t.add_host("H", 300.0);
+  const ComponentId c = t.add_component("c", h, 60.0);
+  const PathId p = t.add_path("p", 0.5);
+  t.add_path_stage(p, {{c, 1.0}});
+  t.add_ping_monitor("m", c, 0.9, 0.01);
+  EXPECT_THROW(build_recovery_pomdp(t), ModelError);
+}
+
+TEST_F(EmnTopologyTest, CompiledModelShape) {
+  const Pomdp p = build_recovery_pomdp(topo_);
+  EXPECT_EQ(p.num_states(), 14u);        // null + 5 crash + 3 host + 5 zombie
+  EXPECT_EQ(p.num_actions(), 9u);        // 5 restarts + 3 reboots + observe
+  EXPECT_EQ(p.num_observations(), 128u); // 2^7 joint monitor outcomes
+  EXPECT_FALSE(p.has_terminate_action());
+}
+
+TEST_F(EmnTopologyTest, TransitionSemantics) {
+  const Pomdp p = build_recovery_pomdp(topo_);
+  const TopologyIds ids = resolve_topology_ids(p, topo_);
+  const Mdp& m = p.mdp();
+
+  // Restart fixes own crash and zombie.
+  EXPECT_DOUBLE_EQ(m.transition_prob(ids.crash_states[EmnIds::S1],
+                                     ids.restart_actions[EmnIds::S1], ids.null_state),
+                   1.0);
+  EXPECT_DOUBLE_EQ(m.transition_prob(ids.zombie_states[EmnIds::S1],
+                                     ids.restart_actions[EmnIds::S1], ids.null_state),
+                   1.0);
+  // Wrong restart leaves the fault in place.
+  EXPECT_DOUBLE_EQ(m.transition_prob(ids.crash_states[EmnIds::S1],
+                                     ids.restart_actions[EmnIds::S2],
+                                     ids.crash_states[EmnIds::S1]),
+                   1.0);
+  // Reboot fixes the host crash and any fault on that host.
+  EXPECT_DOUBLE_EQ(m.transition_prob(ids.host_states[EmnIds::HostB],
+                                     ids.reboot_actions[EmnIds::HostB], ids.null_state),
+                   1.0);
+  EXPECT_DOUBLE_EQ(m.transition_prob(ids.zombie_states[EmnIds::HG],
+                                     ids.reboot_actions[EmnIds::HostA], ids.null_state),
+                   1.0);
+  // Restarting a component on a crashed host does nothing.
+  EXPECT_DOUBLE_EQ(m.transition_prob(ids.host_states[EmnIds::HostB],
+                                     ids.restart_actions[EmnIds::S1],
+                                     ids.host_states[EmnIds::HostB]),
+                   1.0);
+  // Observe is the identity.
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    EXPECT_DOUBLE_EQ(m.transition_prob(s, ids.observe_action, s), 1.0);
+  }
+}
+
+TEST_F(EmnTopologyTest, RateRewardsIncludeActionDowntime) {
+  const Pomdp p = build_recovery_pomdp(topo_);
+  const TopologyIds ids = resolve_topology_ids(p, topo_);
+  const Mdp& m = p.mdp();
+
+  // Ambient rates match drop fractions.
+  EXPECT_NEAR(m.state_rate_reward(ids.crash_states[EmnIds::HG]), -0.8, 1e-12);
+  EXPECT_NEAR(m.state_rate_reward(ids.zombie_states[EmnIds::DB]), -1.0, 1e-12);
+  EXPECT_NEAR(m.state_rate_reward(ids.null_state), 0.0, 1e-12);
+
+  // Restarting S1 while HG is crashed: drop(HG ∪ S1) = 0.9 for the restart's
+  // 60 seconds.
+  EXPECT_NEAR(m.rate_reward(ids.crash_states[EmnIds::HG], ids.restart_actions[EmnIds::S1]),
+              -0.9, 1e-12);
+  EXPECT_NEAR(m.reward(ids.crash_states[EmnIds::HG], ids.restart_actions[EmnIds::S1]),
+              -0.9 * 60.0, 1e-9);
+  // Rebooting HostB in the Null state takes down both EMN servers: drop 1.
+  EXPECT_NEAR(m.rate_reward(ids.null_state, ids.reboot_actions[EmnIds::HostB]), -1.0,
+              1e-12);
+  EXPECT_NEAR(m.reward(ids.null_state, ids.reboot_actions[EmnIds::HostB]), -300.0, 1e-9);
+  // Observing is free in Null and costs the ambient rate elsewhere.
+  EXPECT_NEAR(m.reward(ids.null_state, ids.observe_action), 0.0, 1e-12);
+  EXPECT_NEAR(m.reward(ids.zombie_states[EmnIds::S1], ids.observe_action), -0.5 * 5.0,
+              1e-9);
+}
+
+TEST_F(EmnTopologyTest, ObservationModelMatchesHandComputation) {
+  const Pomdp p = build_recovery_pomdp(topo_);
+  const TopologyIds ids = resolve_topology_ids(p, topo_);
+  // All-clear (obs id 0) from Zombie(S1): pings all OK (0.99 each), each
+  // path monitor fails with 0.5·0.95 + 0.5·0.01 = 0.48.
+  const double expected = std::pow(0.99, 5) * 0.52 * 0.52;
+  EXPECT_NEAR(p.observation_prob(ids.zombie_states[EmnIds::S1], ids.observe_action, 0),
+              expected, 1e-6);
+  // All-clear from Null: pings 0.99 each, paths fail only on false positives.
+  const double null_clear = std::pow(0.99, 5) * 0.99 * 0.99;
+  EXPECT_NEAR(p.observation_prob(ids.null_state, ids.observe_action, 0), null_clear, 1e-6);
+  // Crash(S1): S1Mon (bit 2) fires with 0.95.
+  double s1_alarm = 0.0;
+  for (ObsId o = 0; o < p.num_observations(); ++o) {
+    if ((o >> 2) & 1) {
+      s1_alarm += p.observation_prob(ids.crash_states[EmnIds::S1], ids.observe_action, o);
+    }
+  }
+  EXPECT_NEAR(s1_alarm, 0.95, 1e-6);
+  // Zombies do NOT trip their ping monitor beyond the false-positive rate.
+  double zombie_alarm = 0.0;
+  for (ObsId o = 0; o < p.num_observations(); ++o) {
+    if ((o >> 2) & 1) {
+      zombie_alarm +=
+          p.observation_prob(ids.zombie_states[EmnIds::S1], ids.observe_action, o);
+    }
+  }
+  EXPECT_NEAR(zombie_alarm, 0.01, 1e-6);
+}
+
+TEST_F(EmnTopologyTest, MonitorLimitEnforced) {
+  Topology t;
+  const HostId h = t.add_host("H", 300.0);
+  const ComponentId c = t.add_component("c", h, 60.0);
+  const PathId p = t.add_path("p", 1.0);
+  t.add_path_stage(p, {{c, 1.0}});
+  for (int i = 0; i < 21; ++i) {
+    std::string name = "m";
+    name += std::to_string(i);
+    t.add_ping_monitor(name, c, 0.9, 0.01);
+  }
+  EXPECT_THROW(build_recovery_pomdp(t), ModelError);
+}
+
+}  // namespace
+}  // namespace recoverd::models

@@ -1,0 +1,156 @@
+#include "pomdp/belief.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "models/two_server.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd {
+namespace {
+
+Belief random_belief(std::size_t n, Rng& rng) {
+  std::vector<double> pi(n);
+  for (auto& v : pi) v = rng.uniform01() + 1e-9;
+  return Belief(std::move(pi));
+}
+
+TEST(Belief, Constructors) {
+  const Belief u = Belief::uniform(4);
+  for (StateId s = 0; s < 4; ++s) EXPECT_DOUBLE_EQ(u[s], 0.25);
+
+  const Belief p = Belief::point(3, 1);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
+  EXPECT_EQ(p.most_likely(), 1u);
+
+  const std::vector<StateId> support{0, 2};
+  const Belief s = Belief::uniform_over(3, support);
+  EXPECT_DOUBLE_EQ(s[0], 0.5);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+  EXPECT_DOUBLE_EQ(s[2], 0.5);
+}
+
+TEST(Belief, NormalizesInput) {
+  const Belief b(std::vector<double>{2.0, 6.0});
+  EXPECT_DOUBLE_EQ(b[0], 0.25);
+  EXPECT_DOUBLE_EQ(b[1], 0.75);
+}
+
+TEST(Belief, RejectsInvalidInput) {
+  EXPECT_THROW(Belief(std::vector<double>{}), PreconditionError);
+  EXPECT_THROW(Belief(std::vector<double>{0.0, 0.0}), PreconditionError);
+  EXPECT_THROW(Belief(std::vector<double>{-0.5, 1.5}), PreconditionError);
+}
+
+TEST(Belief, EntropyBounds) {
+  EXPECT_DOUBLE_EQ(Belief::point(5, 2).entropy(), 0.0);
+  EXPECT_NEAR(Belief::uniform(4).entropy(), std::log(4.0), 1e-12);
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const Belief b = random_belief(6, rng);
+    EXPECT_GE(b.entropy(), 0.0);
+    EXPECT_LE(b.entropy(), std::log(6.0) + 1e-12);
+  }
+}
+
+TEST(BeliefUpdate, PredictMatchesHandComputation) {
+  const Pomdp p = models::make_two_server();
+  const auto ids = models::two_server_ids(p);
+  // π = [0.2 Null, 0.5 Fault(a), 0.3 Fault(b)], action Restart(a):
+  // Fault(a) mass moves to Null, rest stays.
+  const Belief pi(std::vector<double>{0.2, 0.5, 0.3});
+  const auto pred = predict_state_distribution(p, pi, ids.restart_a);
+  EXPECT_NEAR(pred[ids.null_state], 0.7, 1e-12);
+  EXPECT_NEAR(pred[ids.fault_a], 0.0, 1e-12);
+  EXPECT_NEAR(pred[ids.fault_b], 0.3, 1e-12);
+}
+
+TEST(BeliefUpdate, BayesRuleMatchesHandComputation) {
+  const Pomdp p = models::make_two_server();
+  const auto ids = models::two_server_ids(p);
+  // Uniform prior, Observe, then alarm(a):
+  //  weight(Null)     = 1/3 · 0.05
+  //  weight(Fault(a)) = 1/3 · 0.9
+  //  weight(Fault(b)) = 0
+  const Belief pi = Belief::uniform(3);
+  const auto upd = update_belief(p, pi, ids.observe, ids.alarm_a);
+  ASSERT_TRUE(upd.has_value());
+  const double gamma = (0.05 + 0.9) / 3.0;
+  EXPECT_NEAR(upd->likelihood, gamma, 1e-12);
+  EXPECT_NEAR(upd->next[ids.null_state], 0.05 / 0.95, 1e-12);
+  EXPECT_NEAR(upd->next[ids.fault_a], 0.9 / 0.95, 1e-12);
+  EXPECT_NEAR(upd->next[ids.fault_b], 0.0, 1e-12);
+}
+
+TEST(BeliefUpdate, ImpossibleObservationReturnsNullopt) {
+  const Pomdp p = models::make_two_server();
+  const auto ids = models::two_server_ids(p);
+  // From a point belief on Fault(a), observation alarm(b) has probability 0
+  // under Observe (Fault(a) never emits alarm(b), and the state persists).
+  const Belief pi = Belief::point(3, ids.fault_a);
+  const auto upd = update_belief(p, pi, ids.observe, ids.alarm_b);
+  EXPECT_FALSE(upd.has_value());
+}
+
+TEST(BeliefUpdate, LikelihoodMatchesObservationLikelihood) {
+  const Pomdp p = models::make_two_server();
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Belief pi = random_belief(3, rng);
+    for (ActionId a = 0; a < p.num_actions(); ++a) {
+      for (ObsId o = 0; o < p.num_observations(); ++o) {
+        const double gamma = observation_likelihood(p, pi, a, o);
+        const auto upd = update_belief(p, pi, a, o);
+        if (gamma > 0.0) {
+          ASSERT_TRUE(upd.has_value());
+          EXPECT_NEAR(upd->likelihood, gamma, 1e-12);
+        } else {
+          EXPECT_FALSE(upd.has_value());
+        }
+      }
+    }
+  }
+}
+
+TEST(BeliefSuccessors, ProbabilitiesSumToOneAndMatchUpdates) {
+  const Pomdp p = models::make_two_server();
+  Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Belief pi = random_belief(3, rng);
+    for (ActionId a = 0; a < p.num_actions(); ++a) {
+      const auto branches = belief_successors(p, pi, a);
+      double total = 0.0;
+      for (const auto& br : branches) {
+        total += br.probability;
+        const auto upd = update_belief(p, pi, a, br.obs);
+        ASSERT_TRUE(upd.has_value());
+        EXPECT_NEAR(upd->likelihood, br.probability, 1e-12);
+        EXPECT_LT(upd->next.distance(br.posterior), 1e-12);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(BeliefSuccessors, LawOfTotalProbability) {
+  // Averaging the posteriors weighted by branch probability must reproduce
+  // the predicted distribution (Bayes consistency).
+  const Pomdp p = models::make_two_server();
+  Rng rng(29);
+  const Belief pi = random_belief(3, rng);
+  for (ActionId a = 0; a < p.num_actions(); ++a) {
+    const auto pred = predict_state_distribution(p, pi, a);
+    std::vector<double> mixed(3, 0.0);
+    for (const auto& br : belief_successors(p, pi, a)) {
+      linalg::axpy(br.probability, br.posterior.probabilities(), mixed);
+    }
+    EXPECT_TRUE(linalg::approx_equal(mixed, pred, 1e-12));
+  }
+}
+
+}  // namespace
+}  // namespace recoverd

@@ -1,0 +1,165 @@
+#include "pomdp/conditions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/two_server.hpp"
+#include "pomdp/transforms.hpp"
+#include "util/check.hpp"
+
+namespace recoverd {
+namespace {
+
+// A model where one state cannot reach the goal under any action.
+Mdp make_trapped_model() {
+  MdpBuilder b;
+  const StateId good = b.add_state("good", 0.0);
+  const StateId bad = b.add_state("bad", -1.0);
+  const StateId trap = b.add_state("trap", -1.0);
+  const ActionId act = b.add_action("act", 1.0);
+  b.set_transition(good, act, good, 1.0);
+  b.set_transition(bad, act, good, 1.0);
+  b.set_transition(trap, act, trap, 1.0);
+  b.mark_goal(good);
+  return b.build();
+}
+
+TEST(Condition1, SatisfiedOnTwoServerModel) {
+  const Pomdp p = models::make_two_server();
+  const auto report = check_condition1(p.mdp());
+  EXPECT_TRUE(report.satisfied) << report.detail;
+  EXPECT_TRUE(unrecoverable_states(p.mdp()).empty());
+}
+
+TEST(Condition1, DetectsEmptyGoalSet) {
+  MdpBuilder b;
+  const StateId s = b.add_state("s");
+  const ActionId a = b.add_action("a", 1.0);
+  b.set_transition(s, a, s, 1.0);
+  const auto report = check_condition1(b.build());
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_NE(report.detail.find("empty"), std::string::npos);
+}
+
+TEST(Condition1, DetectsUnrecoverableState) {
+  const Mdp m = make_trapped_model();
+  const auto report = check_condition1(m);
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_NE(report.detail.find("trap"), std::string::npos);
+  const auto bad = unrecoverable_states(m);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(m.state_name(bad[0]), "trap");
+}
+
+TEST(Condition2, SatisfiedByBuilderEnforcedModels) {
+  const Pomdp p = models::make_two_server();
+  EXPECT_TRUE(check_condition2(p.mdp()).satisfied);
+}
+
+TEST(RecoveryNotificationDetector, NoisyMonitorsMeanNoNotification) {
+  // The two-server model's monitor has false positives and negatives, so
+  // goal and fault states can emit the same observations.
+  const Pomdp p = models::make_two_server();
+  EXPECT_FALSE(detect_recovery_notification(p));
+}
+
+TEST(RecoveryNotificationDetector, PerfectMonitorsMeanNotification) {
+  models::TwoServerParams params;
+  params.coverage = 1.0;
+  params.false_positive = 0.0;
+  const Pomdp p = models::make_two_server(params);
+  EXPECT_TRUE(detect_recovery_notification(p));
+}
+
+TEST(NotificationTransform, GoalStatesBecomeAbsorbingZeroReward) {
+  const Pomdp base = models::make_two_server();
+  const Pomdp p = with_recovery_notification(base);
+  const auto ids = models::two_server_ids(p);
+  const Mdp& m = p.mdp();
+  for (ActionId a = 0; a < m.num_actions(); ++a) {
+    EXPECT_DOUBLE_EQ(m.transition_prob(ids.null_state, a, ids.null_state), 1.0);
+    EXPECT_DOUBLE_EQ(m.reward(ids.null_state, a), 0.0);
+  }
+  // Fault dynamics are untouched.
+  EXPECT_DOUBLE_EQ(m.transition_prob(ids.fault_a, ids.restart_a, ids.null_state), 1.0);
+  EXPECT_DOUBLE_EQ(m.reward(ids.fault_a, ids.restart_b), -1.0);
+  // Observations preserved.
+  EXPECT_DOUBLE_EQ(p.observation_prob(ids.fault_a, ids.observe, ids.alarm_a), 0.9);
+}
+
+TEST(TerminateTransform, AddsAbsorbingStateAndTerminationRewards) {
+  const double t_op = 100.0;
+  const Pomdp p = models::make_two_server_without_notification(t_op);
+  ASSERT_TRUE(p.has_terminate_action());
+  const ActionId at = p.terminate_action();
+  const StateId st = p.terminate_state();
+  const auto ids = models::two_server_ids(p);
+  const Mdp& m = p.mdp();
+
+  EXPECT_EQ(m.num_states(), 4u);
+  EXPECT_EQ(m.num_actions(), 4u);
+  EXPECT_EQ(p.num_observations(), 4u);
+
+  // aT maps everything to sT.
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    EXPECT_DOUBLE_EQ(m.transition_prob(s, at, st), 1.0);
+  }
+  // Termination rewards: r(s, aT) = rate(s) * t_op, zero at goals and sT.
+  EXPECT_DOUBLE_EQ(m.reward(ids.null_state, at), 0.0);
+  EXPECT_DOUBLE_EQ(m.reward(ids.fault_a, at), -0.5 * t_op);
+  EXPECT_DOUBLE_EQ(m.reward(ids.fault_b, at), -0.5 * t_op);
+  EXPECT_DOUBLE_EQ(m.reward(st, at), 0.0);
+
+  // sT absorbing with zero reward under every action.
+  for (ActionId a = 0; a < m.num_actions(); ++a) {
+    EXPECT_DOUBLE_EQ(m.transition_prob(st, a, st), 1.0);
+    EXPECT_DOUBLE_EQ(m.reward(st, a), 0.0);
+  }
+
+  // sT emits the dedicated observation deterministically.
+  const ObsId term_obs = p.find_observation("terminated");
+  ASSERT_NE(term_obs, kInvalidId);
+  for (ActionId a = 0; a < m.num_actions(); ++a) {
+    EXPECT_DOUBLE_EQ(p.observation_prob(st, a, term_obs), 1.0);
+  }
+
+  // Original dynamics and rewards preserved.
+  EXPECT_DOUBLE_EQ(m.transition_prob(ids.fault_a, ids.restart_a, ids.null_state), 1.0);
+  EXPECT_DOUBLE_EQ(m.reward(ids.fault_a, ids.restart_b), -1.0);
+}
+
+TEST(TerminateTransform, RejectsDoubleApplication) {
+  const Pomdp p = models::make_two_server_without_notification(10.0);
+  EXPECT_THROW(add_termination(p, 10.0), PreconditionError);
+}
+
+TEST(TerminateTransform, RejectsNonPositiveResponseTime) {
+  const Pomdp p = models::make_two_server();
+  EXPECT_THROW(add_termination(p, 0.0), PreconditionError);
+  EXPECT_THROW(add_termination(p, -5.0), PreconditionError);
+}
+
+TEST(Transforms, CopyRoundTripPreservesModel) {
+  const Pomdp src = models::make_two_server();
+  PomdpBuilder b;
+  detail::copy_pomdp_into_builder(src, b);
+  const Pomdp copy = b.build();
+  ASSERT_EQ(copy.num_states(), src.num_states());
+  ASSERT_EQ(copy.num_actions(), src.num_actions());
+  ASSERT_EQ(copy.num_observations(), src.num_observations());
+  for (ActionId a = 0; a < src.num_actions(); ++a) {
+    EXPECT_DOUBLE_EQ(copy.mdp().duration(a), src.mdp().duration(a));
+    for (StateId s = 0; s < src.num_states(); ++s) {
+      EXPECT_DOUBLE_EQ(copy.mdp().reward(s, a), src.mdp().reward(s, a));
+      for (StateId t = 0; t < src.num_states(); ++t) {
+        EXPECT_DOUBLE_EQ(copy.mdp().transition_prob(s, a, t),
+                         src.mdp().transition_prob(s, a, t));
+      }
+      for (ObsId o = 0; o < src.num_observations(); ++o) {
+        EXPECT_DOUBLE_EQ(copy.observation_prob(s, a, o), src.observation_prob(s, a, o));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace recoverd

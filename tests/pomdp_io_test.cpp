@@ -1,0 +1,167 @@
+#include "pomdp/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "models/emn.hpp"
+#include "models/two_server.hpp"
+#include "util/check.hpp"
+
+namespace recoverd {
+namespace {
+
+void expect_models_equal(const Pomdp& a, const Pomdp& b) {
+  ASSERT_EQ(a.num_states(), b.num_states());
+  ASSERT_EQ(a.num_actions(), b.num_actions());
+  ASSERT_EQ(a.num_observations(), b.num_observations());
+  EXPECT_EQ(a.terminate_action(), b.terminate_action());
+  EXPECT_EQ(a.terminate_state(), b.terminate_state());
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    EXPECT_EQ(a.mdp().state_name(s), b.mdp().state_name(s));
+    EXPECT_DOUBLE_EQ(a.mdp().state_rate_reward(s), b.mdp().state_rate_reward(s));
+    EXPECT_EQ(a.mdp().is_goal(s), b.mdp().is_goal(s));
+  }
+  for (ActionId act = 0; act < a.num_actions(); ++act) {
+    EXPECT_EQ(a.mdp().action_name(act), b.mdp().action_name(act));
+    EXPECT_DOUBLE_EQ(a.mdp().duration(act), b.mdp().duration(act));
+    for (StateId s = 0; s < a.num_states(); ++s) {
+      EXPECT_DOUBLE_EQ(a.mdp().reward(s, act), b.mdp().reward(s, act));
+      EXPECT_DOUBLE_EQ(a.mdp().rate_reward(s, act), b.mdp().rate_reward(s, act));
+      EXPECT_DOUBLE_EQ(a.mdp().impulse_reward(s, act), b.mdp().impulse_reward(s, act));
+      for (StateId t = 0; t < a.num_states(); ++t) {
+        EXPECT_DOUBLE_EQ(a.mdp().transition_prob(s, act, t),
+                         b.mdp().transition_prob(s, act, t));
+      }
+      for (ObsId o = 0; o < a.num_observations(); ++o) {
+        EXPECT_DOUBLE_EQ(a.observation_prob(s, act, o), b.observation_prob(s, act, o));
+      }
+    }
+  }
+}
+
+TEST(PomdpIo, RoundTripTwoServer) {
+  const Pomdp original = models::make_two_server();
+  std::stringstream buffer;
+  save_pomdp(buffer, original);
+  const Pomdp loaded = load_pomdp(buffer);
+  expect_models_equal(original, loaded);
+}
+
+TEST(PomdpIo, RoundTripTerminateTransformed) {
+  const Pomdp original = models::make_two_server_without_notification(12345.5);
+  std::stringstream buffer;
+  save_pomdp(buffer, original);
+  const Pomdp loaded = load_pomdp(buffer);
+  ASSERT_TRUE(loaded.has_terminate_action());
+  expect_models_equal(original, loaded);
+}
+
+TEST(PomdpIo, RoundTripEmnModelExactly) {
+  const Pomdp original = models::make_emn_recovery_model();
+  std::stringstream buffer;
+  save_pomdp(buffer, original);
+  const Pomdp loaded = load_pomdp(buffer);
+  expect_models_equal(original, loaded);
+}
+
+TEST(PomdpIo, QuotedNamesSurvive) {
+  PomdpBuilder b;
+  const StateId s = b.add_state("state with spaces", -0.5);
+  const StateId g = b.add_state("ok", 0.0);
+  b.mark_goal(g);
+  const ActionId a = b.add_action("fix it", 2.0);
+  b.set_transition(s, a, g, 1.0);
+  b.set_transition(g, a, g, 1.0);
+  const ObsId o = b.add_observation("all clear");
+  b.set_observation_all_actions(s, o, 1.0);
+  b.set_observation_all_actions(g, o, 1.0);
+  const Pomdp original = b.build();
+
+  std::stringstream buffer;
+  save_pomdp(buffer, original);
+  const Pomdp loaded = load_pomdp(buffer);
+  EXPECT_EQ(loaded.mdp().find_state("state with spaces"), s);
+  EXPECT_EQ(loaded.mdp().find_action("fix it"), a);
+  EXPECT_EQ(loaded.find_observation("all clear"), o);
+}
+
+TEST(PomdpIo, FileRoundTrip) {
+  const std::string path = "/tmp/recoverd_io_test.pomdp";
+  const Pomdp original = models::make_two_server();
+  save_pomdp_file(path, original);
+  const Pomdp loaded = load_pomdp_file(path);
+  expect_models_equal(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(PomdpIo, RejectsMissingHeader) {
+  std::stringstream buffer("state s 0 goal\n");
+  EXPECT_THROW(load_pomdp(buffer), ModelError);
+}
+
+TEST(PomdpIo, RejectsUnknownKeyword) {
+  std::stringstream buffer("recoverd-pomdp 1\nfrobnicate x\n");
+  EXPECT_THROW(load_pomdp(buffer), ModelError);
+}
+
+TEST(PomdpIo, RejectsUnknownReferences) {
+  std::stringstream buffer(
+      "recoverd-pomdp 1\n"
+      "state s 0 goal\n"
+      "action a 1\n"
+      "observation o\n"
+      "T s a nonexistent 1.0\n");
+  EXPECT_THROW(load_pomdp(buffer), ModelError);
+}
+
+TEST(PomdpIo, RejectsBadNumbers) {
+  std::stringstream buffer(
+      "recoverd-pomdp 1\n"
+      "state s abc goal\n");
+  EXPECT_THROW(load_pomdp(buffer), ModelError);
+}
+
+TEST(PomdpIo, RejectsDuplicates) {
+  std::stringstream buffer(
+      "recoverd-pomdp 1\n"
+      "state s 0 goal\n"
+      "state s 0\n");
+  EXPECT_THROW(load_pomdp(buffer), ModelError);
+}
+
+TEST(PomdpIo, RejectsUnterminatedQuote) {
+  std::stringstream buffer("recoverd-pomdp 1\nstate |broken 0\n");
+  EXPECT_THROW(load_pomdp(buffer), ModelError);
+}
+
+TEST(PomdpIo, RevalidatesOnLoad) {
+  // A hand-edited file with a non-stochastic row must be rejected by the
+  // builder validation, not silently accepted.
+  std::stringstream buffer(
+      "recoverd-pomdp 1\n"
+      "state s 0 goal\n"
+      "action a 1\n"
+      "observation o\n"
+      "T s a s 0.5\n"
+      "O s a o 1.0\n");
+  EXPECT_THROW(load_pomdp(buffer), ModelError);
+}
+
+TEST(PomdpIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer(
+      "# full line comment\n"
+      "\n"
+      "recoverd-pomdp 1\n"
+      "state s 0 goal  # trailing comment\n"
+      "action a 1\n"
+      "observation o\n"
+      "T s a s 1.0\n"
+      "O s a o 1.0\n");
+  const Pomdp loaded = load_pomdp(buffer);
+  EXPECT_EQ(loaded.num_states(), 1u);
+}
+
+}  // namespace
+}  // namespace recoverd

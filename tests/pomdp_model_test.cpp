@@ -1,0 +1,171 @@
+#include "pomdp/mdp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/two_server.hpp"
+#include "pomdp/pomdp.hpp"
+#include "util/check.hpp"
+
+namespace recoverd {
+namespace {
+
+TEST(MdpBuilder, BuildsValidatedModel) {
+  MdpBuilder b;
+  const StateId good = b.add_state("good", 0.0);
+  const StateId bad = b.add_state("bad", -1.0);
+  const ActionId fix = b.add_action("fix", 2.0);
+  b.set_transition(bad, fix, good, 0.8);
+  b.set_transition(bad, fix, bad, 0.2);
+  b.set_transition(good, fix, good, 1.0);
+  b.mark_goal(good);
+
+  const Mdp m = b.build();
+  EXPECT_EQ(m.num_states(), 2u);
+  EXPECT_EQ(m.num_actions(), 1u);
+  EXPECT_EQ(m.state_name(bad), "bad");
+  EXPECT_EQ(m.action_name(fix), "fix");
+  EXPECT_DOUBLE_EQ(m.transition_prob(bad, fix, good), 0.8);
+  EXPECT_DOUBLE_EQ(m.transition_prob(bad, fix, bad), 0.2);
+  EXPECT_DOUBLE_EQ(m.transition_prob(good, fix, bad), 0.0);
+  // Default rate reward = ambient rate; duration 2 => combined -2.
+  EXPECT_DOUBLE_EQ(m.reward(bad, fix), -2.0);
+  EXPECT_DOUBLE_EQ(m.reward(good, fix), 0.0);
+  EXPECT_DOUBLE_EQ(m.duration(fix), 2.0);
+  EXPECT_DOUBLE_EQ(m.state_rate_reward(bad), -1.0);
+  EXPECT_TRUE(m.is_goal(good));
+  EXPECT_FALSE(m.is_goal(bad));
+  ASSERT_EQ(m.goal_states().size(), 1u);
+  EXPECT_EQ(m.goal_states()[0], good);
+}
+
+TEST(MdpBuilder, RewardOverridesAndImpulse) {
+  MdpBuilder b;
+  const StateId s = b.add_state("s", -0.25);
+  const ActionId a = b.add_action("a", 4.0);
+  b.set_transition(s, a, s, 1.0);
+  b.set_rate_reward(s, a, -0.5);
+  b.set_impulse_reward(s, a, -3.0);
+  const Mdp m = b.build();
+  EXPECT_DOUBLE_EQ(m.rate_reward(s, a), -0.5);
+  EXPECT_DOUBLE_EQ(m.impulse_reward(s, a), -3.0);
+  EXPECT_DOUBLE_EQ(m.reward(s, a), -0.5 * 4.0 - 3.0);
+}
+
+TEST(MdpBuilder, RejectsNonStochasticRow) {
+  MdpBuilder b;
+  const StateId s = b.add_state("s");
+  const StateId t = b.add_state("t");
+  const ActionId a = b.add_action("a", 1.0);
+  b.set_transition(s, a, t, 0.5);  // row sums to 0.5
+  b.set_transition(t, a, t, 1.0);
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(MdpBuilder, RejectsMissingRow) {
+  MdpBuilder b;
+  b.add_state("s");
+  b.add_action("a", 1.0);
+  EXPECT_THROW(b.build(), ModelError);  // no transitions at all
+}
+
+TEST(MdpBuilder, RejectsPositiveReward) {
+  MdpBuilder b;
+  const StateId s = b.add_state("s", 0.0);
+  const ActionId a = b.add_action("a", 1.0);
+  b.set_transition(s, a, s, 1.0);
+  b.set_impulse_reward(s, a, 1.0);  // positive reward violates Condition 2
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(MdpBuilder, RejectsPositiveAmbientRate) {
+  MdpBuilder b;
+  EXPECT_THROW(b.add_state("s", 0.5), PreconditionError);
+}
+
+TEST(MdpBuilder, RejectsEmptyModel) {
+  MdpBuilder b;
+  EXPECT_THROW(b.build(), ModelError);
+  b.add_state("s");
+  EXPECT_THROW(b.build(), ModelError);  // still no actions
+}
+
+TEST(MdpBuilder, TransitionOverwriteReplacesProbability) {
+  MdpBuilder b;
+  const StateId s = b.add_state("s");
+  const StateId t = b.add_state("t");
+  const ActionId a = b.add_action("a", 1.0);
+  b.set_transition(s, a, t, 0.4);
+  b.set_transition(s, a, t, 1.0);  // overwrite, not accumulate
+  b.set_transition(t, a, t, 1.0);
+  const Mdp m = b.build();
+  EXPECT_DOUBLE_EQ(m.transition_prob(s, a, t), 1.0);
+}
+
+TEST(MdpBuilder, StatesAddedAfterActions) {
+  MdpBuilder b;
+  const ActionId a = b.add_action("a", 1.0);
+  const StateId s = b.add_state("s");
+  b.set_transition(s, a, s, 1.0);
+  const Mdp m = b.build();
+  EXPECT_EQ(m.num_states(), 1u);
+  EXPECT_DOUBLE_EQ(m.transition_prob(s, a, s), 1.0);
+}
+
+TEST(Mdp, FindByName) {
+  const Pomdp p = models::make_two_server();
+  EXPECT_EQ(p.mdp().find_state("Fault(a)"), 1u);
+  EXPECT_EQ(p.mdp().find_state("nonexistent"), kInvalidId);
+  EXPECT_NE(p.mdp().find_action("Observe"), kInvalidId);
+  EXPECT_EQ(p.find_observation("clear"), 2u);
+  EXPECT_EQ(p.find_observation("nope"), kInvalidId);
+}
+
+TEST(Mdp, GoalProbability) {
+  const Pomdp p = models::make_two_server();
+  const std::vector<double> dist{0.5, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(p.mdp().goal_probability(dist), 0.5);
+}
+
+TEST(PomdpBuilder, ObservationRowsValidated) {
+  PomdpBuilder b;
+  const StateId s = b.add_state("s");
+  const ActionId a = b.add_action("a", 1.0);
+  b.set_transition(s, a, s, 1.0);
+  const ObsId o = b.add_observation("o");
+  b.set_observation(s, a, o, 0.5);  // sums to 0.5
+  EXPECT_THROW(b.build(), ModelError);
+  b.set_observation(s, a, o, 1.0);
+  EXPECT_NO_THROW(b.build());
+}
+
+TEST(PomdpBuilder, RequiresObservations) {
+  PomdpBuilder b;
+  const StateId s = b.add_state("s");
+  const ActionId a = b.add_action("a", 1.0);
+  b.set_transition(s, a, s, 1.0);
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(Pomdp, TwoServerObservationModel) {
+  const Pomdp p = models::make_two_server();
+  const auto ids = models::two_server_ids(p);
+  EXPECT_DOUBLE_EQ(p.observation_prob(ids.fault_a, ids.observe, ids.alarm_a), 0.9);
+  EXPECT_DOUBLE_EQ(p.observation_prob(ids.fault_a, ids.observe, ids.clear), 0.1);
+  EXPECT_DOUBLE_EQ(p.observation_prob(ids.null_state, ids.observe, ids.clear), 0.9);
+  EXPECT_DOUBLE_EQ(p.observation_prob(ids.null_state, ids.observe, ids.alarm_b), 0.05);
+  EXPECT_FALSE(p.has_terminate_action());
+}
+
+TEST(Pomdp, TwoServerRewardsMatchFigure1a) {
+  const Pomdp p = models::make_two_server();
+  const auto ids = models::two_server_ids(p);
+  const Mdp& m = p.mdp();
+  EXPECT_DOUBLE_EQ(m.reward(ids.fault_a, ids.restart_a), -0.5);
+  EXPECT_DOUBLE_EQ(m.reward(ids.fault_a, ids.restart_b), -1.0);
+  EXPECT_DOUBLE_EQ(m.reward(ids.fault_a, ids.observe), -0.5);
+  EXPECT_DOUBLE_EQ(m.reward(ids.null_state, ids.restart_a), -0.5);
+  EXPECT_DOUBLE_EQ(m.reward(ids.null_state, ids.observe), 0.0);
+}
+
+}  // namespace
+}  // namespace recoverd

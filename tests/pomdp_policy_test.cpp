@@ -1,0 +1,113 @@
+#include "pomdp/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.hpp"
+#include "models/synthetic.hpp"
+#include "models/two_server.hpp"
+#include "util/check.hpp"
+
+namespace recoverd {
+namespace {
+
+TEST(PolicyEvaluation, OptimalPolicyValueMatchesValueIteration) {
+  const Pomdp p = models::make_two_server_with_notification();
+  const auto vi = value_iteration(p.mdp());
+  ASSERT_TRUE(vi.converged());
+  const auto eval = evaluate_policy(p.mdp(), vi.policy);
+  ASSERT_TRUE(eval.converged());
+  EXPECT_TRUE(linalg::approx_equal(eval.values, vi.values, 1e-7));
+}
+
+TEST(PolicyEvaluation, ImproperPolicyReportsDivergence) {
+  // Always Restart(b): loops in Fault(a) accruing -1 per step forever.
+  const Pomdp p = models::make_two_server_with_notification();
+  const auto ids = models::two_server_ids(p);
+  const Policy always_b(p.num_states(), ids.restart_b);
+  const auto eval = evaluate_policy(p.mdp(), always_b);
+  EXPECT_FALSE(eval.converged());
+}
+
+TEST(PolicyEvaluation, TerminatePolicyHasTerminationValues) {
+  const double t_op = 40.0;
+  const Pomdp p = models::make_two_server_without_notification(t_op);
+  const auto ids = models::two_server_ids(p);
+  const Policy always_terminate(p.num_states(), p.terminate_action());
+  const auto eval = evaluate_policy(p.mdp(), always_terminate);
+  ASSERT_TRUE(eval.converged());
+  EXPECT_NEAR(eval.values[ids.null_state], 0.0, 1e-9);
+  EXPECT_NEAR(eval.values[ids.fault_a], -0.5 * t_op, 1e-8);
+}
+
+TEST(PolicyEvaluation, DiscountedEvaluationIsFinite) {
+  const Pomdp p = models::make_two_server_with_notification();
+  const auto ids = models::two_server_ids(p);
+  const Policy always_b(p.num_states(), ids.restart_b);
+  const auto eval = evaluate_policy(p.mdp(), always_b, 0.9);
+  ASSERT_TRUE(eval.converged());
+  EXPECT_NEAR(eval.values[ids.fault_a], -10.0, 1e-6);  // -1/(1-0.9)
+}
+
+TEST(PolicyEvaluation, Validation) {
+  const Pomdp p = models::make_two_server();
+  EXPECT_THROW(evaluate_policy(p.mdp(), Policy{}), PreconditionError);
+  EXPECT_THROW(evaluate_policy(p.mdp(), Policy(p.num_states(), 99)), PreconditionError);
+  EXPECT_THROW(evaluate_policy(p.mdp(), Policy(p.num_states(), 0), 0.0),
+               PreconditionError);
+}
+
+TEST(GreedyPolicy, ExtractsOptimalActionsFromOptimalValues) {
+  const Pomdp p = models::make_two_server_with_notification();
+  const auto ids = models::two_server_ids(p);
+  const auto vi = value_iteration(p.mdp());
+  ASSERT_TRUE(vi.converged());
+  const Policy greedy = greedy_policy(p.mdp(), vi.values);
+  EXPECT_EQ(greedy[ids.fault_a], ids.restart_a);
+  EXPECT_EQ(greedy[ids.fault_b], ids.restart_b);
+}
+
+TEST(PolicyIteration, MatchesValueIterationOnTerminateModel) {
+  const Pomdp p = models::make_two_server_without_notification(40.0);
+  // Seed with the proper aT-everywhere policy.
+  const auto result =
+      policy_iteration(p.mdp(), Policy(p.num_states(), p.terminate_action()));
+  ASSERT_TRUE(result.converged());
+  const auto vi = value_iteration(p.mdp());
+  ASSERT_TRUE(vi.converged());
+  EXPECT_TRUE(linalg::approx_equal(result.values, vi.values, 1e-6));
+  EXPECT_LE(result.improvement_steps, 10u);
+}
+
+TEST(PolicyIteration, ReportsImproperInitialPolicy) {
+  const Pomdp p = models::make_two_server_with_notification();
+  const auto ids = models::two_server_ids(p);
+  const auto result = policy_iteration(p.mdp(), Policy(p.num_states(), ids.restart_b));
+  EXPECT_FALSE(result.converged());
+}
+
+TEST(PolicyIteration, WorksOnSyntheticModels) {
+  models::SyntheticMdpParams params;
+  params.num_states = 300;
+  params.seed = 5;
+  const Mdp m = models::make_synthetic_recovery_mdp(params);
+  // Action 0 always has the backbone repair edge: a proper initial policy.
+  const auto result = policy_iteration(m, Policy(m.num_states(), 0));
+  ASSERT_TRUE(result.converged());
+  const auto vi = value_iteration(m);
+  ASSERT_TRUE(vi.converged());
+  EXPECT_TRUE(linalg::approx_equal(result.values, vi.values, 1e-5));
+}
+
+TEST(PolicyIteration, DiscountedFromArbitraryPolicy) {
+  const Pomdp p = models::make_two_server_with_notification();
+  const auto result = policy_iteration(p.mdp(), {}, 0.9);
+  ASSERT_TRUE(result.converged());
+  ValueIterationOptions opts;
+  opts.beta = 0.9;
+  const auto vi = value_iteration(p.mdp(), opts);
+  ASSERT_TRUE(vi.converged());
+  EXPECT_TRUE(linalg::approx_equal(result.values, vi.values, 1e-6));
+}
+
+}  // namespace
+}  // namespace recoverd

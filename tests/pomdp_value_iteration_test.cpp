@@ -1,0 +1,130 @@
+#include "pomdp/value_iteration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/two_server.hpp"
+#include "pomdp/transforms.hpp"
+#include "util/check.hpp"
+
+namespace recoverd {
+namespace {
+
+TEST(ValueIteration, OptimalValuesOnNotifiedTwoServer) {
+  // With recovery notification and full observability, the optimal policy
+  // restarts the faulty server immediately: V(Fault(x)) = -0.5, V(Null) = 0.
+  const Pomdp p = models::make_two_server_with_notification();
+  const auto ids = models::two_server_ids(p);
+  const auto vi = value_iteration(p.mdp());
+  ASSERT_TRUE(vi.converged());
+  EXPECT_NEAR(vi.values[ids.null_state], 0.0, 1e-9);
+  EXPECT_NEAR(vi.values[ids.fault_a], -0.5, 1e-9);
+  EXPECT_NEAR(vi.values[ids.fault_b], -0.5, 1e-9);
+  EXPECT_EQ(vi.policy[ids.fault_a], ids.restart_a);
+  EXPECT_EQ(vi.policy[ids.fault_b], ids.restart_b);
+}
+
+TEST(ValueIteration, OptimalValuesOnTerminateTwoServer) {
+  // Without notification, restarting the faulty server (-0.5) and then
+  // terminating from Null (0) is optimal; terminating immediately from a
+  // fault state costs 0.5 * t_op.
+  const double t_op = 40.0;
+  const Pomdp p = models::make_two_server_without_notification(t_op);
+  const auto ids = models::two_server_ids(p);
+  const auto vi = value_iteration(p.mdp());
+  ASSERT_TRUE(vi.converged());
+  EXPECT_NEAR(vi.values[ids.null_state], 0.0, 1e-9);
+  EXPECT_NEAR(vi.values[ids.fault_a], -0.5, 1e-9);
+  EXPECT_NEAR(vi.values[p.terminate_state()], 0.0, 1e-9);
+  EXPECT_EQ(vi.policy[ids.fault_a], ids.restart_a);
+}
+
+TEST(ValueIteration, UntransformedUndiscountedModelHasZeroFixedPoint) {
+  // The *untransformed* two-server model keeps Null's restart costs, but
+  // Observe in Null is free, so value iteration still converges (optimal:
+  // fix the fault, then Observe forever at 0 cost).
+  const Pomdp p = models::make_two_server();
+  const auto vi = value_iteration(p.mdp());
+  ASSERT_TRUE(vi.converged());
+  const auto ids = models::two_server_ids(p);
+  EXPECT_NEAR(vi.values[ids.null_state], 0.0, 1e-9);
+  EXPECT_NEAR(vi.values[ids.fault_a], -0.5, 1e-9);
+}
+
+TEST(ValueIteration, MinExtremumDivergesOnUndiscountedRecoveryModel) {
+  // §3.1: the BI-POMDP construction (min instead of max) picks the worst
+  // action, which loops in a fault state accruing -1 forever.
+  const Pomdp p = models::make_two_server_with_notification();
+  const auto vi = value_iteration(p.mdp(), {}, Extremum::Min);
+  EXPECT_EQ(vi.status, linalg::SolveStatus::Diverged);
+}
+
+TEST(ValueIteration, MinExtremumConvergesWhenDiscounted) {
+  const Pomdp p = models::make_two_server_with_notification();
+  ValueIterationOptions opts;
+  opts.beta = 0.9;
+  const auto vi = value_iteration(p.mdp(), opts, Extremum::Min);
+  ASSERT_TRUE(vi.converged());
+  // Worst policy from Fault(a) loops restarting b forever: -1/(1-0.9) = -10.
+  const auto ids = models::two_server_ids(p);
+  EXPECT_NEAR(vi.values[ids.fault_a], -10.0, 1e-6);
+}
+
+TEST(ValueIteration, DiscountedValuesBelowUndiscountedMagnitude) {
+  const Pomdp p = models::make_two_server_with_notification();
+  ValueIterationOptions opts;
+  opts.beta = 0.5;
+  const auto discounted = value_iteration(p.mdp(), opts);
+  const auto undiscounted = value_iteration(p.mdp());
+  ASSERT_TRUE(discounted.converged());
+  ASSERT_TRUE(undiscounted.converged());
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    EXPECT_GE(discounted.values[s] + 1e-12, undiscounted.values[s]);
+  }
+}
+
+TEST(BlindPolicy, SingleActionValueOnNotifiedModel) {
+  // Blind "Restart(a)" policy: from Fault(a) one step (-0.5) reaches the
+  // absorbing Null; from Fault(b) it loops at -1 per step => diverges.
+  const Pomdp p = models::make_two_server_with_notification();
+  const auto ids = models::two_server_ids(p);
+  const auto blind = blind_policy_value(p.mdp(), ids.restart_a);
+  EXPECT_EQ(blind.status, linalg::SolveStatus::Diverged);
+}
+
+TEST(BlindPolicy, ConvergesOnTerminateAction) {
+  // In the terminate-transformed model the blind aT policy stops instantly:
+  // value = termination reward, finite for every state (§3.1's observation
+  // that the transform trivially repairs the blind-policy bound).
+  const double t_op = 25.0;
+  const Pomdp p = models::make_two_server_without_notification(t_op);
+  const auto ids = models::two_server_ids(p);
+  const auto blind = blind_policy_value(p.mdp(), p.terminate_action());
+  ASSERT_TRUE(blind.converged());
+  EXPECT_NEAR(blind.values[ids.null_state], 0.0, 1e-9);
+  EXPECT_NEAR(blind.values[ids.fault_a], -0.5 * t_op, 1e-9);
+}
+
+TEST(BlindPolicy, DiscountedBlindValueIsFinite) {
+  const Pomdp p = models::make_two_server();
+  const auto ids = models::two_server_ids(p);
+  ValueIterationOptions opts;
+  opts.beta = 0.8;
+  const auto blind = blind_policy_value(p.mdp(), ids.restart_b, opts);
+  ASSERT_TRUE(blind.converged());
+  // From Fault(a), always Restart(b): -1 each step: -1/(1-0.8) = -5.
+  EXPECT_NEAR(blind.values[ids.fault_a], -5.0, 1e-6);
+}
+
+TEST(ValueIteration, RejectsBadOptions) {
+  const Pomdp p = models::make_two_server();
+  ValueIterationOptions opts;
+  opts.beta = 1.5;
+  EXPECT_THROW(value_iteration(p.mdp(), opts), PreconditionError);
+  opts.beta = 1.0;
+  opts.tolerance = 0.0;
+  EXPECT_THROW(value_iteration(p.mdp(), opts), PreconditionError);
+  EXPECT_THROW(blind_policy_value(p.mdp(), 99), PreconditionError);
+}
+
+}  // namespace
+}  // namespace recoverd

@@ -1,0 +1,158 @@
+// Parameterized Bayes-filter properties: on every model, the belief update
+// machinery (Eq. 3/4) must be a consistent probability filter, and the
+// simulator's sampled observations must match the model's likelihoods.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "linalg/vector_ops.hpp"
+#include "models/emn.hpp"
+#include "models/two_server.hpp"
+#include "pomdp/belief.hpp"
+#include "pomdp/sampling.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd {
+namespace {
+
+struct ModelCase {
+  std::string name;
+  std::function<Pomdp()> make;
+};
+
+std::vector<ModelCase> model_zoo() {
+  return {
+      {"two_server", [] { return models::make_two_server(); }},
+      {"two_server_terminate",
+       [] { return models::make_two_server_without_notification(50.0); }},
+      {"emn_base", [] { return models::make_emn_base(); }},
+      {"emn_recovery", [] { return models::make_emn_recovery_model(); }},
+  };
+}
+
+Belief random_belief(std::size_t n, Rng& rng) {
+  std::vector<double> pi(n);
+  for (auto& v : pi) v = rng.uniform01() + 1e-9;
+  return Belief(std::move(pi));
+}
+
+class BeliefPropertyTest : public ::testing::TestWithParam<ModelCase> {
+ protected:
+  BeliefPropertyTest() : model_(GetParam().make()) {}
+  Pomdp model_;
+};
+
+TEST_P(BeliefPropertyTest, SuccessorProbabilitiesFormDistribution) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Belief pi = random_belief(model_.num_states(), rng);
+    for (ActionId a = 0; a < model_.num_actions(); ++a) {
+      const auto branches = belief_successors(model_, pi, a);
+      double total = 0.0;
+      for (const auto& br : branches) {
+        EXPECT_GT(br.probability, 0.0);
+        total += br.probability;
+        EXPECT_NEAR(linalg::sum(br.posterior.probabilities()), 1.0, 1e-9);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST_P(BeliefPropertyTest, LawOfTotalProbabilityHolds) {
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Belief pi = random_belief(model_.num_states(), rng);
+    for (ActionId a = 0; a < model_.num_actions(); ++a) {
+      const auto pred = predict_state_distribution(model_, pi, a);
+      std::vector<double> mixed(model_.num_states(), 0.0);
+      for (const auto& br : belief_successors(model_, pi, a)) {
+        linalg::axpy(br.probability, br.posterior.probabilities(), mixed);
+      }
+      EXPECT_TRUE(linalg::approx_equal(mixed, pred, 1e-9));
+    }
+  }
+}
+
+TEST_P(BeliefPropertyTest, FlooredSuccessorsAreSubsetOfExact) {
+  Rng rng(11);
+  const Belief pi = random_belief(model_.num_states(), rng);
+  for (ActionId a = 0; a < model_.num_actions(); ++a) {
+    const auto exact = belief_successors(model_, pi, a);
+    const auto floored = belief_successors(model_, pi, a, 1e-2);
+    EXPECT_LE(floored.size(), exact.size());
+    for (const auto& fb : floored) {
+      EXPECT_GE(fb.probability, 1e-2);
+      bool found = false;
+      for (const auto& eb : exact) {
+        if (eb.obs == fb.obs) {
+          EXPECT_NEAR(eb.probability, fb.probability, 1e-12);
+          EXPECT_LT(eb.posterior.distance(fb.posterior), 1e-12);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST_P(BeliefPropertyTest, SampledObservationsMatchLikelihoods) {
+  // Chi-square-lite: empirical frequency of each observation from a fixed
+  // state/action must match q within ~4 sigma.
+  Rng rng(13);
+  const StateId s = model_.num_states() > 2 ? 1 : 0;
+  const ActionId a = model_.mdp().find_action("Observe") != kInvalidId
+                         ? model_.mdp().find_action("Observe")
+                         : 0;
+  const int n = 20000;
+  std::vector<int> counts(model_.num_observations(), 0);
+  for (int i = 0; i < n; ++i) ++counts[sample_observation(model_, s, a, rng)];
+  for (ObsId o = 0; o < model_.num_observations(); ++o) {
+    const double p = model_.observation_prob(s, a, o);
+    const double sigma = std::sqrt(p * (1.0 - p) / n) + 1e-9;
+    EXPECT_NEAR(counts[o] / static_cast<double>(n), p, 4.0 * sigma + 2e-3)
+        << "obs " << model_.observation_name(o);
+  }
+}
+
+TEST_P(BeliefPropertyTest, SampledTransitionsMatchModel) {
+  Rng rng(17);
+  const StateId s = model_.num_states() > 2 ? 2 : 0;
+  for (ActionId a = 0; a < model_.num_actions(); ++a) {
+    std::vector<int> counts(model_.num_states(), 0);
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) ++counts[sample_transition(model_.mdp(), s, a, rng)];
+    for (StateId t = 0; t < model_.num_states(); ++t) {
+      const double p = model_.mdp().transition_prob(s, a, t);
+      EXPECT_NEAR(counts[t] / static_cast<double>(n), p, 0.03);
+    }
+  }
+}
+
+TEST_P(BeliefPropertyTest, RepeatedUpdatesKeepBeliefNormalized) {
+  Rng rng(19);
+  Belief pi = Belief::uniform(model_.num_states());
+  StateId hidden = model_.num_states() - 1;
+  const ActionId a = model_.mdp().find_action("Observe") != kInvalidId
+                         ? model_.mdp().find_action("Observe")
+                         : 0;
+  for (int i = 0; i < 50; ++i) {
+    hidden = sample_transition(model_.mdp(), hidden, a, rng);
+    const ObsId obs = sample_observation(model_, hidden, a, rng);
+    const auto upd = update_belief(model_, pi, a, obs);
+    ASSERT_TRUE(upd.has_value());
+    pi = upd->next;
+    EXPECT_NEAR(linalg::sum(pi.probabilities()), 1.0, 1e-9);
+    EXPECT_GE(pi[hidden], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, BeliefPropertyTest, ::testing::ValuesIn(model_zoo()),
+                         [](const ::testing::TestParamInfo<ModelCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace recoverd

@@ -1,0 +1,198 @@
+// Parameterized property suite: the §3 bound guarantees must hold on every
+// recovery model in the library, not just the models they were derived on.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "bounds/incremental_update.hpp"
+#include "bounds/ra_bound.hpp"
+#include "bounds/sawtooth_upper.hpp"
+#include "bounds/upper_bound.hpp"
+#include "models/emn.hpp"
+#include "models/two_server.hpp"
+#include "pomdp/bellman.hpp"
+#include "pomdp/conditions.hpp"
+#include "pomdp/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::bounds {
+namespace {
+
+struct ModelCase {
+  std::string name;
+  std::function<Pomdp()> make;
+};
+
+// A transformed (§3.1-convergent) recovery model zoo.
+std::vector<ModelCase> model_zoo() {
+  return {
+      {"two_server_notification",
+       [] { return models::make_two_server_with_notification(); }},
+      {"two_server_terminate_short",
+       [] { return models::make_two_server_without_notification(10.0); }},
+      {"two_server_terminate_long",
+       [] { return models::make_two_server_without_notification(21600.0); }},
+      {"two_server_noisy",
+       [] {
+         models::TwoServerParams p;
+         p.coverage = 0.7;
+         p.false_positive = 0.2;
+         return models::make_two_server_without_notification(100.0, p);
+       }},
+      {"emn_default", [] { return models::make_emn_recovery_model(); }},
+      {"emn_short_top",
+       [] {
+         models::EmnConfig c;
+         c.operator_response_time = 600.0;
+         return models::make_emn_recovery_model(c);
+       }},
+      {"emn_noisy_monitors",
+       [] {
+         models::EmnConfig c;
+         c.ping_coverage = 0.8;
+         c.ping_false_positive = 0.05;
+         c.path_coverage = 0.8;
+         c.path_false_positive = 0.05;
+         return models::make_emn_recovery_model(c);
+       }},
+  };
+}
+
+Belief random_belief(std::size_t n, Rng& rng) {
+  std::vector<double> pi(n);
+  for (auto& v : pi) v = rng.uniform01() + 1e-9;
+  return Belief(std::move(pi));
+}
+
+class BoundPropertyTest : public ::testing::TestWithParam<ModelCase> {
+ protected:
+  BoundPropertyTest() : model_(GetParam().make()) {}
+  Pomdp model_;
+};
+
+TEST_P(BoundPropertyTest, SatisfiesRecoveryConditions) {
+  EXPECT_TRUE(check_condition1(model_).satisfied);
+  EXPECT_TRUE(check_condition2(model_.mdp()).satisfied);
+}
+
+TEST_P(BoundPropertyTest, RaBoundConvergesAndIsNonPositive) {
+  const auto ra = compute_ra_bound(model_.mdp());
+  ASSERT_TRUE(ra.converged());
+  for (StateId s = 0; s < model_.num_states(); ++s) {
+    EXPECT_LE(ra.values[s], 1e-9) << model_.mdp().state_name(s);
+  }
+}
+
+TEST_P(BoundPropertyTest, RaBoundBelowQmdpStatewise) {
+  const auto ra = compute_ra_bound(model_.mdp());
+  const auto qmdp = compute_qmdp_bound(model_.mdp());
+  ASSERT_TRUE(ra.converged());
+  ASSERT_TRUE(qmdp.converged());
+  for (StateId s = 0; s < model_.num_states(); ++s) {
+    EXPECT_LE(ra.values[s], qmdp.values[s] + 1e-8) << model_.mdp().state_name(s);
+  }
+}
+
+TEST_P(BoundPropertyTest, LpMonotonicityAtRandomBeliefs) {
+  // Lemma 3.1 numerically: V_B^- <= L_p V_B^- with B = {RA}.
+  const BoundSet set = make_ra_bound_set(model_.mdp());
+  const LeafEvaluator leaf = [&](const Belief& b) {
+    return set.evaluate(b.probabilities());
+  };
+  Rng rng(101);
+  for (int i = 0; i < 25; ++i) {
+    const Belief pi = random_belief(model_.num_states(), rng);
+    EXPECT_LE(set.evaluate(pi.probabilities()), apply_lp(model_, pi, leaf) + 1e-6);
+  }
+}
+
+TEST_P(BoundPropertyTest, IncrementalUpdatesMonotoneAndBounded) {
+  BoundSet set = make_ra_bound_set(model_.mdp());
+  const auto qmdp = compute_qmdp_bound(model_.mdp());
+  ASSERT_TRUE(qmdp.converged());
+  Rng rng(77);
+  const Belief probe = random_belief(model_.num_states(), rng);
+  double prev = set.evaluate(probe.probabilities());
+  for (int i = 0; i < 20; ++i) {
+    improve_at(model_, set, random_belief(model_.num_states(), rng));
+    improve_at(model_, set, probe);
+    const double now = set.evaluate(probe.probabilities());
+    EXPECT_GE(now + 1e-9, prev);
+    EXPECT_LE(now, qmdp.evaluate(probe.probabilities()) + 1e-6);
+    prev = now;
+  }
+}
+
+TEST_P(BoundPropertyTest, LpMonotonicityAfterImprovement) {
+  // Property 1(b) must survive bound growth.
+  BoundSet set = make_ra_bound_set(model_.mdp());
+  Rng rng(55);
+  for (int i = 0; i < 10; ++i) {
+    improve_at(model_, set, random_belief(model_.num_states(), rng));
+  }
+  const LeafEvaluator leaf = [&](const Belief& b) {
+    return set.evaluate(b.probabilities());
+  };
+  for (int i = 0; i < 15; ++i) {
+    const Belief pi = random_belief(model_.num_states(), rng);
+    EXPECT_LE(set.evaluate(pi.probabilities()), apply_lp(model_, pi, leaf) + 1e-6);
+  }
+}
+
+TEST_P(BoundPropertyTest, FiniteHorizonValuesSandwichTheBound) {
+  // Zero-leaf depth-d values upper-bound V*, hence the RA bound too.
+  const BoundSet set = make_ra_bound_set(model_.mdp());
+  const LeafEvaluator zero = [](const Belief&) { return 0.0; };
+  Rng rng(31);
+  // Exact (unpruned) expansion; deep trees only on the tiny models.
+  const int max_depth = model_.num_states() <= 4 ? 3 : 1;
+  for (int i = 0; i < 8; ++i) {
+    const Belief pi = random_belief(model_.num_states(), rng);
+    const double lower = set.evaluate(pi.probabilities());
+    for (int depth = 0; depth <= max_depth; ++depth) {
+      EXPECT_LE(lower, bellman_value(model_, pi, depth, zero) + 1e-6);
+    }
+  }
+}
+
+TEST_P(BoundPropertyTest, SawtoothStaysAboveLowerBoundUnderJointRefinement) {
+  // The §6 extension must preserve the sandwich on every model: refining
+  // both bound families never lets them cross.
+  BoundSet lower = make_ra_bound_set(model_.mdp());
+  SawtoothUpperBound upper(model_);
+  Rng rng(911);
+  for (int i = 0; i < 12; ++i) {
+    const Belief pi = random_belief(model_.num_states(), rng);
+    improve_at(model_, lower, pi);
+    upper.improve_at(pi);
+  }
+  for (int i = 0; i < 25; ++i) {
+    const Belief pi = random_belief(model_.num_states(), rng);
+    EXPECT_GE(upper.evaluate(pi) + 1e-6, lower.evaluate(pi.probabilities()));
+    EXPECT_LE(upper.evaluate(pi), 1e-6);  // Condition 2: V* <= 0
+  }
+}
+
+TEST_P(BoundPropertyTest, SawtoothImprovementIsMonotone) {
+  SawtoothUpperBound upper(model_);
+  Rng rng(313);
+  const Belief probe = random_belief(model_.num_states(), rng);
+  double prev = upper.evaluate(probe);
+  for (int i = 0; i < 10; ++i) {
+    upper.improve_at(random_belief(model_.num_states(), rng));
+    upper.improve_at(probe);
+    const double now = upper.evaluate(probe);
+    EXPECT_LE(now, prev + 1e-9);
+    prev = now;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RecoveryModels, BoundPropertyTest,
+                         ::testing::ValuesIn(model_zoo()),
+                         [](const ::testing::TestParamInfo<ModelCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace recoverd::bounds

@@ -1,0 +1,162 @@
+// Parameterized end-to-end property suite: every controller on every model
+// must terminate and recover, and the bounded controller must respect the
+// cost ordering against the oracle.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "bounds/ra_bound.hpp"
+#include "controller/bounded_controller.hpp"
+#include "controller/heuristic_controller.hpp"
+#include "controller/most_likely_controller.hpp"
+#include "controller/oracle_controller.hpp"
+#include "models/emn.hpp"
+#include "models/two_server.hpp"
+#include "sim/experiment.hpp"
+
+namespace recoverd::sim {
+namespace {
+
+// One environment + transformed-model pair with its observe action and
+// injectable faults.
+struct Scenario {
+  std::string name;
+  std::function<Pomdp()> make_base;
+  std::function<Pomdp()> make_recovery;  // terminate-transformed
+  std::size_t episodes;
+};
+
+std::vector<Scenario> scenarios() {
+  return {
+      {"two_server",
+       [] { return models::make_two_server(); },
+       [] { return models::make_two_server_without_notification(3600.0); },
+       150},
+      {"two_server_noisy",
+       [] {
+         models::TwoServerParams p;
+         p.coverage = 0.75;
+         p.false_positive = 0.1;
+         return models::make_two_server(p);
+       },
+       [] {
+         models::TwoServerParams p;
+         p.coverage = 0.75;
+         p.false_positive = 0.1;
+         return models::make_two_server_without_notification(3600.0, p);
+       },
+       100},
+      {"emn",
+       [] { return models::make_emn_base(); },
+       [] { return models::make_emn_recovery_model(); },
+       40},
+  };
+}
+
+class ControllerPropertyTest : public ::testing::TestWithParam<Scenario> {
+ protected:
+  ControllerPropertyTest()
+      : base_(GetParam().make_base()), recovery_(GetParam().make_recovery()) {
+    observe_ = base_.mdp().find_action("Observe");
+    config_.observe_action = observe_;
+    config_.max_steps = 5000;
+    for (StateId s = 0; s < base_.num_states(); ++s) {
+      if (!base_.mdp().is_goal(s)) faults_.push_back(s);
+    }
+  }
+
+  Pomdp base_;
+  Pomdp recovery_;
+  ActionId observe_ = kInvalidId;
+  EpisodeConfig config_;
+  std::vector<StateId> faults_;
+};
+
+TEST_P(ControllerPropertyTest, BoundedControllerTerminatesAndRecovers) {
+  bounds::BoundSet set = bounds::make_ra_bound_set(recovery_.mdp());
+  controller::BoundedControllerOptions opts;
+  opts.branch_floor = 1e-2;
+  controller::BoundedController c(recovery_, set, opts);
+  const FaultInjector injector(faults_);
+  const auto result =
+      run_experiment(base_, c, injector, GetParam().episodes, 97, config_);
+  EXPECT_EQ(result.not_terminated, 0u);
+  EXPECT_EQ(result.unrecovered, 0u);
+}
+
+TEST_P(ControllerPropertyTest, HeuristicControllerTerminatesAndRecovers) {
+  controller::HeuristicControllerOptions opts;
+  opts.branch_floor = 1e-2;
+  controller::HeuristicController c(base_, opts);
+  const FaultInjector injector(faults_);
+  const auto result =
+      run_experiment(base_, c, injector, GetParam().episodes, 31, config_);
+  EXPECT_EQ(result.not_terminated, 0u);
+  EXPECT_EQ(result.unrecovered, 0u);
+}
+
+TEST_P(ControllerPropertyTest, MostLikelyControllerTerminatesAndRecovers) {
+  controller::MostLikelyControllerOptions opts;
+  opts.observe_action = observe_;
+  controller::MostLikelyController c(base_, opts);
+  const FaultInjector injector(faults_);
+  const auto result =
+      run_experiment(base_, c, injector, GetParam().episodes, 13, config_);
+  EXPECT_EQ(result.not_terminated, 0u);
+  EXPECT_EQ(result.unrecovered, 0u);
+}
+
+TEST_P(ControllerPropertyTest, BoundedNotMuchWorseThanItsBoundPredicts) {
+  // The §4.2 performance statement, empirically: the controller's mean
+  // accumulated (negative) cost must not fall below the lower bound at the
+  // starting belief by more than sampling noise. (The bound is on expected
+  // reward under the controller's own decisions.)
+  bounds::BoundSet set = bounds::make_ra_bound_set(recovery_.mdp());
+  controller::BoundedControllerOptions opts;
+  opts.branch_floor = 1e-2;
+  controller::BoundedController c(recovery_, set, opts);
+  const FaultInjector injector(faults_);
+  const auto result =
+      run_experiment(base_, c, injector, GetParam().episodes, 7, config_);
+  const Belief start = Belief::uniform_over(recovery_.num_states(), faults_);
+  // Bound after the run (improved online): still a valid lower bound on V*.
+  const double lower = set.evaluate(start.probabilities());
+  EXPECT_GE(-result.cost.mean(),
+            lower - 5.0 * result.cost.ci95_halfwidth() - 1e-6);
+}
+
+TEST_P(ControllerPropertyTest, OracleDominatesBoundedOnCost) {
+  bounds::BoundSet set = bounds::make_ra_bound_set(recovery_.mdp());
+  controller::BoundedControllerOptions opts;
+  opts.branch_floor = 1e-2;
+  controller::BoundedController bounded(recovery_, set, opts);
+  const FaultInjector injector(faults_);
+  const auto bounded_result =
+      run_experiment(base_, bounded, injector, GetParam().episodes, 11, config_);
+
+  RunningStats oracle_cost;
+  Rng rng(11);
+  EpisodeConfig oracle_config = config_;
+  oracle_config.initial_observation = false;
+  for (std::size_t i = 0; i < GetParam().episodes; ++i) {
+    Rng episode_rng = rng.split();
+    Environment env(base_, episode_rng.split());
+    controller::OracleController oracle(base_, [&env] { return env.true_state(); });
+    const auto m = run_episode(env, oracle, injector.sample(episode_rng), oracle_config);
+    ASSERT_TRUE(m.recovered);
+    oracle_cost.add(m.cost);
+  }
+  EXPECT_LE(oracle_cost.mean(),
+            bounded_result.cost.mean() + bounded_result.cost.ci95_halfwidth() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, ControllerPropertyTest,
+                         ::testing::ValuesIn(scenarios()),
+                         [](const ::testing::TestParamInfo<Scenario>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace recoverd::sim

@@ -1,0 +1,160 @@
+// Randomized (fuzz-style) sweep: generate random recovery POMDPs from
+// seeds, and check that every invariant of the library holds on models no
+// human designed — builder validation, §3.1 conditions after transforms,
+// the RA-Bound sandwich, serialization round-trips, and belief-filter
+// consistency.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bounds/ra_bound.hpp"
+#include "bounds/upper_bound.hpp"
+#include "linalg/vector_ops.hpp"
+#include "pomdp/belief.hpp"
+#include "pomdp/conditions.hpp"
+#include "pomdp/io.hpp"
+#include "pomdp/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd {
+namespace {
+
+// Builds a random but valid recovery POMDP: state 0 is the goal; every
+// non-goal state has at least one action path to the goal; observations are
+// random stochastic rows.
+Pomdp make_random_recovery_pomdp(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t num_states = 2 + rng.uniform_index(6);   // 2..7
+  const std::size_t num_actions = 1 + rng.uniform_index(4);  // 1..4
+  const std::size_t num_obs = 1 + rng.uniform_index(4);      // 1..4
+
+  PomdpBuilder b;
+  // (Two-step string building sidesteps a GCC 12 -Wrestrict false positive
+  // on operator+ with temporaries.)
+  for (StateId s = 0; s < num_states; ++s) {
+    std::string name = "s";
+    name += std::to_string(s);
+    b.add_state(name, s == 0 ? 0.0 : -rng.uniform(0.05, 1.0));
+  }
+  b.mark_goal(0);
+  for (ActionId a = 0; a < num_actions; ++a) {
+    std::string name = "a";
+    name += std::to_string(a);
+    b.add_action(name, rng.uniform(0.5, 10.0));
+  }
+  for (ObsId o = 0; o < num_obs; ++o) {
+    std::string name = "o";
+    name += std::to_string(o);
+    b.add_observation(name);
+  }
+
+  for (StateId s = 0; s < num_states; ++s) {
+    for (ActionId a = 0; a < num_actions; ++a) {
+      // Random transition row over <=3 targets; action 0 repairs toward a
+      // strictly lower state id, guaranteeing Condition 1.
+      std::vector<StateId> targets;
+      if (s > 0 && a == 0) targets.push_back(rng.uniform_index(s));
+      targets.push_back(rng.uniform_index(num_states));
+      if (rng.bernoulli(0.5)) targets.push_back(rng.uniform_index(num_states));
+      std::vector<double> weights(targets.size());
+      for (auto& w : weights) w = rng.uniform(0.1, 1.0);
+      const double total = linalg::sum(weights);
+      // Merge duplicates by accumulating before set_transition (which
+      // overwrites).
+      std::vector<double> row(num_states, 0.0);
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        row[targets[i]] += weights[i] / total;
+      }
+      for (StateId t = 0; t < num_states; ++t) {
+        if (row[t] > 0.0) b.set_transition(s, a, t, row[t]);
+      }
+      if (rng.bernoulli(0.3)) b.set_impulse_reward(s, a, -rng.uniform(0.0, 2.0));
+    }
+  }
+  for (StateId s = 0; s < num_states; ++s) {
+    for (ActionId a = 0; a < num_actions; ++a) {
+      std::vector<double> row(num_obs);
+      for (auto& v : row) v = rng.uniform(0.05, 1.0);
+      const double total = linalg::sum(row);
+      for (ObsId o = 0; o < num_obs; ++o) b.set_observation(s, a, o, row[o] / total);
+    }
+  }
+  return b.build();
+}
+
+class RandomizedModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomizedModelTest, SatisfiesCondition1AndCondition2) {
+  const Pomdp p = make_random_recovery_pomdp(GetParam());
+  EXPECT_TRUE(check_condition1(p.mdp()).satisfied);
+  EXPECT_TRUE(check_condition2(p.mdp()).satisfied);
+}
+
+TEST_P(RandomizedModelTest, TransformsPreserveConditionsAndConverge) {
+  const Pomdp base = make_random_recovery_pomdp(GetParam());
+  const Pomdp notified = with_recovery_notification(base);
+  EXPECT_TRUE(check_condition1(notified).satisfied);
+  const auto ra_notified = bounds::compute_ra_bound(notified.mdp());
+  EXPECT_TRUE(ra_notified.converged());
+
+  const Pomdp terminated = add_termination(base, 10.0 + (GetParam() % 100));
+  EXPECT_TRUE(check_condition1(terminated).satisfied);
+  const auto ra_terminated = bounds::compute_ra_bound(terminated.mdp());
+  EXPECT_TRUE(ra_terminated.converged());
+}
+
+TEST_P(RandomizedModelTest, RaBoundBelowQmdpOnTransformedModel) {
+  const Pomdp p = add_termination(make_random_recovery_pomdp(GetParam()), 50.0);
+  const auto ra = bounds::compute_ra_bound(p.mdp());
+  const auto qmdp = bounds::compute_qmdp_bound(p.mdp());
+  ASSERT_TRUE(ra.converged());
+  ASSERT_TRUE(qmdp.converged());
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    EXPECT_LE(ra.values[s], qmdp.values[s] + 1e-8);
+  }
+}
+
+TEST_P(RandomizedModelTest, SerializationRoundTripsExactly) {
+  const Pomdp original = add_termination(make_random_recovery_pomdp(GetParam()), 33.0);
+  std::stringstream buffer;
+  save_pomdp(buffer, original);
+  const Pomdp loaded = load_pomdp(buffer);
+  ASSERT_EQ(loaded.num_states(), original.num_states());
+  ASSERT_EQ(loaded.num_actions(), original.num_actions());
+  ASSERT_EQ(loaded.num_observations(), original.num_observations());
+  for (ActionId a = 0; a < original.num_actions(); ++a) {
+    for (StateId s = 0; s < original.num_states(); ++s) {
+      EXPECT_DOUBLE_EQ(loaded.mdp().reward(s, a), original.mdp().reward(s, a));
+      for (StateId t = 0; t < original.num_states(); ++t) {
+        EXPECT_DOUBLE_EQ(loaded.mdp().transition_prob(s, a, t),
+                         original.mdp().transition_prob(s, a, t));
+      }
+      for (ObsId o = 0; o < original.num_observations(); ++o) {
+        EXPECT_DOUBLE_EQ(loaded.observation_prob(s, a, o),
+                         original.observation_prob(s, a, o));
+      }
+    }
+  }
+}
+
+TEST_P(RandomizedModelTest, BeliefFilterStaysConsistent) {
+  const Pomdp p = make_random_recovery_pomdp(GetParam());
+  Rng rng(GetParam() ^ 0xabcdef);
+  Belief belief = Belief::uniform(p.num_states());
+  for (int step = 0; step < 20; ++step) {
+    const ActionId a = rng.uniform_index(p.num_actions());
+    const auto branches = belief_successors(p, belief, a);
+    ASSERT_FALSE(branches.empty());
+    double total = 0.0;
+    for (const auto& br : branches) total += br.probability;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    belief = branches[rng.uniform_index(branches.size())].posterior;
+    EXPECT_NEAR(linalg::sum(belief.probabilities()), 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedModelTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233));
+
+}  // namespace
+}  // namespace recoverd

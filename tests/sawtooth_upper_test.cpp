@@ -1,0 +1,133 @@
+#include "bounds/sawtooth_upper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/incremental_update.hpp"
+#include "bounds/ra_bound.hpp"
+#include "bounds/upper_bound.hpp"
+#include "models/emn.hpp"
+#include "models/two_server.hpp"
+#include "pomdp/exact_solver.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::bounds {
+namespace {
+
+Belief random_belief(std::size_t n, Rng& rng) {
+  std::vector<double> pi(n);
+  for (auto& v : pi) v = rng.uniform01() + 1e-9;
+  return Belief(std::move(pi));
+}
+
+TEST(SawtoothUpper, StartsAtQmdpCombination) {
+  const Pomdp p = models::make_two_server_with_notification();
+  const SawtoothUpperBound upper(p);
+  const auto qmdp = compute_qmdp_bound(p.mdp());
+  ASSERT_TRUE(qmdp.converged());
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const Belief pi = random_belief(p.num_states(), rng);
+    EXPECT_NEAR(upper.evaluate(pi), qmdp.evaluate(pi.probabilities()), 1e-12);
+  }
+  EXPECT_EQ(upper.size(), 0u);
+}
+
+TEST(SawtoothUpper, ThrowsOnUntransformedModel) {
+  const Pomdp p = models::make_two_server();
+  // Untransformed two-server still has a finite QMDP value (Observe is free
+  // in Null), so use a model whose MDP genuinely diverges: strip the goal
+  // absorption by constructing a looping model.
+  PomdpBuilder b;
+  const StateId s0 = b.add_state("s0", -1.0);
+  const StateId s1 = b.add_state("s1", -1.0);
+  const ActionId a = b.add_action("a", 1.0);
+  b.set_transition(s0, a, s1, 1.0);
+  b.set_transition(s1, a, s0, 1.0);
+  b.mark_goal(s0);
+  const ObsId o = b.add_observation("o");
+  b.set_observation_all_actions(s0, o, 1.0);
+  b.set_observation_all_actions(s1, o, 1.0);
+  const Pomdp looping = b.build();
+  EXPECT_THROW(SawtoothUpperBound{looping}, ModelError);
+  (void)p;
+}
+
+TEST(SawtoothUpper, ImprovementMonotoneAndAboveLowerBound) {
+  const Pomdp p = models::make_two_server_without_notification(40.0);
+  SawtoothUpperBound upper(p);
+  const BoundSet lower = make_ra_bound_set(p.mdp());
+  Rng rng(5);
+  const Belief probe = random_belief(p.num_states(), rng);
+  double prev = upper.evaluate(probe);
+  for (int i = 0; i < 20; ++i) {
+    upper.improve_at(random_belief(p.num_states(), rng));
+    upper.improve_at(probe);
+    const double now = upper.evaluate(probe);
+    EXPECT_LE(now, prev + 1e-9);  // upper bound only tightens
+    EXPECT_GE(now, lower.evaluate(probe.probabilities()) - 1e-9);
+    prev = now;
+  }
+}
+
+TEST(SawtoothUpper, StaysAboveExactFiniteHorizonValue) {
+  // V_H ≥ V* and UB ≥ V*; but also UB must stay above the *infinite* optimal
+  // — cross-check: after improvement UB(π) ≥ V*(π) is certified by
+  // UB(π) ≥ V_H(π) + (tail ≤ 0 means V_H ≥ V*), i.e. UB ≥ V* follows from
+  // UB ≥ V*, tested here via the weaker-but-checkable UB ≥ RA and a direct
+  // comparison against the exact V_H at horizon 6 is NOT valid (V_H ≥ V*
+  // too, both upper bounds). Instead verify UB never crosses below the
+  // *lower* bound set after joint refinement.
+  const Pomdp p = models::make_two_server_with_notification();
+  SawtoothUpperBound upper(p);
+  BoundSet lower = make_ra_bound_set(p.mdp());
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    const Belief pi = random_belief(p.num_states(), rng);
+    upper.improve_at(pi);
+    improve_at(p, lower, pi);
+  }
+  for (int i = 0; i < 40; ++i) {
+    const Belief pi = random_belief(p.num_states(), rng);
+    EXPECT_GE(upper.evaluate(pi) + 1e-9, lower.evaluate(pi.probabilities()));
+  }
+}
+
+TEST(SawtoothUpper, InterpolationTightAtStoredPoint) {
+  const Pomdp p = models::make_two_server_without_notification(40.0);
+  SawtoothUpperBound upper(p);
+  const Belief pi = Belief::uniform(p.num_states());
+  const double before = upper.evaluate(pi);
+  const double gain = upper.improve_at(pi);
+  if (gain > 0.0) {
+    EXPECT_NEAR(upper.evaluate(pi), before - gain, 1e-9);
+    EXPECT_EQ(upper.size(), 1u);
+  }
+}
+
+TEST(SawtoothUpper, CapacityEvictsLeastUsed) {
+  const Pomdp p = models::make_two_server_without_notification(40.0);
+  SawtoothUpperBound upper(p, /*capacity=*/3);
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) upper.improve_at(random_belief(p.num_states(), rng));
+  EXPECT_LE(upper.size(), 3u);
+}
+
+TEST(SawtoothUpper, WorksOnEmnModel) {
+  const Pomdp p = models::make_emn_recovery_model();
+  SawtoothUpperBound upper(p);
+  const BoundSet lower = make_ra_bound_set(p.mdp());
+  std::vector<StateId> faults;
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    if (!p.mdp().is_goal(s) && s != p.terminate_state()) faults.push_back(s);
+  }
+  const Belief reference = Belief::uniform_over(p.num_states(), faults);
+  const double before = upper.evaluate(reference);
+  for (int i = 0; i < 5; ++i) upper.improve_at(reference);
+  const double after = upper.evaluate(reference);
+  EXPECT_LE(after, before + 1e-9);
+  EXPECT_GE(after, lower.evaluate(reference.probabilities()) - 1e-9);
+}
+
+}  // namespace
+}  // namespace recoverd::bounds

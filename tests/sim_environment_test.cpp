@@ -1,0 +1,117 @@
+#include "sim/environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/two_server.hpp"
+#include "sim/fault_injector.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::sim {
+namespace {
+
+TEST(Environment, ResetInitializesClocksAndState) {
+  const Pomdp p = models::make_two_server();
+  const auto ids = models::two_server_ids(p);
+  Environment env(p, Rng(1));
+  env.reset(ids.fault_a);
+  EXPECT_EQ(env.true_state(), ids.fault_a);
+  EXPECT_DOUBLE_EQ(env.elapsed_time(), 0.0);
+  EXPECT_DOUBLE_EQ(env.accumulated_cost(), 0.0);
+  EXPECT_FALSE(env.recovered());
+  EXPECT_TRUE(std::isinf(env.recovery_entered_time()));
+
+  env.reset(ids.null_state);
+  EXPECT_TRUE(env.recovered());
+  EXPECT_DOUBLE_EQ(env.recovery_entered_time(), 0.0);
+}
+
+TEST(Environment, StepAccruesCostAndTime) {
+  const Pomdp p = models::make_two_server();
+  const auto ids = models::two_server_ids(p);
+  Environment env(p, Rng(2));
+  env.reset(ids.fault_a);
+
+  const auto step = env.step(ids.observe);
+  EXPECT_EQ(step.next_state, ids.fault_a);  // observe is identity
+  EXPECT_DOUBLE_EQ(step.reward, -0.5);
+  EXPECT_DOUBLE_EQ(step.duration, 1.0);
+  EXPECT_DOUBLE_EQ(env.elapsed_time(), 1.0);
+  EXPECT_DOUBLE_EQ(env.accumulated_cost(), 0.5);
+  EXPECT_EQ(env.steps(), 1u);
+}
+
+TEST(Environment, RecoveryTimeRecordedOnGoalEntry) {
+  const Pomdp p = models::make_two_server();
+  const auto ids = models::two_server_ids(p);
+  Environment env(p, Rng(3));
+  env.reset(ids.fault_b);
+  env.step(ids.observe);                        // t=1, fault persists
+  const auto fix = env.step(ids.restart_b);     // t=2, deterministic fix
+  EXPECT_EQ(fix.next_state, ids.null_state);
+  EXPECT_TRUE(env.recovered());
+  EXPECT_DOUBLE_EQ(env.recovery_entered_time(), 2.0);
+  env.step(ids.observe);  // more time passes; residual stays fixed
+  EXPECT_DOUBLE_EQ(env.recovery_entered_time(), 2.0);
+  EXPECT_DOUBLE_EQ(env.elapsed_time(), 3.0);
+}
+
+TEST(Environment, ObservationsFollowMonitorModel) {
+  const Pomdp p = models::make_two_server();
+  const auto ids = models::two_server_ids(p);
+  Environment env(p, Rng(4));
+  env.reset(ids.fault_a);
+  int alarms = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const auto step = env.step(ids.observe);
+    if (step.obs == ids.alarm_a) ++alarms;
+  }
+  EXPECT_NEAR(alarms / static_cast<double>(n), 0.9, 0.02);  // coverage 0.9
+}
+
+TEST(Environment, RejectsBadInputs) {
+  const Pomdp p = models::make_two_server();
+  Environment env(p, Rng(5));
+  EXPECT_THROW(env.reset(99), PreconditionError);
+  env.reset(0);
+  EXPECT_THROW(env.step(99), PreconditionError);
+}
+
+TEST(FaultInjector, UniformCoversAllFaults) {
+  const std::vector<StateId> faults{1, 2};
+  FaultInjector injector(faults);
+  Rng rng(6);
+  int first = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const StateId s = injector.sample(rng);
+    ASSERT_TRUE(s == 1 || s == 2);
+    if (s == 1) ++first;
+  }
+  EXPECT_NEAR(first / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(FaultInjector, WeightedSampling) {
+  const std::vector<StateId> faults{3, 7};
+  const std::vector<double> weights{1.0, 3.0};
+  FaultInjector injector(faults, weights);
+  Rng rng(7);
+  int heavy = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (injector.sample(rng) == 7) ++heavy;
+  }
+  EXPECT_NEAR(heavy / static_cast<double>(n), 0.75, 0.02);
+}
+
+TEST(FaultInjector, Validation) {
+  EXPECT_THROW(FaultInjector(std::vector<StateId>{}), PreconditionError);
+  const std::vector<StateId> faults{1};
+  const std::vector<double> bad_weights{1.0, 2.0};
+  EXPECT_THROW(FaultInjector(faults, bad_weights), PreconditionError);
+}
+
+}  // namespace
+}  // namespace recoverd::sim

@@ -1,0 +1,98 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bounds/ra_bound.hpp"
+#include "controller/bounded_controller.hpp"
+#include "models/two_server.hpp"
+#include "sim/experiment.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::sim {
+namespace {
+
+TEST(EpisodeTrace, RecordsStepsInOrder) {
+  EpisodeTrace trace;
+  trace.set_injected_fault(2);
+  trace.add_step({99 /*overwritten*/, 2, 0, 2, 1, -0.5, 1.0, 0.0});
+  trace.add_step({99, 2, 1, 0, 2, -0.5, 2.0, 0.1});
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.injected_fault(), 2u);
+  EXPECT_EQ(trace.step(0).index, 0u);
+  EXPECT_EQ(trace.step(1).index, 1u);
+  EXPECT_EQ(trace.step(1).state_after, 0u);
+  EXPECT_THROW(trace.step(2), PreconditionError);
+}
+
+TEST(EpisodeTrace, CsvExportHasHeaderAndRows) {
+  EpisodeTrace trace;
+  trace.add_step({0, 1, 2, 0, 3, -1.5, 4.0, 0.25});
+  std::ostringstream os;
+  trace.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("index,state_before,action"), std::string::npos);
+  EXPECT_NE(out.find("-1.5"), std::string::npos);
+  EXPECT_NE(out.find("0.25"), std::string::npos);
+}
+
+TEST(EpisodeTrace, HarnessFillsTraceConsistently) {
+  const Pomdp base = models::make_two_server();
+  const Pomdp recovery = models::make_two_server_without_notification(3600.0);
+  const auto ids = models::two_server_ids(base);
+  bounds::BoundSet set = bounds::make_ra_bound_set(recovery.mdp());
+  controller::BoundedController c(recovery, set);
+
+  Environment env(base, Rng(5));
+  EpisodeConfig config;
+  config.observe_action = ids.observe;
+  config.fault_support = {ids.fault_a, ids.fault_b};
+
+  EpisodeTrace trace;
+  const auto metrics = run_episode(env, c, ids.fault_a, config, &trace);
+
+  EXPECT_EQ(trace.injected_fault(), ids.fault_a);
+  EXPECT_EQ(trace.terminated(), metrics.terminated);
+  // Step count = executed env steps = monitor calls + recovery actions.
+  EXPECT_EQ(trace.size(), metrics.monitor_calls + metrics.recovery_actions);
+  // The trace's clock and cost must reconcile with the metrics.
+  EXPECT_DOUBLE_EQ(trace.step(trace.size() - 1).elapsed_after, metrics.recovery_time);
+  double total_reward = 0.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    total_reward += trace.step(i).reward;
+    EXPECT_LE(trace.step(i).reward, 0.0);
+    if (i > 0) {
+      // The chain of states is consistent.
+      EXPECT_EQ(trace.step(i).state_before, trace.step(i - 1).state_after);
+      EXPECT_GE(trace.step(i).elapsed_after, trace.step(i - 1).elapsed_after);
+    }
+  }
+  EXPECT_NEAR(-total_reward, metrics.cost, 1e-9);
+  // The first step is the initial monitor reading.
+  EXPECT_EQ(trace.step(0).action, ids.observe);
+  EXPECT_EQ(trace.step(0).state_before, ids.fault_a);
+}
+
+TEST(EpisodeTrace, ReusedTraceIsReset) {
+  const Pomdp base = models::make_two_server();
+  const Pomdp recovery = models::make_two_server_without_notification(3600.0);
+  const auto ids = models::two_server_ids(base);
+  bounds::BoundSet set = bounds::make_ra_bound_set(recovery.mdp());
+  controller::BoundedController c(recovery, set);
+  Environment env(base, Rng(9));
+  EpisodeConfig config;
+  config.observe_action = ids.observe;
+  config.fault_support = {ids.fault_a, ids.fault_b};
+
+  EpisodeTrace trace;
+  run_episode(env, c, ids.fault_a, config, &trace);
+  const std::size_t first_size = trace.size();
+  run_episode(env, c, ids.fault_b, config, &trace);
+  EXPECT_EQ(trace.injected_fault(), ids.fault_b);
+  EXPECT_LE(trace.size(), first_size + 50);  // fresh episode, not appended
+  EXPECT_EQ(trace.step(0).state_before, ids.fault_b);
+}
+
+}  // namespace
+}  // namespace recoverd::sim

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace recoverd {
+namespace {
+
+TEST(Check, ExpectsThrowsWithContext) {
+  try {
+    RD_EXPECTS(1 == 2, "numbers disagree");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+  }
+}
+
+TEST(Check, EnsuresThrowsInvariantError) {
+  EXPECT_THROW(RD_ENSURES(false, "broken"), InvariantError);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table;
+  table.set_header({"Algorithm", "Cost"});
+  table.add_row({"Bounded", TextTable::num(114.16)});
+  table.add_row({"Oracle", TextTable::num(84.4, 1)});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Algorithm"), std::string::npos);
+  EXPECT_NE(out.find("114.16"), std::string::npos);
+  EXPECT_NE(out.find("84.4"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, EnforcesArity) {
+  TextTable table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(CsvWriter, EscapesSpecialCells) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row(std::vector<std::string>{"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CsvWriter, NumericRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row(std::vector<double>{1.5, 2.25}, 2);
+  EXPECT_EQ(os.str(), "1.50,2.25\n");
+}
+
+TEST(CliArgs, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--faults=500", "--seed=42", "--verbose",
+                        "positional", "--rate=0.25", "--enabled=false"};
+  CliArgs args(7, argv);
+  EXPECT_EQ(args.get_int("faults", 0), 500);
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("enabled", true));
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.25);
+  EXPECT_EQ(args.get_string("missing", "dflt"), "dflt");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(CliArgs, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--faults=abc"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.get_int("faults", 0), PreconditionError);
+}
+
+TEST(CliArgs, RequireKnownCatchesTypos) {
+  const char* argv[] = {"prog", "--falts=10"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.require_known({"faults", "seed"}), PreconditionError);
+  const char* ok[] = {"prog", "--faults=10"};
+  CliArgs good(2, ok);
+  EXPECT_NO_THROW(good.require_known({"faults", "seed"}));
+}
+
+TEST(Logging, ThresholdFilters) {
+  const LogLevel prior = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  // These must be cheap no-ops below threshold (no observable way to assert
+  // stderr here; we assert the level round-trips and calls don't throw).
+  EXPECT_NO_THROW(log_debug("dropped ", 1));
+  EXPECT_NO_THROW(log_info("dropped"));
+  set_log_level(prior);
+}
+
+TEST(Timer, MeasuresElapsedMonotonically) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1e-9;
+  const double first = t.elapsed_seconds();
+  for (int i = 0; i < 100000; ++i) sink = sink + 1e-9;
+  const double second = t.elapsed_seconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+  t.reset();
+  EXPECT_LT(t.elapsed_seconds(), second + 1.0);
+  EXPECT_GE(t.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace recoverd

@@ -1,0 +1,155 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace recoverd {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexUnbiasedAcrossSmallRange) {
+  Rng rng(13);
+  std::array<int, 5> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(5)];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), PreconditionError);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(17);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(p);
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(Rng, DiscreteMatchesWeights) {
+  Rng rng(23);
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  const int n = 120000;
+  for (int i = 0; i < n; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, DiscreteRejectsBadWeights) {
+  Rng rng(1);
+  const std::vector<double> empty;
+  EXPECT_THROW(rng.discrete(empty), PreconditionError);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(rng.discrete(zero), PreconditionError);
+  const std::vector<double> negative{1.0, -1.0};
+  EXPECT_THROW(rng.discrete(negative), PreconditionError);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(99);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(AliasTable, MatchesNormalizedWeights) {
+  const std::vector<double> weights{2.0, 2.0, 4.0, 8.0};
+  AliasTable table(weights);
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_NEAR(table.probability(0), 0.125, 1e-12);
+  EXPECT_NEAR(table.probability(3), 0.5, 1e-12);
+
+  Rng rng(31);
+  std::array<int, 4> counts{};
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[table.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.125, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.125, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.5, 0.01);
+}
+
+TEST(AliasTable, SingleOutcome) {
+  const std::vector<double> weights{5.0};
+  AliasTable table(weights);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, HandlesZeroWeightOutcomes) {
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  AliasTable table(weights);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.sample(rng), 1u);
+}
+
+TEST(AliasTable, RejectsInvalidWeights) {
+  const std::vector<double> empty;
+  EXPECT_THROW(AliasTable{empty}, PreconditionError);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(AliasTable{zeros}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace recoverd
