@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_branch_floor.dir/ablation_branch_floor.cpp.o"
+  "CMakeFiles/ablation_branch_floor.dir/ablation_branch_floor.cpp.o.d"
+  "ablation_branch_floor"
+  "ablation_branch_floor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_branch_floor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

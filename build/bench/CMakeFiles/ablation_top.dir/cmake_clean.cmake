@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_top.dir/ablation_top.cpp.o"
+  "CMakeFiles/ablation_top.dir/ablation_top.cpp.o.d"
+  "ablation_top"
+  "ablation_top.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_top.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

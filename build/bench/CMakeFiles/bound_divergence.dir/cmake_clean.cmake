@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bound_divergence.dir/bound_divergence.cpp.o"
+  "CMakeFiles/bound_divergence.dir/bound_divergence.cpp.o.d"
+  "bound_divergence"
+  "bound_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bound_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

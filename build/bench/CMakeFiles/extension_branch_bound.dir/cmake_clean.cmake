@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_branch_bound.dir/extension_branch_bound.cpp.o"
+  "CMakeFiles/extension_branch_bound.dir/extension_branch_bound.cpp.o.d"
+  "extension_branch_bound"
+  "extension_branch_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_branch_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_bounds_improvement.dir/fig5a_bounds_improvement.cpp.o"
+  "CMakeFiles/fig5a_bounds_improvement.dir/fig5a_bounds_improvement.cpp.o.d"
+  "fig5a_bounds_improvement"
+  "fig5a_bounds_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_bounds_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

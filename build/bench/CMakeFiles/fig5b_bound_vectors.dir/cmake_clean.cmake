@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_bound_vectors.dir/fig5b_bound_vectors.cpp.o"
+  "CMakeFiles/fig5b_bound_vectors.dir/fig5b_bound_vectors.cpp.o.d"
+  "fig5b_bound_vectors"
+  "fig5b_bound_vectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_bound_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

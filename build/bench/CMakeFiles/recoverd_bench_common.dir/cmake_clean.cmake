@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recoverd_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/recoverd_bench_common.dir/bench_common.cpp.o.d"
+  "librecoverd_bench_common.a"
+  "librecoverd_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recoverd_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

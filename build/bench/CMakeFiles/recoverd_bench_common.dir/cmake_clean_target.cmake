@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librecoverd_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_ra_bound.dir/scaling_ra_bound.cpp.o"
+  "CMakeFiles/scaling_ra_bound.dir/scaling_ra_bound.cpp.o.d"
+  "scaling_ra_bound"
+  "scaling_ra_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_ra_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fault_injection.dir/table1_fault_injection.cpp.o"
+  "CMakeFiles/table1_fault_injection.dir/table1_fault_injection.cpp.o.d"
+  "table1_fault_injection"
+  "table1_fault_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emn_recovery.dir/emn_recovery.cpp.o"
+  "CMakeFiles/emn_recovery.dir/emn_recovery.cpp.o.d"
+  "emn_recovery"
+  "emn_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emn_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bounds/bound_set.cpp" "src/bounds/CMakeFiles/recoverd_bounds.dir/bound_set.cpp.o" "gcc" "src/bounds/CMakeFiles/recoverd_bounds.dir/bound_set.cpp.o.d"
+  "/root/repo/src/bounds/comparison_bounds.cpp" "src/bounds/CMakeFiles/recoverd_bounds.dir/comparison_bounds.cpp.o" "gcc" "src/bounds/CMakeFiles/recoverd_bounds.dir/comparison_bounds.cpp.o.d"
+  "/root/repo/src/bounds/hsvi.cpp" "src/bounds/CMakeFiles/recoverd_bounds.dir/hsvi.cpp.o" "gcc" "src/bounds/CMakeFiles/recoverd_bounds.dir/hsvi.cpp.o.d"
+  "/root/repo/src/bounds/incremental_update.cpp" "src/bounds/CMakeFiles/recoverd_bounds.dir/incremental_update.cpp.o" "gcc" "src/bounds/CMakeFiles/recoverd_bounds.dir/incremental_update.cpp.o.d"
+  "/root/repo/src/bounds/ra_bound.cpp" "src/bounds/CMakeFiles/recoverd_bounds.dir/ra_bound.cpp.o" "gcc" "src/bounds/CMakeFiles/recoverd_bounds.dir/ra_bound.cpp.o.d"
+  "/root/repo/src/bounds/sawtooth_upper.cpp" "src/bounds/CMakeFiles/recoverd_bounds.dir/sawtooth_upper.cpp.o" "gcc" "src/bounds/CMakeFiles/recoverd_bounds.dir/sawtooth_upper.cpp.o.d"
+  "/root/repo/src/bounds/upper_bound.cpp" "src/bounds/CMakeFiles/recoverd_bounds.dir/upper_bound.cpp.o" "gcc" "src/bounds/CMakeFiles/recoverd_bounds.dir/upper_bound.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pomdp/CMakeFiles/recoverd_pomdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/recoverd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recoverd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

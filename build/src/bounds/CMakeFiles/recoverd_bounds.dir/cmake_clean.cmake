@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recoverd_bounds.dir/bound_set.cpp.o"
+  "CMakeFiles/recoverd_bounds.dir/bound_set.cpp.o.d"
+  "CMakeFiles/recoverd_bounds.dir/comparison_bounds.cpp.o"
+  "CMakeFiles/recoverd_bounds.dir/comparison_bounds.cpp.o.d"
+  "CMakeFiles/recoverd_bounds.dir/hsvi.cpp.o"
+  "CMakeFiles/recoverd_bounds.dir/hsvi.cpp.o.d"
+  "CMakeFiles/recoverd_bounds.dir/incremental_update.cpp.o"
+  "CMakeFiles/recoverd_bounds.dir/incremental_update.cpp.o.d"
+  "CMakeFiles/recoverd_bounds.dir/ra_bound.cpp.o"
+  "CMakeFiles/recoverd_bounds.dir/ra_bound.cpp.o.d"
+  "CMakeFiles/recoverd_bounds.dir/sawtooth_upper.cpp.o"
+  "CMakeFiles/recoverd_bounds.dir/sawtooth_upper.cpp.o.d"
+  "CMakeFiles/recoverd_bounds.dir/upper_bound.cpp.o"
+  "CMakeFiles/recoverd_bounds.dir/upper_bound.cpp.o.d"
+  "librecoverd_bounds.a"
+  "librecoverd_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recoverd_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/bootstrap.cpp" "src/controller/CMakeFiles/recoverd_controller.dir/bootstrap.cpp.o" "gcc" "src/controller/CMakeFiles/recoverd_controller.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/controller/bounded_controller.cpp" "src/controller/CMakeFiles/recoverd_controller.dir/bounded_controller.cpp.o" "gcc" "src/controller/CMakeFiles/recoverd_controller.dir/bounded_controller.cpp.o.d"
+  "/root/repo/src/controller/controller.cpp" "src/controller/CMakeFiles/recoverd_controller.dir/controller.cpp.o" "gcc" "src/controller/CMakeFiles/recoverd_controller.dir/controller.cpp.o.d"
+  "/root/repo/src/controller/heuristic_controller.cpp" "src/controller/CMakeFiles/recoverd_controller.dir/heuristic_controller.cpp.o" "gcc" "src/controller/CMakeFiles/recoverd_controller.dir/heuristic_controller.cpp.o.d"
+  "/root/repo/src/controller/interval_controller.cpp" "src/controller/CMakeFiles/recoverd_controller.dir/interval_controller.cpp.o" "gcc" "src/controller/CMakeFiles/recoverd_controller.dir/interval_controller.cpp.o.d"
+  "/root/repo/src/controller/most_likely_controller.cpp" "src/controller/CMakeFiles/recoverd_controller.dir/most_likely_controller.cpp.o" "gcc" "src/controller/CMakeFiles/recoverd_controller.dir/most_likely_controller.cpp.o.d"
+  "/root/repo/src/controller/oracle_controller.cpp" "src/controller/CMakeFiles/recoverd_controller.dir/oracle_controller.cpp.o" "gcc" "src/controller/CMakeFiles/recoverd_controller.dir/oracle_controller.cpp.o.d"
+  "/root/repo/src/controller/policy_controller.cpp" "src/controller/CMakeFiles/recoverd_controller.dir/policy_controller.cpp.o" "gcc" "src/controller/CMakeFiles/recoverd_controller.dir/policy_controller.cpp.o.d"
+  "/root/repo/src/controller/random_controller.cpp" "src/controller/CMakeFiles/recoverd_controller.dir/random_controller.cpp.o" "gcc" "src/controller/CMakeFiles/recoverd_controller.dir/random_controller.cpp.o.d"
+  "/root/repo/src/controller/repair.cpp" "src/controller/CMakeFiles/recoverd_controller.dir/repair.cpp.o" "gcc" "src/controller/CMakeFiles/recoverd_controller.dir/repair.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bounds/CMakeFiles/recoverd_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/pomdp/CMakeFiles/recoverd_pomdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/recoverd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recoverd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recoverd_controller.dir/bootstrap.cpp.o"
+  "CMakeFiles/recoverd_controller.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/recoverd_controller.dir/bounded_controller.cpp.o"
+  "CMakeFiles/recoverd_controller.dir/bounded_controller.cpp.o.d"
+  "CMakeFiles/recoverd_controller.dir/controller.cpp.o"
+  "CMakeFiles/recoverd_controller.dir/controller.cpp.o.d"
+  "CMakeFiles/recoverd_controller.dir/heuristic_controller.cpp.o"
+  "CMakeFiles/recoverd_controller.dir/heuristic_controller.cpp.o.d"
+  "CMakeFiles/recoverd_controller.dir/interval_controller.cpp.o"
+  "CMakeFiles/recoverd_controller.dir/interval_controller.cpp.o.d"
+  "CMakeFiles/recoverd_controller.dir/most_likely_controller.cpp.o"
+  "CMakeFiles/recoverd_controller.dir/most_likely_controller.cpp.o.d"
+  "CMakeFiles/recoverd_controller.dir/oracle_controller.cpp.o"
+  "CMakeFiles/recoverd_controller.dir/oracle_controller.cpp.o.d"
+  "CMakeFiles/recoverd_controller.dir/policy_controller.cpp.o"
+  "CMakeFiles/recoverd_controller.dir/policy_controller.cpp.o.d"
+  "CMakeFiles/recoverd_controller.dir/random_controller.cpp.o"
+  "CMakeFiles/recoverd_controller.dir/random_controller.cpp.o.d"
+  "CMakeFiles/recoverd_controller.dir/repair.cpp.o"
+  "CMakeFiles/recoverd_controller.dir/repair.cpp.o.d"
+  "librecoverd_controller.a"
+  "librecoverd_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recoverd_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/dense_matrix.cpp" "src/linalg/CMakeFiles/recoverd_linalg.dir/dense_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/recoverd_linalg.dir/dense_matrix.cpp.o.d"
+  "/root/repo/src/linalg/gauss_seidel.cpp" "src/linalg/CMakeFiles/recoverd_linalg.dir/gauss_seidel.cpp.o" "gcc" "src/linalg/CMakeFiles/recoverd_linalg.dir/gauss_seidel.cpp.o.d"
+  "/root/repo/src/linalg/power_iteration.cpp" "src/linalg/CMakeFiles/recoverd_linalg.dir/power_iteration.cpp.o" "gcc" "src/linalg/CMakeFiles/recoverd_linalg.dir/power_iteration.cpp.o.d"
+  "/root/repo/src/linalg/sparse_matrix.cpp" "src/linalg/CMakeFiles/recoverd_linalg.dir/sparse_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/recoverd_linalg.dir/sparse_matrix.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/linalg/CMakeFiles/recoverd_linalg.dir/vector_ops.cpp.o" "gcc" "src/linalg/CMakeFiles/recoverd_linalg.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/recoverd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

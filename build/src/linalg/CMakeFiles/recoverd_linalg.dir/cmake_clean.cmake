@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recoverd_linalg.dir/dense_matrix.cpp.o"
+  "CMakeFiles/recoverd_linalg.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/recoverd_linalg.dir/gauss_seidel.cpp.o"
+  "CMakeFiles/recoverd_linalg.dir/gauss_seidel.cpp.o.d"
+  "CMakeFiles/recoverd_linalg.dir/power_iteration.cpp.o"
+  "CMakeFiles/recoverd_linalg.dir/power_iteration.cpp.o.d"
+  "CMakeFiles/recoverd_linalg.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/recoverd_linalg.dir/sparse_matrix.cpp.o.d"
+  "CMakeFiles/recoverd_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/recoverd_linalg.dir/vector_ops.cpp.o.d"
+  "librecoverd_linalg.a"
+  "librecoverd_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recoverd_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/emn.cpp" "src/models/CMakeFiles/recoverd_models.dir/emn.cpp.o" "gcc" "src/models/CMakeFiles/recoverd_models.dir/emn.cpp.o.d"
+  "/root/repo/src/models/pipeline.cpp" "src/models/CMakeFiles/recoverd_models.dir/pipeline.cpp.o" "gcc" "src/models/CMakeFiles/recoverd_models.dir/pipeline.cpp.o.d"
+  "/root/repo/src/models/synthetic.cpp" "src/models/CMakeFiles/recoverd_models.dir/synthetic.cpp.o" "gcc" "src/models/CMakeFiles/recoverd_models.dir/synthetic.cpp.o.d"
+  "/root/repo/src/models/topology.cpp" "src/models/CMakeFiles/recoverd_models.dir/topology.cpp.o" "gcc" "src/models/CMakeFiles/recoverd_models.dir/topology.cpp.o.d"
+  "/root/repo/src/models/two_server.cpp" "src/models/CMakeFiles/recoverd_models.dir/two_server.cpp.o" "gcc" "src/models/CMakeFiles/recoverd_models.dir/two_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pomdp/CMakeFiles/recoverd_pomdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/recoverd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recoverd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

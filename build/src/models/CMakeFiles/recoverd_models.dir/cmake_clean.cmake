@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recoverd_models.dir/emn.cpp.o"
+  "CMakeFiles/recoverd_models.dir/emn.cpp.o.d"
+  "CMakeFiles/recoverd_models.dir/pipeline.cpp.o"
+  "CMakeFiles/recoverd_models.dir/pipeline.cpp.o.d"
+  "CMakeFiles/recoverd_models.dir/synthetic.cpp.o"
+  "CMakeFiles/recoverd_models.dir/synthetic.cpp.o.d"
+  "CMakeFiles/recoverd_models.dir/topology.cpp.o"
+  "CMakeFiles/recoverd_models.dir/topology.cpp.o.d"
+  "CMakeFiles/recoverd_models.dir/two_server.cpp.o"
+  "CMakeFiles/recoverd_models.dir/two_server.cpp.o.d"
+  "librecoverd_models.a"
+  "librecoverd_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recoverd_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pomdp/belief.cpp" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/belief.cpp.o" "gcc" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/belief.cpp.o.d"
+  "/root/repo/src/pomdp/bellman.cpp" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/bellman.cpp.o" "gcc" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/bellman.cpp.o.d"
+  "/root/repo/src/pomdp/conditions.cpp" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/conditions.cpp.o" "gcc" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/conditions.cpp.o.d"
+  "/root/repo/src/pomdp/exact_solver.cpp" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/exact_solver.cpp.o" "gcc" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/exact_solver.cpp.o.d"
+  "/root/repo/src/pomdp/io.cpp" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/io.cpp.o" "gcc" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/io.cpp.o.d"
+  "/root/repo/src/pomdp/mdp.cpp" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/mdp.cpp.o" "gcc" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/mdp.cpp.o.d"
+  "/root/repo/src/pomdp/policy.cpp" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/policy.cpp.o" "gcc" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/policy.cpp.o.d"
+  "/root/repo/src/pomdp/pomdp.cpp" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/pomdp.cpp.o" "gcc" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/pomdp.cpp.o.d"
+  "/root/repo/src/pomdp/reachability.cpp" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/reachability.cpp.o" "gcc" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/reachability.cpp.o.d"
+  "/root/repo/src/pomdp/sampling.cpp" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/sampling.cpp.o" "gcc" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/sampling.cpp.o.d"
+  "/root/repo/src/pomdp/transforms.cpp" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/transforms.cpp.o" "gcc" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/transforms.cpp.o.d"
+  "/root/repo/src/pomdp/value_iteration.cpp" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/value_iteration.cpp.o" "gcc" "src/pomdp/CMakeFiles/recoverd_pomdp.dir/value_iteration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/recoverd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recoverd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recoverd_pomdp.dir/belief.cpp.o"
+  "CMakeFiles/recoverd_pomdp.dir/belief.cpp.o.d"
+  "CMakeFiles/recoverd_pomdp.dir/bellman.cpp.o"
+  "CMakeFiles/recoverd_pomdp.dir/bellman.cpp.o.d"
+  "CMakeFiles/recoverd_pomdp.dir/conditions.cpp.o"
+  "CMakeFiles/recoverd_pomdp.dir/conditions.cpp.o.d"
+  "CMakeFiles/recoverd_pomdp.dir/exact_solver.cpp.o"
+  "CMakeFiles/recoverd_pomdp.dir/exact_solver.cpp.o.d"
+  "CMakeFiles/recoverd_pomdp.dir/io.cpp.o"
+  "CMakeFiles/recoverd_pomdp.dir/io.cpp.o.d"
+  "CMakeFiles/recoverd_pomdp.dir/mdp.cpp.o"
+  "CMakeFiles/recoverd_pomdp.dir/mdp.cpp.o.d"
+  "CMakeFiles/recoverd_pomdp.dir/policy.cpp.o"
+  "CMakeFiles/recoverd_pomdp.dir/policy.cpp.o.d"
+  "CMakeFiles/recoverd_pomdp.dir/pomdp.cpp.o"
+  "CMakeFiles/recoverd_pomdp.dir/pomdp.cpp.o.d"
+  "CMakeFiles/recoverd_pomdp.dir/reachability.cpp.o"
+  "CMakeFiles/recoverd_pomdp.dir/reachability.cpp.o.d"
+  "CMakeFiles/recoverd_pomdp.dir/sampling.cpp.o"
+  "CMakeFiles/recoverd_pomdp.dir/sampling.cpp.o.d"
+  "CMakeFiles/recoverd_pomdp.dir/transforms.cpp.o"
+  "CMakeFiles/recoverd_pomdp.dir/transforms.cpp.o.d"
+  "CMakeFiles/recoverd_pomdp.dir/value_iteration.cpp.o"
+  "CMakeFiles/recoverd_pomdp.dir/value_iteration.cpp.o.d"
+  "librecoverd_pomdp.a"
+  "librecoverd_pomdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recoverd_pomdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for recoverd_pomdp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/environment.cpp" "src/sim/CMakeFiles/recoverd_sim.dir/environment.cpp.o" "gcc" "src/sim/CMakeFiles/recoverd_sim.dir/environment.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/recoverd_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/recoverd_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/fault_injector.cpp" "src/sim/CMakeFiles/recoverd_sim.dir/fault_injector.cpp.o" "gcc" "src/sim/CMakeFiles/recoverd_sim.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/recoverd_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/recoverd_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/controller/CMakeFiles/recoverd_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/pomdp/CMakeFiles/recoverd_pomdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/recoverd_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/recoverd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recoverd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recoverd_sim.dir/environment.cpp.o"
+  "CMakeFiles/recoverd_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/recoverd_sim.dir/experiment.cpp.o"
+  "CMakeFiles/recoverd_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/recoverd_sim.dir/fault_injector.cpp.o"
+  "CMakeFiles/recoverd_sim.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/recoverd_sim.dir/trace.cpp.o"
+  "CMakeFiles/recoverd_sim.dir/trace.cpp.o.d"
+  "librecoverd_sim.a"
+  "librecoverd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recoverd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recoverd_util.dir/check.cpp.o"
+  "CMakeFiles/recoverd_util.dir/check.cpp.o.d"
+  "CMakeFiles/recoverd_util.dir/cli.cpp.o"
+  "CMakeFiles/recoverd_util.dir/cli.cpp.o.d"
+  "CMakeFiles/recoverd_util.dir/csv.cpp.o"
+  "CMakeFiles/recoverd_util.dir/csv.cpp.o.d"
+  "CMakeFiles/recoverd_util.dir/logging.cpp.o"
+  "CMakeFiles/recoverd_util.dir/logging.cpp.o.d"
+  "CMakeFiles/recoverd_util.dir/rng.cpp.o"
+  "CMakeFiles/recoverd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/recoverd_util.dir/stats.cpp.o"
+  "CMakeFiles/recoverd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/recoverd_util.dir/table.cpp.o"
+  "CMakeFiles/recoverd_util.dir/table.cpp.o.d"
+  "librecoverd_util.a"
+  "librecoverd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recoverd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librecoverd_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_ra_test.dir/bounds_ra_test.cpp.o"
+  "CMakeFiles/bounds_ra_test.dir/bounds_ra_test.cpp.o.d"
+  "bounds_ra_test"
+  "bounds_ra_test.pdb"
+  "bounds_ra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_ra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_set_test.dir/bounds_set_test.cpp.o"
+  "CMakeFiles/bounds_set_test.dir/bounds_set_test.cpp.o.d"
+  "bounds_set_test"
+  "bounds_set_test.pdb"
+  "bounds_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

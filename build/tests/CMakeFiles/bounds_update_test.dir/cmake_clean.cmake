@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_update_test.dir/bounds_update_test.cpp.o"
+  "CMakeFiles/bounds_update_test.dir/bounds_update_test.cpp.o.d"
+  "bounds_update_test"
+  "bounds_update_test.pdb"
+  "bounds_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_basic_test.dir/controller_basic_test.cpp.o"
+  "CMakeFiles/controller_basic_test.dir/controller_basic_test.cpp.o.d"
+  "controller_basic_test"
+  "controller_basic_test.pdb"
+  "controller_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

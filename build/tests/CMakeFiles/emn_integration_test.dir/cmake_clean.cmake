@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emn_integration_test.dir/emn_integration_test.cpp.o"
+  "CMakeFiles/emn_integration_test.dir/emn_integration_test.cpp.o.d"
+  "emn_integration_test"
+  "emn_integration_test.pdb"
+  "emn_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emn_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

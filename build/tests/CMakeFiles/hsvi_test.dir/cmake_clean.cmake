@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsvi_test.dir/hsvi_test.cpp.o"
+  "CMakeFiles/hsvi_test.dir/hsvi_test.cpp.o.d"
+  "hsvi_test"
+  "hsvi_test.pdb"
+  "hsvi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsvi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

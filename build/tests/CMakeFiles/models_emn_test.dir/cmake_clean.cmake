@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_emn_test.dir/models_emn_test.cpp.o"
+  "CMakeFiles/models_emn_test.dir/models_emn_test.cpp.o.d"
+  "models_emn_test"
+  "models_emn_test.pdb"
+  "models_emn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_emn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_topology_test.dir/models_topology_test.cpp.o"
+  "CMakeFiles/models_topology_test.dir/models_topology_test.cpp.o.d"
+  "models_topology_test"
+  "models_topology_test.pdb"
+  "models_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

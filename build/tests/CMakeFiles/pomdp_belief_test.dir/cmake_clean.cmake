@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pomdp_belief_test.dir/pomdp_belief_test.cpp.o"
+  "CMakeFiles/pomdp_belief_test.dir/pomdp_belief_test.cpp.o.d"
+  "pomdp_belief_test"
+  "pomdp_belief_test.pdb"
+  "pomdp_belief_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pomdp_belief_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pomdp_bellman_test.dir/pomdp_bellman_test.cpp.o"
+  "CMakeFiles/pomdp_bellman_test.dir/pomdp_bellman_test.cpp.o.d"
+  "pomdp_bellman_test"
+  "pomdp_bellman_test.pdb"
+  "pomdp_bellman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pomdp_bellman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pomdp_conditions_test.dir/pomdp_conditions_test.cpp.o"
+  "CMakeFiles/pomdp_conditions_test.dir/pomdp_conditions_test.cpp.o.d"
+  "pomdp_conditions_test"
+  "pomdp_conditions_test.pdb"
+  "pomdp_conditions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pomdp_conditions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

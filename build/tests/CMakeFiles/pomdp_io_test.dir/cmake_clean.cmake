@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pomdp_io_test.dir/pomdp_io_test.cpp.o"
+  "CMakeFiles/pomdp_io_test.dir/pomdp_io_test.cpp.o.d"
+  "pomdp_io_test"
+  "pomdp_io_test.pdb"
+  "pomdp_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pomdp_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pomdp_model_test.dir/pomdp_model_test.cpp.o"
+  "CMakeFiles/pomdp_model_test.dir/pomdp_model_test.cpp.o.d"
+  "pomdp_model_test"
+  "pomdp_model_test.pdb"
+  "pomdp_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pomdp_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pomdp_policy_test.dir/pomdp_policy_test.cpp.o"
+  "CMakeFiles/pomdp_policy_test.dir/pomdp_policy_test.cpp.o.d"
+  "pomdp_policy_test"
+  "pomdp_policy_test.pdb"
+  "pomdp_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pomdp_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

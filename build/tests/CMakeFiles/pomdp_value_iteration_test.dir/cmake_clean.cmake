@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pomdp_value_iteration_test.dir/pomdp_value_iteration_test.cpp.o"
+  "CMakeFiles/pomdp_value_iteration_test.dir/pomdp_value_iteration_test.cpp.o.d"
+  "pomdp_value_iteration_test"
+  "pomdp_value_iteration_test.pdb"
+  "pomdp_value_iteration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pomdp_value_iteration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

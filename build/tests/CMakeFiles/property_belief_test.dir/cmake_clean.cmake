@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_belief_test.dir/property_belief_test.cpp.o"
+  "CMakeFiles/property_belief_test.dir/property_belief_test.cpp.o.d"
+  "property_belief_test"
+  "property_belief_test.pdb"
+  "property_belief_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_belief_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

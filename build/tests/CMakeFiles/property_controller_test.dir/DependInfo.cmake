@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_controller_test.cpp" "tests/CMakeFiles/property_controller_test.dir/property_controller_test.cpp.o" "gcc" "tests/CMakeFiles/property_controller_test.dir/property_controller_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/recoverd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/recoverd_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/recoverd_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/recoverd_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/pomdp/CMakeFiles/recoverd_pomdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/recoverd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recoverd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

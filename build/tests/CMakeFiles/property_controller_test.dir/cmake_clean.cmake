@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_controller_test.dir/property_controller_test.cpp.o"
+  "CMakeFiles/property_controller_test.dir/property_controller_test.cpp.o.d"
+  "property_controller_test"
+  "property_controller_test.pdb"
+  "property_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

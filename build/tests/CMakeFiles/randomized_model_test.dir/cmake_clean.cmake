@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_model_test.dir/randomized_model_test.cpp.o"
+  "CMakeFiles/randomized_model_test.dir/randomized_model_test.cpp.o.d"
+  "randomized_model_test"
+  "randomized_model_test.pdb"
+  "randomized_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reachability_policy_controller_test.dir/reachability_policy_controller_test.cpp.o"
+  "CMakeFiles/reachability_policy_controller_test.dir/reachability_policy_controller_test.cpp.o.d"
+  "reachability_policy_controller_test"
+  "reachability_policy_controller_test.pdb"
+  "reachability_policy_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reachability_policy_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sawtooth_upper_test.dir/sawtooth_upper_test.cpp.o"
+  "CMakeFiles/sawtooth_upper_test.dir/sawtooth_upper_test.cpp.o.d"
+  "sawtooth_upper_test"
+  "sawtooth_upper_test.pdb"
+  "sawtooth_upper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sawtooth_upper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sawtooth_upper_test.
+# This may be replaced when dependencies are built.
