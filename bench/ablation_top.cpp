@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "obs/export.hpp"
 #include "bounds/ra_bound.hpp"
 #include "controller/bootstrap.hpp"
 #include "controller/bounded_controller.hpp"
@@ -71,7 +72,9 @@ int run(const CliArgs& args) {
 
 int main(int argc, char** argv) {
   const recoverd::CliArgs args(argc, argv);
-  args.require_known({"faults", "top", "seed", "capacity", "branch-floor",
+  args.require_known({"metrics-out", "faults", "top", "seed", "capacity", "branch-floor",
                       "termination-probability", "bootstrap-runs", "bootstrap-depth"});
-  return recoverd::bench::run(args);
+  const int code = recoverd::bench::run(args);
+  recoverd::obs::dump_metrics_if_requested(args);
+  return code;
 }

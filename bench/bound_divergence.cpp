@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "obs/export.hpp"
 #include "bounds/comparison_bounds.hpp"
 #include "bounds/ra_bound.hpp"
 #include "models/two_server.hpp"
@@ -87,7 +88,9 @@ int run(const CliArgs& args) {
 
 int main(int argc, char** argv) {
   const recoverd::CliArgs args(argc, argv);
-  args.require_known({"top", "beta", "seed", "capacity", "branch-floor",
+  args.require_known({"metrics-out", "top", "beta", "seed", "capacity", "branch-floor",
                       "termination-probability", "bootstrap-runs", "bootstrap-depth"});
-  return recoverd::bench::run(args);
+  const int code = recoverd::bench::run(args);
+  recoverd::obs::dump_metrics_if_requested(args);
+  return code;
 }

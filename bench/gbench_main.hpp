@@ -1,0 +1,42 @@
+// Replacement for BENCHMARK_MAIN() in the google-benchmark microbenches:
+// peels off recoverd's `--metrics-out=<path>` flag (benchmark::Initialize
+// rejects flags it does not know), runs the suite, then dumps the global
+// metrics registry so the perf trajectory of a bench run lands in the same
+// machine-readable snapshot the experiment binaries emit.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace recoverd::bench {
+
+inline int gbench_main_with_metrics(int argc, char** argv) {
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc));
+  std::string metrics_out;
+  passthrough.push_back(argv[0]);
+  constexpr std::string_view kFlag = "--metrics-out=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind(kFlag, 0) == 0) {
+      metrics_out = arg.substr(kFlag.size());
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_out.empty()) {
+    obs::write_metrics_file(metrics_out, obs::metrics().snapshot());
+  }
+  return 0;
+}
+
+}  // namespace recoverd::bench

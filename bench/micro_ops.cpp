@@ -3,6 +3,8 @@
 // updates as a function of |B|, and Max-Avg tree expansion by depth.
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.hpp"
+
 #include "bounds/incremental_update.hpp"
 #include "bounds/ra_bound.hpp"
 #include "models/emn.hpp"
@@ -107,4 +109,6 @@ BENCHMARK(BM_RaBoundEmn);
 }  // namespace
 }  // namespace recoverd::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return recoverd::bench::gbench_main_with_metrics(argc, argv);
+}

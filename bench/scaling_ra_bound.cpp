@@ -3,6 +3,8 @@
 // thousands of states. Google-benchmark over synthetic recovery MDPs.
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.hpp"
+
 #include "bounds/ra_bound.hpp"
 #include "models/synthetic.hpp"
 #include "util/check.hpp"
@@ -60,4 +62,6 @@ BENCHMARK(BM_SyntheticModelBuild)
 }  // namespace
 }  // namespace recoverd::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return recoverd::bench::gbench_main_with_metrics(argc, argv);
+}

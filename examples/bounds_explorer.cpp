@@ -10,6 +10,7 @@
 #include "bounds/ra_bound.hpp"
 #include "bounds/upper_bound.hpp"
 #include "models/emn.hpp"
+#include "obs/export.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -17,7 +18,7 @@
 int main(int argc, char** argv) {
   using namespace recoverd;
   const CliArgs args(argc, argv);
-  args.require_known({"updates"});
+  args.require_known({"updates", "metrics-out"});
   const int updates = static_cast<int>(args.get_int("updates", 50));
 
   const Pomdp model = models::make_emn_recovery_model();
@@ -70,5 +71,6 @@ int main(int argc, char** argv) {
       bounds::improve_at(model, set, Belief(raw));
     }
   }
+  obs::dump_metrics_if_requested(args);
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "controller/bootstrap.hpp"
 #include "controller/bounded_controller.hpp"
 #include "models/topology.hpp"
+#include "obs/export.hpp"
 #include "pomdp/conditions.hpp"
 #include "pomdp/transforms.hpp"
 #include "sim/experiment.hpp"
@@ -24,7 +25,7 @@
 int main(int argc, char** argv) {
   using namespace recoverd;
   const CliArgs args(argc, argv);
-  args.require_known({"faults", "seed"});
+  args.require_known({"faults", "seed", "metrics-out"});
   const auto episodes = static_cast<std::size_t>(args.get_int("faults", 200));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
 
@@ -103,5 +104,6 @@ int main(int argc, char** argv) {
   std::cout << '\n';
   table.print(std::cout);
   std::cout << "unrecovered: " << result.unrecovered << "/" << result.episodes << "\n";
+  obs::dump_metrics_if_requested(args);
   return result.unrecovered == 0 ? 0 : 1;
 }

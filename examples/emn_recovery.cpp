@@ -3,21 +3,26 @@
 // step-by-step trace of beliefs, chosen actions, and monitor readings.
 //
 // Run: ./build/examples/emn_recovery [--fault=S1|S2|HG|VG|DB] [--seed=N]
+//                                    [--metrics-out=metrics.json]
+//                                    [--trace-out=episode.jsonl]
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 
 #include "bounds/ra_bound.hpp"
+#include "obs/export.hpp"
 #include "controller/bootstrap.hpp"
 #include "controller/bounded_controller.hpp"
 #include "models/emn.hpp"
 #include "pomdp/sampling.hpp"
 #include "sim/environment.hpp"
+#include "sim/trace.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace recoverd;
   const CliArgs args(argc, argv);
-  args.require_known({"fault", "seed"});
+  args.require_known({"fault", "seed", "metrics-out", "trace-out"});
   const std::string fault_component = args.get_string("fault", "S1");
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
@@ -56,10 +61,14 @@ int main(int argc, char** argv) {
     if (!base.mdp().is_goal(s)) support.push_back(s);
   }
   controller.begin_episode(Belief::uniform_over(recovery.num_states(), support));
+  sim::EpisodeTrace trace;
+  trace.set_injected_fault(fault);
   {
     const auto step = env.step(ids.topo.observe_action);
     controller.record(ids.topo.observe_action, step.obs);
     std::cout << "initial monitors -> " << base.observation_name(step.obs) << "\n";
+    trace.add_step({0, fault, ids.topo.observe_action, step.next_state, step.obs,
+                    step.reward, env.elapsed_time(), 0.0, controller.belief().entropy()});
   }
 
   auto print_belief = [&](const Belief& b) {
@@ -78,10 +87,17 @@ int main(int argc, char** argv) {
     const controller::Decision decision = controller.decide();
     if (decision.terminate) {
       std::cout << "step " << step_no << ": controller terminates recovery\n";
+      trace.set_terminated(true);
       break;
     }
+    const double goal_prob =
+        recovery.mdp().goal_probability(controller.belief().probabilities());
+    const double entropy = controller.belief().entropy();
+    const StateId before = env.true_state();
     const auto step = env.step(decision.action);
     controller.record(decision.action, step.obs);
+    trace.add_step({0, before, decision.action, step.next_state, step.obs, step.reward,
+                    env.elapsed_time(), goal_prob, entropy});
     std::cout << "step " << step_no << ": "
               << recovery.mdp().action_name(decision.action) << " ("
               << step.duration << " s) -> state " << base.mdp().state_name(step.next_state)
@@ -92,5 +108,16 @@ int main(int argc, char** argv) {
             << ", cost=" << env.accumulated_cost()
             << " request-seconds, elapsed=" << env.elapsed_time() << " s, residual="
             << env.recovery_entered_time() << " s\n";
+  const std::string trace_path = args.get_string("trace-out", "");
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot open trace file '" << trace_path << "'\n";
+      return 2;
+    }
+    trace.write_jsonl(out);
+    std::cout << "episode trace written to " << trace_path << "\n";
+  }
+  obs::dump_metrics_if_requested(args);
   return env.recovered() ? 0 : 1;
 }

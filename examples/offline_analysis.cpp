@@ -16,6 +16,7 @@
 #include "bounds/ra_bound.hpp"
 #include "controller/bounded_controller.hpp"
 #include "models/two_server.hpp"
+#include "obs/export.hpp"
 #include "pomdp/exact_solver.hpp"
 #include "pomdp/io.hpp"
 #include "pomdp/policy.hpp"
@@ -25,7 +26,7 @@
 int main(int argc, char** argv) {
   using namespace recoverd;
   const CliArgs args(argc, argv);
-  args.require_known({"out"});
+  args.require_known({"out", "metrics-out"});
   const std::string out = args.get_string("out", "/tmp/recoverd_two_server.pomdp");
 
   const Pomdp base = models::make_two_server();
@@ -80,5 +81,6 @@ int main(int argc, char** argv) {
   std::cout << "\nTraced episode (cost " << metrics.cost << ", "
             << trace.size() << " steps):\n";
   trace.write_csv(std::cout);
+  obs::dump_metrics_if_requested(args);
   return metrics.recovered ? 0 : 1;
 }

@@ -15,12 +15,16 @@
 #include "bounds/ra_bound.hpp"
 #include "controller/bounded_controller.hpp"
 #include "models/two_server.hpp"
+#include "obs/export.hpp"
 #include "pomdp/conditions.hpp"
 #include "pomdp/transforms.hpp"
 #include "sim/experiment.hpp"
+#include "util/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace recoverd;
+  const CliArgs args(argc, argv);
+  args.require_known({"metrics-out"});
 
   // --- 1. the model -------------------------------------------------------
   const Pomdp base = models::make_two_server();
@@ -69,5 +73,6 @@ int main() {
             << "\n  residual time:   " << metrics.residual_time << " s"
             << "\n  recovery actions:" << metrics.recovery_actions
             << "\n  monitor calls:   " << metrics.monitor_calls << "\n";
+  obs::dump_metrics_if_requested(args);
   return metrics.recovered ? 0 : 1;
 }

@@ -5,9 +5,34 @@
 #include <limits>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace recoverd::bounds {
+
+namespace {
+// Set-churn instruments. `bounds.set.size` is a gauge tracking the
+// hyperplane count of the most recently mutated set — in the common
+// single-controller setup that is *the* |B| of Eq. 6.
+struct SetInstruments {
+  obs::Counter& added;
+  obs::Counter& dominated;
+  obs::Counter& pruned;
+  obs::Counter& evicted;
+  obs::Gauge& size;
+
+  static SetInstruments& get() {
+    static SetInstruments instruments{
+        obs::metrics().counter("bounds.set.added"),
+        obs::metrics().counter("bounds.set.dominated"),
+        obs::metrics().counter("bounds.set.pruned"),
+        obs::metrics().counter("bounds.set.evicted"),
+        obs::metrics().gauge("bounds.set.size"),
+    };
+    return instruments;
+  }
+};
+}  // namespace
 
 BoundSet::BoundSet(std::size_t dimension, std::size_t capacity)
     : dimension_(dimension), capacity_(capacity) {
@@ -22,17 +47,22 @@ BoundSet::AddResult BoundSet::add(BoundVector vector) {
 
   // Dropped if an existing hyperplane already dominates it everywhere.
   for (const auto& entry : entries_) {
-    if (linalg::dominates(entry.vector, vector)) return AddResult::Dominated;
+    if (linalg::dominates(entry.vector, vector)) {
+      SetInstruments::get().dominated.add();
+      return AddResult::Dominated;
+    }
   }
   // Prune existing hyperplanes the newcomer dominates (never the protected
   // base plane: by the check above the newcomer is not *strictly* needed to
   // keep it, but the base plane carries the standalone RA guarantee).
+  const std::size_t before = entries_.size();
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
                                 [&](const Entry& e) {
                                   return !e.is_protected &&
                                          linalg::dominates(vector, e.vector);
                                 }),
                  entries_.end());
+  if (before > entries_.size()) SetInstruments::get().pruned.add(before - entries_.size());
 
   if (capacity_ > 0 && entries_.size() >= capacity_) evict_least_used();
 
@@ -41,6 +71,8 @@ BoundSet::AddResult BoundSet::add(BoundVector vector) {
   entry.is_protected = !first_added_;  // the first vector (RA-Bound) is protected
   first_added_ = true;
   entries_.push_back(std::move(entry));
+  SetInstruments::get().added.add();
+  SetInstruments::get().size.set(static_cast<double>(entries_.size()));
   return AddResult::Added;
 }
 
@@ -93,6 +125,7 @@ void BoundSet::evict_least_used() {
   RD_ENSURES(victim < entries_.size(),
              "BoundSet: capacity exhausted by protected vectors");
   entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+  SetInstruments::get().evicted.add();
 }
 
 }  // namespace recoverd::bounds

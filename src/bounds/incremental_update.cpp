@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace recoverd::bounds {
@@ -76,6 +77,14 @@ BoundVector backup_vector(const Pomdp& pomdp, const BoundSet& set, const Belief&
 
 UpdateResult improve_at(const Pomdp& pomdp, BoundSet& set, const Belief& belief,
                         double min_gain, double beta) {
+  // Eq. 7 instrumentation: attempted = accepted + rejected; the improvement
+  // histogram records how much each *accepted* backup tightened V_B⁻ at π.
+  static obs::Counter& attempted = obs::metrics().counter("bounds.update.attempted");
+  static obs::Counter& accepted = obs::metrics().counter("bounds.update.accepted");
+  static obs::Counter& rejected = obs::metrics().counter("bounds.update.rejected");
+  static obs::Histogram& improvement = obs::metrics().histogram(
+      "bounds.update.improvement", obs::exponential_buckets(1e-6, 10.0, 12));
+
   UpdateResult result;
   result.value_before = set.evaluate(belief.probabilities());
 
@@ -88,6 +97,14 @@ UpdateResult improve_at(const Pomdp& pomdp, BoundSet& set, const Belief& belief,
     result.added = set.add(std::move(backup)) == BoundSet::AddResult::Added;
   }
   result.value_after = set.evaluate(belief.probabilities());
+
+  attempted.add();
+  if (result.added) {
+    accepted.add();
+    improvement.observe(result.improvement());
+  } else {
+    rejected.add();
+  }
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "bounds/ra_bound.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace recoverd::bounds {
@@ -33,6 +34,13 @@ RaBoundResult solve_random_action_chain(const Mdp& mdp, double beta,
   result.status = solve.status;
   result.iterations = solve.iterations;
   if (solve.converged()) result.values = solve.x;
+
+  static obs::Counter& solves = obs::metrics().counter("bounds.ra_bound.solves");
+  static obs::Counter& diverged = obs::metrics().counter("bounds.ra_bound.diverged");
+  static obs::Gauge& iterations = obs::metrics().gauge("bounds.ra_bound.iterations");
+  solves.add();
+  if (result.status == linalg::SolveStatus::Diverged) diverged.add();
+  iterations.set(static_cast<double>(result.iterations));
   return result;
 }
 }  // namespace

@@ -1,10 +1,38 @@
 #include "controller/bounded_controller.hpp"
 
 #include "bounds/incremental_update.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "pomdp/bellman.hpp"
 #include "util/check.hpp"
 
 namespace recoverd::controller {
+
+namespace {
+// Per-decide instruments. Nodes-per-decide is derived by differencing the
+// global Max-Avg node counter around the tree expansion, so the histogram
+// stays correct whichever depth/branch-floor the controller runs with.
+struct DecideInstruments {
+  obs::Counter& decides;
+  obs::Counter& terminate_ties;
+  obs::Counter& nodes_expanded;
+  obs::Histogram& decide_ms;
+  obs::Histogram& nodes_per_decide;
+
+  static DecideInstruments& get() {
+    static DecideInstruments instruments{
+        obs::metrics().counter("controller.bounded.decides"),
+        obs::metrics().counter("controller.bounded.terminate_ties"),
+        obs::metrics().counter("pomdp.bellman.nodes_expanded"),
+        obs::metrics().histogram("controller.bounded.decide_ms",
+                                 obs::exponential_buckets(0.001, 2.0, 26)),
+        obs::metrics().histogram("controller.bounded.nodes_per_decide",
+                                 obs::exponential_buckets(1.0, 2.0, 24)),
+    };
+    return instruments;
+  }
+};
+}  // namespace
 
 BoundedController::BoundedController(const Pomdp& model, bounds::BoundSet& set,
                                      BoundedControllerOptions options)
@@ -19,6 +47,10 @@ BoundedController::BoundedController(const Pomdp& model, bounds::BoundSet& set,
 }
 
 Decision BoundedController::decide() {
+  DecideInstruments& instruments = DecideInstruments::get();
+  instruments.decides.add();
+  obs::ScopedTimer latency(instruments.decide_ms);
+
   const Pomdp& pomdp = model();
   const Belief& pi = belief();
 
@@ -40,8 +72,11 @@ Decision BoundedController::decide() {
   const LeafEvaluator leaf = [this](const Belief& b) {
     return set_.evaluate(b.probabilities());
   };
+  const std::uint64_t nodes_before = instruments.nodes_expanded.value();
   const auto values = bellman_action_values(pomdp, pi, options_.tree_depth, leaf, 1.0,
                                             kInvalidId, options_.branch_floor);
+  instruments.nodes_per_decide.observe(
+      static_cast<double>(instruments.nodes_expanded.value() - nodes_before));
   ActionValue best = values.front();
   for (const auto& av : values) {
     if (av.value > best.value) best = av;
@@ -54,6 +89,7 @@ Decision BoundedController::decide() {
     // continuing offers no strictly positive benefit.
     const ActionId at = pomdp.terminate_action();
     if (values[at].value >= best.value - options_.terminate_tie_epsilon) {
+      if (best.action != at) instruments.terminate_ties.add();
       best = values[at];
     }
     if (best.action == at) return {best.action, true};

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/convergence.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace recoverd::linalg {
@@ -18,6 +19,57 @@ std::string to_string(SolveStatus status) {
 }
 
 namespace {
+// Solver instruments (metric names in DESIGN.md §7). The residual
+// trajectory histogram records log10 of every sweep's max-norm delta, which
+// reconstructs the convergence curve of Fig. 5-style analyses without
+// storing per-sweep arrays.
+struct SolverInstruments {
+  obs::Counter& solves;
+  obs::Counter& sweeps;
+  obs::Counter& converged;
+  obs::Counter& diverged;
+  obs::Counter& exhausted;
+  obs::Histogram& sweeps_per_solve;
+  obs::Histogram& residual_log10;
+  obs::Gauge& relaxation;
+  obs::Gauge& final_delta;
+
+  static SolverInstruments& get() {
+    static SolverInstruments instruments{
+        obs::metrics().counter("linalg.gauss_seidel.solves"),
+        obs::metrics().counter("linalg.gauss_seidel.sweeps"),
+        obs::metrics().counter("linalg.gauss_seidel.converged"),
+        obs::metrics().counter("linalg.gauss_seidel.diverged"),
+        obs::metrics().counter("linalg.gauss_seidel.max_iterations"),
+        obs::metrics().histogram("linalg.gauss_seidel.sweeps_per_solve",
+                                 obs::exponential_buckets(1.0, 2.0, 20)),
+        obs::metrics().histogram("linalg.gauss_seidel.residual_log10",
+                                 obs::linear_buckets(-14.0, 1.0, 18)),
+        obs::metrics().gauge("linalg.gauss_seidel.relaxation"),
+        obs::metrics().gauge("linalg.gauss_seidel.final_delta"),
+    };
+    return instruments;
+  }
+
+  void record_sweep(double delta) {
+    sweeps.add();
+    residual_log10.observe(delta > 0.0 && std::isfinite(delta) ? std::log10(delta)
+                                                               : -20.0);
+  }
+
+  void record_solve(const SolveResult& result, const GaussSeidelOptions& options) {
+    solves.add();
+    sweeps_per_solve.observe(static_cast<double>(result.iterations));
+    relaxation.set(options.relaxation);
+    final_delta.set(result.final_delta);
+    switch (result.status) {
+      case SolveStatus::Converged: converged.add(); break;
+      case SolveStatus::Diverged: diverged.add(); break;
+      case SolveStatus::MaxIterations: exhausted.add(); break;
+    }
+  }
+};
+
 void check_inputs(const SparseMatrix& q, std::span<const double> c,
                   const GaussSeidelOptions& options) {
   RD_EXPECTS(q.rows() == q.cols(), "solve_fixed_point: Q must be square");
@@ -28,9 +80,9 @@ void check_inputs(const SparseMatrix& q, std::span<const double> c,
 }
 }  // namespace
 
-SolveResult solve_fixed_point(const SparseMatrix& q, std::span<const double> c,
-                              const GaussSeidelOptions& options) {
-  check_inputs(q, c, options);
+namespace {
+SolveResult solve_fixed_point_impl(const SparseMatrix& q, std::span<const double> c,
+                                   const GaussSeidelOptions& options) {
   const std::size_t n = q.rows();
 
   SolveResult result;
@@ -75,6 +127,7 @@ SolveResult solve_fixed_point(const SparseMatrix& q, std::span<const double> c,
     }
     result.iterations = iter + 1;
     result.final_delta = delta;
+    SolverInstruments::get().record_sweep(delta);
     if (!std::isfinite(delta) ||
         std::any_of(x.begin(), x.end(),
                     [&](double v) { return std::abs(v) > options.divergence_threshold; })) {
@@ -93,10 +146,20 @@ SolveResult solve_fixed_point(const SparseMatrix& q, std::span<const double> c,
   result.status = SolveStatus::MaxIterations;
   return result;
 }
+}  // namespace
 
-SolveResult solve_fixed_point_jacobi(const SparseMatrix& q, std::span<const double> c,
-                                     const GaussSeidelOptions& options) {
+SolveResult solve_fixed_point(const SparseMatrix& q, std::span<const double> c,
+                              const GaussSeidelOptions& options) {
   check_inputs(q, c, options);
+  SolveResult result = solve_fixed_point_impl(q, c, options);
+  SolverInstruments::get().record_solve(result, options);
+  return result;
+}
+
+namespace {
+SolveResult solve_fixed_point_jacobi_impl(const SparseMatrix& q,
+                                          std::span<const double> c,
+                                          const GaussSeidelOptions& options) {
   const std::size_t n = q.rows();
 
   SolveResult result;
@@ -115,6 +178,7 @@ SolveResult solve_fixed_point_jacobi(const SparseMatrix& q, std::span<const doub
     result.x.swap(next);
     result.iterations = iter + 1;
     result.final_delta = delta;
+    SolverInstruments::get().record_sweep(delta);
     if (!std::isfinite(delta) ||
         std::any_of(result.x.begin(), result.x.end(), [&](double v) {
           return std::abs(v) > options.divergence_threshold;
@@ -132,6 +196,15 @@ SolveResult solve_fixed_point_jacobi(const SparseMatrix& q, std::span<const doub
     }
   }
   result.status = SolveStatus::MaxIterations;
+  return result;
+}
+}  // namespace
+
+SolveResult solve_fixed_point_jacobi(const SparseMatrix& q, std::span<const double> c,
+                                     const GaussSeidelOptions& options) {
+  check_inputs(q, c, options);
+  SolveResult result = solve_fixed_point_jacobi_impl(q, c, options);
+  SolverInstruments::get().record_solve(result, options);
   return result;
 }
 

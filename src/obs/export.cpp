@@ -1,0 +1,133 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+
+namespace recoverd::obs {
+
+namespace {
+constexpr const char* kSchema = "recoverd.metrics.v1";
+
+Json histogram_to_json(const HistogramSample& h) {
+  Json::Object obj;
+  Json::Array uppers;
+  for (const double u : h.uppers) uppers.emplace_back(u);
+  Json::Array counts;
+  for (const std::uint64_t c : h.counts) counts.emplace_back(c);
+  obj["uppers"] = Json(std::move(uppers));
+  obj["counts"] = Json(std::move(counts));
+  obj["count"] = Json(h.count);
+  obj["sum"] = Json(h.sum);
+  obj["min"] = Json(h.min);
+  obj["max"] = Json(h.max);
+  return Json(std::move(obj));
+}
+}  // namespace
+
+void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
+  Json::Object root;
+  root["schema"] = Json(kSchema);
+  Json::Object counters;
+  for (const auto& c : snapshot.counters) counters[c.name] = Json(c.value);
+  Json::Object gauges;
+  for (const auto& g : snapshot.gauges) gauges[g.name] = Json(g.value);
+  Json::Object histograms;
+  for (const auto& h : snapshot.histograms) histograms[h.name] = histogram_to_json(h);
+  root["counters"] = Json(std::move(counters));
+  root["gauges"] = Json(std::move(gauges));
+  root["histograms"] = Json(std::move(histograms));
+  Json(std::move(root)).write(os);
+}
+
+MetricsSnapshot read_json_text(const std::string& text) {
+  const Json root = Json::parse(text);
+  RD_EXPECTS(root.is_object(), "read_json: document must be an object");
+  if (!root.contains("schema") || root.at("schema").as_string() != kSchema) {
+    throw ModelError("read_json: not a " + std::string(kSchema) + " document");
+  }
+  MetricsSnapshot snap;
+  for (const auto& [name, value] : root.at("counters").as_object()) {
+    snap.counters.push_back({name, static_cast<std::uint64_t>(value.as_number())});
+  }
+  for (const auto& [name, value] : root.at("gauges").as_object()) {
+    snap.gauges.push_back({name, value.as_number()});
+  }
+  for (const auto& [name, value] : root.at("histograms").as_object()) {
+    HistogramSample h;
+    h.name = name;
+    for (const auto& u : value.at("uppers").as_array()) h.uppers.push_back(u.as_number());
+    for (const auto& c : value.at("counts").as_array()) {
+      h.counts.push_back(static_cast<std::uint64_t>(c.as_number()));
+    }
+    RD_EXPECTS(h.counts.size() == h.uppers.size() + 1,
+               "read_json: histogram '" + name + "' bucket/bound count mismatch");
+    h.count = static_cast<std::uint64_t>(value.at("count").as_number());
+    h.sum = value.at("sum").as_number();
+    h.min = value.at("min").as_number();
+    h.max = value.at("max").as_number();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+MetricsSnapshot read_json(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return read_json_text(buffer.str());
+}
+
+void write_csv(std::ostream& os, const MetricsSnapshot& snapshot) {
+  CsvWriter csv(os);
+  csv.write_row(std::vector<std::string>{"metric", "kind", "field", "value"});
+  auto number = [](double v) {
+    std::ostringstream tmp;
+    tmp.precision(17);
+    tmp << v;
+    return tmp.str();
+  };
+  for (const auto& c : snapshot.counters) {
+    csv.write_row({c.name, "counter", "value", std::to_string(c.value)});
+  }
+  for (const auto& g : snapshot.gauges) {
+    csv.write_row({g.name, "gauge", "value", number(g.value)});
+  }
+  for (const auto& h : snapshot.histograms) {
+    csv.write_row({h.name, "histogram", "count", std::to_string(h.count)});
+    csv.write_row({h.name, "histogram", "sum", number(h.sum)});
+    csv.write_row({h.name, "histogram", "min", number(h.min)});
+    csv.write_row({h.name, "histogram", "max", number(h.max)});
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      const std::string bound = i < h.uppers.size() ? number(h.uppers[i]) : "inf";
+      csv.write_row({h.name, "histogram", "le_" + bound, std::to_string(h.counts[i])});
+    }
+  }
+}
+
+void write_metrics_file(const std::string& path, const MetricsSnapshot& snapshot) {
+  std::ofstream out(path);
+  if (!out) throw ModelError("write_metrics_file: cannot open '" + path + "'");
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    write_csv(out, snapshot);
+  } else {
+    write_json(out, snapshot);
+    out << '\n';
+  }
+  if (!out.good()) throw ModelError("write_metrics_file: write to '" + path + "' failed");
+}
+
+bool dump_metrics_if_requested(const CliArgs& args, MetricsRegistry& registry) {
+  const std::string path = args.get_string("metrics-out", "");
+  if (path.empty()) return false;
+  write_metrics_file(path, registry.snapshot());
+  log_info("metrics snapshot written to ", path);
+  return true;
+}
+
+}  // namespace recoverd::obs

@@ -1,0 +1,51 @@
+// Metrics snapshot exporters: JSON (schema `recoverd.metrics.v1`, the
+// machine-readable dump behind `--metrics-out` and the bench perf
+// trajectories) and CSV (one row per scalar, matching util/csv.hpp
+// conventions so the existing plotting scripts can ingest it).
+//
+// JSON schema:
+//   {
+//     "schema": "recoverd.metrics.v1",
+//     "counters":   { "<name>": <uint>, ... },
+//     "gauges":     { "<name>": <double>, ... },
+//     "histograms": { "<name>": { "uppers": [..], "counts": [..],
+//                                 "count": N, "sum": S, "min": m, "max": M } }
+//   }
+// `counts` has uppers.size() + 1 entries; the last is the overflow bucket.
+//
+// CSV schema: header `metric,kind,field,value`; counters/gauges emit one
+// `value` row, histograms emit `count`/`sum`/`min`/`max` rows plus one
+// `le_<upper>` row per bucket (`le_inf` for the overflow bucket).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/cli.hpp"
+
+namespace recoverd::obs {
+
+/// Serialises a snapshot as a single JSON object (no trailing newline).
+void write_json(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Parses a `recoverd.metrics.v1` document back into a snapshot (test
+/// round-trips, offline analysis). Throws ModelError on schema mismatch.
+MetricsSnapshot read_json(std::istream& is);
+MetricsSnapshot read_json_text(const std::string& text);
+
+/// Serialises a snapshot as CSV with a header row.
+void write_csv(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Writes the snapshot to `path`, picking the format from the extension:
+/// `.csv` → CSV, anything else → JSON. Throws ModelError when the file
+/// cannot be opened.
+void write_metrics_file(const std::string& path, const MetricsSnapshot& snapshot);
+
+/// The standard `--metrics-out=<path>` hook for binaries: when the flag is
+/// present, snapshots the given registry (the process-global one by
+/// default) into the file and returns true. Call once, at exit.
+bool dump_metrics_if_requested(const CliArgs& args,
+                               MetricsRegistry& registry = metrics());
+
+}  // namespace recoverd::obs

@@ -1,0 +1,319 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace recoverd::obs {
+
+bool Json::as_bool() const {
+  RD_EXPECTS(is_bool(), "Json: not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  RD_EXPECTS(is_number(), "Json: not a number");
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  RD_EXPECTS(is_string(), "Json: not a string");
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  RD_EXPECTS(is_array(), "Json: not an array");
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  RD_EXPECTS(is_object(), "Json: not an object");
+  return object_;
+}
+
+Json::Array& Json::as_array() {
+  RD_EXPECTS(is_array(), "Json: not an array");
+  return array_;
+}
+
+Json::Object& Json::as_object() {
+  RD_EXPECTS(is_object(), "Json: not an object");
+  return object_;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  RD_EXPECTS(it != obj.end(), "Json: missing object key '" + key + "'");
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && object_.count(key) > 0;
+}
+
+namespace {
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double v) {
+  // NaN/inf have no JSON representation; emit null so the document stays
+  // parseable (the exporters avoid producing them in the first place).
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (v == std::floor(v) && std::abs(v) < kMaxExact) {
+    os << static_cast<std::int64_t>(v);
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  os << tmp.str();
+}
+}  // namespace
+
+void Json::write(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::Null: os << "null"; break;
+    case Kind::Bool: os << (bool_ ? "true" : "false"); break;
+    case Kind::Number: write_number(os, number_); break;
+    case Kind::String: write_escaped(os, string_); break;
+    case Kind::Array: {
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) os << ',';
+        array_[i].write(os);
+      }
+      os << ']';
+      break;
+    }
+    case Kind::Object: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) os << ',';
+        first = false;
+        write_escaped(os, key);
+        os << ':';
+        value.write(os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+namespace {
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ModelError("Json::parse: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object obj;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return Json(std::move(obj));
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array arr;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return Json(std::move(arr));
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+        out.push_back(c);
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  void append_unicode_escape(std::string& out) {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    // BMP-only UTF-8 encoding (surrogate pairs are not produced by our
+    // writer; a lone surrogate is encoded as-is rather than rejected).
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) fail("invalid number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("invalid number '" + token + "'");
+    return Json(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace recoverd::obs

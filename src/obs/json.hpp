@@ -1,0 +1,74 @@
+// Minimal JSON value: just enough to write metrics snapshots / episode
+// traces and to parse them back in tests — no external dependency, no
+// clever performance, strict (throws ModelError) on malformed input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recoverd::obs {
+
+/// A JSON document node. Numbers are stored as double (integral values
+/// within 2^53 round-trip exactly and are printed without a fraction).
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : kind_(Kind::Null) {}
+  Json(std::nullptr_t) : kind_(Kind::Null) {}
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(double v) : kind_(Kind::Number), number_(v) {}
+  Json(int v) : kind_(Kind::Number), number_(v) {}
+  Json(std::int64_t v) : kind_(Kind::Number), number_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : kind_(Kind::Number), number_(static_cast<double>(v)) {}
+  Json(const char* s) : kind_(Kind::String), string_(s) {}
+  Json(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+  Json(Array a) : kind_(Kind::Array), array_(std::move(a)) {}
+  Json(Object o) : kind_(Kind::Object), object_(std::move(o)) {}
+
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Typed accessors; throw PreconditionError on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object member lookup; throws PreconditionError when absent or when
+  /// this value is not an object. `contains` is the non-throwing probe.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Serialises compactly (no whitespace). Stable: object keys are sorted.
+  void write(std::ostream& os) const;
+  std::string dump() const;
+
+  /// Strict parser; throws ModelError with a byte offset on malformed text.
+  /// Trailing non-whitespace after the document is an error.
+  static Json parse(std::string_view text);
+
+ private:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace recoverd::obs

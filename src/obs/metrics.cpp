@@ -1,0 +1,167 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace recoverd::obs {
+
+namespace {
+// Lock-free running min/max: CAS loop that only writes when the sample
+// actually extends the range, so the common case is a single relaxed load.
+void atomic_min(std::atomic<double>& target, double x) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (x < cur &&
+         !target.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double x) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !target.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+Histogram::Histogram(std::vector<double> uppers)
+    : uppers_(std::move(uppers)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  RD_EXPECTS(!uppers_.empty(), "Histogram: at least one bucket bound required");
+  for (std::size_t i = 0; i < uppers_.size(); ++i) {
+    RD_EXPECTS(std::isfinite(uppers_[i]), "Histogram: bucket bounds must be finite");
+    RD_EXPECTS(i == 0 || uppers_[i - 1] < uppers_[i],
+               "Histogram: bucket bounds must be strictly increasing");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(buckets());
+  for (std::size_t i = 0; i < buckets(); ++i) counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double x) noexcept {
+  const auto it = std::lower_bound(uppers_.begin(), uppers_.end(), x);
+  const auto bucket = static_cast<std::size_t>(it - uppers_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  RD_EXPECTS(i < buckets(), "Histogram::bucket_count: index out of range");
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::min() const noexcept {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::max() const noexcept {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i < buckets(); ++i) counts_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+std::vector<double> exponential_buckets(double start, double factor, std::size_t count) {
+  RD_EXPECTS(start > 0.0, "exponential_buckets: start must be positive");
+  RD_EXPECTS(factor > 1.0, "exponential_buckets: factor must exceed 1");
+  RD_EXPECTS(count > 0, "exponential_buckets: count must be positive");
+  std::vector<double> uppers(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i, bound *= factor) uppers[i] = bound;
+  return uppers;
+}
+
+std::vector<double> linear_buckets(double start, double width, std::size_t count) {
+  RD_EXPECTS(width > 0.0, "linear_buckets: width must be positive");
+  RD_EXPECTS(count > 0, "linear_buckets: count must be positive");
+  std::vector<double> uppers(count);
+  for (std::size_t i = 0; i < count; ++i) uppers[i] = start + width * static_cast<double>(i);
+  return uppers;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RD_EXPECTS(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+             "MetricsRegistry: '" + name + "' is already registered as another kind");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RD_EXPECTS(counters_.count(name) == 0 && histograms_.count(name) == 0,
+             "MetricsRegistry: '" + name + "' is already registered as another kind");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> uppers) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RD_EXPECTS(counters_.count(name) == 0 && gauges_.count(name) == 0,
+             "MetricsRegistry: '" + name + "' is already registered as another kind");
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(uppers));
+  } else {
+    RD_EXPECTS(uppers.empty() || uppers == slot->uppers(),
+               "MetricsRegistry: histogram '" + name +
+                   "' re-registered with different buckets");
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.push_back({name, c->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.push_back({name, g->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.uppers = h->uppers();
+    s.counts.resize(h->buckets());
+    for (std::size_t i = 0; i < h->buckets(); ++i) s.counts[i] = h->bucket_count(i);
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) entry.second->reset();
+  for (auto& entry : gauges_) entry.second->reset();
+  for (auto& entry : histograms_) entry.second->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace recoverd::obs

@@ -1,0 +1,154 @@
+// Thread-safe metrics registry: the observability spine of the library.
+//
+// Three instrument kinds, matching what the paper's evaluation reports:
+//  - Counter:   monotonically increasing event count (Eq. 7 updates, sweeps);
+//  - Gauge:     last-written value (hyperplane-set size, SOR factor);
+//  - Histogram: fixed-bucket distribution (decide() latency, residuals).
+//
+// Registration (looking an instrument up by name) takes a mutex once;
+// call sites cache the returned reference — typically in a function-local
+// static — after which every update is a lock-free relaxed atomic, cheap
+// enough to leave enabled on the hot paths the benches measure.
+//
+// Naming scheme (see DESIGN.md §7): dotted lowercase `module.component.metric`,
+// e.g. `linalg.gauss_seidel.sweeps`; histograms recording milliseconds end in
+// `_ms`. Values are process-global via `metrics()`; tests construct private
+// registries or call `reset()` to zero the global one (instruments are never
+// unregistered, so cached references stay valid forever).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace recoverd::obs {
+
+/// Monotonically increasing event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written scalar.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples x ≤ uppers[i] (first
+/// matching bound); an implicit overflow bucket catches x > uppers.back().
+/// Tracks count/sum/min/max alongside the buckets.
+class Histogram {
+ public:
+  /// `uppers` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> uppers);
+
+  void observe(double x) noexcept;
+
+  const std::vector<double>& uppers() const { return uppers_; }
+  /// Number of buckets including the overflow bucket (uppers().size() + 1).
+  std::size_t buckets() const { return uppers_.size() + 1; }
+  std::uint64_t bucket_count(std::size_t i) const;
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// Min/max of observed samples; 0 when no samples were recorded.
+  double min() const noexcept;
+  double max() const noexcept;
+  double mean() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> uppers_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// `count` upper bounds start, start·factor, start·factor², …
+std::vector<double> exponential_buckets(double start, double factor, std::size_t count);
+/// `count` upper bounds start, start+width, start+2·width, …
+std::vector<double> linear_buckets(double start, double width, std::size_t count);
+
+/// Point-in-time copy of every instrument, ordered by name — the unit the
+/// exporters (obs/export.hpp) serialise.
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+struct HistogramSample {
+  std::string name;
+  std::vector<double> uppers;
+  std::vector<std::uint64_t> counts;  ///< uppers.size() + 1 entries (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Thread-safe instrument registry. Instruments live as long as the
+/// registry; lookup interns by name, so repeated calls return the same
+/// instance and references may be cached freely.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  /// Throws PreconditionError when `name` is already a gauge or histogram.
+  Counter& counter(const std::string& name);
+
+  /// Returns the gauge registered under `name`, creating it on first use.
+  Gauge& gauge(const std::string& name);
+
+  /// Returns the histogram registered under `name`, creating it with the
+  /// given bucket bounds on first use. Re-registration must pass identical
+  /// bounds (or an empty vector to mean "whatever was registered").
+  Histogram& histogram(const std::string& name, std::vector<double> uppers);
+
+  /// Copies every instrument's current value.
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument's value. Registrations (and thus cached
+  /// references) survive — only the recorded values are cleared.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-global registry every instrumented module reports into.
+MetricsRegistry& metrics();
+
+}  // namespace recoverd::obs

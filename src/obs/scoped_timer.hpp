@@ -1,0 +1,38 @@
+// RAII latency measurement feeding an obs::Histogram, so a hot path can be
+// timed with one declaration:
+//
+//   static obs::Histogram& lat = obs::metrics().histogram(
+//       "controller.bounded.decide_ms", obs::exponential_buckets(0.001, 2.0, 24));
+//   obs::ScopedTimer timer(lat);   // records elapsed ms on scope exit
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace recoverd::obs {
+
+/// Records the scope's wall-clock duration, in milliseconds, into a
+/// histogram when destroyed (or when stop() is called explicitly).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram) : histogram_(&histogram) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Flushes the measurement early; the destructor then records nothing.
+  /// Returns the elapsed milliseconds that were recorded.
+  double stop() {
+    if (histogram_ == nullptr) return 0.0;
+    const double ms = timer_.elapsed_ms();
+    histogram_->observe(ms);
+    histogram_ = nullptr;
+    return ms;
+  }
+
+ private:
+  Histogram* histogram_;
+  Timer timer_;
+};
+
+}  // namespace recoverd::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace recoverd {
@@ -117,11 +118,22 @@ std::vector<ObservationBranch> belief_successors(const Pomdp& pomdp, const Belie
   constexpr std::size_t kSkip = static_cast<std::size_t>(-1);
   std::vector<std::size_t> branch_of(num_obs, kSkip);
   std::vector<ObsId> kept;
+  std::size_t pruned = 0;
   for (ObsId o = 0; o < num_obs; ++o) {
-    if (weight[o] <= 0.0 || weight[o] < min_probability) continue;
+    if (weight[o] <= 0.0) continue;
+    if (weight[o] < min_probability) {
+      ++pruned;  // reachable branch dropped by the floor
+      continue;
+    }
     branch_of[o] = kept.size();
     kept.push_back(o);
   }
+  static obs::Counter& pruned_counter =
+      obs::metrics().counter("pomdp.belief.branches_pruned");
+  static obs::Counter& kept_counter =
+      obs::metrics().counter("pomdp.belief.branches_kept");
+  if (pruned > 0) pruned_counter.add(pruned);
+  kept_counter.add(kept.size());
 
   std::vector<std::vector<double>> unnormalized(kept.size(),
                                                 std::vector<double>(num_states, 0.0));

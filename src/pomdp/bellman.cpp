@@ -4,11 +4,25 @@
 #include <limits>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace recoverd {
 
 namespace {
+// Tree-shape instruments: a "node" is a belief at which the max over
+// actions is taken (the Max nodes of Fig. 1(b)); leaves are the bound
+// evaluations at depth 0.
+obs::Counter& nodes_expanded_counter() {
+  static obs::Counter& c = obs::metrics().counter("pomdp.bellman.nodes_expanded");
+  return c;
+}
+
+obs::Counter& leaf_evaluations_counter() {
+  static obs::Counter& c = obs::metrics().counter("pomdp.bellman.leaf_evaluations");
+  return c;
+}
+
 struct ExpandContext {
   const Pomdp& pomdp;
   const LeafEvaluator& leaf;
@@ -23,7 +37,11 @@ double action_future_value(const ExpandContext& ctx, const Belief& belief, Actio
                            int depth);
 
 double expand(const ExpandContext& ctx, const Belief& belief, int depth) {
-  if (depth <= 0) return ctx.leaf(belief);
+  if (depth <= 0) {
+    leaf_evaluations_counter().add();
+    return ctx.leaf(belief);
+  }
+  nodes_expanded_counter().add();
   double best = -std::numeric_limits<double>::infinity();
   for (ActionId a = 0; a < ctx.pomdp.num_actions(); ++a) {
     if (a == ctx.skip_action) continue;
@@ -78,6 +96,7 @@ std::vector<ActionValue> bellman_action_values(const Pomdp& pomdp, const Belief&
              "bellman_action_values: branch floor must lie in [0,1)");
 
   const ExpandContext ctx{pomdp, leaf, beta, skip_action, branch_floor};
+  nodes_expanded_counter().add();  // the root Max node
   std::vector<ActionValue> out;
   out.reserve(pomdp.num_actions());
   for (ActionId a = 0; a < pomdp.num_actions(); ++a) {

@@ -2,12 +2,56 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace recoverd::sim {
 
 namespace {
+// Campaign-level instruments, shared by run_episode and run_experiment.
+struct EpisodeInstruments {
+  obs::Counter& episodes;
+  obs::Counter& steps;
+  obs::Counter& monitor_calls;
+  obs::Counter& recovery_actions;
+  obs::Counter& unrecovered;
+  obs::Counter& not_terminated;
+  obs::Histogram& episode_cost;
+  obs::Histogram& episode_steps;
+  obs::Histogram& algorithm_ms;
+
+  static EpisodeInstruments& get() {
+    static EpisodeInstruments instruments{
+        obs::metrics().counter("sim.episodes"),
+        obs::metrics().counter("sim.steps"),
+        obs::metrics().counter("sim.monitor_calls"),
+        obs::metrics().counter("sim.recovery_actions"),
+        obs::metrics().counter("sim.episodes_unrecovered"),
+        obs::metrics().counter("sim.episodes_not_terminated"),
+        obs::metrics().histogram("sim.episode_cost",
+                                 obs::exponential_buckets(1.0, 2.0, 24)),
+        obs::metrics().histogram("sim.episode_steps",
+                                 obs::exponential_buckets(1.0, 2.0, 20)),
+        obs::metrics().histogram("sim.episode_algorithm_ms",
+                                 obs::exponential_buckets(0.001, 2.0, 26)),
+    };
+    return instruments;
+  }
+
+  void record(const EpisodeMetrics& m) {
+    episodes.add();
+    steps.add(m.recovery_actions + m.monitor_calls);
+    monitor_calls.add(m.monitor_calls);
+    recovery_actions.add(m.recovery_actions);
+    if (!m.recovered) unrecovered.add();
+    if (!m.terminated) not_terminated.add();
+    episode_cost.observe(m.cost);
+    episode_steps.observe(static_cast<double>(m.recovery_actions + m.monitor_calls));
+    algorithm_ms.observe(m.algorithm_time_ms);
+  }
+};
+
 // Initial belief over the controller's model: uniform over the fault
 // support (§4 "all faults are equally likely").
 Belief initial_belief(const Pomdp& controller_model, const Pomdp& env_model,
@@ -26,6 +70,9 @@ EpisodeMetrics run_episode(Environment& env, controller::RecoveryController& con
                            StateId fault, const EpisodeConfig& config,
                            EpisodeTrace* trace) {
   const Pomdp& env_model = env.model();
+  RD_EXPECTS(config.observe_action != kInvalidId,
+             "run_episode: EpisodeConfig.observe_action was not set — assign the "
+             "model's monitoring action before running an episode");
   RD_EXPECTS(config.observe_action < env_model.num_actions(),
              "run_episode: observe action out of range");
   RD_EXPECTS(fault < env_model.num_states(), "run_episode: fault out of range");
@@ -37,7 +84,8 @@ EpisodeMetrics run_episode(Environment& env, controller::RecoveryController& con
   controller.begin_episode(initial_belief(controller.model(), env_model, config));
   if (trace != nullptr) *trace = EpisodeTrace{}, trace->set_injected_fault(fault);
 
-  Timer algorithm_timer;
+  // Algorithm time (Table 1) measures *only* the controller's decide();
+  // belief tracking, environment stepping, and trace recording are excluded.
   double algorithm_ms = 0.0;
 
   if (config.initial_observation) {
@@ -47,14 +95,15 @@ EpisodeMetrics run_episode(Environment& env, controller::RecoveryController& con
     ++metrics.monitor_calls;
     if (trace != nullptr) {
       trace->add_step({0, before, config.observe_action, step.next_state, step.obs,
-                       step.reward, env.elapsed_time(), 0.0});
+                       step.reward, env.elapsed_time(), 0.0,
+                       controller.belief().entropy()});
     }
   }
 
   for (std::size_t i = 0; i < config.max_steps; ++i) {
-    algorithm_timer.reset();
+    const Timer decide_timer;
     const controller::Decision decision = controller.decide();
-    algorithm_ms += algorithm_timer.elapsed_ms();
+    algorithm_ms += decide_timer.elapsed_ms();
 
     if (decision.terminate) {
       metrics.terminated = true;
@@ -64,12 +113,13 @@ EpisodeMetrics run_episode(Environment& env, controller::RecoveryController& con
                "run_episode: controller chose an action the environment lacks");
     const double goal_prob = controller.model().mdp().goal_probability(
         controller.belief().probabilities());
+    const double entropy = controller.belief().entropy();
     const StateId before = env.true_state();
     const auto step = env.step(decision.action);
     controller.record(decision.action, step.obs);
     if (trace != nullptr) {
       trace->add_step({0, before, decision.action, step.next_state, step.obs,
-                       step.reward, env.elapsed_time(), goal_prob});
+                       step.reward, env.elapsed_time(), goal_prob, entropy});
     }
     if (decision.action == config.observe_action) {
       ++metrics.monitor_calls;
@@ -86,6 +136,7 @@ EpisodeMetrics run_episode(Environment& env, controller::RecoveryController& con
       std::isinf(env.recovery_entered_time()) ? env.elapsed_time()
                                               : env.recovery_entered_time();
   metrics.algorithm_time_ms = algorithm_ms;
+  EpisodeInstruments::get().record(metrics);
   return metrics;
 }
 

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "obs/json.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 
@@ -21,14 +22,40 @@ void EpisodeTrace::write_csv(std::ostream& os) const {
   CsvWriter csv(os);
   csv.write_row(std::vector<std::string>{"index", "state_before", "action",
                                          "state_after", "obs", "reward",
-                                         "elapsed_after", "goal_probability"});
+                                         "elapsed_after", "goal_probability",
+                                         "belief_entropy"});
   for (const auto& s : steps_) {
     csv.write_row(std::vector<std::string>{
         std::to_string(s.index), std::to_string(s.state_before),
         std::to_string(s.action), std::to_string(s.state_after), std::to_string(s.obs),
         std::to_string(s.reward), std::to_string(s.elapsed_after),
-        std::to_string(s.goal_probability)});
+        std::to_string(s.goal_probability), std::to_string(s.belief_entropy)});
   }
+}
+
+void EpisodeTrace::write_jsonl(std::ostream& os) const {
+  for (const auto& s : steps_) {
+    obs::Json::Object record;
+    record["type"] = obs::Json("step");
+    record["step"] = obs::Json(s.index);
+    record["state_before"] = obs::Json(static_cast<std::uint64_t>(s.state_before));
+    record["action"] = obs::Json(static_cast<std::uint64_t>(s.action));
+    record["state_after"] = obs::Json(static_cast<std::uint64_t>(s.state_after));
+    record["obs"] = obs::Json(static_cast<std::uint64_t>(s.obs));
+    record["reward"] = obs::Json(s.reward);
+    record["elapsed_after"] = obs::Json(s.elapsed_after);
+    record["goal_probability"] = obs::Json(s.goal_probability);
+    record["belief_entropy"] = obs::Json(s.belief_entropy);
+    obs::Json(std::move(record)).write(os);
+    os << '\n';
+  }
+  obs::Json::Object end;
+  end["type"] = obs::Json("episode_end");
+  end["injected_fault"] = obs::Json(static_cast<std::uint64_t>(injected_fault_));
+  end["terminated"] = obs::Json(terminated_);
+  end["steps"] = obs::Json(steps_.size());
+  obs::Json(std::move(end)).write(os);
+  os << '\n';
 }
 
 }  // namespace recoverd::sim

@@ -21,6 +21,7 @@ struct TraceStep {
   double reward = 0.0;
   double elapsed_after = 0.0;  ///< simulation clock after the step
   double goal_probability = 0.0;  ///< controller's P[Sφ] before deciding
+  double belief_entropy = 0.0;  ///< Shannon entropy (nats) of the belief before deciding
 };
 
 /// One recorded episode.
@@ -39,6 +40,13 @@ class EpisodeTrace {
   /// Writes the trace as CSV with a header row. Ids are numeric; pass a
   /// Pomdp through write_csv(os, trace, pomdp) below for named columns.
   void write_csv(std::ostream& os) const;
+
+  /// Structured export: one JSON object per line. Every step becomes a
+  /// `{"type":"step",...}` record carrying step index, belief entropy,
+  /// action, observation, and reward; a final `{"type":"episode_end",...}`
+  /// record carries the injected fault, termination flag, and step count.
+  /// Machine-parseable companion to write_csv for trace analysis tooling.
+  void write_jsonl(std::ostream& os) const;
 
  private:
   StateId injected_fault_ = kInvalidId;

@@ -1,7 +1,10 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
+#include <mutex>
 
 namespace recoverd {
 
@@ -18,6 +21,19 @@ const char* level_name(LogLevel level) {
   }
   return "?????";
 }
+
+// Monotonic seconds since the first log line, so interleaved bench logs can
+// be ordered and correlated with metric timings.
+double monotonic_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+std::mutex& log_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
@@ -26,7 +42,12 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%12.6f", monotonic_seconds());
+  // One mutex-guarded write per line: concurrent bench runs must not
+  // interleave characters of different messages.
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << '[' << stamp << "] [" << level_name(level) << "] " << message << '\n';
 }
 
 }  // namespace recoverd

@@ -1,0 +1,177 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::obs {
+namespace {
+
+// A registry with one instrument of each kind and known values.
+void populate(MetricsRegistry& reg) {
+  reg.counter("linalg.gauss_seidel.sweeps").add(16);
+  reg.gauge("bounds.set.size").set(43.0);
+  Histogram& h = reg.histogram("controller.bounded.decide_ms", {1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(10.0);
+}
+
+TEST(Json, ParsesScalarsAndContainers) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-1.5e2").as_number(), -150.0);
+  EXPECT_EQ(Json::parse("\"a\\n\\\"b\\\"\\u0041\"").as_string(), "a\n\"b\"A");
+  const Json arr = Json::parse(" [1, 2, [3]] ");
+  ASSERT_EQ(arr.as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(arr.as_array()[2].as_array()[0].as_number(), 3.0);
+  const Json obj = Json::parse("{\"k\": {\"nested\": true}, \"n\": 7}");
+  EXPECT_TRUE(obj.contains("k"));
+  EXPECT_FALSE(obj.contains("missing"));
+  EXPECT_TRUE(obj.at("k").at("nested").as_bool());
+  EXPECT_DOUBLE_EQ(obj.at("n").as_number(), 7.0);
+  EXPECT_THROW(obj.at("missing"), PreconditionError);
+  EXPECT_THROW(obj.as_array(), PreconditionError);
+}
+
+TEST(Json, DumpIsCompactSortedAndRoundTrips) {
+  Json::Object o;
+  o["b"] = Json(2);
+  o["a"] = Json(std::string("x"));
+  o["c"] = Json(Json::Array{Json(true), Json(nullptr)});
+  const std::string text = Json(o).dump();
+  EXPECT_EQ(text, "{\"a\":\"x\",\"b\":2,\"c\":[true,null]}");
+  EXPECT_EQ(Json::parse(text).dump(), text);
+}
+
+TEST(Json, IntegersWithin2To53PrintWithoutFraction) {
+  EXPECT_EQ(Json(std::uint64_t{9007199254740992ull}).dump(), "9007199254740992");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json::parse(Json(std::uint64_t{1536}).dump()).as_number(), 1536.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), ModelError);
+  EXPECT_THROW(Json::parse("{"), ModelError);
+  EXPECT_THROW(Json::parse("[1,]"), ModelError);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), ModelError);
+  EXPECT_THROW(Json::parse("{'a':1}"), ModelError);
+  EXPECT_THROW(Json::parse("nul"), ModelError);
+  EXPECT_THROW(Json::parse("1 2"), ModelError);  // trailing garbage
+  EXPECT_THROW(Json::parse("\"unterminated"), ModelError);
+  EXPECT_THROW(Json::parse("\"bad\\q\""), ModelError);
+}
+
+TEST(Export, JsonRoundTripsThroughReadJson) {
+  MetricsRegistry reg;
+  populate(reg);
+  std::ostringstream os;
+  write_json(os, reg.snapshot());
+
+  const MetricsSnapshot back = read_json_text(os.str());
+  ASSERT_EQ(back.counters.size(), 1u);
+  EXPECT_EQ(back.counters[0].name, "linalg.gauss_seidel.sweeps");
+  EXPECT_EQ(back.counters[0].value, 16u);
+  ASSERT_EQ(back.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.gauges[0].value, 43.0);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  const HistogramSample& h = back.histograms[0];
+  EXPECT_EQ(h.uppers, (std::vector<double>{1.0, 2.0, 4.0}));
+  EXPECT_EQ(h.counts, (std::vector<std::uint64_t>{1, 1, 0, 1}));
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 12.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 10.0);
+}
+
+TEST(Export, ReadJsonValidatesSchema) {
+  EXPECT_THROW(read_json_text("{}"), ModelError);
+  EXPECT_THROW(read_json_text("{\"schema\":\"other.v9\",\"counters\":{},"
+                              "\"gauges\":{},\"histograms\":{}}"),
+               ModelError);
+  // Histogram with mismatched uppers/counts lengths must be rejected
+  // (counts must have uppers.size() + 1 entries).
+  EXPECT_THROW(
+      read_json_text("{\"schema\":\"recoverd.metrics.v1\",\"counters\":{},"
+                     "\"gauges\":{},\"histograms\":{\"h\":{\"uppers\":[1],"
+                     "\"counts\":[1],\"count\":1,\"sum\":1,\"min\":1,\"max\":1}}}"),
+      PreconditionError);
+}
+
+TEST(Export, CsvEmitsOneRowPerScalar) {
+  MetricsRegistry reg;
+  populate(reg);
+  std::ostringstream os;
+  write_csv(os, reg.snapshot());
+  const std::string out = os.str();
+
+  std::istringstream lines(out);
+  std::string line;
+  std::vector<std::string> rows;
+  while (std::getline(lines, line)) rows.push_back(line);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0], "metric,kind,field,value");
+  // 1 counter + 1 gauge + histogram (count/sum/min/max + 4 buckets) = 10 rows.
+  EXPECT_EQ(rows.size(), 1u + 1u + 1u + 8u);
+  EXPECT_NE(out.find("linalg.gauss_seidel.sweeps,counter,value,16"), std::string::npos);
+  EXPECT_NE(out.find("bounds.set.size,gauge,value,43"), std::string::npos);
+  EXPECT_NE(out.find("controller.bounded.decide_ms,histogram,count,3"), std::string::npos);
+  EXPECT_NE(out.find(",histogram,le_1,1"), std::string::npos);
+  EXPECT_NE(out.find(",histogram,le_inf,1"), std::string::npos);
+}
+
+TEST(Export, WriteMetricsFilePicksFormatByExtension) {
+  MetricsRegistry reg;
+  populate(reg);
+  const std::string json_path = testing::TempDir() + "obs_export_test.json";
+  const std::string csv_path = testing::TempDir() + "obs_export_test.csv";
+
+  write_metrics_file(json_path, reg.snapshot());
+  std::ifstream jf(json_path);
+  std::stringstream jbuf;
+  jbuf << jf.rdbuf();
+  const MetricsSnapshot back = read_json_text(jbuf.str());
+  EXPECT_EQ(back.counters.size(), 1u);
+
+  write_metrics_file(csv_path, reg.snapshot());
+  std::ifstream cf(csv_path);
+  std::string header;
+  std::getline(cf, header);
+  EXPECT_EQ(header, "metric,kind,field,value");
+
+  std::remove(json_path.c_str());
+  std::remove(csv_path.c_str());
+
+  EXPECT_THROW(write_metrics_file("/nonexistent-dir/metrics.json", reg.snapshot()),
+               ModelError);
+}
+
+TEST(Export, DumpMetricsIfRequestedHonoursFlag) {
+  MetricsRegistry reg;
+  populate(reg);
+  const std::string path = testing::TempDir() + "obs_dump_test.json";
+  const std::string flag = "--metrics-out=" + path;
+  const char* with_flag[] = {"prog", flag.c_str()};
+  const char* without_flag[] = {"prog"};
+
+  EXPECT_FALSE(dump_metrics_if_requested(CliArgs(1, without_flag), reg));
+  EXPECT_TRUE(dump_metrics_if_requested(CliArgs(2, with_flag), reg));
+  std::ifstream f(path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const MetricsSnapshot back = read_json_text(buf.str());
+  EXPECT_EQ(back.gauges.size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace recoverd::obs

@@ -1,0 +1,195 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "obs/scoped_timer.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  g.set(7.0);  // last write wins, not accumulation
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketAssignmentIsInclusiveUpperBound) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.buckets(), 4u);  // three bounds + overflow
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0: x <= uppers[0]
+  h.observe(1.5);   // bucket 1
+  h.observe(4.0);   // bucket 2
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 107.0 / 5.0);
+  EXPECT_THROW(h.bucket_count(4), PreconditionError);
+}
+
+TEST(Histogram, EmptyReportsZeroMinMaxMean) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ResetClearsValuesButKeepsBuckets) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  for (std::size_t i = 0; i < h.buckets(); ++i) EXPECT_EQ(h.bucket_count(i), 0u);
+  EXPECT_EQ(h.uppers(), (std::vector<double>{1.0, 2.0}));
+  h.observe(1.5);  // usable after reset
+  EXPECT_EQ(h.bucket_count(1), 1u);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), PreconditionError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), PreconditionError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), PreconditionError);
+  EXPECT_THROW(Histogram({1.0, std::numeric_limits<double>::infinity()}),
+               PreconditionError);
+}
+
+TEST(BucketHelpers, ExponentialAndLinear) {
+  EXPECT_EQ(exponential_buckets(1.0, 2.0, 4), (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_EQ(linear_buckets(-1.0, 0.5, 3), (std::vector<double>{-1.0, -0.5, 0.0}));
+  EXPECT_THROW(exponential_buckets(0.0, 2.0, 4), PreconditionError);
+  EXPECT_THROW(exponential_buckets(1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(exponential_buckets(1.0, 2.0, 0), PreconditionError);
+  EXPECT_THROW(linear_buckets(0.0, 0.0, 4), PreconditionError);
+  EXPECT_THROW(linear_buckets(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(MetricsRegistry, InternsByName) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  Histogram& h1 = reg.histogram("x.hist", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("x.hist", {1.0, 2.0});  // identical bounds OK
+  Histogram& h3 = reg.histogram("x.hist", {});           // empty = "whatever exists"
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(&h1, &h3);
+  EXPECT_THROW(reg.histogram("x.hist", {1.0, 3.0}), PreconditionError);
+}
+
+TEST(MetricsRegistry, RejectsCrossKindCollisions) {
+  MetricsRegistry reg;
+  reg.counter("a");
+  reg.gauge("b");
+  reg.histogram("c", {1.0});
+  EXPECT_THROW(reg.gauge("a"), PreconditionError);
+  EXPECT_THROW(reg.histogram("a", {1.0}), PreconditionError);
+  EXPECT_THROW(reg.counter("b"), PreconditionError);
+  EXPECT_THROW(reg.histogram("b", {1.0}), PreconditionError);
+  EXPECT_THROW(reg.counter("c"), PreconditionError);
+  EXPECT_THROW(reg.gauge("c"), PreconditionError);
+}
+
+TEST(MetricsRegistry, SnapshotIsOrderedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("z.late").add(2);
+  reg.counter("a.early").add(1);
+  reg.gauge("g.one").set(0.25);
+  Histogram& h = reg.histogram("h.one", {1.0, 2.0});
+  h.observe(1.5);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.early");  // sorted by name
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_EQ(snap.counters[1].name, "z.late");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 0.25);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSample& hs = snap.histograms[0];
+  EXPECT_EQ(hs.uppers.size() + 1, hs.counts.size());
+  EXPECT_EQ(hs.counts, (std::vector<std::uint64_t>{0, 1, 0}));
+  EXPECT_EQ(hs.count, 1u);
+  EXPECT_DOUBLE_EQ(hs.sum, 1.5);
+}
+
+TEST(MetricsRegistry, ResetKeepsRegistrationsValid) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("keep.me");
+  Gauge& g = reg.gauge("keep.gauge");
+  Histogram& h = reg.histogram("keep.hist", {1.0});
+  c.add(10);
+  g.set(5.0);
+  h.observe(0.5);
+  reg.reset();
+  // Cached references survive reset and still point at the live instruments.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  c.add(1);
+  EXPECT_EQ(reg.counter("keep.me").value(), 1u);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.histograms.size(), 1u);
+}
+
+TEST(GlobalRegistry, IsASingleton) {
+  EXPECT_EQ(&metrics(), &metrics());
+}
+
+TEST(ScopedTimer, RecordsOnDestructionAndStop) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("timer.test_ms", exponential_buckets(0.001, 10.0, 8));
+  {
+    ScopedTimer t(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.min(), 0.0);
+
+  ScopedTimer t(h);
+  const double ms = t.stop();
+  EXPECT_GE(ms, 0.0);
+  EXPECT_EQ(h.count(), 2u);
+  // stop() flushes; a second stop (and destruction) must not double-record.
+  EXPECT_DOUBLE_EQ(t.stop(), 0.0);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+}  // namespace
+}  // namespace recoverd::obs

@@ -1,0 +1,107 @@
+// Acceptance test for the observability stack: run a real recovery episode
+// through the bounded controller, dump the global registry as JSON, parse
+// it back, and check that every paper-facing instrument reported.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "bounds/ra_bound.hpp"
+#include "controller/bounded_controller.hpp"
+#include "models/two_server.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/experiment.hpp"
+
+namespace recoverd {
+namespace {
+
+obs::Json episode_metrics_json() {
+  // Each gtest case runs in its own process under ctest, but reset anyway so
+  // the numbers below are attributable to this episode alone.
+  obs::metrics().reset();
+
+  const Pomdp base = models::make_two_server();
+  const Pomdp recovery = models::make_two_server_without_notification(3600.0);
+  const auto ids = models::two_server_ids(base);
+  bounds::BoundSet set = bounds::make_ra_bound_set(recovery.mdp());
+  controller::BoundedController ctrl(recovery, set);
+
+  sim::Environment env(base, Rng(5));
+  sim::EpisodeConfig config;
+  config.observe_action = ids.observe;
+  config.fault_support = {ids.fault_a, ids.fault_b};
+  sim::run_episode(env, ctrl, ids.fault_a, config);
+
+  std::ostringstream os;
+  obs::write_json(os, obs::metrics().snapshot());
+  // The exporter's own reader must accept what it wrote (schema + bucket
+  // consistency checks live there).
+  obs::read_json_text(os.str());
+  return obs::Json::parse(os.str());
+}
+
+TEST(MetricsSchema, EpisodeDumpContainsThePaperFacingInstruments) {
+  const obs::Json doc = episode_metrics_json();
+
+  EXPECT_EQ(doc.at("schema").as_string(), "recoverd.metrics.v1");
+  const obs::Json& counters = doc.at("counters");
+  const obs::Json& gauges = doc.at("gauges");
+  const obs::Json& histograms = doc.at("histograms");
+
+  // Gauss–Seidel sweep count (Eq. 5 solves behind the RA-Bound).
+  EXPECT_GE(counters.at("linalg.gauss_seidel.sweeps").as_number(), 1.0);
+  EXPECT_GE(counters.at("linalg.gauss_seidel.solves").as_number(), 1.0);
+  EXPECT_GE(counters.at("bounds.ra_bound.solves").as_number(), 1.0);
+
+  // RA-Bound hyperplane count: one RA vector plus any accepted Eq. 7 updates.
+  EXPECT_GE(gauges.at("bounds.set.size").as_number(), 1.0);
+
+  // Eq. 7 incremental updates: decide() improves the set at the current belief.
+  EXPECT_GE(counters.at("bounds.update.attempted").as_number(), 1.0);
+  ASSERT_TRUE(counters.contains("bounds.update.accepted"));
+  ASSERT_TRUE(counters.contains("bounds.update.rejected"));
+  EXPECT_EQ(counters.at("bounds.update.attempted").as_number(),
+            counters.at("bounds.update.accepted").as_number() +
+                counters.at("bounds.update.rejected").as_number());
+
+  // Max-Avg tree volume and branch pruning.
+  EXPECT_GE(counters.at("pomdp.bellman.nodes_expanded").as_number(), 1.0);
+  EXPECT_GE(counters.at("pomdp.belief.branches_kept").as_number(), 1.0);
+  ASSERT_TRUE(counters.contains("pomdp.belief.branches_pruned"));
+
+  // decide() latency histogram: one sample per decision, buckets consistent.
+  const double decides = counters.at("controller.bounded.decides").as_number();
+  EXPECT_GE(decides, 1.0);
+  const obs::Json& latency = histograms.at("controller.bounded.decide_ms");
+  EXPECT_EQ(latency.at("count").as_number(), decides);
+  EXPECT_EQ(latency.at("counts").as_array().size(),
+            latency.at("uppers").as_array().size() + 1);
+  double bucket_total = 0.0;
+  for (const auto& c : latency.at("counts").as_array()) bucket_total += c.as_number();
+  EXPECT_EQ(bucket_total, decides);
+  EXPECT_EQ(histograms.at("controller.bounded.nodes_per_decide").at("count").as_number(),
+            decides);
+
+  // Experiment-harness aggregates.
+  EXPECT_EQ(counters.at("sim.episodes").as_number(), 1.0);
+  EXPECT_GE(counters.at("sim.steps").as_number(), 1.0);
+  EXPECT_EQ(histograms.at("sim.episode_cost").at("count").as_number(), 1.0);
+}
+
+TEST(MetricsSchema, ResetZeroesTheEpisodeCounters) {
+  episode_metrics_json();
+  obs::metrics().reset();
+  std::ostringstream os;
+  obs::write_json(os, obs::metrics().snapshot());
+  const obs::Json doc = obs::Json::parse(os.str());
+  // Registrations survive (the keys are still there) but values are zero.
+  EXPECT_EQ(doc.at("counters").at("controller.bounded.decides").as_number(), 0.0);
+  EXPECT_EQ(doc.at("counters").at("sim.episodes").as_number(), 0.0);
+  EXPECT_EQ(doc.at("histograms").at("controller.bounded.decide_ms").at("count").as_number(),
+            0.0);
+}
+
+}  // namespace
+}  // namespace recoverd

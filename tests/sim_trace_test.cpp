@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "bounds/ra_bound.hpp"
+#include "obs/json.hpp"
 #include "controller/bounded_controller.hpp"
 #include "models/two_server.hpp"
 #include "sim/experiment.hpp"
@@ -72,6 +76,64 @@ TEST(EpisodeTrace, HarnessFillsTraceConsistently) {
   // The first step is the initial monitor reading.
   EXPECT_EQ(trace.step(0).action, ids.observe);
   EXPECT_EQ(trace.step(0).state_before, ids.fault_a);
+}
+
+TEST(EpisodeTrace, JsonlExportEmitsStepsAndEpisodeEnd) {
+  EpisodeTrace trace;
+  trace.set_injected_fault(3);
+  trace.set_terminated(true);
+  trace.add_step({0, 1, 2, 0, 3, -1.5, 4.0, 0.25, 0.69});
+  trace.add_step({1, 0, 1, 2, 0, -0.5, 5.0, 0.5, 0.1});
+  std::ostringstream os;
+  trace.write_jsonl(os);
+
+  std::istringstream lines(os.str());
+  std::string line;
+  std::vector<obs::Json> records;
+  while (std::getline(lines, line)) records.push_back(obs::Json::parse(line));
+  ASSERT_EQ(records.size(), 3u);  // two steps + episode_end
+
+  EXPECT_EQ(records[0].at("type").as_string(), "step");
+  EXPECT_EQ(records[0].at("step").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(records[0].at("reward").as_number(), -1.5);
+  EXPECT_DOUBLE_EQ(records[0].at("belief_entropy").as_number(), 0.69);
+  EXPECT_EQ(records[1].at("action").as_number(), 1.0);
+  EXPECT_EQ(records[1].at("obs").as_number(), 0.0);
+
+  const obs::Json& end = records[2];
+  EXPECT_EQ(end.at("type").as_string(), "episode_end");
+  EXPECT_EQ(end.at("injected_fault").as_number(), 3.0);
+  EXPECT_TRUE(end.at("terminated").as_bool());
+  EXPECT_EQ(end.at("steps").as_number(), 2.0);
+}
+
+TEST(EpisodeTrace, HarnessRecordsBeliefEntropy) {
+  const Pomdp base = models::make_two_server();
+  const Pomdp recovery = models::make_two_server_without_notification(3600.0);
+  const auto ids = models::two_server_ids(base);
+  bounds::BoundSet set = bounds::make_ra_bound_set(recovery.mdp());
+  controller::BoundedController c(recovery, set);
+  Environment env(base, Rng(5));
+  EpisodeConfig config;
+  config.observe_action = ids.observe;
+  config.fault_support = {ids.fault_a, ids.fault_b};
+
+  EpisodeTrace trace;
+  run_episode(env, c, ids.fault_a, config, &trace);
+  ASSERT_GE(trace.size(), 1u);
+  // Step 0 records the posterior after the initial monitor reading: at most
+  // the entropy of the uniform prior over the two-fault support (ln 2 nats).
+  EXPECT_LE(trace.step(0).belief_entropy, std::log(2.0) + 1e-9);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_GE(trace.step(i).belief_entropy, 0.0);
+    // Entropy of any belief over |S| states is bounded by ln |S|.
+    EXPECT_LE(trace.step(i).belief_entropy,
+              std::log(static_cast<double>(recovery.num_states())) + 1e-9);
+  }
+  // CSV export carries the entropy column.
+  std::ostringstream os;
+  trace.write_csv(os);
+  EXPECT_NE(os.str().find("belief_entropy"), std::string::npos);
 }
 
 TEST(EpisodeTrace, ReusedTraceIsReset) {

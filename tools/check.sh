@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-command verification gate for PRs:
+#   1. tier-1: Release configure + build + full ctest run (the ROADMAP gate);
+#   2. sanitize: RelWithDebInfo + ASan/UBSan build + full ctest run.
+#
+# Usage: tools/check.sh            # both passes
+#        SKIP_SANITIZE=1 tools/check.sh   # tier-1 only
+#        JOBS=8 tools/check.sh     # override parallelism
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: Release build + ctest =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
+  echo "== sanitize: ASan/UBSan build + ctest (CMakePresets.json 'sanitize') =="
+  cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all"
+  cmake --build build-sanitize -j "$JOBS"
+  ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
+fi
+
+echo "All checks passed."
