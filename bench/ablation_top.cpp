@@ -50,7 +50,11 @@ int run(const CliArgs& args) {
     controller::BoundedControllerOptions opts;
     opts.branch_floor = setup.branch_floor;
     controller::BoundedController c(recovery, set, opts);
-    const auto result = run_experiment(base, c, injector, faults, setup.seed, config);
+    const sim::ControllerFactory factory = [&recovery, set, opts] {
+      return controller::BoundedController::make_owning(recovery, set, opts);
+    };
+    const auto result =
+        run_campaign(base, c, factory, injector, faults, setup.seed, config, setup.jobs);
 
     table.add_row({TextTable::num(top, 0), TextTable::num(result.cost.mean()),
                    TextTable::num(result.recovery_time.mean()),
@@ -73,7 +77,8 @@ int run(const CliArgs& args) {
 int main(int argc, char** argv) {
   const recoverd::CliArgs args(argc, argv);
   args.require_known({"metrics-out", "faults", "top", "seed", "capacity", "branch-floor",
-                      "termination-probability", "bootstrap-runs", "bootstrap-depth"});
+                      "termination-probability", "bootstrap-runs", "bootstrap-depth",
+                      "jobs"});
   const int code = recoverd::bench::run(args);
   recoverd::obs::dump_metrics_if_requested(args);
   return code;

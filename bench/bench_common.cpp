@@ -18,7 +18,21 @@ EmnExperimentSetup parse_emn_setup(const CliArgs& args) {
   setup.bootstrap_runs =
       static_cast<std::size_t>(args.get_int("bootstrap-runs", 10));
   setup.bootstrap_depth = static_cast<int>(args.get_int("bootstrap-depth", 2));
+  setup.jobs = args.get_jobs(1);
   return setup;
+}
+
+sim::ExperimentResult run_campaign(const Pomdp& env_model,
+                                   controller::RecoveryController& serial_controller,
+                                   const sim::ControllerFactory& factory,
+                                   const sim::FaultInjector& injector,
+                                   std::size_t episodes, std::uint64_t seed,
+                                   const sim::EpisodeConfig& config, std::size_t jobs) {
+  if (jobs <= 1) {
+    return sim::run_experiment(env_model, serial_controller, injector, episodes, seed,
+                               config);
+  }
+  return sim::run_experiment(env_model, factory, injector, episodes, seed, config, jobs);
 }
 
 sim::FaultInjector make_zombie_injector(const Pomdp& base_model,

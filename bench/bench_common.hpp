@@ -22,11 +22,26 @@ struct EmnExperimentSetup {
   double termination_probability = 0.9999;
   std::size_t bootstrap_runs = 10;
   int bootstrap_depth = 2;
+  std::size_t jobs = 1;  ///< worker threads for the episode runner (--jobs)
 };
 
 /// Parses the common flags (--top, --seed, --capacity, --branch-floor,
-/// --termination-probability, --bootstrap-runs, --bootstrap-depth).
+/// --termination-probability, --bootstrap-runs, --bootstrap-depth, --jobs).
 EmnExperimentSetup parse_emn_setup(const CliArgs& args);
+
+/// Runs a fault-injection campaign with `jobs` workers. jobs == 1 drives
+/// `serial_controller` through the serial runner — the paper's
+/// configuration, where one long-lived controller carries its online bound
+/// improvements across episodes. jobs > 1 switches to the parallel runner:
+/// fresh per-episode controllers from `factory` on pre-derived RNG streams,
+/// whose aggregates are identical for every worker count (see DESIGN.md §8)
+/// though not to the accumulating serial configuration.
+sim::ExperimentResult run_campaign(const Pomdp& env_model,
+                                   controller::RecoveryController& serial_controller,
+                                   const sim::ControllerFactory& factory,
+                                   const sim::FaultInjector& injector,
+                                   std::size_t episodes, std::uint64_t seed,
+                                   const sim::EpisodeConfig& config, std::size_t jobs);
 
 /// The §5 fault-injection campaign: zombie faults only, uniform.
 sim::FaultInjector make_zombie_injector(const Pomdp& base_model,

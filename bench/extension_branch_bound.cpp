@@ -50,8 +50,12 @@ int run(const CliArgs& args) {
     controller::BoundedControllerOptions opts;
     opts.branch_floor = setup.branch_floor;
     controller::BoundedController c(recovery, set, opts);
+    const sim::ControllerFactory factory = [&recovery, set, opts] {
+      return controller::BoundedController::make_owning(recovery, set, opts);
+    };
     rows.push_back({"Bounded", "1",
-                    run_experiment(base, c, injector, faults, setup.seed, config)});
+                    run_campaign(base, c, factory, injector, faults, setup.seed, config,
+                                 setup.jobs)});
   }
 
   // Branch-and-bound controller (lower + sawtooth upper).
@@ -73,7 +77,9 @@ int run(const CliArgs& args) {
     controller::IntervalController c(recovery, set, upper, opts);
 
     // Instrumented campaign: reuse run_experiment for the metrics and make a
-    // short instrumented pass for the gap/pruning statistics.
+    // short instrumented pass for the gap/pruning statistics. Always serial
+    // (ignores --jobs): the diagnostics below read the long-lived sawtooth
+    // set the campaign grew, which per-episode controllers would discard.
     rows.push_back({"BranchBound", "1",
                     run_experiment(base, c, injector, faults, setup.seed, config)});
 
@@ -116,7 +122,8 @@ int run(const CliArgs& args) {
 int main(int argc, char** argv) {
   const recoverd::CliArgs args(argc, argv);
   args.require_known({"metrics-out", "faults", "top", "seed", "capacity", "branch-floor",
-                      "termination-probability", "bootstrap-runs", "bootstrap-depth"});
+                      "termination-probability", "bootstrap-runs", "bootstrap-depth",
+                      "jobs"});
   const int code = recoverd::bench::run(args);
   recoverd::obs::dump_metrics_if_requested(args);
   return code;

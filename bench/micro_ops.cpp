@@ -97,6 +97,56 @@ void BM_TreeExpansion(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeExpansion)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
 
+// Depth x branch-floor sweep of the Max-Avg expansion, compatibility
+// wrapper path: thread-local engine + std::function leaf + Belief
+// construction at every leaf. Args: (depth, floor in thousandths).
+void BM_ExpansionWrapper(benchmark::State& state) {
+  const Pomdp& p = emn_recovery();
+  const Belief pi = uniform_fault_belief();
+  bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
+  const LeafEvaluator leaf = [&set](const Belief& b) {
+    return set.evaluate(b.probabilities());
+  };
+  const int depth = static_cast<int>(state.range(0));
+  const double floor = static_cast<double>(state.range(1)) * 1e-3;
+  for (auto _ : state) {
+    const auto best = bellman_best_action(p, pi, depth, leaf, 1.0, kInvalidId, floor);
+    benchmark::DoNotOptimize(best.value);
+  }
+  state.counters["floor_milli"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_ExpansionWrapper)
+    ->ArgsProduct({{1, 2, 3}, {1, 10}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Same sweep through a directly-owned ExpansionEngine with a devirtualized
+// SpanLeaf — the controllers' configuration. The delta against
+// BM_ExpansionWrapper is the residual wrapper overhead (std::function leaf
+// + per-leaf Belief copies); the delta against the committed pre-refactor
+// BENCH_expansion.json baseline is the full engine win.
+void BM_ExpansionEngine(benchmark::State& state) {
+  const Pomdp& p = emn_recovery();
+  const Belief pi = uniform_fault_belief();
+  bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
+  const auto leaf_fn = [&set](std::span<const double> posterior) {
+    return set.evaluate(posterior);
+  };
+  ExpansionEngine engine(p);
+  ExpansionOptions opts;
+  opts.branch_floor = static_cast<double>(state.range(1)) * 1e-3;
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto best =
+        engine.best_action(pi.probabilities(), depth, SpanLeaf::of(leaf_fn), opts);
+    benchmark::DoNotOptimize(best.value);
+  }
+  state.counters["floor_milli"] = static_cast<double>(state.range(1));
+  state.counters["arena_bytes"] = static_cast<double>(engine.arena_bytes());
+}
+BENCHMARK(BM_ExpansionEngine)
+    ->ArgsProduct({{1, 2, 3}, {1, 10}})
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_RaBoundEmn(benchmark::State& state) {
   const Pomdp& p = emn_recovery();
   for (auto _ : state) {

@@ -10,6 +10,9 @@
 //                    depth-3 tree is ~100x costlier per decision; raise for
 //                    tighter confidence intervals)
 //   --top=SECONDS    operator response time (default 21600 = 6 h)
+//   --jobs=N         worker threads for the episode runner (default 1 =
+//                    serial, the paper's accumulating-controller setup; the
+//                    Oracle row is always serial)
 //   --seed, --capacity, --branch-floor, --termination-probability,
 //   --bootstrap-runs, --bootstrap-depth  (see bench_common)
 #include <iostream>
@@ -47,8 +50,12 @@ int run(const CliArgs& args) {
     opts.observe_action = ids.topo.observe_action;
     opts.termination_probability = setup.termination_probability;
     controller::MostLikelyController c(base, opts);
+    const sim::ControllerFactory factory = [&base, opts] {
+      return std::make_unique<controller::MostLikelyController>(base, opts);
+    };
     rows.push_back({"Most Likely", "1",
-                    run_experiment(base, c, injector, faults, setup.seed, config)});
+                    run_campaign(base, c, factory, injector, faults, setup.seed, config,
+                                 setup.jobs)});
     std::cerr << "most-likely done\n";
   }
 
@@ -60,9 +67,13 @@ int run(const CliArgs& args) {
     opts.termination_probability = setup.termination_probability;
     opts.branch_floor = setup.branch_floor;
     controller::HeuristicController c(base, opts);
+    const sim::ControllerFactory factory = [&base, opts] {
+      return std::make_unique<controller::HeuristicController>(base, opts);
+    };
     const std::size_t n = heuristic_faults[depth - 1];
     rows.push_back({"Heuristic", std::to_string(depth),
-                    run_experiment(base, c, injector, n, setup.seed, config)});
+                    run_campaign(base, c, factory, injector, n, setup.seed, config,
+                                 setup.jobs)});
     std::cerr << "heuristic d" << depth << " done\n";
   }
 
@@ -85,8 +96,14 @@ int run(const CliArgs& args) {
     opts.tree_depth = 1;
     opts.branch_floor = setup.branch_floor;
     controller::BoundedController c(recovery, set, opts);
+    // Parallel episodes each start from a private copy of the warm
+    // bootstrapped set (snapshotted here, before the serial run mutates it).
+    const sim::ControllerFactory factory = [&recovery, set, opts] {
+      return controller::BoundedController::make_owning(recovery, set, opts);
+    };
     rows.push_back({"Bounded", "1",
-                    run_experiment(base, c, injector, faults, setup.seed, config)});
+                    run_campaign(base, c, factory, injector, faults, setup.seed, config,
+                                 setup.jobs)});
     std::cerr << "bounded done, final |B|=" << set.size() << "\n";
   }
 
@@ -104,16 +121,7 @@ int run(const CliArgs& args) {
       sim::Environment env(base, episode_rng.split());
       controller::OracleController oracle(base, [&env] { return env.true_state(); });
       const StateId fault = injector.sample(episode_rng);
-      const auto m = run_episode(env, oracle, fault, oracle_config);
-      result.cost.add(m.cost);
-      result.recovery_time.add(m.recovery_time);
-      result.residual_time.add(m.residual_time);
-      result.algorithm_time_ms.add(m.algorithm_time_ms);
-      result.recovery_actions.add(static_cast<double>(m.recovery_actions));
-      result.monitor_calls.add(static_cast<double>(m.monitor_calls));
-      ++result.episodes;
-      if (!m.recovered) ++result.unrecovered;
-      if (!m.terminated) ++result.not_terminated;
+      result.add(run_episode(env, oracle, fault, oracle_config));
     }
     rows.push_back({"Oracle", "-", result});
   }
@@ -136,7 +144,7 @@ int main(int argc, char** argv) {
   const recoverd::CliArgs args(argc, argv);
   args.require_known({"metrics-out", "faults", "faults-d2", "faults-d3", "top", "seed", "capacity",
                       "branch-floor", "termination-probability", "bootstrap-runs",
-                      "bootstrap-depth"});
+                      "bootstrap-depth", "jobs"});
   const int code = recoverd::bench::run(args);
   recoverd::obs::dump_metrics_if_requested(args);
   return code;

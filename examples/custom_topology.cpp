@@ -25,9 +25,10 @@
 int main(int argc, char** argv) {
   using namespace recoverd;
   const CliArgs args(argc, argv);
-  args.require_known({"faults", "seed", "metrics-out"});
+  args.require_known({"faults", "seed", "metrics-out", "jobs"});
   const auto episodes = static_cast<std::size_t>(args.get_int("faults", 200));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+  const std::size_t jobs = args.get_jobs(1);
 
   // --- describe the system -------------------------------------------------
   models::Topology topo;
@@ -88,8 +89,18 @@ int main(int argc, char** argv) {
   sim::EpisodeConfig config;
   config.observe_action = ids.observe_action;
 
-  const auto result =
-      sim::run_experiment(base, controller, injector, episodes, seed, config);
+  // --jobs=1 (default) keeps the paper's accumulating single-controller
+  // setup; higher values run fresh-per-episode controllers in parallel,
+  // each starting from a copy of the warm bootstrapped set.
+  sim::ExperimentResult result;
+  if (jobs <= 1) {
+    result = sim::run_experiment(base, controller, injector, episodes, seed, config);
+  } else {
+    const sim::ControllerFactory factory = [&recovery, set, opts] {
+      return recoverd::controller::BoundedController::make_owning(recovery, set, opts);
+    };
+    result = sim::run_experiment(base, factory, injector, episodes, seed, config, jobs);
+  }
 
   TextTable table;
   table.set_header({"Metric", "Per-fault mean", "95% CI"});

@@ -1,6 +1,7 @@
 #include "bounds/bound_set.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -83,7 +84,11 @@ void BoundSet::protect(std::size_t index) {
 
 double BoundSet::evaluate(std::span<const double> belief) const {
   const std::size_t best = best_index(belief);
-  ++entries_[best].uses;
+  // Concurrent evaluations happen during the expansion engine's root
+  // fan-out; the use-count bump is the only write, made atomic so the race
+  // is benign. (Mutations — add/protect — still require exclusive access.)
+  std::atomic_ref<std::size_t>(entries_[best].uses)
+      .fetch_add(1, std::memory_order_relaxed);
   return linalg::dot(entries_[best].vector, belief);
 }
 

@@ -46,6 +46,9 @@ class BoundSet {
 
   /// V_B⁻(π) = max_b ⟨b, π⟩, and records a "use" of the attaining vector
   /// (for least-used eviction). Precondition: at least one vector stored.
+  /// Safe to call concurrently (the use-count bump is a relaxed atomic) as
+  /// long as no thread mutates the set — the expansion engine relies on
+  /// this for its root-action fan-out.
   double evaluate(std::span<const double> belief) const;
 
   /// Index of the hyperplane attaining the max at `belief`.

@@ -1,6 +1,7 @@
 #include "bounds/sawtooth_upper.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "bounds/upper_bound.hpp"
@@ -34,9 +35,12 @@ double SawtoothUpperBound::interpolate(const Point& point,
 }
 
 double SawtoothUpperBound::evaluate(const Belief& belief) const {
-  RD_EXPECTS(belief.size() == corners_.size(),
+  return evaluate(belief.probabilities());
+}
+
+double SawtoothUpperBound::evaluate(std::span<const double> pi) const {
+  RD_EXPECTS(pi.size() == corners_.size(),
              "SawtoothUpperBound::evaluate: belief dimension mismatch");
-  const auto pi = belief.probabilities();
   double best = linalg::dot(corners_, pi);
   const Point* winner = nullptr;
   for (const auto& point : points_) {
@@ -46,7 +50,11 @@ double SawtoothUpperBound::evaluate(const Belief& belief) const {
       winner = &point;
     }
   }
-  if (winner != nullptr) ++winner->uses;
+  // Relaxed atomic so concurrent evaluations during root fan-out race
+  // benignly on the eviction statistic.
+  if (winner != nullptr) {
+    std::atomic_ref<std::size_t>(winner->uses).fetch_add(1, std::memory_order_relaxed);
+  }
   return best;
 }
 

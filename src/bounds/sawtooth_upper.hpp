@@ -35,6 +35,11 @@ class SawtoothUpperBound {
   /// UB(π).
   double evaluate(const Belief& belief) const;
 
+  /// UB(π) over a raw span — the expansion engine's leaf entry point (no
+  /// Belief construction). Safe to call concurrently (the use-count bump is
+  /// a relaxed atomic) as long as no thread mutates the point set.
+  double evaluate(std::span<const double> pi) const;
+
   /// Corner (QMDP) values.
   const std::vector<double>& corner_values() const { return corners_; }
 

@@ -30,9 +30,15 @@ BootstrapTrace bootstrap_bounds(const Pomdp& model, bounds::BoundSet& set,
   trace.bound_at_reference.reserve(options.iterations);
   trace.set_sizes.reserve(options.iterations);
 
-  const LeafEvaluator leaf = [&set](const Belief& b) {
-    return set.evaluate(b.probabilities());
+  // The bootstrap drives many expansions over one model: run them on a
+  // local engine with a devirtualized leaf so the warm arena is reused for
+  // the whole warm-up.
+  ExpansionEngine engine(model);
+  const auto leaf = [&set](std::span<const double> posterior) {
+    return set.evaluate(posterior);
   };
+  ExpansionOptions expansion;
+  expansion.branch_floor = options.branch_floor;
 
   for (std::size_t iter = 0; iter < options.iterations; ++iter) {
     // Choose the episode's hidden fault and starting belief.
@@ -54,8 +60,9 @@ BootstrapTrace bootstrap_bounds(const Pomdp& model, bounds::BoundSet& set,
     for (std::size_t step = 0; step < options.max_episode_steps; ++step) {
       bounds::improve_at(model, set, belief);
 
-      const ActionValue best = bellman_best_action(model, belief, options.tree_depth, leaf,
-                                                   1.0, kInvalidId, options.branch_floor);
+      const ActionValue best = engine.best_action(belief.probabilities(),
+                                                  options.tree_depth,
+                                                  SpanLeaf::of(leaf), expansion);
       if (model.has_terminate_action() && best.action == model.terminate_action()) break;
       if (!model.has_terminate_action() &&
           model.mdp().goal_probability(belief.probabilities()) >= 1.0 - 1e-9) {

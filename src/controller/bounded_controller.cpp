@@ -39,11 +39,24 @@ BoundedController::BoundedController(const Pomdp& model, bounds::BoundSet& set,
     : BeliefTrackingController(model),
       name_("Bounded(d=" + std::to_string(options.tree_depth) + ")"),
       set_(set),
-      options_(options) {
+      options_(options),
+      engine_(model) {
   RD_EXPECTS(options.tree_depth >= 1, "BoundedController: tree depth must be >= 1");
+  RD_EXPECTS(options.root_jobs >= 1, "BoundedController: root_jobs must be >= 1");
   RD_EXPECTS(set.dimension() == model.num_states(),
              "BoundedController: bound set dimension mismatch");
   RD_EXPECTS(set.size() > 0, "BoundedController: bound set must be seeded (RA-Bound)");
+}
+
+std::unique_ptr<BoundedController> BoundedController::make_owning(
+    const Pomdp& model, bounds::BoundSet set, BoundedControllerOptions options) {
+  auto owned = std::make_unique<bounds::BoundSet>(std::move(set));
+  // The reference member binds to the heap copy, whose address is stable;
+  // adopting the unique_ptr afterwards ties the lifetimes together.
+  std::unique_ptr<BoundedController> controller(
+      new BoundedController(model, *owned, options));
+  controller->owned_set_ = std::move(owned);
+  return controller;
 }
 
 Decision BoundedController::decide() {
@@ -69,14 +82,21 @@ Decision BoundedController::decide() {
     }
   }
 
-  const LeafEvaluator leaf = [this](const Belief& b) {
-    return set_.evaluate(b.probabilities());
+  // Devirtualized leaf: the engine hands already-normalised posterior spans
+  // straight to the hyperplane max — no Belief construction, no
+  // std::function indirection.
+  const auto leaf = [this](std::span<const double> posterior) {
+    return set_.evaluate(posterior);
   };
+  ExpansionOptions expansion;
+  expansion.branch_floor = options_.branch_floor;
+  expansion.root_jobs = options_.root_jobs;
   const std::uint64_t nodes_before = instruments.nodes_expanded.value();
-  const auto values = bellman_action_values(pomdp, pi, options_.tree_depth, leaf, 1.0,
-                                            kInvalidId, options_.branch_floor);
+  engine_.action_values(pi.probabilities(), options_.tree_depth, SpanLeaf::of(leaf),
+                        expansion, values_);
   instruments.nodes_per_decide.observe(
       static_cast<double>(instruments.nodes_expanded.value() - nodes_before));
+  const std::vector<ActionValue>& values = values_;
   ActionValue best = values.front();
   for (const auto& av : values) {
     if (av.value > best.value) best = av;

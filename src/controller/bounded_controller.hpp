@@ -14,9 +14,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bounds/bound_set.hpp"
 #include "controller/controller.hpp"
+#include "pomdp/expansion.hpp"
 
 namespace recoverd::controller {
 
@@ -40,6 +42,10 @@ struct BoundedControllerOptions {
   /// mass outside Sφ ∪ {sT}: the bound is already tight there and the
   /// update would only burn time (§4.3's cost-limiting advice).
   double improvement_min_fault_mass = 0.01;
+  /// Threads over which each decide() fans out the root actions (1 =
+  /// serial). The fan-out is exact — per-action subtrees are independent —
+  /// so any value yields bit-identical decisions; only wall-clock changes.
+  int root_jobs = 1;
 };
 
 /// Bounded controller over a §3.1-transformed model. The model must either
@@ -53,6 +59,14 @@ class BoundedController : public BeliefTrackingController {
   BoundedController(const Pomdp& model, bounds::BoundSet& set,
                     BoundedControllerOptions options = {});
 
+  /// Variant that owns a private copy of the bound set — the building block
+  /// of the parallel experiment runner, where every episode gets a fresh
+  /// controller (and fresh bound state) so results do not depend on which
+  /// worker ran which episode.
+  static std::unique_ptr<BoundedController> make_owning(const Pomdp& model,
+                                                        bounds::BoundSet set,
+                                                        BoundedControllerOptions options = {});
+
   const std::string& name() const override { return name_; }
   Decision decide() override;
 
@@ -60,8 +74,11 @@ class BoundedController : public BeliefTrackingController {
 
  private:
   std::string name_;
+  std::unique_ptr<bounds::BoundSet> owned_set_;  // only set via make_owning()
   bounds::BoundSet& set_;
   BoundedControllerOptions options_;
+  ExpansionEngine engine_;
+  std::vector<ActionValue> values_;  // reused across decide() calls
 };
 
 }  // namespace recoverd::controller

@@ -15,7 +15,8 @@ IntervalController::IntervalController(const Pomdp& model, bounds::BoundSet& low
       name_("BranchBound(d=" + std::to_string(options.tree_depth) + ")"),
       lower_(lower),
       upper_(upper),
-      options_(options) {
+      options_(options),
+      engine_(model) {
   RD_EXPECTS(options.tree_depth >= 1, "IntervalController: tree depth must be >= 1");
   RD_EXPECTS(lower.dimension() == model.num_states(),
              "IntervalController: lower bound dimension mismatch");
@@ -43,17 +44,22 @@ Decision IntervalController::decide() {
     }
   }
 
-  const LeafEvaluator lower_leaf = [this](const Belief& b) {
-    return lower_.evaluate(b.probabilities());
+  // Both expansions run on the controller's engine with devirtualized span
+  // leaves — no Belief construction at the leaves of either tree.
+  const auto lower_leaf = [this](std::span<const double> posterior) {
+    return lower_.evaluate(posterior);
   };
-  const LeafEvaluator upper_leaf = [this](const Belief& b) { return upper_.evaluate(b); };
-
-  const auto lower_values = bellman_action_values(pomdp, pi, options_.tree_depth,
-                                                  lower_leaf, 1.0, kInvalidId,
-                                                  options_.branch_floor);
-  const auto upper_values = bellman_action_values(pomdp, pi, options_.tree_depth,
-                                                  upper_leaf, 1.0, kInvalidId,
-                                                  options_.branch_floor);
+  const auto upper_leaf = [this](std::span<const double> posterior) {
+    return upper_.evaluate(posterior);
+  };
+  ExpansionOptions expansion;
+  expansion.branch_floor = options_.branch_floor;
+  engine_.action_values(pi.probabilities(), options_.tree_depth,
+                        SpanLeaf::of(lower_leaf), expansion, lower_values_);
+  engine_.action_values(pi.probabilities(), options_.tree_depth,
+                        SpanLeaf::of(upper_leaf), expansion, upper_values_);
+  const std::vector<ActionValue>& lower_values = lower_values_;
+  const std::vector<ActionValue>& upper_values = upper_values_;
 
   // Branch and bound: the best lower bound eliminates every action whose
   // upper bound falls beneath it; among survivors pick the most optimistic.

@@ -13,6 +13,7 @@
 #include "bounds/bound_set.hpp"
 #include "bounds/sawtooth_upper.hpp"
 #include "controller/controller.hpp"
+#include "pomdp/expansion.hpp"
 
 namespace recoverd::controller {
 
@@ -53,6 +54,9 @@ class IntervalController : public BeliefTrackingController {
   bounds::SawtoothUpperBound& upper_;
   IntervalControllerOptions options_;
   IntervalDecisionStats stats_;
+  ExpansionEngine engine_;
+  std::vector<ActionValue> lower_values_;  // reused across decide() calls
+  std::vector<ActionValue> upper_values_;
 };
 
 }  // namespace recoverd::controller

@@ -22,25 +22,39 @@ double SparseMatrix::at(std::size_t i, std::size_t j) const {
 }
 
 std::vector<double> SparseMatrix::multiply(std::span<const double> x) const {
-  RD_EXPECTS(x.size() == cols_, "SparseMatrix::multiply: dimension mismatch");
   std::vector<double> y(rows(), 0.0);
+  multiply_into(x, y);
+  return y;
+}
+
+void SparseMatrix::multiply_into(std::span<const double> x, std::span<double> y) const {
+  RD_EXPECTS(x.size() == cols_, "SparseMatrix::multiply_into: dimension mismatch");
+  RD_EXPECTS(y.size() == rows(), "SparseMatrix::multiply_into: output size mismatch");
   for (std::size_t i = 0; i < rows(); ++i) {
     double acc = 0.0;
     for (const auto& e : row(i)) acc += e.value * x[e.col];
     y[i] = acc;
   }
-  return y;
 }
 
 std::vector<double> SparseMatrix::multiply_transpose(std::span<const double> x) const {
-  RD_EXPECTS(x.size() == rows(), "SparseMatrix::multiply_transpose: dimension mismatch");
   std::vector<double> y(cols_, 0.0);
+  multiply_transpose_into(x, y);
+  return y;
+}
+
+void SparseMatrix::multiply_transpose_into(std::span<const double> x,
+                                           std::span<double> y) const {
+  RD_EXPECTS(x.size() == rows(),
+             "SparseMatrix::multiply_transpose_into: dimension mismatch");
+  RD_EXPECTS(y.size() == cols_,
+             "SparseMatrix::multiply_transpose_into: output size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
   for (std::size_t i = 0; i < rows(); ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
     for (const auto& e : row(i)) y[e.col] += e.value * xi;
   }
-  return y;
 }
 
 std::vector<double> SparseMatrix::row_sums() const {

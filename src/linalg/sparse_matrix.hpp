@@ -36,9 +36,20 @@ class SparseMatrix {
   /// y = A x  (y sized to rows()).
   std::vector<double> multiply(std::span<const double> x) const;
 
+  /// y = A x written into caller-owned storage (`y.size() == rows()`),
+  /// overwriting it. The allocation-free kernel behind multiply(); identical
+  /// arithmetic (same accumulation order), so results are bit-identical.
+  void multiply_into(std::span<const double> x, std::span<double> y) const;
+
   /// y = Aᵀ x  (y sized to cols()). Used for belief propagation, where the
   /// next belief is πᵀP(a).
   std::vector<double> multiply_transpose(std::span<const double> x) const;
+
+  /// y = Aᵀ x written into caller-owned storage (`y.size() == cols()`),
+  /// overwriting it. The hot-path kernel of the Max-Avg expansion engine:
+  /// belief propagation pred = πᵀP(a) without allocating. Bit-identical to
+  /// multiply_transpose().
+  void multiply_transpose_into(std::span<const double> x, std::span<double> y) const;
 
   /// Sum of each row (useful for checking stochasticity).
   std::vector<double> row_sums() const;

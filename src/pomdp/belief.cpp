@@ -39,6 +39,14 @@ Belief::Belief(std::vector<double> probabilities) : pi_(std::move(probabilities)
   linalg::normalize_probability(pi_);
 }
 
+Belief Belief::from_normalized(std::span<const double> probabilities) {
+  RD_EXPECTS(!probabilities.empty(),
+             "Belief::from_normalized: distribution must be non-empty");
+  Belief b;
+  b.pi_.assign(probabilities.begin(), probabilities.end());
+  return b;
+}
+
 StateId Belief::most_likely() const {
   return static_cast<StateId>(std::max_element(pi_.begin(), pi_.end()) - pi_.begin());
 }
@@ -57,12 +65,19 @@ double Belief::distance(const Belief& other) const {
 
 std::vector<double> predict_state_distribution(const Pomdp& pomdp, const Belief& belief,
                                                ActionId action) {
+  std::vector<double> pred(pomdp.num_states(), 0.0);
+  predict_state_distribution_into(pomdp, belief.probabilities(), action, pred);
+  return pred;
+}
+
+void predict_state_distribution_into(const Pomdp& pomdp, std::span<const double> belief,
+                                     ActionId action, std::span<double> out) {
   RD_EXPECTS(belief.size() == pomdp.num_states(),
              "predict_state_distribution: belief dimension mismatch");
   RD_EXPECTS(action < pomdp.num_actions(),
              "predict_state_distribution: action out of range");
   // pred = πᵀ P(a): propagate belief mass along transition rows.
-  return pomdp.mdp().transition(action).multiply_transpose(belief.probabilities());
+  pomdp.mdp().transition(action).multiply_transpose_into(belief, out);
 }
 
 double observation_likelihood(const Pomdp& pomdp, const Belief& belief, ActionId action,
@@ -96,28 +111,31 @@ std::optional<BeliefUpdate> update_belief(const Pomdp& pomdp, const Belief& beli
   return BeliefUpdate{Belief(std::move(unnormalized)), gamma};
 }
 
-std::vector<ObservationBranch> belief_successors(const Pomdp& pomdp, const Belief& belief,
-                                                 ActionId action,
-                                                 double min_probability) {
-  const auto pred = predict_state_distribution(pomdp, belief, action);
-  const auto& q = pomdp.observation(action);
+std::size_t expand_successors_into(const Pomdp& pomdp, std::span<const double> belief,
+                                   ActionId action, double min_probability,
+                                   std::vector<double>& pred, std::vector<double>& weight,
+                                   std::vector<std::size_t>& branch_of,
+                                   std::vector<ObsId>& kept,
+                                   std::vector<double>& posteriors) {
   const std::size_t num_obs = pomdp.num_observations();
-  const std::size_t num_states = pred.size();
+  const std::size_t num_states = pomdp.num_states();
+  pred.resize(num_states);
+  predict_state_distribution_into(pomdp, belief, action, pred);
+  const auto& q = pomdp.observation(action);
 
   // Two sparse passes over q's rows (the hot path of the Max-Avg tree):
   // pass 1 accumulates the per-observation likelihoods γ; pass 2 scatters
   // posterior mass only into the observations that survive the floor, so a
   // wide observation alphabet with mostly negligible outcomes costs no
-  // posterior allocations.
-  std::vector<double> weight(num_obs, 0.0);
+  // posterior work.
+  weight.assign(num_obs, 0.0);
   for (StateId s = 0; s < num_states; ++s) {
     if (pred[s] <= 0.0) continue;
     for (const auto& e : q.row(s)) weight[e.col] += e.value * pred[s];
   }
 
-  constexpr std::size_t kSkip = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> branch_of(num_obs, kSkip);
-  std::vector<ObsId> kept;
+  branch_of.assign(num_obs, kNoBranch);
+  kept.clear();
   std::size_t pruned = 0;
   for (ObsId o = 0; o < num_obs; ++o) {
     if (weight[o] <= 0.0) continue;
@@ -135,20 +153,34 @@ std::vector<ObservationBranch> belief_successors(const Pomdp& pomdp, const Belie
   if (pruned > 0) pruned_counter.add(pruned);
   kept_counter.add(kept.size());
 
-  std::vector<std::vector<double>> unnormalized(kept.size(),
-                                                std::vector<double>(num_states, 0.0));
+  posteriors.assign(kept.size() * num_states, 0.0);
   for (StateId s = 0; s < num_states; ++s) {
     if (pred[s] <= 0.0) continue;
     for (const auto& e : q.row(s)) {
       const std::size_t idx = branch_of[e.col];
-      if (idx != kSkip) unnormalized[idx][s] += e.value * pred[s];
+      if (idx != kNoBranch) posteriors[idx * num_states + s] += e.value * pred[s];
     }
   }
+  return kept.size();
+}
+
+std::vector<ObservationBranch> belief_successors(const Pomdp& pomdp, const Belief& belief,
+                                                 ActionId action,
+                                                 double min_probability) {
+  std::vector<double> pred, weight, posteriors;
+  std::vector<std::size_t> branch_of;
+  std::vector<ObsId> kept;
+  const std::size_t num_kept =
+      expand_successors_into(pomdp, belief.probabilities(), action, min_probability, pred,
+                             weight, branch_of, kept, posteriors);
+  const std::size_t num_states = pomdp.num_states();
 
   std::vector<ObservationBranch> branches;
-  branches.reserve(kept.size());
-  for (std::size_t i = 0; i < kept.size(); ++i) {
-    branches.push_back({kept[i], weight[kept[i]], Belief(std::move(unnormalized[i]))});
+  branches.reserve(num_kept);
+  for (std::size_t i = 0; i < num_kept; ++i) {
+    std::vector<double> unnormalized(posteriors.begin() + i * num_states,
+                                     posteriors.begin() + (i + 1) * num_states);
+    branches.push_back({kept[i], weight[kept[i]], Belief(std::move(unnormalized))});
   }
   return branches;
 }

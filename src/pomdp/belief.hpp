@@ -27,6 +27,14 @@ class Belief {
   /// Precondition: non-negative entries with a positive sum.
   explicit Belief(std::vector<double> probabilities);
 
+  /// Trusted construction from an already-normalised distribution. The
+  /// entries are copied verbatim — no renormalisation — so the stored
+  /// probabilities are bit-identical to the input. Used by the expansion
+  /// engine's compatibility wrappers, where a second normalisation would
+  /// perturb the low-order bits. Precondition: `probabilities` sums to 1
+  /// (up to rounding); not re-checked beyond being non-empty.
+  static Belief from_normalized(std::span<const double> probabilities);
+
   std::size_t size() const { return pi_.size(); }
   double operator[](StateId s) const { return pi_[s]; }
   std::span<const double> probabilities() const { return pi_; }
@@ -41,6 +49,7 @@ class Belief {
   double distance(const Belief& other) const;
 
  private:
+  Belief() = default;  // for from_normalized() only — pi_ filled in verbatim
   std::vector<double> pi_;
 };
 
@@ -54,6 +63,37 @@ struct BeliefUpdate {
 /// pred(s) = Σ_{s'} p(s|s', a) π(s').
 std::vector<double> predict_state_distribution(const Pomdp& pomdp, const Belief& belief,
                                                ActionId action);
+
+/// Allocation-free variant: writes pred into caller-owned storage of size
+/// |S|, overwriting it. Bit-identical arithmetic to
+/// predict_state_distribution().
+void predict_state_distribution_into(const Pomdp& pomdp, std::span<const double> belief,
+                                     ActionId action, std::span<double> out);
+
+/// Sentinel in expand_successors_into()'s `branch_of` map for observations
+/// that are unreachable or pruned by the floor.
+inline constexpr std::size_t kNoBranch = static_cast<std::size_t>(-1);
+
+/// Allocation-free core of belief_successors(), shared with the expansion
+/// engine so both code paths stay arithmetically identical. On return:
+///  - `pred` (|S|): predicted pre-observation distribution πᵀP(a);
+///  - `weight` (|O|): per-observation likelihoods γ^{π,a}(o);
+///  - `branch_of` (|O|): kept-branch index per observation, kNoBranch when
+///    unreachable or pruned;
+///  - `kept`: surviving observation ids in ascending order;
+///  - `posteriors`: row-major kept.size()×|S| *unnormalised* posterior mass
+///    (row i belongs to kept[i]; callers normalise — exactly once — before
+///    use).
+/// The output vectors are resized as needed and retain their capacity, so a
+/// caller that reuses them across calls allocates only until the high-water
+/// mark is reached. Bumps the same branches_kept/branches_pruned counters as
+/// belief_successors(). Returns kept.size().
+std::size_t expand_successors_into(const Pomdp& pomdp, std::span<const double> belief,
+                                   ActionId action, double min_probability,
+                                   std::vector<double>& pred, std::vector<double>& weight,
+                                   std::vector<std::size_t>& branch_of,
+                                   std::vector<ObsId>& kept,
+                                   std::vector<double>& posteriors);
 
 /// γ^{π,a}(o) of Eq. 3.
 double observation_likelihood(const Pomdp& pomdp, const Belief& belief, ActionId action,

@@ -1,71 +1,39 @@
 #include "pomdp/bellman.hpp"
 
-#include <algorithm>
-#include <limits>
+#include <memory>
 
-#include "linalg/vector_ops.hpp"
-#include "obs/metrics.hpp"
+#include "pomdp/expansion.hpp"
 #include "util/check.hpp"
 
 namespace recoverd {
 
 namespace {
-// Tree-shape instruments: a "node" is a belief at which the max over
-// actions is taken (the Max nodes of Fig. 1(b)); leaves are the bound
-// evaluations at depth 0.
-obs::Counter& nodes_expanded_counter() {
-  static obs::Counter& c = obs::metrics().counter("pomdp.bellman.nodes_expanded");
-  return c;
+// The wrappers below share one engine per thread, rebound lazily when the
+// model changes: callers that interleave models (tests, solvers) pay only a
+// pointer swap, while repeated calls on one model reuse the warm arena.
+ExpansionEngine& engine_for(const Pomdp& pomdp) {
+  thread_local const Pomdp* bound = nullptr;
+  thread_local std::unique_ptr<ExpansionEngine> engine;
+  if (!engine) {
+    engine = std::make_unique<ExpansionEngine>(pomdp);
+    bound = &pomdp;
+  } else if (bound != &pomdp) {
+    engine->rebind(pomdp);
+    bound = &pomdp;
+  }
+  return *engine;
 }
 
-obs::Counter& leaf_evaluations_counter() {
-  static obs::Counter& c = obs::metrics().counter("pomdp.bellman.leaf_evaluations");
-  return c;
-}
-
-struct ExpandContext {
-  const Pomdp& pomdp;
-  const LeafEvaluator& leaf;
-  double beta;
-  ActionId skip_action;
-  double branch_floor;
+// Adapts the type-erased LeafEvaluator to the engine's span interface. The
+// engine hands over the already-normalised posterior, so from_normalized
+// reconstructs a Belief with bit-identical probabilities to what the
+// recursive implementation passed.
+struct FunctionLeaf {
+  const LeafEvaluator* leaf;
+  double operator()(std::span<const double> pi) const {
+    return (*leaf)(Belief::from_normalized(pi));
+  }
 };
-
-// Future value of taking `a` at `belief`: β Σ_o γ(o) V_{d-1}(π^o), with
-// sub-floor branches pruned and the kept mass renormalised.
-double action_future_value(const ExpandContext& ctx, const Belief& belief, ActionId a,
-                           int depth);
-
-double expand(const ExpandContext& ctx, const Belief& belief, int depth) {
-  if (depth <= 0) {
-    leaf_evaluations_counter().add();
-    return ctx.leaf(belief);
-  }
-  nodes_expanded_counter().add();
-  double best = -std::numeric_limits<double>::infinity();
-  for (ActionId a = 0; a < ctx.pomdp.num_actions(); ++a) {
-    if (a == ctx.skip_action) continue;
-    const double value =
-        linalg::dot(ctx.pomdp.mdp().rewards(a), belief.probabilities()) +
-        action_future_value(ctx, belief, a, depth);
-    best = std::max(best, value);
-  }
-  return best;
-}
-
-double action_future_value(const ExpandContext& ctx, const Belief& belief, ActionId a,
-                           int depth) {
-  double value = 0.0;
-  double kept_mass = 0.0;
-  for (const auto& branch :
-       belief_successors(ctx.pomdp, belief, a, ctx.branch_floor)) {
-    kept_mass += branch.probability;
-    value += ctx.beta * branch.probability *
-             expand(ctx, branch.posterior, depth - 1);
-  }
-  if (kept_mass <= 0.0) return 0.0;  // everything pruned: treat future as the floor 0
-  return value / kept_mass;
-}
 }  // namespace
 
 double bellman_value(const Pomdp& pomdp, const Belief& belief, int depth,
@@ -79,8 +47,10 @@ double bellman_value(const Pomdp& pomdp, const Belief& belief, int depth,
              "bellman_value: cannot mask the only action");
   RD_EXPECTS(branch_floor >= 0.0 && branch_floor < 1.0,
              "bellman_value: branch floor must lie in [0,1)");
-  const ExpandContext ctx{pomdp, leaf, beta, skip_action, branch_floor};
-  return expand(ctx, belief, depth);
+  const FunctionLeaf adapter{&leaf};
+  const ExpansionOptions options{beta, skip_action, branch_floor, 1};
+  return engine_for(pomdp).value(belief.probabilities(), depth, SpanLeaf::of(adapter),
+                                 options);
 }
 
 std::vector<ActionValue> bellman_action_values(const Pomdp& pomdp, const Belief& belief,
@@ -94,20 +64,11 @@ std::vector<ActionValue> bellman_action_values(const Pomdp& pomdp, const Belief&
              "bellman_action_values: belief dimension mismatch");
   RD_EXPECTS(branch_floor >= 0.0 && branch_floor < 1.0,
              "bellman_action_values: branch floor must lie in [0,1)");
-
-  const ExpandContext ctx{pomdp, leaf, beta, skip_action, branch_floor};
-  nodes_expanded_counter().add();  // the root Max node
+  const FunctionLeaf adapter{&leaf};
+  const ExpansionOptions options{beta, skip_action, branch_floor, 1};
   std::vector<ActionValue> out;
-  out.reserve(pomdp.num_actions());
-  for (ActionId a = 0; a < pomdp.num_actions(); ++a) {
-    if (a == skip_action) {
-      out.push_back({a, -std::numeric_limits<double>::infinity()});
-      continue;
-    }
-    const double value = linalg::dot(pomdp.mdp().rewards(a), belief.probabilities()) +
-                         action_future_value(ctx, belief, a, depth);
-    out.push_back({a, value});
-  }
+  engine_for(pomdp).action_values(belief.probabilities(), depth, SpanLeaf::of(adapter),
+                                  options, out);
   return out;
 }
 

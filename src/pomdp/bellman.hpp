@@ -13,18 +13,18 @@
 #include <vector>
 
 #include "pomdp/belief.hpp"
+#include "pomdp/expansion.hpp"
 #include "pomdp/pomdp.hpp"
 
 namespace recoverd {
 
 /// Evaluates the value assigned to a leaf belief of the recursion tree.
+/// The functions below are convenience wrappers over ExpansionEngine
+/// (pomdp/expansion.hpp) that accept this type-erased leaf; hot loops that
+/// decide repeatedly should own an engine and pass a SpanLeaf instead.
+/// ActionValue now lives in pomdp/expansion.hpp (re-exported here via the
+/// include above).
 using LeafEvaluator = std::function<double(const Belief&)>;
-
-/// Value of one root action after a depth-d expansion.
-struct ActionValue {
-  ActionId action = kInvalidId;
-  double value = 0.0;
-};
 
 /// Depth-d Bellman value:
 ///   V_d(π) = max_a [ π·r(a) + β Σ_o γ^{π,a}(o) V_{d−1}(π^{π,a,o}) ],

@@ -1,0 +1,362 @@
+#include "pomdp/expansion.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "pomdp/belief.hpp"
+#include "util/check.hpp"
+
+namespace recoverd {
+
+namespace {
+// Tree-shape instruments shared with the bellman.cpp wrappers: a "node" is
+// a belief at which the max over actions is taken; leaves are the bound
+// evaluations at depth 0.
+obs::Counter& nodes_expanded_counter() {
+  static obs::Counter& c = obs::metrics().counter("pomdp.bellman.nodes_expanded");
+  return c;
+}
+
+obs::Counter& leaf_evaluations_counter() {
+  static obs::Counter& c = obs::metrics().counter("pomdp.bellman.leaf_evaluations");
+  return c;
+}
+
+// Engine-specific instruments (DESIGN.md §8).
+obs::Counter& workspace_reuses_counter() {
+  static obs::Counter& c = obs::metrics().counter("pomdp.engine.workspace_reuses");
+  return c;
+}
+
+obs::Counter& parallel_batches_counter() {
+  static obs::Counter& c = obs::metrics().counter("pomdp.engine.parallel_batches");
+  return c;
+}
+
+obs::Gauge& arena_peak_bytes_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("pomdp.engine.arena_peak_bytes");
+  return g;
+}
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+void check_common_options(const Pomdp& pomdp, std::span<const double> belief,
+                          const ExpansionOptions& o) {
+  RD_EXPECTS(o.beta >= 0.0 && o.beta <= 1.0, "ExpansionEngine: beta must lie in [0,1]");
+  RD_EXPECTS(belief.size() == pomdp.num_states(),
+             "ExpansionEngine: belief dimension mismatch");
+  RD_EXPECTS(o.skip_action == kInvalidId || pomdp.num_actions() > 1,
+             "ExpansionEngine: cannot mask the only action");
+  RD_EXPECTS(o.branch_floor >= 0.0 && o.branch_floor < 1.0,
+             "ExpansionEngine: branch floor must lie in [0,1)");
+  RD_EXPECTS(o.root_jobs >= 1, "ExpansionEngine: root_jobs must be >= 1");
+}
+}  // namespace
+
+// One tree level of the arena: the successor buffers of the node currently
+// open at that level plus the little state machine that replaces the call
+// stack of the recursive implementation.
+struct ExpansionEngine::Frame {
+  // Scratch buffers filled by expand_successors_into(); capacities persist
+  // across expansions, which is what makes the steady state allocation-free.
+  std::vector<double> pred;             // |S| predicted distribution
+  std::vector<double> weight;           // |O| observation likelihoods
+  std::vector<std::size_t> branch_of;   // |O| -> kept index
+  std::vector<ObsId> kept;              // surviving observations, ascending
+  std::vector<double> posteriors;       // kept×|S| normalised posteriors
+
+  // Node state.
+  std::span<const double> belief;  // points into the parent frame's posteriors
+  double best = kNegInf;           // running max over completed actions
+  ActionId next_action = 0;        // next action to open
+  bool done = false;               // all actions folded into `best`
+
+  // State of the currently open action.
+  double immediate = 0.0;    // π·r(a)
+  double value_acc = 0.0;    // Σ (β·γ)·child over finished branches
+  double kept_mass = 0.0;    // Σ γ over visited branches
+  std::size_t branch = 0;    // next branch to evaluate
+  std::size_t num_kept = 0;  // branches of the open action
+  double pending_gamma = 0.0;  // γ of the branch currently being descended
+
+  void begin_node(std::span<const double> node_belief, const Pomdp& pomdp,
+                  const ExpansionOptions& o);
+  void advance_action(const Pomdp& pomdp, const ExpansionOptions& o);
+  void finish_action(const Pomdp& pomdp, const ExpansionOptions& o);
+
+  std::size_t bytes() const {
+    return pred.capacity() * sizeof(double) + weight.capacity() * sizeof(double) +
+           branch_of.capacity() * sizeof(std::size_t) + kept.capacity() * sizeof(ObsId) +
+           posteriors.capacity() * sizeof(double);
+  }
+};
+
+// One independent traversal context: `frames[l]` serves tree level l. The
+// main workspace serves serial expansions; root fan-out gives each worker
+// thread a private workspace so subtrees never share mutable state.
+struct ExpansionEngine::Workspace {
+  std::vector<Frame> frames;
+
+  // Grows the arena to `depth` levels. Counts a reuse when no growth was
+  // needed — after the first decision at a given depth, every subsequent
+  // expansion runs entirely on recycled buffers.
+  void ensure(int depth) {
+    const auto levels = static_cast<std::size_t>(depth);
+    if (frames.size() >= levels) {
+      workspace_reuses_counter().add();
+      return;
+    }
+    frames.resize(levels);
+  }
+
+  std::size_t bytes() const {
+    std::size_t total = 0;
+    for (const Frame& f : frames) total += f.bytes();
+    return total;
+  }
+};
+
+// Opens a Max node at this frame (bumping the nodes-expanded instrument,
+// like the recursive expand() did on entry) and positions it at its first
+// action.
+void ExpansionEngine::Frame::begin_node(std::span<const double> node_belief,
+                                        const Pomdp& pomdp, const ExpansionOptions& o) {
+  nodes_expanded_counter().add();
+  belief = node_belief;
+  best = kNegInf;
+  next_action = 0;
+  done = false;
+  advance_action(pomdp, o);
+}
+
+// Opens the next unmasked action, folding zero-branch actions (all
+// observation mass pruned or unreachable: future value 0, exactly as the
+// recursive action_future_value returns 0) straight into `best`. Sets
+// `done` once all actions are folded.
+void ExpansionEngine::Frame::advance_action(const Pomdp& pomdp,
+                                            const ExpansionOptions& o) {
+  const ActionId num_actions = pomdp.num_actions();
+  const std::size_t num_states = pomdp.num_states();
+  while (next_action < num_actions) {
+    const ActionId a = next_action++;
+    if (a == o.skip_action) continue;
+    immediate = linalg::dot(pomdp.mdp().rewards(a), belief);
+    num_kept = expand_successors_into(pomdp, belief, a, o.branch_floor, pred, weight,
+                                      branch_of, kept, posteriors);
+    // Normalise every posterior exactly once — the same sum-then-divide the
+    // Belief constructor performs, so leaves see bit-identical inputs.
+    for (std::size_t i = 0; i < num_kept; ++i) {
+      linalg::normalize_probability(
+          std::span<double>(posteriors.data() + i * num_states, num_states));
+    }
+    value_acc = 0.0;
+    kept_mass = 0.0;
+    branch = 0;
+    if (num_kept == 0) {
+      best = std::max(best, immediate + 0.0);
+      continue;
+    }
+    return;
+  }
+  done = true;
+}
+
+// All branches of the open action are in: fold its value into `best` with
+// the kept-mass renormalisation of the branch floor, then open the next
+// action.
+void ExpansionEngine::Frame::finish_action(const Pomdp& pomdp,
+                                           const ExpansionOptions& o) {
+  const double future = kept_mass <= 0.0 ? 0.0 : value_acc / kept_mass;
+  best = std::max(best, immediate + future);
+  advance_action(pomdp, o);
+}
+
+ExpansionEngine::ExpansionEngine(const Pomdp& pomdp)
+    : pomdp_(&pomdp), main_(std::make_unique<Workspace>()) {}
+
+ExpansionEngine::~ExpansionEngine() = default;
+
+// The iterative core. Walks the depth-d subtree rooted at `belief` using
+// frames[base_level .. base_level+depth-1] as the explicit stack, visiting
+// branches in ascending ObsId order and actions in ascending ActionId order
+// — the exact traversal (and exact floating-point operation order) of the
+// recursive reference implementation. Precondition: depth >= 1 and the
+// workspace holds base_level + depth frames.
+double ExpansionEngine::expand_iterative(Workspace& ws, std::size_t base_level,
+                                         std::span<const double> belief, int depth,
+                                         const SpanLeaf& leaf,
+                                         const ExpansionOptions& options) {
+  const Pomdp& pomdp = *pomdp_;
+  const std::size_t num_states = pomdp.num_states();
+  std::size_t top = base_level;
+  ws.frames[top].begin_node(belief, pomdp, options);
+  for (;;) {
+    Frame& fr = ws.frames[top];
+    if (fr.done) {
+      const double node_value = fr.best;
+      if (top == base_level) return node_value;
+      --top;
+      Frame& parent = ws.frames[top];
+      parent.value_acc += (options.beta * parent.pending_gamma) * node_value;
+      ++parent.branch;
+      if (parent.branch == parent.num_kept) parent.finish_action(pomdp, options);
+      continue;
+    }
+    // fr has an open action with fr.branch < fr.num_kept: visit the next
+    // branch. Kept mass accrues before the child is evaluated, exactly as
+    // in the recursive action_future_value.
+    const double gamma = fr.weight[fr.kept[fr.branch]];
+    fr.kept_mass += gamma;
+    const std::span<const double> child(fr.posteriors.data() + fr.branch * num_states,
+                                        num_states);
+    const int remaining = depth - static_cast<int>(top - base_level);
+    if (remaining == 1) {  // children of this node are leaves
+      leaf_evaluations_counter().add();
+      fr.value_acc += (options.beta * gamma) * leaf(child);
+      ++fr.branch;
+      if (fr.branch == fr.num_kept) fr.finish_action(pomdp, options);
+    } else {
+      fr.pending_gamma = gamma;
+      ++top;
+      ws.frames[top].begin_node(child, pomdp, options);
+    }
+  }
+}
+
+// Future value of `action` at the root belief: β Σ_o γ(o) V_{d-1}(π^o)
+// with sub-floor branches pruned and the kept mass renormalised. Uses
+// frames[0] for the root successors and frames[1..] for the subtrees.
+double ExpansionEngine::root_action_future(Workspace& ws, std::span<const double> belief,
+                                           ActionId action, int depth, const SpanLeaf& leaf,
+                                           const ExpansionOptions& options) {
+  const Pomdp& pomdp = *pomdp_;
+  const std::size_t num_states = pomdp.num_states();
+  Frame& fr = ws.frames[0];
+  fr.num_kept = expand_successors_into(pomdp, belief, action, options.branch_floor,
+                                       fr.pred, fr.weight, fr.branch_of, fr.kept,
+                                       fr.posteriors);
+  for (std::size_t i = 0; i < fr.num_kept; ++i) {
+    linalg::normalize_probability(
+        std::span<double>(fr.posteriors.data() + i * num_states, num_states));
+  }
+  double value = 0.0;
+  double kept_mass = 0.0;
+  for (std::size_t i = 0; i < fr.num_kept; ++i) {
+    const double gamma = fr.weight[fr.kept[i]];
+    kept_mass += gamma;
+    const std::span<const double> child(fr.posteriors.data() + i * num_states, num_states);
+    double child_value;
+    if (depth == 1) {
+      leaf_evaluations_counter().add();
+      child_value = leaf(child);
+    } else {
+      child_value = expand_iterative(ws, 1, child, depth - 1, leaf, options);
+    }
+    value += (options.beta * gamma) * child_value;
+  }
+  if (kept_mass <= 0.0) return 0.0;  // everything pruned: treat future as the floor 0
+  return value / kept_mass;
+}
+
+void ExpansionEngine::compute_action_value_range(Workspace& ws,
+                                                 std::span<const double> belief, int depth,
+                                                 const SpanLeaf& leaf,
+                                                 const ExpansionOptions& options,
+                                                 std::size_t begin, std::size_t step,
+                                                 std::vector<ActionValue>& out) {
+  ws.ensure(depth);
+  const Pomdp& pomdp = *pomdp_;
+  for (std::size_t a = begin; a < pomdp.num_actions(); a += step) {
+    if (a == options.skip_action) {
+      out[a] = {a, kNegInf};
+      continue;
+    }
+    const double immediate = linalg::dot(pomdp.mdp().rewards(a), belief);
+    const double future = root_action_future(ws, belief, a, depth, leaf, options);
+    out[a] = {a, immediate + future};
+  }
+}
+
+double ExpansionEngine::value(std::span<const double> belief, int depth,
+                              const SpanLeaf& leaf, const ExpansionOptions& options) {
+  RD_EXPECTS(depth >= 0, "ExpansionEngine::value: depth must be >= 0");
+  check_common_options(*pomdp_, belief, options);
+  if (depth == 0) {
+    leaf_evaluations_counter().add();
+    return leaf(belief);
+  }
+  main_->ensure(depth);
+  const double result = expand_iterative(*main_, 0, belief, depth, leaf, options);
+  note_expansion_finished();
+  return result;
+}
+
+void ExpansionEngine::action_values(std::span<const double> belief, int depth,
+                                    const SpanLeaf& leaf, const ExpansionOptions& options,
+                                    std::vector<ActionValue>& out) {
+  RD_EXPECTS(depth >= 1, "ExpansionEngine::action_values: depth must be >= 1");
+  check_common_options(*pomdp_, belief, options);
+  const std::size_t num_actions = pomdp_->num_actions();
+  nodes_expanded_counter().add();  // the root Max node
+  out.assign(num_actions, ActionValue{});
+
+  const auto jobs =
+      std::min<std::size_t>(static_cast<std::size_t>(options.root_jobs), num_actions);
+  if (jobs <= 1) {
+    compute_action_value_range(*main_, belief, depth, leaf, options, 0, 1, out);
+  } else {
+    // Root fan-out: worker t computes actions t, t+jobs, t+2·jobs, … on a
+    // private workspace. Per-action values are independent (the max over
+    // actions commutes with who computes each operand), so the results are
+    // bit-identical to the serial loop for any worker count.
+    parallel_batches_counter().add();
+    while (pool_.size() < jobs) pool_.push_back(std::make_unique<Workspace>());
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t) {
+      workers.emplace_back([&, t] {
+        compute_action_value_range(*pool_[t], belief, depth, leaf, options, t, jobs, out);
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  note_expansion_finished();
+}
+
+ActionValue ExpansionEngine::best_action(std::span<const double> belief, int depth,
+                                         const SpanLeaf& leaf,
+                                         const ExpansionOptions& options) {
+  action_values(belief, depth, leaf, options, scratch_values_);
+  RD_EXPECTS(options.skip_action != 0 || scratch_values_.size() > 1,
+             "ExpansionEngine::best_action: cannot mask the only action");
+  ActionValue best =
+      options.skip_action == 0 ? scratch_values_[1] : scratch_values_.front();
+  for (const auto& av : scratch_values_) {
+    if (av.action == options.skip_action) continue;
+    if (av.value > best.value) best = av;
+  }
+  return best;
+}
+
+std::size_t ExpansionEngine::arena_bytes() const {
+  std::size_t total = main_->bytes();
+  for (const auto& ws : pool_) total += ws->bytes();
+  return total;
+}
+
+void ExpansionEngine::note_expansion_finished() {
+  const std::size_t bytes = arena_bytes();
+  if (bytes > peak_arena_bytes_) {
+    peak_arena_bytes_ = bytes;
+    // The gauge tracks the high-water mark across every engine in the
+    // process (last-writer on ties is irrelevant for a max).
+    if (bytes > arena_peak_bytes_gauge().value()) {
+      arena_peak_bytes_gauge().set(static_cast<double>(bytes));
+    }
+  }
+}
+
+}  // namespace recoverd

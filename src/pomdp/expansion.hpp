@@ -1,0 +1,150 @@
+// Allocation-free engine for the finite-depth Max-Avg expansion (Eq. 2).
+//
+// The recursive implementation in bellman.cpp's history heap-allocated a
+// fresh Belief at every tree node and went through a type-erased
+// std::function at every leaf. This engine walks the same depth-d tree
+// iteratively over a per-engine *workspace arena* — one reusable frame of
+// scratch buffers per tree level — with span-based kernels underneath
+// (SparseMatrix::multiply_transpose_into, expand_successors_into), so that
+// after the first decision warms the arena, an expansion performs no heap
+// allocation at all.
+//
+// Arithmetic is kept bit-identical to the recursive reference: the same
+// operation order (immediate reward via linalg::dot, kept-mass accumulated
+// before each child, (β·γ)·child products summed in ascending ObsId order,
+// sum-then-divide renormalisation via linalg::normalize_probability), the
+// same tie-breaks (std::max over actions in ascending ActionId order), the
+// same skip_action masking and branch_floor semantics, and the same
+// pomdp.bellman.* / pomdp.belief.* instrument updates. The parity test
+// suite (tests/pomdp_expansion_parity_test.cpp) holds the two paths equal
+// on randomized models.
+//
+// bellman_value / bellman_action_values / bellman_best_action / apply_lp in
+// bellman.hpp remain the convenient entry points; they are now thin
+// wrappers over a thread-local engine. Controllers that decide repeatedly
+// over the same model own an engine directly and pass a devirtualized
+// SpanLeaf so bound evaluations run over raw spans without constructing
+// Belief objects.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pomdp/pomdp.hpp"
+#include "pomdp/types.hpp"
+
+namespace recoverd {
+
+/// Value of one root action after a depth-d expansion.
+struct ActionValue {
+  ActionId action = kInvalidId;
+  double value = 0.0;
+};
+
+/// Devirtualized leaf evaluator: a raw function pointer plus an opaque
+/// context, called with the (already normalised) leaf belief as a span.
+/// Cheaper than std::function on the hot path (no type erasure allocation,
+/// trivially copyable, inlineable call through a known pointer pair) and
+/// keeps the pomdp layer free of a dependency on bounds.
+///
+/// The referenced callable must outlive every engine call made with the
+/// SpanLeaf (bind a local lambda with SpanLeaf::of and use it within the
+/// enclosing scope).
+class SpanLeaf {
+ public:
+  using Fn = double (*)(const void*, std::span<const double>);
+
+  SpanLeaf(Fn fn, const void* ctx) : fn_(fn), ctx_(ctx) {}
+
+  /// Wraps any callable `double(std::span<const double>)` by reference.
+  template <class F>
+  static SpanLeaf of(const F& f) {
+    return SpanLeaf(
+        [](const void* ctx, std::span<const double> pi) {
+          return (*static_cast<const F*>(ctx))(pi);
+        },
+        &f);
+  }
+
+  double operator()(std::span<const double> pi) const { return fn_(ctx_, pi); }
+
+ private:
+  Fn fn_;
+  const void* ctx_;
+};
+
+/// Knobs of one expansion, mirroring the bellman_* parameters.
+struct ExpansionOptions {
+  double beta = 1.0;             ///< discount per tree level, in [0,1]
+  ActionId skip_action = kInvalidId;  ///< mask one action out of every max
+  double branch_floor = 0.0;     ///< prune branches below this likelihood
+  /// Number of threads over which action_values() fans out the root
+  /// actions (1 = serial). Child subtrees never share mutable state, so the
+  /// fan-out is exact: each action's value is computed by the same serial
+  /// code on a private workspace. Leaf evaluators must be thread-safe when
+  /// root_jobs > 1 (BoundSet::evaluate and SawtoothUpperBound::evaluate
+  /// are).
+  int root_jobs = 1;
+};
+
+/// Iterative Max-Avg expansion over a reusable workspace arena. One engine
+/// per controller (or thread); an engine is not safe for concurrent use,
+/// but action_values() may internally fan root actions out across threads
+/// with private per-thread workspaces.
+class ExpansionEngine {
+ public:
+  explicit ExpansionEngine(const Pomdp& pomdp);
+  ExpansionEngine(const ExpansionEngine&) = delete;
+  ExpansionEngine& operator=(const ExpansionEngine&) = delete;
+  ~ExpansionEngine();
+
+  /// Points the engine at another model (the arena is re-sized lazily on
+  /// the next expansion). Used by the thread-local wrapper cache in
+  /// bellman.cpp.
+  void rebind(const Pomdp& pomdp) { pomdp_ = &pomdp; }
+  const Pomdp& pomdp() const { return *pomdp_; }
+
+  /// Depth-d Bellman value V_d(π) (Eq. 2); depth 0 returns leaf(π).
+  double value(std::span<const double> belief, int depth, const SpanLeaf& leaf,
+               const ExpansionOptions& options = {});
+
+  /// Values of every root action (depth ≥ 1) written into `out` (resized to
+  /// num_actions(), element i is action i; a masked action gets -inf).
+  void action_values(std::span<const double> belief, int depth, const SpanLeaf& leaf,
+                     const ExpansionOptions& options, std::vector<ActionValue>& out);
+
+  /// The maximising root action; ties break to the lowest ActionId exactly
+  /// as bellman_best_action does.
+  ActionValue best_action(std::span<const double> belief, int depth, const SpanLeaf& leaf,
+                          const ExpansionOptions& options = {});
+
+  /// Current arena footprint in bytes (sum of scratch-buffer capacities
+  /// across all levels and worker workspaces).
+  std::size_t arena_bytes() const;
+
+ private:
+  struct Frame;
+  struct Workspace;
+
+  double expand_iterative(Workspace& ws, std::size_t base_level,
+                          std::span<const double> belief, int depth, const SpanLeaf& leaf,
+                          const ExpansionOptions& options);
+  double root_action_future(Workspace& ws, std::span<const double> belief, ActionId action,
+                            int depth, const SpanLeaf& leaf,
+                            const ExpansionOptions& options);
+  void compute_action_value_range(Workspace& ws, std::span<const double> belief, int depth,
+                                  const SpanLeaf& leaf, const ExpansionOptions& options,
+                                  std::size_t begin, std::size_t step,
+                                  std::vector<ActionValue>& out);
+  void note_expansion_finished();
+
+  const Pomdp* pomdp_;
+  std::unique_ptr<Workspace> main_;
+  std::vector<std::unique_ptr<Workspace>> pool_;  // root fan-out workers
+  std::vector<ActionValue> scratch_values_;       // best_action() scratch
+  std::size_t peak_arena_bytes_ = 0;
+};
+
+}  // namespace recoverd

@@ -1,6 +1,9 @@
 #include "sim/experiment.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
@@ -140,6 +143,30 @@ EpisodeMetrics run_episode(Environment& env, controller::RecoveryController& con
   return metrics;
 }
 
+void ExperimentResult::add(const EpisodeMetrics& m) {
+  cost.add(m.cost);
+  recovery_time.add(m.recovery_time);
+  residual_time.add(m.residual_time);
+  algorithm_time_ms.add(m.algorithm_time_ms);
+  recovery_actions.add(static_cast<double>(m.recovery_actions));
+  monitor_calls.add(static_cast<double>(m.monitor_calls));
+  ++episodes;
+  if (!m.recovered) ++unrecovered;
+  if (!m.terminated) ++not_terminated;
+}
+
+void ExperimentResult::merge(const ExperimentResult& other) {
+  cost.merge(other.cost);
+  recovery_time.merge(other.recovery_time);
+  residual_time.merge(other.residual_time);
+  algorithm_time_ms.merge(other.algorithm_time_ms);
+  recovery_actions.merge(other.recovery_actions);
+  monitor_calls.merge(other.monitor_calls);
+  episodes += other.episodes;
+  unrecovered += other.unrecovered;
+  not_terminated += other.not_terminated;
+}
+
 ExperimentResult run_experiment(const Pomdp& env_model,
                                 controller::RecoveryController& controller,
                                 const FaultInjector& injector, std::size_t episodes,
@@ -150,19 +177,71 @@ ExperimentResult run_experiment(const Pomdp& env_model,
     Rng episode_rng = master.split();
     Environment env(env_model, episode_rng.split());
     const StateId fault = injector.sample(episode_rng);
-    const EpisodeMetrics m = run_episode(env, controller, fault, config);
-
-    result.cost.add(m.cost);
-    result.recovery_time.add(m.recovery_time);
-    result.residual_time.add(m.residual_time);
-    result.algorithm_time_ms.add(m.algorithm_time_ms);
-    result.recovery_actions.add(static_cast<double>(m.recovery_actions));
-    result.monitor_calls.add(static_cast<double>(m.monitor_calls));
-    ++result.episodes;
-    if (!m.recovered) ++result.unrecovered;
-    if (!m.terminated) ++result.not_terminated;
+    result.add(run_episode(env, controller, fault, config));
   }
   return result;
+}
+
+ExperimentResult run_experiment(const Pomdp& env_model,
+                                const ControllerFactory& make_controller,
+                                const FaultInjector& injector, std::size_t episodes,
+                                std::uint64_t seed, const EpisodeConfig& config,
+                                std::size_t jobs) {
+  RD_EXPECTS(static_cast<bool>(make_controller),
+             "run_experiment: controller factory required");
+  RD_EXPECTS(jobs >= 1, "run_experiment: jobs must be >= 1");
+
+  // Pre-derive every episode's RNG stream in episode order — the exact
+  // streams the serial loop hands out — so an episode's randomness is a
+  // function of its index alone, never of worker scheduling.
+  Rng master(seed);
+  std::vector<Rng> streams;
+  streams.reserve(episodes);
+  for (std::size_t i = 0; i < episodes; ++i) streams.push_back(master.split());
+
+  std::vector<EpisodeMetrics> metrics(episodes);
+  const auto run_one = [&](std::size_t i) {
+    Rng episode_rng = streams[i];
+    Environment env(env_model, episode_rng.split());
+    const StateId fault = injector.sample(episode_rng);
+    const std::unique_ptr<controller::RecoveryController> episode_controller =
+        make_controller();
+    metrics[i] = run_episode(env, *episode_controller, fault, config);
+  };
+
+  const std::size_t workers = std::min(jobs, episodes);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < episodes; ++i) run_one(i);
+  } else {
+    static obs::Counter& campaigns =
+        obs::metrics().counter("sim.parallel.campaigns");
+    campaigns.add();
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= episodes) return;
+          run_one(i);
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
+  }
+
+  // Reduce in episode order via singleton merges for *every* jobs value
+  // (including 1): merging is not bit-interchangeable with sequential
+  // add(), so using one reduction everywhere is what makes --jobs N and
+  // --jobs 1 aggregates exactly equal.
+  ExperimentResult total;
+  for (const EpisodeMetrics& m : metrics) {
+    ExperimentResult one;
+    one.add(m);
+    total.merge(one);
+  }
+  return total;
 }
 
 }  // namespace recoverd::sim

@@ -3,6 +3,8 @@
 // algorithm time, recovery actions, monitor calls).
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "controller/controller.hpp"
@@ -60,6 +62,13 @@ struct ExperimentResult {
   std::size_t episodes = 0;
   std::size_t unrecovered = 0;      ///< controller quit before the fault was fixed
   std::size_t not_terminated = 0;   ///< hit the max_steps cap
+
+  /// Folds one episode into the aggregate (the serial accumulation).
+  void add(const EpisodeMetrics& m);
+
+  /// Merges another aggregate (the parallel reduction; RunningStats::merge
+  /// under the hood).
+  void merge(const ExperimentResult& other);
 };
 
 /// Runs `episodes` injections sampled from `injector`, each on a fresh
@@ -68,5 +77,27 @@ ExperimentResult run_experiment(const Pomdp& env_model,
                                 controller::RecoveryController& controller,
                                 const FaultInjector& injector, std::size_t episodes,
                                 std::uint64_t seed, const EpisodeConfig& config);
+
+/// Builds the controller for one episode of a factory-based experiment.
+/// Invoked once per episode — concurrently from worker threads when jobs >
+/// 1, so the factory must be thread-safe; each produced controller is then
+/// driven by a single thread.
+using ControllerFactory =
+    std::function<std::unique_ptr<controller::RecoveryController>()>;
+
+/// Parallel experiment runner (`--jobs` in the binaries). Episode i runs on
+/// the same pre-derived RNG stream the serial runner gives it and on a
+/// fresh controller from `make_controller`, so neither the randomness nor
+/// the controller's warm-up state depends on which worker picks the episode
+/// up. Results are reduced in episode order via singleton merges, making
+/// the aggregates *identical* — bitwise — for every value of `jobs` (see
+/// DESIGN.md §8 for the determinism argument). Note the per-episode fresh
+/// controller differs from the single-controller overload above, where
+/// online bound improvement carries over between episodes.
+ExperimentResult run_experiment(const Pomdp& env_model,
+                                const ControllerFactory& make_controller,
+                                const FaultInjector& injector, std::size_t episodes,
+                                std::uint64_t seed, const EpisodeConfig& config,
+                                std::size_t jobs);
 
 }  // namespace recoverd::sim

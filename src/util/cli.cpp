@@ -59,6 +59,12 @@ bool CliArgs::get_bool(const std::string& key, bool fallback) const {
   return fallback;
 }
 
+std::size_t CliArgs::get_jobs(std::size_t fallback) const {
+  const std::int64_t jobs = get_int("jobs", static_cast<std::int64_t>(fallback));
+  RD_EXPECTS(jobs >= 1, "CliArgs: --jobs must be >= 1");
+  return static_cast<std::size_t>(jobs);
+}
+
 void CliArgs::require_known(const std::vector<std::string>& known) const {
   for (const auto& [key, value] : kv_) {
     (void)value;

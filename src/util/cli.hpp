@@ -3,6 +3,7 @@
 // without pulling in a heavyweight CLI dependency.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -23,6 +24,11 @@ class CliArgs {
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Parses the shared `--jobs=N` worker-count flag (validated ≥ 1). The
+  /// default of 1 keeps every binary serial — and hence byte-for-byte
+  /// compatible with pre-`--jobs` runs — unless parallelism is requested.
+  std::size_t get_jobs(std::size_t fallback = 1) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -95,6 +95,57 @@ TEST(SparseMatrix, TransposeMultiplyMatchesTransposedMultiply) {
   EXPECT_TRUE(approx_equal(via_transpose_multiply, via_materialized, 1e-12));
 }
 
+TEST(SparseMatrix, MultiplyIntoMatchesAllocatingMultiply) {
+  Rng rng(123);
+  const std::size_t rows = 9, cols = 14;
+  SparseMatrixBuilder b(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (rng.bernoulli(0.25)) b.add(i, j, rng.uniform(-2.0, 2.0));
+    }
+  }
+  const SparseMatrix m = b.build();
+  std::vector<double> x(cols);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const auto expected = m.multiply(x);
+  // Pre-poison the output: multiply_into must overwrite, not accumulate.
+  std::vector<double> y(rows, 1e9);
+  m.multiply_into(x, y);
+  for (std::size_t i = 0; i < rows; ++i) EXPECT_DOUBLE_EQ(y[i], expected[i]);
+}
+
+TEST(SparseMatrix, MultiplyTransposeIntoMatchesAllocating) {
+  Rng rng(321);
+  const std::size_t rows = 11, cols = 7;
+  SparseMatrixBuilder b(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (rng.bernoulli(0.3)) b.add(i, j, rng.uniform(-2.0, 2.0));
+    }
+  }
+  const SparseMatrix m = b.build();
+  std::vector<double> x(rows);
+  for (auto& v : x) v = rng.uniform(0.0, 1.0);
+  x[0] = 0.0;  // exercises the xi == 0 skip in the scatter loop
+  const auto expected = m.multiply_transpose(x);
+  std::vector<double> y(cols, -7.0);
+  m.multiply_transpose_into(x, y);
+  for (std::size_t j = 0; j < cols; ++j) EXPECT_DOUBLE_EQ(y[j], expected[j]);
+}
+
+TEST(SparseMatrix, IntoVariantsRejectMismatchedSpans) {
+  SparseMatrixBuilder b(2, 3);
+  b.add(0, 0, 1.0);
+  const SparseMatrix m = b.build();
+  std::vector<double> x3(3), x2(2), y2(2), y3(3);
+  EXPECT_THROW(m.multiply_into(x2, y2), PreconditionError);
+  EXPECT_THROW(m.multiply_into(x3, y3), PreconditionError);
+  EXPECT_THROW(m.multiply_transpose_into(x3, y3), PreconditionError);
+  EXPECT_THROW(m.multiply_transpose_into(x2, y2), PreconditionError);
+  EXPECT_NO_THROW(m.multiply_into(x3, y2));
+  EXPECT_NO_THROW(m.multiply_transpose_into(x2, y3));
+}
+
 TEST(SparseMatrix, RowSumsDetectStochasticity) {
   SparseMatrixBuilder b(2, 2);
   b.add(0, 0, 0.3);

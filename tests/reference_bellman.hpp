@@ -1,0 +1,88 @@
+// Frozen copy of the recursive Max-Avg expansion that predates the
+// iterative ExpansionEngine (src/pomdp/expansion.*). The parity suite
+// checks the engine bit-for-bit against this reference, so keep it as a
+// straight transcription of Eq. 2 with the library's exact conventions:
+//   - actions ascending, folded with std::max (first action wins ties),
+//   - observation branches in ascending ObsId order,
+//   - kept_mass accumulated BEFORE each child expansion,
+//   - value += (beta * gamma) * child, then value / kept_mass,
+//   - fully pruned action => future value 0.
+// Do not "modernise" this file; its value is that it never changes.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+#include "pomdp/belief.hpp"
+#include "pomdp/expansion.hpp"
+#include "pomdp/pomdp.hpp"
+
+namespace recoverd::testref {
+
+struct RefContext {
+  const Pomdp& pomdp;
+  const std::function<double(const Belief&)>& leaf;
+  double beta;
+  ActionId skip_action;
+  double branch_floor;
+};
+
+inline double ref_action_future_value(const RefContext& ctx, const Belief& belief,
+                                      ActionId a, int depth);
+
+inline double ref_expand(const RefContext& ctx, const Belief& belief, int depth) {
+  if (depth <= 0) return ctx.leaf(belief);
+  double best = -std::numeric_limits<double>::infinity();
+  for (ActionId a = 0; a < ctx.pomdp.num_actions(); ++a) {
+    if (a == ctx.skip_action) continue;
+    const double value =
+        linalg::dot(ctx.pomdp.mdp().rewards(a), belief.probabilities()) +
+        ref_action_future_value(ctx, belief, a, depth);
+    best = std::max(best, value);
+  }
+  return best;
+}
+
+inline double ref_action_future_value(const RefContext& ctx, const Belief& belief,
+                                      ActionId a, int depth) {
+  double value = 0.0;
+  double kept_mass = 0.0;
+  for (const auto& branch :
+       belief_successors(ctx.pomdp, belief, a, ctx.branch_floor)) {
+    kept_mass += branch.probability;
+    value += ctx.beta * branch.probability * ref_expand(ctx, branch.posterior, depth - 1);
+  }
+  if (kept_mass <= 0.0) return 0.0;
+  return value / kept_mass;
+}
+
+inline double ref_bellman_value(const Pomdp& pomdp, const Belief& belief, int depth,
+                                const std::function<double(const Belief&)>& leaf,
+                                double beta = 1.0, ActionId skip_action = kInvalidId,
+                                double branch_floor = 0.0) {
+  const RefContext ctx{pomdp, leaf, beta, skip_action, branch_floor};
+  return ref_expand(ctx, belief, depth);
+}
+
+inline std::vector<ActionValue> ref_bellman_action_values(
+    const Pomdp& pomdp, const Belief& belief, int depth,
+    const std::function<double(const Belief&)>& leaf, double beta = 1.0,
+    ActionId skip_action = kInvalidId, double branch_floor = 0.0) {
+  const RefContext ctx{pomdp, leaf, beta, skip_action, branch_floor};
+  std::vector<ActionValue> out;
+  out.reserve(pomdp.num_actions());
+  for (ActionId a = 0; a < pomdp.num_actions(); ++a) {
+    if (a == skip_action) {
+      out.push_back({a, -std::numeric_limits<double>::infinity()});
+      continue;
+    }
+    const double value = linalg::dot(pomdp.mdp().rewards(a), belief.probabilities()) +
+                         ref_action_future_value(ctx, belief, a, depth);
+    out.push_back({a, value});
+  }
+  return out;
+}
+
+}  // namespace recoverd::testref

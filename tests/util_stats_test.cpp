@@ -62,6 +62,61 @@ TEST(RunningStats, MergeWithEmptySides) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStats, MergeBothEmptyStaysEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStats, SingletonMergeChainMatchesSequentialAddExactly) {
+  // The parallel experiment reducer folds per-episode singletons into the
+  // total in episode order. The mean/sum/min/max/count of that chain must
+  // be BITWISE equal to sequential add() — a singleton merge updates the
+  // mean with the same delta/n expression Welford uses — which is what lets
+  // run_experiment(jobs=N) reproduce its own jobs=1 aggregates exactly.
+  Rng rng(17);
+  RunningStats sequential, chained;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-1e3, 1e3);
+    sequential.add(x);
+    RunningStats one;
+    one.add(x);
+    chained.merge(one);
+  }
+  EXPECT_EQ(chained.count(), sequential.count());
+  EXPECT_EQ(chained.mean(), sequential.mean());
+  EXPECT_EQ(chained.sum(), sequential.sum());
+  EXPECT_EQ(chained.min(), sequential.min());
+  EXPECT_EQ(chained.max(), sequential.max());
+  // The variance recurrences differ in rounding only.
+  EXPECT_NEAR(chained.variance(), sequential.variance(),
+              1e-9 * (1.0 + sequential.variance()));
+}
+
+TEST(RunningStats, SingletonMergeChainIsSelfConsistent) {
+  // Two identical singleton-merge chains agree bitwise on everything,
+  // including m2: the reduction is deterministic, not merely close.
+  Rng rng(23);
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = rng.uniform(-5.0, 5.0);
+  RunningStats first, second;
+  for (const double x : xs) {
+    RunningStats one;
+    one.add(x);
+    first.merge(one);
+  }
+  for (const double x : xs) {
+    RunningStats one;
+    one.add(x);
+    second.merge(one);
+  }
+  EXPECT_EQ(first.count(), second.count());
+  EXPECT_EQ(first.mean(), second.mean());
+  EXPECT_EQ(first.variance(), second.variance());
+}
+
 TEST(RunningStats, CiShrinksWithSamples) {
   Rng rng(9);
   RunningStats small, large;

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # One-command verification gate for PRs:
 #   1. tier-1: Release configure + build + full ctest run (the ROADMAP gate);
-#   2. sanitize: RelWithDebInfo + ASan/UBSan build + full ctest run.
+#   2. sanitize: RelWithDebInfo + ASan/UBSan build + full ctest run;
+#   3. tsan: ThreadSanitizer build + the concurrency tests (names matching
+#      "Parallel": the parallel experiment runner and the engine's root
+#      fan-out), which exercise every cross-thread code path in the repo.
 #
-# Usage: tools/check.sh            # both passes
-#        SKIP_SANITIZE=1 tools/check.sh   # tier-1 only
+# Usage: tools/check.sh            # all passes
+#        SKIP_SANITIZE=1 tools/check.sh   # skip the ASan/UBSan pass
+#        SKIP_TSAN=1 tools/check.sh       # skip the ThreadSanitizer pass
 #        JOBS=8 tools/check.sh     # override parallelism
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,6 +25,17 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all"
   cmake --build build-sanitize -j "$JOBS"
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
+fi
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== tsan: ThreadSanitizer build + concurrency tests (CMakePresets.json 'tsan') =="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -fno-sanitize-recover=all"
+  # Building the two test binaries that contain the threaded paths keeps the
+  # pass fast; gtest_discover_tests registers their cases at build time.
+  cmake --build build-tsan -j "$JOBS" \
+    --target sim_parallel_experiment_test pomdp_expansion_parity_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "Parallel"
 fi
 
 echo "All checks passed."
