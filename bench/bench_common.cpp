@@ -19,7 +19,16 @@ EmnExperimentSetup parse_emn_setup(const CliArgs& args) {
       static_cast<std::size_t>(args.get_int("bootstrap-runs", 10));
   setup.bootstrap_depth = static_cast<int>(args.get_int("bootstrap-depth", 2));
   setup.jobs = args.get_jobs(1);
+  setup.mismatch = sim::parse_mismatch_options(args);
+  setup.guard = controller::parse_guard_options(args);
   return setup;
+}
+
+std::vector<std::string> robustness_flag_names() {
+  std::vector<std::string> names = sim::mismatch_flag_names();
+  const std::vector<std::string> guard = controller::guard_flag_names();
+  names.insert(names.end(), guard.begin(), guard.end());
+  return names;
 }
 
 sim::ExperimentResult run_campaign(const Pomdp& env_model,

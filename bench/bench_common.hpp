@@ -6,8 +6,10 @@
 #include <string>
 #include <vector>
 
+#include "controller/guard.hpp"
 #include "models/emn.hpp"
 #include "sim/experiment.hpp"
+#include "sim/mismatch_injector.hpp"
 #include "util/cli.hpp"
 
 namespace recoverd::bench {
@@ -23,11 +25,20 @@ struct EmnExperimentSetup {
   std::size_t bootstrap_runs = 10;
   int bootstrap_depth = 2;
   std::size_t jobs = 1;  ///< worker threads for the episode runner (--jobs)
+  /// Chaos axes (--mismatch-*) and guard runtime (--guard-*,
+  /// --decide-deadline-ms); all default off, keeping clean campaigns exact.
+  sim::MismatchOptions mismatch;
+  controller::GuardOptions guard;
 };
 
 /// Parses the common flags (--top, --seed, --capacity, --branch-floor,
-/// --termination-probability, --bootstrap-runs, --bootstrap-depth, --jobs).
+/// --termination-probability, --bootstrap-runs, --bootstrap-depth, --jobs)
+/// plus the chaos/guard flags (see parse_mismatch_options /
+/// parse_guard_options).
 EmnExperimentSetup parse_emn_setup(const CliArgs& args);
+
+/// The chaos/guard flag keys, for require_known() lists.
+std::vector<std::string> robustness_flag_names();
 
 /// Runs a fault-injection campaign with `jobs` workers. jobs == 1 drives
 /// `serial_controller` through the serial runner — the paper's

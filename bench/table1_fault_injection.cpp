@@ -15,6 +15,10 @@
 //                    Oracle row is always serial)
 //   --seed, --capacity, --branch-floor, --termination-probability,
 //   --bootstrap-runs, --bootstrap-depth  (see bench_common)
+//   --mismatch-*, --guard-policy, --decide-deadline-ms, --guard-*
+//                    chaos axes and guard runtime (default off — clean
+//                    campaigns are byte-identical to pre-chaos builds; see
+//                    bench/robustness_campaign.cpp for the severity sweep)
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -40,7 +44,8 @@ int run(const CliArgs& args) {
   const Pomdp recovery = models::make_emn_recovery_model(setup.emn);
   const models::EmnIds ids = models::emn_ids(base, setup.emn);
   const sim::FaultInjector injector = make_zombie_injector(base, ids);
-  const sim::EpisodeConfig config = make_emn_episode_config(base, ids);
+  sim::EpisodeConfig config = make_emn_episode_config(base, ids);
+  config.mismatch = setup.mismatch;
 
   std::vector<TableRow> rows;
 
@@ -50,8 +55,11 @@ int run(const CliArgs& args) {
     opts.observe_action = ids.topo.observe_action;
     opts.termination_probability = setup.termination_probability;
     controller::MostLikelyController c(base, opts);
-    const sim::ControllerFactory factory = [&base, opts] {
-      return std::make_unique<controller::MostLikelyController>(base, opts);
+    c.set_guard_options(setup.guard);
+    const sim::ControllerFactory factory = [&base, opts, &setup] {
+      auto controller = std::make_unique<controller::MostLikelyController>(base, opts);
+      controller->set_guard_options(setup.guard);
+      return controller;
     };
     rows.push_back({"Most Likely", "1",
                     run_campaign(base, c, factory, injector, faults, setup.seed, config,
@@ -67,8 +75,11 @@ int run(const CliArgs& args) {
     opts.termination_probability = setup.termination_probability;
     opts.branch_floor = setup.branch_floor;
     controller::HeuristicController c(base, opts);
-    const sim::ControllerFactory factory = [&base, opts] {
-      return std::make_unique<controller::HeuristicController>(base, opts);
+    c.set_guard_options(setup.guard);
+    const sim::ControllerFactory factory = [&base, opts, &setup] {
+      auto controller = std::make_unique<controller::HeuristicController>(base, opts);
+      controller->set_guard_options(setup.guard);
+      return controller;
     };
     const std::size_t n = heuristic_faults[depth - 1];
     rows.push_back({"Heuristic", std::to_string(depth),
@@ -96,10 +107,13 @@ int run(const CliArgs& args) {
     opts.tree_depth = 1;
     opts.branch_floor = setup.branch_floor;
     controller::BoundedController c(recovery, set, opts);
+    c.set_guard_options(setup.guard);
     // Parallel episodes each start from a private copy of the warm
     // bootstrapped set (snapshotted here, before the serial run mutates it).
-    const sim::ControllerFactory factory = [&recovery, set, opts] {
-      return controller::BoundedController::make_owning(recovery, set, opts);
+    const sim::ControllerFactory factory = [&recovery, set, opts, &setup] {
+      auto controller = controller::BoundedController::make_owning(recovery, set, opts);
+      controller->set_guard_options(setup.guard);
+      return controller;
     };
     rows.push_back({"Bounded", "1",
                     run_campaign(base, c, factory, injector, faults, setup.seed, config,
@@ -142,9 +156,13 @@ int run(const CliArgs& args) {
 
 int main(int argc, char** argv) {
   const recoverd::CliArgs args(argc, argv);
-  args.require_known({"metrics-out", "faults", "faults-d2", "faults-d3", "top", "seed", "capacity",
-                      "branch-floor", "termination-probability", "bootstrap-runs",
-                      "bootstrap-depth", "jobs"});
+  std::vector<std::string> known = {
+      "metrics-out", "faults", "faults-d2", "faults-d3", "top", "seed", "capacity",
+      "branch-floor", "termination-probability", "bootstrap-runs",
+      "bootstrap-depth", "jobs"};
+  const std::vector<std::string> robustness = recoverd::bench::robustness_flag_names();
+  known.insert(known.end(), robustness.begin(), robustness.end());
+  args.require_known(known);
   const int code = recoverd::bench::run(args);
   recoverd::obs::dump_metrics_if_requested(args);
   return code;

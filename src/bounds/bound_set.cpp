@@ -82,6 +82,20 @@ void BoundSet::protect(std::size_t index) {
   entries_[index].is_protected = true;
 }
 
+bool BoundSet::is_protected(std::size_t index) const {
+  RD_EXPECTS(index < entries_.size(), "BoundSet::is_protected: index out of range");
+  return entries_[index].is_protected;
+}
+
+void BoundSet::remove(std::size_t index) {
+  RD_EXPECTS(index < entries_.size(), "BoundSet::remove: index out of range");
+  RD_EXPECTS(!entries_[index].is_protected,
+             "BoundSet::remove: cannot remove a protected vector");
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+  SetInstruments::get().evicted.add();
+  SetInstruments::get().size.set(static_cast<double>(entries_.size()));
+}
+
 double BoundSet::evaluate(std::span<const double> belief) const {
   const std::size_t best = best_index(belief);
   // Concurrent evaluations happen during the expansion engine's root

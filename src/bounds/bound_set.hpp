@@ -44,6 +44,13 @@ class BoundSet {
   /// Marks the vector at `index` as non-evictable (the RA-Bound base plane).
   void protect(std::size_t index);
 
+  /// True when the vector at `index` is protected from eviction/removal.
+  bool is_protected(std::size_t index) const;
+
+  /// Removes the (unprotected) vector at `index` — the guard runtime's
+  /// bound-consistency repair path. Indices past `index` shift down by one.
+  void remove(std::size_t index);
+
   /// V_B⁻(π) = max_b ⟨b, π⟩, and records a "use" of the attaining vector
   /// (for least-used eviction). Precondition: at least one vector stored.
   /// Safe to call concurrently (the use-count bump is a relaxed atomic) as

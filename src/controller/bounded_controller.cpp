@@ -5,6 +5,7 @@
 #include "obs/scoped_timer.hpp"
 #include "pomdp/bellman.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace recoverd::controller {
 
@@ -60,6 +61,8 @@ std::unique_ptr<BoundedController> BoundedController::make_owning(
 }
 
 Decision BoundedController::decide() {
+  if (const auto escalated = guard_decision()) return *escalated;
+
   DecideInstruments& instruments = DecideInstruments::get();
   instruments.decides.add();
   obs::ScopedTimer latency(instruments.decide_ms);
@@ -92,8 +95,26 @@ Decision BoundedController::decide() {
   expansion.branch_floor = options_.branch_floor;
   expansion.root_jobs = options_.root_jobs;
   const std::uint64_t nodes_before = instruments.nodes_expanded.value();
-  engine_.action_values(pi.probabilities(), options_.tree_depth, SpanLeaf::of(leaf),
-                        expansion, values_);
+  GuardRuntime& runtime = guard();
+  if (runtime.deadline_enabled()) {
+    // Degradation ladder: iterative deepening under the per-decide budget.
+    // Depth 1 (the greedy lower-bound action) always completes, then each
+    // deeper tree runs only while budget remains — the deepest finished
+    // tree's values stand. Per-action subtrees at depth d strictly contain
+    // the depth-(d-1) work, so the ladder costs at most ~2x the final depth.
+    Timer deadline;
+    int achieved = 0;
+    for (int depth = 1; depth <= options_.tree_depth; ++depth) {
+      engine_.action_values(pi.probabilities(), depth, SpanLeaf::of(leaf), expansion,
+                            values_);
+      achieved = depth;
+      if (deadline.elapsed_ms() >= runtime.options().decide_deadline_ms) break;
+    }
+    runtime.note_decide(deadline.elapsed_ms(), achieved, options_.tree_depth);
+  } else {
+    engine_.action_values(pi.probabilities(), options_.tree_depth, SpanLeaf::of(leaf),
+                          expansion, values_);
+  }
   instruments.nodes_per_decide.observe(
       static_cast<double>(instruments.nodes_expanded.value() - nodes_before));
   const std::vector<ActionValue>& values = values_;
@@ -114,6 +135,12 @@ Decision BoundedController::decide() {
     }
     if (best.action == at) return {best.action, true};
   }
+
+  // Property 1 livelock monitor: under a faithful model the expected bound
+  // strictly improves each step; a stall over the configured window (model
+  // mismatch breaking the improvement guarantee) escalates to aT now.
+  runtime.note_expected_bound(best.value);
+  if (const auto escalated = guard_decision()) return *escalated;
   return {best.action, false};
 }
 

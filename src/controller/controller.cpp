@@ -6,25 +6,63 @@
 namespace recoverd::controller {
 
 BeliefTrackingController::BeliefTrackingController(const Pomdp& model)
-    : model_(model), belief_(Belief::uniform(model.num_states())) {}
+    : model_(model),
+      belief_(Belief::uniform(model.num_states())),
+      initial_belief_(belief_) {}
 
 void BeliefTrackingController::begin_episode(const Belief& initial_belief) {
   RD_EXPECTS(initial_belief.size() == model_.num_states(),
              "BeliefTrackingController: belief dimension mismatch");
   belief_ = initial_belief;
+  initial_belief_ = initial_belief;
   mismatches_ = 0;
+  guard_.begin_episode();
 }
 
 void BeliefTrackingController::record(ActionId action, ObsId obs) {
   const auto update = update_belief(model_, belief_, action, obs);
-  if (!update.has_value()) {
-    ++mismatches_;
-    log_warn("controller: observation '", model_.observation_name(obs),
-             "' has zero likelihood after action '", model_.mdp().action_name(action),
-             "'; belief unchanged");
+  if (update.has_value()) {
+    belief_ = update->next;
     return;
   }
-  belief_ = update->next;
+  // γ ≤ 0: the observation is impossible under (π, a) — a model-mismatch
+  // event. The guard policy decides how the belief recovers.
+  ++mismatches_;
+  switch (guard_.options().mismatch_policy) {
+    case GuardPolicy::Ignore:
+      log_warn("controller: observation '", model_.observation_name(obs),
+               "' has zero likelihood after action '", model_.mdp().action_name(action),
+               "'; belief unchanged");
+      break;
+    case GuardPolicy::Renormalize:
+      // Condition on the action only: π ← πᵀP(a). Keeps the information the
+      // action's dynamics carry and discards the impossible reading.
+      belief_ = Belief(predict_state_distribution(model_, belief_, action));
+      log_warn("controller: observation '", model_.observation_name(obs),
+               "' has zero likelihood after action '", model_.mdp().action_name(action),
+               "'; belief renormalized on the action prediction");
+      break;
+    case GuardPolicy::ResetPrior:
+      belief_ = initial_belief_;
+      log_warn("controller: observation '", model_.observation_name(obs),
+               "' has zero likelihood after action '", model_.mdp().action_name(action),
+               "'; belief reset to the episode prior");
+      break;
+    case GuardPolicy::Escalate:
+      guard_.request_escalation("mismatch");
+      break;
+  }
+}
+
+std::optional<Decision> BeliefTrackingController::guard_decision() {
+  if (!guard_.escalation_requested()) return std::nullopt;
+  Decision decision;
+  decision.terminate = true;
+  // When the planning model carries an explicit aT, report it so harnesses
+  // that log actions see the operator hand-off; execution is the same.
+  decision.action = model_.has_terminate_action() ? model_.terminate_action()
+                                                  : kInvalidId;
+  return decision;
 }
 
 }  // namespace recoverd::controller

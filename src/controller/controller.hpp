@@ -9,8 +9,10 @@
 // rule such as a recovered-probability threshold).
 #pragma once
 
+#include <optional>
 #include <string>
 
+#include "controller/guard.hpp"
 #include "pomdp/belief.hpp"
 #include "pomdp/pomdp.hpp"
 #include "pomdp/types.hpp"
@@ -54,8 +56,8 @@ class RecoveryController {
 
 /// Common base for controllers that track a Bayes belief over the model.
 /// An observation that the model assigns zero likelihood (a model-mismatch
-/// event) leaves the belief unchanged and increments a counter the harness
-/// can report.
+/// event) is handled per the guard's GuardPolicy — by default it leaves the
+/// belief unchanged and increments a counter the harness can report.
 class BeliefTrackingController : public RecoveryController {
  public:
   explicit BeliefTrackingController(const Pomdp& model);
@@ -65,12 +67,34 @@ class BeliefTrackingController : public RecoveryController {
   const Belief& belief() const override { return belief_; }
   const Pomdp& model() const override { return model_; }
 
-  /// Number of zero-likelihood observations swallowed this episode.
+  /// Number of zero-likelihood observations seen this episode.
   std::size_t mismatch_count() const { return mismatches_; }
+
+  /// Installs the guard runtime's configuration. Takes effect from the next
+  /// begin_episode(); defaults keep every legacy code path exact.
+  void set_guard_options(const GuardOptions& options) { guard_ = GuardRuntime(options); }
+
+  GuardRuntime& guard() { return guard_; }
+  const GuardRuntime& guard() const { return guard_; }
+
+ protected:
+  /// Escalation hook for decide() implementations: once any guard tripped,
+  /// returns the terminate decision (aT when the planning model has one,
+  /// plain `terminate` otherwise); nullopt on the normal path. Subclasses
+  /// call this first in decide().
+  std::optional<Decision> guard_decision();
+
+  /// Overwrites the tracked belief (guard repair paths in subclasses).
+  void set_belief(Belief belief) { belief_ = std::move(belief); }
+
+  /// The belief begin_episode() started from (GuardPolicy::ResetPrior).
+  const Belief& initial_belief() const { return initial_belief_; }
 
  private:
   const Pomdp& model_;
   Belief belief_;
+  Belief initial_belief_;
+  GuardRuntime guard_;
   std::size_t mismatches_ = 0;
 };
 

@@ -1,0 +1,169 @@
+#include "controller/guard.hpp"
+
+#include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace recoverd::controller {
+
+namespace {
+struct GuardInstruments {
+  obs::Counter& escalations;
+  obs::Counter& deadline_degraded;
+  obs::Counter& deadline_overruns;
+  obs::Counter& deadline_escalations;
+  obs::Counter& livelock_escalations;
+  obs::Counter& mismatch_escalations;
+  obs::Counter& bound_repairs;
+  obs::Counter& bound_unrepairable;
+
+  static GuardInstruments& get() {
+    static GuardInstruments instruments{
+        obs::metrics().counter("controller.guard.escalations"),
+        obs::metrics().counter("controller.guard.deadline_degraded"),
+        obs::metrics().counter("controller.guard.deadline_overruns"),
+        obs::metrics().counter("controller.guard.deadline_escalations"),
+        obs::metrics().counter("controller.guard.livelock_escalations"),
+        obs::metrics().counter("controller.guard.mismatch_escalations"),
+        obs::metrics().counter("controller.guard.bound_repairs"),
+        obs::metrics().counter("controller.guard.bound_unrepairable"),
+    };
+    return instruments;
+  }
+};
+}  // namespace
+
+GuardPolicy parse_guard_policy(const std::string& name) {
+  if (name == "ignore") return GuardPolicy::Ignore;
+  if (name == "renormalize") return GuardPolicy::Renormalize;
+  if (name == "reset-prior") return GuardPolicy::ResetPrior;
+  if (name == "escalate") return GuardPolicy::Escalate;
+  RD_EXPECTS(false, "guard policy must be one of ignore|renormalize|reset-prior|"
+                    "escalate, got '" + name + "'");
+  return GuardPolicy::Ignore;
+}
+
+const char* guard_policy_name(GuardPolicy policy) {
+  switch (policy) {
+    case GuardPolicy::Ignore: return "ignore";
+    case GuardPolicy::Renormalize: return "renormalize";
+    case GuardPolicy::ResetPrior: return "reset-prior";
+    case GuardPolicy::Escalate: return "escalate";
+  }
+  return "ignore";
+}
+
+GuardOptions parse_guard_options(const CliArgs& args) {
+  GuardOptions options;
+  options.mismatch_policy = parse_guard_policy(
+      args.get_choice("guard-policy", "ignore",
+                      {"ignore", "renormalize", "reset-prior", "escalate"}));
+  options.decide_deadline_ms = args.get_double("decide-deadline-ms", 0.0);
+  options.deadline_max_overruns =
+      static_cast<int>(args.get_int("guard-deadline-overruns", 8));
+  options.livelock_window =
+      static_cast<std::size_t>(args.get_int("guard-livelock-window", 0));
+  RD_EXPECTS(options.decide_deadline_ms >= 0.0,
+             "CliArgs: --decide-deadline-ms must be >= 0");
+  RD_EXPECTS(options.deadline_max_overruns >= 1,
+             "CliArgs: --guard-deadline-overruns must be >= 1");
+  return options;
+}
+
+std::vector<std::string> guard_flag_names() {
+  return {"guard-policy", "decide-deadline-ms", "guard-deadline-overruns",
+          "guard-livelock-window"};
+}
+
+GuardRuntime::GuardRuntime(GuardOptions options) : options_(options) {
+  RD_EXPECTS(options_.decide_deadline_ms >= 0.0,
+             "GuardOptions: decide_deadline_ms must be >= 0");
+  RD_EXPECTS(options_.deadline_max_overruns >= 1,
+             "GuardOptions: deadline_max_overruns must be >= 1");
+  RD_EXPECTS(options_.livelock_min_improvement >= 0.0,
+             "GuardOptions: livelock_min_improvement must be >= 0");
+}
+
+void GuardRuntime::begin_episode() {
+  escalated_ = false;
+  consecutive_overruns_ = 0;
+  stalled_decides_ = 0;
+  has_best_bound_ = false;
+  best_bound_ = 0.0;
+}
+
+void GuardRuntime::request_escalation(const char* reason) {
+  if (escalated_) return;
+  escalated_ = true;
+  GuardInstruments& instruments = GuardInstruments::get();
+  instruments.escalations.add();
+  const std::string why(reason);
+  if (why == "deadline") instruments.deadline_escalations.add();
+  if (why == "livelock") instruments.livelock_escalations.add();
+  if (why == "mismatch") instruments.mismatch_escalations.add();
+  log_warn("guard: escalating to termination (", why, ")");
+}
+
+void GuardRuntime::note_decide(double elapsed_ms, int achieved_depth,
+                               int configured_depth) {
+  if (!deadline_enabled()) return;
+  GuardInstruments& instruments = GuardInstruments::get();
+  if (achieved_depth < configured_depth) instruments.deadline_degraded.add();
+  // An overrun only counts against the escalation budget once the ladder
+  // has already degraded to its greedy floor — a deeper tree that ran over
+  // simply degrades further next time.
+  if (elapsed_ms >= options_.decide_deadline_ms && achieved_depth <= 1) {
+    instruments.deadline_overruns.add();
+    if (++consecutive_overruns_ >= options_.deadline_max_overruns) {
+      request_escalation("deadline");
+    }
+  } else {
+    consecutive_overruns_ = 0;
+  }
+}
+
+void GuardRuntime::note_expected_bound(double value) {
+  if (options_.livelock_window == 0) return;
+  if (!has_best_bound_ || value > best_bound_ + options_.livelock_min_improvement) {
+    has_best_bound_ = true;
+    best_bound_ = value;
+    stalled_decides_ = 0;
+    return;
+  }
+  if (++stalled_decides_ >= options_.livelock_window) {
+    request_escalation("livelock");
+  }
+}
+
+std::size_t repair_bound_crossing(bounds::BoundSet& lower,
+                                  const bounds::SawtoothUpperBound& upper,
+                                  const Belief& belief, double tolerance) {
+  std::size_t evicted = 0;
+  const double ub = upper.evaluate(belief.probabilities());
+  // Uses best_index() + an explicit dot product (not evaluate()) so the
+  // consistency check leaves the set's least-used eviction ordering intact —
+  // a clean run through this guard stays bit-identical.
+  while (lower.size() > 0) {
+    const std::size_t offender = lower.best_index(belief.probabilities());
+    const double lb = linalg::dot(lower.vector_at(offender), belief.probabilities());
+    if (lb <= ub + tolerance) break;
+    if (lower.is_protected(offender)) {
+      // The RA-Bound base plane itself crosses: with a sound RA-Bound this
+      // means the *upper* bound is the unsound one. Count it and move on —
+      // never abort a recovery over a diagnostics inconsistency.
+      GuardInstruments::get().bound_unrepairable.add();
+      break;
+    }
+    lower.remove(offender);
+    ++evicted;
+    GuardInstruments::get().bound_repairs.add();
+  }
+  if (evicted > 0) {
+    log_warn("guard: evicted ", evicted,
+             " lower-bound hyperplane(s) crossing the sawtooth upper bound");
+  }
+  return evicted;
+}
+
+}  // namespace recoverd::controller

@@ -1,0 +1,126 @@
+// recoverd::guard — hardened controller runtime with graceful degradation.
+//
+// The paper's controllers assume the world matches the model they plan
+// with; under the chaos axes of sim/mismatch_injector.hpp that assumption
+// breaks in four specific ways, each of which gets an explicit runtime
+// response here instead of a crash or a livelock:
+//
+//  1. impossible observations — the Bayes update's γ ≤ 0 path (pomdp/belief
+//     returns nullopt) gets a configurable recovery policy: keep the belief
+//     (legacy), renormalise via the action's prediction, reset to the
+//     episode prior, or escalate to termination;
+//  2. decision deadlines — a per-decide() budget with a staged degradation
+//     ladder (full depth → shallower trees → the greedy depth-1
+//     lower-bound action → aT escalation after repeated overruns),
+//     mirroring the paper's operator-response fallback;
+//  3. livelock — Property 1 guarantees the expected bound strictly improves
+//     every step *under a faithful model*; when it stops improving over a
+//     window (which perturbed models can cause), escalate to aT;
+//  4. bound inconsistency — a lower bound crossing the sawtooth upper bound
+//     (impossible when both are sound) evicts the offending hyperplanes and
+//     keeps going, never aborts.
+//
+// Every response increments a `controller.guard.*` counter so campaigns can
+// report *how* the controller degraded, not just that it survived.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bounds/bound_set.hpp"
+#include "bounds/sawtooth_upper.hpp"
+#include "pomdp/belief.hpp"
+#include "pomdp/types.hpp"
+#include "util/cli.hpp"
+
+namespace recoverd::controller {
+
+/// What a belief-tracking controller does when an observation has zero
+/// likelihood under its model (a model-mismatch event).
+enum class GuardPolicy {
+  Ignore,       ///< keep the belief unchanged (legacy behaviour)
+  Renormalize,  ///< condition on the action only: belief ← πᵀP(a)
+  ResetPrior,   ///< reset to the episode's initial belief
+  Escalate,     ///< request termination (aT / operator hand-off)
+};
+
+/// Parses "ignore" | "renormalize" | "reset-prior" | "escalate"; throws
+/// PreconditionError on anything else.
+GuardPolicy parse_guard_policy(const std::string& name);
+const char* guard_policy_name(GuardPolicy policy);
+
+struct GuardOptions {
+  GuardPolicy mismatch_policy = GuardPolicy::Ignore;
+  /// Per-decide() wall-clock budget in ms; 0 disables the deadline ladder
+  /// (and keeps decide() on the exact single-expansion code path).
+  double decide_deadline_ms = 0.0;
+  /// Consecutive decides that blow the deadline at the greedy floor before
+  /// the controller escalates to aT.
+  int deadline_max_overruns = 8;
+  /// Escalate when the expected bound has not strictly improved for this
+  /// many consecutive decides; 0 disables livelock detection.
+  std::size_t livelock_window = 0;
+  /// Minimum improvement that counts as progress for the livelock monitor.
+  double livelock_min_improvement = 1e-9;
+};
+
+/// Parses the shared guard flags (defaults preserve legacy behaviour):
+/// --guard-policy, --decide-deadline-ms, --guard-deadline-overruns,
+/// --guard-livelock-window.
+GuardOptions parse_guard_options(const CliArgs& args);
+
+/// The flag keys above, for require_known() lists.
+std::vector<std::string> guard_flag_names();
+
+/// Per-episode guard state machine owned by BeliefTrackingController.
+class GuardRuntime {
+ public:
+  GuardRuntime() = default;
+  explicit GuardRuntime(GuardOptions options);
+
+  const GuardOptions& options() const { return options_; }
+
+  /// Clears the per-episode state (escalation, overrun/stall counters).
+  void begin_episode();
+
+  /// True once any guard tripped; controllers terminate on their next
+  /// decide() (BeliefTrackingController::guard_decision()).
+  bool escalation_requested() const { return escalated_; }
+
+  /// Trips the escalation latch. `reason` labels the counter bump (one of
+  /// "mismatch", "deadline", "livelock" for the built-in sources).
+  void request_escalation(const char* reason);
+
+  bool deadline_enabled() const { return options_.decide_deadline_ms > 0.0; }
+
+  /// Feed the deadline ladder's outcome for one decide(): total elapsed
+  /// time and the tree depth actually completed vs. configured. Counts
+  /// degradations; repeated overruns at the greedy floor escalate.
+  void note_decide(double elapsed_ms, int achieved_depth, int configured_depth);
+
+  /// Feed the decide()'s best expected bound. Property 1 says it strictly
+  /// improves under a faithful model; `livelock_window` consecutive decides
+  /// without improvement escalate.
+  void note_expected_bound(double value);
+
+ private:
+  GuardOptions options_;
+  bool escalated_ = false;
+  int consecutive_overruns_ = 0;
+  std::size_t stalled_decides_ = 0;
+  bool has_best_bound_ = false;
+  double best_bound_ = 0.0;
+};
+
+/// Bound-consistency repair: while V_B⁻(π) exceeds the sawtooth upper bound
+/// at π (impossible when both bounds are sound — a signature of unsound
+/// online updates under model mismatch), evict the offending unprotected
+/// lower hyperplane. The protected RA-Bound base plane is never removed; if
+/// it is the one crossing, the conflict is counted and left in place.
+/// Returns the number of hyperplanes evicted.
+std::size_t repair_bound_crossing(bounds::BoundSet& lower,
+                                  const bounds::SawtoothUpperBound& upper,
+                                  const Belief& belief, double tolerance = 1e-6);
+
+}  // namespace recoverd::controller

@@ -27,6 +27,8 @@ HeuristicController::HeuristicController(const Pomdp& model,
 }
 
 Decision HeuristicController::decide() {
+  if (const auto escalated = guard_decision()) return *escalated;
+
   const Pomdp& pomdp = model();
   const Belief& pi = belief();
 

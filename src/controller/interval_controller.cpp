@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "bounds/incremental_update.hpp"
+#include "controller/guard.hpp"
+#include "obs/metrics.hpp"
 #include "pomdp/bellman.hpp"
 #include "util/check.hpp"
 
@@ -24,6 +26,8 @@ IntervalController::IntervalController(const Pomdp& model, bounds::BoundSet& low
 }
 
 Decision IntervalController::decide() {
+  if (const auto escalated = guard_decision()) return *escalated;
+
   const Pomdp& pomdp = model();
   const Belief& pi = belief();
   stats_ = IntervalDecisionStats{};
@@ -42,6 +46,14 @@ Decision IntervalController::decide() {
       // certified gap remains sound.
       upper_.improve_at(pi);
     }
+  }
+
+  // Bound-consistency guard: online updates computed from off-model
+  // observations can push a lower hyperplane above the sawtooth upper bound.
+  // Evict the offenders (never the protected RA-Bound plane) rather than
+  // branch-and-bounding over an inconsistent interval.
+  if (options_.repair_bound_crossings) {
+    repair_bound_crossing(lower_, upper_, pi, options_.repair_tolerance);
   }
 
   // Both expansions run on the controller's engine with devirtualized span
@@ -78,7 +90,20 @@ Decision IntervalController::decide() {
       best_action = a;
     }
   }
-  RD_ENSURES(best_action != kInvalidId, "IntervalController: every action pruned");
+  if (best_action == kInvalidId) {
+    // Every action's upper bound fell below the best lower bound — only
+    // possible when the bounds are inconsistent (model mismatch). Falling
+    // back to the best lower-bound action keeps the recovery going; aborting
+    // a live recovery over a diagnostics inconsistency is never right.
+    obs::metrics().counter("controller.interval.prune_conflicts").add();
+    for (ActionId a = 0; a < pomdp.num_actions(); ++a) {
+      if (best_action == kInvalidId ||
+          lower_values[a].value > lower_values[best_action].value) {
+        best_action = a;
+      }
+    }
+    best_upper = upper_values[best_action].value;
+  }
   stats_.lower = lower_values[best_action].value;
   stats_.upper = best_upper;
 

@@ -23,6 +23,12 @@ struct IntervalControllerOptions {
   double branch_floor = 0.0;
   double terminate_tie_epsilon = 1e-9;
   double improvement_min_fault_mass = 0.01;
+  /// Guard: when the lower bound crosses the sawtooth upper bound at the
+  /// current belief (impossible with sound bounds — a model-mismatch
+  /// signature), evict the offending lower hyperplanes instead of planning
+  /// on an inconsistent interval.
+  bool repair_bound_crossings = true;
+  double repair_tolerance = 1e-6;
 };
 
 /// Per-decision diagnostics (for the extension bench and tests).

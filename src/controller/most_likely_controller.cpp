@@ -21,6 +21,8 @@ void MostLikelyController::begin_episode(const Belief& initial_belief) {
 }
 
 Decision MostLikelyController::decide() {
+  if (const auto escalated = guard_decision()) return *escalated;
+
   const Mdp& mdp = model().mdp();
   const Belief& pi = belief();
 

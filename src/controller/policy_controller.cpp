@@ -18,6 +18,8 @@ PolicyController::PolicyController(const Pomdp& model, Policy policy,
 }
 
 Decision PolicyController::decide() {
+  if (const auto escalated = guard_decision()) return *escalated;
+
   const Pomdp& pomdp = model();
   const Belief& pi = belief();
 

@@ -6,6 +6,7 @@ RandomController::RandomController(const Pomdp& model, Rng rng)
     : BeliefTrackingController(model), rng_(rng) {}
 
 Decision RandomController::decide() {
+  if (const auto escalated = guard_decision()) return *escalated;
   const Pomdp& pomdp = model();
   // Models with recovery notification stop on certainty of recovery (the
   // monitors would have told a real controller to stop).

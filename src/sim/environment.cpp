@@ -7,8 +7,12 @@ namespace recoverd::sim {
 
 Environment::Environment(const Pomdp& model, Rng rng) : model_(model), rng_(rng) {}
 
+Environment::Environment(const Pomdp& model, Rng rng, MismatchInjector mismatch)
+    : model_(model), mismatch_(std::move(mismatch)), rng_(rng) {}
+
 void Environment::reset(StateId initial_state) {
   RD_EXPECTS(initial_state < model_.num_states(), "Environment::reset: state out of range");
+  if (mismatch_.has_value()) mismatch_->reset();
   state_ = initial_state;
   elapsed_ = 0.0;
   cost_ = 0.0;
@@ -25,8 +29,20 @@ Environment::StepResult Environment::step(ActionId action) {
   StepResult result;
   result.reward = mdp.reward(state_, action);
   result.duration = mdp.duration(action);
-  result.next_state = sample_transition(mdp, state_, action, rng_);
+  // Chaos pipeline: a silently failed action leaves the true state in place
+  // (cost and time still accrue); otherwise the transition samples from the
+  // jittered world when configured, the model otherwise. The monitors then
+  // observe the true next state and the reading runs through the
+  // observation-corruption channel.
+  if (mismatch_.has_value() && mismatch_->action_fails(action)) {
+    result.next_state = state_;
+  } else if (mismatch_.has_value() && mismatch_->has_transition_jitter()) {
+    result.next_state = mismatch_->sample_transition(state_, action, rng_);
+  } else {
+    result.next_state = sample_transition(mdp, state_, action, rng_);
+  }
   result.obs = sample_observation(model_, result.next_state, action, rng_);
+  if (mismatch_.has_value()) result.obs = mismatch_->corrupt_observation(result.obs);
 
   cost_ -= result.reward;
   elapsed_ += result.duration;

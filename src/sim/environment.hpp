@@ -4,8 +4,10 @@
 #pragma once
 
 #include <limits>
+#include <optional>
 
 #include "pomdp/pomdp.hpp"
+#include "sim/mismatch_injector.hpp"
 #include "util/rng.hpp"
 
 namespace recoverd::sim {
@@ -16,6 +18,12 @@ class Environment {
   /// recovery model — a real system has no absorbing sT). Must outlive the
   /// environment.
   Environment(const Pomdp& model, Rng rng);
+
+  /// Chaos variant: the world deviates from `model` per the injector's
+  /// mismatch axes (jittered transitions, failed actions, corrupted
+  /// observations). The injector's RNG stream is private, so a mismatch run
+  /// and a clean run with the same `rng` share the baseline draw sequence.
+  Environment(const Pomdp& model, Rng rng, MismatchInjector mismatch);
 
   /// Injects a fault: sets the true state, resets clocks and accumulators.
   void reset(StateId initial_state);
@@ -49,8 +57,14 @@ class Environment {
 
   std::size_t steps() const { return steps_; }
 
+  /// The chaos injector driving this environment, nullptr for a clean run.
+  const MismatchInjector* mismatch() const {
+    return mismatch_.has_value() ? &*mismatch_ : nullptr;
+  }
+
  private:
   const Pomdp& model_;
+  std::optional<MismatchInjector> mismatch_;
   Rng rng_;
   StateId state_ = 0;
   double elapsed_ = 0.0;

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace recoverd::sim {
@@ -20,6 +21,7 @@ struct EpisodeInstruments {
   obs::Counter& recovery_actions;
   obs::Counter& unrecovered;
   obs::Counter& not_terminated;
+  obs::Counter& truncated;
   obs::Histogram& episode_cost;
   obs::Histogram& episode_steps;
   obs::Histogram& algorithm_ms;
@@ -32,6 +34,7 @@ struct EpisodeInstruments {
         obs::metrics().counter("sim.recovery_actions"),
         obs::metrics().counter("sim.episodes_unrecovered"),
         obs::metrics().counter("sim.episodes_not_terminated"),
+        obs::metrics().counter("sim.episodes.truncated"),
         obs::metrics().histogram("sim.episode_cost",
                                  obs::exponential_buckets(1.0, 2.0, 24)),
         obs::metrics().histogram("sim.episode_steps",
@@ -48,7 +51,10 @@ struct EpisodeInstruments {
     monitor_calls.add(m.monitor_calls);
     recovery_actions.add(m.recovery_actions);
     if (!m.recovered) unrecovered.add();
-    if (!m.terminated) not_terminated.add();
+    if (!m.terminated) {
+      not_terminated.add();
+      truncated.add();  // the explicit alias: the episode hit the step cap
+    }
     episode_cost.observe(m.cost);
     episode_steps.observe(static_cast<double>(m.recovery_actions + m.monitor_calls));
     algorithm_ms.observe(m.algorithm_time_ms);
@@ -66,6 +72,31 @@ Belief initial_belief(const Pomdp& controller_model, const Pomdp& env_model,
     }
   }
   return Belief::uniform_over(controller_model.num_states(), support);
+}
+
+// Builds one episode's environment, preserving the exact RNG split order of
+// the pre-mismatch harness: the environment stream splits first, the
+// injector stream only when chaos is enabled, and the caller samples the
+// fault afterwards. A clean config therefore consumes the same draws as
+// before the chaos layer existed.
+Environment make_environment(const Pomdp& env_model, Rng& episode_rng,
+                             const EpisodeConfig& config) {
+  Rng env_rng = episode_rng.split();
+  if (!config.mismatch.enabled()) return Environment(env_model, env_rng);
+  MismatchOptions options = config.mismatch;
+  if (options.exempt_action == kInvalidId) options.exempt_action = config.observe_action;
+  return Environment(env_model, env_rng,
+                     MismatchInjector(env_model, options, episode_rng.split()));
+}
+
+// Truncated episodes end by cap, not by controller decision — their rows
+// silently understate cost unless the campaign is told. Loud and once per
+// experiment, on stderr so table stdout stays byte-identical.
+void warn_truncated(const ExperimentResult& result, const EpisodeConfig& config) {
+  if (result.truncated() == 0) return;
+  log_warn("experiment: ", result.truncated(), " of ", result.episodes,
+           " episode(s) hit the max_steps cap (", config.max_steps,
+           ") — cost/time for those rows are cap-censored lower bounds");
 }
 }  // namespace
 
@@ -175,10 +206,11 @@ ExperimentResult run_experiment(const Pomdp& env_model,
   Rng master(seed);
   for (std::size_t i = 0; i < episodes; ++i) {
     Rng episode_rng = master.split();
-    Environment env(env_model, episode_rng.split());
+    Environment env = make_environment(env_model, episode_rng, config);
     const StateId fault = injector.sample(episode_rng);
     result.add(run_episode(env, controller, fault, config));
   }
+  warn_truncated(result, config);
   return result;
 }
 
@@ -202,7 +234,7 @@ ExperimentResult run_experiment(const Pomdp& env_model,
   std::vector<EpisodeMetrics> metrics(episodes);
   const auto run_one = [&](std::size_t i) {
     Rng episode_rng = streams[i];
-    Environment env(env_model, episode_rng.split());
+    Environment env = make_environment(env_model, episode_rng, config);
     const StateId fault = injector.sample(episode_rng);
     const std::unique_ptr<controller::RecoveryController> episode_controller =
         make_controller();
@@ -241,6 +273,7 @@ ExperimentResult run_experiment(const Pomdp& env_model,
     one.add(m);
     total.merge(one);
   }
+  warn_truncated(total, config);
   return total;
 }
 

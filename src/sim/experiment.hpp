@@ -10,6 +10,7 @@
 #include "controller/controller.hpp"
 #include "sim/environment.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/mismatch_injector.hpp"
 #include "sim/trace.hpp"
 #include "util/stats.hpp"
 
@@ -28,6 +29,12 @@ struct EpisodeConfig {
   /// Support of the controller's initial belief ("all faults equally
   /// likely", §4). Empty = all non-goal states of the *environment* model.
   std::vector<StateId> fault_support;
+  /// Chaos axes the *environment* deviates from the model by (default off:
+  /// clean runs, byte-identical to pre-mismatch harnesses). The injector's
+  /// RNG stream is split per episode after the environment stream — and
+  /// only when enabled — so clean campaigns keep their exact draw
+  /// sequences and mismatch campaigns stay `--jobs`-invariant.
+  MismatchOptions mismatch;
 };
 
 /// Per-episode results.
@@ -62,6 +69,11 @@ struct ExperimentResult {
   std::size_t episodes = 0;
   std::size_t unrecovered = 0;      ///< controller quit before the fault was fixed
   std::size_t not_terminated = 0;   ///< hit the max_steps cap
+
+  /// Episodes cut off by the max_steps safety cap — the explicit name for
+  /// not_terminated: the controller never stopped on its own, so cost and
+  /// time for these rows are cap-censored lower bounds.
+  std::size_t truncated() const { return not_terminated; }
 
   /// Folds one episode into the aggregate (the serial accumulation).
   void add(const EpisodeMetrics& m);

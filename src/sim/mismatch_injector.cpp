@@ -1,0 +1,210 @@
+#include "sim/mismatch_injector.hpp"
+
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::sim {
+
+namespace {
+// Campaign-level chaos instruments (process-global; per-injector tallies are
+// the per-episode view of the same events).
+struct MismatchInstruments {
+  obs::Counter& flips;
+  obs::Counter& drops;
+  obs::Counter& stuck_outages;
+  obs::Counter& stuck_readings;
+  obs::Counter& action_failures;
+
+  static MismatchInstruments& get() {
+    static MismatchInstruments instruments{
+        obs::metrics().counter("sim.mismatch.obs_flipped"),
+        obs::metrics().counter("sim.mismatch.obs_dropped"),
+        obs::metrics().counter("sim.mismatch.stuck_outages"),
+        obs::metrics().counter("sim.mismatch.stuck_readings"),
+        obs::metrics().counter("sim.mismatch.action_failures"),
+    };
+    return instruments;
+  }
+};
+
+void check_rate(double rate, const char* flag) {
+  RD_EXPECTS(std::isfinite(rate) && rate >= 0.0 && rate <= 1.0,
+             std::string("MismatchOptions: ") + flag + " must lie in [0, 1]");
+}
+}  // namespace
+
+bool MismatchOptions::enabled() const {
+  return obs_flip_rate > 0.0 || obs_drop_rate > 0.0 || stuck_rate > 0.0 ||
+         action_fail_rate > 0.0 || transition_jitter > 0.0;
+}
+
+MismatchOptions parse_mismatch_options(const CliArgs& args) {
+  MismatchOptions options;
+  options.obs_flip_rate = args.get_double("mismatch-obs-flip", 0.0);
+  options.obs_drop_rate = args.get_double("mismatch-obs-drop", 0.0);
+  options.stuck_rate = args.get_double("mismatch-stuck-rate", 0.0);
+  options.stuck_steps =
+      static_cast<std::size_t>(args.get_int("mismatch-stuck-steps", 8));
+  options.action_fail_rate = args.get_double("mismatch-action-fail", 0.0);
+  options.transition_jitter = args.get_double("mismatch-transition-jitter", 0.0);
+  check_rate(options.obs_flip_rate, "--mismatch-obs-flip");
+  check_rate(options.obs_drop_rate, "--mismatch-obs-drop");
+  check_rate(options.stuck_rate, "--mismatch-stuck-rate");
+  check_rate(options.action_fail_rate, "--mismatch-action-fail");
+  check_rate(options.transition_jitter, "--mismatch-transition-jitter");
+  return options;
+}
+
+std::vector<std::string> mismatch_flag_names() {
+  return {"mismatch-obs-flip",    "mismatch-obs-drop",
+          "mismatch-stuck-rate",  "mismatch-stuck-steps",
+          "mismatch-action-fail", "mismatch-transition-jitter"};
+}
+
+MismatchInjector::MismatchInjector(const Pomdp& model, const MismatchOptions& options,
+                                   Rng rng)
+    : model_(&model), options_(options), rng_(rng) {
+  check_rate(options_.obs_flip_rate, "obs_flip_rate");
+  check_rate(options_.obs_drop_rate, "obs_drop_rate");
+  check_rate(options_.stuck_rate, "stuck_rate");
+  check_rate(options_.action_fail_rate, "action_fail_rate");
+  check_rate(options_.transition_jitter, "transition_jitter");
+
+  const std::size_t num_obs = model.num_observations();
+  obs_bit_structured_ = num_obs >= 2 && (num_obs & (num_obs - 1)) == 0;
+  if (obs_bit_structured_) {
+    while ((std::size_t{1} << obs_bits_) < num_obs) ++obs_bits_;
+  }
+  if (has_transition_jitter()) build_jittered_rows(rng_);
+}
+
+void MismatchInjector::reset() {
+  has_last_delivered_ = false;
+  last_delivered_ = kInvalidId;
+  stuck_remaining_ = 0;
+  stuck_obs_ = kInvalidId;
+}
+
+bool MismatchInjector::action_fails(ActionId action) {
+  if (options_.action_fail_rate <= 0.0) return false;
+  if (action == options_.exempt_action) return false;
+  if (action == model_->terminate_action()) return false;
+  if (!rng_.bernoulli(options_.action_fail_rate)) return false;
+  ++failed_;
+  MismatchInstruments::get().action_failures.add();
+  return true;
+}
+
+void MismatchInjector::build_jittered_rows(Rng& rng) {
+  const Mdp& mdp = model_->mdp();
+  const double delta = options_.transition_jitter;
+  jittered_.resize(mdp.num_actions());
+  std::vector<double> noise;
+  for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+    jittered_[a].resize(mdp.num_states());
+    const linalg::SparseMatrix& p = mdp.transition(a);
+    for (StateId s = 0; s < mdp.num_states(); ++s) {
+      const auto row = p.row(s);
+      auto& out = jittered_[a][s];
+      out.assign(row.begin(), row.end());
+      // Goal-state dynamics stay exact: jitter models wrong beliefs about
+      // *recovery* effects, not spontaneous re-failure of a healed system.
+      if (mdp.is_goal(s)) continue;
+      // The perturbed support is the model row's plus the self-loop: most
+      // recovery models have deterministic repair rows (support size 1),
+      // which a support-preserving mixture could never perturb. Admitting
+      // the self-loop means a jittered world where actions can fail to make
+      // progress this step — without opening paths to arbitrary states.
+      bool has_self = false;
+      for (const auto& entry : row) has_self |= entry.col == s;
+      if (!has_self) out.push_back({s, 0.0});
+      if (out.size() < 2) continue;  // pure self-loop row: nothing to mix
+      // Dirichlet(1) over the augmented support via normalised
+      // exponentials; the perturbed row is the δ-mixture with the model row.
+      noise.resize(out.size());
+      double total = 0.0;
+      for (double& e : noise) {
+        e = -std::log(1.0 - rng.uniform01());
+        total += e;
+      }
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i].value = (1.0 - delta) * out[i].value + delta * noise[i] / total;
+      }
+    }
+  }
+}
+
+StateId MismatchInjector::sample_transition(StateId s, ActionId a, Rng& env_rng) const {
+  RD_EXPECTS(has_transition_jitter(),
+             "MismatchInjector::sample_transition: no jitter configured");
+  RD_EXPECTS(a < jittered_.size() && s < jittered_[a].size(),
+             "MismatchInjector::sample_transition: index out of range");
+  const auto& row = jittered_[a][s];
+  // Same walk as pomdp/sampling.cpp: the last entry absorbs FP residue.
+  double u = env_rng.uniform01();
+  for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+    if (u < row[i].value) return row[i].col;
+    u -= row[i].value;
+  }
+  return row.back().col;
+}
+
+std::span<const linalg::SparseEntry> MismatchInjector::perturbed_row(ActionId a,
+                                                                     StateId s) const {
+  RD_EXPECTS(has_transition_jitter(),
+             "MismatchInjector::perturbed_row: no jitter configured");
+  RD_EXPECTS(a < jittered_.size() && s < jittered_[a].size(),
+             "MismatchInjector::perturbed_row: index out of range");
+  return jittered_[a][s];
+}
+
+ObsId MismatchInjector::corrupt_observation(ObsId fresh) {
+  MismatchInstruments& instruments = MismatchInstruments::get();
+  ObsId delivered = fresh;
+
+  if (stuck_remaining_ > 0) {
+    // Mid-outage: the channel keeps replaying the frozen reading.
+    --stuck_remaining_;
+    delivered = stuck_obs_;
+    ++stuck_readings_;
+    instruments.stuck_readings.add();
+  } else if (options_.stuck_rate > 0.0 && rng_.bernoulli(options_.stuck_rate)) {
+    // Outage starts: freeze the last delivered reading (the fresh one when
+    // the episode has produced none yet) for the next `stuck_steps` steps.
+    stuck_obs_ = has_last_delivered_ ? last_delivered_ : fresh;
+    stuck_remaining_ = options_.stuck_steps;
+    delivered = stuck_obs_;
+    ++stuck_readings_;
+    instruments.stuck_outages.add();
+    instruments.stuck_readings.add();
+  } else if (options_.obs_drop_rate > 0.0 && has_last_delivered_ &&
+             rng_.bernoulli(options_.obs_drop_rate)) {
+    // Fresh reading lost; the stale channel replays the previous delivery.
+    delivered = last_delivered_;
+    ++dropped_;
+    instruments.drops.add();
+  } else if (options_.obs_flip_rate > 0.0) {
+    // ε-corruption of readings that actually made it through the channel.
+    if (obs_bit_structured_) {
+      for (std::size_t m = 0; m < obs_bits_; ++m) {
+        if (rng_.bernoulli(options_.obs_flip_rate)) {
+          delivered ^= ObsId{1} << m;
+        }
+      }
+    } else if (rng_.bernoulli(options_.obs_flip_rate)) {
+      delivered = static_cast<ObsId>(rng_.uniform_index(model_->num_observations()));
+    }
+    if (delivered != fresh) {
+      ++flipped_;
+      instruments.flips.add();
+    }
+  }
+
+  last_delivered_ = delivered;
+  has_last_delivered_ = true;
+  return delivered;
+}
+
+}  // namespace recoverd::sim

@@ -1,0 +1,130 @@
+// Model-mismatch chaos injection: perturbs the *world* independently of the
+// controller's model, so campaigns can measure how gracefully each
+// controller degrades when the POMDP it plans with is wrong — the regime a
+// production recovery daemon actually lives in (the paper's guarantees, and
+// the under-approximation results of Bork et al. / Ho et al. in PAPERS.md,
+// all assume a faithful model).
+//
+// Five composable axes, each defaulting to "off" (the injector is inert and
+// the simulator's draw sequence is byte-identical to a run without it):
+//  - observation corruption: flip monitor bits with rate ε (bit-structured
+//    alphabets, |O| = 2^M, treat the ObsId as the joint monitor bit-vector;
+//    otherwise the whole reading is resampled uniformly with rate ε);
+//  - observation drops/delays: with some rate the fresh reading is lost and
+//    the previously *delivered* reading is replayed (a stale channel);
+//  - stuck-at outages: with some per-step rate the whole monitoring channel
+//    freezes its last delivered reading for k steps;
+//  - action-failure inflation: recovery actions silently no-op (the true
+//    state does not move) with probability p — monitors are exempt;
+//  - transition perturbation: each episode the world's transition rows are
+//    jittered toward a Dirichlet(1) draw over their support — augmented
+//    with the self-loop so deterministic repair rows can lose progress —
+//    with magnitude δ (rows of goal states keep their exact dynamics so a
+//    recovered system stays recovered).
+//
+// Determinism: every injector draws from its own RNG stream, split from the
+// per-episode stream *after* the environment's (and only when mismatch is
+// enabled), so enabling chaos never perturbs the baseline draw sequence and
+// campaigns stay reproducible and `--jobs`-invariant.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/sparse_matrix.hpp"
+#include "pomdp/pomdp.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::sim {
+
+/// Chaos axes; all rates in [0, 1], all defaults "off".
+struct MismatchOptions {
+  double obs_flip_rate = 0.0;      ///< ε: per-monitor-bit flip probability
+  double obs_drop_rate = 0.0;      ///< fresh reading dropped, stale one replayed
+  double stuck_rate = 0.0;         ///< per-step probability an outage starts
+  std::size_t stuck_steps = 8;     ///< outage length k (readings frozen)
+  double action_fail_rate = 0.0;   ///< p: recovery action silently no-ops
+  double transition_jitter = 0.0;  ///< δ: Dirichlet jitter of world dynamics
+  /// Action exempt from failure inflation (normally the monitoring action;
+  /// the experiment harness fills this in from EpisodeConfig).
+  ActionId exempt_action = kInvalidId;
+
+  /// True when any axis is active — the harness only constructs an injector
+  /// (and splits an RNG stream for it) in that case.
+  bool enabled() const;
+};
+
+/// Parses the shared `--mismatch-*` flags (all default 0 = off):
+/// --mismatch-obs-flip, --mismatch-obs-drop, --mismatch-stuck-rate,
+/// --mismatch-stuck-steps, --mismatch-action-fail,
+/// --mismatch-transition-jitter.
+MismatchOptions parse_mismatch_options(const CliArgs& args);
+
+/// The flag keys above, for require_known() lists.
+std::vector<std::string> mismatch_flag_names();
+
+/// Per-episode chaos state machine the Environment consults on every step.
+/// Owns a private RNG stream; movable (held in std::optional by the
+/// Environment).
+class MismatchInjector {
+ public:
+  /// `model` must outlive the injector. Builds the jittered transition rows
+  /// (when δ > 0) from `rng` immediately, so two injectors constructed from
+  /// equal streams perturb the world identically.
+  MismatchInjector(const Pomdp& model, const MismatchOptions& options, Rng rng);
+
+  const MismatchOptions& options() const { return options_; }
+
+  /// Clears the per-episode channel state (stale reading, stuck outage).
+  /// The jittered dynamics persist — they are this episode's world.
+  void reset();
+
+  /// True when this step's action silently no-ops (never for the exempt
+  /// monitoring action).
+  bool action_fails(ActionId action);
+
+  bool has_transition_jitter() const { return options_.transition_jitter > 0.0; }
+
+  /// Samples s' from the jittered row p̃(·|s, a) using the *environment's*
+  /// stream, mirroring sample_transition(). Only valid with δ > 0.
+  StateId sample_transition(StateId s, ActionId a, Rng& env_rng) const;
+
+  /// The jittered row for (a, s) — inspection/tests. Only valid with δ > 0.
+  std::span<const linalg::SparseEntry> perturbed_row(ActionId a, StateId s) const;
+
+  /// Runs the fresh reading through the corruption pipeline (stuck-at →
+  /// drop → bit flips) and returns what the controller actually receives.
+  ObsId corrupt_observation(ObsId fresh);
+
+  /// Per-injector event tallies (process-global `sim.mismatch.*` counters
+  /// aggregate the same events across a campaign).
+  std::size_t observations_flipped() const { return flipped_; }
+  std::size_t observations_dropped() const { return dropped_; }
+  std::size_t stuck_readings() const { return stuck_readings_; }
+  std::size_t actions_failed() const { return failed_; }
+
+ private:
+  void build_jittered_rows(Rng& rng);
+
+  const Pomdp* model_;
+  MismatchOptions options_;
+  Rng rng_;
+  // Jittered world dynamics, [a][s] rows over the original support.
+  std::vector<std::vector<std::vector<linalg::SparseEntry>>> jittered_;
+  // Observation-channel state.
+  bool obs_bit_structured_ = false;
+  std::size_t obs_bits_ = 0;
+  bool has_last_delivered_ = false;
+  ObsId last_delivered_ = kInvalidId;
+  std::size_t stuck_remaining_ = 0;
+  ObsId stuck_obs_ = kInvalidId;
+  // Tallies.
+  std::size_t flipped_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t stuck_readings_ = 0;
+  std::size_t failed_ = 0;
+};
+
+}  // namespace recoverd::sim

@@ -31,6 +31,20 @@ std::string CliArgs::get_string(const std::string& key, const std::string& fallb
   return it == kv_.end() ? fallback : it->second;
 }
 
+std::string CliArgs::get_choice(const std::string& key, const std::string& fallback,
+                                const std::vector<std::string>& allowed) const {
+  const std::string value = get_string(key, fallback);
+  if (std::find(allowed.begin(), allowed.end(), value) != allowed.end()) return value;
+  std::string expected;
+  for (const auto& option : allowed) {
+    if (!expected.empty()) expected += "|";
+    expected += option;
+  }
+  RD_EXPECTS(false, "CliArgs: --" + key + " must be one of " + expected +
+                        ", got '" + value + "'");
+  return fallback;
+}
+
 std::int64_t CliArgs::get_int(const std::string& key, std::int64_t fallback) const {
   const auto it = kv_.find(key);
   if (it == kv_.end()) return fallback;

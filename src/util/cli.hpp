@@ -21,6 +21,11 @@ class CliArgs {
   bool has(const std::string& key) const;
 
   std::string get_string(const std::string& key, const std::string& fallback) const;
+
+  /// Like get_string(), but throws PreconditionError unless the value (or
+  /// the fallback when absent) is one of `allowed`.
+  std::string get_choice(const std::string& key, const std::string& fallback,
+                         const std::vector<std::string>& allowed) const;
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;

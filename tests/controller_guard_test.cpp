@@ -1,0 +1,424 @@
+// The recoverd::guard runtime: mismatch policies on the Bayes γ ≤ 0 path,
+// the decide() deadline ladder, livelock detection, bound-consistency
+// repair, and the max_steps truncation accounting.
+#include "controller/guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/ra_bound.hpp"
+#include "bounds/sawtooth_upper.hpp"
+#include "controller/bounded_controller.hpp"
+#include "controller/heuristic_controller.hpp"
+#include "controller/interval_controller.hpp"
+#include "controller/most_likely_controller.hpp"
+#include "controller/policy_controller.hpp"
+#include "controller/random_controller.hpp"
+#include "models/two_server.hpp"
+#include "obs/metrics.hpp"
+#include "sim/experiment.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::controller {
+namespace {
+
+CliArgs make_args(const std::vector<std::string>& flags) {
+  std::vector<const char*> argv = {"test"};
+  for (const auto& flag : flags) argv.push_back(flag.c_str());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(GuardPolicyTest, ParsesEveryPolicyRoundTrip) {
+  for (GuardPolicy policy : {GuardPolicy::Ignore, GuardPolicy::Renormalize,
+                             GuardPolicy::ResetPrior, GuardPolicy::Escalate}) {
+    EXPECT_EQ(parse_guard_policy(guard_policy_name(policy)), policy);
+  }
+  EXPECT_THROW(parse_guard_policy("panic"), PreconditionError);
+  EXPECT_THROW(parse_guard_policy(""), PreconditionError);
+}
+
+TEST(GuardOptionsTest, DefaultsPreserveLegacyBehaviour) {
+  const GuardOptions options = parse_guard_options(make_args({}));
+  EXPECT_EQ(options.mismatch_policy, GuardPolicy::Ignore);
+  EXPECT_DOUBLE_EQ(options.decide_deadline_ms, 0.0);
+  EXPECT_EQ(options.deadline_max_overruns, 8);
+  EXPECT_EQ(options.livelock_window, 0u);
+  EXPECT_EQ(guard_flag_names().size(), 4u);
+}
+
+TEST(GuardOptionsTest, ParsesEveryFlag) {
+  const GuardOptions options = parse_guard_options(
+      make_args({"--guard-policy=reset-prior", "--decide-deadline-ms=2.5",
+                 "--guard-deadline-overruns=3", "--guard-livelock-window=32"}));
+  EXPECT_EQ(options.mismatch_policy, GuardPolicy::ResetPrior);
+  EXPECT_DOUBLE_EQ(options.decide_deadline_ms, 2.5);
+  EXPECT_EQ(options.deadline_max_overruns, 3);
+  EXPECT_EQ(options.livelock_window, 32u);
+}
+
+TEST(GuardOptionsTest, RejectsInvalidValues) {
+  EXPECT_THROW(parse_guard_options(make_args({"--guard-policy=bogus"})),
+               PreconditionError);
+  EXPECT_THROW(parse_guard_options(make_args({"--decide-deadline-ms=-1"})),
+               PreconditionError);
+  EXPECT_THROW(parse_guard_options(make_args({"--guard-deadline-overruns=0"})),
+               PreconditionError);
+}
+
+TEST(CliArgsChoiceTest, ValidatesAgainstAllowedSet) {
+  const CliArgs args = make_args({"--mode=fast"});
+  EXPECT_EQ(args.get_choice("mode", "slow", {"fast", "slow"}), "fast");
+  EXPECT_EQ(args.get_choice("missing", "slow", {"fast", "slow"}), "slow");
+  EXPECT_THROW(args.get_choice("mode", "slow", {"slow", "medium"}),
+               PreconditionError);
+}
+
+// --- GuardRuntime state machine -------------------------------------------
+
+TEST(GuardRuntimeTest, EscalationLatchesUntilNextEpisode) {
+  GuardRuntime runtime{GuardOptions{}};
+  EXPECT_FALSE(runtime.escalation_requested());
+  runtime.request_escalation("mismatch");
+  EXPECT_TRUE(runtime.escalation_requested());
+  runtime.request_escalation("mismatch");  // idempotent
+  EXPECT_TRUE(runtime.escalation_requested());
+  runtime.begin_episode();
+  EXPECT_FALSE(runtime.escalation_requested());
+}
+
+TEST(GuardRuntimeTest, LivelockWindowEscalatesOnStalledBound) {
+  GuardOptions options;
+  options.livelock_window = 3;
+  GuardRuntime runtime(options);
+  runtime.begin_episode();
+  runtime.note_expected_bound(-5.0);  // establishes the best bound
+  runtime.note_expected_bound(-5.0);
+  runtime.note_expected_bound(-5.0);
+  EXPECT_FALSE(runtime.escalation_requested());
+  runtime.note_expected_bound(-5.0);  // third consecutive stall
+  EXPECT_TRUE(runtime.escalation_requested());
+}
+
+TEST(GuardRuntimeTest, ImprovingBoundResetsTheLivelockWindow) {
+  GuardOptions options;
+  options.livelock_window = 2;
+  GuardRuntime runtime(options);
+  runtime.begin_episode();
+  // Property 1's regime: the bound strictly improves every decide. The
+  // stall counter must never accumulate across improvements.
+  for (double v = -10.0; v < -1.0; v += 1.0) {
+    runtime.note_expected_bound(v);
+    EXPECT_FALSE(runtime.escalation_requested());
+  }
+  runtime.note_expected_bound(-2.5);  // below the best bound: stall 1
+  runtime.note_expected_bound(-2.0);  // still not above the best: stall 2 → escalate
+  EXPECT_TRUE(runtime.escalation_requested());
+}
+
+TEST(GuardRuntimeTest, LivelockDisabledByDefault) {
+  GuardRuntime runtime{GuardOptions{}};
+  runtime.begin_episode();
+  for (int i = 0; i < 100; ++i) runtime.note_expected_bound(-1.0);
+  EXPECT_FALSE(runtime.escalation_requested());
+}
+
+TEST(GuardRuntimeTest, OverrunsOnlyCountAtTheGreedyFloor) {
+  GuardOptions options;
+  options.decide_deadline_ms = 10.0;
+  options.deadline_max_overruns = 2;
+  GuardRuntime runtime(options);
+  runtime.begin_episode();
+  ASSERT_TRUE(runtime.deadline_enabled());
+  // A deep tree blowing the deadline degrades but does not burn the budget.
+  for (int i = 0; i < 10; ++i) runtime.note_decide(50.0, 3, 4);
+  EXPECT_FALSE(runtime.escalation_requested());
+  // At the greedy floor the budget applies; an in-budget decide resets it.
+  runtime.note_decide(50.0, 1, 4);
+  runtime.note_decide(1.0, 1, 4);
+  runtime.note_decide(50.0, 1, 4);
+  EXPECT_FALSE(runtime.escalation_requested());
+  runtime.note_decide(50.0, 1, 4);  // second consecutive floor overrun
+  EXPECT_TRUE(runtime.escalation_requested());
+}
+
+// --- BoundSet surgery ------------------------------------------------------
+
+TEST(BoundSetRepairTest, RemoveRespectsProtection) {
+  bounds::BoundSet set(2);
+  set.add({-10.0, -10.0});  // first added → protected RA-Bound base plane
+  set.add({-5.0, -20.0});
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.is_protected(0));
+  EXPECT_FALSE(set.is_protected(1));
+  EXPECT_THROW(set.remove(0), PreconditionError);
+  set.remove(1);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_THROW(set.remove(5), PreconditionError);
+  EXPECT_THROW(set.is_protected(5), PreconditionError);
+}
+
+class BoundCrossingFixture : public ::testing::Test {
+ protected:
+  BoundCrossingFixture()
+      : model_(models::make_two_server_without_notification(40.0)),
+        ids_(models::two_server_ids(model_)),
+        upper_(model_),
+        belief_(Belief::uniform_over(
+            model_.num_states(), std::vector<StateId>{ids_.fault_a, ids_.fault_b})) {}
+
+  bounds::BoundVector flat(double value) const {
+    return bounds::BoundVector(model_.num_states(), value);
+  }
+
+  Pomdp model_;
+  models::TwoServerIds ids_;
+  bounds::SawtoothUpperBound upper_;
+  Belief belief_;
+};
+
+TEST_F(BoundCrossingFixture, EvictsHyperplanesCrossingTheUpperBound) {
+  const double ub = upper_.evaluate(belief_);
+  bounds::BoundSet lower(model_.num_states());
+  lower.add(flat(ub - 100.0));  // sound, protected base plane
+  // Two unsound planes crossing the upper bound at the fault belief,
+  // dipping at different coordinates so neither pointwise-dominates the
+  // other (add() would prune a dominated one before the repair could).
+  bounds::BoundVector unsound_a = flat(ub + 10.0);
+  unsound_a[ids_.null_state] = ub - 50.0;
+  lower.add(std::move(unsound_a));
+  lower.add(flat(ub + 5.0));
+  ASSERT_EQ(lower.size(), 3u);
+
+  const std::size_t evicted = repair_bound_crossing(lower, upper_, belief_);
+  EXPECT_EQ(evicted, 2u);
+  EXPECT_EQ(lower.size(), 1u);
+  EXPECT_TRUE(lower.is_protected(0));
+  EXPECT_LE(lower.evaluate(belief_.probabilities()), ub + 1e-6);
+  // Idempotent once consistent.
+  EXPECT_EQ(repair_bound_crossing(lower, upper_, belief_), 0u);
+}
+
+TEST_F(BoundCrossingFixture, NeverEvictsTheProtectedBasePlane) {
+  const double ub = upper_.evaluate(belief_);
+  bounds::BoundSet lower(model_.num_states());
+  lower.add(flat(ub + 5.0));  // the base plane itself is the offender
+  const auto& unrepairable =
+      obs::metrics().counter("controller.guard.bound_unrepairable");
+  const std::uint64_t before = unrepairable.value();
+  EXPECT_EQ(repair_bound_crossing(lower, upper_, belief_), 0u);
+  EXPECT_EQ(lower.size(), 1u);  // counted, kept, recovery continues
+  EXPECT_EQ(unrepairable.value(), before + 1);
+}
+
+// --- mismatch policies on the Bayes γ ≤ 0 path ----------------------------
+
+// A three-state chain where `fix` marches s0 → s1 → goal and the
+// observation "never" has zero likelihood everywhere, so feeding it to a
+// belief tracker is a guaranteed off-model event whose action prediction
+// (point mass one step down the chain) differs from the prior.
+struct ChainModel {
+  ChainModel()
+      : pomdp(build()),
+        s0(pomdp.mdp().find_state("s0")),
+        s1(pomdp.mdp().find_state("s1")),
+        goal(pomdp.mdp().find_state("goal")),
+        fix(pomdp.mdp().find_action("fix")),
+        ok(pomdp.find_observation("ok")),
+        never(pomdp.find_observation("never")) {}
+
+  static Pomdp build() {
+    PomdpBuilder b;
+    const StateId s0 = b.add_state("s0", -1.0);
+    const StateId s1 = b.add_state("s1", -1.0);
+    const StateId goal = b.add_state("goal", 0.0);
+    b.mark_goal(goal);
+    const ActionId fix = b.add_action("fix", 1.0);
+    b.set_transition(s0, fix, s1, 1.0);
+    b.set_transition(s1, fix, goal, 1.0);
+    b.set_transition(goal, fix, goal, 1.0);
+    const ObsId ok = b.add_observation("ok");
+    b.add_observation("never");
+    for (StateId s : {s0, s1, goal}) b.set_observation_all_actions(s, ok, 1.0);
+    return b.build();
+  }
+
+  Pomdp pomdp;
+  StateId s0, s1, goal;
+  ActionId fix;
+  ObsId ok, never;
+};
+
+GuardOptions policy_options(GuardPolicy policy) {
+  GuardOptions options;
+  options.mismatch_policy = policy;
+  return options;
+}
+
+TEST(GuardMismatchPolicyTest, IgnoreKeepsTheBeliefUnchanged) {
+  ChainModel m;
+  RandomController c(m.pomdp, Rng(1));
+  c.set_guard_options(policy_options(GuardPolicy::Ignore));
+  c.begin_episode(Belief::point(m.pomdp.num_states(), m.s0));
+  c.record(m.fix, m.never);
+  EXPECT_EQ(c.mismatch_count(), 1u);
+  EXPECT_DOUBLE_EQ(c.belief()[m.s0], 1.0);
+}
+
+TEST(GuardMismatchPolicyTest, RenormalizeConditionsOnTheActionAlone) {
+  ChainModel m;
+  RandomController c(m.pomdp, Rng(1));
+  c.set_guard_options(policy_options(GuardPolicy::Renormalize));
+  c.begin_episode(Belief::point(m.pomdp.num_states(), m.s0));
+  c.record(m.fix, m.never);
+  EXPECT_EQ(c.mismatch_count(), 1u);
+  // belief ← πᵀP(fix): the point mass moved one step down the chain even
+  // though the observation carried no usable information.
+  EXPECT_DOUBLE_EQ(c.belief()[m.s1], 1.0);
+  EXPECT_DOUBLE_EQ(c.belief()[m.s0], 0.0);
+}
+
+TEST(GuardMismatchPolicyTest, ResetPriorRestoresTheEpisodeBelief) {
+  ChainModel m;
+  RandomController c(m.pomdp, Rng(1));
+  c.set_guard_options(policy_options(GuardPolicy::ResetPrior));
+  c.begin_episode(Belief::point(m.pomdp.num_states(), m.s0));
+  c.record(m.fix, m.ok);  // legitimate update: belief is now at s1
+  ASSERT_DOUBLE_EQ(c.belief()[m.s1], 1.0);
+  c.record(m.fix, m.never);
+  EXPECT_EQ(c.mismatch_count(), 1u);
+  EXPECT_DOUBLE_EQ(c.belief()[m.s0], 1.0);  // back to the episode prior
+}
+
+TEST(GuardMismatchPolicyTest, EscalateTerminatesOnNextDecide) {
+  const Pomdp model = models::make_two_server();
+  const auto ids = models::two_server_ids(model);
+  MostLikelyControllerOptions opts;
+  opts.observe_action = ids.observe;
+  MostLikelyController c(model, opts);
+  c.set_guard_options(policy_options(GuardPolicy::Escalate));
+  c.begin_episode(Belief::point(model.num_states(), ids.fault_a));
+  // alarm(b) is impossible from a point belief on Fault(a).
+  const auto& escalations = obs::metrics().counter("controller.guard.escalations");
+  const std::uint64_t before = escalations.value();
+  c.record(ids.observe, ids.alarm_b);
+  EXPECT_TRUE(c.guard().escalation_requested());
+  EXPECT_EQ(escalations.value(), before + 1);
+  const Decision d = c.decide();
+  EXPECT_TRUE(d.terminate);
+  // A fresh episode clears the latch.
+  c.begin_episode(Belief::point(model.num_states(), ids.fault_a));
+  EXPECT_FALSE(c.guard().escalation_requested());
+  EXPECT_FALSE(c.decide().terminate);
+}
+
+TEST(GuardMismatchPolicyTest, EscalateUsesTerminateActionWhenModelHasOne) {
+  const Pomdp model = models::make_two_server_without_notification(40.0);
+  const auto ids = models::two_server_ids(model);
+  bounds::BoundSet set = bounds::make_ra_bound_set(model.mdp());
+  BoundedController c(model, set);
+  c.set_guard_options(policy_options(GuardPolicy::Escalate));
+  c.begin_episode(Belief::point(model.num_states(), ids.fault_a));
+  c.record(ids.observe, ids.alarm_b);
+  const Decision d = c.decide();
+  EXPECT_TRUE(d.terminate);
+  EXPECT_EQ(d.action, model.terminate_action());
+}
+
+TEST(GuardMismatchPolicyTest, EveryBeliefTrackerSurvivesOffModelObservations) {
+  // The satellite audit: every belief-tracking controller must absorb a
+  // zero-likelihood observation (no throw, mismatch counted) and, under
+  // the escalate policy, hand the episode off on its next decide().
+  const Pomdp base = models::make_two_server();
+  const Pomdp recovery = models::make_two_server_without_notification(3600.0);
+  const auto ids = models::two_server_ids(base);
+  bounds::BoundSet lower = bounds::make_ra_bound_set(recovery.mdp());
+  bounds::SawtoothUpperBound upper(recovery);
+
+  MostLikelyControllerOptions ml_opts;
+  ml_opts.observe_action = ids.observe;
+  MostLikelyController most_likely(base, ml_opts);
+  HeuristicController heuristic(base, {});
+  BoundedController bounded(recovery, lower);
+  IntervalController interval(recovery, lower, upper);
+  PolicyController policy(recovery, Policy(recovery.num_states(), ids.observe));
+  RandomController random(base, Rng(1));
+
+  std::vector<BeliefTrackingController*> trackers = {
+      &most_likely, &heuristic, &bounded, &interval, &policy, &random};
+  for (BeliefTrackingController* c : trackers) {
+    SCOPED_TRACE(c->name());
+    c->set_guard_options(policy_options(GuardPolicy::Escalate));
+    c->begin_episode(Belief::point(c->model().num_states(), ids.fault_a));
+    // alarm(b) has zero likelihood from a point belief on Fault(a).
+    EXPECT_NO_THROW(c->record(ids.observe, ids.alarm_b));
+    EXPECT_EQ(c->mismatch_count(), 1u);
+    EXPECT_TRUE(c->decide().terminate);
+  }
+}
+
+// --- the deadline ladder on the bounded controller ------------------------
+
+TEST(GuardDeadlineTest, GenerousDeadlineKeepsTheFullDepthDecision) {
+  const Pomdp model = models::make_two_server_without_notification(40.0);
+  const auto ids = models::two_server_ids(model);
+  bounds::BoundSet set = bounds::make_ra_bound_set(model.mdp());
+  BoundedControllerOptions opts;
+  opts.tree_depth = 2;
+  BoundedController c(model, set, opts);
+  GuardOptions guard;
+  guard.decide_deadline_ms = 1e9;  // never binds
+  c.set_guard_options(guard);
+  c.begin_episode(Belief::point(model.num_states(), ids.fault_a));
+  const Decision d = c.decide();
+  EXPECT_FALSE(d.terminate);
+  EXPECT_EQ(d.action, ids.restart_a);
+  EXPECT_FALSE(c.guard().escalation_requested());
+}
+
+TEST(GuardDeadlineTest, RepeatedOverrunsAtTheFloorEscalate) {
+  const Pomdp model = models::make_two_server_without_notification(21600.0);
+  const auto ids = models::two_server_ids(model);
+  bounds::BoundSet set = bounds::make_ra_bound_set(model.mdp());
+  BoundedControllerOptions opts;
+  opts.tree_depth = 2;
+  BoundedController c(model, set, opts);
+  GuardOptions guard;
+  guard.decide_deadline_ms = 1e-9;  // every decide overruns at depth 1
+  guard.deadline_max_overruns = 2;
+  c.set_guard_options(guard);
+  c.begin_episode(Belief::uniform_over(
+      model.num_states(), std::vector<StateId>{ids.fault_a, ids.fault_b}));
+  bool terminated = false;
+  for (int i = 0; i < 4 && !terminated; ++i) {
+    terminated = c.decide().terminate;
+  }
+  EXPECT_TRUE(terminated);
+  EXPECT_TRUE(c.guard().escalation_requested());
+}
+
+// --- truncation accounting -------------------------------------------------
+
+TEST(GuardTruncationTest, CappedEpisodesAreCountedAndSurfaced) {
+  const Pomdp model = models::make_two_server();
+  const auto ids = models::two_server_ids(model);
+  MostLikelyControllerOptions opts;
+  opts.observe_action = ids.observe;
+  MostLikelyController c(model, opts);
+  const sim::FaultInjector injector({ids.fault_a, ids.fault_b});
+  sim::EpisodeConfig config;
+  config.observe_action = ids.observe;
+  config.fault_support = {ids.fault_a, ids.fault_b};
+  config.max_steps = 1;  // a one-step budget cannot finish a recovery
+  const auto& truncated_counter = obs::metrics().counter("sim.episodes.truncated");
+  const std::uint64_t before = truncated_counter.value();
+  const auto result = sim::run_experiment(model, c, injector, 5, 17, config);
+  EXPECT_EQ(result.not_terminated, 5u);
+  EXPECT_EQ(result.truncated(), 5u);
+  EXPECT_EQ(truncated_counter.value(), before + 5);
+
+  config.max_steps = 500;
+  const auto healthy = sim::run_experiment(model, c, injector, 5, 17, config);
+  EXPECT_EQ(healthy.truncated(), 0u);
+}
+
+}  // namespace
+}  // namespace recoverd::controller

@@ -1,0 +1,84 @@
+// Weighted-injection edge cases of sim::FaultInjector: zero weights, a
+// single fault, unnormalised weight sums, and the one-weight-per-fault
+// precondition.
+#include "sim/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace recoverd::sim {
+namespace {
+
+TEST(FaultInjectorTest, ZeroWeightFaultIsNeverSampled) {
+  const std::vector<StateId> faults = {3, 5, 7};
+  const std::array<double, 3> weights = {1.0, 0.0, 1.0};
+  const FaultInjector injector(faults, weights);
+  Rng rng(123);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(injector.sample(rng), StateId{5});
+  }
+}
+
+TEST(FaultInjectorTest, SingleFaultAlwaysReturned) {
+  const FaultInjector uniform({StateId{9}});
+  const std::array<double, 1> weights = {0.25};
+  const FaultInjector weighted({StateId{4}}, weights);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(uniform.sample(rng), StateId{9});
+    EXPECT_EQ(weighted.sample(rng), StateId{4});
+  }
+}
+
+TEST(FaultInjectorTest, WeightsFarAboveOneAreNormalised) {
+  // Sum 1000 ≫ 1: sampling must follow the *ratios* (1:9), not treat the
+  // values as probabilities.
+  const std::vector<StateId> faults = {1, 2};
+  const std::array<double, 2> weights = {100.0, 900.0};
+  const FaultInjector injector(faults, weights);
+  Rng rng(2024);
+  std::map<StateId, int> counts;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) ++counts[injector.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / draws, 0.1, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / draws, 0.9, 0.02);
+}
+
+TEST(FaultInjectorTest, TinyWeightsAreNormalisedToo) {
+  const std::vector<StateId> faults = {1, 2};
+  const std::array<double, 2> weights = {1e-8, 3e-8};
+  const FaultInjector injector(faults, weights);
+  Rng rng(99);
+  std::map<StateId, int> counts;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) ++counts[injector.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / draws, 0.25, 0.02);
+}
+
+TEST(FaultInjectorTest, MismatchedWeightCountThrows) {
+  const std::array<double, 2> weights = {1.0, 2.0};
+  EXPECT_THROW(FaultInjector({1, 2, 3}, weights), PreconditionError);
+}
+
+TEST(FaultInjectorTest, EmptyFaultSetThrows) {
+  EXPECT_THROW(FaultInjector({}), PreconditionError);
+}
+
+TEST(FaultInjectorTest, UniformCoversAllFaults) {
+  const std::vector<StateId> faults = {2, 4, 6, 8};
+  const FaultInjector injector(faults);
+  Rng rng(5);
+  std::map<StateId, int> counts;
+  for (int i = 0; i < 8000; ++i) ++counts[injector.sample(rng)];
+  for (StateId f : faults) {
+    EXPECT_NEAR(static_cast<double>(counts[f]) / 8000.0, 0.25, 0.03)
+        << "fault " << f;
+  }
+}
+
+}  // namespace
+}  // namespace recoverd::sim

@@ -1,0 +1,316 @@
+// The chaos axes of sim::MismatchInjector: each axis in isolation, the
+// flag parsing, and the determinism guarantees (fixed seed, and bitwise
+// `--jobs` invariance of mismatch campaigns).
+#include "sim/mismatch_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "models/emn.hpp"
+#include "models/two_server.hpp"
+#include "sim/environment.hpp"
+#include "sim/experiment.hpp"
+#include "controller/most_likely_controller.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::sim {
+namespace {
+
+CliArgs make_args(const std::vector<std::string>& flags) {
+  std::vector<const char*> argv = {"test"};
+  for (const auto& flag : flags) argv.push_back(flag.c_str());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(MismatchOptionsTest, DefaultsAreInert) {
+  const MismatchOptions options;
+  EXPECT_FALSE(options.enabled());
+  const MismatchOptions parsed = parse_mismatch_options(make_args({}));
+  EXPECT_FALSE(parsed.enabled());
+  EXPECT_EQ(parsed.stuck_steps, 8u);
+}
+
+TEST(MismatchOptionsTest, ParsesEveryFlag) {
+  const MismatchOptions options = parse_mismatch_options(make_args(
+      {"--mismatch-obs-flip=0.1", "--mismatch-obs-drop=0.2",
+       "--mismatch-stuck-rate=0.05", "--mismatch-stuck-steps=4",
+       "--mismatch-action-fail=0.3", "--mismatch-transition-jitter=0.15"}));
+  EXPECT_TRUE(options.enabled());
+  EXPECT_DOUBLE_EQ(options.obs_flip_rate, 0.1);
+  EXPECT_DOUBLE_EQ(options.obs_drop_rate, 0.2);
+  EXPECT_DOUBLE_EQ(options.stuck_rate, 0.05);
+  EXPECT_EQ(options.stuck_steps, 4u);
+  EXPECT_DOUBLE_EQ(options.action_fail_rate, 0.3);
+  EXPECT_DOUBLE_EQ(options.transition_jitter, 0.15);
+  EXPECT_EQ(mismatch_flag_names().size(), 6u);
+}
+
+TEST(MismatchOptionsTest, OutOfRangeRatesThrow) {
+  EXPECT_THROW(parse_mismatch_options(make_args({"--mismatch-obs-flip=1.5"})),
+               PreconditionError);
+  EXPECT_THROW(parse_mismatch_options(make_args({"--mismatch-action-fail=-0.1"})),
+               PreconditionError);
+}
+
+class MismatchInjectorFixture : public ::testing::Test {
+ protected:
+  MismatchInjectorFixture()
+      : model_(models::make_two_server()), ids_(models::two_server_ids(model_)) {}
+
+  MismatchInjector make(const MismatchOptions& options, std::uint64_t seed = 11) {
+    return MismatchInjector(model_, options, Rng(seed));
+  }
+
+  Pomdp model_;
+  models::TwoServerIds ids_;
+};
+
+TEST_F(MismatchInjectorFixture, ActionFailureKeepsTrueStateInPlace) {
+  MismatchOptions options;
+  options.action_fail_rate = 1.0;
+  options.exempt_action = ids_.observe;
+  Environment env(model_, Rng(3), make(options));
+  env.reset(ids_.fault_a);
+  const auto step = env.step(ids_.restart_a);
+  EXPECT_EQ(step.next_state, ids_.fault_a);  // the restart silently no-ops
+  EXPECT_LT(step.reward, 0.0);               // but its cost still accrues
+  EXPECT_EQ(env.mismatch()->actions_failed(), 1u);
+}
+
+TEST_F(MismatchInjectorFixture, CleanInjectorLeavesRestartDeterministic) {
+  Environment env(model_, Rng(3), make({}));
+  env.reset(ids_.fault_a);
+  EXPECT_EQ(env.step(ids_.restart_a).next_state, ids_.null_state);
+}
+
+TEST_F(MismatchInjectorFixture, ExemptActionNeverFails) {
+  MismatchOptions options;
+  options.action_fail_rate = 1.0;
+  options.exempt_action = ids_.observe;
+  MismatchInjector injector = make(options);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(injector.action_fails(ids_.observe));
+    EXPECT_TRUE(injector.action_fails(ids_.restart_a));
+  }
+}
+
+TEST_F(MismatchInjectorFixture, StuckOutageFreezesTheChannel) {
+  MismatchOptions options;
+  options.stuck_rate = 1.0;
+  options.stuck_steps = 3;
+  MismatchInjector injector = make(options);
+  // First reading freezes (nothing delivered yet, so the fresh one is it).
+  EXPECT_EQ(injector.corrupt_observation(ids_.alarm_a), ids_.alarm_a);
+  // Fresh readings change; the frozen channel keeps replaying alarm_a.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(injector.corrupt_observation(ids_.clear), ids_.alarm_a);
+  }
+  EXPECT_GE(injector.stuck_readings(), 6u);
+}
+
+TEST_F(MismatchInjectorFixture, ResetClearsChannelState) {
+  MismatchOptions options;
+  options.stuck_rate = 1.0;
+  options.stuck_steps = 5;
+  MismatchInjector injector = make(options);
+  EXPECT_EQ(injector.corrupt_observation(ids_.alarm_a), ids_.alarm_a);
+  injector.reset();
+  // After reset the next fresh reading freezes anew instead of replaying.
+  EXPECT_EQ(injector.corrupt_observation(ids_.clear), ids_.clear);
+}
+
+TEST_F(MismatchInjectorFixture, DropReplaysTheStaleReading) {
+  MismatchOptions options;
+  options.obs_drop_rate = 1.0;
+  MismatchInjector injector = make(options);
+  // Nothing delivered yet: the first reading always gets through.
+  EXPECT_EQ(injector.corrupt_observation(ids_.alarm_b), ids_.alarm_b);
+  // Every later fresh reading is lost; the stale channel repeats alarm_b.
+  EXPECT_EQ(injector.corrupt_observation(ids_.clear), ids_.alarm_b);
+  EXPECT_EQ(injector.corrupt_observation(ids_.alarm_a), ids_.alarm_b);
+  EXPECT_EQ(injector.observations_dropped(), 2u);
+}
+
+TEST_F(MismatchInjectorFixture, FlipResamplesNonBitStructuredAlphabets) {
+  // Two-server has 3 observations (not a power of two), so ε-corruption
+  // resamples the whole reading uniformly.
+  MismatchOptions options;
+  options.obs_flip_rate = 1.0;
+  MismatchInjector injector = make(options);
+  std::set<ObsId> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(injector.corrupt_observation(ids_.clear));
+  EXPECT_EQ(seen.size(), model_.num_observations());
+  EXPECT_GT(injector.observations_flipped(), 0u);
+}
+
+TEST(MismatchInjectorEmnTest, FlipTogglesMonitorBitsOnBitStructuredAlphabets) {
+  // EMN observations are joint monitor bit-vectors (|O| = 2^M); with ε = 1
+  // every monitor bit flips, so the delivered reading is the complement.
+  const Pomdp emn = models::make_emn_base();
+  ASSERT_GE(emn.num_observations(), 2u);
+  ASSERT_EQ(emn.num_observations() & (emn.num_observations() - 1), 0u);
+  MismatchOptions options;
+  options.obs_flip_rate = 1.0;
+  MismatchInjector injector(emn, options, Rng(5));
+  const ObsId mask = static_cast<ObsId>(emn.num_observations() - 1);
+  EXPECT_EQ(injector.corrupt_observation(ObsId{0}), mask);
+  EXPECT_EQ(injector.corrupt_observation(mask), ObsId{0});
+  EXPECT_EQ(injector.corrupt_observation(ObsId{5}), ObsId{5} ^ mask);
+}
+
+TEST_F(MismatchInjectorFixture, JitteredRowsAreDistributionsOverAugmentedSupport) {
+  MismatchOptions options;
+  options.transition_jitter = 0.2;
+  MismatchInjector injector = make(options);
+  ASSERT_TRUE(injector.has_transition_jitter());
+  const Mdp& mdp = model_.mdp();
+  for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+    for (StateId s = 0; s < mdp.num_states(); ++s) {
+      const auto row = injector.perturbed_row(a, s);
+      double sum = 0.0;
+      std::set<std::size_t> allowed;
+      for (const auto& entry : mdp.transition(a).row(s)) allowed.insert(entry.col);
+      allowed.insert(s);  // the self-loop the jitter may add
+      for (const auto& entry : row) {
+        EXPECT_GE(entry.value, 0.0);
+        EXPECT_TRUE(allowed.count(entry.col)) << "a=" << a << " s=" << s;
+        sum += entry.value;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "a=" << a << " s=" << s;
+    }
+  }
+}
+
+TEST_F(MismatchInjectorFixture, JitterPerturbsDeterministicRepairRows) {
+  MismatchOptions options;
+  options.transition_jitter = 0.25;
+  MismatchInjector injector = make(options);
+  // The model's restart_a row from fault_a is the point mass on Null; the
+  // jittered world must put strictly positive mass on staying faulty.
+  const auto row = injector.perturbed_row(ids_.restart_a, ids_.fault_a);
+  double self_mass = 0.0;
+  for (const auto& entry : row) {
+    if (entry.col == ids_.fault_a) self_mass = entry.value;
+  }
+  EXPECT_GT(self_mass, 0.0);
+  EXPECT_LT(self_mass, 0.25 + 1e-12);  // bounded by δ
+}
+
+TEST_F(MismatchInjectorFixture, GoalStateRowsStayExact) {
+  MismatchOptions options;
+  options.transition_jitter = 0.5;
+  MismatchInjector injector = make(options);
+  const Mdp& mdp = model_.mdp();
+  for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+    const auto original = mdp.transition(a).row(ids_.null_state);
+    const auto jittered = injector.perturbed_row(a, ids_.null_state);
+    ASSERT_EQ(original.size(), jittered.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(original[i].col, jittered[i].col);
+      EXPECT_EQ(original[i].value, jittered[i].value);
+    }
+  }
+}
+
+TEST_F(MismatchInjectorFixture, EqualSeedsGiveIdenticalChaos) {
+  MismatchOptions options;
+  options.obs_flip_rate = 0.3;
+  options.action_fail_rate = 0.4;
+  options.transition_jitter = 0.1;
+  MismatchInjector a = make(options, 77);
+  MismatchInjector b = make(options, 77);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.corrupt_observation(ids_.clear), b.corrupt_observation(ids_.clear));
+    EXPECT_EQ(a.action_fails(ids_.restart_a), b.action_fails(ids_.restart_a));
+  }
+  const auto row_a = a.perturbed_row(ids_.restart_a, ids_.fault_a);
+  const auto row_b = b.perturbed_row(ids_.restart_a, ids_.fault_a);
+  ASSERT_EQ(row_a.size(), row_b.size());
+  for (std::size_t i = 0; i < row_a.size(); ++i) {
+    EXPECT_EQ(row_a[i].value, row_b[i].value);
+  }
+}
+
+// --- campaign-level determinism -------------------------------------------
+
+void expect_identical(const RunningStats& a, const RunningStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.sum(), b.sum());
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.episodes, b.episodes);
+  EXPECT_EQ(a.unrecovered, b.unrecovered);
+  EXPECT_EQ(a.not_terminated, b.not_terminated);
+  expect_identical(a.cost, b.cost);
+  expect_identical(a.recovery_time, b.recovery_time);
+  expect_identical(a.residual_time, b.residual_time);
+  expect_identical(a.recovery_actions, b.recovery_actions);
+  expect_identical(a.monitor_calls, b.monitor_calls);
+}
+
+class MismatchCampaignFixture : public ::testing::Test {
+ protected:
+  MismatchCampaignFixture()
+      : base_(models::make_two_server()),
+        ids_(models::two_server_ids(base_)),
+        injector_({ids_.fault_a, ids_.fault_b}) {
+    config_.observe_action = ids_.observe;
+    config_.fault_support = {ids_.fault_a, ids_.fault_b};
+    config_.max_steps = 400;
+    config_.mismatch.obs_flip_rate = 0.15;
+    config_.mismatch.obs_drop_rate = 0.1;
+    config_.mismatch.action_fail_rate = 0.2;
+    config_.mismatch.transition_jitter = 0.1;
+  }
+
+  ControllerFactory most_likely_factory() const {
+    controller::MostLikelyControllerOptions opts;
+    opts.observe_action = ids_.observe;
+    const Pomdp& model = base_;
+    return [&model, opts] {
+      return std::make_unique<controller::MostLikelyController>(model, opts);
+    };
+  }
+
+  Pomdp base_;
+  models::TwoServerIds ids_;
+  FaultInjector injector_;
+  EpisodeConfig config_;
+};
+
+TEST_F(MismatchCampaignFixture, JobsInvarianceUnderChaos) {
+  const auto factory = most_likely_factory();
+  const auto serial = run_experiment(base_, factory, injector_, 80, 42, config_, 1);
+  const auto threaded = run_experiment(base_, factory, injector_, 80, 42, config_, 4);
+  expect_identical(serial, threaded);
+}
+
+TEST_F(MismatchCampaignFixture, RepeatedSeedsReproduceChaosCampaigns) {
+  const auto factory = most_likely_factory();
+  const auto first = run_experiment(base_, factory, injector_, 50, 9, config_, 2);
+  const auto second = run_experiment(base_, factory, injector_, 50, 9, config_, 3);
+  expect_identical(first, second);
+}
+
+TEST_F(MismatchCampaignFixture, DisabledMismatchMatchesCleanHarness) {
+  // All-zero chaos rates must leave the harness on the exact clean code
+  // path: same draws, same aggregates as a config without the field set.
+  EpisodeConfig clean = config_;
+  clean.mismatch = MismatchOptions{};
+  EpisodeConfig zeroed = clean;
+  zeroed.mismatch.stuck_steps = 17;  // inert without a stuck rate
+  const auto factory = most_likely_factory();
+  const auto a = run_experiment(base_, factory, injector_, 60, 4, clean, 1);
+  const auto b = run_experiment(base_, factory, injector_, 60, 4, zeroed, 2);
+  expect_identical(a, b);
+}
+
+}  // namespace
+}  // namespace recoverd::sim

@@ -6,9 +6,14 @@
 #      "Parallel": the parallel experiment runner and the engine's root
 #      fan-out), which exercise every cross-thread code path in the repo.
 #
+#   4. robustness: ASan/UBSan run of the guard/mismatch test binaries plus a
+#      mini chaos soak (robustness_campaign at --faults=50) that must finish
+#      with zero crashes or livelocks.
+#
 # Usage: tools/check.sh            # all passes
 #        SKIP_SANITIZE=1 tools/check.sh   # skip the ASan/UBSan pass
 #        SKIP_TSAN=1 tools/check.sh       # skip the ThreadSanitizer pass
+#        SKIP_ROBUSTNESS=1 tools/check.sh # skip the chaos soak
 #        JOBS=8 tools/check.sh     # override parallelism
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,6 +41,20 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake --build build-tsan -j "$JOBS" \
     --target sim_parallel_experiment_test pomdp_expansion_parity_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "Parallel"
+fi
+
+if [[ "${SKIP_ROBUSTNESS:-0}" != "1" ]]; then
+  echo "== robustness: sanitized guard/mismatch tests + chaos mini soak =="
+  # Reuses the build-sanitize tree (configured above unless the sanitize
+  # pass was skipped) so the soak runs under ASan/UBSan.
+  cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all"
+  cmake --build build-sanitize -j "$JOBS" \
+    --target controller_guard_test sim_mismatch_test sim_fault_injector_test \
+             robustness_campaign
+  ctest --test-dir build-sanitize --output-on-failure -j "$JOBS" \
+    -R "Guard|Mismatch|FaultInjector"
+  ./build-sanitize/bench/robustness_campaign --faults=50 --max-steps=200
 fi
 
 echo "All checks passed."
