@@ -20,30 +20,74 @@ namespace recoverd::bounds {
 struct RaBoundResult {
   linalg::SolveStatus status = linalg::SolveStatus::MaxIterations;
   BoundVector values;          ///< V_m⁻(s) (meaningful when converged)
-  std::size_t iterations = 0;  ///< Gauss–Seidel sweeps used
+  std::size_t iterations = 0;  ///< deepest per-component solver sweep count
+  std::string detail;          ///< solver diagnosis when not converged
 
   bool converged() const { return status == linalg::SolveStatus::Converged; }
 };
+
+/// The reusable offline artifact of Eq. 5: the random-action chain
+/// Q̄ = (1/|A|) Σ_a P(a) and c̄ = (1/|A|) Σ_a r(·,a), plus the SCC
+/// condensation and level schedule of Q̄'s dependency graph. The discount β
+/// is *not* folded into Q̄, so one chain serves the undiscounted solve, every
+/// discounted variant, and repeated solves — eliminating the per-call
+/// O(|A|·nnz) rebuild the old entry points paid.
+///
+/// Assembly is a one-shot CSR construction (no triplet sort): rows are
+/// merged independently with a fixed per-row action order, so the result is
+/// bitwise identical for every assembly worker count.
+struct RandomActionChain {
+  linalg::SparseMatrix q;    ///< Q̄ (undiscounted averaged transition matrix)
+  std::vector<double> c;     ///< c̄ (averaged one-step reward)
+  linalg::SolvePlan plan;    ///< topology of Q̄ (shared by all solves)
+  std::size_t num_actions = 0;
+
+  std::size_t num_states() const { return c.size(); }
+};
+
+/// Assembles the chain in parallel over row ranges with `jobs` workers
+/// (1 = serial; any value produces bitwise-identical output).
+RandomActionChain build_random_action_chain(const Mdp& mdp,
+                                            linalg::SolverJobs jobs = 1);
 
 /// Default solver settings for Eq. 5: Gauss–Seidel with successive
 /// over-relaxation (ω = 1.1), per the paper's implementation note.
 linalg::GaussSeidelOptions default_ra_solver_options();
 
-/// Computes V_m⁻ by iterating Eq. 5 (β = 1, the undiscounted criterion).
+/// Computes V_m⁻ by solving Eq. 5 (β = 1, the undiscounted criterion)
+/// through the topology-aware SCC solver. The Mdp overloads assemble a
+/// RandomActionChain internally; pass a prebuilt chain to amortise assembly
+/// across solves. `scc.scale` is owned by these functions (set from β) —
+/// any caller-provided value is ignored.
 RaBoundResult compute_ra_bound(const Mdp& mdp,
                                const linalg::GaussSeidelOptions& options =
-                                   default_ra_solver_options());
+                                   default_ra_solver_options(),
+                               const linalg::SccSolveOptions& scc = {});
+RaBoundResult compute_ra_bound(const RandomActionChain& chain,
+                               const linalg::GaussSeidelOptions& options =
+                                   default_ra_solver_options(),
+                               const linalg::SccSolveOptions& scc = {});
 
 /// Discounted variant (β < 1), used by comparison tests against the
 /// literature bounds that only converge with discounting.
 RaBoundResult compute_ra_bound_discounted(const Mdp& mdp, double beta,
                                           const linalg::GaussSeidelOptions& options =
-                                              default_ra_solver_options());
+                                              default_ra_solver_options(),
+                                          const linalg::SccSolveOptions& scc = {});
+RaBoundResult compute_ra_bound_discounted(const RandomActionChain& chain, double beta,
+                                          const linalg::GaussSeidelOptions& options =
+                                              default_ra_solver_options(),
+                                          const linalg::SccSolveOptions& scc = {});
 
 /// Convenience: computes the RA-Bound, throws ModelError when it does not
 /// converge, and seeds a BoundSet with the resulting (protected) hyperplane.
 BoundSet make_ra_bound_set(const Mdp& mdp, std::size_t capacity = 0,
                            const linalg::GaussSeidelOptions& options =
-                               default_ra_solver_options());
+                               default_ra_solver_options(),
+                           const linalg::SccSolveOptions& scc = {});
+BoundSet make_ra_bound_set(const RandomActionChain& chain, std::size_t capacity = 0,
+                           const linalg::GaussSeidelOptions& options =
+                               default_ra_solver_options(),
+                           const linalg::SccSolveOptions& scc = {});
 
 }  // namespace recoverd::bounds

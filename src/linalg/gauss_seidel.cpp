@@ -78,7 +78,39 @@ void check_inputs(const SparseMatrix& q, std::span<const double> c,
              "solve_fixed_point: relaxation must lie in (0, 2)");
   RD_EXPECTS(options.tolerance > 0.0, "solve_fixed_point: tolerance must be positive");
 }
+
+std::string stall_detail(const GaussSeidelOptions& options) {
+  return "sweep delta stalled over " + std::to_string(options.stall_window) +
+         " iterations";
+}
 }  // namespace
+
+std::string SystemPrepass::message() const {
+  if (ok) return {};
+  return "absorbing row with nonzero source at state " +
+         std::to_string(offending_state) +
+         " (x = c + x has no finite solution; apply a convergence transform, "
+         "see §3.1)";
+}
+
+SystemPrepass analyze_fixed_point_system(const SparseMatrix& q,
+                                         std::span<const double> c, double scale) {
+  RD_EXPECTS(q.rows() == q.cols(), "analyze_fixed_point_system: Q must be square");
+  RD_EXPECTS(c.size() == q.rows(), "analyze_fixed_point_system: dimension mismatch");
+  const std::size_t n = q.rows();
+  SystemPrepass prepass;
+  prepass.diag.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& e : q.row(i)) {
+      if (e.col == i) prepass.diag[i] = e.value;
+    }
+    if (prepass.ok && scale * prepass.diag[i] >= 1.0 - 1e-15 && c[i] != 0.0) {
+      prepass.ok = false;
+      prepass.offending_state = i;
+    }
+  }
+  return prepass;
+}
 
 namespace {
 SolveResult solve_fixed_point_impl(const SparseMatrix& q, std::span<const double> c,
@@ -88,20 +120,17 @@ SolveResult solve_fixed_point_impl(const SparseMatrix& q, std::span<const double
   SolveResult result;
   result.x.assign(n, 0.0);
 
-  // Cache diagonal to apply the implicit (I − Q) split. A fully absorbing
-  // row with a nonzero source (x_i = c_i + x_i, c_i ≠ 0) has no finite
-  // solution — report Diverged immediately, the §3.1 signal that the model
-  // needs a convergence transform.
-  std::vector<double> diag(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (const auto& e : q.row(i)) {
-      if (e.col == i) diag[i] = e.value;
-    }
-    if (diag[i] >= 1.0 - 1e-15 && c[i] != 0.0) {
-      result.status = SolveStatus::Diverged;
-      return result;
-    }
+  // The shared prepass caches the diagonal for the implicit (I − Q) split
+  // and rejects absorbing rows with a nonzero source (x_i = c_i + x_i has no
+  // finite solution) — the §3.1 signal that the model needs a convergence
+  // transform.
+  const SystemPrepass prepass = analyze_fixed_point_system(q, c);
+  if (!prepass.ok) {
+    result.status = SolveStatus::Diverged;
+    result.detail = prepass.message();
+    return result;
   }
+  const std::vector<double>& diag = prepass.diag;
   auto& x = result.x;
   StallDetector stall(options.stall_window);
 
@@ -140,6 +169,7 @@ SolveResult solve_fixed_point_impl(const SparseMatrix& q, std::span<const double
     }
     if (stall.stalled(iter, delta)) {
       result.status = SolveStatus::Diverged;
+      result.detail = stall_detail(options);
       return result;
     }
   }
@@ -164,6 +194,18 @@ SolveResult solve_fixed_point_jacobi_impl(const SparseMatrix& q,
 
   SolveResult result;
   result.x.assign(n, 0.0);
+
+  // Same shared prepass as the Gauss–Seidel path: the Jacobi sweep keeps the
+  // diagonal inside the sum, but an absorbing row with a nonzero source
+  // still has no finite solution — detect it up front instead of drifting
+  // until the stall window fires.
+  const SystemPrepass prepass = analyze_fixed_point_system(q, c);
+  if (!prepass.ok) {
+    result.status = SolveStatus::Diverged;
+    result.detail = prepass.message();
+    return result;
+  }
+
   std::vector<double> next(n, 0.0);
   StallDetector stall(options.stall_window);
 
@@ -192,6 +234,7 @@ SolveResult solve_fixed_point_jacobi_impl(const SparseMatrix& q,
     }
     if (stall.stalled(iter, delta)) {
       result.status = SolveStatus::Diverged;
+      result.detail = stall_detail(options);
       return result;
     }
   }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "linalg/level_schedule.hpp"
 #include "linalg/sparse_matrix.hpp"
 
 namespace recoverd::linalg {
@@ -41,9 +42,31 @@ struct SolveResult {
   std::vector<double> x;          ///< last iterate (the solution when Converged)
   std::size_t iterations = 0;
   double final_delta = 0.0;       ///< max-norm change of the last sweep
+  /// Human-readable diagnosis of a non-Converged outcome (names the
+  /// offending state for the absorbing-row check, the stalled window for
+  /// stall detection); empty on success.
+  std::string detail;
 
   bool converged() const { return status == SolveStatus::Converged; }
 };
+
+/// Shared structural prepass over a fixed-point system x = c + scale·Q x:
+/// caches the diagonal of Q (for the implicit (I − Q) split) and runs the
+/// absorbing-row check — a row with scale·Q(i,i) ≥ 1 and c(i) ≠ 0 pins
+/// x(i) = c(i) + x(i), which has no finite solution. Every solver variant
+/// (Gauss–Seidel, Jacobi, the SCC-scheduled path) runs this once up front
+/// instead of duplicating the scan.
+struct SystemPrepass {
+  std::vector<double> diag;       ///< diag[i] = Q(i,i) (unscaled)
+  bool ok = true;                 ///< false ⇒ the system provably diverges
+  std::size_t offending_state = 0;  ///< the absorbing row with nonzero source
+  std::string message() const;    ///< diagnostic naming offending_state
+};
+
+/// Runs the prepass; O(nnz).
+SystemPrepass analyze_fixed_point_system(const SparseMatrix& q,
+                                         std::span<const double> c,
+                                         double scale = 1.0);
 
 /// Human-readable status label (for logs and bench output).
 std::string to_string(SolveStatus status);
@@ -59,5 +82,45 @@ SolveResult solve_fixed_point(const SparseMatrix& q, std::span<const double> c,
 /// Jacobi variant (used by tests to cross-check sweep ordering effects).
 SolveResult solve_fixed_point_jacobi(const SparseMatrix& q, std::span<const double> c,
                                      const GaussSeidelOptions& options = {});
+
+/// Worker count for the topology-aware solver (the `--solver-jobs` CLI
+/// knob). 1 keeps the solve serial; larger values fan independent SCCs of a
+/// level — and the rows of block-Jacobi components — across threads.
+using SolverJobs = std::size_t;
+
+/// Knobs of the SCC-scheduled solve. Every setting is chosen so the result
+/// is bitwise identical across `jobs` values: components write disjoint
+/// slices of x, levels are barriers, statuses reduce in component-id order,
+/// and the per-component algorithm choice depends only on the component
+/// (never on the worker count).
+struct SccSolveOptions {
+  SolverJobs jobs = 1;
+  /// Components at least this large switch from plain block Gauss–Seidel to
+  /// chunked sweeps: SOR Gauss–Seidel inside fixed chunks of this many
+  /// rows, block Jacobi across chunks — the parallelisable scheme whose
+  /// chunk grid keys on component size alone, so jobs = 1 and jobs = N run
+  /// the same arithmetic.
+  std::size_t block_jacobi_threshold = 4096;
+  /// Solves x = c + scale·Q x (scale = β folds the discount into the solve
+  /// so one assembled chain serves every discount factor).
+  double scale = 1.0;
+};
+
+/// Topology-aware solve of x = c + scale·Q x: singleton SCCs (the common
+/// case in recovery models) are substituted in closed form, nontrivial SCCs
+/// run block Gauss–Seidel (chunked past the size threshold), and
+/// independent components within a condensation level execute in parallel.
+/// `iterations` reports the deepest per-component sweep count (closed-form
+/// substitution counts as one). Builds the SolvePlan internally; use the
+/// plan overload to amortise topology analysis across solves.
+SolveResult solve_fixed_point_scc(const SparseMatrix& q, std::span<const double> c,
+                                  const GaussSeidelOptions& options = {},
+                                  const SccSolveOptions& scc = {});
+
+/// Plan-reusing overload: `plan` must be build_solve_plan(q) for this exact
+/// q (same sparsity). The hot path of the RandomActionChain artifact.
+SolveResult solve_fixed_point_scc(const SparseMatrix& q, std::span<const double> c,
+                                  const GaussSeidelOptions& options,
+                                  const SccSolveOptions& scc, const SolvePlan& plan);
 
 }  // namespace recoverd::linalg

@@ -1,0 +1,80 @@
+#include "linalg/level_schedule.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::linalg {
+
+SolvePlan build_solve_plan(const SparseMatrix& q) {
+  RD_EXPECTS(q.rows() == q.cols(), "build_solve_plan: matrix must be square");
+  const std::size_t n = q.rows();
+
+  SolvePlan plan;
+  SccDecomposition scc = tarjan_scc(q);
+  plan.component = std::move(scc.component);
+  plan.num_components = scc.num_components;
+  const std::size_t m = plan.num_components;
+
+  // Group states by component (counting sort keeps state ids ascending
+  // within each component).
+  plan.component_ptr.assign(m + 1, 0);
+  for (std::size_t s = 0; s < n; ++s) ++plan.component_ptr[plan.component[s] + 1];
+  for (std::size_t k = 0; k < m; ++k) plan.component_ptr[k + 1] += plan.component_ptr[k];
+  plan.members.resize(n);
+  {
+    std::vector<std::size_t> fill(plan.component_ptr.begin(), plan.component_ptr.end() - 1);
+    for (std::size_t s = 0; s < n; ++s) {
+      plan.members[fill[plan.component[s]]++] = static_cast<std::uint32_t>(s);
+    }
+  }
+
+  // Levels: dependencies have smaller component ids, so one ascending pass
+  // suffices: level(k) = 1 + max level over cross-component successors.
+  plan.level_of.assign(m, 0);
+  std::uint32_t max_level = 0;
+  for (std::size_t k = 0; k < m; ++k) {
+    std::uint32_t level = 0;
+    for (const std::uint32_t s : plan.component_members(k)) {
+      for (const auto& e : q.row(s)) {
+        const std::uint32_t target = plan.component[e.col];
+        if (target != k) level = std::max(level, plan.level_of[target] + 1);
+      }
+    }
+    plan.level_of[k] = level;
+    max_level = std::max(max_level, level);
+  }
+
+  const std::size_t num_levels = m == 0 ? 0 : static_cast<std::size_t>(max_level) + 1;
+  plan.level_ptr.assign(num_levels + 1, 0);
+  for (std::size_t k = 0; k < m; ++k) ++plan.level_ptr[plan.level_of[k] + 1];
+  for (std::size_t l = 0; l < num_levels; ++l) plan.level_ptr[l + 1] += plan.level_ptr[l];
+  plan.level_components.resize(m);
+  {
+    std::vector<std::size_t> fill(plan.level_ptr.begin(), plan.level_ptr.end() - 1);
+    for (std::size_t k = 0; k < m; ++k) {
+      plan.level_components[fill[plan.level_of[k]]++] = static_cast<std::uint32_t>(k);
+    }
+  }
+
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t size = plan.component_size(k);
+    if (size == 1) ++plan.num_singletons;
+    plan.largest_component = std::max(plan.largest_component, size);
+  }
+
+  static obs::Counter& plans = obs::metrics().counter("linalg.scc.plans");
+  static obs::Gauge& components = obs::metrics().gauge("linalg.scc.components");
+  static obs::Gauge& singletons = obs::metrics().gauge("linalg.scc.singletons");
+  static obs::Gauge& largest = obs::metrics().gauge("linalg.scc.largest_component");
+  static obs::Gauge& levels = obs::metrics().gauge("linalg.scc.levels");
+  plans.add();
+  components.set(static_cast<double>(m));
+  singletons.set(static_cast<double>(plan.num_singletons));
+  largest.set(static_cast<double>(plan.largest_component));
+  levels.set(static_cast<double>(num_levels));
+  return plan;
+}
+
+}  // namespace recoverd::linalg

@@ -1,0 +1,66 @@
+// Topological level scheduling of an SCC condensation.
+//
+// A SolvePlan is the reusable topology artifact of a fixed-point system
+// x = c + Q x: the Tarjan decomposition of Q's dependency graph plus a level
+// schedule of its (acyclic) condensation. Level 0 holds the components with
+// no cross-component dependencies (the absorbing Sφ/sT sinks of recovery
+// models); level L holds components whose deepest dependency sits at level
+// L − 1. Components within one level are mutually independent, so the solver
+// can run them on parallel workers — each writes a disjoint slice of x and
+// reads only levels already finalised, which keeps the result bitwise
+// identical for every worker count.
+//
+// The plan depends only on Q's sparsity pattern, not its values, so one plan
+// serves every discount factor β and every right-hand side c — assemble
+// once, solve many times.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/scc.hpp"
+#include "linalg/sparse_matrix.hpp"
+
+namespace recoverd::linalg {
+
+/// Reusable topology of a fixed-point system (see file comment).
+struct SolvePlan {
+  /// state → component id, dependencies-first (see SccDecomposition).
+  std::vector<std::uint32_t> component;
+  std::size_t num_components = 0;
+
+  /// States grouped by component: members of component k are
+  /// members[component_ptr[k] .. component_ptr[k+1]), ascending state id.
+  std::vector<std::uint32_t> members;
+  std::vector<std::size_t> component_ptr;  ///< num_components + 1 offsets
+
+  /// component → level in the condensation schedule.
+  std::vector<std::uint32_t> level_of;
+  /// Components grouped by level: level L spans
+  /// level_components[level_ptr[L] .. level_ptr[L+1]), ascending id.
+  std::vector<std::uint32_t> level_components;
+  std::vector<std::size_t> level_ptr;  ///< num_levels() + 1 offsets
+
+  std::size_t num_singletons = 0;     ///< components of size 1 (closed form)
+  std::size_t largest_component = 0;  ///< size of the biggest SCC
+
+  std::size_t num_levels() const {
+    return level_ptr.empty() ? 0 : level_ptr.size() - 1;
+  }
+  std::size_t component_size(std::size_t k) const {
+    return component_ptr[k + 1] - component_ptr[k];
+  }
+  std::span<const std::uint32_t> component_members(std::size_t k) const {
+    return {members.data() + component_ptr[k], component_size(k)};
+  }
+  std::span<const std::uint32_t> level(std::size_t l) const {
+    return {level_components.data() + level_ptr[l], level_ptr[l + 1] - level_ptr[l]};
+  }
+};
+
+/// Builds the SCC condensation and level schedule of `q` (square). Cost is
+/// O(nnz); records component/level statistics in the `linalg.scc.*` metrics.
+SolvePlan build_solve_plan(const SparseMatrix& q);
+
+}  // namespace recoverd::linalg

@@ -1,0 +1,83 @@
+#include "linalg/scc.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace recoverd::linalg {
+
+SccDecomposition tarjan_scc(const SparseMatrix& q) {
+  RD_EXPECTS(q.rows() == q.cols(), "tarjan_scc: matrix must be square");
+  RD_EXPECTS(q.rows() < std::numeric_limits<std::uint32_t>::max(),
+             "tarjan_scc: graph too large for 32-bit component ids");
+  const std::uint32_t n = static_cast<std::uint32_t>(q.rows());
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+
+  SccDecomposition out;
+  out.component.assign(n, kUnset);
+
+  std::vector<std::uint32_t> index(n, kUnset);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> stack;  // Tarjan's component stack
+
+  // Explicit DFS frames: vertex plus the offset of the next out-edge to
+  // examine within its row span.
+  struct Frame {
+    std::uint32_t vertex;
+    std::size_t next_edge;
+  };
+  std::vector<Frame> frames;
+
+  std::uint32_t next_index = 0;
+  std::uint32_t next_component = 0;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnset) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const std::uint32_t v = frame.vertex;
+      const auto row = q.row(v);
+      if (frame.next_edge < row.size()) {
+        const std::uint32_t w = static_cast<std::uint32_t>(row[frame.next_edge].col);
+        ++frame.next_edge;
+        if (index[w] == kUnset) {
+          frames.push_back({w, 0});
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+        } else if (on_stack[w]) {
+          if (index[w] < lowlink[v]) lowlink[v] = index[w];
+        }
+        continue;
+      }
+      // Row exhausted: pop the frame, fold the lowlink into the parent and
+      // emit a component when v is a root.
+      if (lowlink[v] == index[v]) {
+        for (;;) {
+          const std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          out.component[w] = next_component;
+          if (w == v) break;
+        }
+        ++next_component;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const std::uint32_t parent = frames.back().vertex;
+        if (lowlink[v] < lowlink[parent]) lowlink[parent] = lowlink[v];
+      }
+    }
+  }
+
+  out.num_components = next_component;
+  return out;
+}
+
+}  // namespace recoverd::linalg

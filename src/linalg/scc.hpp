@@ -1,0 +1,43 @@
+// Strongly connected components of a sparse fixed-point system.
+//
+// The dependency graph of x = c + Q x has an edge i → j for every stored
+// entry Q(i,j) ≠ 0: row i cannot be finalised before x(j) is known. Recovery
+// models (Condition 1) funnel into the absorbing Sφ/sT states, so this graph
+// is a near-DAG: almost every SCC is a singleton, and the handful of
+// nontrivial components are small. The topology-aware solver exploits that
+// by solving singleton components in closed form (forward substitution) and
+// reserving iterative sweeps for the nontrivial blocks — the standard trick
+// of probabilistic model checkers (Hahn & Hartmanns; Bork, Katoen &
+// Quatmann).
+//
+// tarjan_scc is a non-recursive Tarjan decomposition (an explicit frame
+// stack, so million-state chains do not overflow the call stack). Component
+// ids are assigned in *pop order*, which for Tarjan means reverse
+// topological order of the condensation: every edge that leaves a component
+// lands in a component with a strictly smaller id. Processing components in
+// ascending id order therefore visits dependencies first — exactly the
+// order forward substitution needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/sparse_matrix.hpp"
+
+namespace recoverd::linalg {
+
+/// Result of the Tarjan decomposition over a square sparse matrix viewed as
+/// a directed graph (edge i → j per stored entry; self-loops are allowed
+/// and do not make a singleton "nontrivial").
+struct SccDecomposition {
+  /// state → component id; ids are dense in [0, num_components) and sorted
+  /// dependencies-first: an edge i → j with component[i] ≠ component[j]
+  /// always has component[j] < component[i].
+  std::vector<std::uint32_t> component;
+  std::size_t num_components = 0;
+};
+
+/// Decomposes the dependency graph of `q` (must be square, < 2^32 rows).
+SccDecomposition tarjan_scc(const SparseMatrix& q);
+
+}  // namespace recoverd::linalg

@@ -1,0 +1,411 @@
+// Topology-aware solve of x = c + scale·Q x (declared in gauss_seidel.hpp).
+//
+// Execution model, and why it is deterministic across worker counts:
+//  - levels run strictly in order (a level is a barrier);
+//  - within a level, every component touches only its own slice of x and
+//    reads states of lower levels, which are final — so components can run
+//    on any worker in any order without changing a single bit;
+//  - per-component algorithm choice (closed form / block Gauss–Seidel /
+//    chunked sweeps) keys on the component size alone, never on `jobs`;
+//  - the chunked solver's grid is fixed by the component size, chunks read
+//    other chunks' previous iterate, and each writes a disjoint slice of
+//    the next one — so distributing chunks across workers cannot change
+//    the arithmetic;
+//  - statuses/iterations/deltas reduce over components in id order.
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "linalg/convergence.hpp"
+#include "linalg/gauss_seidel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::linalg {
+namespace {
+
+struct ComponentOutcome {
+  SolveStatus status = SolveStatus::Converged;
+  std::size_t iterations = 0;
+  double final_delta = 0.0;
+  std::string detail;  // set only on failure
+};
+
+/// Closed-form forward substitution for a singleton component {i}: every
+/// off-diagonal dependency is already final, so
+///   x(i) = (c(i) + scale·Σ_{j≠i} Q(i,j)·x(j)) / (1 − scale·Q(i,i)).
+/// A fully absorbing self-loop row (denominator ≈ 0) is pinned to 0 — the
+/// prepass guarantees c(i) = 0 there, and substochasticity guarantees the
+/// row has no other entries.
+void solve_singleton(const SparseMatrix& q, std::span<const double> c, double scale,
+                     double diag, std::uint32_t i, std::vector<double>& x) {
+  const double denom = 1.0 - scale * diag;
+  if (denom <= 1e-15) {
+    x[i] = 0.0;
+    return;
+  }
+  double acc = c[i];
+  for (const auto& e : q.row(i)) {
+    if (e.col != i) acc += scale * e.value * x[e.col];
+  }
+  x[i] = acc / denom;
+}
+
+bool block_out_of_range(const std::vector<double>& x,
+                        std::span<const std::uint32_t> members, double threshold) {
+  return std::any_of(members.begin(), members.end(), [&](std::uint32_t i) {
+    return std::abs(x[i]) > threshold;
+  });
+}
+
+/// Gauss–Seidel sweeps restricted to one nontrivial component. States
+/// outside the component act as constants (they are final), states inside
+/// update in ascending id order — the same arithmetic as the global solver
+/// confined to the block's rows.
+ComponentOutcome solve_block_gauss_seidel(const SparseMatrix& q, std::span<const double> c,
+                                          double scale, std::span<const double> diag,
+                                          std::span<const std::uint32_t> members,
+                                          const GaussSeidelOptions& options,
+                                          std::vector<double>& x) {
+  ComponentOutcome out;
+  StallDetector stall(options.stall_window);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (const std::uint32_t i : members) {
+      const double denom = 1.0 - scale * diag[i];
+      double candidate;
+      if (denom <= 1e-15) {
+        candidate = 0.0;
+      } else {
+        double acc = c[i];
+        for (const auto& e : q.row(i)) {
+          if (e.col != i) acc += scale * e.value * x[e.col];
+        }
+        candidate = acc / denom;
+      }
+      const double updated = x[i] + options.relaxation * (candidate - x[i]);
+      delta = std::max(delta, std::abs(updated - x[i]));
+      x[i] = updated;
+    }
+    out.iterations = iter + 1;
+    out.final_delta = delta;
+    if (!std::isfinite(delta) ||
+        block_out_of_range(x, members, options.divergence_threshold)) {
+      out.status = SolveStatus::Diverged;
+      out.detail = "component iterate exceeded the divergence threshold";
+      return out;
+    }
+    if (delta <= options.tolerance) {
+      out.status = SolveStatus::Converged;
+      return out;
+    }
+    if (stall.stalled(iter, delta)) {
+      out.status = SolveStatus::Diverged;
+      out.detail = "sweep delta stalled over " + std::to_string(options.stall_window) +
+                   " iterations";
+      return out;
+    }
+  }
+  out.status = SolveStatus::MaxIterations;
+  out.detail = "component hit max_iterations";
+  return out;
+}
+
+/// Chunked sweeps for one large component: Gauss–Seidel (with SOR) inside
+/// fixed `chunk`-row chunks of the member list, Jacobi across chunks — i.e.
+/// block Jacobi whose diagonal blocks are solved by one in-place GS pass.
+/// Retains most of Gauss–Seidel's convergence rate (everything a chunk has
+/// already updated this sweep is used immediately) while staying bitwise
+/// deterministic under parallel execution: the chunk grid depends only on
+/// the component size, chunks read other chunks' *previous* iterate, and
+/// each chunk writes a disjoint slice of `next`.
+///
+/// `rank` is caller-owned scratch of q.rows() entries; rank[i] is filled
+/// here with the position of member i inside this component.
+ComponentOutcome solve_block_chunked(const SparseMatrix& q, std::span<const double> c,
+                                     double scale, std::span<const double> diag,
+                                     std::span<const std::uint32_t> members,
+                                     std::uint32_t component_id,
+                                     std::span<const std::uint32_t> component_of,
+                                     const GaussSeidelOptions& options,
+                                     std::size_t chunk, std::size_t jobs,
+                                     std::vector<std::uint32_t>& rank,
+                                     std::vector<double>& x) {
+  ComponentOutcome out;
+  const std::size_t size = members.size();
+  for (std::size_t pos = 0; pos < size; ++pos) {
+    rank[members[pos]] = static_cast<std::uint32_t>(pos);
+  }
+  std::vector<double> next(size, 0.0);
+  StallDetector stall(options.stall_window);
+  const std::size_t num_chunks = (size + chunk - 1) / chunk;
+  const std::size_t workers = std::max<std::size_t>(1, std::min(jobs, num_chunks));
+  std::vector<double> chunk_delta(num_chunks, 0.0);
+
+  // Whether a dependency reads this sweep's values ("fresh": same chunk,
+  // smaller rank — Gauss–Seidel order within the chunk) or the previous
+  // iterate ("stale": everything else) is a static property of the chunk
+  // grid, so the split is precomputed once. The sweep loop then runs two
+  // tight indexed passes with no branches or rank lookups — the same
+  // per-nonzero cost as the global solver.
+  struct BlockEntry {
+    std::uint32_t idx;  ///< fresh: position in next[]; stale: state id in x
+    double value;
+  };
+  std::vector<BlockEntry> fresh;
+  std::vector<BlockEntry> stale;
+  std::vector<std::size_t> fresh_ptr(size + 1, 0);
+  std::vector<std::size_t> stale_ptr(size + 1, 0);
+  for (std::size_t pos = 0; pos < size; ++pos) {
+    const std::uint32_t i = members[pos];
+    const std::size_t chunk_begin = (pos / chunk) * chunk;
+    for (const auto& e : q.row(i)) {
+      if (e.col == i) continue;
+      const bool is_fresh = component_of[e.col] == component_id &&
+                            rank[e.col] >= chunk_begin && rank[e.col] < pos;
+      if (is_fresh) {
+        fresh.push_back({rank[e.col], e.value});
+      } else {
+        stale.push_back({static_cast<std::uint32_t>(e.col), e.value});
+      }
+    }
+    fresh_ptr[pos + 1] = fresh.size();
+    stale_ptr[pos + 1] = stale.size();
+  }
+
+  const auto sweep_chunk = [&](std::size_t ci) {
+    double local_delta = 0.0;
+    const std::size_t begin = ci * chunk;
+    const std::size_t end = std::min(size, begin + chunk);
+    for (std::size_t pos = begin; pos < end; ++pos) {
+      const std::uint32_t i = members[pos];
+      const double denom = 1.0 - scale * diag[i];
+      double candidate;
+      if (denom <= 1e-15) {
+        candidate = 0.0;
+      } else {
+        double acc = c[i];
+        for (std::size_t f = fresh_ptr[pos]; f < fresh_ptr[pos + 1]; ++f) {
+          acc += scale * fresh[f].value * next[fresh[f].idx];
+        }
+        for (std::size_t s = stale_ptr[pos]; s < stale_ptr[pos + 1]; ++s) {
+          acc += scale * stale[s].value * x[stale[s].idx];
+        }
+        candidate = acc / denom;
+      }
+      const double updated = x[i] + options.relaxation * (candidate - x[i]);
+      next[pos] = updated;
+      local_delta = std::max(local_delta, std::abs(updated - x[i]));
+    }
+    chunk_delta[ci] = local_delta;
+  };
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (workers <= 1) {
+      for (std::size_t ci = 0; ci < num_chunks; ++ci) sweep_chunk(ci);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t t = 0; t < workers; ++t) {
+        pool.emplace_back([&, t] {
+          for (std::size_t ci = t; ci < num_chunks; ci += workers) sweep_chunk(ci);
+        });
+      }
+      for (auto& w : pool) w.join();
+    }
+    double delta = 0.0;
+    for (std::size_t ci = 0; ci < num_chunks; ++ci) {
+      delta = std::max(delta, chunk_delta[ci]);
+    }
+    for (std::size_t pos = 0; pos < size; ++pos) x[members[pos]] = next[pos];
+    out.iterations = iter + 1;
+    out.final_delta = delta;
+    if (!std::isfinite(delta) ||
+        block_out_of_range(x, members, options.divergence_threshold)) {
+      out.status = SolveStatus::Diverged;
+      out.detail = "component iterate exceeded the divergence threshold";
+      return out;
+    }
+    if (delta <= options.tolerance) {
+      out.status = SolveStatus::Converged;
+      return out;
+    }
+    if (stall.stalled(iter, delta)) {
+      out.status = SolveStatus::Diverged;
+      out.detail = "sweep delta stalled over " + std::to_string(options.stall_window) +
+                   " iterations";
+      return out;
+    }
+  }
+  out.status = SolveStatus::MaxIterations;
+  out.detail = "component hit max_iterations";
+  return out;
+}
+
+struct SccSolveInstruments {
+  obs::Counter& solves;
+  obs::Counter& closed_form_states;
+  obs::Counter& iterative_states;
+  obs::Counter& block_jacobi_components;
+  obs::Gauge& jobs;
+  obs::Gauge& levels;
+  obs::Histogram& solve_ms;
+
+  static SccSolveInstruments& get() {
+    static SccSolveInstruments instruments{
+        obs::metrics().counter("linalg.scc_solve.solves"),
+        obs::metrics().counter("linalg.scc_solve.closed_form_states"),
+        obs::metrics().counter("linalg.scc_solve.iterative_states"),
+        obs::metrics().counter("linalg.scc_solve.block_jacobi_components"),
+        obs::metrics().gauge("linalg.scc_solve.jobs"),
+        obs::metrics().gauge("linalg.scc_solve.levels"),
+        obs::metrics().histogram("linalg.scc_solve.ms",
+                                 obs::exponential_buckets(0.001, 2.0, 26)),
+    };
+    return instruments;
+  }
+};
+
+void check_scc_inputs(const SparseMatrix& q, std::span<const double> c,
+                      const GaussSeidelOptions& options, const SccSolveOptions& scc,
+                      const SolvePlan& plan) {
+  RD_EXPECTS(q.rows() == q.cols(), "solve_fixed_point_scc: Q must be square");
+  RD_EXPECTS(c.size() == q.rows(), "solve_fixed_point_scc: dimension mismatch");
+  RD_EXPECTS(options.relaxation > 0.0 && options.relaxation < 2.0,
+             "solve_fixed_point_scc: relaxation must lie in (0, 2)");
+  RD_EXPECTS(options.tolerance > 0.0, "solve_fixed_point_scc: tolerance must be positive");
+  RD_EXPECTS(scc.jobs >= 1, "solve_fixed_point_scc: jobs must be >= 1");
+  RD_EXPECTS(scc.scale > 0.0 && scc.scale <= 1.0,
+             "solve_fixed_point_scc: scale must lie in (0, 1]");
+  RD_EXPECTS(scc.block_jacobi_threshold >= 2,
+             "solve_fixed_point_scc: block_jacobi_threshold must be >= 2");
+  RD_EXPECTS(plan.component.size() == q.rows() && plan.members.size() == q.rows(),
+             "solve_fixed_point_scc: plan does not match the matrix");
+}
+
+SolveResult solve_fixed_point_scc_impl(const SparseMatrix& q, std::span<const double> c,
+                                       const GaussSeidelOptions& options,
+                                       const SccSolveOptions& scc, const SolvePlan& plan) {
+  SccSolveInstruments& instruments = SccSolveInstruments::get();
+  obs::ScopedTimer timer(instruments.solve_ms);
+  instruments.solves.add();
+  instruments.jobs.set(static_cast<double>(scc.jobs));
+  instruments.levels.set(static_cast<double>(plan.num_levels()));
+
+  const std::size_t n = q.rows();
+  SolveResult result;
+  result.x.assign(n, 0.0);
+  result.status = SolveStatus::Converged;
+  if (n == 0) return result;
+
+  const SystemPrepass prepass = analyze_fixed_point_system(q, c, scc.scale);
+  if (!prepass.ok) {
+    result.status = SolveStatus::Diverged;
+    result.detail = prepass.message();
+    return result;
+  }
+
+  std::vector<ComponentOutcome> outcomes(plan.num_components);
+  std::uint64_t closed_form = 0;
+  std::uint64_t iterative = 0;
+  std::uint64_t jacobi_components = 0;
+  // Scratch for the chunked solver's member-rank lookup; shared across the
+  // (sequentially executed) large components.
+  std::vector<std::uint32_t> rank;
+
+  const auto solve_component = [&](std::uint32_t k) {
+    const auto members = plan.component_members(k);
+    if (members.size() == 1) {
+      solve_singleton(q, c, scc.scale, prepass.diag[members[0]], members[0], result.x);
+      outcomes[k].iterations = 1;
+    } else if (members.size() < scc.block_jacobi_threshold) {
+      outcomes[k] = solve_block_gauss_seidel(q, c, scc.scale, prepass.diag, members,
+                                             options, result.x);
+    } else {
+      if (rank.empty()) rank.assign(n, 0);
+      outcomes[k] = solve_block_chunked(q, c, scc.scale, prepass.diag, members, k,
+                                        plan.component, options,
+                                        scc.block_jacobi_threshold, scc.jobs, rank,
+                                        result.x);
+    }
+  };
+
+  for (std::size_t l = 0; l < plan.num_levels(); ++l) {
+    const auto level = plan.level(l);
+    // Large block-Jacobi components parallelise internally, so they run one
+    // at a time; everything else fans across the level's workers.
+    std::vector<std::uint32_t> small;
+    std::vector<std::uint32_t> large;
+    for (const std::uint32_t k : level) {
+      (plan.component_size(k) >= scc.block_jacobi_threshold ? large : small).push_back(k);
+    }
+
+    // Fan a level across threads only when it carries enough components to
+    // amortise the spawn cost — near-DAG plans have tens of thousands of
+    // narrow levels, where per-level threads would dominate the solve. The
+    // gate depends only on the plan, never on `jobs`, and workers partition
+    // the component list without touching the arithmetic, so results stay
+    // bitwise identical either way.
+    const std::size_t workers =
+        small.size() >= 128 ? std::min(scc.jobs, small.size() / 64) : 1;
+    if (workers <= 1) {
+      for (const std::uint32_t k : small) solve_component(k);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t t = 0; t < workers; ++t) {
+        pool.emplace_back([&, t] {
+          for (std::size_t idx = t; idx < small.size(); idx += workers) {
+            solve_component(small[idx]);
+          }
+        });
+      }
+      for (auto& w : pool) w.join();
+    }
+    for (const std::uint32_t k : large) solve_component(k);
+
+    // Deterministic level reduction in component-id order (levels list
+    // components ascending).
+    bool failed = false;
+    for (const std::uint32_t k : level) {
+      const std::size_t size = plan.component_size(k);
+      (size == 1 ? closed_form : iterative) += size;
+      if (size >= scc.block_jacobi_threshold) ++jacobi_components;
+      result.iterations = std::max(result.iterations, outcomes[k].iterations);
+      result.final_delta = std::max(result.final_delta, outcomes[k].final_delta);
+      if (!failed && outcomes[k].status != SolveStatus::Converged) {
+        failed = true;
+        result.status = outcomes[k].status;
+        result.detail = "component " + std::to_string(k) + " (size " +
+                        std::to_string(size) + ", level " + std::to_string(l) +
+                        "): " + outcomes[k].detail;
+      }
+    }
+    if (failed) break;  // dependents of a failed component would be garbage
+  }
+
+  instruments.closed_form_states.add(closed_form);
+  instruments.iterative_states.add(iterative);
+  instruments.block_jacobi_components.add(jacobi_components);
+  return result;
+}
+
+}  // namespace
+
+SolveResult solve_fixed_point_scc(const SparseMatrix& q, std::span<const double> c,
+                                  const GaussSeidelOptions& options,
+                                  const SccSolveOptions& scc, const SolvePlan& plan) {
+  check_scc_inputs(q, c, options, scc, plan);
+  return solve_fixed_point_scc_impl(q, c, options, scc, plan);
+}
+
+SolveResult solve_fixed_point_scc(const SparseMatrix& q, std::span<const double> c,
+                                  const GaussSeidelOptions& options,
+                                  const SccSolveOptions& scc) {
+  const SolvePlan plan = build_solve_plan(q);
+  check_scc_inputs(q, c, options, scc, plan);
+  return solve_fixed_point_scc_impl(q, c, options, scc, plan);
+}
+
+}  // namespace recoverd::linalg

@@ -73,6 +73,29 @@ SparseMatrix SparseMatrix::transpose() const {
   return builder.build();
 }
 
+SparseMatrix SparseMatrix::from_csr(std::size_t cols, std::vector<std::size_t> row_ptr,
+                                    std::vector<SparseEntry> entries) {
+  RD_EXPECTS(!row_ptr.empty(), "SparseMatrix::from_csr: row_ptr must have rows+1 entries");
+  RD_EXPECTS(row_ptr.front() == 0 && row_ptr.back() == entries.size(),
+             "SparseMatrix::from_csr: row_ptr must span the entry array");
+  for (std::size_t r = 0; r + 1 < row_ptr.size(); ++r) {
+    RD_EXPECTS(row_ptr[r] <= row_ptr[r + 1],
+               "SparseMatrix::from_csr: row_ptr must be monotone");
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      RD_EXPECTS(entries[k].col < cols, "SparseMatrix::from_csr: column out of range");
+      RD_EXPECTS(std::isfinite(entries[k].value),
+                 "SparseMatrix::from_csr: value must be finite");
+      RD_EXPECTS(k == row_ptr[r] || entries[k - 1].col < entries[k].col,
+                 "SparseMatrix::from_csr: row columns must be strictly ascending");
+    }
+  }
+  SparseMatrix out;
+  out.cols_ = cols;
+  out.row_ptr_ = std::move(row_ptr);
+  out.entries_ = std::move(entries);
+  return out;
+}
+
 SparseMatrixBuilder::SparseMatrixBuilder(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols) {}
 

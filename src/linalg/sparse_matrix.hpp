@@ -58,6 +58,16 @@ class SparseMatrix {
   /// column access.
   SparseMatrix transpose() const;
 
+  /// One-shot construction from pre-assembled CSR arrays: `row_ptr` has
+  /// rows+1 monotone offsets into `entries`, and each row's entries are
+  /// strictly ascending by column. Validates those invariants in O(nnz) and
+  /// throws PreconditionError on violation. This is the zero-sort path used
+  /// by bulk assemblers (MdpBuilder, the random-action chain), which produce
+  /// per-row sorted entries directly instead of paying the triplet
+  /// builder's global sort.
+  static SparseMatrix from_csr(std::size_t cols, std::vector<std::size_t> row_ptr,
+                               std::vector<SparseEntry> entries);
+
  private:
   friend class SparseMatrixBuilder;
   std::size_t cols_ = 0;

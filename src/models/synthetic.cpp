@@ -11,6 +11,8 @@ Mdp make_synthetic_recovery_mdp(const SyntheticMdpParams& params) {
   RD_EXPECTS(params.branching >= 1, "make_synthetic_recovery_mdp: branching must be >= 1");
   RD_EXPECTS(params.repair_probability >= 0.0 && params.repair_probability <= 1.0,
              "make_synthetic_recovery_mdp: repair probability must lie in [0,1]");
+  RD_EXPECTS(params.forward_probability >= 0.0 && params.forward_probability <= 1.0,
+             "make_synthetic_recovery_mdp: forward probability must lie in [0,1]");
 
   Rng rng(params.seed);
   MdpBuilder b;
@@ -41,7 +43,20 @@ Mdp make_synthetic_recovery_mdp(const SyntheticMdpParams& params) {
         targets.push_back(rng.uniform_index(std::min<std::size_t>(s, 8)));
       }
       while (targets.size() < params.branching) {
-        targets.push_back(rng.uniform_index(params.num_states));
+        if (params.locality == 0) {
+          targets.push_back(rng.uniform_index(params.num_states));
+        } else {
+          // Windowed filler edge: backward edges [lo, s] keep progress
+          // flowing toward the goal; a forward edge (s, hi] appears with
+          // probability forward_probability and seeds a local cycle.
+          const std::size_t lo = s > params.locality ? s - params.locality : 0;
+          const std::size_t hi = std::min(params.num_states - 1, s + params.locality);
+          if (hi > s && rng.bernoulli(params.forward_probability)) {
+            targets.push_back(s + 1 + rng.uniform_index(hi - s));
+          } else {
+            targets.push_back(lo + rng.uniform_index(s - lo + 1));
+          }
+        }
       }
       const double p = 1.0 / static_cast<double>(targets.size());
       // Accumulate duplicate targets by summing (builder overwrites, so

@@ -18,6 +18,21 @@ struct SyntheticMdpParams {
   /// Probability that a row includes a direct repair edge toward the goal
   /// region (guarantees Condition 1 together with the backbone edge).
   double repair_probability = 0.3;
+  /// Target window for the random filler edges. 0 (the default) keeps the
+  /// legacy behaviour — targets uniform over all states, which couples the
+  /// whole model into one giant strongly connected component. A positive
+  /// value restricts targets to [s - locality, s + locality], producing the
+  /// near-DAG topology real recovery models have (progress flows toward the
+  /// goal; Condition 1): cross-window edges all point downward, so the
+  /// random-action chain decomposes into many small SCCs that the
+  /// topology-aware solver handles in closed form.
+  std::size_t locality = 0;
+  /// With locality > 0: probability that a random filler edge points
+  /// *forward* (to a higher-numbered state inside the window) instead of
+  /// backward. Forward edges create local cycles, so this tunes SCC size —
+  /// 0 yields a pure DAG (every component a singleton), small values yield
+  /// scattered small SCCs. Ignored when locality == 0.
+  double forward_probability = 0.0;
   std::uint64_t seed = 1;
 };
 

@@ -170,23 +170,39 @@ Mdp MdpBuilder::build(double tol) const {
 
   const std::size_t n = states_.size();
   for (std::size_t a = 0; a < actions_.size(); ++a) {
-    linalg::SparseMatrixBuilder tb(n, n);
-    std::vector<double> row_total(n, 0.0);
+    // Assemble CSR row by row: rows are independent and tiny (a handful of
+    // next states), so sorting each row beats the triplet builder's global
+    // O(nnz log nnz) sort — the difference between seconds and minutes at
+    // 10^6 states.
+    std::vector<std::size_t> row_ptr(n + 1, 0);
     for (std::size_t s = 0; s < n; ++s) {
+      std::size_t count = 0;
+      for (const auto& [next, prob] : transitions_[a][s]) {
+        if (prob != 0.0) ++count;
+      }
+      row_ptr[s + 1] = row_ptr[s] + count;
+    }
+    std::vector<linalg::SparseEntry> entries(row_ptr[n]);
+    for (std::size_t s = 0; s < n; ++s) {
+      double row_total = 0.0;
+      std::size_t out = row_ptr[s];
       for (const auto& [next, prob] : transitions_[a][s]) {
         if (prob == 0.0) continue;
-        tb.add(s, next, prob);
-        row_total[s] += prob;
+        entries[out++] = {next, prob};
+        row_total += prob;
       }
-    }
-    for (std::size_t s = 0; s < n; ++s) {
-      if (std::abs(row_total[s] - 1.0) > tol) {
+      // set_transition overwrites duplicates, so columns are unique here.
+      std::sort(entries.begin() + static_cast<std::ptrdiff_t>(row_ptr[s]),
+                entries.begin() + static_cast<std::ptrdiff_t>(out),
+                [](const auto& x, const auto& y) { return x.col < y.col; });
+      if (std::abs(row_total - 1.0) > tol) {
         throw ModelError("MdpBuilder: transition row for state '" + states_[s].name +
                          "', action '" + actions_[a].name + "' sums to " +
-                         std::to_string(row_total[s]) + " (expected 1)");
+                         std::to_string(row_total) + " (expected 1)");
       }
     }
-    m.transitions_.push_back(tb.build());
+    m.transitions_.push_back(
+        linalg::SparseMatrix::from_csr(n, std::move(row_ptr), std::move(entries)));
 
     std::vector<double> rates(n), impulses(n), combined(n);
     for (std::size_t s = 0; s < n; ++s) {

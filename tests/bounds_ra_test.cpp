@@ -117,6 +117,56 @@ TEST(RaBound, DiscountedVariantConvergesOnUntransformedModel) {
   EXPECT_THROW(compute_ra_bound_discounted(p.mdp(), 1.0), PreconditionError);
 }
 
+TEST(RaBound, ChainOverloadMatchesMdpOverload) {
+  // The Mdp entry point assembles a RandomActionChain internally; passing a
+  // prebuilt chain must run the identical arithmetic — bitwise.
+  const Pomdp p = models::make_two_server_with_notification();
+  const RandomActionChain chain = build_random_action_chain(p.mdp());
+  EXPECT_EQ(chain.num_actions, p.num_actions());
+  EXPECT_EQ(chain.num_states(), p.num_states());
+
+  const auto via_mdp = compute_ra_bound(p.mdp());
+  const auto via_chain = compute_ra_bound(chain);
+  ASSERT_TRUE(via_mdp.converged());
+  ASSERT_TRUE(via_chain.converged());
+  EXPECT_EQ(via_mdp.values, via_chain.values);
+  EXPECT_EQ(via_mdp.iterations, via_chain.iterations);
+}
+
+TEST(RaBound, OneChainServesEveryDiscountFactor) {
+  // β is applied at solve time (scc.scale), not folded into Q̄, so a single
+  // assembled chain answers the undiscounted solve and every discounted
+  // variant — each matching its assemble-per-call counterpart.
+  const Pomdp p = models::make_two_server();
+  const RandomActionChain chain = build_random_action_chain(p.mdp());
+
+  // The untransformed model diverges undiscounted (§3.1)...
+  EXPECT_FALSE(compute_ra_bound(chain).converged());
+  // ...while every discounted solve off the same artifact converges.
+  for (const double beta : {0.5, 0.9, 0.99}) {
+    const auto via_chain = compute_ra_bound_discounted(chain, beta);
+    const auto via_mdp = compute_ra_bound_discounted(p.mdp(), beta);
+    ASSERT_TRUE(via_chain.converged()) << "beta " << beta;
+    ASSERT_TRUE(via_mdp.converged()) << "beta " << beta;
+    EXPECT_EQ(via_chain.values, via_mdp.values) << "beta " << beta;
+  }
+  EXPECT_THROW(compute_ra_bound_discounted(chain, 0.0), PreconditionError);
+  EXPECT_THROW(compute_ra_bound_discounted(chain, 1.0), PreconditionError);
+}
+
+TEST(RaBound, MakeRaBoundSetAcceptsPrebuiltChain) {
+  const Pomdp p = models::make_two_server_with_notification();
+  const RandomActionChain chain = build_random_action_chain(p.mdp());
+  const BoundSet from_chain = make_ra_bound_set(chain);
+  const BoundSet from_mdp = make_ra_bound_set(p.mdp());
+  ASSERT_EQ(from_chain.size(), from_mdp.size());
+  EXPECT_EQ(from_chain.vector_at(0), from_mdp.vector_at(0));
+
+  const Pomdp divergent = models::make_two_server();
+  const RandomActionChain bad = build_random_action_chain(divergent.mdp());
+  EXPECT_THROW(make_ra_bound_set(bad), ModelError);
+}
+
 TEST(RaBound, MakeRaBoundSetSeedsProtectedPlane) {
   const Pomdp p = models::make_two_server_with_notification();
   const BoundSet set = make_ra_bound_set(p.mdp());

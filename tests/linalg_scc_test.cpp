@@ -1,0 +1,365 @@
+// Tests of the topology-aware solver stack: Tarjan SCC decomposition,
+// SolvePlan level scheduling, and solve_fixed_point_scc against both the
+// dense direct solve and the global Gauss–Seidel sweep.
+#include "linalg/gauss_seidel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/level_schedule.hpp"
+#include "linalg/scc.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::linalg {
+namespace {
+
+SparseMatrix random_substochastic(std::size_t n, double leak, Rng& rng) {
+  SparseMatrixBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> w(n);
+    double total = 0.0;
+    for (auto& v : w) {
+      v = rng.bernoulli(0.3) ? rng.uniform01() : 0.0;
+      total += v;
+    }
+    if (total == 0.0) continue;
+    const double scale = (1.0 - leak) / total;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (w[j] > 0.0) b.add(i, j, w[j] * scale);
+    }
+  }
+  return b.build();
+}
+
+DenseMatrix to_dense(const SparseMatrix& m) {
+  DenseMatrix d(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (const auto& e : m.row(i)) d.at(i, e.col) = e.value;
+  }
+  return d;
+}
+
+TEST(TarjanScc, SingleCycleIsOneComponent) {
+  // 0 → 1 → 2 → 0: one strongly connected component.
+  SparseMatrixBuilder b(3, 3);
+  b.add(0, 1, 0.5);
+  b.add(1, 2, 0.5);
+  b.add(2, 0, 0.5);
+  const auto scc = tarjan_scc(b.build());
+  EXPECT_EQ(scc.num_components, 1u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+}
+
+TEST(TarjanScc, DagIsAllSingletons) {
+  // Strictly lower-triangular dependencies: every state its own component.
+  SparseMatrixBuilder b(4, 4);
+  b.add(1, 0, 0.5);
+  b.add(2, 1, 0.5);
+  b.add(3, 2, 0.3);
+  b.add(3, 0, 0.2);
+  const auto scc = tarjan_scc(b.build());
+  EXPECT_EQ(scc.num_components, 4u);
+}
+
+TEST(TarjanScc, SelfLoopStaysSingleton) {
+  // A self-loop must not make the singleton "nontrivial".
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 0, 0.5);
+  b.add(1, 0, 0.5);
+  const auto scc = tarjan_scc(b.build());
+  EXPECT_EQ(scc.num_components, 2u);
+}
+
+TEST(TarjanScc, TwoCyclesWithBridgeAreDependenciesFirst) {
+  // {0,1} ⇄ each other, edge 1 → 2, {2,3} ⇄ each other. The downstream
+  // component {2,3} must get the smaller id (dependencies-first).
+  SparseMatrixBuilder b(4, 4);
+  b.add(0, 1, 0.5);
+  b.add(1, 0, 0.4);
+  b.add(1, 2, 0.1);
+  b.add(2, 3, 0.5);
+  b.add(3, 2, 0.5);
+  const auto scc = tarjan_scc(b.build());
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[2], scc.component[3]);
+  EXPECT_LT(scc.component[2], scc.component[0]);
+}
+
+TEST(TarjanScc, CrossComponentEdgesPointToSmallerIds) {
+  // The dependencies-first invariant on random graphs: every stored entry
+  // (i, j) that crosses components satisfies component[j] < component[i].
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const SparseMatrix q = random_substochastic(40, 0.05, rng);
+    const auto scc = tarjan_scc(q);
+    for (std::size_t i = 0; i < q.rows(); ++i) {
+      for (const auto& e : q.row(i)) {
+        if (scc.component[i] != scc.component[e.col]) {
+          EXPECT_LT(scc.component[e.col], scc.component[i]) << "trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+TEST(SolvePlan, StructuralInvariantsHold) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SparseMatrix q = random_substochastic(50, 0.05, rng);
+    const SolvePlan plan = build_solve_plan(q);
+    const std::size_t n = q.rows();
+
+    ASSERT_EQ(plan.component.size(), n);
+    ASSERT_EQ(plan.members.size(), n);
+    ASSERT_EQ(plan.component_ptr.size(), plan.num_components + 1);
+    ASSERT_EQ(plan.level_of.size(), plan.num_components);
+    ASSERT_EQ(plan.level_components.size(), plan.num_components);
+
+    // Members of each component: correct component id, ascending state id.
+    std::size_t singletons = 0;
+    std::size_t largest = 0;
+    for (std::size_t k = 0; k < plan.num_components; ++k) {
+      const auto members = plan.component_members(k);
+      ASSERT_FALSE(members.empty());
+      if (members.size() == 1) ++singletons;
+      largest = std::max(largest, members.size());
+      EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+      for (const std::uint32_t s : members) EXPECT_EQ(plan.component[s], k);
+    }
+    EXPECT_EQ(plan.num_singletons, singletons);
+    EXPECT_EQ(plan.largest_component, largest);
+
+    // Every cross-component dependency sits at a strictly lower level.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const auto& e : q.row(i)) {
+        const std::uint32_t ki = plan.component[i];
+        const std::uint32_t kj = plan.component[e.col];
+        if (ki != kj) {
+          EXPECT_LT(plan.level_of[kj], plan.level_of[ki]);
+        }
+      }
+    }
+
+    // Level lists partition the component ids, ascending within a level.
+    std::vector<bool> seen(plan.num_components, false);
+    for (std::size_t l = 0; l < plan.num_levels(); ++l) {
+      const auto level = plan.level(l);
+      EXPECT_TRUE(std::is_sorted(level.begin(), level.end()));
+      for (const std::uint32_t k : level) {
+        EXPECT_EQ(plan.level_of[k], l);
+        EXPECT_FALSE(seen[k]);
+        seen[k] = true;
+      }
+    }
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool v) { return v; }));
+  }
+}
+
+TEST(SccSolve, MatchesDenseLuOnRandomSystems) {
+  Rng rng(456);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 20;
+    const SparseMatrix q = random_substochastic(n, 0.1, rng);
+    std::vector<double> c(n);
+    for (auto& v : c) v = rng.uniform(-5.0, 0.0);
+
+    const auto scc = solve_fixed_point_scc(q, c);
+    ASSERT_TRUE(scc.converged()) << scc.detail;
+
+    const DenseMatrix a = DenseMatrix::identity(n).subtract(to_dense(q));
+    const auto direct = LuFactorization(a).solve(c);
+    EXPECT_TRUE(approx_equal(scc.x, direct, 1e-6)) << "trial " << trial;
+  }
+}
+
+TEST(SccSolve, MatchesGlobalGaussSeidel) {
+  Rng rng(789);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SparseMatrix q = random_substochastic(30, 0.05, rng);
+    std::vector<double> c(q.rows());
+    for (auto& v : c) v = rng.uniform(-2.0, 0.0);
+    const auto global = solve_fixed_point(q, c);
+    const auto scc = solve_fixed_point_scc(q, c);
+    ASSERT_TRUE(global.converged());
+    ASSERT_TRUE(scc.converged()) << scc.detail;
+    EXPECT_TRUE(approx_equal(global.x, scc.x, 1e-8)) << "trial " << trial;
+  }
+}
+
+TEST(SccSolve, DagSolvesInOneSubstitutionPass) {
+  // A pure DAG has only singleton components: every state is finished by one
+  // closed-form substitution, so the reported sweep depth is exactly 1.
+  SparseMatrixBuilder b(5, 5);
+  for (std::size_t i = 1; i < 5; ++i) b.add(i, i - 1, 0.9);
+  const std::vector<double> c{-1.0, -1.0, -1.0, -1.0, -1.0};
+  const auto result = solve_fixed_point_scc(b.build(), c);
+  ASSERT_TRUE(result.converged());
+  EXPECT_EQ(result.iterations, 1u);
+  // Exact forward substitution: x0 = -1, x_i = -1 + 0.9 x_{i-1}.
+  double expected = -1.0;
+  EXPECT_NEAR(result.x[0], expected, 1e-12);
+  for (std::size_t i = 1; i < 5; ++i) {
+    expected = -1.0 + 0.9 * expected;
+    EXPECT_NEAR(result.x[i], expected, 1e-12);
+  }
+}
+
+TEST(SccSolve, AbsorbingZeroRewardRowPinnedToZero) {
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 1, 0.9);
+  b.add(1, 1, 1.0);
+  const std::vector<double> c{-2.0, 0.0};
+  const auto result = solve_fixed_point_scc(b.build(), c);
+  ASSERT_TRUE(result.converged());
+  EXPECT_NEAR(result.x[1], 0.0, 1e-12);
+  EXPECT_NEAR(result.x[0], -2.0, 1e-9);
+}
+
+TEST(SccSolve, PrepassNamesOffendingAbsorbingState) {
+  // State 1 absorbs with nonzero source: the shared prepass must refuse the
+  // system and its diagnostic must name the state.
+  SparseMatrixBuilder b(3, 3);
+  b.add(0, 1, 0.5);
+  b.add(1, 1, 1.0);
+  b.add(2, 0, 0.5);
+  const std::vector<double> c{-1.0, -1.0, -1.0};
+  const auto result = solve_fixed_point_scc(b.build(), c);
+  EXPECT_EQ(result.status, SolveStatus::Diverged);
+  EXPECT_NE(result.detail.find("state 1"), std::string::npos) << result.detail;
+
+  // The global solver runs the same prepass and must agree verbatim.
+  const auto global = solve_fixed_point(b.build(), c);
+  EXPECT_EQ(global.status, SolveStatus::Diverged);
+  EXPECT_EQ(global.detail, result.detail);
+}
+
+TEST(SccSolve, ExpandingComponentReportsDivergenceWithLocation) {
+  // An expanding 2-cycle downstream of a healthy singleton: the failure
+  // detail must identify the component and its level.
+  SparseMatrixBuilder b(3, 3);
+  b.add(0, 1, 1.2);
+  b.add(1, 0, 1.2);
+  b.add(2, 0, 0.5);
+  const std::vector<double> c{-1.0, -1.0, -1.0};
+  const auto result = solve_fixed_point_scc(b.build(), c);
+  EXPECT_EQ(result.status, SolveStatus::Diverged);
+  EXPECT_NE(result.detail.find("component"), std::string::npos) << result.detail;
+  EXPECT_NE(result.detail.find("size 2"), std::string::npos) << result.detail;
+}
+
+TEST(SccSolve, StallWindowPropagatesToComponents) {
+  // A recurrent zero-leak cycle inside one component drifts linearly; the
+  // per-component stall detector must fire and the failure detail must carry
+  // both the component location and the stall diagnosis.
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  const std::vector<double> c{-1.0, -1.0};
+  GaussSeidelOptions opts;
+  opts.stall_window = 50;
+  const auto result = solve_fixed_point_scc(b.build(), c, opts);
+  EXPECT_EQ(result.status, SolveStatus::Diverged);
+  EXPECT_LE(result.iterations, 2 * opts.stall_window);
+  EXPECT_NE(result.detail.find("component"), std::string::npos) << result.detail;
+  EXPECT_NE(result.detail.find("stalled"), std::string::npos) << result.detail;
+}
+
+TEST(SccSolve, ScaleMatchesExplicitlyDiscountedSystem) {
+  // Solving x = c + β·Qx via scc.scale must equal solving against a matrix
+  // with β folded into the entries — the contract that lets one assembled
+  // chain serve every discount factor.
+  Rng rng(31);
+  const std::size_t n = 25;
+  const double beta = 0.9;
+  const SparseMatrix q = random_substochastic(n, 0.0, rng);
+  std::vector<double> c(n);
+  for (auto& v : c) v = rng.uniform(-3.0, 0.0);
+
+  SccSolveOptions scc;
+  scc.scale = beta;
+  const auto scaled = solve_fixed_point_scc(q, c, {}, scc);
+  ASSERT_TRUE(scaled.converged()) << scaled.detail;
+
+  SparseMatrixBuilder folded(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& e : q.row(i)) folded.add(i, e.col, beta * e.value);
+  }
+  const auto direct = solve_fixed_point(folded.build(), c);
+  ASSERT_TRUE(direct.converged());
+  EXPECT_TRUE(approx_equal(scaled.x, direct.x, 1e-8));
+}
+
+TEST(SccSolve, ChunkedPathMatchesBlockGaussSeidel) {
+  // Forcing a tiny block_jacobi_threshold routes every nontrivial component
+  // through the chunked solver; the answer must not change.
+  Rng rng(64);
+  for (int trial = 0; trial < 5; ++trial) {
+    const SparseMatrix q = random_substochastic(40, 0.05, rng);
+    std::vector<double> c(q.rows());
+    for (auto& v : c) v = rng.uniform(-1.0, 0.0);
+
+    const auto plain = solve_fixed_point_scc(q, c);
+    SccSolveOptions chunked;
+    chunked.block_jacobi_threshold = 2;
+    const auto forced = solve_fixed_point_scc(q, c, {}, chunked);
+    ASSERT_TRUE(plain.converged()) << plain.detail;
+    ASSERT_TRUE(forced.converged()) << forced.detail;
+    EXPECT_TRUE(approx_equal(plain.x, forced.x, 1e-8)) << "trial " << trial;
+  }
+}
+
+TEST(SccSolve, PlanOverloadMatchesPlanBuildingOverload) {
+  Rng rng(99);
+  const SparseMatrix q = random_substochastic(30, 0.1, rng);
+  std::vector<double> c(q.rows(), -1.0);
+  const SolvePlan plan = build_solve_plan(q);
+  const auto with_plan = solve_fixed_point_scc(q, c, {}, {}, plan);
+  const auto without = solve_fixed_point_scc(q, c);
+  ASSERT_TRUE(with_plan.converged());
+  ASSERT_TRUE(without.converged());
+  // Identical code path underneath: results are bitwise equal.
+  EXPECT_EQ(with_plan.x, without.x);
+  EXPECT_EQ(with_plan.iterations, without.iterations);
+}
+
+TEST(SccSolve, ValidatesInputs) {
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 1, 0.5);
+  const SparseMatrix q = b.build();
+  const std::vector<double> c{-1.0, -1.0};
+
+  SccSolveOptions bad;
+  bad.scale = 0.0;
+  EXPECT_THROW(solve_fixed_point_scc(q, c, {}, bad), PreconditionError);
+  bad.scale = 1.5;
+  EXPECT_THROW(solve_fixed_point_scc(q, c, {}, bad), PreconditionError);
+
+  bad = {};
+  bad.jobs = 0;
+  EXPECT_THROW(solve_fixed_point_scc(q, c, {}, bad), PreconditionError);
+
+  bad = {};
+  bad.block_jacobi_threshold = 1;
+  EXPECT_THROW(solve_fixed_point_scc(q, c, {}, bad), PreconditionError);
+
+  GaussSeidelOptions opts;
+  opts.relaxation = 2.5;
+  EXPECT_THROW(solve_fixed_point_scc(q, c, opts), PreconditionError);
+
+  // A plan built for a different matrix must be rejected.
+  SparseMatrixBuilder other(3, 3);
+  other.add(0, 1, 0.5);
+  const SolvePlan mismatched = build_solve_plan(other.build());
+  EXPECT_THROW(solve_fixed_point_scc(q, c, {}, {}, mismatched), PreconditionError);
+}
+
+}  // namespace
+}  // namespace recoverd::linalg

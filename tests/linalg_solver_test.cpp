@@ -147,6 +147,35 @@ TEST(GaussSeidel, ReportsMaxIterationsOnSlowChain) {
   EXPECT_EQ(result.iterations, 50u);
 }
 
+TEST(GaussSeidel, StallWindowFlagsLinearDriftAsDivergence) {
+  // The same recurrent cycle drifts by a constant per sweep: the delta never
+  // shrinks, so stall detection must classify it as Diverged within the
+  // window instead of burning the full iteration budget.
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  const std::vector<double> c{-1.0, -1.0};
+  GaussSeidelOptions opts;
+  opts.stall_window = 50;
+  const auto result = solve_fixed_point(b.build(), c, opts);
+  EXPECT_EQ(result.status, SolveStatus::Diverged);
+  EXPECT_LE(result.iterations, 2 * opts.stall_window);
+  EXPECT_NE(result.detail.find("stalled"), std::string::npos) << result.detail;
+}
+
+TEST(GaussSeidel, StallWindowZeroDisablesDetection) {
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  const std::vector<double> c{-1.0, -1.0};
+  GaussSeidelOptions opts;
+  opts.stall_window = 0;  // disabled: the budget is the only backstop
+  opts.max_iterations = 60;
+  const auto result = solve_fixed_point(b.build(), c, opts);
+  EXPECT_EQ(result.status, SolveStatus::MaxIterations);
+  EXPECT_EQ(result.iterations, 60u);
+}
+
 TEST(GaussSeidel, ValidatesOptions) {
   SparseMatrixBuilder b(1, 1);
   const std::vector<double> c{0.0};

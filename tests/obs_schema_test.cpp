@@ -50,9 +50,12 @@ TEST(MetricsSchema, EpisodeDumpContainsThePaperFacingInstruments) {
   const obs::Json& gauges = doc.at("gauges");
   const obs::Json& histograms = doc.at("histograms");
 
-  // Gauss–Seidel sweep count (Eq. 5 solves behind the RA-Bound).
-  EXPECT_GE(counters.at("linalg.gauss_seidel.sweeps").as_number(), 1.0);
-  EXPECT_GE(counters.at("linalg.gauss_seidel.solves").as_number(), 1.0);
+  // Topology-aware Eq. 5 solver behind the RA-Bound: chain assembly, SCC
+  // condensation, and the per-component solves.
+  EXPECT_GE(counters.at("bounds.ra_chain.assemblies").as_number(), 1.0);
+  EXPECT_GE(counters.at("linalg.scc.plans").as_number(), 1.0);
+  EXPECT_GE(counters.at("linalg.scc_solve.solves").as_number(), 1.0);
+  EXPECT_GE(gauges.at("linalg.scc.components").as_number(), 1.0);
   EXPECT_GE(counters.at("bounds.ra_bound.solves").as_number(), 1.0);
 
   // RA-Bound hyperplane count: one RA vector plus any accepted Eq. 7 updates.

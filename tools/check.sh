@@ -3,17 +3,23 @@
 #   1. tier-1: Release configure + build + full ctest run (the ROADMAP gate);
 #   2. sanitize: RelWithDebInfo + ASan/UBSan build + full ctest run;
 #   3. tsan: ThreadSanitizer build + the concurrency tests (names matching
-#      "Parallel": the parallel experiment runner and the engine's root
-#      fan-out), which exercise every cross-thread code path in the repo.
+#      "Parallel|Scc": the parallel experiment runner, the engine's root
+#      fan-out, and the topology-aware SCC solver's level/chunk threading),
+#      which exercise every cross-thread code path in the repo.
 #
 #   4. robustness: ASan/UBSan run of the guard/mismatch test binaries plus a
 #      mini chaos soak (robustness_campaign at --faults=50) that must finish
 #      with zero crashes or livelocks.
 #
+#   5. scaling: a smoke run of the RA-Bound scaling campaign (10^5 states,
+#      legacy-vs-SCC parity and bitwise determinism across --solver-jobs);
+#      exits nonzero if any correctness check fails.
+#
 # Usage: tools/check.sh            # all passes
 #        SKIP_SANITIZE=1 tools/check.sh   # skip the ASan/UBSan pass
 #        SKIP_TSAN=1 tools/check.sh       # skip the ThreadSanitizer pass
 #        SKIP_ROBUSTNESS=1 tools/check.sh # skip the chaos soak
+#        SKIP_SCALING=1 tools/check.sh    # skip the scaling smoke
 #        JOBS=8 tools/check.sh     # override parallelism
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,11 +42,12 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan: ThreadSanitizer build + concurrency tests (CMakePresets.json 'tsan') =="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -fno-sanitize-recover=all"
-  # Building the two test binaries that contain the threaded paths keeps the
-  # pass fast; gtest_discover_tests registers their cases at build time.
+  # Building only the test binaries that contain the threaded paths keeps
+  # the pass fast; gtest_discover_tests registers their cases at build time.
   cmake --build build-tsan -j "$JOBS" \
-    --target sim_parallel_experiment_test pomdp_expansion_parity_test
-  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "Parallel"
+    --target sim_parallel_experiment_test pomdp_expansion_parity_test \
+             linalg_scc_test linalg_parallel_solve_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "Parallel|Scc"
 fi
 
 if [[ "${SKIP_ROBUSTNESS:-0}" != "1" ]]; then
@@ -55,6 +62,15 @@ if [[ "${SKIP_ROBUSTNESS:-0}" != "1" ]]; then
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS" \
     -R "Guard|Mismatch|FaultInjector"
   ./build-sanitize/bench/robustness_campaign --faults=50 --max-steps=200
+fi
+
+if [[ "${SKIP_SCALING:-0}" != "1" ]]; then
+  echo "== scaling: RA-Bound campaign smoke (10^5 states, parity + determinism) =="
+  # Release tree from pass 1; --smoke caps the sweep at 10^5 states and the
+  # binary exits nonzero when legacy/SCC parity or the bitwise
+  # across-jobs check fails.
+  cmake --build build -j "$JOBS" --target scaling_campaign
+  ./build/bench/scaling_campaign --smoke --out=/tmp/recoverd_scaling_smoke.json
 fi
 
 echo "All checks passed."
