@@ -19,6 +19,8 @@ EmnExperimentSetup parse_emn_setup(const CliArgs& args) {
       static_cast<std::size_t>(args.get_int("bootstrap-runs", 10));
   setup.bootstrap_depth = static_cast<int>(args.get_int("bootstrap-depth", 2));
   setup.jobs = args.get_jobs(1);
+  setup.memo = args.get_int("memo", 1) != 0;
+  setup.memo_max_mb = static_cast<std::size_t>(args.get_int("memo-max-mb", 64));
   setup.mismatch = sim::parse_mismatch_options(args);
   setup.guard = controller::parse_guard_options(args);
   return setup;

@@ -3,6 +3,8 @@
 // updates as a function of |B|, and Max-Avg tree expansion by depth.
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
 #include "gbench_main.hpp"
 
 #include "bounds/incremental_update.hpp"
@@ -81,19 +83,30 @@ void BM_IncrementalUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_IncrementalUpdate)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 
+// Headline decision-latency number (BENCH_expansion.json): one depth-d best
+// action on the EMN model with the RA-Bound leaf, in the exact configuration
+// BoundedController::decide() runs — a directly-owned engine, the
+// transposition cache on, a devirtualized ScratchBoundLeaf armed and flushed
+// around each decision. (The legacy std::function wrapper path this used to
+// measure lives on in BM_ExpansionWrapper.)
 void BM_TreeExpansion(benchmark::State& state) {
   const Pomdp& p = emn_recovery();
   const Belief pi = uniform_fault_belief();
   bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
-  const LeafEvaluator leaf = [&set](const Belief& b) {
-    return set.evaluate(b.probabilities());
-  };
+  bounds::BoundSet::EvalScratch scratch;
+  const bounds::ScratchBoundLeaf leaf{&set, &scratch};
+  ExpansionEngine engine(p);
+  ExpansionOptions opts;
+  opts.branch_floor = 1e-2;
   const int depth = static_cast<int>(state.range(0));
-  const double floor = 1e-2;
   for (auto _ : state) {
-    const auto best = bellman_best_action(p, pi, depth, leaf, 1.0, kInvalidId, floor);
+    set.begin_eval(scratch);
+    const auto best = engine.best_action(
+        pi.probabilities(), depth, SpanLeaf::of_batched(leaf, set.size() + 1), opts);
+    set.flush_eval(scratch);
     benchmark::DoNotOptimize(best.value);
   }
+  state.counters["arena_bytes"] = static_cast<double>(engine.arena_bytes());
 }
 BENCHMARK(BM_TreeExpansion)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
 
@@ -146,6 +159,133 @@ void BM_ExpansionEngine(benchmark::State& state) {
 BENCHMARK(BM_ExpansionEngine)
     ->ArgsProduct({{1, 2, 3}, {1, 10}})
     ->Unit(benchmark::kMicrosecond);
+
+// The controllers' full hot-path configuration — ScratchBoundLeaf (pruned
+// scan + warm start + batched frontiers) on a directly-owned engine — with
+// the transposition cache on (arg 1 = 1) or off (arg 1 = 0). The ratio per
+// depth is the headline number of DESIGN.md §11. Args: (depth, memo).
+void BM_ExpansionMemo(benchmark::State& state) {
+  const Pomdp& p = emn_recovery();
+  const Belief pi = uniform_fault_belief();
+  bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
+  bounds::BoundSet::EvalScratch scratch;
+  set.begin_eval(scratch);
+  const bounds::ScratchBoundLeaf leaf{&set, &scratch};
+  ExpansionEngine engine(p);
+  ExpansionOptions opts;
+  opts.branch_floor = 1e-2;
+  opts.memo = state.range(1) != 0;
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto best = engine.best_action(
+        pi.probabilities(), depth, SpanLeaf::of_batched(leaf, set.size() + 1), opts);
+    benchmark::DoNotOptimize(best.value);
+  }
+  set.flush_eval(scratch);
+  state.counters["memo"] = static_cast<double>(state.range(1));
+  state.counters["arena_bytes"] = static_cast<double>(engine.arena_bytes());
+}
+BENCHMARK(BM_ExpansionMemo)
+    ->ArgsProduct({{1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+// The Eq. 6 leaf kernel in isolation, on synthetic hyperplane sets of
+// `planes` vectors over `states` dimensions. "Naive" is the pre-PR 5
+// two-pass scan (full dot per plane, then re-dot the winner); "Pruned" is
+// BoundSet::evaluate with the max-coefficient skip bound and warm start;
+// "Batch" runs whole 64-belief frontiers through evaluate_batch. All three
+// return bit-identical values. Args: (planes, states).
+bounds::BoundSet make_synthetic_set(std::size_t planes, std::size_t states) {
+  bounds::BoundSet set(states);
+  Rng rng(17);
+  for (std::size_t i = 0; i < planes; ++i) {
+    bounds::BoundVector v(states);
+    // Negative costs-to-go of different magnitudes, so the running max
+    // separates planes the way improved recovery bounds do.
+    const double scale = 1.0 + rng.uniform01() * 9.0;
+    for (auto& x : v) x = -scale * (0.1 + rng.uniform01());
+    set.add(std::move(v));
+  }
+  return set;
+}
+
+std::vector<double> make_belief_rows(std::size_t count, std::size_t states) {
+  Rng rng(23);
+  std::vector<double> rows(count * states);
+  for (std::size_t i = 0; i < count; ++i) {
+    double sum = 0.0;
+    for (std::size_t s = 0; s < states; ++s) {
+      rows[i * states + s] = rng.uniform01();
+      sum += rows[i * states + s];
+    }
+    for (std::size_t s = 0; s < states; ++s) rows[i * states + s] /= sum;
+  }
+  return rows;
+}
+
+constexpr std::size_t kEvalFrontier = 64;
+
+void BM_BoundSetEvaluateNaive(benchmark::State& state) {
+  const auto planes = static_cast<std::size_t>(state.range(0));
+  const auto states = static_cast<std::size_t>(state.range(1));
+  const bounds::BoundSet set = make_synthetic_set(planes, states);
+  const std::vector<double> rows = make_belief_rows(kEvalFrontier, states);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    const std::span<const double> pi(rows.data() + row * states, states);
+    row = (row + 1) % kEvalFrontier;
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      double dot = 0.0;
+      const bounds::BoundVector& v = set.vector_at(i);
+      for (std::size_t s = 0; s < states; ++s) dot += v[s] * pi[s];
+      best = std::max(best, dot);
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.counters["planes"] = static_cast<double>(planes);
+}
+
+void BM_BoundSetEvaluatePruned(benchmark::State& state) {
+  const auto planes = static_cast<std::size_t>(state.range(0));
+  const auto states = static_cast<std::size_t>(state.range(1));
+  const bounds::BoundSet set = make_synthetic_set(planes, states);
+  const std::vector<double> rows = make_belief_rows(kEvalFrontier, states);
+  bounds::BoundSet::EvalScratch scratch;
+  set.begin_eval(scratch);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    const std::span<const double> pi(rows.data() + row * states, states);
+    row = (row + 1) % kEvalFrontier;
+    benchmark::DoNotOptimize(set.evaluate(pi, scratch));
+  }
+  set.flush_eval(scratch);
+  state.counters["planes"] = static_cast<double>(planes);
+}
+
+void BM_BoundSetEvaluateBatch(benchmark::State& state) {
+  const auto planes = static_cast<std::size_t>(state.range(0));
+  const auto states = static_cast<std::size_t>(state.range(1));
+  const bounds::BoundSet set = make_synthetic_set(planes, states);
+  const std::vector<double> rows = make_belief_rows(kEvalFrontier, states);
+  std::vector<double> out(kEvalFrontier);
+  bounds::BoundSet::EvalScratch scratch;
+  set.begin_eval(scratch);
+  for (auto _ : state) {
+    set.evaluate_batch(rows.data(), kEvalFrontier, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  set.flush_eval(scratch);
+  state.counters["planes"] = static_cast<double>(planes);
+  // Per-belief time, comparable to the other two variants.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kEvalFrontier));
+}
+
+#define RD_BOUNDSET_EVAL_ARGS ArgsProduct({{8, 64, 256}, {16, 128}})
+BENCHMARK(BM_BoundSetEvaluateNaive)->RD_BOUNDSET_EVAL_ARGS;
+BENCHMARK(BM_BoundSetEvaluatePruned)->RD_BOUNDSET_EVAL_ARGS;
+BENCHMARK(BM_BoundSetEvaluateBatch)->RD_BOUNDSET_EVAL_ARGS;
+#undef RD_BOUNDSET_EVAL_ARGS
 
 void BM_RaBoundEmn(benchmark::State& state) {
   const Pomdp& p = emn_recovery();

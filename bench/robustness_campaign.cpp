@@ -139,6 +139,8 @@ int run(const CliArgs& args) {
   controller::BoundedControllerOptions b_opts;
   b_opts.tree_depth = 1;
   b_opts.branch_floor = setup.branch_floor;
+  b_opts.memo = setup.memo;
+  b_opts.memo_max_mb = setup.memo_max_mb;
 
   obs::Counter& escalation_counter =
       obs::metrics().counter("controller.guard.escalations");
@@ -283,7 +285,7 @@ int main(int argc, char** argv) {
       "metrics-out", "out",         "faults",
       "max-steps",   "top",         "seed",
       "capacity",    "branch-floor", "termination-probability",
-      "bootstrap-runs", "bootstrap-depth", "jobs"};
+      "bootstrap-runs", "bootstrap-depth", "jobs", "memo", "memo-max-mb"};
   const std::vector<std::string> robustness = recoverd::bench::robustness_flag_names();
   known.insert(known.end(), robustness.begin(), robustness.end());
   args.require_known(known);

@@ -33,11 +33,58 @@ struct SetInstruments {
     return instruments;
   }
 };
+
+// Evaluate-kernel instruments (DESIGN.md §11). The scratch overloads tally
+// locally and publish through flush_eval(); the scratch-free evaluate()
+// bumps them directly (it already pays an atomic for the use counter).
+struct EvalInstruments {
+  obs::Counter& calls;
+  obs::Counter& planes_skipped;
+  obs::Counter& warm_start_hits;
+  obs::Counter& batches;
+  obs::Counter& flushes;
+
+  static EvalInstruments& get() {
+    static EvalInstruments instruments{
+        obs::metrics().counter("bounds.eval.calls"),
+        obs::metrics().counter("bounds.eval.planes_skipped"),
+        obs::metrics().counter("bounds.eval.warm_start_hits"),
+        obs::metrics().counter("bounds.eval.batches"),
+        obs::metrics().counter("bounds.eval.flushes"),
+    };
+    return instruments;
+  }
+};
 }  // namespace
 
 BoundSet::BoundSet(std::size_t dimension, std::size_t capacity)
     : dimension_(dimension), capacity_(capacity) {
   RD_EXPECTS(dimension > 0, "BoundSet: dimension must be positive");
+}
+
+BoundSet::Entry BoundSet::make_entry(BoundVector vector) const {
+  Entry entry;
+  double max_coef = -std::numeric_limits<double>::infinity();
+  double max_abs = 0.0;
+  for (double v : vector) {
+    max_coef = std::max(max_coef, v);
+    max_abs = std::max(max_abs, std::abs(v));
+  }
+  // Rigorous skip bound for the pruned scan. For a belief π with π(s) ≥ 0
+  // and Σπ = S, the true dot obeys ⟨b, π⟩ ≤ max_coef · S (regardless of the
+  // sign of max_coef, since each term π(s)·b(s) ≤ π(s)·max_coef). The
+  // *floating-point* dot and the floating-point S each deviate from their
+  // exact values by at most ~n·2⁻⁵³ relative to max_abs·S, so inflating the
+  // key by n·2⁻⁴⁵·max_abs — a 256× safety factor over the worst-case
+  // accumulation error — guarantees fl⟨b, π⟩ ≤ prune_key · fl(S). A plane
+  // with prune_key·S strictly below the running max therefore cannot win
+  // *or tie*: skipping it changes neither the value nor the winning index,
+  // while costing only ~3·10⁻¹⁴·n relative pruning slack (DESIGN.md §11).
+  const double margin =
+      max_abs * static_cast<double>(dimension_) * 0x1p-45;
+  entry.prune_key = max_coef + margin;
+  entry.vector = std::move(vector);
+  return entry;
 }
 
 BoundSet::AddResult BoundSet::add(BoundVector vector) {
@@ -67,8 +114,7 @@ BoundSet::AddResult BoundSet::add(BoundVector vector) {
 
   if (capacity_ > 0 && entries_.size() >= capacity_) evict_least_used();
 
-  Entry entry;
-  entry.vector = std::move(vector);
+  Entry entry = make_entry(std::move(vector));
   entry.is_protected = !first_added_;  // the first vector (RA-Bound) is protected
   first_added_ = true;
   entries_.push_back(std::move(entry));
@@ -96,28 +142,126 @@ void BoundSet::remove(std::size_t index) {
   SetInstruments::get().size.set(static_cast<double>(entries_.size()));
 }
 
+double BoundSet::scan(std::span<const double> belief, std::size_t warm,
+                      std::size_t* winner, EvalScratch* scratch) const {
+  RD_EXPECTS(!entries_.empty(), "BoundSet: no vectors stored");
+  RD_EXPECTS(belief.size() == dimension_, "BoundSet: belief dimension mismatch");
+  const std::size_t n = entries_.size();
+
+  // Σπ makes the skip bound independent of how well the caller normalised:
+  // the prune key scales with the actual mass, so the scan is exact for any
+  // non-negative belief (sum ≈ 1 on the engine path). It is computed lazily
+  // at the first prune check so single-plane sets — where nothing can ever
+  // be skipped — pay one dot per call, not two passes.
+  double belief_sum = -1.0;
+
+  double best_value = -std::numeric_limits<double>::infinity();
+  std::size_t best = n;
+  if (warm < n) {
+    best_value = linalg::dot(entries_[warm].vector, belief);
+    best = warm;
+  }
+  std::uint64_t skipped = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == warm) continue;
+    const Entry& e = entries_[i];
+    if (belief_sum < 0.0 && best != n) {
+      belief_sum = 0.0;
+      for (double v : belief) belief_sum += v;
+    }
+    if (best != n && e.prune_key * belief_sum < best_value) {
+      ++skipped;
+      continue;
+    }
+    const double v = linalg::dot(e.vector, belief);
+    // `v == best_value && i < best` reproduces the naive ascending scan's
+    // tie-break (lowest index attaining the max) when the warm start seeded
+    // the running max from a higher index.
+    if (v > best_value || (v == best_value && i < best)) {
+      best_value = v;
+      best = i;
+    }
+  }
+  if (scratch != nullptr) {
+    scratch->planes_skipped += skipped;
+    if (warm < n && best == warm) ++scratch->warm_start_hits;
+  }
+  *winner = best;
+  return best_value;
+}
+
 double BoundSet::evaluate(std::span<const double> belief) const {
-  const std::size_t best = best_index(belief);
+  std::size_t best = 0;
+  EvalScratch tally;  // local: publish the scan's skip count immediately
+  const double value = scan(belief, EvalScratch::kNone, &best, &tally);
+  EvalInstruments& instruments = EvalInstruments::get();
+  instruments.calls.add();
+  if (tally.planes_skipped > 0) instruments.planes_skipped.add(tally.planes_skipped);
   // Concurrent evaluations happen during the expansion engine's root
   // fan-out; the use-count bump is the only write, made atomic so the race
   // is benign. (Mutations — add/protect — still require exclusive access.)
   std::atomic_ref<std::size_t>(entries_[best].uses)
       .fetch_add(1, std::memory_order_relaxed);
-  return linalg::dot(entries_[best].vector, belief);
+  return value;
+}
+
+void BoundSet::begin_eval(EvalScratch& scratch) const {
+  scratch.wins.assign(entries_.size(), 0);
+  if (scratch.warm >= entries_.size()) scratch.warm = EvalScratch::kNone;
+  scratch.evaluations = 0;
+  scratch.planes_skipped = 0;
+  scratch.warm_start_hits = 0;
+  scratch.batch_calls = 0;
+}
+
+double BoundSet::evaluate(std::span<const double> belief, EvalScratch& scratch) const {
+  RD_EXPECTS(scratch.wins.size() == entries_.size(),
+             "BoundSet::evaluate: scratch not sized for this set (call begin_eval)");
+  std::size_t best = 0;
+  const double value = scan(belief, scratch.warm, &best, &scratch);
+  ++scratch.wins[best];
+  ++scratch.evaluations;
+  scratch.warm = best;
+  return value;
+}
+
+void BoundSet::evaluate_batch(const double* beliefs, std::size_t count,
+                              std::span<double> out, EvalScratch& scratch) const {
+  RD_EXPECTS(out.size() >= count, "BoundSet::evaluate_batch: output too small");
+  ++scratch.batch_calls;
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = evaluate({beliefs + i * dimension_, dimension_}, scratch);
+  }
+}
+
+void BoundSet::flush_eval(EvalScratch& scratch) const {
+  RD_EXPECTS(scratch.wins.size() <= entries_.size(),
+             "BoundSet::flush_eval: set shrank since begin_eval");
+  // Ascending index order, one add per entry: deterministic counts for any
+  // mix of slots/workers, and |B| atomics per decide instead of one per leaf.
+  for (std::size_t i = 0; i < scratch.wins.size(); ++i) {
+    if (scratch.wins[i] == 0) continue;
+    std::atomic_ref<std::size_t>(entries_[i].uses)
+        .fetch_add(scratch.wins[i], std::memory_order_relaxed);
+    scratch.wins[i] = 0;
+  }
+  EvalInstruments& instruments = EvalInstruments::get();
+  if (scratch.evaluations > 0) instruments.calls.add(scratch.evaluations);
+  if (scratch.planes_skipped > 0) instruments.planes_skipped.add(scratch.planes_skipped);
+  if (scratch.warm_start_hits > 0) {
+    instruments.warm_start_hits.add(scratch.warm_start_hits);
+  }
+  if (scratch.batch_calls > 0) instruments.batches.add(scratch.batch_calls);
+  instruments.flushes.add();
+  scratch.evaluations = 0;
+  scratch.planes_skipped = 0;
+  scratch.warm_start_hits = 0;
+  scratch.batch_calls = 0;
 }
 
 std::size_t BoundSet::best_index(std::span<const double> belief) const {
-  RD_EXPECTS(!entries_.empty(), "BoundSet: no vectors stored");
-  RD_EXPECTS(belief.size() == dimension_, "BoundSet: belief dimension mismatch");
   std::size_t best = 0;
-  double best_value = -std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    const double v = linalg::dot(entries_[i].vector, belief);
-    if (v > best_value) {
-      best_value = v;
-      best = i;
-    }
-  }
+  (void)scan(belief, EvalScratch::kNone, &best, nullptr);
   return best;
 }
 

@@ -8,9 +8,21 @@
 // Storage is bounded (§4.3): when a capacity is set, the least-used
 // unprotected vector is evicted. The first vector added is protected by
 // default so the RA-Bound guarantee never degrades.
+//
+// evaluate() is the leaf of every Max-Avg expansion, so it is engineered as
+// a hot kernel: each stored hyperplane carries a precomputed *prune key*
+// (its maximum coefficient plus a rigorous rounding margin) that lets the
+// scan skip — exactly, without changing the returned value or the winning
+// index — any hyperplane whose best-possible dot product cannot beat the
+// running maximum. Callers on the expansion hot path use the EvalScratch
+// overloads, which add a warm start (the previous winner is tried first, so
+// the running maximum starts high and the prune keys bite immediately) and
+// accumulate use-counter wins locally, deferring the shared-counter update
+// to one flush per decision (DESIGN.md §11).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -52,11 +64,52 @@ class BoundSet {
   void remove(std::size_t index);
 
   /// V_B⁻(π) = max_b ⟨b, π⟩, and records a "use" of the attaining vector
-  /// (for least-used eviction). Precondition: at least one vector stored.
-  /// Safe to call concurrently (the use-count bump is a relaxed atomic) as
-  /// long as no thread mutates the set — the expansion engine relies on
-  /// this for its root-action fan-out.
+  /// (for least-used eviction). Precondition: at least one vector stored;
+  /// `belief` has non-negative entries (the pruned scan's skip bound relies
+  /// on it). Safe to call concurrently (the use-count bump is a relaxed
+  /// atomic) as long as no thread mutates the set — the expansion engine
+  /// relies on this for its root-action fan-out.
   double evaluate(std::span<const double> belief) const;
+
+  /// Per-caller scratch for the hot-path evaluate() overloads: accumulates
+  /// use-counter wins and bounds.eval.* tallies locally (no shared-memory
+  /// RMW per leaf) and carries the warm-start winner between evaluations.
+  /// One scratch per concurrently evaluating thread; begin_eval() before a
+  /// batch of evaluations, flush_eval() once the set may mutate again.
+  struct EvalScratch {
+    static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+    std::vector<std::uint64_t> wins;  ///< per-entry evaluate() wins since begin
+    std::size_t warm = kNone;         ///< previous winner, tried first
+    std::uint64_t evaluations = 0;    ///< evaluate() calls since last flush
+    std::uint64_t planes_skipped = 0;  ///< hyperplanes pruned by the key bound
+    std::uint64_t warm_start_hits = 0;  ///< warm plane turned out to be the winner
+    std::uint64_t batch_calls = 0;      ///< evaluate_batch() invocations
+  };
+
+  /// Sizes `scratch` for this set (wins has one slot per stored vector,
+  /// zeroed) and clamps a stale warm-start index. Call after any mutation
+  /// (add/remove/evictions shift indices) and before the evaluations whose
+  /// wins the scratch will accumulate.
+  void begin_eval(EvalScratch& scratch) const;
+
+  /// evaluate() without shared-memory writes: the winner's use count is
+  /// accumulated in `scratch.wins` and the previous winner is tried first
+  /// (warm start). Bit-identical value and winning index to evaluate().
+  double evaluate(std::span<const double> belief, EvalScratch& scratch) const;
+
+  /// Evaluates `count` beliefs stored row-major (count × dimension) in one
+  /// pass, writing out[i] for row i. The warm start chains across rows —
+  /// consecutive leaves of an expansion frontier are usually won by the same
+  /// hyperplane. Bit-identical to `count` sequential evaluate() calls.
+  void evaluate_batch(const double* beliefs, std::size_t count, std::span<double> out,
+                      EvalScratch& scratch) const;
+
+  /// Applies the wins accumulated in `scratch` to the stored use counters
+  /// (in ascending index order, so counts are deterministic for any caller
+  /// structure), publishes the bounds.eval.* metric tallies, and zeroes the
+  /// scratch tallies. The warm-start index survives the flush.
+  void flush_eval(EvalScratch& scratch) const;
 
   /// Index of the hyperplane attaining the max at `belief`.
   std::size_t best_index(std::span<const double> belief) const;
@@ -70,9 +123,22 @@ class BoundSet {
  private:
   struct Entry {
     BoundVector vector;
+    /// Safe upper bound on ⟨b, π⟩ / Σπ for non-negative π: max_s b(s) plus a
+    /// rounding margin (see make_entry). Lets the scan skip this plane when
+    /// prune_key · Σπ is strictly below the running max — the skipped dot
+    /// provably could neither win nor tie, so value AND winner are unchanged.
+    double prune_key = 0.0;
     bool is_protected = false;
     mutable std::size_t uses = 0;
   };
+
+  Entry make_entry(BoundVector vector) const;
+  /// The shared pruned scan: returns the max dot product and stores the
+  /// winning index (lowest index attaining the max, exactly the naive
+  /// ascending scan's tie-break) in `*winner`. `warm` (kNone = cold) is
+  /// evaluated first; `scratch` (may be null) receives the skip tallies.
+  double scan(std::span<const double> belief, std::size_t warm, std::size_t* winner,
+              EvalScratch* scratch) const;
 
   void evict_least_used();
 
@@ -80,6 +146,24 @@ class BoundSet {
   std::size_t capacity_;
   bool first_added_ = false;
   std::vector<Entry> entries_;
+};
+
+/// Devirtualized leaf binding for the expansion engine: evaluates a
+/// BoundSet with one EvalScratch per engine leaf slot (see
+/// ExpansionEngine::leaf_slots), giving every fan-out worker a private
+/// warm start and win tally. Shaped for SpanLeaf::of_batched — the engine
+/// calls operator() for single leaves and batch() for whole frontiers.
+struct ScratchBoundLeaf {
+  const BoundSet* set = nullptr;
+  BoundSet::EvalScratch* scratches = nullptr;  ///< one per leaf slot
+
+  double operator()(std::span<const double> pi, std::size_t slot) const {
+    return set->evaluate(pi, scratches[slot]);
+  }
+  void batch(const double* beliefs, std::size_t count, std::size_t /*dim*/, double* out,
+             std::size_t slot) const {
+    set->evaluate_batch(beliefs, count, {out, count}, scratches[slot]);
+  }
 };
 
 }  // namespace recoverd::bounds

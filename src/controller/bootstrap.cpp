@@ -31,12 +31,11 @@ BootstrapTrace bootstrap_bounds(const Pomdp& model, bounds::BoundSet& set,
   trace.set_sizes.reserve(options.iterations);
 
   // The bootstrap drives many expansions over one model: run them on a
-  // local engine with a devirtualized leaf so the warm arena is reused for
-  // the whole warm-up.
+  // local engine with a devirtualized scratch leaf so the warm arena — and
+  // the bound set's warm-start winner — is reused for the whole warm-up.
   ExpansionEngine engine(model);
-  const auto leaf = [&set](std::span<const double> posterior) {
-    return set.evaluate(posterior);
-  };
+  bounds::BoundSet::EvalScratch scratch;
+  const bounds::ScratchBoundLeaf leaf{&set, &scratch};
   ExpansionOptions expansion;
   expansion.branch_floor = options.branch_floor;
 
@@ -60,9 +59,13 @@ BootstrapTrace bootstrap_bounds(const Pomdp& model, bounds::BoundSet& set,
     for (std::size_t step = 0; step < options.max_episode_steps; ++step) {
       bounds::improve_at(model, set, belief);
 
-      const ActionValue best = engine.best_action(belief.probabilities(),
-                                                  options.tree_depth,
-                                                  SpanLeaf::of(leaf), expansion);
+      // improve_at may have mutated the set: re-arm the scratch per step and
+      // flush its wins right after the expansion.
+      set.begin_eval(scratch);
+      const ActionValue best =
+          engine.best_action(belief.probabilities(), options.tree_depth,
+                             SpanLeaf::of_batched(leaf, set.size() + 1), expansion);
+      set.flush_eval(scratch);
       if (model.has_terminate_action() && best.action == model.terminate_action()) break;
       if (!model.has_terminate_action() &&
           model.mdp().goal_probability(belief.probabilities()) >= 1.0 - 1e-9) {

@@ -85,15 +85,24 @@ Decision BoundedController::decide() {
     }
   }
 
-  // Devirtualized leaf: the engine hands already-normalised posterior spans
-  // straight to the hyperplane max — no Belief construction, no
-  // std::function indirection.
-  const auto leaf = [this](std::span<const double> posterior) {
-    return set_.evaluate(posterior);
-  };
   ExpansionOptions expansion;
   expansion.branch_floor = options_.branch_floor;
   expansion.root_jobs = options_.root_jobs;
+  expansion.memo = options_.memo;
+  expansion.memo_max_bytes = options_.memo_max_mb << 20;
+
+  // Devirtualized, slot-aware leaf: the engine hands already-normalised
+  // posterior spans (single beliefs or whole frontiers) straight to the
+  // pruned hyperplane max. Each leaf slot owns an EvalScratch — a private
+  // warm start plus locally accumulated use-counter wins — sized here, after
+  // improve_at() froze the set for the rest of the decision, and flushed
+  // once per decide() in fixed order so use counts stay deterministic.
+  const std::size_t slots = ExpansionEngine::leaf_slots(expansion);
+  if (eval_scratch_.size() < slots) eval_scratch_.resize(slots);
+  for (std::size_t s = 0; s < slots; ++s) set_.begin_eval(eval_scratch_[s]);
+  const bounds::ScratchBoundLeaf leaf{&set_, eval_scratch_.data()};
+  const SpanLeaf span_leaf = SpanLeaf::of_batched(leaf, set_.size() + 1);
+
   const std::uint64_t nodes_before = instruments.nodes_expanded.value();
   GuardRuntime& runtime = guard();
   if (runtime.deadline_enabled()) {
@@ -105,16 +114,16 @@ Decision BoundedController::decide() {
     Timer deadline;
     int achieved = 0;
     for (int depth = 1; depth <= options_.tree_depth; ++depth) {
-      engine_.action_values(pi.probabilities(), depth, SpanLeaf::of(leaf), expansion,
-                            values_);
+      engine_.action_values(pi.probabilities(), depth, span_leaf, expansion, values_);
       achieved = depth;
       if (deadline.elapsed_ms() >= runtime.options().decide_deadline_ms) break;
     }
     runtime.note_decide(deadline.elapsed_ms(), achieved, options_.tree_depth);
   } else {
-    engine_.action_values(pi.probabilities(), options_.tree_depth, SpanLeaf::of(leaf),
-                          expansion, values_);
+    engine_.action_values(pi.probabilities(), options_.tree_depth, span_leaf, expansion,
+                          values_);
   }
+  for (std::size_t s = 0; s < slots; ++s) set_.flush_eval(eval_scratch_[s]);
   instruments.nodes_per_decide.observe(
       static_cast<double>(instruments.nodes_expanded.value() - nodes_before));
   const std::vector<ActionValue>& values = values_;

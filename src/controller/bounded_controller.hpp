@@ -46,6 +46,12 @@ struct BoundedControllerOptions {
   /// serial). The fan-out is exact — per-action subtrees are independent —
   /// so any value yields bit-identical decisions; only wall-clock changes.
   int root_jobs = 1;
+  /// Exact within-decide transposition cache over successor beliefs
+  /// (DESIGN.md §11). Hits are bit-identical to re-expansion, so decisions
+  /// are unchanged; only wall-clock improves. `memo_max_mb` caps the cache
+  /// (hash table + key arena) per expansion workspace.
+  bool memo = true;
+  std::size_t memo_max_mb = 64;
 };
 
 /// Bounded controller over a §3.1-transformed model. The model must either
@@ -79,6 +85,9 @@ class BoundedController : public BeliefTrackingController {
   BoundedControllerOptions options_;
   ExpansionEngine engine_;
   std::vector<ActionValue> values_;  // reused across decide() calls
+  /// One evaluate-scratch per engine leaf slot: private warm starts and
+  /// locally accumulated use-counter wins, flushed once per decide().
+  std::vector<bounds::BoundSet::EvalScratch> eval_scratch_;
 };
 
 }  // namespace recoverd::controller

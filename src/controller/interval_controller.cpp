@@ -57,17 +57,23 @@ Decision IntervalController::decide() {
   }
 
   // Both expansions run on the controller's engine with devirtualized span
-  // leaves — no Belief construction at the leaves of either tree.
-  const auto lower_leaf = [this](std::span<const double> posterior) {
-    return lower_.evaluate(posterior);
-  };
+  // leaves — no Belief construction at the leaves of either tree. The lower
+  // tree goes through the pruned scratch kernel (warm start, batched
+  // frontiers, wins flushed once per decide); the sawtooth upper bound keeps
+  // the plain span leaf.
   const auto upper_leaf = [this](std::span<const double> posterior) {
     return upper_.evaluate(posterior);
   };
   ExpansionOptions expansion;
   expansion.branch_floor = options_.branch_floor;
+  expansion.memo = options_.memo;
+  expansion.memo_max_bytes = options_.memo_max_mb << 20;
+  lower_.begin_eval(lower_scratch_);  // after improve_at/repair: set is stable now
+  const bounds::ScratchBoundLeaf lower_leaf{&lower_, &lower_scratch_};
   engine_.action_values(pi.probabilities(), options_.tree_depth,
-                        SpanLeaf::of(lower_leaf), expansion, lower_values_);
+                        SpanLeaf::of_batched(lower_leaf, lower_.size() + 1), expansion,
+                        lower_values_);
+  lower_.flush_eval(lower_scratch_);
   engine_.action_values(pi.probabilities(), options_.tree_depth,
                         SpanLeaf::of(upper_leaf), expansion, upper_values_);
   const std::vector<ActionValue>& lower_values = lower_values_;

@@ -29,6 +29,10 @@ struct IntervalControllerOptions {
   /// on an inconsistent interval.
   bool repair_bound_crossings = true;
   double repair_tolerance = 1e-6;
+  /// Exact within-decide transposition cache (DESIGN.md §11); shared by the
+  /// lower- and upper-bound expansions (each runs on its own fresh cache).
+  bool memo = true;
+  std::size_t memo_max_mb = 64;
 };
 
 /// Per-decision diagnostics (for the extension bench and tests).
@@ -63,6 +67,7 @@ class IntervalController : public BeliefTrackingController {
   ExpansionEngine engine_;
   std::vector<ActionValue> lower_values_;  // reused across decide() calls
   std::vector<ActionValue> upper_values_;
+  bounds::BoundSet::EvalScratch lower_scratch_;  // warm start + win tally
 };
 
 }  // namespace recoverd::controller

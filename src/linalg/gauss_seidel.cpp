@@ -6,6 +6,7 @@
 #include "linalg/convergence.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 
 namespace recoverd::linalg {
 
@@ -181,9 +182,12 @@ SolveResult solve_fixed_point_impl(const SparseMatrix& q, std::span<const double
 SolveResult solve_fixed_point(const SparseMatrix& q, std::span<const double> c,
                               const GaussSeidelOptions& options) {
   check_inputs(q, c, options);
-  SolveResult result = solve_fixed_point_impl(q, c, options);
-  SolverInstruments::get().record_solve(result, options);
-  return result;
+  return detail::run_with_relaxation_fallback(
+      q, c, options, 1.0, [&](const GaussSeidelOptions& attempt) {
+        SolveResult result = solve_fixed_point_impl(q, c, attempt);
+        SolverInstruments::get().record_solve(result, attempt);
+        return result;
+      });
 }
 
 namespace {
@@ -246,9 +250,23 @@ SolveResult solve_fixed_point_jacobi_impl(const SparseMatrix& q,
 SolveResult solve_fixed_point_jacobi(const SparseMatrix& q, std::span<const double> c,
                                      const GaussSeidelOptions& options) {
   check_inputs(q, c, options);
-  SolveResult result = solve_fixed_point_jacobi_impl(q, c, options);
-  SolverInstruments::get().record_solve(result, options);
-  return result;
+  return detail::run_with_relaxation_fallback(
+      q, c, options, 1.0, [&](const GaussSeidelOptions& attempt) {
+        SolveResult result = solve_fixed_point_jacobi_impl(q, c, attempt);
+        SolverInstruments::get().record_solve(result, attempt);
+        return result;
+      });
 }
+
+namespace detail {
+void note_relaxation_fallback(double relaxation, const std::string& detail) {
+  static obs::Counter& fallbacks =
+      obs::metrics().counter("linalg.gauss_seidel.relaxation_fallbacks");
+  fallbacks.add();
+  log_warn("gauss-seidel: solve with relaxation ", relaxation, " diverged (",
+           detail.empty() ? "iterate exceeded the divergence threshold" : detail,
+           "); retrying with relaxation 1.0");
+}
+}  // namespace detail
 
 }  // namespace recoverd::linalg

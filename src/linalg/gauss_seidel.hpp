@@ -32,6 +32,15 @@ struct GaussSeidelOptions {
   /// (the §3.1 failure mode of competitor bounds), which would otherwise
   /// take ~divergence_threshold iterations to detect. Set to 0 to disable.
   std::size_t stall_window = 1000;
+  /// When a solve with ω ≠ 1.0 diverges *non-structurally* (the iteration
+  /// blew up or stalled, not the absorbing-row-with-source case that no ω
+  /// can fix), retry once at ω = 1.0. Over-relaxation amplifies along long
+  /// dependency chains — the small recovery models' ω = 1.1 diverges
+  /// outright on large near-DAG chains (DESIGN.md §10) — and plain
+  /// Gauss–Seidel converges whenever the system has a solution at all, so
+  /// the retry turns a latent configuration trap into a logged slow path
+  /// (counter: linalg.gauss_seidel.relaxation_fallbacks).
+  bool relaxation_fallback = true;
 };
 
 enum class SolveStatus { Converged, MaxIterations, Diverged };
@@ -122,5 +131,34 @@ SolveResult solve_fixed_point_scc(const SparseMatrix& q, std::span<const double>
 SolveResult solve_fixed_point_scc(const SparseMatrix& q, std::span<const double> c,
                                   const GaussSeidelOptions& options,
                                   const SccSolveOptions& scc, const SolvePlan& plan);
+
+namespace detail {
+/// Bumps linalg.gauss_seidel.relaxation_fallbacks and logs the warning
+/// (out-of-line so the fallback driver below stays header-only without
+/// pulling in the metrics registry).
+void note_relaxation_fallback(double relaxation, const std::string& detail);
+
+/// Shared ω-fallback driver for every solver wrapper: runs `solve` with the
+/// given options, and on a non-structural divergence with ω ≠ 1.0 (and
+/// relaxation_fallback set) bumps the fallback counter, warns, and retries
+/// once at ω = 1.0. Structural divergence (absorbing row with a nonzero
+/// source, re-checked via analyze_fixed_point_system) is returned as-is —
+/// no relaxation factor can fix it.
+template <class Solve>
+SolveResult run_with_relaxation_fallback(const SparseMatrix& q, std::span<const double> c,
+                                         const GaussSeidelOptions& options, double scale,
+                                         const Solve& solve) {
+  SolveResult result = solve(options);
+  if (result.status != SolveStatus::Diverged || !options.relaxation_fallback ||
+      options.relaxation == 1.0) {
+    return result;
+  }
+  if (!analyze_fixed_point_system(q, c, scale).ok) return result;
+  note_relaxation_fallback(options.relaxation, result.detail);
+  GaussSeidelOptions retry = options;
+  retry.relaxation = 1.0;
+  return solve(retry);
+}
+}  // namespace detail
 
 }  // namespace recoverd::linalg

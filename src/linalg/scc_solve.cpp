@@ -397,7 +397,10 @@ SolveResult solve_fixed_point_scc(const SparseMatrix& q, std::span<const double>
                                   const GaussSeidelOptions& options,
                                   const SccSolveOptions& scc, const SolvePlan& plan) {
   check_scc_inputs(q, c, options, scc, plan);
-  return solve_fixed_point_scc_impl(q, c, options, scc, plan);
+  return detail::run_with_relaxation_fallback(
+      q, c, options, scc.scale, [&](const GaussSeidelOptions& attempt) {
+        return solve_fixed_point_scc_impl(q, c, attempt, scc, plan);
+      });
 }
 
 SolveResult solve_fixed_point_scc(const SparseMatrix& q, std::span<const double> c,
@@ -405,7 +408,10 @@ SolveResult solve_fixed_point_scc(const SparseMatrix& q, std::span<const double>
                                   const SccSolveOptions& scc) {
   const SolvePlan plan = build_solve_plan(q);
   check_scc_inputs(q, c, options, scc, plan);
-  return solve_fixed_point_scc_impl(q, c, options, scc, plan);
+  return detail::run_with_relaxation_fallback(
+      q, c, options, scc.scale, [&](const GaussSeidelOptions& attempt) {
+        return solve_fixed_point_scc_impl(q, c, attempt, scc, plan);
+      });
 }
 
 }  // namespace recoverd::linalg

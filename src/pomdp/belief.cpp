@@ -47,6 +47,12 @@ Belief Belief::from_normalized(std::span<const double> probabilities) {
   return b;
 }
 
+void Belief::assign_normalized(std::span<const double> probabilities) {
+  RD_EXPECTS(!probabilities.empty(),
+             "Belief::assign_normalized: distribution must be non-empty");
+  pi_.assign(probabilities.begin(), probabilities.end());
+}
+
 StateId Belief::most_likely() const {
   return static_cast<StateId>(std::max_element(pi_.begin(), pi_.end()) - pi_.begin());
 }
@@ -121,17 +127,39 @@ std::size_t expand_successors_into(const Pomdp& pomdp, std::span<const double> b
   const std::size_t num_states = pomdp.num_states();
   pred.resize(num_states);
   predict_state_distribution_into(pomdp, belief, action, pred);
-  const auto& q = pomdp.observation(action);
-
-  // Two sparse passes over q's rows (the hot path of the Max-Avg tree):
-  // pass 1 accumulates the per-observation likelihoods γ; pass 2 scatters
-  // posterior mass only into the observations that survive the floor, so a
-  // wide observation alphabet with mostly negligible outcomes costs no
-  // posterior work.
-  weight.assign(num_obs, 0.0);
-  for (StateId s = 0; s < num_states; ++s) {
-    if (pred[s] <= 0.0) continue;
-    for (const auto& e : q.row(s)) weight[e.col] += e.value * pred[s];
+  // Two passes over qᵀ's observation rows (the hot path of the Max-Avg
+  // tree): pass 1 computes each likelihood γ(o) as one contiguous sparse dot
+  // q(o|·,a)·pred; pass 2 scatters posterior mass only for the observations
+  // that survive the floor. The transpose rows are in ascending state order,
+  // so the additions happen in the same order as a state-major scatter and
+  // the sums are bit-identical to it (terms with pred[s] = 0 contribute an
+  // exact +0.0; no term is negative, so no -0.0 can arise).
+  // Dense monitor models additionally carry a contiguous mirror of qᵀ; its
+  // structural zeros contribute exact +0.0 terms at the same ascending-state
+  // positions, so both kernels produce the same bits.
+  const auto& qt = pomdp.observation_transpose(action);
+  const std::span<const double> qd = pomdp.observation_transpose_dense(action);
+  weight.resize(num_obs);
+  if (!qd.empty()) {
+    // All γ(o) sums advance together through the states: iteration s adds
+    // q(o|s)·pred[s] to every observation's accumulator at once. Each γ(o)
+    // still sees its terms in ascending state order — the per-observation
+    // sums are independent, so this loop vectorizes across observations
+    // without reordering any of them.
+    const std::span<const double> q_rows = pomdp.observation_dense(action);
+    double* w = weight.data();
+    std::fill(w, w + num_obs, 0.0);
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const double ps = pred[s];
+      const double* row = q_rows.data() + s * num_obs;
+      for (std::size_t o = 0; o < num_obs; ++o) w[o] += row[o] * ps;
+    }
+  } else {
+    for (ObsId o = 0; o < num_obs; ++o) {
+      double gamma = 0.0;
+      for (const auto& e : qt.row(o)) gamma += e.value * pred[e.col];
+      weight[o] = gamma;
+    }
   }
 
   branch_of.assign(num_obs, kNoBranch);
@@ -154,11 +182,16 @@ std::size_t expand_successors_into(const Pomdp& pomdp, std::span<const double> b
   kept_counter.add(kept.size());
 
   posteriors.assign(kept.size() * num_states, 0.0);
-  for (StateId s = 0; s < num_states; ++s) {
-    if (pred[s] <= 0.0) continue;
-    for (const auto& e : q.row(s)) {
-      const std::size_t idx = branch_of[e.col];
-      if (idx != kNoBranch) posteriors[idx * num_states + s] += e.value * pred[s];
+  if (!qd.empty()) {
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      double* row_out = posteriors.data() + i * num_states;
+      const double* row = qd.data() + kept[i] * num_states;
+      for (std::size_t s = 0; s < num_states; ++s) row_out[s] = row[s] * pred[s];
+    }
+  } else {
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      double* row_out = posteriors.data() + i * num_states;
+      for (const auto& e : qt.row(kept[i])) row_out[e.col] = e.value * pred[e.col];
     }
   }
   return kept.size();

@@ -35,6 +35,13 @@ class Belief {
   /// (up to rounding); not re-checked beyond being non-empty.
   static Belief from_normalized(std::span<const double> probabilities);
 
+  /// In-place variant of from_normalized(): replaces the stored distribution
+  /// with a verbatim copy, reusing this belief's allocation. The expansion
+  /// wrappers call a type-erased leaf with one reused Belief per tree — at
+  /// hundreds of thousands of leaves per decision the per-leaf heap
+  /// allocation of from_normalized() is the dominant wrapper cost.
+  void assign_normalized(std::span<const double> probabilities);
+
   std::size_t size() const { return pi_.size(); }
   double operator[](StateId s) const { return pi_[s]; }
   std::span<const double> probabilities() const { return pi_; }

@@ -25,13 +25,16 @@ ExpansionEngine& engine_for(const Pomdp& pomdp) {
 }
 
 // Adapts the type-erased LeafEvaluator to the engine's span interface. The
-// engine hands over the already-normalised posterior, so from_normalized
+// engine hands over the already-normalised posterior, so assign_normalized
 // reconstructs a Belief with bit-identical probabilities to what the
-// recursive implementation passed.
+// recursive implementation passed — into one reused allocation, since the
+// leaf only sees the Belief for the duration of the call.
 struct FunctionLeaf {
   const LeafEvaluator* leaf;
+  mutable Belief scratch = Belief::uniform(1);
   double operator()(std::span<const double> pi) const {
-    return (*leaf)(Belief::from_normalized(pi));
+    scratch.assign_normalized(pi);
+    return (*leaf)(scratch);
   }
 };
 }  // namespace

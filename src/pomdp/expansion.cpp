@@ -1,6 +1,8 @@
 #include "pomdp/expansion.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 #include <thread>
 
@@ -14,7 +16,8 @@ namespace recoverd {
 namespace {
 // Tree-shape instruments shared with the bellman.cpp wrappers: a "node" is
 // a belief at which the max over actions is taken; leaves are the bound
-// evaluations at depth 0.
+// evaluations at depth 0. With memoization on, both count the work actually
+// performed — cache hits expand no node and call no leaf.
 obs::Counter& nodes_expanded_counter() {
   static obs::Counter& c = obs::metrics().counter("pomdp.bellman.nodes_expanded");
   return c;
@@ -41,6 +44,28 @@ obs::Gauge& arena_peak_bytes_gauge() {
   return g;
 }
 
+// Transposition-cache instruments (DESIGN.md §11). Tallied per workspace
+// during the walk and drained once per expansion, so fan-out workers never
+// touch the shared counters from the hot loop.
+struct MemoInstruments {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& insertions;
+  obs::Counter& capped;
+  obs::Gauge& bytes;
+
+  static MemoInstruments& get() {
+    static MemoInstruments instruments{
+        obs::metrics().counter("pomdp.memo.hits"),
+        obs::metrics().counter("pomdp.memo.misses"),
+        obs::metrics().counter("pomdp.memo.insertions"),
+        obs::metrics().counter("pomdp.memo.capped"),
+        obs::metrics().gauge("pomdp.memo.bytes"),
+    };
+    return instruments;
+  }
+};
+
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 void check_common_options(const Pomdp& pomdp, std::span<const double> belief,
@@ -53,6 +78,13 @@ void check_common_options(const Pomdp& pomdp, std::span<const double> belief,
   RD_EXPECTS(o.branch_floor >= 0.0 && o.branch_floor < 1.0,
              "ExpansionEngine: branch floor must lie in [0,1)");
   RD_EXPECTS(o.root_jobs >= 1, "ExpansionEngine: root_jobs must be >= 1");
+}
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ULL;
+  h ^= h >> 29;
+  return h;
 }
 }  // namespace
 
@@ -81,6 +113,7 @@ struct ExpansionEngine::Frame {
   std::size_t branch = 0;    // next branch to evaluate
   std::size_t num_kept = 0;  // branches of the open action
   double pending_gamma = 0.0;  // γ of the branch currently being descended
+  std::uint64_t pending_hash = 0;  // memo hash of that branch's belief
 
   void begin_node(std::span<const double> node_belief, const Pomdp& pomdp,
                   const ExpansionOptions& o);
@@ -94,11 +127,183 @@ struct ExpansionEngine::Frame {
   }
 };
 
+// Exact transposition cache over successor beliefs (DESIGN.md §11).
+//
+// Open-addressing hash table (linear probing, power-of-two capacity, no
+// deletions) over keys = (belief bit pattern, remaining subtree depth);
+// belief bits are copied into a flat key arena so lookups compare with one
+// memcmp. Equality is *bitwise*, never numeric: two beliefs hash equal only
+// to be confirmed byte-for-byte, so a hash collision can only cause a miss
+// (re-expansion, still exact), and distinct bit patterns with equal value —
+// -0.0 vs 0.0, say — are simply cached twice. The per-call seed folds in
+// beta / skip_action / branch_floor bits, making the skip-mask part of the
+// key even though the cache never outlives a fixed-option call.
+//
+// Clearing is O(1) via an epoch stamp (capacities persist, so the steady
+// state allocates nothing); the cache is cleared at the start of every
+// root-action subtree, which is what keeps every observable — values, leaf
+// evaluations, memo tallies — invariant across root_jobs worker counts:
+// each action's subtree always runs against a fresh cache, no matter which
+// worker computes it. The size cap stops admission rather than evicting;
+// entries only live until the next root action anyway.
+struct ExpansionEngine::MemoCache {
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t epoch = 0;         // valid iff == MemoCache::epoch
+    std::int32_t depth = -1;         // remaining subtree depth of the entry
+    std::size_t key_offset = 0;      // into keys_, units of doubles
+    double value = 0.0;
+  };
+
+  std::vector<Slot> slots;   // power-of-two capacity
+  std::vector<double> keys;  // belief-key arena, dim doubles per entry
+  std::size_t keys_used = 0;
+  std::size_t count = 0;     // live entries this epoch
+  std::uint32_t epoch = 0;
+  std::uint64_t seed = 0;
+  std::size_t max_bytes = 0;
+  bool enabled = false;
+  bool capped = false;  // admission stopped until the next clear
+
+  // Per-expansion tallies, drained by note_expansion_finished().
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t capped_insertions = 0;
+
+  std::size_t bytes() const {
+    return slots.capacity() * sizeof(Slot) + keys.capacity() * sizeof(double);
+  }
+
+  void configure(const ExpansionOptions& o) {
+    enabled = o.memo;
+    max_bytes = o.memo_max_bytes;
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &o.beta, sizeof(bits));
+    h = mix64(h, bits);
+    std::memcpy(&bits, &o.branch_floor, sizeof(bits));
+    h = mix64(h, bits);
+    seed = mix64(h, static_cast<std::uint64_t>(o.skip_action));
+  }
+
+  // O(1): invalidates every entry by bumping the epoch; capacities persist.
+  void clear() {
+    if (++epoch == 0) {  // wrapped: hard-reset the stamps once per 2^32 clears
+      for (Slot& s : slots) s.epoch = 0;
+      epoch = 1;
+    }
+    keys_used = 0;
+    count = 0;
+    capped = false;
+  }
+
+  std::uint64_t hash_key(std::span<const double> belief, int depth) const {
+    std::uint64_t h = seed;
+    for (double d : belief) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      h = mix64(h, bits);
+    }
+    h = mix64(h, static_cast<std::uint64_t>(depth));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h | 1;  // 0 never collides with the default Slot
+  }
+
+  bool lookup(std::span<const double> belief, int depth, std::uint64_t hash,
+              double* value) {
+    if (slots.empty() || count == 0) {
+      ++misses;
+      return false;
+    }
+    const std::size_t mask = slots.size() - 1;
+    for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+      const Slot& s = slots[i];
+      if (s.epoch != epoch) break;  // empty slot: key absent
+      if (s.hash == hash && s.depth == depth &&
+          std::memcmp(keys.data() + s.key_offset, belief.data(),
+                      belief.size() * sizeof(double)) == 0) {
+        *value = s.value;
+        ++hits;
+        return true;
+      }
+    }
+    ++misses;
+    return false;
+  }
+
+  void insert(std::span<const double> belief, int depth, std::uint64_t hash,
+              double value) {
+    const std::size_t dim = belief.size();
+    if (capped || !ensure_capacity(dim)) {
+      capped = true;
+      ++capped_insertions;
+      return;
+    }
+    const std::size_t mask = slots.size() - 1;
+    std::size_t i = hash & mask;
+    while (slots[i].epoch == epoch) i = (i + 1) & mask;
+    std::memcpy(keys.data() + keys_used, belief.data(), dim * sizeof(double));
+    slots[i] = Slot{hash, epoch, depth, keys_used, value};
+    keys_used += dim;
+    ++count;
+    ++insertions;
+  }
+
+ private:
+  // Grows table and key arena for one more entry, honouring max_bytes.
+  bool ensure_capacity(std::size_t dim) {
+    if (slots.empty() || (count + 1) * 4 > slots.size() * 3) {  // load > 3/4
+      const std::size_t new_cap = slots.empty() ? 256 : slots.size() * 2;
+      if (new_cap * sizeof(Slot) + keys.capacity() * sizeof(double) > max_bytes) {
+        return false;
+      }
+      std::vector<Slot> old = std::move(slots);
+      slots.assign(new_cap, Slot{});
+      const std::size_t mask = new_cap - 1;
+      for (const Slot& s : old) {
+        if (s.epoch != epoch) continue;
+        std::size_t i = s.hash & mask;
+        while (slots[i].epoch == epoch) i = (i + 1) & mask;
+        slots[i] = s;
+      }
+    }
+    if (keys_used + dim > keys.size()) {
+      std::size_t grown = std::max(keys.size() * 2, keys_used + dim);
+      grown = std::max<std::size_t>(grown, 4096);
+      if (slots.capacity() * sizeof(Slot) + grown * sizeof(double) > max_bytes) {
+        grown = keys_used + dim;  // exact fit as the last resort
+        if (slots.capacity() * sizeof(Slot) + grown * sizeof(double) > max_bytes) {
+          return false;
+        }
+      }
+      keys.resize(grown);
+    }
+    return true;
+  }
+};
+
 // One independent traversal context: `frames[l]` serves tree level l. The
 // main workspace serves serial expansions; root fan-out gives each worker
-// thread a private workspace so subtrees never share mutable state.
+// thread a private workspace — including a private memo cache and leaf
+// slot — so subtrees never share mutable state.
 struct ExpansionEngine::Workspace {
+  explicit Workspace(std::size_t leaf_slot) : slot(leaf_slot) {}
+
   std::vector<Frame> frames;
+  MemoCache memo;
+  std::size_t slot = 0;  // leaf slot passed to SpanLeaf calls
+
+  // Frontier scratch (evaluate_frontier): leaf values in branch order, the
+  // memo hash per branch, and the gathered cache-miss rows fed to the leaf
+  // batch entry point. Capacities persist like the frame buffers.
+  std::vector<double> frontier_values;
+  std::vector<std::uint64_t> frontier_hashes;
+  std::vector<double> frontier_miss_rows;
+  std::vector<double> frontier_miss_values;
+  std::vector<std::size_t> frontier_miss_index;
 
   // Grows the arena to `depth` levels. Counts a reuse when no growth was
   // needed — after the first decision at a given depth, every subsequent
@@ -113,7 +318,12 @@ struct ExpansionEngine::Workspace {
   }
 
   std::size_t bytes() const {
-    std::size_t total = 0;
+    std::size_t total = memo.bytes();
+    total += frontier_values.capacity() * sizeof(double);
+    total += frontier_hashes.capacity() * sizeof(std::uint64_t);
+    total += frontier_miss_rows.capacity() * sizeof(double);
+    total += frontier_miss_values.capacity() * sizeof(double);
+    total += frontier_miss_index.capacity() * sizeof(std::size_t);
     for (const Frame& f : frames) total += f.bytes();
     return total;
   }
@@ -175,22 +385,102 @@ void ExpansionEngine::Frame::finish_action(const Pomdp& pomdp,
 }
 
 ExpansionEngine::ExpansionEngine(const Pomdp& pomdp)
-    : pomdp_(&pomdp), main_(std::make_unique<Workspace>()) {}
+    : pomdp_(&pomdp), main_(std::make_unique<Workspace>(0)) {}
 
 ExpansionEngine::~ExpansionEngine() = default;
+
+// Evaluates every branch of the open action in `fr` — all children are
+// leaves. The memo cache is probed for each child first; the misses are
+// gathered into one contiguous buffer and handed to the leaf's batch entry
+// point (falling back to per-belief calls when the evaluator has none),
+// then inserted. Value and kept-mass accumulate in ascending branch order
+// afterwards, so the floating-point sums are bit-identical to the
+// branch-at-a-time reference regardless of the hit/miss split.
+void ExpansionEngine::evaluate_frontier(Workspace& ws, Frame& fr, const SpanLeaf& leaf,
+                                        const ExpansionOptions& options) {
+  const std::size_t num_states = pomdp_->num_states();
+  const std::size_t n = fr.num_kept;
+  if (n == 0) return;
+  ws.frontier_values.resize(n);
+  double* values = ws.frontier_values.data();
+
+  MemoCache& memo = ws.memo;
+  // Memoizing a leaf only pays when one evaluation costs more than the
+  // cache's probe+insert (~3 |S|-passes: hash, memcmp, key copy). Cheap
+  // leaves — a freshly seeded 1-plane RA-Bound set is one dot — skip the
+  // cache entirely; the values are identical either way.
+  const bool memo_leaves = memo.enabled && leaf.cost_hint() > 3;
+  if (!memo_leaves) {
+    // Every child is a "miss" and the rows are already contiguous.
+    if (leaf.has_batch() && n > 1) {
+      leaf.batch(fr.posteriors.data(), n, num_states, values, ws.slot);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        values[i] = leaf({fr.posteriors.data() + i * num_states, num_states}, ws.slot);
+      }
+    }
+    leaf_evaluations_counter().add(n);
+  } else {
+    ws.frontier_hashes.resize(n);
+    ws.frontier_miss_rows.resize(n * num_states);
+    ws.frontier_miss_values.resize(n);
+    ws.frontier_miss_index.resize(n);
+    std::size_t miss_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const double> child(fr.posteriors.data() + i * num_states,
+                                          num_states);
+      const std::uint64_t h = memo.hash_key(child, 0);
+      ws.frontier_hashes[i] = h;
+      if (!memo.lookup(child, 0, h, &values[i])) {
+        std::memcpy(ws.frontier_miss_rows.data() + miss_count * num_states, child.data(),
+                    num_states * sizeof(double));
+        ws.frontier_miss_index[miss_count] = i;
+        ++miss_count;
+      }
+    }
+    if (miss_count > 0) {
+      double* miss_values = ws.frontier_miss_values.data();
+      if (leaf.has_batch() && miss_count > 1) {
+        leaf.batch(ws.frontier_miss_rows.data(), miss_count, num_states, miss_values,
+                   ws.slot);
+      } else {
+        for (std::size_t j = 0; j < miss_count; ++j) {
+          miss_values[j] =
+              leaf({ws.frontier_miss_rows.data() + j * num_states, num_states}, ws.slot);
+        }
+      }
+      leaf_evaluations_counter().add(miss_count);
+      for (std::size_t j = 0; j < miss_count; ++j) {
+        const std::size_t i = ws.frontier_miss_index[j];
+        values[i] = miss_values[j];
+        memo.insert({fr.posteriors.data() + i * num_states, num_states}, 0,
+                    ws.frontier_hashes[i], miss_values[j]);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double gamma = fr.weight[fr.kept[i]];
+    fr.kept_mass += gamma;
+    fr.value_acc += (options.beta * gamma) * values[i];
+  }
+  fr.branch = n;
+}
 
 // The iterative core. Walks the depth-d subtree rooted at `belief` using
 // frames[base_level .. base_level+depth-1] as the explicit stack, visiting
 // branches in ascending ObsId order and actions in ascending ActionId order
 // — the exact traversal (and exact floating-point operation order) of the
-// recursive reference implementation. Precondition: depth >= 1 and the
-// workspace holds base_level + depth frames.
+// recursive reference implementation, with memoized subtrees spliced in at
+// the point their value would have been computed. Precondition: depth >= 1
+// and the workspace holds base_level + depth frames.
 double ExpansionEngine::expand_iterative(Workspace& ws, std::size_t base_level,
                                          std::span<const double> belief, int depth,
                                          const SpanLeaf& leaf,
                                          const ExpansionOptions& options) {
   const Pomdp& pomdp = *pomdp_;
   const std::size_t num_states = pomdp.num_states();
+  MemoCache& memo = ws.memo;
   std::size_t top = base_level;
   ws.frames[top].begin_node(belief, pomdp, options);
   for (;;) {
@@ -200,40 +490,63 @@ double ExpansionEngine::expand_iterative(Workspace& ws, std::size_t base_level,
       if (top == base_level) return node_value;
       --top;
       Frame& parent = ws.frames[top];
+      if (memo.enabled) {
+        // The finished subtree's root belief is still intact in the parent
+        // posterior row (the parent only refills its buffers after folding
+        // this value); cache it at the subtree's remaining depth.
+        memo.insert(
+            {parent.posteriors.data() + parent.branch * num_states, num_states},
+            depth - static_cast<int>(top + 1 - base_level), parent.pending_hash,
+            node_value);
+      }
       parent.value_acc += (options.beta * parent.pending_gamma) * node_value;
       ++parent.branch;
       if (parent.branch == parent.num_kept) parent.finish_action(pomdp, options);
       continue;
     }
-    // fr has an open action with fr.branch < fr.num_kept: visit the next
-    // branch. Kept mass accrues before the child is evaluated, exactly as
-    // in the recursive action_future_value.
+    // fr has an open action with fr.branch < fr.num_kept.
+    const int remaining = depth - static_cast<int>(top - base_level);
+    if (remaining == 1) {  // children of this node are leaves
+      evaluate_frontier(ws, fr, leaf, options);
+      fr.finish_action(pomdp, options);
+      continue;
+    }
+    // Visit the next branch. Kept mass accrues before the child is
+    // evaluated, exactly as in the recursive action_future_value.
     const double gamma = fr.weight[fr.kept[fr.branch]];
     fr.kept_mass += gamma;
     const std::span<const double> child(fr.posteriors.data() + fr.branch * num_states,
                                         num_states);
-    const int remaining = depth - static_cast<int>(top - base_level);
-    if (remaining == 1) {  // children of this node are leaves
-      leaf_evaluations_counter().add();
-      fr.value_acc += (options.beta * gamma) * leaf(child);
-      ++fr.branch;
-      if (fr.branch == fr.num_kept) fr.finish_action(pomdp, options);
-    } else {
-      fr.pending_gamma = gamma;
-      ++top;
-      ws.frames[top].begin_node(child, pomdp, options);
+    if (memo.enabled) {
+      const std::uint64_t h = memo.hash_key(child, remaining - 1);
+      double cached = 0.0;
+      if (memo.lookup(child, remaining - 1, h, &cached)) {
+        fr.value_acc += (options.beta * gamma) * cached;
+        ++fr.branch;
+        if (fr.branch == fr.num_kept) fr.finish_action(pomdp, options);
+        continue;
+      }
+      fr.pending_hash = h;
     }
+    fr.pending_gamma = gamma;
+    ++top;
+    ws.frames[top].begin_node(child, pomdp, options);
   }
 }
 
 // Future value of `action` at the root belief: β Σ_o γ(o) V_{d-1}(π^o)
 // with sub-floor branches pruned and the kept mass renormalised. Uses
-// frames[0] for the root successors and frames[1..] for the subtrees.
+// frames[0] for the root successors and frames[1..] for the subtrees. The
+// memo cache is cleared here — once per root action — so each action's
+// subtree runs against a fresh cache no matter which fan-out worker
+// computes it (the determinism contract of DESIGN.md §11).
 double ExpansionEngine::root_action_future(Workspace& ws, std::span<const double> belief,
                                            ActionId action, int depth, const SpanLeaf& leaf,
                                            const ExpansionOptions& options) {
   const Pomdp& pomdp = *pomdp_;
   const std::size_t num_states = pomdp.num_states();
+  MemoCache& memo = ws.memo;
+  if (memo.enabled) memo.clear();
   Frame& fr = ws.frames[0];
   fr.num_kept = expand_successors_into(pomdp, belief, action, options.branch_floor,
                                        fr.pred, fr.weight, fr.branch_of, fr.kept,
@@ -242,23 +555,33 @@ double ExpansionEngine::root_action_future(Workspace& ws, std::span<const double
     linalg::normalize_probability(
         std::span<double>(fr.posteriors.data() + i * num_states, num_states));
   }
-  double value = 0.0;
-  double kept_mass = 0.0;
-  for (std::size_t i = 0; i < fr.num_kept; ++i) {
-    const double gamma = fr.weight[fr.kept[i]];
-    kept_mass += gamma;
-    const std::span<const double> child(fr.posteriors.data() + i * num_states, num_states);
-    double child_value;
-    if (depth == 1) {
-      leaf_evaluations_counter().add();
-      child_value = leaf(child);
-    } else {
-      child_value = expand_iterative(ws, 1, child, depth - 1, leaf, options);
+  fr.value_acc = 0.0;
+  fr.kept_mass = 0.0;
+  fr.branch = 0;
+  if (depth == 1) {
+    evaluate_frontier(ws, fr, leaf, options);
+  } else {
+    for (std::size_t i = 0; i < fr.num_kept; ++i) {
+      const double gamma = fr.weight[fr.kept[i]];
+      fr.kept_mass += gamma;
+      const std::span<const double> child(fr.posteriors.data() + i * num_states,
+                                          num_states);
+      double child_value = 0.0;
+      std::uint64_t h = 0;
+      bool hit = false;
+      if (memo.enabled) {
+        h = memo.hash_key(child, depth - 1);
+        hit = memo.lookup(child, depth - 1, h, &child_value);
+      }
+      if (!hit) {
+        child_value = expand_iterative(ws, 1, child, depth - 1, leaf, options);
+        if (memo.enabled) memo.insert(child, depth - 1, h, child_value);
+      }
+      fr.value_acc += (options.beta * gamma) * child_value;
     }
-    value += (options.beta * gamma) * child_value;
   }
-  if (kept_mass <= 0.0) return 0.0;  // everything pruned: treat future as the floor 0
-  return value / kept_mass;
+  if (fr.kept_mass <= 0.0) return 0.0;  // everything pruned: future is the floor 0
+  return fr.value_acc / fr.kept_mass;
 }
 
 void ExpansionEngine::compute_action_value_range(Workspace& ws,
@@ -268,6 +591,7 @@ void ExpansionEngine::compute_action_value_range(Workspace& ws,
                                                  std::size_t begin, std::size_t step,
                                                  std::vector<ActionValue>& out) {
   ws.ensure(depth);
+  ws.memo.configure(options);
   const Pomdp& pomdp = *pomdp_;
   for (std::size_t a = begin; a < pomdp.num_actions(); a += step) {
     if (a == options.skip_action) {
@@ -286,9 +610,14 @@ double ExpansionEngine::value(std::span<const double> belief, int depth,
   check_common_options(*pomdp_, belief, options);
   if (depth == 0) {
     leaf_evaluations_counter().add();
-    return leaf(belief);
+    return leaf(belief, main_->slot);
   }
   main_->ensure(depth);
+  main_->memo.configure(options);
+  // value() is always serial, so one cache may span the whole tree: root
+  // actions share subtree values here, which action_values() forgoes for
+  // cross-worker determinism.
+  if (main_->memo.enabled) main_->memo.clear();
   const double result = expand_iterative(*main_, 0, belief, depth, leaf, options);
   note_expansion_finished();
   return result;
@@ -309,11 +638,12 @@ void ExpansionEngine::action_values(std::span<const double> belief, int depth,
     compute_action_value_range(*main_, belief, depth, leaf, options, 0, 1, out);
   } else {
     // Root fan-out: worker t computes actions t, t+jobs, t+2·jobs, … on a
-    // private workspace. Per-action values are independent (the max over
-    // actions commutes with who computes each operand), so the results are
-    // bit-identical to the serial loop for any worker count.
+    // private workspace (leaf slot t). Per-action values are independent
+    // (the max over actions commutes with who computes each operand) and
+    // the memo cache is cleared per action, so the results are bit-identical
+    // to the serial loop for any worker count.
     parallel_batches_counter().add();
-    while (pool_.size() < jobs) pool_.push_back(std::make_unique<Workspace>());
+    while (pool_.size() < jobs) pool_.push_back(std::make_unique<Workspace>(pool_.size()));
     std::vector<std::thread> workers;
     workers.reserve(jobs);
     for (std::size_t t = 0; t < jobs; ++t) {
@@ -348,6 +678,35 @@ std::size_t ExpansionEngine::arena_bytes() const {
 }
 
 void ExpansionEngine::note_expansion_finished() {
+  // Drain the per-workspace memo tallies in a fixed order (main, then the
+  // pool by worker index). Runs after any fan-out joins, so the shared
+  // counters see one deterministic batch per expansion.
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t capped = 0;
+  std::size_t memo_bytes = 0;
+  auto drain = [&](Workspace& ws) {
+    hits += ws.memo.hits;
+    misses += ws.memo.misses;
+    insertions += ws.memo.insertions;
+    capped += ws.memo.capped_insertions;
+    ws.memo.hits = ws.memo.misses = ws.memo.insertions = ws.memo.capped_insertions = 0;
+    memo_bytes += ws.memo.bytes();
+  };
+  drain(*main_);
+  for (const auto& ws : pool_) drain(*ws);
+  if (hits + misses + insertions + capped > 0) {
+    MemoInstruments& instruments = MemoInstruments::get();
+    if (hits > 0) instruments.hits.add(hits);
+    if (misses > 0) instruments.misses.add(misses);
+    if (insertions > 0) instruments.insertions.add(insertions);
+    if (capped > 0) instruments.capped.add(capped);
+    if (static_cast<double>(memo_bytes) > instruments.bytes.value()) {
+      instruments.bytes.set(static_cast<double>(memo_bytes));
+    }
+  }
+
   const std::size_t bytes = arena_bytes();
   if (bytes > peak_arena_bytes_) {
     peak_arena_bytes_ = bytes;

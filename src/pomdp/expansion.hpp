@@ -9,6 +9,19 @@
 // after the first decision warms the arena, an expansion performs no heap
 // allocation at all.
 //
+// On top of the iterative walk the engine keeps an exact, within-decision
+// *transposition cache* (DESIGN.md §11): every successor belief is hashed
+// bitwise and the value of its subtree memoized keyed by (belief bits,
+// remaining depth), so beliefs reached along several (action, observation)
+// paths — absorbing states, deterministic repairs, commuting histories —
+// are expanded once. Because identical bit patterns at identical depth
+// produce identical subtree values under the engine's fixed operation
+// order, cache hits are bit-identical to the uncached walk; the cache is
+// cleared at the start of every root-action subtree so values *and* every
+// instrument stay invariant across root_jobs worker counts. Leaf frontiers
+// (the children of depth-1 nodes) are additionally evaluated through the
+// SpanLeaf batch entry point in one pass over the cache misses.
+//
 // Arithmetic is kept bit-identical to the recursive reference: the same
 // operation order (immediate reward via linalg::dot, kept-mass accumulated
 // before each child, (β·γ)·child products summed in ascending ObsId order,
@@ -17,7 +30,8 @@
 // same skip_action masking and branch_floor semantics, and the same
 // pomdp.bellman.* / pomdp.belief.* instrument updates. The parity test
 // suite (tests/pomdp_expansion_parity_test.cpp) holds the two paths equal
-// on randomized models.
+// on randomized models, and tests/pomdp_memo_test.cpp holds memo-on equal
+// to memo-off bitwise.
 //
 // bellman_value / bellman_action_values / bellman_best_action / apply_lp in
 // bellman.hpp remain the convenient entry points; they are now thin
@@ -27,6 +41,7 @@
 // Belief objects.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <span>
@@ -43,36 +58,104 @@ struct ActionValue {
   double value = 0.0;
 };
 
-/// Devirtualized leaf evaluator: a raw function pointer plus an opaque
+/// Devirtualized leaf evaluator: raw function pointers plus an opaque
 /// context, called with the (already normalised) leaf belief as a span.
 /// Cheaper than std::function on the hot path (no type erasure allocation,
 /// trivially copyable, inlineable call through a known pointer pair) and
 /// keeps the pomdp layer free of a dependency on bounds.
 ///
+/// The engine passes a *leaf slot* with every call: the index of the
+/// workspace performing the evaluation (0 for serial expansions; the
+/// fan-out worker index under root_jobs, always < leaf_slots(options)).
+/// Slot-aware evaluators (ScratchBoundLeaf) use it to give each worker a
+/// private scratch; plain callables wrapped with of() ignore it.
+///
+/// An evaluator may additionally expose a *batch* entry point that
+/// evaluates `count` beliefs stored row-major in one pass — the engine
+/// routes whole leaf frontiers through it (all cache-miss children of a
+/// depth-1 node at once). Each batch output must be bit-identical to the
+/// corresponding single-belief call.
+///
 /// The referenced callable must outlive every engine call made with the
 /// SpanLeaf (bind a local lambda with SpanLeaf::of and use it within the
 /// enclosing scope).
+///
+/// The *cost hint* estimates one evaluation's cost in |S|-length passes
+/// (a bound set costs about one dot per stored plane). The engine memoizes
+/// leaf values only when the hint exceeds the cache's own probe+insert
+/// cost (~3 passes) — caching a 1-plane evaluation would spend more on
+/// hashing than it saves. Wrappers that can't know the cost (`of`,
+/// `of_slotted`) default to kDefaultCostHint, i.e. "assume memoizing pays";
+/// the hint never affects values, only whether depth-0 results are cached.
 class SpanLeaf {
  public:
-  using Fn = double (*)(const void*, std::span<const double>);
+  using Fn = double (*)(const void*, std::span<const double>, std::size_t);
+  using BatchFn = void (*)(const void*, const double* beliefs, std::size_t count,
+                           std::size_t dim, double* out, std::size_t slot);
 
-  SpanLeaf(Fn fn, const void* ctx) : fn_(fn), ctx_(ctx) {}
+  static constexpr std::size_t kDefaultCostHint = 16;
 
-  /// Wraps any callable `double(std::span<const double>)` by reference.
+  SpanLeaf(Fn fn, const void* ctx, BatchFn batch = nullptr,
+           std::size_t cost_hint = kDefaultCostHint)
+      : fn_(fn), batch_(batch), ctx_(ctx), cost_hint_(cost_hint) {}
+
+  /// Wraps any callable `double(std::span<const double>)` by reference
+  /// (slot-oblivious, no batch path).
   template <class F>
   static SpanLeaf of(const F& f) {
     return SpanLeaf(
-        [](const void* ctx, std::span<const double> pi) {
+        [](const void* ctx, std::span<const double> pi, std::size_t) {
           return (*static_cast<const F*>(ctx))(pi);
         },
         &f);
   }
 
-  double operator()(std::span<const double> pi) const { return fn_(ctx_, pi); }
+  /// Wraps a callable `double(std::span<const double>, std::size_t slot)`.
+  template <class F>
+  static SpanLeaf of_slotted(const F& f) {
+    return SpanLeaf(
+        [](const void* ctx, std::span<const double> pi, std::size_t slot) {
+          return (*static_cast<const F*>(ctx))(pi, slot);
+        },
+        &f);
+  }
+
+  /// Wraps an evaluator exposing both `operator()(span, slot)` and
+  /// `batch(beliefs, count, dim, out, slot)` (e.g. bounds::ScratchBoundLeaf).
+  /// Pass the per-evaluation cost in |S|-passes when known (a bound set:
+  /// `set.size() + 1`).
+  template <class F>
+  static SpanLeaf of_batched(const F& f, std::size_t cost_hint = kDefaultCostHint) {
+    return SpanLeaf(
+        [](const void* ctx, std::span<const double> pi, std::size_t slot) {
+          return (*static_cast<const F*>(ctx))(pi, slot);
+        },
+        &f,
+        [](const void* ctx, const double* beliefs, std::size_t count, std::size_t dim,
+           double* out, std::size_t slot) {
+          static_cast<const F*>(ctx)->batch(beliefs, count, dim, out, slot);
+        },
+        cost_hint);
+  }
+
+  double operator()(std::span<const double> pi, std::size_t slot = 0) const {
+    return fn_(ctx_, pi, slot);
+  }
+
+  bool has_batch() const { return batch_ != nullptr; }
+
+  void batch(const double* beliefs, std::size_t count, std::size_t dim, double* out,
+             std::size_t slot) const {
+    batch_(ctx_, beliefs, count, dim, out, slot);
+  }
+
+  std::size_t cost_hint() const { return cost_hint_; }
 
  private:
   Fn fn_;
+  BatchFn batch_;
   const void* ctx_;
+  std::size_t cost_hint_ = kDefaultCostHint;
 };
 
 /// Knobs of one expansion, mirroring the bellman_* parameters.
@@ -85,8 +168,18 @@ struct ExpansionOptions {
   /// fan-out is exact: each action's value is computed by the same serial
   /// code on a private workspace. Leaf evaluators must be thread-safe when
   /// root_jobs > 1 (BoundSet::evaluate and SawtoothUpperBound::evaluate
-  /// are).
+  /// are; slot-aware evaluators get a distinct slot per worker).
   int root_jobs = 1;
+  /// Exact transposition cache over successor beliefs (DESIGN.md §11).
+  /// Hits are bit-identical to re-expanding, so this is safe to leave on;
+  /// turning it off recovers the PR 2 walk exactly (useful for parity
+  /// tests and as the baseline of BM_ExpansionMemo).
+  bool memo = true;
+  /// Size cap for the cache (hash table + belief-key arena) per workspace.
+  /// When reached, further insertions are dropped for the rest of the
+  /// root-action subtree (lookups keep working); nothing is evicted, since
+  /// entries only live until the next root action clears the cache.
+  std::size_t memo_max_bytes = 64ull << 20;
 };
 
 /// Iterative Max-Avg expansion over a reusable workspace arena. One engine
@@ -106,6 +199,12 @@ class ExpansionEngine {
   void rebind(const Pomdp& pomdp) { pomdp_ = &pomdp; }
   const Pomdp& pomdp() const { return *pomdp_; }
 
+  /// Number of distinct leaf slots calls with `options` can use — size
+  /// slot-indexed evaluator scratch (one EvalScratch per slot) with this.
+  static std::size_t leaf_slots(const ExpansionOptions& options) {
+    return static_cast<std::size_t>(std::max(1, options.root_jobs));
+  }
+
   /// Depth-d Bellman value V_d(π) (Eq. 2); depth 0 returns leaf(π).
   double value(std::span<const double> belief, int depth, const SpanLeaf& leaf,
                const ExpansionOptions& options = {});
@@ -120,12 +219,13 @@ class ExpansionEngine {
   ActionValue best_action(std::span<const double> belief, int depth, const SpanLeaf& leaf,
                           const ExpansionOptions& options = {});
 
-  /// Current arena footprint in bytes (sum of scratch-buffer capacities
-  /// across all levels and worker workspaces).
+  /// Current arena footprint in bytes (sum of scratch-buffer and memo-cache
+  /// capacities across all levels and worker workspaces).
   std::size_t arena_bytes() const;
 
  private:
   struct Frame;
+  struct MemoCache;
   struct Workspace;
 
   double expand_iterative(Workspace& ws, std::size_t base_level,
@@ -138,6 +238,8 @@ class ExpansionEngine {
                                   const SpanLeaf& leaf, const ExpansionOptions& options,
                                   std::size_t begin, std::size_t step,
                                   std::vector<ActionValue>& out);
+  void evaluate_frontier(Workspace& ws, Frame& fr, const SpanLeaf& leaf,
+                         const ExpansionOptions& options);
   void note_expansion_finished();
 
   const Pomdp* pomdp_;

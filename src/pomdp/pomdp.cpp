@@ -23,6 +23,22 @@ const linalg::SparseMatrix& Pomdp::observation(ActionId a) const {
   return observations_[a];
 }
 
+const linalg::SparseMatrix& Pomdp::observation_transpose(ActionId a) const {
+  RD_EXPECTS(a < num_actions(), "Pomdp::observation_transpose: action out of range");
+  return observation_transposes_[a];
+}
+
+std::span<const double> Pomdp::observation_dense(ActionId a) const {
+  RD_EXPECTS(a < num_actions(), "Pomdp::observation_dense: action out of range");
+  return observations_dense_[a];
+}
+
+std::span<const double> Pomdp::observation_transpose_dense(ActionId a) const {
+  RD_EXPECTS(a < num_actions(),
+             "Pomdp::observation_transpose_dense: action out of range");
+  return observation_transposes_dense_[a];
+}
+
 double Pomdp::observation_prob(StateId next, ActionId a, ObsId o) const {
   RD_EXPECTS(next < num_states(), "Pomdp::observation_prob: state out of range");
   RD_EXPECTS(o < num_observations(), "Pomdp::observation_prob: observation out of range");
@@ -117,6 +133,30 @@ Pomdp PomdpBuilder::build(double tol) const {
       }
     }
     p.observations_.push_back(qb.build());
+    p.observation_transposes_.push_back(p.observations_.back().transpose());
+
+    const linalg::SparseMatrix& qt = p.observation_transposes_.back();
+    const std::size_t total = qt.rows() * qt.cols();
+    std::size_t nnz = 0;
+    for (std::size_t o = 0; o < qt.rows(); ++o) nnz += qt.row(o).size();
+    std::vector<double> dense;
+    std::vector<double> dense_t;
+    if (total > 0 && total <= Pomdp::kDenseMirrorMaxEntries &&
+        static_cast<double>(nnz) >=
+            Pomdp::kDenseMirrorMinDensity * static_cast<double>(total)) {
+      dense.assign(total, 0.0);
+      dense_t.assign(total, 0.0);
+      const std::size_t num_obs = qt.rows();
+      for (std::size_t o = 0; o < num_obs; ++o) {
+        double* row_t = dense_t.data() + o * qt.cols();
+        for (const auto& e : qt.row(o)) {
+          row_t[e.col] = e.value;
+          dense[e.col * num_obs + o] = e.value;
+        }
+      }
+    }
+    p.observations_dense_.push_back(std::move(dense));
+    p.observation_transposes_dense_.push_back(std::move(dense_t));
   }
   return p;
 }

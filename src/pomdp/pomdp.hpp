@@ -33,6 +33,37 @@ class Pomdp {
   /// q(·|s', a).
   const linalg::SparseMatrix& observation(ActionId a) const;
 
+  /// |O|×|S| transpose of observation(a): row o holds q(o|·, a), entries in
+  /// ascending state order. Precomputed at build time for the Max-Avg
+  /// expansion hot path, which needs per-observation state slices — the
+  /// observation likelihood γ(o) as one contiguous dot and posterior
+  /// scatter over only the branches that survive the floor.
+  const linalg::SparseMatrix& observation_transpose(ActionId a) const;
+
+  /// Dense row-major |S|×|O| mirror of observation(a), or an empty span
+  /// when the matrix is too sparse or too large to mirror (see
+  /// kDenseMirrorMaxEntries / kDenseMirrorMinDensity). Monitor models are
+  /// usually dense — every joint observation has some likelihood in every
+  /// state — and the expansion hot loop runs markedly faster over
+  /// contiguous rows than over (col, value) pairs; the zero entries a
+  /// mirror adds contribute exact +0.0 terms, so dense results are
+  /// bit-identical to the sparse scan. This orientation (one state's
+  /// observation row contiguous) lets the likelihood pass accumulate all
+  /// γ(o) simultaneously — independent per-observation sums, so the loop
+  /// vectorizes without reordering any individual sum.
+  std::span<const double> observation_dense(ActionId a) const;
+
+  /// Dense row-major |O|×|S| mirror of observation_transpose(a), under the
+  /// same gate: one observation's state slice contiguous, for the posterior
+  /// scatter over kept branches.
+  std::span<const double> observation_transpose_dense(ActionId a) const;
+
+  /// Mirror gating: at most this many doubles per action (8 MB)…
+  static constexpr std::size_t kDenseMirrorMaxEntries = 1u << 20;
+  /// …and at least half the entries non-zero (below that the sparse scan's
+  /// fewer multiply-adds beat the dense row's contiguity).
+  static constexpr double kDenseMirrorMinDensity = 0.5;
+
   /// q(o|s', a).
   double observation_prob(StateId next, ActionId a, ObsId o) const;
 
@@ -52,6 +83,11 @@ class Pomdp {
   Mdp mdp_;
   std::vector<std::string> obs_names_;
   std::vector<linalg::SparseMatrix> observations_;  // [a] : |S|×|O|
+  std::vector<linalg::SparseMatrix> observation_transposes_;  // [a] : |O|×|S|
+  // [a] : dense row-major mirrors (|S|×|O| and |O|×|S|), empty when gated
+  // off.
+  std::vector<std::vector<double>> observations_dense_;
+  std::vector<std::vector<double>> observation_transposes_dense_;
   ActionId terminate_action_ = kInvalidId;
   StateId terminate_state_ = kInvalidId;
 };

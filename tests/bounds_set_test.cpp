@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
+#include "linalg/vector_ops.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace recoverd::bounds {
 namespace {
@@ -105,6 +108,155 @@ TEST(BoundSet, UseCountsTrackWinners) {
   set.evaluate(v0);
   EXPECT_EQ(set.use_count(0), 2u);
   EXPECT_EQ(set.use_count(1), 0u);
+}
+
+// --- Pruned hot-path scan: exactness against the naive ascending scan ---
+
+// The naive reference the pruned kernel must reproduce bitwise: dot every
+// stored plane in ascending index order, ties to the lowest index.
+struct NaiveBest {
+  double value = -std::numeric_limits<double>::infinity();
+  std::size_t winner = 0;
+};
+
+NaiveBest naive_scan(const BoundSet& set, std::span<const double> belief) {
+  NaiveBest best;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const double v = recoverd::linalg::dot(set.vector_at(i), belief);
+    if (v > best.value) {
+      best.value = v;
+      best.winner = i;
+    }
+  }
+  return best;
+}
+
+BoundSet make_random_set(recoverd::Rng& rng, std::size_t dimension,
+                         std::size_t planes) {
+  BoundSet set(dimension);
+  for (std::size_t k = 0; k < planes; ++k) {
+    BoundVector v(dimension);
+    // Mix of near-flat and spiky planes so prune keys actually skip some
+    // but not all, and some dots tie.
+    const double base = -rng.uniform(0.0, 30.0);
+    for (auto& x : v) x = rng.bernoulli(0.3) ? base : base - rng.uniform(0.0, 20.0);
+    set.add(std::move(v));
+  }
+  return set;
+}
+
+std::vector<double> make_random_belief(recoverd::Rng& rng, std::size_t dimension) {
+  std::vector<double> pi(dimension, 0.0);
+  for (auto& x : pi) {
+    if (rng.bernoulli(0.7)) x = rng.uniform(0.0, 1.0);
+  }
+  double total = 0.0;
+  for (double x : pi) total += x;
+  if (total <= 0.0) pi[0] = 1.0;
+  return pi;
+}
+
+TEST(BoundSetPruned, ScanMatchesNaiveValueWinnerAndUseCount) {
+  recoverd::Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t dim = 2 + rng.uniform_index(14);
+    const std::size_t planes = 1 + rng.uniform_index(20);
+    const BoundSet set = make_random_set(rng, dim, planes);
+    const std::vector<double> pi = make_random_belief(rng, dim);
+    const NaiveBest ref = naive_scan(set, pi);
+    const std::size_t uses_before = set.use_count(ref.winner);
+    EXPECT_EQ(set.evaluate(pi), ref.value) << "trial " << trial;
+    EXPECT_EQ(set.best_index(pi), ref.winner) << "trial " << trial;
+    // evaluate() recorded its use on exactly the naive winner (best_index
+    // is a pure query and records nothing).
+    EXPECT_EQ(set.use_count(ref.winner), uses_before + 1) << "trial " << trial;
+  }
+}
+
+TEST(BoundSetPruned, WarmStartPathIsBitIdenticalAndHits) {
+  recoverd::Rng rng(777);
+  const BoundSet set = make_random_set(rng, 8, 12);
+  BoundSet::EvalScratch scratch;
+  set.begin_eval(scratch);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::vector<double> pi = make_random_belief(rng, 8);
+    const NaiveBest ref = naive_scan(set, pi);
+    EXPECT_EQ(set.evaluate(pi, scratch), ref.value) << "trial " << trial;
+    EXPECT_EQ(scratch.warm, ref.winner) << "trial " << trial;
+  }
+  EXPECT_EQ(scratch.evaluations, 100u);
+  // Random beliefs over few planes revisit winners, so the warm start must
+  // land at least once — and the prune keys must have skipped work.
+  EXPECT_GT(scratch.warm_start_hits, 0u);
+  EXPECT_GT(scratch.planes_skipped, 0u);
+}
+
+TEST(BoundSetPruned, BatchIsBitIdenticalToSequentialEvaluate) {
+  recoverd::Rng rng(4242);
+  const BoundSet set = make_random_set(rng, 6, 10);
+  constexpr std::size_t kRows = 64;
+  std::vector<double> rows(kRows * 6);
+  for (auto& x : rows) x = rng.bernoulli(0.8) ? rng.uniform(0.0, 1.0) : 0.0;
+  for (std::size_t r = 0; r < kRows; ++r) {
+    if (recoverd::linalg::sum(std::span<const double>(rows).subspan(r * 6, 6)) <= 0.0) {
+      rows[r * 6] = 1.0;
+    }
+  }
+
+  BoundSet::EvalScratch seq;
+  set.begin_eval(seq);
+  std::vector<double> expected(kRows);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    expected[r] = set.evaluate({rows.data() + r * 6, 6}, seq);
+  }
+
+  BoundSet::EvalScratch batched;
+  set.begin_eval(batched);
+  std::vector<double> got(kRows);
+  for (std::size_t chunk = 0; chunk < kRows; chunk += 16) {
+    set.evaluate_batch(rows.data() + chunk * 6, 16,
+                       std::span<double>(got).subspan(chunk, 16), batched);
+  }
+  for (std::size_t r = 0; r < kRows; ++r) EXPECT_EQ(expected[r], got[r]) << "row " << r;
+  // Same winners → same local win tallies, and the warm start chained
+  // identically across rows.
+  ASSERT_EQ(seq.wins.size(), batched.wins.size());
+  for (std::size_t i = 0; i < seq.wins.size(); ++i) {
+    EXPECT_EQ(seq.wins[i], batched.wins[i]) << "plane " << i;
+  }
+  EXPECT_EQ(seq.warm, batched.warm);
+  EXPECT_EQ(batched.batch_calls, 4u);
+}
+
+TEST(BoundSetPruned, FlushAppliesWinsOnceAndZeroesTheScratch) {
+  recoverd::Rng rng(99);
+  const BoundSet set = make_random_set(rng, 4, 6);
+  std::vector<std::size_t> uses_before(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) uses_before[i] = set.use_count(i);
+
+  BoundSet::EvalScratch scratch;
+  set.begin_eval(scratch);
+  std::vector<std::uint64_t> expected_wins(set.size(), 0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<double> pi = make_random_belief(rng, 4);
+    ++expected_wins[naive_scan(set, pi).winner];
+    (void)set.evaluate(pi, scratch);
+  }
+  // Nothing published until the flush.
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(set.use_count(i), uses_before[i]) << "plane " << i;
+  }
+  set.flush_eval(scratch);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(set.use_count(i), uses_before[i] + expected_wins[i]) << "plane " << i;
+    EXPECT_EQ(scratch.wins[i], 0u);
+  }
+  EXPECT_EQ(scratch.evaluations, 0u);
+  // A second flush is a no-op.
+  set.flush_eval(scratch);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(set.use_count(i), uses_before[i] + expected_wins[i]);
+  }
 }
 
 TEST(BoundSet, Validation) {

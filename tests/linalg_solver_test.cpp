@@ -7,6 +7,7 @@
 #include "linalg/dense_matrix.hpp"
 #include "linalg/power_iteration.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -174,6 +175,102 @@ TEST(GaussSeidel, StallWindowZeroDisablesDetection) {
   const auto result = solve_fixed_point(b.build(), c, opts);
   EXPECT_EQ(result.status, SolveStatus::MaxIterations);
   EXPECT_EQ(result.iterations, 60u);
+}
+
+// A long pure dependency chain x_i = c_i + x_{i+1}: at ω = 1.0 the forward
+// sweep matrix is nilpotent (converges in ~n sweeps, x_i = -(n-i)), while at
+// ω = 1.1 the iterate picks up a C(k,j)·(ω)^j transient that blows past the
+// divergence threshold long before the decay sets in — the DESIGN.md §10
+// near-DAG failure mode the relaxation fallback exists for.
+SparseMatrix long_chain(std::size_t n) {
+  SparseMatrixBuilder b(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) b.add(i, i + 1, 1.0);
+  return b.build();
+}
+
+TEST(GaussSeidelRelaxationFallback, RecoversNonStructuralSorDivergence) {
+  constexpr std::size_t n = 400;
+  const SparseMatrix q = long_chain(n);
+  const std::vector<double> c(n, -1.0);
+
+  GaussSeidelOptions sor;
+  sor.relaxation = 1.1;
+  sor.relaxation_fallback = false;
+  const auto diverged = solve_fixed_point(q, c, sor);
+  ASSERT_EQ(diverged.status, SolveStatus::Diverged)
+      << "chain no longer diverges at omega=1.1; grow n";
+
+  obs::Counter& fallbacks =
+      obs::metrics().counter("linalg.gauss_seidel.relaxation_fallbacks");
+  const std::uint64_t before = fallbacks.value();
+  sor.relaxation_fallback = true;
+  const auto result = solve_fixed_point(q, c, sor);
+  ASSERT_TRUE(result.converged()) << result.detail;
+  EXPECT_EQ(fallbacks.value(), before + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.x[i], -static_cast<double>(n - i), 1e-8) << "state " << i;
+  }
+}
+
+TEST(GaussSeidelRelaxationFallback, SccSolverAlsoFallsBack) {
+  // A leaky n-cycle is one nontrivial SCC, so the topology-aware solver
+  // runs block Gauss–Seidel on it — the same sweep whose ω = 1.1 transient
+  // blows up along the cycle, and the same fallback must recover it.
+  constexpr std::size_t n = 400;
+  SparseMatrixBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) b.add(i, (i + 1) % n, 0.999);
+  const SparseMatrix q = b.build();
+  const std::vector<double> c(n, -1.0);
+
+  GaussSeidelOptions sor;
+  sor.relaxation = 1.1;
+  sor.relaxation_fallback = false;
+  const auto diverged = solve_fixed_point_scc(q, c, sor);
+  ASSERT_EQ(diverged.status, SolveStatus::Diverged)
+      << "cycle no longer diverges at omega=1.1; grow n";
+
+  obs::Counter& fallbacks =
+      obs::metrics().counter("linalg.gauss_seidel.relaxation_fallbacks");
+  const std::uint64_t before = fallbacks.value();
+  sor.relaxation_fallback = true;
+  const auto result = solve_fixed_point_scc(q, c, sor);
+  ASSERT_TRUE(result.converged()) << result.detail;
+  EXPECT_EQ(fallbacks.value(), before + 1);
+  const auto plain = solve_fixed_point(q, c);
+  ASSERT_TRUE(plain.converged());
+  EXPECT_TRUE(approx_equal(result.x, plain.x, 1e-6));
+}
+
+TEST(GaussSeidelRelaxationFallback, StructuralDivergenceIsNotRetried) {
+  // x = -1 + x has no finite solution at any relaxation factor: the solver
+  // must report the divergence untouched and leave the fallback counter
+  // alone.
+  SparseMatrixBuilder b(1, 1);
+  b.add(0, 0, 1.0);
+  const std::vector<double> c{-1.0};
+  GaussSeidelOptions sor;
+  sor.relaxation = 1.1;
+  obs::Counter& fallbacks =
+      obs::metrics().counter("linalg.gauss_seidel.relaxation_fallbacks");
+  const std::uint64_t before = fallbacks.value();
+  const auto result = solve_fixed_point(b.build(), c, sor);
+  EXPECT_EQ(result.status, SolveStatus::Diverged);
+  EXPECT_EQ(fallbacks.value(), before);
+}
+
+TEST(GaussSeidelRelaxationFallback, PlainGaussSeidelNeverRetries) {
+  // ω = 1.0 has nothing to fall back to: a genuinely divergent system is
+  // reported directly.
+  SparseMatrixBuilder b(2, 2);
+  b.add(0, 1, 1.2);
+  b.add(1, 0, 1.2);
+  const std::vector<double> c{-1.0, -1.0};
+  obs::Counter& fallbacks =
+      obs::metrics().counter("linalg.gauss_seidel.relaxation_fallbacks");
+  const std::uint64_t before = fallbacks.value();
+  const auto result = solve_fixed_point(b.build(), c);
+  EXPECT_EQ(result.status, SolveStatus::Diverged);
+  EXPECT_EQ(fallbacks.value(), before);
 }
 
 TEST(GaussSeidel, ValidatesOptions) {

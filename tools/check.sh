@@ -3,9 +3,10 @@
 #   1. tier-1: Release configure + build + full ctest run (the ROADMAP gate);
 #   2. sanitize: RelWithDebInfo + ASan/UBSan build + full ctest run;
 #   3. tsan: ThreadSanitizer build + the concurrency tests (names matching
-#      "Parallel|Scc": the parallel experiment runner, the engine's root
-#      fan-out, and the topology-aware SCC solver's level/chunk threading),
-#      which exercise every cross-thread code path in the repo.
+#      "Parallel|Scc|Memo": the parallel experiment runner, the engine's
+#      root fan-out — including the per-worker transposition caches of
+#      DESIGN.md §11 — and the topology-aware SCC solver's level/chunk
+#      threading), which exercise every cross-thread code path in the repo.
 #
 #   4. robustness: ASan/UBSan run of the guard/mismatch test binaries plus a
 #      mini chaos soak (robustness_campaign at --faults=50) that must finish
@@ -46,8 +47,8 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   # the pass fast; gtest_discover_tests registers their cases at build time.
   cmake --build build-tsan -j "$JOBS" \
     --target sim_parallel_experiment_test pomdp_expansion_parity_test \
-             linalg_scc_test linalg_parallel_solve_test
-  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "Parallel|Scc"
+             pomdp_memo_test linalg_scc_test linalg_parallel_solve_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "Parallel|Scc|Memo"
 fi
 
 if [[ "${SKIP_ROBUSTNESS:-0}" != "1" ]]; then
