@@ -88,9 +88,14 @@ int run(const CliArgs& args) {
 
 int main(int argc, char** argv) {
   const recoverd::CliArgs args(argc, argv);
-  args.require_known({"metrics-out", "top", "beta", "seed", "capacity", "branch-floor",
-                      "termination-probability", "bootstrap-runs", "bootstrap-depth"});
+  std::vector<std::string> known =
+      {"top", "beta", "seed", "capacity", "branch-floor",
+       "termination-probability", "bootstrap-runs", "bootstrap-depth"};
+  const std::vector<std::string> obs_flags = recoverd::obs::obs_flag_names();
+  known.insert(known.end(), obs_flags.begin(), obs_flags.end());
+  args.require_known(known);
+  recoverd::obs::init_observability(args);
   const int code = recoverd::bench::run(args);
-  recoverd::obs::dump_metrics_if_requested(args);
+  recoverd::obs::finish_observability(args);
   return code;
 }

@@ -146,9 +146,14 @@ int main(int argc, char** argv) {
   using namespace recoverd::bench;
 
   const CliArgs args(argc, argv);
-  args.require_known({"max-states", "smoke", "solver-jobs", "legacy-max-states",
-                      "actions", "branching", "locality", "forward-probability",
-                      "relaxation", "seed", "out", "metrics-out"});
+  std::vector<std::string> known = {"max-states", "smoke", "solver-jobs",
+                                    "legacy-max-states", "actions", "branching",
+                                    "locality", "forward-probability",
+                                    "relaxation", "seed", "out"};
+  const std::vector<std::string> obs_flags = obs::obs_flag_names();
+  known.insert(known.end(), obs_flags.begin(), obs_flags.end());
+  args.require_known(known);
+  obs::init_observability(args);
 
   const bool smoke = args.get_bool("smoke", false);
   const std::size_t max_states = static_cast<std::size_t>(
@@ -341,10 +346,7 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", out_path.c_str());
   }
 
-  const std::string metrics_out = args.get_string("metrics-out", "");
-  if (!metrics_out.empty()) {
-    obs::write_metrics_file(metrics_out, obs::metrics().snapshot());
-  }
+  obs::finish_observability(args);
 
   if (!all_checks_passed) {
     std::fprintf(stderr, "scaling campaign: CORRECTNESS CHECK FAILED\n");

@@ -159,13 +159,16 @@ int run(const CliArgs& args) {
 int main(int argc, char** argv) {
   const recoverd::CliArgs args(argc, argv);
   std::vector<std::string> known = {
-      "metrics-out", "faults", "faults-d2", "faults-d3", "top", "seed", "capacity",
+      "faults", "faults-d2", "faults-d3", "top", "seed", "capacity",
       "branch-floor", "termination-probability", "bootstrap-runs",
       "bootstrap-depth", "jobs", "memo", "memo-max-mb"};
   const std::vector<std::string> robustness = recoverd::bench::robustness_flag_names();
   known.insert(known.end(), robustness.begin(), robustness.end());
+  const std::vector<std::string> obs_flags = recoverd::obs::obs_flag_names();
+  known.insert(known.end(), obs_flags.begin(), obs_flags.end());
   args.require_known(known);
+  recoverd::obs::init_observability(args);
   const int code = recoverd::bench::run(args);
-  recoverd::obs::dump_metrics_if_requested(args);
+  recoverd::obs::finish_observability(args);
   return code;
 }

@@ -18,7 +18,11 @@
 int main(int argc, char** argv) {
   using namespace recoverd;
   const CliArgs args(argc, argv);
-  args.require_known({"updates", "metrics-out"});
+  std::vector<std::string> known = {"updates"};
+  const std::vector<std::string> obs_flags = obs::obs_flag_names();
+  known.insert(known.end(), obs_flags.begin(), obs_flags.end());
+  args.require_known(known);
+  obs::init_observability(args);
   const int updates = static_cast<int>(args.get_int("updates", 50));
 
   const Pomdp model = models::make_emn_recovery_model();
@@ -71,6 +75,6 @@ int main(int argc, char** argv) {
       bounds::improve_at(model, set, Belief(raw));
     }
   }
-  obs::dump_metrics_if_requested(args);
+  obs::finish_observability(args);
   return 0;
 }

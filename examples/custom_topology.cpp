@@ -25,7 +25,11 @@
 int main(int argc, char** argv) {
   using namespace recoverd;
   const CliArgs args(argc, argv);
-  args.require_known({"faults", "seed", "metrics-out", "jobs"});
+  std::vector<std::string> known = {"faults", "seed", "jobs"};
+  const std::vector<std::string> obs_flags = obs::obs_flag_names();
+  known.insert(known.end(), obs_flags.begin(), obs_flags.end());
+  args.require_known(known);
+  obs::init_observability(args);
   const auto episodes = static_cast<std::size_t>(args.get_int("faults", 200));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
   const std::size_t jobs = args.get_jobs(1);
@@ -115,6 +119,6 @@ int main(int argc, char** argv) {
   std::cout << '\n';
   table.print(std::cout);
   std::cout << "unrecovered: " << result.unrecovered << "/" << result.episodes << "\n";
-  obs::dump_metrics_if_requested(args);
+  obs::finish_observability(args);
   return result.unrecovered == 0 ? 0 : 1;
 }

@@ -4,7 +4,9 @@
 //
 // Run: ./build/examples/emn_recovery [--fault=S1|S2|HG|VG|DB] [--seed=N]
 //                                    [--metrics-out=metrics.json]
-//                                    [--trace-out=episode.jsonl]
+//                                    [--trace-out=trace.json] [--trace-level=full]
+//                                    [--provenance-out=decisions.jsonl]
+//                                    [--episode-trace-out=episode.jsonl]
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -22,7 +24,11 @@
 int main(int argc, char** argv) {
   using namespace recoverd;
   const CliArgs args(argc, argv);
-  args.require_known({"fault", "seed", "metrics-out", "trace-out"});
+  std::vector<std::string> known = {"fault", "seed", "episode-trace-out"};
+  const std::vector<std::string> obs_flags = obs::obs_flag_names();
+  known.insert(known.end(), obs_flags.begin(), obs_flags.end());
+  args.require_known(known);
+  obs::init_observability(args);
   const std::string fault_component = args.get_string("fault", "S1");
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
@@ -108,16 +114,16 @@ int main(int argc, char** argv) {
             << ", cost=" << env.accumulated_cost()
             << " request-seconds, elapsed=" << env.elapsed_time() << " s, residual="
             << env.recovery_entered_time() << " s\n";
-  const std::string trace_path = args.get_string("trace-out", "");
+  const std::string trace_path = args.get_string("episode-trace-out", "");
   if (!trace_path.empty()) {
     std::ofstream out(trace_path);
     if (!out) {
-      std::cerr << "cannot open trace file '" << trace_path << "'\n";
+      std::cerr << "cannot open episode trace file '" << trace_path << "'\n";
       return 2;
     }
     trace.write_jsonl(out);
     std::cout << "episode trace written to " << trace_path << "\n";
   }
-  obs::dump_metrics_if_requested(args);
+  obs::finish_observability(args);
   return env.recovered() ? 0 : 1;
 }

@@ -26,7 +26,11 @@
 int main(int argc, char** argv) {
   using namespace recoverd;
   const CliArgs args(argc, argv);
-  args.require_known({"out", "metrics-out"});
+  std::vector<std::string> known = {"out"};
+  const std::vector<std::string> obs_flags = obs::obs_flag_names();
+  known.insert(known.end(), obs_flags.begin(), obs_flags.end());
+  args.require_known(known);
+  obs::init_observability(args);
   const std::string out = args.get_string("out", "/tmp/recoverd_two_server.pomdp");
 
   const Pomdp base = models::make_two_server();
@@ -81,6 +85,6 @@ int main(int argc, char** argv) {
   std::cout << "\nTraced episode (cost " << metrics.cost << ", "
             << trace.size() << " steps):\n";
   trace.write_csv(std::cout);
-  obs::dump_metrics_if_requested(args);
+  obs::finish_observability(args);
   return metrics.recovered ? 0 : 1;
 }

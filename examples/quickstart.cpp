@@ -24,7 +24,8 @@
 int main(int argc, char** argv) {
   using namespace recoverd;
   const CliArgs args(argc, argv);
-  args.require_known({"metrics-out"});
+  args.require_known(obs::obs_flag_names());
+  obs::init_observability(args);
 
   // --- 1. the model -------------------------------------------------------
   const Pomdp base = models::make_two_server();
@@ -73,6 +74,6 @@ int main(int argc, char** argv) {
             << "\n  residual time:   " << metrics.residual_time << " s"
             << "\n  recovery actions:" << metrics.recovery_actions
             << "\n  monitor calls:   " << metrics.monitor_calls << "\n";
-  obs::dump_metrics_if_requested(args);
+  obs::finish_observability(args);
   return metrics.recovered ? 0 : 1;
 }

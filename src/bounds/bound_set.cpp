@@ -7,6 +7,7 @@
 
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace recoverd::bounds {
@@ -118,6 +119,7 @@ BoundSet::AddResult BoundSet::add(BoundVector vector) {
   entry.is_protected = !first_added_;  // the first vector (RA-Bound) is protected
   first_added_ = true;
   entries_.push_back(std::move(entry));
+  ++generation_;  // covers the insert plus any prune/evict above
   SetInstruments::get().added.add();
   SetInstruments::get().size.set(static_cast<double>(entries_.size()));
   return AddResult::Added;
@@ -138,6 +140,7 @@ void BoundSet::remove(std::size_t index) {
   RD_EXPECTS(!entries_[index].is_protected,
              "BoundSet::remove: cannot remove a protected vector");
   entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+  ++generation_;
   SetInstruments::get().evicted.add();
   SetInstruments::get().size.set(static_cast<double>(entries_.size()));
 }
@@ -228,6 +231,9 @@ double BoundSet::evaluate(std::span<const double> belief, EvalScratch& scratch) 
 void BoundSet::evaluate_batch(const double* beliefs, std::size_t count,
                               std::span<double> out, EvalScratch& scratch) const {
   RD_EXPECTS(out.size() >= count, "BoundSet::evaluate_batch: output too small");
+  obs::TraceSpan span("bound_set.evaluate_batch", obs::TraceLevel::Full);
+  span.arg("count", static_cast<double>(count));
+  span.arg("planes", static_cast<double>(entries_.size()));
   ++scratch.batch_calls;
   for (std::size_t i = 0; i < count; ++i) {
     out[i] = evaluate({beliefs + i * dimension_, dimension_}, scratch);

@@ -41,6 +41,13 @@ class BoundSet {
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
 
+  /// Mutation counter: bumped by every add() that stores or prunes,
+  /// remove(), and capacity eviction. Decision-provenance records snapshot
+  /// it so a decision can be tied to the exact bound-set revision that
+  /// produced its values (two decisions with equal generation evaluated
+  /// the same hyperplanes).
+  std::uint64_t generation() const { return generation_; }
+
   /// Outcome of an add() call.
   enum class AddResult {
     Added,            ///< stored (possibly evicting or pruning others)
@@ -145,6 +152,7 @@ class BoundSet {
   std::size_t dimension_;
   std::size_t capacity_;
   bool first_added_ = false;
+  std::uint64_t generation_ = 0;
   std::vector<Entry> entries_;
 };
 

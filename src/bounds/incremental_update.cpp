@@ -4,6 +4,7 @@
 
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace recoverd::bounds {
@@ -84,6 +85,9 @@ UpdateResult improve_at(const Pomdp& pomdp, BoundSet& set, const Belief& belief,
   static obs::Counter& rejected = obs::metrics().counter("bounds.update.rejected");
   static obs::Histogram& improvement = obs::metrics().histogram(
       "bounds.update.improvement", obs::exponential_buckets(1e-6, 10.0, 12));
+
+  obs::TraceSpan span("bounds.improve_at", obs::TraceLevel::Decide);
+  span.arg("planes", static_cast<double>(set.size()));
 
   UpdateResult result;
   result.value_before = set.evaluate(belief.probabilities());

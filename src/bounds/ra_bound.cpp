@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace recoverd::bounds {
@@ -57,6 +58,7 @@ void sort_row_by_col(std::span<linalg::SparseEntry> row) {
 RandomActionChain build_random_action_chain(const Mdp& mdp, linalg::SolverJobs jobs) {
   RD_EXPECTS(jobs >= 1, "build_random_action_chain: jobs must be >= 1");
   ChainInstruments& instruments = ChainInstruments::get();
+  obs::TraceSpan span("ra_bound.assemble_chain", obs::TraceLevel::Decide);
   obs::ScopedTimer assembly_timer(instruments.assembly_ms);
   instruments.assemblies.add();
   instruments.jobs.set(static_cast<double>(jobs));
@@ -151,6 +153,7 @@ RaBoundResult solve_random_action_chain(const RandomActionChain& chain, double b
                                         const linalg::SccSolveOptions& scc_options) {
   linalg::SccSolveOptions scc = scc_options;
   scc.scale = beta;
+  obs::TraceSpan span("ra_bound.solve_chain", obs::TraceLevel::Decide);
   const auto solve =
       linalg::solve_fixed_point_scc(chain.q, chain.c, options, scc, chain.plan);
   RaBoundResult result;

@@ -6,6 +6,7 @@
 
 #include "bounds/upper_bound.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/trace.hpp"
 #include "pomdp/bellman.hpp"
 #include "util/check.hpp"
 
@@ -74,6 +75,8 @@ void SawtoothUpperBound::add_point(const Belief& belief, double value) {
 
 double SawtoothUpperBound::improve_at(const Belief& belief, double min_gain,
                                       double branch_floor) {
+  obs::TraceSpan span("sawtooth.improve_at", obs::TraceLevel::Decide);
+  span.arg("points", static_cast<double>(points_.size()));
   const double before = evaluate(belief);
   const LeafEvaluator leaf = [this](const Belief& b) { return evaluate(b); };
   const double backed_up =

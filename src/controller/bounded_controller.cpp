@@ -2,7 +2,9 @@
 
 #include "bounds/incremental_update.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/scoped_timer.hpp"
+#include "obs/trace.hpp"
 #include "pomdp/bellman.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -33,6 +35,36 @@ struct DecideInstruments {
     return instruments;
   }
 };
+
+// Skeleton of a provenance record shared by every exit path of decide();
+// the caller fills decision-specific fields before emitting.
+obs::DecisionProvenance provenance_base(const char* stage, double decide_ms,
+                                        const bounds::BoundSet& set,
+                                        int configured_depth, int achieved_depth) {
+  obs::DecisionProvenance record;
+  record.controller = "bounded";
+  record.stage = stage;
+  record.decide_ms = decide_ms;
+  record.bound_generation = set.generation();
+  record.bound_size = set.size();
+  record.configured_depth = configured_depth;
+  record.achieved_depth = achieved_depth;
+  return record;
+}
+
+void fill_expansion_provenance(obs::DecisionProvenance& record,
+                               const ExpansionNodeStats& stats) {
+  record.expansion.nodes = stats.nodes;
+  record.expansion.leaf_evaluations = stats.leaf_evaluations;
+  record.expansion.memo_hits = stats.memo_hits;
+  record.expansion.memo_misses = stats.memo_misses;
+  record.expansion.memo_insertions = stats.memo_insertions;
+  // Trim trailing all-zero levels so shallow trees emit short arrays.
+  std::size_t levels = ExpansionNodeStats::kMaxLevels;
+  while (levels > 0 && stats.nodes_per_level[levels - 1] == 0) --levels;
+  record.expansion.nodes_per_level.assign(stats.nodes_per_level.begin(),
+                                          stats.nodes_per_level.begin() + levels);
+}
 }  // namespace
 
 BoundedController::BoundedController(const Pomdp& model, bounds::BoundSet& set,
@@ -61,7 +93,25 @@ std::unique_ptr<BoundedController> BoundedController::make_owning(
 }
 
 Decision BoundedController::decide() {
-  if (const auto escalated = guard_decision()) return *escalated;
+  obs::TraceSpan decide_span("controller.decide", obs::TraceLevel::Decide);
+  // Provenance is opt-in (--provenance-out); when off, every extra
+  // bookkeeping below is skipped and decide() runs its original path.
+  const bool provenance = obs::provenance_enabled();
+  Timer provenance_timer;
+
+  if (const auto escalated = guard_decision()) {
+    if (provenance) {
+      obs::DecisionProvenance record = provenance_base(
+          "escalated", provenance_timer.elapsed_ms(), set_, options_.tree_depth,
+          guard().last_achieved_depth());
+      record.chosen_action = escalated->action == kInvalidId
+                                 ? -1
+                                 : static_cast<std::int64_t>(escalated->action);
+      record.terminate = escalated->terminate;
+      obs::emit_provenance(std::move(record));
+    }
+    return *escalated;
+  }
 
   DecideInstruments& instruments = DecideInstruments::get();
   instruments.decides.add();
@@ -74,6 +124,13 @@ Decision BoundedController::decide() {
   // certain the system recovered.
   if (!pomdp.has_terminate_action() &&
       pomdp.mdp().goal_probability(pi.probabilities()) >= options_.goal_certainty) {
+    if (provenance) {
+      obs::DecisionProvenance record =
+          provenance_base("goal-certain", provenance_timer.elapsed_ms(), set_,
+                          options_.tree_depth, 0);
+      record.terminate = true;
+      obs::emit_provenance(std::move(record));
+    }
     return {kInvalidId, true};
   }
 
@@ -90,6 +147,8 @@ Decision BoundedController::decide() {
   expansion.root_jobs = options_.root_jobs;
   expansion.memo = options_.memo;
   expansion.memo_max_bytes = options_.memo_max_mb << 20;
+  ExpansionNodeStats node_stats;
+  if (provenance) expansion.stats = &node_stats;
 
   // Devirtualized, slot-aware leaf: the engine hands already-normalised
   // posterior spans (single beliefs or whole frontiers) straight to the
@@ -105,6 +164,7 @@ Decision BoundedController::decide() {
 
   const std::uint64_t nodes_before = instruments.nodes_expanded.value();
   GuardRuntime& runtime = guard();
+  int achieved_depth = options_.tree_depth;
   if (runtime.deadline_enabled()) {
     // Degradation ladder: iterative deepening under the per-decide budget.
     // Depth 1 (the greedy lower-bound action) always completes, then each
@@ -114,11 +174,14 @@ Decision BoundedController::decide() {
     Timer deadline;
     int achieved = 0;
     for (int depth = 1; depth <= options_.tree_depth; ++depth) {
+      obs::TraceSpan ladder_span("controller.ladder_depth", obs::TraceLevel::Decide);
+      ladder_span.arg("depth", static_cast<double>(depth));
       engine_.action_values(pi.probabilities(), depth, span_leaf, expansion, values_);
       achieved = depth;
       if (deadline.elapsed_ms() >= runtime.options().decide_deadline_ms) break;
     }
     runtime.note_decide(deadline.elapsed_ms(), achieved, options_.tree_depth);
+    achieved_depth = achieved;
   } else {
     engine_.action_values(pi.probabilities(), options_.tree_depth, span_leaf, expansion,
                           values_);
@@ -132,6 +195,7 @@ Decision BoundedController::decide() {
     if (av.value > best.value) best = av;
   }
 
+  Decision decision{best.action, false};
   if (pomdp.has_terminate_action()) {
     // Property 1(a) assumes no free actions; real models often have a
     // zero-cost Observe in null-fault states, which can tie with aT once
@@ -142,15 +206,42 @@ Decision BoundedController::decide() {
       if (best.action != at) instruments.terminate_ties.add();
       best = values[at];
     }
-    if (best.action == at) return {best.action, true};
+    if (best.action == at) decision = {at, true};
   }
 
-  // Property 1 livelock monitor: under a faithful model the expected bound
-  // strictly improves each step; a stall over the configured window (model
-  // mismatch breaking the improvement guarantee) escalates to aT now.
-  runtime.note_expected_bound(best.value);
-  if (const auto escalated = guard_decision()) return *escalated;
-  return {best.action, false};
+  const char* stage = runtime.deadline_enabled() ? runtime.last_decide_stage() : "full";
+  if (!decision.terminate) {
+    // Property 1 livelock monitor: under a faithful model the expected
+    // bound strictly improves each step; a stall over the configured window
+    // (model mismatch breaking the improvement guarantee) escalates to aT
+    // now.
+    runtime.note_expected_bound(best.value);
+    if (const auto escalated = guard_decision()) {
+      decision = *escalated;
+      stage = "escalated";
+    }
+  }
+
+  if (provenance) {
+    obs::DecisionProvenance record = provenance_base(
+        stage, provenance_timer.elapsed_ms(), set_, options_.tree_depth,
+        achieved_depth);
+    record.chosen_action = decision.terminate && decision.action == kInvalidId
+                               ? -1
+                               : static_cast<std::int64_t>(decision.action);
+    record.terminate = decision.terminate;
+    fill_expansion_provenance(record, node_stats);
+    record.actions.reserve(values.size());
+    for (const ActionValue& av : values) {
+      obs::ActionProvenance entry;
+      entry.action = av.action;
+      entry.lower = av.value;  // V_B⁻-backed expansion value, the exact
+                               // number the max above compared
+      record.actions.push_back(entry);
+    }
+    obs::emit_provenance(std::move(record));
+  }
+  return decision;
 }
 
 }  // namespace recoverd::controller

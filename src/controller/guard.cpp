@@ -2,6 +2,7 @@
 
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -91,6 +92,8 @@ void GuardRuntime::begin_episode() {
   stalled_decides_ = 0;
   has_best_bound_ = false;
   best_bound_ = 0.0;
+  last_stage_ = "full";
+  last_achieved_depth_ = 0;
 }
 
 void GuardRuntime::request_escalation(const char* reason) {
@@ -102,6 +105,7 @@ void GuardRuntime::request_escalation(const char* reason) {
   if (why == "deadline") instruments.deadline_escalations.add();
   if (why == "livelock") instruments.livelock_escalations.add();
   if (why == "mismatch") instruments.mismatch_escalations.add();
+  obs::trace_instant("guard.escalation", obs::TraceLevel::Decide);
   log_warn("guard: escalating to termination (", why, ")");
 }
 
@@ -109,6 +113,10 @@ void GuardRuntime::note_decide(double elapsed_ms, int achieved_depth,
                                int configured_depth) {
   if (!deadline_enabled()) return;
   GuardInstruments& instruments = GuardInstruments::get();
+  last_achieved_depth_ = achieved_depth;
+  last_stage_ = achieved_depth >= configured_depth ? "full"
+                : achieved_depth <= 1              ? "greedy"
+                                                   : "degraded";
   if (achieved_depth < configured_depth) instruments.deadline_degraded.add();
   // An overrun only counts against the escalation budget once the ladder
   // has already degraded to its greedy floor — a deeper tree that ran over

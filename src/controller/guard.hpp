@@ -104,6 +104,15 @@ class GuardRuntime {
   /// without improvement escalate.
   void note_expected_bound(double value);
 
+  /// Ladder outcome of the most recent note_decide(), for decision
+  /// provenance: "full" (configured depth completed), "degraded" (a
+  /// shallower tree stood), or "greedy" (the depth-1 floor). "full" before
+  /// any decide and whenever the deadline ladder is disabled.
+  const char* last_decide_stage() const { return last_stage_; }
+
+  /// Tree depth the most recent note_decide() reported (0 before any).
+  int last_achieved_depth() const { return last_achieved_depth_; }
+
  private:
   GuardOptions options_;
   bool escalated_ = false;
@@ -111,6 +120,8 @@ class GuardRuntime {
   std::size_t stalled_decides_ = 0;
   bool has_best_bound_ = false;
   double best_bound_ = 0.0;
+  const char* last_stage_ = "full";
+  int last_achieved_depth_ = 0;
 };
 
 /// Bound-consistency repair: while V_B⁻(π) exceeds the sawtooth upper bound

@@ -20,6 +20,7 @@
 #include "linalg/gauss_seidel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace recoverd::linalg {
@@ -288,6 +289,9 @@ SolveResult solve_fixed_point_scc_impl(const SparseMatrix& q, std::span<const do
                                        const GaussSeidelOptions& options,
                                        const SccSolveOptions& scc, const SolvePlan& plan) {
   SccSolveInstruments& instruments = SccSolveInstruments::get();
+  obs::TraceSpan solve_span("scc.solve", obs::TraceLevel::Decide);
+  solve_span.arg("levels", static_cast<double>(plan.num_levels()));
+  solve_span.arg("components", static_cast<double>(plan.num_components));
   obs::ScopedTimer timer(instruments.solve_ms);
   instruments.solves.add();
   instruments.jobs.set(static_cast<double>(scc.jobs));
@@ -333,6 +337,12 @@ SolveResult solve_fixed_point_scc_impl(const SparseMatrix& q, std::span<const do
 
   for (std::size_t l = 0; l < plan.num_levels(); ++l) {
     const auto level = plan.level(l);
+    // Per-level spans carry the SCC count; Full level only, since near-DAG
+    // plans have tens of thousands of levels (the ring buffer keeps the
+    // most recent window if they overflow).
+    obs::TraceSpan level_span("scc.level", obs::TraceLevel::Full);
+    level_span.arg("level", static_cast<double>(l));
+    level_span.arg("components", static_cast<double>(level.size()));
     // Large block-Jacobi components parallelise internally, so they run one
     // at a time; everything else fans across the level's workers.
     std::vector<std::uint32_t> small;

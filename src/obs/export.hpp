@@ -14,8 +14,14 @@
 // `counts` has uppers.size() + 1 entries; the last is the overflow bucket.
 //
 // CSV schema: header `metric,kind,field,value`; counters/gauges emit one
-// `value` row, histograms emit `count`/`sum`/`min`/`max` rows plus one
-// `le_<upper>` row per bucket (`le_inf` for the overflow bucket).
+// `value` row, histograms emit `count`/`sum`/`min`/`max`/`p50`/`p90`/`p99`
+// rows plus one `le_<upper>` row per bucket (`le_inf` for the overflow
+// bucket).
+//
+// Prometheus text exposition format is also supported (`.prom` extension
+// or write_prometheus): names are sanitised (non-[a-zA-Z0-9_] → `_`),
+// histograms emit cumulative `_bucket{le="..."}` series plus `_sum` and
+// `_count`, and the quantile estimates become `{quantile="0.5"}` gauges.
 #pragma once
 
 #include <iosfwd>
@@ -37,9 +43,18 @@ MetricsSnapshot read_json_text(const std::string& text);
 /// Serialises a snapshot as CSV with a header row.
 void write_csv(std::ostream& os, const MetricsSnapshot& snapshot);
 
+/// Serialises a snapshot in the Prometheus text exposition format (v0.0.4)
+/// — the payload a future daemon `/metrics` endpoint would serve.
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Maps an instrument name onto a valid Prometheus metric name: every
+/// character outside [a-zA-Z0-9_] becomes `_`, and a leading digit gets a
+/// `_` prefix ("pomdp.decide.ms" → "pomdp_decide_ms").
+std::string prometheus_name(const std::string& name);
+
 /// Writes the snapshot to `path`, picking the format from the extension:
-/// `.csv` → CSV, anything else → JSON. Throws ModelError when the file
-/// cannot be opened.
+/// `.csv` → CSV, `.prom` → Prometheus text, anything else → JSON. Throws
+/// ModelError when the file cannot be opened.
 void write_metrics_file(const std::string& path, const MetricsSnapshot& snapshot);
 
 /// The standard `--metrics-out=<path>` hook for binaries: when the flag is
@@ -47,5 +62,22 @@ void write_metrics_file(const std::string& path, const MetricsSnapshot& snapshot
 /// default) into the file and returns true. Call once, at exit.
 bool dump_metrics_if_requested(const CliArgs& args,
                                MetricsRegistry& registry = metrics());
+
+/// The observability flags every binary accepts — append to the
+/// require_known() list: `metrics-out`, `trace-out`, `trace-level`,
+/// `provenance-out`.
+std::vector<std::string> obs_flag_names();
+
+/// Applies the observability flags at startup: enables span tracing when
+/// `--trace-out` is given (at `--trace-level`, default `full`) and opens
+/// the provenance sink when `--provenance-out` is given. Call before any
+/// decide()/episode work. No-op when none of the flags are present, so
+/// default runs stay byte-identical.
+void init_observability(const CliArgs& args);
+
+/// Counterpart at exit: drains the trace into `--trace-out`, closes the
+/// provenance sink, and dumps `--metrics-out`. Safe to call always.
+void finish_observability(const CliArgs& args,
+                          MetricsRegistry& registry = metrics());
 
 }  // namespace recoverd::obs

@@ -267,7 +267,7 @@ class Parser {
     }
   }
 
-  void append_unicode_escape(std::string& out) {
+  unsigned parse_hex4() {
     if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
     unsigned code = 0;
     for (int i = 0; i < 4; ++i) {
@@ -278,15 +278,41 @@ class Parser {
       else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
       else fail("invalid hex digit in \\u escape");
     }
-    // BMP-only UTF-8 encoding (surrogate pairs are not produced by our
-    // writer; a lone surrogate is encoded as-is rather than rejected).
+    return code;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned code = parse_hex4();
+    // JSON encodes supplementary-plane characters (emoji, rare CJK, ...)
+    // as UTF-16 surrogate pairs: \uD800-\uDBFF followed by \uDC00-\uDFFF.
+    // The pair must be combined into one code point and emitted as a
+    // single 4-byte UTF-8 sequence — encoding each half separately yields
+    // invalid CESU-8. A lone surrogate (no valid partner following) is
+    // still encoded as-is rather than rejected, matching the lenient
+    // posture of the pre-pair code.
+    if (code >= 0xD800 && code <= 0xDBFF && pos_ + 2 <= text_.size() &&
+        text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+      const std::size_t rewind = pos_;
+      pos_ += 2;
+      const unsigned low = parse_hex4();
+      if (low >= 0xDC00 && low <= 0xDFFF) {
+        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+      } else {
+        pos_ = rewind;  // not a low surrogate; re-parse it on its own
+      }
+    }
     if (code < 0x80) {
       out.push_back(static_cast<char>(code));
     } else if (code < 0x800) {
       out.push_back(static_cast<char>(0xC0 | (code >> 6)));
       out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else {
+    } else if (code < 0x10000) {
       out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
       out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
       out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
     }

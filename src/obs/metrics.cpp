@@ -96,6 +96,35 @@ std::vector<double> linear_buckets(double start, double width, std::size_t count
   return uppers;
 }
 
+double histogram_quantile(const HistogramSample& sample, double q) {
+  RD_EXPECTS(q >= 0.0 && q <= 1.0, "histogram_quantile: q must be in [0, 1]");
+  if (sample.count == 0) return 0.0;
+  // Rank of the target observation (1-based, ceil so q=1 hits the last).
+  const double rank =
+      std::max(1.0, std::ceil(q * static_cast<double>(sample.count)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < sample.counts.size(); ++i) {
+    const std::uint64_t in_bucket = sample.counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Interpolate linearly within [lower, upper): the bucket below the
+    // first bound starts at `min`, and the overflow bucket (no upper
+    // bound) spans up to `max`.
+    const double lower = i == 0 ? sample.min : sample.uppers[i - 1];
+    const double upper = i < sample.uppers.size() ? sample.uppers[i] : sample.max;
+    const double fraction =
+        (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    const double value = lower + (upper - lower) * fraction;
+    // Bucket edges can overshoot the observed range (e.g. every sample in
+    // one wide bucket); the true quantile always lies within [min, max].
+    return std::clamp(value, sample.min, sample.max);
+  }
+  return sample.max;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   RD_EXPECTS(gauges_.count(name) == 0 && histograms_.count(name) == 0,
@@ -147,6 +176,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     s.sum = h->sum();
     s.min = h->min();
     s.max = h->max();
+    s.p50 = histogram_quantile(s, 0.50);
+    s.p90 = histogram_quantile(s, 0.90);
+    s.p99 = histogram_quantile(s, 0.99);
     snap.histograms.push_back(std::move(s));
   }
   return snap;

@@ -106,7 +106,18 @@ struct HistogramSample {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+  /// Quantile estimates by linear interpolation within the cumulative
+  /// bucket counts (clamped to [min, max]); 0 when the histogram is empty.
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
 };
+
+/// Estimates the q-quantile (q in [0, 1]) of `sample` from its bucket
+/// counts: finds the bucket holding the q·count-th observation, linearly
+/// interpolates within it, and clamps to the observed [min, max]. Exposed
+/// for tests; snapshot() fills p50/p90/p99 with it.
+double histogram_quantile(const HistogramSample& sample, double q);
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;

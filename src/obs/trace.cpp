@@ -1,0 +1,276 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace recoverd::obs {
+
+namespace detail {
+
+std::atomic<int> g_trace_level{static_cast<int>(TraceLevel::Off)};
+
+std::uint64_t trace_now_ns() {
+  // One process-wide epoch keeps timestamps small and directly comparable
+  // across threads (steady_clock is a single monotonic clock per process).
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+/// One thread's flight recorder. `events` is sized once (power of two) at
+/// construction; `head` counts recorded events forever, so the live window
+/// is [max(0, head - capacity), head) and `dropped = head - size` once the
+/// ring wraps. The mutex serialises the owning thread's record_event()
+/// against the drain — uncontended in steady state, so ~a CAS per span.
+struct ThreadTraceBuffer {
+  explicit ThreadTraceBuffer(std::size_t capacity, std::uint32_t tid_)
+      : events(capacity), tid(tid_) {}
+
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint64_t head = 0;
+  std::uint32_t tid = 0;
+  bool thread_exited = false;
+};
+
+/// Process-wide registry of every thread's buffer. Buffers are owned here
+/// (shared_ptr) so a thread may exit while its events are still pending a
+/// drain; the thread-local handle below only marks `thread_exited`.
+struct TraceCollector {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  std::size_t ring_capacity = 1 << 16;
+  std::uint32_t next_tid = 0;
+  std::uint64_t retired_dropped = 0;  ///< drops from buffers freed by reset
+};
+
+TraceCollector& collector() {
+  static TraceCollector* instance = new TraceCollector();  // never destroyed
+  return *instance;
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1024;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Thread-local handle: registers the buffer on first use, marks it exited
+/// on thread death so the collector can recycle it after the next reset.
+struct ThreadTraceHandle {
+  std::shared_ptr<ThreadTraceBuffer> buffer;
+
+  ThreadTraceHandle() {
+    auto& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    buffer = std::make_shared<ThreadTraceBuffer>(c.ring_capacity, c.next_tid++);
+    c.buffers.push_back(buffer);
+  }
+
+  ~ThreadTraceHandle() {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->thread_exited = true;
+  }
+};
+
+}  // namespace
+
+ThreadTraceBuffer* local_trace_buffer() {
+  thread_local ThreadTraceHandle handle;
+  return handle.buffer.get();
+}
+
+void record_event(ThreadTraceBuffer* buffer, const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  TraceEvent& slot = buffer->events[buffer->head & (buffer->events.size() - 1)];
+  slot = event;
+  slot.tid = buffer->tid;
+  ++buffer->head;
+}
+
+}  // namespace detail
+
+TraceLevel parse_trace_level(const std::string& name) {
+  if (name == "off") return TraceLevel::Off;
+  if (name == "decide") return TraceLevel::Decide;
+  if (name == "full") return TraceLevel::Full;
+  throw PreconditionError("unknown trace level '" + name +
+                          "' (expected off|decide|full)");
+}
+
+const char* trace_level_name(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::Off:
+      return "off";
+    case TraceLevel::Decide:
+      return "decide";
+    case TraceLevel::Full:
+      return "full";
+  }
+  return "off";
+}
+
+void enable_tracing(TraceLevel level, std::size_t ring_capacity) {
+  auto& c = detail::collector();
+  {
+    // Applies to buffers allocated from here on; buffers that already exist
+    // keep their size (they are never reallocated while a thread may be
+    // mid-record).
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.ring_capacity = detail::round_up_pow2(ring_capacity);
+  }
+  detail::g_trace_level.store(static_cast<int>(level),
+                              std::memory_order_relaxed);
+}
+
+void disable_tracing() {
+  detail::g_trace_level.store(static_cast<int>(TraceLevel::Off),
+                              std::memory_order_relaxed);
+}
+
+TraceLevel trace_level() {
+  return static_cast<TraceLevel>(
+      detail::g_trace_level.load(std::memory_order_relaxed));
+}
+
+void trace_instant(const char* name, TraceLevel level, const char* category) {
+  if (!trace_enabled(level)) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.start_ns = detail::trace_now_ns();
+  event.instant = true;
+  detail::record_event(detail::local_trace_buffer(), event);
+}
+
+TraceSnapshot drain_trace() {
+  auto& c = detail::collector();
+  std::vector<std::shared_ptr<detail::ThreadTraceBuffer>> buffers;
+  TraceSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    buffers = c.buffers;
+    snapshot.dropped = c.retired_dropped;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    const std::size_t size = buffer->events.size();
+    const std::uint64_t head = buffer->head;
+    const std::uint64_t first = head > size ? head - size : 0;
+    snapshot.dropped += first;
+    for (std::uint64_t i = first; i < head; ++i) {
+      snapshot.events.push_back(buffer->events[i & (size - 1)]);
+    }
+  }
+  std::stable_sort(snapshot.events.begin(), snapshot.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.start_ns < b.start_ns;
+                   });
+  return snapshot;
+}
+
+void reset_tracing() {
+  auto& c = detail::collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  c.retired_dropped = 0;
+  auto keep = c.buffers.end();
+  keep = std::remove_if(c.buffers.begin(), c.buffers.end(),
+                        [](const std::shared_ptr<detail::ThreadTraceBuffer>& b) {
+                          std::lock_guard<std::mutex> inner(b->mutex);
+                          if (b->thread_exited) return true;
+                          b->head = 0;
+                          return false;
+                        });
+  c.buffers.erase(keep, c.buffers.end());
+}
+
+namespace {
+
+/// Span names are string literals from our own call sites, but escape
+/// defensively anyway so the file is always valid JSON.
+void write_escaped_name(std::ostream& os, const char* text) {
+  os << '"';
+  for (const char* p = text; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    if (c == '"' || c == '\\') {
+      os << '\\' << *p;
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      os << buf;
+    } else {
+      os << *p;
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  os << buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TraceSnapshot& snapshot) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : snapshot.events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":";
+    write_escaped_name(os, event.name != nullptr ? event.name : "(null)");
+    os << ",\"cat\":";
+    write_escaped_name(os,
+                       event.category != nullptr ? event.category : "recoverd");
+    os << ",\"ph\":\"" << (event.instant ? 'i' : 'X') << "\"";
+    os << ",\"ts\":";
+    write_number(os, static_cast<double>(event.start_ns) / 1000.0);
+    if (!event.instant) {
+      os << ",\"dur\":";
+      write_number(os, static_cast<double>(event.dur_ns) / 1000.0);
+    } else {
+      os << ",\"s\":\"t\"";  // instant scope: thread
+    }
+    os << ",\"pid\":1,\"tid\":" << event.tid;
+    if (event.num_args > 0) {
+      os << ",\"args\":{";
+      for (std::uint8_t a = 0; a < event.num_args; ++a) {
+        if (a > 0) os << ",";
+        write_escaped_name(os, event.arg_names[a]);
+        os << ":";
+        write_number(os, event.arg_values[a]);
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+     << "\"schema\":\"recoverd.trace.v1\",\"dropped_events\":"
+     << snapshot.dropped << "}}\n";
+}
+
+void write_trace_file(const std::string& path) {
+  disable_tracing();
+  const TraceSnapshot snapshot = drain_trace();
+  std::ofstream os(path);
+  if (!os) {
+    throw ModelError("cannot open trace output file '" + path + "'");
+  }
+  write_chrome_trace(os, snapshot);
+}
+
+}  // namespace recoverd::obs

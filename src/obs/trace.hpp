@@ -1,0 +1,177 @@
+// recoverd::obs::trace — thread-local ring-buffer span tracing (DESIGN.md §12).
+//
+// The metrics registry (metrics.hpp) answers "how many / how long on
+// average"; this module answers "*where* did this particular decide() spend
+// its 92 ms budget". Instrumented scopes declare a TraceSpan; every thread
+// records completed spans into a private pre-allocated ring buffer, and at
+// exit the binary drains all buffers into one Chrome-trace-event / Perfetto
+// compatible JSON file (`--trace-out`).
+//
+// Design constraints, in order:
+//  1. ~zero cost when disabled: the TraceSpan constructor is one relaxed
+//     atomic load and a compare — tracing off is the default, and the
+//     parity suite holds decisions and metric aggregates bitwise identical
+//     with tracing on or off (spans never touch the metrics registry and
+//     never perturb any arithmetic).
+//  2. allocation-free on hot paths: each thread's ring buffer is allocated
+//     once, on that thread's first recorded span; recording afterwards is a
+//     mutex-guarded struct write (uncontended: the mutex is only shared
+//     with the end-of-run drain). When the ring wraps, the *oldest* events
+//     are overwritten — a flight recorder keeping the most recent window —
+//     and the drop count is reported in the trace file metadata (not as a
+//     metric, which must stay identical with tracing on/off).
+//  3. static names only: span/arg names must be string literals (or
+//     otherwise outlive the drain); the buffer stores `const char*`.
+//
+// Span nesting is conveyed by timestamp containment per thread — Chrome
+// "X" (complete) events nest automatically in Perfetto/chrome://tracing —
+// so begin/end pairing never needs to cross the buffer.
+//
+// Levels gate instrumentation density:
+//  - Decide: one span per decide()/episode/solve — cheap enough to leave on
+//    for whole campaigns;
+//  - Full: adds per-expansion-level, per-leaf-batch, and per-SCC-level
+//    spans — the "profile one slow decide()" setting.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace recoverd::obs {
+
+/// Instrumentation density. Order matters: a span tagged `Decide` records
+/// whenever tracing is on; a span tagged `Full` records only at Full.
+enum class TraceLevel : int {
+  Off = 0,
+  Decide = 1,
+  Full = 2,
+};
+
+/// Parses "off" | "decide" | "full"; throws PreconditionError otherwise.
+TraceLevel parse_trace_level(const std::string& name);
+const char* trace_level_name(TraceLevel level);
+
+/// One completed span (or instant event). Name/category/arg-name pointers
+/// must reference static storage — TraceSpan's contract.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  std::uint64_t start_ns = 0;  ///< since trace_epoch(), steady clock
+  std::uint64_t dur_ns = 0;    ///< 0 and instant=true for instant events
+  std::uint32_t tid = 0;       ///< small per-process thread index
+  bool instant = false;
+  std::uint8_t num_args = 0;
+  const char* arg_names[2] = {nullptr, nullptr};
+  double arg_values[2] = {0.0, 0.0};
+};
+
+/// Everything one drain returns: the events of every thread (live and
+/// exited), sorted by (tid, start), plus how many events the flight
+/// recorder overwrote.
+struct TraceSnapshot {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+/// Turns collection on at `level` with the given per-thread ring capacity
+/// (events; rounded up to a power of two, min 1024). Idempotent; a second
+/// call adjusts the level and the capacity used for buffers allocated from
+/// then on — buffers that already exist are never resized.
+void enable_tracing(TraceLevel level, std::size_t ring_capacity = 1 << 16);
+
+/// Turns collection off (spans become no-ops again). Buffered events are
+/// kept until drain_trace() or reset_tracing().
+void disable_tracing();
+
+/// The current level (Off when collection is disabled).
+TraceLevel trace_level();
+
+/// True when a span at `level` would record — the TraceSpan fast path.
+inline bool trace_enabled(TraceLevel level);
+
+/// Copies every thread's buffered events out (oldest to newest per thread,
+/// sorted by thread then start time). Collection state is unchanged; call
+/// disable_tracing() first when draining at process exit so no thread is
+/// mid-record. Safe against threads that have already exited.
+TraceSnapshot drain_trace();
+
+/// Drops all buffered events and drop counts (tests).
+void reset_tracing();
+
+namespace detail {
+struct ThreadTraceBuffer;
+ThreadTraceBuffer* local_trace_buffer();
+void record_event(ThreadTraceBuffer* buffer, const TraceEvent& event);
+std::uint64_t trace_now_ns();
+extern std::atomic<int> g_trace_level;
+}  // namespace detail
+
+inline bool trace_enabled(TraceLevel level) {
+  return detail::g_trace_level.load(std::memory_order_relaxed) >=
+         static_cast<int>(level);
+}
+
+/// RAII span: records [construction, destruction) of the enclosing scope
+/// into the calling thread's ring buffer. `name` and `category` must be
+/// string literals. Inactive (a couple of instructions) when tracing is
+/// off or below `level`.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, TraceLevel level = TraceLevel::Decide,
+                     const char* category = "recoverd") {
+    if (!trace_enabled(level)) {
+      buffer_ = nullptr;
+      return;
+    }
+    buffer_ = detail::local_trace_buffer();
+    event_.name = name;
+    event_.category = category;
+    event_.start_ns = detail::trace_now_ns();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { end(); }
+
+  bool active() const { return buffer_ != nullptr; }
+
+  /// Attaches a numeric argument (shown in the Perfetto side panel). At
+  /// most two; further calls are ignored, as is every call when inactive.
+  void arg(const char* name, double value) {
+    if (buffer_ == nullptr || event_.num_args >= 2) return;
+    event_.arg_names[event_.num_args] = name;
+    event_.arg_values[event_.num_args] = value;
+    ++event_.num_args;
+  }
+
+  /// Ends the span now (the destructor then records nothing).
+  void end() {
+    if (buffer_ == nullptr) return;
+    event_.dur_ns = detail::trace_now_ns() - event_.start_ns;
+    detail::record_event(buffer_, event_);
+    buffer_ = nullptr;
+  }
+
+ private:
+  detail::ThreadTraceBuffer* buffer_;
+  TraceEvent event_;
+};
+
+/// Records a zero-duration instant event ("something happened here") —
+/// guard escalations, cache cap hits, and similar point occurrences.
+void trace_instant(const char* name, TraceLevel level = TraceLevel::Decide,
+                   const char* category = "recoverd");
+
+/// Serialises a snapshot in Chrome trace-event JSON ("traceEvents" array of
+/// "X"/"i" phase events, timestamps in microseconds) — loadable in Perfetto
+/// and chrome://tracing. Dropped-event counts land in "otherData".
+void write_chrome_trace(std::ostream& os, const TraceSnapshot& snapshot);
+
+/// Drains and writes to `path`. Throws ModelError when the file cannot be
+/// opened. Disables collection first so the drain sees quiescent buffers.
+void write_trace_file(const std::string& path);
+
+}  // namespace recoverd::obs

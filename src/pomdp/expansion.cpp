@@ -8,6 +8,7 @@
 
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pomdp/belief.hpp"
 #include "util/check.hpp"
 
@@ -296,6 +297,13 @@ struct ExpansionEngine::Workspace {
   MemoCache memo;
   std::size_t slot = 0;  // leaf slot passed to SpanLeaf calls
 
+  // Provenance tallies (ExpansionOptions::stats): private per workspace so
+  // fan-out workers never contend, folded deterministically by
+  // note_expansion_finished(). `collect_stats` mirrors options.stats !=
+  // nullptr for the current expansion.
+  ExpansionNodeStats local_stats;
+  bool collect_stats = false;
+
   // Frontier scratch (evaluate_frontier): leaf values in branch order, the
   // memo hash per branch, and the gathered cache-miss rows fed to the leaf
   // batch entry point. Capacities persist like the frame buffers.
@@ -401,6 +409,8 @@ void ExpansionEngine::evaluate_frontier(Workspace& ws, Frame& fr, const SpanLeaf
   const std::size_t num_states = pomdp_->num_states();
   const std::size_t n = fr.num_kept;
   if (n == 0) return;
+  obs::TraceSpan span("expansion.leaf_frontier", obs::TraceLevel::Full);
+  span.arg("count", static_cast<double>(n));
   ws.frontier_values.resize(n);
   double* values = ws.frontier_values.data();
 
@@ -420,6 +430,7 @@ void ExpansionEngine::evaluate_frontier(Workspace& ws, Frame& fr, const SpanLeaf
       }
     }
     leaf_evaluations_counter().add(n);
+    if (ws.collect_stats) ws.local_stats.leaf_evaluations += n;
   } else {
     ws.frontier_hashes.resize(n);
     ws.frontier_miss_rows.resize(n * num_states);
@@ -438,6 +449,7 @@ void ExpansionEngine::evaluate_frontier(Workspace& ws, Frame& fr, const SpanLeaf
         ++miss_count;
       }
     }
+    span.arg("misses", static_cast<double>(miss_count));
     if (miss_count > 0) {
       double* miss_values = ws.frontier_miss_values.data();
       if (leaf.has_batch() && miss_count > 1) {
@@ -450,6 +462,7 @@ void ExpansionEngine::evaluate_frontier(Workspace& ws, Frame& fr, const SpanLeaf
         }
       }
       leaf_evaluations_counter().add(miss_count);
+      if (ws.collect_stats) ws.local_stats.leaf_evaluations += miss_count;
       for (std::size_t j = 0; j < miss_count; ++j) {
         const std::size_t i = ws.frontier_miss_index[j];
         values[i] = miss_values[j];
@@ -483,6 +496,9 @@ double ExpansionEngine::expand_iterative(Workspace& ws, std::size_t base_level,
   MemoCache& memo = ws.memo;
   std::size_t top = base_level;
   ws.frames[top].begin_node(belief, pomdp, options);
+  // Frame index == root distance on the action_values path (base_level 1
+  // under a root successor), which is the only path that plumbs stats.
+  if (ws.collect_stats) ws.local_stats.note_node(top);
   for (;;) {
     Frame& fr = ws.frames[top];
     if (fr.done) {
@@ -531,6 +547,7 @@ double ExpansionEngine::expand_iterative(Workspace& ws, std::size_t base_level,
     fr.pending_gamma = gamma;
     ++top;
     ws.frames[top].begin_node(child, pomdp, options);
+    if (ws.collect_stats) ws.local_stats.note_node(top);
   }
 }
 
@@ -592,12 +609,16 @@ void ExpansionEngine::compute_action_value_range(Workspace& ws,
                                                  std::vector<ActionValue>& out) {
   ws.ensure(depth);
   ws.memo.configure(options);
+  ws.collect_stats = options.stats != nullptr;
+  if (ws.collect_stats) ws.local_stats.reset();
   const Pomdp& pomdp = *pomdp_;
   for (std::size_t a = begin; a < pomdp.num_actions(); a += step) {
     if (a == options.skip_action) {
       out[a] = {a, kNegInf};
       continue;
     }
+    obs::TraceSpan span("expansion.root_action", obs::TraceLevel::Full);
+    span.arg("action", static_cast<double>(a));
     const double immediate = linalg::dot(pomdp.mdp().rewards(a), belief);
     const double future = root_action_future(ws, belief, a, depth, leaf, options);
     out[a] = {a, immediate + future};
@@ -610,16 +631,22 @@ double ExpansionEngine::value(std::span<const double> belief, int depth,
   check_common_options(*pomdp_, belief, options);
   if (depth == 0) {
     leaf_evaluations_counter().add();
+    if (options.stats != nullptr) {
+      options.stats->reset();
+      options.stats->leaf_evaluations = 1;
+    }
     return leaf(belief, main_->slot);
   }
   main_->ensure(depth);
   main_->memo.configure(options);
+  main_->collect_stats = options.stats != nullptr;
+  if (main_->collect_stats) main_->local_stats.reset();
   // value() is always serial, so one cache may span the whole tree: root
   // actions share subtree values here, which action_values() forgoes for
   // cross-worker determinism.
   if (main_->memo.enabled) main_->memo.clear();
   const double result = expand_iterative(*main_, 0, belief, depth, leaf, options);
-  note_expansion_finished();
+  note_expansion_finished(options.stats);
   return result;
 }
 
@@ -634,6 +661,9 @@ void ExpansionEngine::action_values(std::span<const double> belief, int depth,
 
   const auto jobs =
       std::min<std::size_t>(static_cast<std::size_t>(options.root_jobs), num_actions);
+  obs::TraceSpan span("expansion.action_values", obs::TraceLevel::Decide);
+  span.arg("depth", static_cast<double>(depth));
+  span.arg("jobs", static_cast<double>(jobs));
   if (jobs <= 1) {
     compute_action_value_range(*main_, belief, depth, leaf, options, 0, 1, out);
   } else {
@@ -648,12 +678,21 @@ void ExpansionEngine::action_values(std::span<const double> belief, int depth,
     workers.reserve(jobs);
     for (std::size_t t = 0; t < jobs; ++t) {
       workers.emplace_back([&, t] {
+        obs::TraceSpan worker_span("expansion.worker", obs::TraceLevel::Full);
+        worker_span.arg("worker", static_cast<double>(t));
         compute_action_value_range(*pool_[t], belief, depth, leaf, options, t, jobs, out);
       });
     }
     for (auto& w : workers) w.join();
   }
-  note_expansion_finished();
+  if (options.stats != nullptr) {
+    // The root Max node (counted into nodes_expanded_counter above) is
+    // level 0; the workspaces only see its children onward.
+    note_expansion_finished(options.stats);
+    options.stats->note_node(0);
+  } else {
+    note_expansion_finished(nullptr);
+  }
 }
 
 ActionValue ExpansionEngine::best_action(std::span<const double> belief, int depth,
@@ -677,10 +716,13 @@ std::size_t ExpansionEngine::arena_bytes() const {
   return total;
 }
 
-void ExpansionEngine::note_expansion_finished() {
+void ExpansionEngine::note_expansion_finished(ExpansionNodeStats* stats) {
   // Drain the per-workspace memo tallies in a fixed order (main, then the
   // pool by worker index). Runs after any fan-out joins, so the shared
-  // counters see one deterministic batch per expansion.
+  // counters see one deterministic batch per expansion. The provenance
+  // stats fold in the same pass and the same order — integer sums, so the
+  // result is identical for any worker count.
+  if (stats != nullptr) stats->reset();
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
@@ -693,9 +735,23 @@ void ExpansionEngine::note_expansion_finished() {
     capped += ws.memo.capped_insertions;
     ws.memo.hits = ws.memo.misses = ws.memo.insertions = ws.memo.capped_insertions = 0;
     memo_bytes += ws.memo.bytes();
+    if (stats != nullptr && ws.collect_stats) {
+      stats->nodes += ws.local_stats.nodes;
+      stats->leaf_evaluations += ws.local_stats.leaf_evaluations;
+      for (std::size_t l = 0; l < ExpansionNodeStats::kMaxLevels; ++l) {
+        stats->nodes_per_level[l] += ws.local_stats.nodes_per_level[l];
+      }
+    }
+    ws.local_stats.reset();
+    ws.collect_stats = false;
   };
   drain(*main_);
   for (const auto& ws : pool_) drain(*ws);
+  if (stats != nullptr) {
+    stats->memo_hits = hits;
+    stats->memo_misses = misses;
+    stats->memo_insertions = insertions;
+  }
   if (hits + misses + insertions + capped > 0) {
     MemoInstruments& instruments = MemoInstruments::get();
     if (hits > 0) instruments.hits.add(hits);

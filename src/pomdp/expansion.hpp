@@ -42,7 +42,9 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -158,6 +160,34 @@ class SpanLeaf {
   std::size_t cost_hint_ = kDefaultCostHint;
 };
 
+/// Per-expansion work tallies, opted into via ExpansionOptions::stats for
+/// decision-provenance records (obs/provenance.hpp). Unlike the global
+/// pomdp.bellman.* counters — which concurrent episodes under --jobs write
+/// into simultaneously — these are tallied inside the engine's private
+/// workspaces and folded in a fixed order (main workspace, then fan-out
+/// workers by index) after any join, so they describe exactly one
+/// expansion and are bit-identical across root_jobs worker counts.
+struct ExpansionNodeStats {
+  /// Per-level tallies cover root distance 0 (the root Max node) through
+  /// kMaxLevels-1; deeper nodes fold into the last slot. Meaningful on the
+  /// action_values() path, where frame index equals root distance.
+  static constexpr std::size_t kMaxLevels = 8;
+
+  std::uint64_t nodes = 0;             ///< Max nodes opened
+  std::uint64_t leaf_evaluations = 0;  ///< bound evaluations performed
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  std::uint64_t memo_insertions = 0;
+  std::array<std::uint64_t, kMaxLevels> nodes_per_level{};
+
+  void reset() { *this = ExpansionNodeStats{}; }
+
+  void note_node(std::size_t level) {
+    ++nodes;
+    ++nodes_per_level[std::min(level, kMaxLevels - 1)];
+  }
+};
+
 /// Knobs of one expansion, mirroring the bellman_* parameters.
 struct ExpansionOptions {
   double beta = 1.0;             ///< discount per tree level, in [0,1]
@@ -180,6 +210,10 @@ struct ExpansionOptions {
   /// root-action subtree (lookups keep working); nothing is evicted, since
   /// entries only live until the next root action clears the cache.
   std::size_t memo_max_bytes = 64ull << 20;
+  /// When non-null, reset at the start of value()/action_values() and
+  /// filled with that one expansion's work tallies (provenance). Purely
+  /// observational: never read by the walk, so values are unchanged.
+  ExpansionNodeStats* stats = nullptr;
 };
 
 /// Iterative Max-Avg expansion over a reusable workspace arena. One engine
@@ -240,7 +274,7 @@ class ExpansionEngine {
                                   std::vector<ActionValue>& out);
   void evaluate_frontier(Workspace& ws, Frame& fr, const SpanLeaf& leaf,
                          const ExpansionOptions& options);
-  void note_expansion_finished();
+  void note_expansion_finished(ExpansionNodeStats* stats);
 
   const Pomdp* pomdp_;
   std::unique_ptr<Workspace> main_;

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -114,6 +115,9 @@ EpisodeMetrics run_episode(Environment& env, controller::RecoveryController& con
   EpisodeMetrics metrics;
   metrics.injected_fault = fault;
 
+  obs::TraceSpan episode_span("sim.episode", obs::TraceLevel::Decide);
+  episode_span.arg("fault", static_cast<double>(fault));
+
   env.reset(fault);
   controller.begin_episode(initial_belief(controller.model(), env_model, config));
   if (trace != nullptr) *trace = EpisodeTrace{}, trace->set_injected_fault(fault);
@@ -135,6 +139,8 @@ EpisodeMetrics run_episode(Environment& env, controller::RecoveryController& con
   }
 
   for (std::size_t i = 0; i < config.max_steps; ++i) {
+    obs::TraceSpan step_span("sim.step", obs::TraceLevel::Full);
+    step_span.arg("step", static_cast<double>(i));
     const Timer decide_timer;
     const controller::Decision decision = controller.decide();
     algorithm_ms += decide_timer.elapsed_ms();

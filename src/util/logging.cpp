@@ -34,6 +34,15 @@ std::mutex& log_mutex() {
   static std::mutex mutex;
   return mutex;
 }
+
+// Small stable per-thread index (0 = whichever thread logs first, usually
+// main) — far more readable in interleaved --jobs output than the kernel's
+// opaque thread id, and stable across a thread's lifetime.
+int thread_log_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
@@ -42,8 +51,9 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
-  char stamp[32];
-  std::snprintf(stamp, sizeof(stamp), "%12.6f", monotonic_seconds());
+  char stamp[48];
+  std::snprintf(stamp, sizeof(stamp), "%12.6f] [T%02d", monotonic_seconds(),
+                thread_log_id());
   // One mutex-guarded write per line: concurrent bench runs must not
   // interleave characters of different messages.
   std::lock_guard<std::mutex> lock(log_mutex());

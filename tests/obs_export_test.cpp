@@ -24,6 +24,38 @@ void populate(MetricsRegistry& reg) {
   h.observe(10.0);
 }
 
+TEST(Json, EscapesQuotesBackslashesAndControlChars) {
+  // Regression: names containing quotes, backslashes, or control characters
+  // must survive a write → parse round-trip unchanged.
+  Json::Object obj;
+  const std::string awkward = "he said \"hi\\there\"\x01\n\twith\x1f controls";
+  obj[awkward] = Json(std::string("\"\\\b\f\n\r\t\x00\x1e", 9));
+  std::ostringstream os;
+  Json(std::move(obj)).write(os);
+  const std::string text = os.str();
+  // Raw control bytes must never reach the output stream.
+  for (const char c : text) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  const Json back = Json::parse(text);
+  ASSERT_TRUE(back.contains(awkward));
+  EXPECT_EQ(back.at(awkward).as_string(), std::string("\"\\\b\f\n\r\t\x00\x1e", 9));
+}
+
+TEST(Json, ParsesSurrogatePairsAsSingleCodePoints) {
+  // 😀 is U+1F600; the pair must decode to one 4-byte UTF-8
+  // sequence, not two 3-byte CESU-8 halves.
+  EXPECT_EQ(Json::parse("\"\\uD83D\\uDE00\"").as_string(), "\xF0\x9F\x98\x80");
+  // A lone high surrogate stays lenient (no throw), and a high surrogate
+  // followed by a non-surrogate escape must not swallow the second escape.
+  EXPECT_EQ(Json::parse("\"\\uD83D\\u0041\"").as_string().back(), 'A');
+  // Round-trip: the writer re-escapes the astral code point or emits raw
+  // UTF-8; either way the parse must return the identical string.
+  Json::Object obj;
+  obj["emoji"] = Json(std::string("\xF0\x9F\x98\x80"));
+  std::ostringstream os;
+  Json(std::move(obj)).write(os);
+  EXPECT_EQ(Json::parse(os.str()).at("emoji").as_string(), "\xF0\x9F\x98\x80");
+}
+
 TEST(Json, ParsesScalarsAndContainers) {
   EXPECT_TRUE(Json::parse("null").is_null());
   EXPECT_TRUE(Json::parse("true").as_bool());
@@ -120,8 +152,9 @@ TEST(Export, CsvEmitsOneRowPerScalar) {
   while (std::getline(lines, line)) rows.push_back(line);
   ASSERT_FALSE(rows.empty());
   EXPECT_EQ(rows[0], "metric,kind,field,value");
-  // 1 counter + 1 gauge + histogram (count/sum/min/max + 4 buckets) = 10 rows.
-  EXPECT_EQ(rows.size(), 1u + 1u + 1u + 8u);
+  // 1 counter + 1 gauge + histogram (count/sum/min/max + p50/p90/p99 +
+  // 4 buckets) = 13 rows.
+  EXPECT_EQ(rows.size(), 1u + 1u + 1u + 11u);
   EXPECT_NE(out.find("linalg.gauss_seidel.sweeps,counter,value,16"), std::string::npos);
   EXPECT_NE(out.find("bounds.set.size,gauge,value,43"), std::string::npos);
   EXPECT_NE(out.find("controller.bounded.decide_ms,histogram,count,3"), std::string::npos);

@@ -1,0 +1,152 @@
+// Decision-provenance records (obs/provenance.hpp): bit-exact JSON
+// round-trips, the JSONL sink lifecycle, and the disabled-path no-op.
+#include "obs/provenance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace recoverd::obs {
+namespace {
+
+DecisionProvenance sample_record() {
+  DecisionProvenance record;
+  record.sequence = 41;
+  record.controller = "interval";
+  record.chosen_action = 3;
+  record.terminate = false;
+  record.stage = "degraded";
+  record.configured_depth = 3;
+  record.achieved_depth = 2;
+  record.decide_ms = 17.25;
+  record.bound_generation = 12;
+  record.bound_size = 7;
+  record.expansion.nodes = 1234;
+  record.expansion.leaf_evaluations = 987;
+  record.expansion.memo_hits = 55;
+  record.expansion.memo_misses = 66;
+  record.expansion.memo_insertions = 44;
+  record.expansion.nodes_per_level = {1, 16, 256};
+  // Awkward doubles: values that only survive a 17-significant-digit
+  // round-trip, negatives, and a subnormal-ish magnitude.
+  record.actions.push_back({0, 1.0 / 3.0, 0.0, false, false});
+  record.actions.push_back({1, -123.456789012345678, 0.1 + 0.2, true, false});
+  record.actions.push_back({2, -1e-17, 2.0, true, true});
+  record.actions.push_back({3, 5.5, 6.5, true, false});
+  return record;
+}
+
+void expect_equal(const DecisionProvenance& a, const DecisionProvenance& b) {
+  EXPECT_EQ(a.sequence, b.sequence);
+  EXPECT_EQ(a.controller, b.controller);
+  EXPECT_EQ(a.chosen_action, b.chosen_action);
+  EXPECT_EQ(a.terminate, b.terminate);
+  EXPECT_EQ(a.stage, b.stage);
+  EXPECT_EQ(a.configured_depth, b.configured_depth);
+  EXPECT_EQ(a.achieved_depth, b.achieved_depth);
+  EXPECT_EQ(a.decide_ms, b.decide_ms);
+  EXPECT_EQ(a.bound_generation, b.bound_generation);
+  EXPECT_EQ(a.bound_size, b.bound_size);
+  EXPECT_EQ(a.expansion.nodes, b.expansion.nodes);
+  EXPECT_EQ(a.expansion.leaf_evaluations, b.expansion.leaf_evaluations);
+  EXPECT_EQ(a.expansion.memo_hits, b.expansion.memo_hits);
+  EXPECT_EQ(a.expansion.memo_misses, b.expansion.memo_misses);
+  EXPECT_EQ(a.expansion.memo_insertions, b.expansion.memo_insertions);
+  EXPECT_EQ(a.expansion.nodes_per_level, b.expansion.nodes_per_level);
+  ASSERT_EQ(a.actions.size(), b.actions.size());
+  for (std::size_t i = 0; i < a.actions.size(); ++i) {
+    EXPECT_EQ(a.actions[i].action, b.actions[i].action);
+    // Bit-exact: the acceptance criterion compares the written bounds with
+    // the controller's in-memory doubles via operator==.
+    EXPECT_EQ(a.actions[i].lower, b.actions[i].lower);
+    EXPECT_EQ(a.actions[i].has_upper, b.actions[i].has_upper);
+    if (a.actions[i].has_upper) {
+      EXPECT_EQ(a.actions[i].upper, b.actions[i].upper);
+    }
+    EXPECT_EQ(a.actions[i].pruned, b.actions[i].pruned);
+  }
+}
+
+TEST(Provenance, JsonRoundTripIsBitExact) {
+  const DecisionProvenance record = sample_record();
+  const std::string line = provenance_to_json(record);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "records must be one line";
+  expect_equal(record, provenance_from_json(line));
+}
+
+TEST(Provenance, TerminateRecordRoundTrips) {
+  DecisionProvenance record;
+  record.controller = "bounded";
+  record.stage = "goal-certain";
+  record.chosen_action = -1;
+  record.terminate = true;
+  expect_equal(record, provenance_from_json(provenance_to_json(record)));
+}
+
+TEST(Provenance, FromJsonRejectsMalformedInput) {
+  EXPECT_THROW(provenance_from_json("not json"), ModelError);
+  EXPECT_THROW(provenance_from_json("{\"schema\":\"wrong.v1\"}"), ModelError);
+}
+
+TEST(Provenance, DisabledEmitIsANoOp) {
+  close_provenance();
+  EXPECT_FALSE(provenance_enabled());
+  emit_provenance(sample_record());  // must not crash or write anywhere
+}
+
+TEST(Provenance, SinkAssignsSequencesAndAppendsJsonl) {
+  const std::string path = ::testing::TempDir() + "recoverd_provenance_test.jsonl";
+  open_provenance(path);
+  EXPECT_TRUE(provenance_enabled());
+  emit_provenance(sample_record());
+  DecisionProvenance second = sample_record();
+  second.controller = "bounded";
+  emit_provenance(second);
+  close_provenance();
+  EXPECT_FALSE(provenance_enabled());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  const DecisionProvenance first = provenance_from_json(lines[0]);
+  EXPECT_EQ(first.sequence, 0u);
+  EXPECT_EQ(first.controller, "interval");
+  const DecisionProvenance next = provenance_from_json(lines[1]);
+  EXPECT_EQ(next.sequence, 1u);
+  EXPECT_EQ(next.controller, "bounded");
+  std::remove(path.c_str());
+}
+
+TEST(Provenance, ReopeningTruncatesAndRestartsSequence) {
+  const std::string path = ::testing::TempDir() + "recoverd_provenance_test2.jsonl";
+  open_provenance(path);
+  emit_provenance(sample_record());
+  close_provenance();
+  open_provenance(path);
+  emit_provenance(sample_record());
+  close_provenance();
+
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(provenance_from_json(lines[0]).sequence, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Provenance, OpenThrowsOnUnopenablePath) {
+  EXPECT_THROW(open_provenance("/nonexistent-dir/provenance.jsonl"), ModelError);
+  EXPECT_FALSE(provenance_enabled());
+}
+
+}  // namespace
+}  // namespace recoverd::obs

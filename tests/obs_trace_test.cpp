@@ -1,0 +1,193 @@
+// The span-tracing flight recorder (obs/trace.hpp): level gating, ring
+// overwrite semantics, multi-thread drains, and the Chrome trace-event
+// serialisation contract (DESIGN.md §12).
+//
+// Tracing state is process-global, so every test starts from a clean
+// disable_tracing() + reset_tracing() and restores it on exit.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::obs {
+namespace {
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  TraceFixture() {
+    disable_tracing();
+    reset_tracing();
+  }
+  ~TraceFixture() override {
+    disable_tracing();
+    reset_tracing();
+  }
+};
+
+TEST_F(TraceFixture, DisabledByDefaultAndSpansAreInactive) {
+  EXPECT_EQ(trace_level(), TraceLevel::Off);
+  TraceSpan span("trace_test.noop", TraceLevel::Decide);
+  EXPECT_FALSE(span.active());
+  span.arg("ignored", 1.0);
+  span.end();
+  EXPECT_TRUE(drain_trace().events.empty());
+}
+
+TEST_F(TraceFixture, RecordsSpansWithArgsWhenEnabled) {
+  enable_tracing(TraceLevel::Decide);
+  {
+    TraceSpan outer("trace_test.outer", TraceLevel::Decide);
+    ASSERT_TRUE(outer.active());
+    outer.arg("depth", 3.0);
+    outer.arg("jobs", 2.0);
+    outer.arg("dropped-third-arg", 9.0);  // capacity is two
+    TraceSpan inner("trace_test.inner", TraceLevel::Decide);
+  }
+  trace_instant("trace_test.instant", TraceLevel::Decide);
+  disable_tracing();
+
+  const TraceSnapshot snap = drain_trace();
+  ASSERT_EQ(snap.events.size(), 3u);
+  EXPECT_EQ(snap.dropped, 0u);
+
+  // Sorted by start time within the thread: outer began before inner, and
+  // the instant fired last.
+  const TraceEvent& outer = snap.events[0];
+  const TraceEvent& inner = snap.events[1];
+  const TraceEvent& instant = snap.events[2];
+  EXPECT_STREQ(outer.name, "trace_test.outer");
+  EXPECT_EQ(outer.num_args, 2);
+  EXPECT_STREQ(outer.arg_names[0], "depth");
+  EXPECT_EQ(outer.arg_values[0], 3.0);
+  EXPECT_EQ(outer.arg_values[1], 2.0);
+  EXPECT_STREQ(inner.name, "trace_test.inner");
+  // Timestamp containment is what conveys nesting in the Chrome format.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+  EXPECT_STREQ(instant.name, "trace_test.instant");
+  EXPECT_TRUE(instant.instant);
+  EXPECT_EQ(instant.dur_ns, 0u);
+}
+
+TEST_F(TraceFixture, DecideLevelSkipsFullSpans) {
+  enable_tracing(TraceLevel::Decide);
+  { TraceSpan span("trace_test.full_only", TraceLevel::Full); }
+  { TraceSpan span("trace_test.decide", TraceLevel::Decide); }
+  disable_tracing();
+  const TraceSnapshot snap = drain_trace();
+  ASSERT_EQ(snap.events.size(), 1u);
+  EXPECT_STREQ(snap.events[0].name, "trace_test.decide");
+}
+
+TEST_F(TraceFixture, RingOverwritesOldestAndCountsDrops) {
+  enable_tracing(TraceLevel::Full, 1024);  // the minimum ring size
+  // Churn on a fresh thread so its buffer is allocated at the 1024-event
+  // capacity (a thread that traced earlier keeps its original ring).
+  std::thread churner([] {
+    for (int i = 0; i < 1500; ++i) {
+      TraceSpan span("trace_test.churn", TraceLevel::Full);
+      span.arg("i", static_cast<double>(i));
+    }
+  });
+  churner.join();
+  disable_tracing();
+  const TraceSnapshot snap = drain_trace();
+  EXPECT_EQ(snap.events.size(), 1024u);
+  EXPECT_EQ(snap.dropped, 1500u - 1024u);
+  // A flight recorder keeps the *latest* window: the final event survives.
+  EXPECT_EQ(snap.events.back().arg_values[0], 1499.0);
+  EXPECT_EQ(snap.events.front().arg_values[0], static_cast<double>(1500 - 1024));
+}
+
+TEST_F(TraceFixture, DrainCoversExitedThreads) {
+  enable_tracing(TraceLevel::Decide);
+  std::thread worker([] { TraceSpan span("trace_test.worker", TraceLevel::Decide); });
+  worker.join();
+  { TraceSpan span("trace_test.main", TraceLevel::Decide); }
+  disable_tracing();
+  const TraceSnapshot snap = drain_trace();
+  ASSERT_EQ(snap.events.size(), 2u);
+  EXPECT_NE(snap.events[0].tid, snap.events[1].tid);
+}
+
+TEST_F(TraceFixture, ResetDropsBufferedEvents) {
+  enable_tracing(TraceLevel::Decide);
+  { TraceSpan span("trace_test.gone", TraceLevel::Decide); }
+  disable_tracing();
+  reset_tracing();
+  EXPECT_TRUE(drain_trace().events.empty());
+  EXPECT_EQ(drain_trace().dropped, 0u);
+}
+
+TEST_F(TraceFixture, ParseTraceLevelRoundTripsAndRejectsUnknown) {
+  EXPECT_EQ(parse_trace_level("off"), TraceLevel::Off);
+  EXPECT_EQ(parse_trace_level("decide"), TraceLevel::Decide);
+  EXPECT_EQ(parse_trace_level("full"), TraceLevel::Full);
+  EXPECT_STREQ(trace_level_name(TraceLevel::Full), "full");
+  EXPECT_THROW(parse_trace_level("verbose"), PreconditionError);
+}
+
+TEST_F(TraceFixture, ChromeTraceJsonIsWellFormed) {
+  enable_tracing(TraceLevel::Decide);
+  {
+    TraceSpan span("trace_test.chrome", TraceLevel::Decide);
+    span.arg("count", 7.0);
+  }
+  trace_instant("trace_test.mark", TraceLevel::Decide);
+  disable_tracing();
+
+  std::ostringstream os;
+  write_chrome_trace(os, drain_trace());
+  const Json doc = Json::parse(os.str());
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("name").as_string(), "trace_test.chrome");
+  EXPECT_EQ(events[0].at("ph").as_string(), "X");
+  EXPECT_EQ(events[0].at("pid").as_number(), 1.0);
+  EXPECT_GE(events[0].at("dur").as_number(), 0.0);
+  EXPECT_EQ(events[0].at("args").at("count").as_number(), 7.0);
+  EXPECT_EQ(events[1].at("ph").as_string(), "i");
+  EXPECT_EQ(doc.at("otherData").at("schema").as_string(), "recoverd.trace.v1");
+  EXPECT_EQ(doc.at("otherData").at("dropped_events").as_number(), 0.0);
+}
+
+TEST_F(TraceFixture, ChromeTraceEscapesAwkwardNames) {
+  enable_tracing(TraceLevel::Decide);
+  { TraceSpan span("weird \"name\"\\with\tescapes", TraceLevel::Decide); }
+  disable_tracing();
+  std::ostringstream os;
+  write_chrome_trace(os, drain_trace());
+  const Json doc = Json::parse(os.str());
+  EXPECT_EQ(doc.at("traceEvents").as_array()[0].at("name").as_string(),
+            "weird \"name\"\\with\tescapes");
+}
+
+TEST_F(TraceFixture, WriteTraceFileDisablesAndPersists) {
+  const std::string path = ::testing::TempDir() + "recoverd_trace_test.json";
+  enable_tracing(TraceLevel::Decide);
+  { TraceSpan span("trace_test.file", TraceLevel::Decide); }
+  write_trace_file(path);
+  EXPECT_EQ(trace_level(), TraceLevel::Off);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+  EXPECT_EQ(doc.at("traceEvents").as_array().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceFixture, WriteTraceFileThrowsOnUnopenablePath) {
+  EXPECT_THROW(write_trace_file("/nonexistent-dir/trace.json"), ModelError);
+}
+
+}  // namespace
+}  // namespace recoverd::obs

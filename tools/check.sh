@@ -16,11 +16,16 @@
 #      legacy-vs-SCC parity and bitwise determinism across --solver-jobs);
 #      exits nonzero if any correctness check fails.
 #
+#   6. trace: emn_recovery with --trace-out/--provenance-out, folded through
+#      tools/trace2summary.py — a smoke test that the span trace is valid
+#      Chrome-trace JSON and the provenance JSONL parses.
+#
 # Usage: tools/check.sh            # all passes
 #        SKIP_SANITIZE=1 tools/check.sh   # skip the ASan/UBSan pass
 #        SKIP_TSAN=1 tools/check.sh       # skip the ThreadSanitizer pass
 #        SKIP_ROBUSTNESS=1 tools/check.sh # skip the chaos soak
 #        SKIP_SCALING=1 tools/check.sh    # skip the scaling smoke
+#        SKIP_TRACE=1 tools/check.sh      # skip the trace smoke
 #        JOBS=8 tools/check.sh     # override parallelism
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -47,8 +52,10 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   # the pass fast; gtest_discover_tests registers their cases at build time.
   cmake --build build-tsan -j "$JOBS" \
     --target sim_parallel_experiment_test pomdp_expansion_parity_test \
-             pomdp_memo_test linalg_scc_test linalg_parallel_solve_test
-  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "Parallel|Scc|Memo"
+             pomdp_memo_test linalg_scc_test linalg_parallel_solve_test \
+             obs_trace_test trace_parity_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R "Parallel|Scc|Memo|Trace"
 fi
 
 if [[ "${SKIP_ROBUSTNESS:-0}" != "1" ]]; then
@@ -72,6 +79,19 @@ if [[ "${SKIP_SCALING:-0}" != "1" ]]; then
   # across-jobs check fails.
   cmake --build build -j "$JOBS" --target scaling_campaign
   ./build/bench/scaling_campaign --smoke --out=/tmp/recoverd_scaling_smoke.json
+fi
+
+if [[ "${SKIP_TRACE:-0}" != "1" ]]; then
+  echo "== trace: span trace + provenance smoke (emn_recovery → trace2summary) =="
+  cmake --build build -j "$JOBS" --target emn_recovery
+  ./build/examples/emn_recovery --trace-out=/tmp/recoverd_trace_smoke.json \
+    --trace-level=full --provenance-out=/tmp/recoverd_provenance_smoke.jsonl \
+    > /dev/null
+  # trace2summary exits nonzero when the file is not valid trace JSON; the
+  # grep asserts the decide() phase actually got instrumented.
+  python3 tools/trace2summary.py /tmp/recoverd_trace_smoke.json \
+    | grep -q "controller.decide"
+  [[ -s /tmp/recoverd_provenance_smoke.jsonl ]]
 fi
 
 echo "All checks passed."

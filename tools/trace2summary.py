@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fold a recoverd Chrome-trace JSON file into a per-phase time breakdown.
+
+Reads the `--trace-out` file produced by any recoverd binary and prints, per
+span name, the call count, total (inclusive) time, and *self* time — total
+minus the time spent in spans nested inside it on the same thread. Nesting
+is recovered from timestamp containment, exactly the way Perfetto renders
+"X" complete events.
+
+Usage:
+    tools/trace2summary.py trace.json
+    some_binary --trace-out=/dev/stdout | tools/trace2summary.py
+
+Output is a TSV table sorted by self time (descending):
+    name  count  total_ms  self_ms  avg_us  dropped appended as a footer
+
+Exit status is non-zero when the file is not a recoverd trace (no
+"traceEvents" array), which lets check.sh use it as a smoke test of the
+trace pipeline.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") if path != "-" else sys.stdin as fh:
+        return json.load(fh)
+
+
+def summarize(doc):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise SystemExit("error: no 'traceEvents' array — not a trace file")
+
+    # Group complete ("X") spans per thread; instants are counted separately.
+    per_tid = defaultdict(list)
+    instants = defaultdict(int)
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "X":
+            per_tid[ev.get("tid", 0)].append(ev)
+        elif ph == "i":
+            instants[ev.get("name", "?")] += 1
+
+    stats = defaultdict(lambda: {"count": 0, "total_us": 0.0, "self_us": 0.0})
+    for tid_events in per_tid.values():
+        # Sort by start time, longest-first on ties, so a parent precedes the
+        # children it contains; a stack then recovers the nesting.
+        tid_events.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+        stack = []  # (end_ts, name) of currently open spans
+        for ev in tid_events:
+            start = ev["ts"]
+            dur = ev.get("dur", 0.0)
+            end = start + dur
+            while stack and stack[-1][0] <= start:
+                stack.pop()
+            name = ev.get("name", "?")
+            entry = stats[name]
+            entry["count"] += 1
+            entry["total_us"] += dur
+            entry["self_us"] += dur
+            if stack:  # subtract this span from the enclosing span's self time
+                stats[stack[-1][1]]["self_us"] -= dur
+            stack.append((end, name))
+
+    return stats, instants, doc.get("otherData", {}).get("dropped_events", 0)
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "-"
+    stats, instants, dropped = summarize(load(path))
+
+    rows = sorted(stats.items(), key=lambda kv: -kv[1]["self_us"])
+    print("name\tcount\ttotal_ms\tself_ms\tavg_us")
+    for name, s in rows:
+        avg = s["total_us"] / s["count"] if s["count"] else 0.0
+        print(
+            f"{name}\t{s['count']}\t{s['total_us'] / 1000.0:.3f}"
+            f"\t{s['self_us'] / 1000.0:.3f}\t{avg:.1f}"
+        )
+    for name, count in sorted(instants.items()):
+        print(f"{name} [instant]\t{count}\t-\t-\t-")
+    print(f"# dropped_events: {dropped}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
