@@ -16,6 +16,7 @@
 #include "controller/bootstrap.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
+#include "util/obs_main.hpp"
 
 namespace recoverd::bench {
 namespace {
@@ -90,15 +91,11 @@ int run(const CliArgs& args) {
 }  // namespace recoverd::bench
 
 int main(int argc, char** argv) {
-  const recoverd::CliArgs args(argc, argv);
   std::vector<std::string> known =
       {"iterations", "depth", "top", "seed", "capacity", "branch-floor",
        "termination-probability", "bootstrap-runs", "bootstrap-depth"};
-  const std::vector<std::string> obs_flags = recoverd::obs::obs_flag_names();
-  known.insert(known.end(), obs_flags.begin(), obs_flags.end());
-  args.require_known(known);
-  recoverd::obs::init_observability(args);
-  const int code = recoverd::bench::run(args);
-  recoverd::obs::finish_observability(args);
-  return code;
+  return recoverd::run_obs_main(argc, argv, std::move(known),
+                                [](const recoverd::CliArgs& args) {
+                                  return recoverd::bench::run(args);
+                                });
 }

@@ -43,6 +43,7 @@
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
+#include "util/obs_main.hpp"
 
 namespace recoverd::bench {
 namespace {
@@ -280,7 +281,6 @@ int run(const CliArgs& args) {
 }  // namespace recoverd::bench
 
 int main(int argc, char** argv) {
-  const recoverd::CliArgs args(argc, argv);
   std::vector<std::string> known = {
       "out",         "faults",
       "max-steps",   "top",         "seed",
@@ -288,11 +288,8 @@ int main(int argc, char** argv) {
       "bootstrap-runs", "bootstrap-depth", "jobs", "memo", "memo-max-mb"};
   const std::vector<std::string> robustness = recoverd::bench::robustness_flag_names();
   known.insert(known.end(), robustness.begin(), robustness.end());
-  const std::vector<std::string> obs_flags = recoverd::obs::obs_flag_names();
-  known.insert(known.end(), obs_flags.begin(), obs_flags.end());
-  args.require_known(known);
-  recoverd::obs::init_observability(args);
-  const int code = recoverd::bench::run(args);
-  recoverd::obs::finish_observability(args);
-  return code;
+  return recoverd::run_obs_main(argc, argv, std::move(known),
+                                [](const recoverd::CliArgs& args) {
+                                  return recoverd::bench::run(args);
+                                });
 }

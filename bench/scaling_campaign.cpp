@@ -48,6 +48,7 @@
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
+#include "util/obs_main.hpp"
 
 namespace recoverd::bench {
 namespace {
@@ -141,19 +142,10 @@ double max_abs_diff(std::span<const double> a, std::span<const double> b) {
 }  // namespace
 }  // namespace recoverd::bench
 
-int main(int argc, char** argv) {
+namespace {
+int run(const recoverd::CliArgs& args) {
   using namespace recoverd;
   using namespace recoverd::bench;
-
-  const CliArgs args(argc, argv);
-  std::vector<std::string> known = {"max-states", "smoke", "solver-jobs",
-                                    "legacy-max-states", "actions", "branching",
-                                    "locality", "forward-probability",
-                                    "relaxation", "seed", "out"};
-  const std::vector<std::string> obs_flags = obs::obs_flag_names();
-  known.insert(known.end(), obs_flags.begin(), obs_flags.end());
-  args.require_known(known);
-  obs::init_observability(args);
 
   const bool smoke = args.get_bool("smoke", false);
   const std::size_t max_states = static_cast<std::size_t>(
@@ -346,11 +338,19 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", out_path.c_str());
   }
 
-  obs::finish_observability(args);
-
   if (!all_checks_passed) {
     std::fprintf(stderr, "scaling campaign: CORRECTNESS CHECK FAILED\n");
     return 1;
   }
   return 0;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  return recoverd::run_obs_main(
+      argc, argv,
+      {"max-states", "smoke", "solver-jobs", "legacy-max-states", "actions",
+       "branching", "locality", "forward-probability", "relaxation", "seed",
+       "out"},
+      run);
 }

@@ -1,0 +1,321 @@
+// Throughput campaign for the batched decision engine (DESIGN.md §13): a
+// FleetDriver of N synchronized EMN recovery sessions per tick, swept over
+// fleet widths, against the looped single-session baseline.
+//
+// Per width the campaign measures steady-state decisions/second and per-tick
+// latency (p50/p99) of FleetMode::Batch, then re-measures the same schedule
+// in FleetMode::Loop (capped at --loop-sessions lanes — per-decision cost is
+// width-independent there, so the smaller fleet gives the same rate without
+// hour-long cells) and reports the speedup. Two checks gate
+// all_checks_passed:
+//   - parity: a Batch and a Loop fleet from the same seed stay bitwise
+//     identical (belief bits, chosen actions, episode tallies) tick by tick;
+//   - speedup ≥ 10 at every width ≥ 10000 sessions (the shared-subtree
+//     reuse claim the committed BENCH_throughput.json records).
+//
+// Flags:
+//   --sessions=N     largest fleet width (default 100000; sweep keeps
+//                    {1000, 10000, 100000} ∩ [1, N])
+//   --ticks=N        measured ticks per cell (default 20)
+//   --warmup=N       unmeasured warm-up ticks per cell (default 2 — first
+//                    ticks pay engine arena + batch scratch allocation)
+//   --loop-sessions=N  width cap of the Loop baseline cells (default 512)
+//   --parity-sessions=N, --parity-ticks=N
+//                    shape of the bitwise Batch-vs-Loop check (default 64×8)
+//   --smoke          tiny sweep {64, 256} × 5 ticks, no speedup gate (CI)
+//   --out=FILE       JSON report (default BENCH_throughput.json; schema
+//                    recoverd.throughput.v1)
+//   --seed, --capacity, --branch-floor, --bootstrap-runs, --bootstrap-depth,
+//   --memo, --memo-max-mb, --simd, --metrics-out, --trace-out, ...
+//                    shared knobs (bench_common / util/obs_main.hpp)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bounds/ra_bound.hpp"
+#include "controller/bootstrap.hpp"
+#include "obs/json.hpp"
+#include "sim/fleet_driver.hpp"
+#include "util/check.hpp"
+#include "util/obs_main.hpp"
+#include "util/simd.hpp"
+#include "util/timer.hpp"
+
+namespace recoverd::bench {
+namespace {
+
+struct CellResult {
+  std::size_t sessions = 0;
+  std::size_t ticks = 0;
+  double total_ms = 0.0;
+  double tick_ms_p50 = 0.0;
+  double tick_ms_p99 = 0.0;
+  std::size_t decisions = 0;
+  std::size_t classes = 0;
+  std::size_t shared_hits = 0;
+  std::size_t episodes = 0;
+  double decisions_per_sec = 0.0;
+};
+
+double percentile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const auto index = static_cast<std::size_t>(q * static_cast<double>(n - 1) + 0.5);
+  return sorted[std::min(index, n - 1)];
+}
+
+CellResult run_cell(const Pomdp& recovery, const Pomdp& base,
+                    bounds::BoundSet& set, const sim::FaultInjector& injector,
+                    std::uint64_t seed, const sim::FleetOptions& options,
+                    std::size_t warmup, std::size_t ticks) {
+  sim::FleetDriver fleet(recovery, base, set, injector, seed, options);
+  for (std::size_t i = 0; i < warmup; ++i) fleet.tick();
+
+  const sim::FleetStats before = fleet.stats();
+  std::vector<double> tick_ms;
+  tick_ms.reserve(ticks);
+  for (std::size_t i = 0; i < ticks; ++i) {
+    Timer timer;
+    fleet.tick();
+    tick_ms.push_back(timer.elapsed_ms());
+  }
+  const sim::FleetStats& after = fleet.stats();
+
+  CellResult cell;
+  cell.sessions = options.sessions;
+  cell.ticks = ticks;
+  for (const double ms : tick_ms) cell.total_ms += ms;
+  cell.tick_ms_p50 = percentile(tick_ms, 0.5);
+  cell.tick_ms_p99 = percentile(tick_ms, 0.99);
+  cell.decisions = after.decisions - before.decisions;
+  cell.classes = after.classes - before.classes;
+  cell.shared_hits = after.shared_hits - before.shared_hits;
+  cell.episodes = after.episodes_completed - before.episodes_completed;
+  cell.decisions_per_sec =
+      cell.total_ms > 0.0 ? 1000.0 * static_cast<double>(cell.decisions) / cell.total_ms
+                          : 0.0;
+  return cell;
+}
+
+obs::Json cell_json(const CellResult& cell) {
+  obs::Json::Object row;
+  row["sessions"] = static_cast<std::uint64_t>(cell.sessions);
+  row["ticks"] = static_cast<std::uint64_t>(cell.ticks);
+  row["total_ms"] = cell.total_ms;
+  row["tick_ms_p50"] = cell.tick_ms_p50;
+  row["tick_ms_p99"] = cell.tick_ms_p99;
+  row["decisions"] = static_cast<std::uint64_t>(cell.decisions);
+  row["classes"] = static_cast<std::uint64_t>(cell.classes);
+  row["shared_hits"] = static_cast<std::uint64_t>(cell.shared_hits);
+  row["episodes_completed"] = static_cast<std::uint64_t>(cell.episodes);
+  row["decisions_per_sec"] = cell.decisions_per_sec;
+  return obs::Json(std::move(row));
+}
+
+/// Bitwise lock-step comparison of a Batch and a Loop fleet from one seed.
+bool parity_check(const Pomdp& recovery, const Pomdp& base, bounds::BoundSet& set,
+                  const sim::FaultInjector& injector, std::uint64_t seed,
+                  sim::FleetOptions options, std::size_t sessions, std::size_t ticks) {
+  options.sessions = sessions;
+  options.mode = sim::FleetMode::Batch;
+  sim::FleetDriver batch(recovery, base, set, injector, seed, options);
+  options.mode = sim::FleetMode::Loop;
+  sim::FleetDriver loop(recovery, base, set, injector, seed, options);
+
+  const std::size_t num_states = recovery.num_states();
+  for (std::size_t t = 0; t <= ticks; ++t) {
+    if (t > 0) {
+      batch.tick();
+      loop.tick();
+    }
+    for (StateId s = 0; s < num_states; ++s) {
+      const auto a = batch.beliefs().state_lanes(s);
+      const auto b = loop.beliefs().state_lanes(s);
+      if (std::memcmp(a.data(), b.data(), sessions * sizeof(double)) != 0) {
+        std::fprintf(stderr,
+                     "throughput parity: belief bits diverged (tick %zu, state %zu)\n",
+                     t, static_cast<std::size_t>(s));
+        return false;
+      }
+    }
+    if (t > 0 && !std::equal(batch.last_actions().begin(), batch.last_actions().end(),
+                             loop.last_actions().begin())) {
+      std::fprintf(stderr, "throughput parity: actions diverged (tick %zu)\n", t);
+      return false;
+    }
+    const sim::FleetStats& sb = batch.stats();
+    const sim::FleetStats& sl = loop.stats();
+    if (sb.decisions != sl.decisions ||
+        sb.episodes_completed != sl.episodes_completed ||
+        sb.episodes_recovered != sl.episodes_recovered ||
+        sb.episodes_truncated != sl.episodes_truncated ||
+        sb.belief_mismatches != sl.belief_mismatches) {
+      std::fprintf(stderr, "throughput parity: episode tallies diverged (tick %zu)\n", t);
+      return false;
+    }
+  }
+  return true;
+}
+
+int run(const CliArgs& args) {
+  const EmnExperimentSetup setup = parse_emn_setup(args);
+  const bool smoke = args.get_bool("smoke", false);
+  const auto max_sessions =
+      static_cast<std::size_t>(args.get_int("sessions", smoke ? 256 : 100000));
+  const auto ticks = static_cast<std::size_t>(args.get_int("ticks", smoke ? 5 : 20));
+  const auto warmup = static_cast<std::size_t>(args.get_int("warmup", 2));
+  const auto loop_sessions =
+      static_cast<std::size_t>(args.get_int("loop-sessions", 512));
+  const auto parity_sessions =
+      static_cast<std::size_t>(args.get_int("parity-sessions", 64));
+  const auto parity_ticks = static_cast<std::size_t>(args.get_int("parity-ticks", 8));
+
+  const Pomdp base = models::make_emn_base(setup.emn);
+  const Pomdp recovery = models::make_emn_recovery_model(setup.emn);
+  const models::EmnIds ids = models::emn_ids(base, setup.emn);
+  const sim::FaultInjector injector = make_zombie_injector(base, ids);
+
+  // The Table 1 bounded-controller setup: RA-Bound seed + bootstrap warm-up.
+  // The fleet runs with the set frozen (no online improvement), so one warm
+  // set serves every cell identically.
+  bounds::BoundSet set = bounds::make_ra_bound_set(recovery.mdp(), setup.bound_capacity);
+  controller::BootstrapOptions boot;
+  boot.iterations = setup.bootstrap_runs;
+  boot.tree_depth = setup.bootstrap_depth;
+  boot.observe_action = ids.topo.observe_action;
+  boot.seed = setup.seed;
+  boot.branch_floor = setup.branch_floor;
+  Timer bootstrap_timer;
+  controller::bootstrap_bounds(recovery, set, Belief::uniform(recovery.num_states()),
+                               boot);
+  std::fprintf(stderr, "bootstrap done in %.0f ms, |B|=%zu\n",
+               bootstrap_timer.elapsed_ms(), set.size());
+
+  sim::FleetOptions fleet_options;
+  fleet_options.observe_action = ids.topo.observe_action;
+  fleet_options.tree_depth = 1;
+  fleet_options.branch_floor = setup.branch_floor;
+  fleet_options.memo = setup.memo;
+  fleet_options.memo_max_mb = setup.memo_max_mb;
+  fleet_options.max_steps = 10000;
+
+  std::printf("=== Batched decision throughput (EMN fleet, depth 1) ===\n");
+  std::printf("simd: %s, |B|=%zu, seed=%llu\n\n", simd::describe_active_mode().c_str(),
+              set.size(), static_cast<unsigned long long>(setup.seed));
+
+  const bool parity_ok = parity_check(recovery, base, set, injector, setup.seed,
+                                      fleet_options, parity_sessions, parity_ticks);
+  std::printf("batch-vs-loop parity (%zu sessions, %zu ticks): %s\n\n", parity_sessions,
+              parity_ticks, parity_ok ? "bitwise identical" : "MISMATCH");
+
+  std::vector<std::size_t> widths;
+  for (std::size_t n : smoke ? std::vector<std::size_t>{64, 256}
+                             : std::vector<std::size_t>{1000, 10000, 100000}) {
+    if (n <= max_sessions) widths.push_back(n);
+  }
+  RD_EXPECTS(!widths.empty(), "throughput campaign: --sessions excludes every width");
+
+  std::printf("%9s | %12s %11s %11s %12s %11s | %12s | %8s\n", "sessions",
+              "batch_dps", "tick_p50ms", "tick_p99ms", "classes/tick", "shared/tick",
+              "loop_dps", "speedup");
+
+  obs::Json::Array rows;
+  bool all_checks_passed = parity_ok;
+  for (const std::size_t sessions : widths) {
+    sim::FleetOptions options = fleet_options;
+    options.sessions = sessions;
+    options.mode = sim::FleetMode::Batch;
+    const CellResult batch =
+        run_cell(recovery, base, set, injector, setup.seed, options, warmup, ticks);
+
+    options.sessions = std::min(sessions, loop_sessions);
+    options.mode = sim::FleetMode::Loop;
+    const CellResult loop =
+        run_cell(recovery, base, set, injector, setup.seed, options, warmup, ticks);
+
+    const double speedup = loop.decisions_per_sec > 0.0
+                               ? batch.decisions_per_sec / loop.decisions_per_sec
+                               : 0.0;
+    // The committed claim: ≥10x decisions/sec at fleet widths ≥ 10k, where
+    // cross-session belief coincidence makes canonicalization pay.
+    const bool speedup_ok = sessions < 10000 || speedup >= 10.0;
+    all_checks_passed = all_checks_passed && speedup_ok;
+
+    std::printf("%9zu | %12.0f %11.2f %11.2f %12.1f %11.1f | %12.0f | %7.1fx%s\n",
+                sessions, batch.decisions_per_sec, batch.tick_ms_p50, batch.tick_ms_p99,
+                static_cast<double>(batch.classes) / static_cast<double>(ticks),
+                static_cast<double>(batch.shared_hits) / static_cast<double>(ticks),
+                loop.decisions_per_sec, speedup, speedup_ok ? "" : "  (< 10x!)");
+
+    obs::Json::Object row;
+    row["sessions"] = static_cast<std::uint64_t>(sessions);
+    row["batch"] = cell_json(batch);
+    row["loop"] = cell_json(loop);
+    row["speedup"] = speedup;
+    row["speedup_ok"] = speedup_ok;
+    rows.push_back(obs::Json(std::move(row)));
+  }
+
+  const std::string out_path = args.get_string("out", "BENCH_throughput.json");
+  if (!out_path.empty()) {
+    obs::Json::Object doc;
+    doc["schema"] = "recoverd.throughput.v1";
+    doc["note"] =
+        "Batched decision engine throughput (bench/throughput_campaign). batch = "
+        "FleetDriver in Batch mode: per tick one action_values_batch call with "
+        "cross-session root canonicalization plus one update_batch Bayes pass; "
+        "loop = the same schedule through single-session action_values/"
+        "update_belief (measured at min(sessions, loop-sessions) lanes — the "
+        "per-decision rate there is width-independent). decisions_per_sec counts "
+        "lanes decided per wall-clock second over the measured ticks. Absolute "
+        "rates are machine-dependent; the committed claims are parity_ok "
+        "(Batch and Loop fleets bitwise identical tick by tick) and speedup >= "
+        "10 at sessions >= 10000.";
+    doc["model"] = "emn-zombie-fleet";
+    doc["simd"] = simd::describe_active_mode();
+    doc["bound_size"] = static_cast<std::uint64_t>(set.size());
+    doc["seed"] = static_cast<std::uint64_t>(setup.seed);
+    doc["ticks"] = static_cast<std::uint64_t>(ticks);
+    doc["warmup"] = static_cast<std::uint64_t>(warmup);
+    doc["loop_sessions_cap"] = static_cast<std::uint64_t>(loop_sessions);
+    obs::Json::Object pj;
+    pj["sessions"] = static_cast<std::uint64_t>(parity_sessions);
+    pj["ticks"] = static_cast<std::uint64_t>(parity_ticks);
+    pj["ok"] = parity_ok;
+    doc["parity"] = obs::Json(std::move(pj));
+    doc["rows"] = obs::Json(std::move(rows));
+    doc["all_checks_passed"] = all_checks_passed;
+    std::ofstream out(out_path);
+    RD_EXPECTS(out.good(), "throughput campaign: cannot open --out file");
+    obs::Json(std::move(doc)).write(out);
+    out << "\n";
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  if (!all_checks_passed) {
+    std::fprintf(stderr, "throughput campaign: CORRECTNESS CHECK FAILED\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace recoverd::bench
+
+int main(int argc, char** argv) {
+  std::vector<std::string> known = {
+      "sessions", "ticks",          "warmup",         "loop-sessions",
+      "parity-sessions", "parity-ticks", "smoke",     "out",
+      "top",      "seed",           "capacity",       "branch-floor",
+      "termination-probability",    "bootstrap-runs", "bootstrap-depth",
+      "jobs",     "memo",           "memo-max-mb"};
+  const std::vector<std::string> robustness = recoverd::bench::robustness_flag_names();
+  known.insert(known.end(), robustness.begin(), robustness.end());
+  return recoverd::run_obs_main(argc, argv, std::move(known),
+                                [](const recoverd::CliArgs& args) {
+                                  return recoverd::bench::run(args);
+                                });
+}

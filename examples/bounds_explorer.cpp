@@ -14,15 +14,11 @@
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/obs_main.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+int run(const recoverd::CliArgs& args) {
   using namespace recoverd;
-  const CliArgs args(argc, argv);
-  std::vector<std::string> known = {"updates"};
-  const std::vector<std::string> obs_flags = obs::obs_flag_names();
-  known.insert(known.end(), obs_flags.begin(), obs_flags.end());
-  args.require_known(known);
-  obs::init_observability(args);
   const int updates = static_cast<int>(args.get_int("updates", 50));
 
   const Pomdp model = models::make_emn_recovery_model();
@@ -75,6 +71,10 @@ int main(int argc, char** argv) {
       bounds::improve_at(model, set, Belief(raw));
     }
   }
-  obs::finish_observability(args);
   return 0;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  return recoverd::run_obs_main(argc, argv, {"updates"}, run);
 }

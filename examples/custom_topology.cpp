@@ -21,15 +21,11 @@
 #include "sim/experiment.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/obs_main.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+int run(const recoverd::CliArgs& args) {
   using namespace recoverd;
-  const CliArgs args(argc, argv);
-  std::vector<std::string> known = {"faults", "seed", "jobs"};
-  const std::vector<std::string> obs_flags = obs::obs_flag_names();
-  known.insert(known.end(), obs_flags.begin(), obs_flags.end());
-  args.require_known(known);
-  obs::init_observability(args);
   const auto episodes = static_cast<std::size_t>(args.get_int("faults", 200));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
   const std::size_t jobs = args.get_jobs(1);
@@ -119,6 +115,10 @@ int main(int argc, char** argv) {
   std::cout << '\n';
   table.print(std::cout);
   std::cout << "unrecovered: " << result.unrecovered << "/" << result.episodes << "\n";
-  obs::finish_observability(args);
   return result.unrecovered == 0 ? 0 : 1;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  return recoverd::run_obs_main(argc, argv, {"faults", "seed", "jobs"}, run);
 }

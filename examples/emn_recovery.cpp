@@ -20,15 +20,11 @@
 #include "sim/environment.hpp"
 #include "sim/trace.hpp"
 #include "util/cli.hpp"
+#include "util/obs_main.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+int run(const recoverd::CliArgs& args) {
   using namespace recoverd;
-  const CliArgs args(argc, argv);
-  std::vector<std::string> known = {"fault", "seed", "episode-trace-out"};
-  const std::vector<std::string> obs_flags = obs::obs_flag_names();
-  known.insert(known.end(), obs_flags.begin(), obs_flags.end());
-  args.require_known(known);
-  obs::init_observability(args);
   const std::string fault_component = args.get_string("fault", "S1");
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
@@ -124,6 +120,10 @@ int main(int argc, char** argv) {
     trace.write_jsonl(out);
     std::cout << "episode trace written to " << trace_path << "\n";
   }
-  obs::finish_observability(args);
   return env.recovered() ? 0 : 1;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  return recoverd::run_obs_main(argc, argv, {"fault", "seed", "episode-trace-out"}, run);
 }

@@ -22,15 +22,11 @@
 #include "pomdp/policy.hpp"
 #include "sim/experiment.hpp"
 #include "util/cli.hpp"
+#include "util/obs_main.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+int run(const recoverd::CliArgs& args) {
   using namespace recoverd;
-  const CliArgs args(argc, argv);
-  std::vector<std::string> known = {"out"};
-  const std::vector<std::string> obs_flags = obs::obs_flag_names();
-  known.insert(known.end(), obs_flags.begin(), obs_flags.end());
-  args.require_known(known);
-  obs::init_observability(args);
   const std::string out = args.get_string("out", "/tmp/recoverd_two_server.pomdp");
 
   const Pomdp base = models::make_two_server();
@@ -85,6 +81,10 @@ int main(int argc, char** argv) {
   std::cout << "\nTraced episode (cost " << metrics.cost << ", "
             << trace.size() << " steps):\n";
   trace.write_csv(std::cout);
-  obs::finish_observability(args);
   return metrics.recovered ? 0 : 1;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  return recoverd::run_obs_main(argc, argv, {"out"}, run);
 }

@@ -20,12 +20,11 @@
 #include "pomdp/transforms.hpp"
 #include "sim/experiment.hpp"
 #include "util/cli.hpp"
+#include "util/obs_main.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+int run(const recoverd::CliArgs& /*args*/) {
   using namespace recoverd;
-  const CliArgs args(argc, argv);
-  args.require_known(obs::obs_flag_names());
-  obs::init_observability(args);
 
   // --- 1. the model -------------------------------------------------------
   const Pomdp base = models::make_two_server();
@@ -74,6 +73,10 @@ int main(int argc, char** argv) {
             << "\n  residual time:   " << metrics.residual_time << " s"
             << "\n  recovery actions:" << metrics.recovery_actions
             << "\n  monitor calls:   " << metrics.monitor_calls << "\n";
-  obs::finish_observability(args);
   return metrics.recovered ? 0 : 1;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  return recoverd::run_obs_main(argc, argv, {}, run);
 }

@@ -5,10 +5,12 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/simd_kernels.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace recoverd::bounds {
 
@@ -228,6 +230,59 @@ double BoundSet::evaluate(std::span<const double> belief, EvalScratch& scratch) 
   return value;
 }
 
+std::size_t BoundSet::evaluate_batch_simd(const double* beliefs, std::size_t count,
+                                          double* out, EvalScratch& scratch) const {
+#if RECOVERD_SIMD_KERNELS_X86
+  if (simd::active_mode() != simd::Mode::Avx2) return 0;
+  const std::size_t groups = count / 4;
+  if (groups == 0) return 0;
+  RD_EXPECTS(!entries_.empty(), "BoundSet: no vectors stored");
+  RD_EXPECTS(scratch.wins.size() == entries_.size(),
+             "BoundSet::evaluate_batch: scratch not sized for this set");
+  const std::size_t n = entries_.size();
+  scratch.tile.resize(4 * dimension_);
+  double* tile = scratch.tile.data();
+  for (std::size_t g = 0; g < groups; ++g) {
+    const double* rows = beliefs + 4 * g * dimension_;
+    linalg::simd::transpose4(rows, rows + dimension_, rows + 2 * dimension_,
+                             rows + 3 * dimension_, dimension_, tile);
+    // Full ascending scan, four beliefs per pass. Each lane's dot is term-
+    // for-term linalg::dot, and a strict `>` keeps the lowest index on
+    // ties — exactly the pruned scalar scan's value and winner (the prune
+    // key and warm start never change either; see scan()).
+    double best[4] = {-std::numeric_limits<double>::infinity(),
+                      -std::numeric_limits<double>::infinity(),
+                      -std::numeric_limits<double>::infinity(),
+                      -std::numeric_limits<double>::infinity()};
+    std::size_t win[4] = {n, n, n, n};
+    for (std::size_t i = 0; i < n; ++i) {
+      double vals[4];
+      linalg::simd::dot4(entries_[i].vector.data(), tile, dimension_, vals);
+      for (std::size_t l = 0; l < 4; ++l) {
+        if (vals[l] > best[l]) {
+          best[l] = vals[l];
+          win[l] = i;
+        }
+      }
+    }
+    for (std::size_t l = 0; l < 4; ++l) {
+      out[4 * g + l] = best[l];
+      ++scratch.wins[win[l]];
+      ++scratch.evaluations;
+      if (win[l] == scratch.warm) ++scratch.warm_start_hits;
+      scratch.warm = win[l];
+    }
+  }
+  return groups * 4;
+#else
+  (void)beliefs;
+  (void)count;
+  (void)out;
+  (void)scratch;
+  return 0;
+#endif
+}
+
 void BoundSet::evaluate_batch(const double* beliefs, std::size_t count,
                               std::span<double> out, EvalScratch& scratch) const {
   RD_EXPECTS(out.size() >= count, "BoundSet::evaluate_batch: output too small");
@@ -235,7 +290,8 @@ void BoundSet::evaluate_batch(const double* beliefs, std::size_t count,
   span.arg("count", static_cast<double>(count));
   span.arg("planes", static_cast<double>(entries_.size()));
   ++scratch.batch_calls;
-  for (std::size_t i = 0; i < count; ++i) {
+  const std::size_t done = evaluate_batch_simd(beliefs, count, out.data(), scratch);
+  for (std::size_t i = done; i < count; ++i) {
     out[i] = evaluate({beliefs + i * dimension_, dimension_}, scratch);
   }
 }

@@ -92,6 +92,9 @@ class BoundSet {
     std::uint64_t planes_skipped = 0;  ///< hyperplanes pruned by the key bound
     std::uint64_t warm_start_hits = 0;  ///< warm plane turned out to be the winner
     std::uint64_t batch_calls = 0;      ///< evaluate_batch() invocations
+
+    /// 4-row transpose tile for the AVX2 batch kernel (scratch only).
+    std::vector<double> tile;
   };
 
   /// Sizes `scratch` for this set (wins has one slot per stored vector,
@@ -106,9 +109,16 @@ class BoundSet {
   double evaluate(std::span<const double> belief, EvalScratch& scratch) const;
 
   /// Evaluates `count` beliefs stored row-major (count × dimension) in one
-  /// pass, writing out[i] for row i. The warm start chains across rows —
-  /// consecutive leaves of an expansion frontier are usually won by the same
-  /// hyperplane. Bit-identical to `count` sequential evaluate() calls.
+  /// pass, writing out[i] for row i. Bit-identical values and winners to
+  /// `count` sequential evaluate() calls in every SIMD mode: under
+  /// simd::Mode::Avx2 rows are transposed into 4-lane tiles and every
+  /// hyperplane is scanned with a 4-wide dot whose per-lane term order is
+  /// exactly linalg::dot's, so the full unpruned scan reproduces the pruned
+  /// scalar scan's max and lowest-index winner (pruning and warm starts are
+  /// value-invariant by construction — only the planes_skipped tally
+  /// differs between modes). In scalar mode the warm start chains across
+  /// rows — consecutive leaves of an expansion frontier are usually won by
+  /// the same hyperplane.
   void evaluate_batch(const double* beliefs, std::size_t count, std::span<double> out,
                       EvalScratch& scratch) const;
 
@@ -146,6 +156,13 @@ class BoundSet {
   /// evaluated first; `scratch` (may be null) receives the skip tallies.
   double scan(std::span<const double> belief, std::size_t warm, std::size_t* winner,
               EvalScratch* scratch) const;
+
+  /// AVX2 batch scan over groups of 4 rows (full scan, lane-per-belief
+  /// dot4). Returns the number of leading rows handled (a multiple of 4; 0
+  /// when the build lacks the kernels). Remaining rows fall through to the
+  /// scalar per-row path.
+  std::size_t evaluate_batch_simd(const double* beliefs, std::size_t count, double* out,
+                                  EvalScratch& scratch) const;
 
   void evict_least_used();
 

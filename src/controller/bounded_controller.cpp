@@ -73,7 +73,8 @@ BoundedController::BoundedController(const Pomdp& model, bounds::BoundSet& set,
       name_("Bounded(d=" + std::to_string(options.tree_depth) + ")"),
       set_(set),
       options_(options),
-      engine_(model) {
+      engine_(model),
+      batch_one_(model.num_states()) {
   RD_EXPECTS(options.tree_depth >= 1, "BoundedController: tree depth must be >= 1");
   RD_EXPECTS(options.root_jobs >= 1, "BoundedController: root_jobs must be >= 1");
   RD_EXPECTS(set.dimension() == model.num_states(),
@@ -162,6 +163,17 @@ Decision BoundedController::decide() {
   const bounds::ScratchBoundLeaf leaf{&set_, eval_scratch_.data()};
   const SpanLeaf span_leaf = SpanLeaf::of_batched(leaf, set_.size() + 1);
 
+  // Batch-of-one: decide() rides the same action_values_batch() entry point
+  // the fleet driver uses, so the single-session path and the batch path
+  // are one code path (a single lane is its own equivalence class — values
+  // are bit-identical to calling action_values() directly).
+  batch_one_.clear();
+  batch_one_.push_back(pi.probabilities(), 0);
+  const auto batch_values = [&](int depth) {
+    engine_.action_values_batch(batch_one_, depth, span_leaf, expansion, batch_values_);
+    values_.assign(batch_values_.begin(), batch_values_.end());
+  };
+
   const std::uint64_t nodes_before = instruments.nodes_expanded.value();
   GuardRuntime& runtime = guard();
   int achieved_depth = options_.tree_depth;
@@ -176,15 +188,14 @@ Decision BoundedController::decide() {
     for (int depth = 1; depth <= options_.tree_depth; ++depth) {
       obs::TraceSpan ladder_span("controller.ladder_depth", obs::TraceLevel::Decide);
       ladder_span.arg("depth", static_cast<double>(depth));
-      engine_.action_values(pi.probabilities(), depth, span_leaf, expansion, values_);
+      batch_values(depth);
       achieved = depth;
       if (deadline.elapsed_ms() >= runtime.options().decide_deadline_ms) break;
     }
     runtime.note_decide(deadline.elapsed_ms(), achieved, options_.tree_depth);
     achieved_depth = achieved;
   } else {
-    engine_.action_values(pi.probabilities(), options_.tree_depth, span_leaf, expansion,
-                          values_);
+    batch_values(options_.tree_depth);
   }
   for (std::size_t s = 0; s < slots; ++s) set_.flush_eval(eval_scratch_[s]);
   instruments.nodes_per_decide.observe(

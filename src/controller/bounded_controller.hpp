@@ -18,6 +18,7 @@
 
 #include "bounds/bound_set.hpp"
 #include "controller/controller.hpp"
+#include "pomdp/belief_batch.hpp"
 #include "pomdp/expansion.hpp"
 
 namespace recoverd::controller {
@@ -84,6 +85,13 @@ class BoundedController : public BeliefTrackingController {
   bounds::BoundSet& set_;
   BoundedControllerOptions options_;
   ExpansionEngine engine_;
+  /// decide() is a batch of one (DESIGN.md §13): the current belief rides
+  /// through action_values_batch() in this single-lane batch, so the single-
+  /// session controller exercises exactly the fleet code path. A one-lane
+  /// batch is always its own equivalence class, so values are bit-identical
+  /// to the direct action_values() call it replaced.
+  BeliefBatch batch_one_;
+  std::vector<ActionValue> batch_values_;  // lane-major batch output (1 lane)
   std::vector<ActionValue> values_;  // reused across decide() calls
   /// One evaluate-scratch per engine leaf slot: private warm starts and
   /// locally accumulated use-counter wins, flushed once per decide().

@@ -1,0 +1,109 @@
+// AVX2 variants of the hot vector kernels, bitwise identical to their
+// scalar references (DESIGN.md §13).
+//
+// The parity argument, shared by every kernel here: IEEE-754 requires each
+// individual +, ×, ÷ to be correctly rounded, so a vector lane performing
+// the same operations on the same values in the same order as a scalar
+// loop produces the same bits. These kernels therefore vectorize only
+//
+//  - across *independent accumulators* — four beliefs' dot products, or
+//    four observations' likelihood sums, each lane owning one accumulator
+//    whose terms arrive in exactly the scalar order — or
+//  - across *elementwise* maps (products, divisions) with no reduction at
+//    all.
+//
+// Nothing reassociates a single sum, and no FMA can be contracted: the
+// functions are compiled with `target("avx2")` only (no FMA ISA), so the
+// compiler has no fused instruction to emit. The scalar tails inside run
+// the same double arithmetic as the reference loops.
+//
+// Callers dispatch on simd::active_mode() and must keep their scalar path
+// as the reference; tests/util_simd_test.cpp holds each pair equal bitwise
+// on random inputs.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RECOVERD_SIMD_KERNELS_X86 1
+#include <immintrin.h>
+#else
+#define RECOVERD_SIMD_KERNELS_X86 0
+#endif
+
+namespace recoverd::linalg::simd {
+
+#if RECOVERD_SIMD_KERNELS_X86
+
+/// Four dot products against one shared vector: out[l] = Σ_i a[i]·tile[4i+l]
+/// for lanes l = 0..3. `tile` is an interleaved 4-lane layout (element i of
+/// lane l at tile[4i+l], e.g. four transposed beliefs); each lane's sum
+/// accumulates in ascending i — the exact order of linalg::dot.
+__attribute__((target("avx2"))) inline void dot4(const double* a, const double* tile,
+                                                 std::size_t n, double out[4]) {
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < n; ++i) {
+    const __m256d lanes = _mm256_loadu_pd(tile + 4 * i);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(a[i]), lanes));
+  }
+  _mm256_storeu_pd(out, acc);
+}
+
+/// w[o] += row[o] · scale for o = 0..n-1 — the successor-expansion inner
+/// loop (one predicted-state term added into every observation likelihood at
+/// once). Each w[o] is an independent accumulator, so vectorizing across o
+/// keeps every sum in its scalar order.
+__attribute__((target("avx2"))) inline void accumulate_scaled(double* w, const double* row,
+                                                              double scale,
+                                                              std::size_t n) {
+  const __m256d vs = _mm256_set1_pd(scale);
+  std::size_t o = 0;
+  for (; o + 4 <= n; o += 4) {
+    const __m256d cur = _mm256_loadu_pd(w + o);
+    const __m256d term = _mm256_mul_pd(_mm256_loadu_pd(row + o), vs);
+    _mm256_storeu_pd(w + o, _mm256_add_pd(cur, term));
+  }
+  for (; o < n; ++o) w[o] += row[o] * scale;
+}
+
+/// out[i] = a[i] · b[i] — elementwise, no reduction (posterior mass rows).
+__attribute__((target("avx2"))) inline void multiply_elementwise(double* out,
+                                                                 const double* a,
+                                                                 const double* b,
+                                                                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+/// v[i] /= divisor — elementwise, correctly rounded per element exactly as
+/// the scalar division (Bayes-update normalisation).
+__attribute__((target("avx2"))) inline void divide_in_place(double* v, double divisor,
+                                                            std::size_t n) {
+  const __m256d vd = _mm256_set1_pd(divisor);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(v + i, _mm256_div_pd(_mm256_loadu_pd(v + i), vd));
+  }
+  for (; i < n; ++i) v[i] /= divisor;
+}
+
+#endif  // RECOVERD_SIMD_KERNELS_X86
+
+/// Gathers four row-major rows into the dot4() interleaved tile:
+/// tile[4i+l] = rows[l][i]. Pure data movement (no arithmetic), so it needs
+/// no AVX2 gate.
+inline void transpose4(const double* r0, const double* r1, const double* r2,
+                       const double* r3, std::size_t n, double* tile) {
+  for (std::size_t i = 0; i < n; ++i) {
+    tile[4 * i + 0] = r0[i];
+    tile[4 * i + 1] = r1[i];
+    tile[4 * i + 2] = r2[i];
+    tile[4 * i + 3] = r3[i];
+  }
+}
+
+}  // namespace recoverd::linalg::simd

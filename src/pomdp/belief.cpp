@@ -3,11 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/simd_kernels.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace recoverd {
+
+namespace {
+
+bool use_avx2() {
+#if RECOVERD_SIMD_KERNELS_X86
+  return simd::active_mode() == simd::Mode::Avx2;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
 
 Belief Belief::uniform(std::size_t n) {
   RD_EXPECTS(n > 0, "Belief::uniform: dimension must be positive");
@@ -149,11 +163,25 @@ std::size_t expand_successors_into(const Pomdp& pomdp, std::span<const double> b
     const std::span<const double> q_rows = pomdp.observation_dense(action);
     double* w = weight.data();
     std::fill(w, w + num_obs, 0.0);
+#if RECOVERD_SIMD_KERNELS_X86
+    if (use_avx2()) {
+      for (std::size_t s = 0; s < num_states; ++s) {
+        linalg::simd::accumulate_scaled(w, q_rows.data() + s * num_obs, pred[s], num_obs);
+      }
+    } else {
+      for (std::size_t s = 0; s < num_states; ++s) {
+        const double ps = pred[s];
+        const double* row = q_rows.data() + s * num_obs;
+        for (std::size_t o = 0; o < num_obs; ++o) w[o] += row[o] * ps;
+      }
+    }
+#else
     for (std::size_t s = 0; s < num_states; ++s) {
       const double ps = pred[s];
       const double* row = q_rows.data() + s * num_obs;
       for (std::size_t o = 0; o < num_obs; ++o) w[o] += row[o] * ps;
     }
+#endif
   } else {
     for (ObsId o = 0; o < num_obs; ++o) {
       double gamma = 0.0;
@@ -183,11 +211,27 @@ std::size_t expand_successors_into(const Pomdp& pomdp, std::span<const double> b
 
   posteriors.assign(kept.size() * num_states, 0.0);
   if (!qd.empty()) {
+#if RECOVERD_SIMD_KERNELS_X86
+    if (use_avx2()) {
+      for (std::size_t i = 0; i < kept.size(); ++i) {
+        linalg::simd::multiply_elementwise(posteriors.data() + i * num_states,
+                                           qd.data() + kept[i] * num_states, pred.data(),
+                                           num_states);
+      }
+    } else {
+      for (std::size_t i = 0; i < kept.size(); ++i) {
+        double* row_out = posteriors.data() + i * num_states;
+        const double* row = qd.data() + kept[i] * num_states;
+        for (std::size_t s = 0; s < num_states; ++s) row_out[s] = row[s] * pred[s];
+      }
+    }
+#else
     for (std::size_t i = 0; i < kept.size(); ++i) {
       double* row_out = posteriors.data() + i * num_states;
       const double* row = qd.data() + kept[i] * num_states;
       for (std::size_t s = 0; s < num_states; ++s) row_out[s] = row[s] * pred[s];
     }
+#endif
   } else {
     for (std::size_t i = 0; i < kept.size(); ++i) {
       double* row_out = posteriors.data() + i * num_states;

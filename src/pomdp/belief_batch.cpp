@@ -1,0 +1,194 @@
+#include "pomdp/belief_batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/simd_kernels.hpp"
+#include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/simd.hpp"
+
+namespace recoverd {
+
+namespace {
+
+constexpr std::size_t kLaneAlignDoubles = 8;  // 64 bytes / sizeof(double)
+
+std::size_t padded_stride(std::size_t lanes) {
+  return (lanes + kLaneAlignDoubles - 1) / kLaneAlignDoubles * kLaneAlignDoubles;
+}
+
+bool use_avx2() {
+#if RECOVERD_SIMD_KERNELS_X86
+  return simd::active_mode() == simd::Mode::Avx2;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+BeliefBatch::BeliefBatch(std::size_t num_states) : num_states_(num_states) {
+  RD_EXPECTS(num_states_ > 0, "BeliefBatch: state dimension must be positive");
+}
+
+BeliefBatch::AlignedArray BeliefBatch::allocate(std::size_t doubles) {
+  return AlignedArray(static_cast<double*>(
+      ::operator new[](doubles * sizeof(double), std::align_val_t{64})));
+}
+
+void BeliefBatch::reserve(std::size_t capacity) {
+  if (capacity <= capacity_) return;
+  const std::size_t new_capacity = std::max(capacity, capacity_ * 2);
+  const std::size_t new_stride = padded_stride(new_capacity);
+  AlignedArray next = allocate(num_states_ * new_stride);
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    std::copy_n(data_.get() + s * stride_, ids_.size(), next.get() + s * new_stride);
+  }
+  data_ = std::move(next);
+  capacity_ = new_capacity;
+  stride_ = new_stride;
+  ids_.reserve(new_capacity);
+}
+
+std::size_t BeliefBatch::push_back(std::span<const double> probabilities,
+                                   std::uint64_t session_id) {
+  RD_EXPECTS(probabilities.size() == num_states_,
+             "BeliefBatch::push_back: belief dimension mismatch");
+  reserve(ids_.size() + 1);
+  const std::size_t lane = ids_.size();
+  ids_.push_back(session_id);
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    data_[s * stride_ + lane] = probabilities[s];
+  }
+  return lane;
+}
+
+void BeliefBatch::swap_remove(std::size_t lane) {
+  RD_EXPECTS(lane < ids_.size(), "BeliefBatch::swap_remove: lane out of range");
+  const std::size_t last = ids_.size() - 1;
+  if (lane != last) {
+    for (std::size_t s = 0; s < num_states_; ++s) {
+      data_[s * stride_ + lane] = data_[s * stride_ + last];
+    }
+    ids_[lane] = ids_[last];
+  }
+  ids_.pop_back();
+}
+
+void BeliefBatch::copy_lane(std::size_t lane, std::span<double> out) const {
+  RD_EXPECTS(lane < ids_.size(), "BeliefBatch::copy_lane: lane out of range");
+  RD_EXPECTS(out.size() == num_states_, "BeliefBatch::copy_lane: output size mismatch");
+  for (std::size_t s = 0; s < num_states_; ++s) out[s] = data_[s * stride_ + lane];
+}
+
+void BeliefBatch::assign_lane(std::size_t lane, std::span<const double> probabilities) {
+  RD_EXPECTS(lane < ids_.size(), "BeliefBatch::assign_lane: lane out of range");
+  RD_EXPECTS(probabilities.size() == num_states_,
+             "BeliefBatch::assign_lane: belief dimension mismatch");
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    data_[s * stride_ + lane] = probabilities[s];
+  }
+}
+
+void update_batch(const Pomdp& pomdp, BeliefBatch& batch,
+                  std::span<const ActionId> actions, std::span<const ObsId> observations,
+                  BatchUpdateWorkspace& workspace) {
+  const std::size_t lanes = batch.size();
+  const std::size_t num_states = pomdp.num_states();
+  RD_EXPECTS(batch.num_states() == num_states,
+             "update_batch: batch/model state dimension mismatch");
+  RD_EXPECTS(actions.size() == lanes, "update_batch: one action per lane required");
+  RD_EXPECTS(observations.size() == lanes,
+             "update_batch: one observation per lane required");
+
+  workspace.likelihood.assign(lanes, 0.0);
+  workspace.failures = 0;
+  workspace.lane.resize(num_states);
+  workspace.pred.resize(num_states);
+  workspace.unnormalized.resize(num_states);
+  const bool avx2 = use_avx2();
+
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const ActionId action = actions[lane];
+    if (action == kInvalidId) {  // no update for this lane this call
+      workspace.likelihood[lane] = -1.0;
+      continue;
+    }
+    const ObsId obs = observations[lane];
+    RD_EXPECTS(obs < pomdp.num_observations(), "update_batch: observation out of range");
+    batch.copy_lane(lane, workspace.lane);
+    predict_state_distribution_into(pomdp, workspace.lane, action, workspace.pred);
+
+    // Posterior mass w(s) = q(o|s,a)·pred(s) and likelihood γ = Σ_s w(s),
+    // exactly as update_belief(). The single-belief path skips pred(s) ≤ 0
+    // states; the dense elementwise product instead produces an exact +0.0
+    // for them (q ≥ 0, pred = 0), and adding +0.0 to a non-negative sum
+    // leaves every bit unchanged — so both likelihood and posterior match
+    // the masked loop bitwise.
+    double* unnorm = workspace.unnormalized.data();
+    const std::span<const double> qt_dense = pomdp.observation_transpose_dense(action);
+    double gamma = 0.0;
+    if (!qt_dense.empty()) {
+      const double* q_row = qt_dense.data() + obs * num_states;
+      const double* pred = workspace.pred.data();
+#if RECOVERD_SIMD_KERNELS_X86
+      if (avx2) {
+        linalg::simd::multiply_elementwise(unnorm, q_row, pred, num_states);
+      } else {
+        for (std::size_t s = 0; s < num_states; ++s) unnorm[s] = q_row[s] * pred[s];
+      }
+#else
+      for (std::size_t s = 0; s < num_states; ++s) unnorm[s] = q_row[s] * pred[s];
+#endif
+      for (std::size_t s = 0; s < num_states; ++s) gamma += unnorm[s];
+    } else {
+      const auto& q = pomdp.observation(action);
+      std::fill(unnorm, unnorm + num_states, 0.0);
+      for (StateId s = 0; s < num_states; ++s) {
+        if (workspace.pred[s] <= 0.0) continue;
+        const double w = q.at(s, obs) * workspace.pred[s];
+        unnorm[s] = w;
+        gamma += w;
+      }
+    }
+
+    workspace.likelihood[lane] = gamma;
+    if (gamma <= 0.0) {
+      ++workspace.failures;  // lane kept as-is; caller handles the mismatch
+      continue;
+    }
+
+    // Divide by γ, then renormalise — update_belief() divides and the Belief
+    // constructor normalises the result again; both divisions must happen
+    // for bitwise parity with the single-belief path.
+#if RECOVERD_SIMD_KERNELS_X86
+    if (avx2) {
+      linalg::simd::divide_in_place(unnorm, gamma, num_states);
+      const double total = linalg::sum(workspace.unnormalized);
+      RD_EXPECTS(total > 0.0 && std::isfinite(total),
+                 "update_batch: posterior must have a positive finite sum");
+      linalg::simd::divide_in_place(unnorm, total, num_states);
+    } else {
+      for (std::size_t s = 0; s < num_states; ++s) unnorm[s] /= gamma;
+      linalg::normalize_probability(workspace.unnormalized);
+    }
+#else
+    for (std::size_t s = 0; s < num_states; ++s) unnorm[s] /= gamma;
+    linalg::normalize_probability(workspace.unnormalized);
+#endif
+    batch.assign_lane(lane, workspace.unnormalized);
+  }
+
+  static obs::Counter& batch_calls = obs::metrics().counter("pomdp.belief.batch_updates");
+  static obs::Counter& batch_lanes =
+      obs::metrics().counter("pomdp.belief.batch_update_lanes");
+  static obs::Counter& batch_failures =
+      obs::metrics().counter("pomdp.belief.batch_update_failures");
+  batch_calls.add(1);
+  batch_lanes.add(lanes);
+  if (workspace.failures > 0) batch_failures.add(workspace.failures);
+}
+
+}  // namespace recoverd

@@ -1,0 +1,127 @@
+// Structure-of-arrays belief storage for the batch decision path, plus the
+// batched Bayes update (Eq. 4) over it.
+//
+// A BeliefBatch holds one belief per *lane* (a recovery session), laid out
+// state-major: element (lane, s) lives at data[s * lane_stride() + lane].
+// Each state's row of lanes starts 64-byte aligned (the stride is padded to
+// a multiple of 8 doubles), so four consecutive lanes of any state are one
+// unmasked 256-bit load — the shape the AVX2 leaf kernels consume directly
+// (DESIGN.md §13). Lanes carry stable caller-assigned session ids; removal
+// is swap-with-last, so lane indices are dense but not stable — resolve a
+// session through session_id() after any removal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "pomdp/belief.hpp"
+#include "pomdp/pomdp.hpp"
+#include "pomdp/types.hpp"
+
+namespace recoverd {
+
+class BeliefBatch {
+ public:
+  /// An empty batch of beliefs over `num_states` states.
+  explicit BeliefBatch(std::size_t num_states);
+
+  std::size_t num_states() const { return num_states_; }
+  /// Number of lanes (sessions) in use.
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  /// Doubles between element (lane, s) and (lane, s+1) — a multiple of 8, so
+  /// every state row starts on a 64-byte boundary.
+  std::size_t lane_stride() const { return stride_; }
+
+  /// Appends a lane; returns its (current) lane index. The distribution is
+  /// copied verbatim — callers pass already-normalised beliefs and the batch
+  /// never renormalises, mirroring Belief::from_normalized().
+  std::size_t push_back(std::span<const double> probabilities, std::uint64_t session_id);
+  std::size_t push_back(const Belief& belief, std::uint64_t session_id) {
+    return push_back(belief.probabilities(), session_id);
+  }
+
+  /// Removes a lane by moving the last lane into its slot (O(|S|)).
+  void swap_remove(std::size_t lane);
+
+  /// Drops every lane; keeps the allocation.
+  void clear() { ids_.clear(); }
+
+  /// Grows the backing store to hold `capacity` lanes without reallocation.
+  void reserve(std::size_t capacity);
+
+  std::uint64_t session_id(std::size_t lane) const { return ids_[lane]; }
+
+  double at(std::size_t lane, StateId s) const { return data_[s * stride_ + lane]; }
+  void set(std::size_t lane, StateId s, double v) { data_[s * stride_ + lane] = v; }
+
+  /// Gathers lane's distribution into contiguous storage (size |S|).
+  void copy_lane(std::size_t lane, std::span<double> out) const;
+
+  /// Scatters a contiguous distribution into a lane, verbatim (no
+  /// renormalisation — the in-place analogue of Belief::assign_normalized()).
+  void assign_lane(std::size_t lane, std::span<const double> probabilities);
+
+  /// All lanes of one state, contiguous and 64-byte aligned; only the first
+  /// size() entries are meaningful.
+  std::span<const double> state_lanes(StateId s) const {
+    return {data_.get() + s * stride_, size()};
+  }
+  std::span<double> state_lanes(StateId s) { return {data_.get() + s * stride_, size()}; }
+
+  const double* data() const { return data_.get(); }
+
+ private:
+  struct AlignedFree {
+    void operator()(double* p) const { ::operator delete[](p, std::align_val_t{64}); }
+  };
+  using AlignedArray = std::unique_ptr<double[], AlignedFree>;
+
+  static AlignedArray allocate(std::size_t doubles);
+
+  std::size_t num_states_;
+  std::size_t capacity_ = 0;  ///< lanes the allocation can hold
+  std::size_t stride_ = 0;    ///< capacity_ rounded up to 8 doubles
+  AlignedArray data_;
+  std::vector<std::uint64_t> ids_;
+};
+
+/// Per-batch output of update_batch(), doubling as reusable scratch: the
+/// internal vectors keep their capacity across calls, so a fleet driver that
+/// reuses one workspace allocates only until the high-water mark.
+struct BatchUpdateWorkspace {
+  /// γ^{π,a}(o) of Eq. 3 per lane; entries of exactly 0 mark lanes whose
+  /// observation had zero model likelihood (the single-belief nullopt case)
+  /// — those lanes' beliefs are left unchanged. Skipped lanes (action ==
+  /// kInvalidId) get -1.
+  std::vector<double> likelihood;
+  /// Number of lanes with zero likelihood in the last call (skips excluded).
+  std::size_t failures = 0;
+
+  // scratch (contents meaningless between calls)
+  std::vector<double> lane;
+  std::vector<double> pred;
+  std::vector<double> unnormalized;
+};
+
+/// Batched Bayes update (Eq. 4): conditions every lane of `batch` on its
+/// (action, observation) pair in place. Per lane this performs exactly the
+/// operations of update_belief() + the Belief constructor — predict, mask,
+/// divide by γ, renormalise — so each surviving lane's distribution is
+/// bitwise identical to the single-belief path's, in every SIMD mode.
+/// Lanes with zero-likelihood observations are skipped (see
+/// BatchUpdateWorkspace::likelihood); callers surface those as the
+/// model-mismatch signal just like the nullopt of update_belief(). A lane
+/// whose action is kInvalidId is skipped entirely (no update — the fleet
+/// driver's "this session respawned, nothing to condition on" marker).
+/// Preconditions: actions/observations have one entry per lane, in range
+/// (observations of skipped lanes are ignored).
+void update_batch(const Pomdp& pomdp, BeliefBatch& batch,
+                  std::span<const ActionId> actions, std::span<const ObsId> observations,
+                  BatchUpdateWorkspace& workspace);
+
+}  // namespace recoverd

@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pomdp/belief.hpp"
+#include "pomdp/belief_batch.hpp"
 #include "util/check.hpp"
 
 namespace recoverd {
@@ -87,6 +88,27 @@ std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
   h ^= h >> 29;
   return h;
 }
+
+// Batch-engine instruments (DESIGN.md §13): one `calls` bump per
+// action_values_batch(); `sessions` counts lanes, `classes` the distinct
+// roots actually expanded, `shared_hits` the lanes served by an earlier
+// lane's solve (sessions = classes + shared_hits).
+struct BatchInstruments {
+  obs::Counter& calls;
+  obs::Counter& sessions;
+  obs::Counter& classes;
+  obs::Counter& shared_hits;
+
+  static BatchInstruments& get() {
+    static BatchInstruments instruments{
+        obs::metrics().counter("engine.batch.calls"),
+        obs::metrics().counter("engine.batch.sessions"),
+        obs::metrics().counter("engine.batch.classes"),
+        obs::metrics().counter("engine.batch.shared_hits"),
+    };
+    return instruments;
+  }
+};
 }  // namespace
 
 // One tree level of the arena: the successor buffers of the node currently
@@ -708,6 +730,118 @@ ActionValue ExpansionEngine::best_action(std::span<const double> belief, int dep
     if (av.value > best.value) best = av;
   }
   return best;
+}
+
+void ExpansionEngine::action_values_batch(const BeliefBatch& batch, int depth,
+                                          const SpanLeaf& leaf,
+                                          const ExpansionOptions& options,
+                                          std::vector<ActionValue>& out,
+                                          BatchExpansionStats* stats) {
+  RD_EXPECTS(depth >= 1, "ExpansionEngine::action_values_batch: depth must be >= 1");
+  const std::size_t num_states = pomdp_->num_states();
+  const std::size_t num_actions = pomdp_->num_actions();
+  RD_EXPECTS(batch.num_states() == num_states,
+             "ExpansionEngine::action_values_batch: batch/model dimension mismatch");
+  const std::size_t lanes = batch.size();
+  out.assign(lanes * num_actions, ActionValue{});
+  if (stats != nullptr) *stats = BatchExpansionStats{};
+  if (lanes == 0) return;
+
+  obs::TraceSpan span("expansion.decide_batch", obs::TraceLevel::Decide);
+  span.arg("sessions", static_cast<double>(lanes));
+  span.arg("depth", static_cast<double>(depth));
+
+  // Canonicalize: hash each lane's belief bit pattern, then group bitwise-
+  // equal lanes (memcmp-confirmed, so a hash collision can only split a
+  // class, never merge distinct beliefs). Classes are numbered in first-
+  // occurrence lane order — the solve order below — which keeps the whole
+  // pass deterministic for any batch composition.
+  batch_rows_.resize(lanes * num_states);
+  batch_hashes_.resize(lanes);
+  batch_class_of_.resize(lanes);
+  batch_reps_.clear();
+  batch_buckets_.clear();
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    double* row = batch_rows_.data() + lane * num_states;
+    batch.copy_lane(lane, {row, num_states});
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t s = 0; s < num_states; ++s) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, row + s, sizeof(bits));
+      h = mix64(h, bits);
+    }
+    batch_hashes_[lane] = h;
+    auto& bucket = batch_buckets_[h];
+    std::size_t cls = batch_reps_.size();
+    for (std::size_t candidate : bucket) {
+      const double* rep_row = batch_rows_.data() + batch_reps_[candidate] * num_states;
+      if (std::memcmp(rep_row, row, num_states * sizeof(double)) == 0) {
+        cls = candidate;
+        break;
+      }
+    }
+    if (cls == batch_reps_.size()) {
+      batch_reps_.push_back(lane);
+      bucket.push_back(cls);
+    }
+    batch_class_of_[lane] = cls;
+  }
+
+  // One action_values() per class, in class (= first-occurrence) order.
+  // Each call configures its own workspace and clears the memo per root
+  // action, so its results are bit-identical to a standalone call — the
+  // scatter below therefore reproduces the looped single-session path
+  // exactly, with `classes` expansions instead of `lanes`.
+  const std::size_t num_classes = batch_reps_.size();
+  batch_class_values_.resize(num_classes * num_actions);
+  for (std::size_t cls = 0; cls < num_classes; ++cls) {
+    const double* row = batch_rows_.data() + batch_reps_[cls] * num_states;
+    action_values({row, num_states}, depth, leaf, options, class_values_scratch_);
+    std::copy(class_values_scratch_.begin(), class_values_scratch_.end(),
+              batch_class_values_.begin() +
+                  static_cast<std::ptrdiff_t>(cls * num_actions));
+  }
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const ActionValue* src =
+        batch_class_values_.data() + batch_class_of_[lane] * num_actions;
+    std::copy(src, src + num_actions,
+              out.begin() + static_cast<std::ptrdiff_t>(lane * num_actions));
+  }
+
+  span.arg("classes", static_cast<double>(num_classes));
+  if (stats != nullptr) {
+    stats->sessions = lanes;
+    stats->classes = num_classes;
+    stats->shared_hits = lanes - num_classes;
+  }
+  BatchInstruments& instruments = BatchInstruments::get();
+  instruments.calls.add();
+  instruments.sessions.add(lanes);
+  instruments.classes.add(num_classes);
+  if (lanes > num_classes) instruments.shared_hits.add(lanes - num_classes);
+}
+
+void ExpansionEngine::decide_batch(const BeliefBatch& batch, int depth,
+                                   const SpanLeaf& leaf, const ExpansionOptions& options,
+                                   std::vector<ActionValue>& best,
+                                   BatchExpansionStats* stats) {
+  action_values_batch(batch, depth, leaf, options, batch_best_scratch_, stats);
+  const std::size_t num_actions = pomdp_->num_actions();
+  RD_EXPECTS(options.skip_action != 0 || num_actions > 1,
+             "ExpansionEngine::decide_batch: cannot mask the only action");
+  const std::size_t lanes = batch.size();
+  best.resize(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const ActionValue* row = batch_best_scratch_.data() + lane * num_actions;
+    // best_action()'s exact selection: seed past a masked action 0, then a
+    // strict `>` keeps the lowest ActionId on ties.
+    ActionValue chosen = options.skip_action == 0 ? row[1] : row[0];
+    for (std::size_t a = 0; a < num_actions; ++a) {
+      if (row[a].action == options.skip_action) continue;
+      if (row[a].value > chosen.value) chosen = row[a];
+    }
+    best[lane] = chosen;
+  }
 }
 
 std::size_t ExpansionEngine::arena_bytes() const {

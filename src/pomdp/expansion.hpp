@@ -49,15 +49,27 @@
 #include <span>
 #include <vector>
 
+#include <unordered_map>
+
 #include "pomdp/pomdp.hpp"
 #include "pomdp/types.hpp"
 
 namespace recoverd {
 
+class BeliefBatch;
+
 /// Value of one root action after a depth-d expansion.
 struct ActionValue {
   ActionId action = kInvalidId;
   double value = 0.0;
+};
+
+/// Work summary of one action_values_batch()/decide_batch() call: how much
+/// of the batch was served by cross-session root canonicalization.
+struct BatchExpansionStats {
+  std::size_t sessions = 0;     ///< lanes in the batch
+  std::size_t classes = 0;      ///< distinct (belief-bits) roots solved
+  std::size_t shared_hits = 0;  ///< lanes that reused an earlier lane's solve
 };
 
 /// Devirtualized leaf evaluator: raw function pointers plus an opaque
@@ -253,6 +265,32 @@ class ExpansionEngine {
   ActionValue best_action(std::span<const double> belief, int depth, const SpanLeaf& leaf,
                           const ExpansionOptions& options = {});
 
+  /// Root-action values for every lane of a batch, written lane-major into
+  /// `out` (lane L's values at out[L·num_actions .. +num_actions), element a
+  /// is action a; masked actions get -inf) — the batch-first entry point of
+  /// DESIGN.md §13.
+  ///
+  /// Lanes are *canonicalized* before any expansion: lanes whose beliefs
+  /// are bitwise identical (hash over the belief's bit pattern, confirmed
+  /// by memcmp) form one equivalence class, and each class is solved by a
+  /// single action_values() call whose results are scattered to every
+  /// member lane. Classes are solved in first-occurrence lane order, each
+  /// against engine state identical to a standalone call (the memo cache is
+  /// cleared per root action), so every lane's values are bit-identical to
+  /// looping action_values() over the lanes — for any batch composition,
+  /// SIMD mode, and root_jobs count. `options.stats`, when set, describes
+  /// the last class solved (exactly the single call for a batch of one).
+  void action_values_batch(const BeliefBatch& batch, int depth, const SpanLeaf& leaf,
+                           const ExpansionOptions& options, std::vector<ActionValue>& out,
+                           BatchExpansionStats* stats = nullptr);
+
+  /// The maximising root action per lane (best[L] for lane L), with
+  /// best_action()'s exact lowest-ActionId tie-break, atop
+  /// action_values_batch()'s shared-subtree reuse.
+  void decide_batch(const BeliefBatch& batch, int depth, const SpanLeaf& leaf,
+                    const ExpansionOptions& options, std::vector<ActionValue>& best,
+                    BatchExpansionStats* stats = nullptr);
+
   /// Current arena footprint in bytes (sum of scratch-buffer and memo-cache
   /// capacities across all levels and worker workspaces).
   std::size_t arena_bytes() const;
@@ -281,6 +319,16 @@ class ExpansionEngine {
   std::vector<std::unique_ptr<Workspace>> pool_;  // root fan-out workers
   std::vector<ActionValue> scratch_values_;       // best_action() scratch
   std::size_t peak_arena_bytes_ = 0;
+
+  // Batch canonicalization scratch (capacities persist across ticks).
+  std::vector<double> batch_rows_;            // gathered lane beliefs, row-major
+  std::vector<std::uint64_t> batch_hashes_;   // belief-bits hash per lane
+  std::vector<std::size_t> batch_class_of_;   // lane -> equivalence class
+  std::vector<std::size_t> batch_reps_;       // class -> first lane
+  std::vector<ActionValue> batch_class_values_;  // class-major solve results
+  std::vector<ActionValue> batch_best_scratch_;  // decide_batch() scratch
+  std::vector<ActionValue> class_values_scratch_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> batch_buckets_;
 };
 
 }  // namespace recoverd

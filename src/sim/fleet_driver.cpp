@@ -1,0 +1,336 @@
+#include "sim/fleet_driver.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::sim {
+
+namespace {
+
+constexpr std::size_t kNoEntry = static_cast<std::size_t>(-1);
+
+// FNV-style bit-pattern hash over a belief row — same idiom as the engine's
+// batch canonicalization: equal bits always collide into one bucket, and a
+// spurious bucket collision is resolved by memcmp, so distinct patterns can
+// only ever *split* cache entries, never merge them.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t hash_belief_bits(const double* belief, std::size_t n) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t s = 0; s < n; ++s) {
+    std::uint64_t bits;
+    std::memcpy(&bits, belief + s, sizeof(bits));
+    h = mix64(h ^ bits);
+  }
+  return h;
+}
+struct FleetInstruments {
+  obs::Counter& ticks;
+  obs::Counter& decisions;
+  obs::Counter& classes;
+  obs::Counter& shared_hits;
+  obs::Counter& episodes;
+  obs::Counter& truncated;
+  obs::Counter& mismatches;
+
+  static FleetInstruments& get() {
+    static FleetInstruments instruments{
+        obs::metrics().counter("sim.fleet.ticks"),
+        obs::metrics().counter("sim.fleet.decisions"),
+        obs::metrics().counter("sim.fleet.classes"),
+        obs::metrics().counter("sim.fleet.shared_hits"),
+        obs::metrics().counter("sim.fleet.episodes"),
+        obs::metrics().counter("sim.fleet.episodes_truncated"),
+        obs::metrics().counter("sim.fleet.belief_mismatches"),
+    };
+    return instruments;
+  }
+};
+}  // namespace
+
+FleetDriver::FleetDriver(const Pomdp& controller_model, const Pomdp& env_model,
+                         bounds::BoundSet& set, const FaultInjector& injector,
+                         std::uint64_t seed, FleetOptions options)
+    : model_(controller_model),
+      env_model_(env_model),
+      set_(set),
+      injector_(injector),
+      options_(std::move(options)),
+      engine_(controller_model),
+      batch_(controller_model.num_states()),
+      decide_batch_(controller_model.num_states()) {
+  RD_EXPECTS(options_.sessions >= 1, "FleetDriver: at least one session required");
+  RD_EXPECTS(options_.tree_depth >= 1, "FleetDriver: tree depth must be >= 1");
+  RD_EXPECTS(options_.root_jobs >= 1, "FleetDriver: root_jobs must be >= 1");
+  RD_EXPECTS(options_.observe_action != kInvalidId,
+             "FleetDriver: FleetOptions.observe_action was not set — assign the "
+             "model's monitoring action before building a fleet");
+  RD_EXPECTS(options_.observe_action < env_model_.num_actions(),
+             "FleetDriver: observe action out of range");
+  RD_EXPECTS(set_.dimension() == model_.num_states(),
+             "FleetDriver: bound set dimension mismatch");
+  RD_EXPECTS(set_.size() > 0, "FleetDriver: bound set must be seeded (RA-Bound)");
+
+  // "All faults equally likely" (§4): the same initial belief run_episode
+  // builds, shared by every (re)spawn.
+  std::vector<StateId> support = options_.fault_support;
+  if (support.empty()) {
+    for (StateId s = 0; s < env_model_.num_states(); ++s) {
+      if (!env_model_.mdp().is_goal(s)) support.push_back(s);
+    }
+  }
+  const Belief initial = Belief::uniform_over(model_.num_states(), support);
+  initial_probs_.assign(initial.probabilities().begin(), initial.probabilities().end());
+
+  // One RNG stream per slot, split in slot order: a slot's fault sequence
+  // and environment draws are a function of (seed, slot) alone, independent
+  // of fleet width interleaving and identical in both fleet modes.
+  const std::size_t n = options_.sessions;
+  Rng master(seed);
+  slot_rng_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) slot_rng_.push_back(master.split());
+  envs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    envs_.emplace_back(env_model_, slot_rng_[i].split());
+  }
+
+  batch_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) batch_.push_back(initial_probs_, i);
+  episode_steps_.assign(n, 0);
+  last_actions_.assign(n, kInvalidId);
+  pending_action_.assign(n, kInvalidId);
+  pending_obs_.assign(n, 0);
+  lane_scratch_.resize(model_.num_states());
+
+  if (options_.decision_cache && options_.mode == FleetMode::Batch) {
+    const std::size_t entry_bytes = model_.num_states() * sizeof(double) +
+                                    model_.num_actions() * sizeof(ActionValue) +
+                                    4 * sizeof(std::size_t);  // bucket overhead
+    cache_entry_cap_ = (options_.decision_cache_mb << 20) / std::max<std::size_t>(
+                                                                entry_bytes, 1);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) spawn(i);
+  // Condition the initial monitor readings in before the first decide, as
+  // run_episode does — through the mode's own update path.
+  update_phase();
+}
+
+std::size_t FleetDriver::cache_lookup(const double* belief) const {
+  const std::size_t num_states = model_.num_states();
+  const auto bucket = cache_buckets_.find(hash_belief_bits(belief, num_states));
+  if (bucket == cache_buckets_.end()) return kNoEntry;
+  for (const std::size_t entry : bucket->second) {
+    if (std::memcmp(cache_keys_.data() + entry * num_states, belief,
+                    num_states * sizeof(double)) == 0) {
+      return entry;
+    }
+  }
+  return kNoEntry;
+}
+
+void FleetDriver::cache_insert(const double* belief, const ActionValue* values) {
+  const std::size_t num_states = model_.num_states();
+  const std::size_t entry = cache_values_.size() / model_.num_actions();
+  if (entry >= cache_entry_cap_) return;  // cap hit: keep serving lookups
+  cache_keys_.insert(cache_keys_.end(), belief, belief + num_states);
+  cache_values_.insert(cache_values_.end(), values, values + model_.num_actions());
+  cache_buckets_[hash_belief_bits(belief, num_states)].push_back(entry);
+}
+
+void FleetDriver::spawn(std::size_t slot) {
+  const StateId fault = injector_.sample(slot_rng_[slot]);
+  envs_[slot].reset(fault);
+  batch_.assign_lane(slot, initial_probs_);
+  episode_steps_[slot] = 0;
+  if (options_.initial_observation) {
+    const auto step = envs_[slot].step(options_.observe_action);
+    pending_action_[slot] = options_.observe_action;
+    pending_obs_[slot] = step.obs;
+  } else {
+    pending_action_[slot] = kInvalidId;  // nothing to condition on this tick
+  }
+}
+
+void FleetDriver::finish_episode(std::size_t slot, bool terminated) {
+  ++stats_.episodes_completed;
+  if (envs_[slot].recovered()) ++stats_.episodes_recovered;
+  if (!terminated) ++stats_.episodes_truncated;
+}
+
+// Replicates BoundedController::decide()'s selection over a per-lane value
+// row (index a = action a): max with ascending strict >, then the aT
+// near-tie preference. kInvalidId in last_actions_ marks termination.
+void FleetDriver::select_decision(std::size_t slot, const ActionValue* values) {
+  const std::size_t num_actions = model_.num_actions();
+  ActionValue best = values[0];
+  for (std::size_t a = 1; a < num_actions; ++a) {
+    if (values[a].value > best.value) best = values[a];
+  }
+  bool terminate = false;
+  if (model_.has_terminate_action()) {
+    const ActionId at = model_.terminate_action();
+    if (values[at].value >= best.value - options_.terminate_tie_epsilon) {
+      best = values[at];
+    }
+    if (best.action == at) terminate = true;
+  }
+  last_actions_[slot] = terminate ? kInvalidId : best.action;
+}
+
+void FleetDriver::decide_phase() {
+  ExpansionOptions expansion;
+  expansion.branch_floor = options_.branch_floor;
+  expansion.root_jobs = options_.root_jobs;
+  expansion.memo = options_.memo;
+  expansion.memo_max_bytes = options_.memo_max_mb << 20;
+
+  const std::size_t slots = ExpansionEngine::leaf_slots(expansion);
+  if (eval_scratch_.size() < slots) eval_scratch_.resize(slots);
+  for (std::size_t s = 0; s < slots; ++s) set_.begin_eval(eval_scratch_[s]);
+  const bounds::ScratchBoundLeaf leaf{&set_, eval_scratch_.data()};
+  const SpanLeaf span_leaf = SpanLeaf::of_batched(leaf, set_.size() + 1);
+
+  const bool has_terminate = model_.has_terminate_action();
+  const std::size_t n = envs_.size();
+  decide_batch_.clear();
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    batch_.copy_lane(slot, lane_scratch_);
+    // Recovery-notification models: certain-enough beliefs terminate without
+    // an expansion (BoundedController's goal-certainty exit).
+    if (!has_terminate && model_.mdp().goal_probability(lane_scratch_) >=
+                              options_.goal_certainty) {
+      last_actions_[slot] = kInvalidId;
+      continue;
+    }
+    ++stats_.decisions;
+    if (options_.mode == FleetMode::Batch) {
+      if (cache_entry_cap_ > 0) {
+        const std::size_t entry = cache_lookup(lane_scratch_.data());
+        if (entry != kNoEntry) {
+          ++stats_.shared_hits;  // cross-tick reuse: bits of a past solve
+          select_decision(slot, cache_values_.data() + entry * model_.num_actions());
+          continue;
+        }
+      }
+      decide_batch_.push_back(lane_scratch_, slot);
+    } else {
+      engine_.action_values(lane_scratch_, options_.tree_depth, span_leaf, expansion,
+                            lane_values_);
+      ++stats_.classes;
+      select_decision(slot, lane_values_.data());
+    }
+  }
+
+  if (options_.mode == FleetMode::Batch && !decide_batch_.empty()) {
+    BatchExpansionStats batch_stats;
+    engine_.action_values_batch(decide_batch_, options_.tree_depth, span_leaf, expansion,
+                                values_scratch_, &batch_stats);
+    stats_.classes += batch_stats.classes;
+    stats_.shared_hits += batch_stats.shared_hits;
+    const std::size_t num_actions = model_.num_actions();
+    for (std::size_t lane = 0; lane < decide_batch_.size(); ++lane) {
+      const auto slot = static_cast<std::size_t>(decide_batch_.session_id(lane));
+      const ActionValue* values = values_scratch_.data() + lane * num_actions;
+      select_decision(slot, values);
+      if (cache_entry_cap_ > 0) {
+        // First lane of each intra-tick class inserts; classmates find the
+        // fresh entry and skip. Lanes share `values` rows bit-for-bit with
+        // the class solve, so a future hit replays the exact solve output.
+        decide_batch_.copy_lane(lane, lane_scratch_);
+        if (cache_lookup(lane_scratch_.data()) == kNoEntry) {
+          cache_insert(lane_scratch_.data(), values);
+        }
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < slots; ++s) set_.flush_eval(eval_scratch_[s]);
+}
+
+void FleetDriver::act_phase() {
+  const std::size_t n = envs_.size();
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const ActionId action = last_actions_[slot];
+    if (action == kInvalidId) {
+      finish_episode(slot, /*terminated=*/true);
+      spawn(slot);
+      continue;
+    }
+    RD_ENSURES(action < env_model_.num_actions(),
+               "FleetDriver: decided an action the environment lacks");
+    const auto step = envs_[slot].step(action);
+    if (++episode_steps_[slot] >= options_.max_steps) {
+      finish_episode(slot, /*terminated=*/false);
+      spawn(slot);  // the cap-hitting step's observation dies with the episode
+    } else {
+      pending_action_[slot] = action;
+      pending_obs_[slot] = step.obs;
+    }
+  }
+}
+
+void FleetDriver::update_phase() {
+  if (options_.mode == FleetMode::Batch) {
+    update_batch(model_, batch_, pending_action_, pending_obs_, update_ws_);
+    stats_.belief_mismatches += update_ws_.failures;
+  } else {
+    const std::size_t n = envs_.size();
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      if (pending_action_[slot] == kInvalidId) continue;
+      batch_.copy_lane(slot, lane_scratch_);
+      const Belief before = Belief::from_normalized(lane_scratch_);
+      const auto updated =
+          update_belief(model_, before, pending_action_[slot], pending_obs_[slot]);
+      if (updated.has_value()) {
+        batch_.assign_lane(slot, updated->next.probabilities());
+      } else {
+        ++stats_.belief_mismatches;  // lane kept as-is, like update_batch
+      }
+    }
+  }
+  std::fill(pending_action_.begin(), pending_action_.end(), kInvalidId);
+}
+
+void FleetDriver::tick() {
+  obs::TraceSpan span("sim.fleet.tick", obs::TraceLevel::Decide);
+  span.arg("sessions", static_cast<double>(envs_.size()));
+
+  const FleetStats before = stats_;
+  decide_phase();
+  act_phase();
+  update_phase();
+  ++stats_.ticks;
+
+  FleetInstruments& instruments = FleetInstruments::get();
+  instruments.ticks.add(1);
+  instruments.decisions.add(stats_.decisions - before.decisions);
+  instruments.classes.add(stats_.classes - before.classes);
+  instruments.shared_hits.add(stats_.shared_hits - before.shared_hits);
+  instruments.episodes.add(stats_.episodes_completed - before.episodes_completed);
+  instruments.truncated.add(stats_.episodes_truncated - before.episodes_truncated);
+  instruments.mismatches.add(stats_.belief_mismatches - before.belief_mismatches);
+  span.arg("classes", static_cast<double>(stats_.classes - before.classes));
+}
+
+double FleetDriver::healthy_fraction() const {
+  if (envs_.empty()) return 0.0;
+  std::size_t healthy = 0;
+  for (const Environment& env : envs_) {
+    if (env.recovered()) ++healthy;
+  }
+  return static_cast<double>(healthy) / static_cast<double>(envs_.size());
+}
+
+}  // namespace recoverd::sim

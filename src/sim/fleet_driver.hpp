@@ -1,0 +1,169 @@
+// Throughput-mode fleet simulation (DESIGN.md §13): N synchronized recovery
+// sessions advance in lock-step *ticks* against private hidden-state
+// environments, with every per-session decision and belief update routed
+// through the batch-first engine entry points — one
+// ExpansionEngine::action_values_batch() call (shared-subtree reuse across
+// sessions whose beliefs coincide bitwise) and one update_batch() call per
+// tick. A session that terminates (or hits the step cap) is respawned with a
+// fresh injected fault, so the fleet stays at constant width and
+// decisions/second is a steady-state measurement.
+//
+// FleetMode::Loop runs the identical schedule through the single-session
+// primitives (action_values() + update_belief() per lane). Both modes
+// process slots in ascending order on per-slot RNG streams, and each batch
+// primitive is bitwise identical to its looped counterpart, so a Batch run
+// and a Loop run from the same seed produce bit-identical beliefs, actions,
+// and episode outcomes at every tick — the fleet-level parity contract the
+// throughput bench and tests/sim_fleet_test.cpp check.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bounds/bound_set.hpp"
+#include "pomdp/belief_batch.hpp"
+#include "pomdp/expansion.hpp"
+#include "pomdp/pomdp.hpp"
+#include "sim/environment.hpp"
+#include "sim/fault_injector.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::sim {
+
+enum class FleetMode {
+  Batch,  ///< batched engine calls (the throughput path)
+  Loop,   ///< looped single-session calls (the parity reference)
+};
+
+struct FleetOptions {
+  /// Number of synchronized sessions (fleet width, constant over time).
+  std::size_t sessions = 1;
+  FleetMode mode = FleetMode::Batch;
+  /// The monitoring action (used for the respawn initial reading). Required.
+  ActionId observe_action = kInvalidId;
+  // Decision knobs, mirroring BoundedControllerOptions (no deadline ladder
+  // or online bound improvement: the bound set stays frozen during ticks so
+  // every lane of a tick — and both fleet modes — sees the same V_B⁻).
+  int tree_depth = 1;
+  double branch_floor = 0.0;
+  int root_jobs = 1;
+  bool memo = true;
+  std::size_t memo_max_mb = 64;
+  double goal_certainty = 1.0 - 1e-9;
+  double terminate_tie_epsilon = 1e-9;
+  /// Decide/act steps after which an episode is cut off (truncated) and the
+  /// slot respawned.
+  std::size_t max_steps = 100000;
+  /// Take one monitor reading on (re)spawn to refine the uniform initial
+  /// belief before the first decision, as run_episode does.
+  bool initial_observation = true;
+  /// Support of the initial belief; empty = all non-goal env-model states.
+  std::vector<StateId> fault_support;
+  /// Batch-mode *cross-tick* root reuse: cache (belief bits → root action
+  /// values) across ticks. Exact because the fleet's bound set is frozen and
+  /// the engine deterministic — a hit returns the very bits a fresh solve
+  /// would produce, so Batch stays bitwise identical to (uncached) Loop.
+  /// In steady state most lanes sit at recurring belief states, so this is
+  /// where the fleet's throughput headroom comes from.
+  bool decision_cache = true;
+  /// Entry cap of the decision cache (keys + value rows); insertions stop
+  /// at the cap, lookups keep working.
+  std::size_t decision_cache_mb = 64;
+};
+
+/// Cumulative fleet tallies. `classes`/`shared_hits` are Batch-mode work
+/// accounting (Loop mode counts every decision as its own class) — exclude
+/// them from Batch-vs-Loop parity comparisons; everything else matches
+/// bitwise across modes.
+struct FleetStats {
+  std::size_t ticks = 0;
+  std::size_t decisions = 0;     ///< lanes decided by tree expansion
+  std::size_t classes = 0;       ///< canonical root classes actually solved
+  std::size_t shared_hits = 0;   ///< lanes served by another lane's solve
+                                 ///< (same tick or the cross-tick cache)
+  std::size_t episodes_completed = 0;
+  std::size_t episodes_recovered = 0;  ///< completed with true state in Sφ
+  std::size_t episodes_truncated = 0;  ///< completed by the max_steps cap
+  std::size_t belief_mismatches = 0;   ///< zero-likelihood updates (lane kept)
+};
+
+/// Lock-step driver of `sessions` recovery sessions. Each tick runs three
+/// phases over all slots: decide (terminate on goal certainty / aT tie,
+/// otherwise the depth-d Max-Avg action — selection logic identical to
+/// BoundedController::decide()), act (environment step, respawn on
+/// termination or cap), and belief update (batched Bayes conditioning;
+/// respawned slots take their initial monitor reading instead).
+class FleetDriver {
+ public:
+  /// `controller_model` is the (possibly terminate-transformed) model the
+  /// decisions and beliefs live in; `env_model` the untransformed ground
+  /// truth the environments simulate. `set` is the frozen lower-bound set —
+  /// non-const only for evaluate-scratch flushes (use counters); its planes
+  /// never change. All references must outlive the driver.
+  FleetDriver(const Pomdp& controller_model, const Pomdp& env_model,
+              bounds::BoundSet& set, const FaultInjector& injector,
+              std::uint64_t seed, FleetOptions options);
+
+  /// Advances every session by one decide/act/update step.
+  void tick();
+
+  std::size_t sessions() const { return envs_.size(); }
+  const FleetStats& stats() const { return stats_; }
+
+  /// Lane s is session (slot) s — the fleet never compacts, so lane indices
+  /// are stable and parity checks can memcmp state rows across drivers.
+  const BeliefBatch& beliefs() const { return batch_; }
+
+  /// Last tick's chosen action per slot; kInvalidId marks a slot that
+  /// terminated (and respawned) that tick.
+  std::span<const ActionId> last_actions() const { return last_actions_; }
+
+  /// Fraction of slots whose true environment state is currently in Sφ.
+  double healthy_fraction() const;
+
+ private:
+  void spawn(std::size_t slot);
+  void finish_episode(std::size_t slot, bool terminated);
+  void select_decision(std::size_t slot, const ActionValue* values);
+  void decide_phase();
+  void act_phase();
+  void update_phase();
+
+  const Pomdp& model_;
+  const Pomdp& env_model_;
+  bounds::BoundSet& set_;
+  const FaultInjector& injector_;
+  FleetOptions options_;
+  ExpansionEngine engine_;
+  std::vector<double> initial_probs_;  // uniform over the fault support
+  std::vector<Rng> slot_rng_;          // fault-injection stream per slot
+  std::vector<Environment> envs_;
+  BeliefBatch batch_;  // lane i == slot i, always `sessions` lanes
+  std::vector<std::size_t> episode_steps_;
+  FleetStats stats_;
+
+  // Cross-tick decision cache (Batch mode): belief-bit keys in a flat arena,
+  // num_actions-strided value rows, hash buckets of entry indices confirmed
+  // by memcmp — misses only ever split entries, never merge them.
+  std::size_t cache_lookup(const double* belief) const;  // entry index or npos
+  void cache_insert(const double* belief, const ActionValue* values);
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> cache_buckets_;
+  std::vector<double> cache_keys_;        // entry i at [i·|S|, (i+1)·|S|)
+  std::vector<ActionValue> cache_values_; // entry i at [i·|A|, (i+1)·|A|)
+  std::size_t cache_entry_cap_ = 0;
+
+  // Per-tick scratch (capacities persist across ticks).
+  BeliefBatch decide_batch_;  // lanes needing expansion; session_id = slot
+  std::vector<ActionValue> values_scratch_;
+  std::vector<ActionValue> lane_values_;
+  std::vector<double> lane_scratch_;
+  std::vector<ActionId> last_actions_;
+  std::vector<ActionId> pending_action_;  // conditioning pair for update_phase
+  std::vector<ObsId> pending_obs_;
+  BatchUpdateWorkspace update_ws_;
+  std::vector<bounds::BoundSet::EvalScratch> eval_scratch_;
+};
+
+}  // namespace recoverd::sim

@@ -79,6 +79,10 @@ std::size_t CliArgs::get_jobs(std::size_t fallback) const {
   return static_cast<std::size_t>(jobs);
 }
 
+std::string CliArgs::get_simd() const {
+  return get_choice("simd", "auto", {"auto", "avx2", "scalar"});
+}
+
 void CliArgs::require_known(const std::vector<std::string>& known) const {
   for (const auto& [key, value] : kv_) {
     (void)value;

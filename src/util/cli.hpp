@@ -35,6 +35,11 @@ class CliArgs {
   /// compatible with pre-`--jobs` runs — unless parallelism is requested.
   std::size_t get_jobs(std::size_t fallback = 1) const;
 
+  /// Parses the shared `--simd={auto,avx2,scalar}` kernel-selection flag
+  /// (default "auto"). Only validates the spelling here; pass the result to
+  /// simd::configure(), which checks hardware support for a forced "avx2".
+  std::string get_simd() const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
   /// Throws PreconditionError when an argument key is not in `known`.

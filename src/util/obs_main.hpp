@@ -1,0 +1,75 @@
+// The shared main() harness of the bench/example binaries.
+//
+// Every binary used to repeat the same boilerplate: collect its flag list,
+// append the observability flags, require_known(), init_observability(),
+// run, finish_observability(). run_obs_main() centralises that sequence —
+// and adds the `--simd` kernel-selection flag (util/simd.hpp) with a
+// one-line startup log — so a binary's main() is three lines:
+//
+//   int main(int argc, char** argv) {
+//     return recoverd::run_obs_main(argc, argv, {"faults", "seed"},
+//                                   [](const recoverd::CliArgs& args) {
+//                                     return recoverd::bench::run(args);
+//                                   });
+//   }
+//
+// Header-only on purpose: recoverd_util cannot link recoverd_obs (obs sits
+// above util in the layer graph), but a binary including this header links
+// both already.
+#pragma once
+
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/simd.hpp"
+
+namespace recoverd {
+
+/// Parses flags, applies the shared observability + SIMD plumbing, and runs
+/// `body`:
+///   1. rejects flags outside `known` + the obs flags + `simd`,
+///   2. simd::configure(--simd) with a startup log line (stderr, Info),
+///   3. obs::init_observability (--trace-out/--trace-level/--provenance-out),
+///   4. exit code = body(args),
+///   5. obs::finish_observability (--metrics-out + trace/provenance drain).
+/// Configuration errors (unknown flag, bad --simd, unwritable sink) print
+/// one actionable line to stderr and return 2 instead of crashing.
+template <typename Body>
+int run_obs_main(int argc, const char* const* argv, std::vector<std::string> known,
+                 const Body& body) {
+  const CliArgs args(argc, argv);
+  int code = 2;
+  bool initialized = false;
+  try {
+    known.emplace_back("simd");
+    const std::vector<std::string> obs_flags = obs::obs_flag_names();
+    known.insert(known.end(), obs_flags.begin(), obs_flags.end());
+    args.require_known(known);
+
+    simd::configure(args.get_simd());
+    log_info("simd kernels: ", simd::describe_active_mode());
+
+    obs::init_observability(args);
+    initialized = true;
+    code = body(args);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    code = 2;
+  }
+  if (initialized) {
+    try {
+      obs::finish_observability(args);
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      code = 2;
+    }
+  }
+  return code;
+}
+
+}  // namespace recoverd

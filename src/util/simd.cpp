@@ -1,0 +1,75 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+
+#include "util/check.hpp"
+
+// The kernels themselves live in linalg/simd_kernels.hpp behind function-
+// level `target("avx2")` attributes, so the build needs no global -mavx2 —
+// this detection gate is what keeps them off unsupported hardware.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RECOVERD_SIMD_X86 1
+#else
+#define RECOVERD_SIMD_X86 0
+#endif
+
+namespace recoverd::simd {
+
+namespace {
+// Mode plus provenance ("auto" vs "forced") for the startup log. Relaxed
+// atomics: configure() runs once at startup before any kernel dispatch;
+// later reads only need to see *a* consistent value.
+std::atomic<Mode> g_mode{cpu_supports_avx2() ? Mode::Avx2 : Mode::Scalar};
+std::atomic<bool> g_forced{false};
+}  // namespace
+
+bool compiled_with_avx2() { return RECOVERD_SIMD_X86 != 0; }
+
+bool cpu_supports_avx2() {
+#if RECOVERD_SIMD_X86
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+Mode active_mode() { return g_mode.load(std::memory_order_relaxed); }
+
+void configure(const std::string& flag) {
+  if (flag == "auto") {
+    g_mode.store(cpu_supports_avx2() ? Mode::Avx2 : Mode::Scalar,
+                 std::memory_order_relaxed);
+    g_forced.store(false, std::memory_order_relaxed);
+    return;
+  }
+  if (flag == "scalar") {
+    g_mode.store(Mode::Scalar, std::memory_order_relaxed);
+    g_forced.store(true, std::memory_order_relaxed);
+    return;
+  }
+  if (flag == "avx2") {
+    RD_EXPECTS(compiled_with_avx2(),
+               "--simd=avx2: this build has no AVX2 kernels (non-x86-64 target); "
+               "use --simd=auto or --simd=scalar");
+    RD_EXPECTS(cpu_supports_avx2(),
+               "--simd=avx2: this CPU does not support AVX2; "
+               "use --simd=auto or --simd=scalar");
+    g_mode.store(Mode::Avx2, std::memory_order_relaxed);
+    g_forced.store(true, std::memory_order_relaxed);
+    return;
+  }
+  RD_EXPECTS(false, "--simd: unknown value '" + flag + "' (expected auto, avx2, scalar)");
+}
+
+const char* mode_name(Mode mode) {
+  return mode == Mode::Avx2 ? "avx2" : "scalar";
+}
+
+std::string describe_active_mode() {
+  std::string out = mode_name(active_mode());
+  out += g_forced.load(std::memory_order_relaxed) ? " (forced)" : " (auto)";
+  return out;
+}
+
+}  // namespace recoverd::simd

@@ -1,0 +1,53 @@
+// Process-wide SIMD kernel selection (`--simd={auto,avx2,scalar}`).
+//
+// The repo's vector kernels (the BoundSet leaf dot products and the
+// successor-expansion / Bayes-update inner loops) each exist in two
+// versions: a scalar reference and an AVX2 variant that is *bitwise
+// identical* to it — the AVX2 kernels vectorize only across independent
+// accumulators (one belief per lane, one observation per lane) or across
+// elementwise operations, never inside a single floating-point reduction,
+// so every accumulator sees its terms in exactly the scalar order and no
+// FMA contraction is permitted (DESIGN.md §13). Which version runs is a
+// process-global mode resolved here: `auto` picks AVX2 when the CPU has it,
+// `scalar` forces the reference kernels (the parity-test baseline), `avx2`
+// forces the vector kernels and fails with a clear error — not a crash —
+// on hardware without them.
+//
+// Because the two versions produce the same bits, the mode is a pure
+// performance knob: campaign outputs are byte-identical across modes.
+#pragma once
+
+#include <string>
+
+namespace recoverd::simd {
+
+/// The kernel families a build can dispatch between.
+enum class Mode {
+  Scalar,  ///< reference kernels, available everywhere
+  Avx2,    ///< 4-lane double kernels (x86-64 AVX2)
+};
+
+/// True when this build carries the AVX2 kernels at all (x86-64 GCC/Clang).
+bool compiled_with_avx2();
+
+/// True when the CPU running this process supports AVX2 (false when the
+/// build lacks the kernels, regardless of the hardware).
+bool cpu_supports_avx2();
+
+/// The currently selected mode. Defaults to the `auto` resolution (AVX2
+/// when supported, scalar otherwise) until configure() overrides it.
+Mode active_mode();
+
+/// Resolves a `--simd` flag value: "auto" (default), "avx2", "scalar".
+/// Throws PreconditionError with an actionable message when "avx2" is
+/// requested on hardware (or a build) without it, and on unknown values.
+void configure(const std::string& flag);
+
+/// "scalar" / "avx2".
+const char* mode_name(Mode mode);
+
+/// One-line description for startup logs: the active kernel plus how it was
+/// chosen, e.g. "avx2 (auto)" or "scalar (forced)".
+std::string describe_active_mode();
+
+}  // namespace recoverd::simd

@@ -4,7 +4,9 @@
 // records must echo the controller's returned decisions exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -20,6 +22,7 @@
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 #include "sim/experiment.hpp"
+#include "sim/fleet_driver.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -244,6 +247,51 @@ TEST_F(TraceParityFixture, TraceParityProvenanceEchoesIntervalBounds) {
   EXPECT_EQ(chosen.lower, stats.lower);
   EXPECT_EQ(chosen.upper, stats.upper);
   EXPECT_FALSE(chosen.pruned);
+}
+
+// The batch decision path (FleetDriver → action_values_batch/update_batch)
+// carries its own sim.fleet.tick spans; enabling tracing must not change a
+// single belief bit, action, or tally of a fleet either.
+TEST_F(TraceParityFixture, TraceParityFleetBatchIdenticalOnVsOff) {
+  FleetOptions options;
+  options.sessions = 12;
+  options.mode = FleetMode::Batch;
+  options.observe_action = ids_.observe;
+  options.fault_support = {ids_.fault_a, ids_.fault_b};
+  options.max_steps = 500;
+  constexpr std::size_t kTicks = 5;
+
+  const auto before_off = deterministic_metrics();
+  FleetDriver off(recovery_, base_, set_, injector_, 31, options);
+  for (std::size_t t = 0; t < kTicks; ++t) off.tick();
+  const auto off_delta = delta(before_off, deterministic_metrics());
+
+  obs::enable_tracing(obs::TraceLevel::Full);
+  const auto before_on = deterministic_metrics();
+  FleetDriver on(recovery_, base_, set_, injector_, 31, options);
+  for (std::size_t t = 0; t < kTicks; ++t) on.tick();
+  const auto on_delta = delta(before_on, deterministic_metrics());
+  obs::disable_tracing();
+  obs::reset_tracing();
+
+  for (StateId s = 0; s < recovery_.num_states(); ++s) {
+    const auto lanes_off = off.beliefs().state_lanes(s);
+    const auto lanes_on = on.beliefs().state_lanes(s);
+    ASSERT_EQ(std::memcmp(lanes_off.data(), lanes_on.data(),
+                          options.sessions * sizeof(double)),
+              0)
+        << "fleet belief bits diverged under tracing, state " << s;
+  }
+  EXPECT_TRUE(std::equal(off.last_actions().begin(), off.last_actions().end(),
+                         on.last_actions().begin()));
+  EXPECT_EQ(off.stats().decisions, on.stats().decisions);
+  EXPECT_EQ(off.stats().classes, on.stats().classes);
+  EXPECT_EQ(off.stats().shared_hits, on.stats().shared_hits);
+  EXPECT_EQ(off.stats().episodes_completed, on.stats().episodes_completed);
+  EXPECT_EQ(off.stats().episodes_recovered, on.stats().episodes_recovered);
+  EXPECT_EQ(off.stats().belief_mismatches, on.stats().belief_mismatches);
+  // Tracing must not change how often any instrumented path runs.
+  EXPECT_EQ(off_delta, on_delta);
 }
 
 TEST_F(TraceParityFixture, TraceParityDisabledSpanOverheadSmoke) {

@@ -1,0 +1,74 @@
+// Process-wide SIMD mode selection (`--simd={auto,avx2,scalar}`): flag
+// resolution, CPU feature consistency, and the actionable-error contract
+// when AVX2 is forced on hardware (or a build) without it.
+#include "util/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace recoverd::simd {
+namespace {
+
+// Every test leaves the process in the default `auto` resolution, so suite
+// ordering can't leak a forced mode into unrelated kernels.
+struct SimdConfigTest : ::testing::Test {
+  ~SimdConfigTest() override { configure("auto"); }
+};
+
+TEST_F(SimdConfigTest, ModeNamesRoundTrip) {
+  EXPECT_STREQ(mode_name(Mode::Scalar), "scalar");
+  EXPECT_STREQ(mode_name(Mode::Avx2), "avx2");
+}
+
+TEST_F(SimdConfigTest, CpuSupportImpliesCompiledSupport) {
+  if (cpu_supports_avx2()) {
+    EXPECT_TRUE(compiled_with_avx2())
+        << "cpu_supports_avx2() must be false when the build lacks the kernels";
+  }
+}
+
+TEST_F(SimdConfigTest, ScalarForcesReferenceKernels) {
+  configure("scalar");
+  EXPECT_EQ(active_mode(), Mode::Scalar);
+  EXPECT_NE(describe_active_mode().find("scalar"), std::string::npos);
+  EXPECT_NE(describe_active_mode().find("forced"), std::string::npos);
+}
+
+TEST_F(SimdConfigTest, AutoResolvesToBestSupportedKernel) {
+  configure("auto");
+  const Mode expected = cpu_supports_avx2() ? Mode::Avx2 : Mode::Scalar;
+  EXPECT_EQ(active_mode(), expected);
+  EXPECT_NE(describe_active_mode().find("auto"), std::string::npos);
+}
+
+TEST_F(SimdConfigTest, ForcedAvx2RunsOrFailsActionably) {
+  if (cpu_supports_avx2()) {
+    configure("avx2");
+    EXPECT_EQ(active_mode(), Mode::Avx2);
+  } else {
+    // The contract is a clear error, not a crash or an SIGILL later on.
+    EXPECT_THROW(configure("avx2"), PreconditionError);
+    EXPECT_EQ(active_mode(), Mode::Scalar);
+  }
+}
+
+TEST_F(SimdConfigTest, UnknownFlagValueThrows) {
+  EXPECT_THROW(configure("sse9"), PreconditionError);
+  EXPECT_THROW(configure(""), PreconditionError);
+}
+
+TEST_F(SimdConfigTest, ReconfigureIsIdempotent) {
+  configure("scalar");
+  configure("scalar");
+  EXPECT_EQ(active_mode(), Mode::Scalar);
+  configure("auto");
+  const Mode resolved = active_mode();
+  configure("auto");
+  EXPECT_EQ(active_mode(), resolved);
+}
+
+}  // namespace
+}  // namespace recoverd::simd

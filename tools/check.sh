@@ -3,10 +3,12 @@
 #   1. tier-1: Release configure + build + full ctest run (the ROADMAP gate);
 #   2. sanitize: RelWithDebInfo + ASan/UBSan build + full ctest run;
 #   3. tsan: ThreadSanitizer build + the concurrency tests (names matching
-#      "Parallel|Scc|Memo": the parallel experiment runner, the engine's
-#      root fan-out — including the per-worker transposition caches of
-#      DESIGN.md §11 — and the topology-aware SCC solver's level/chunk
-#      threading), which exercise every cross-thread code path in the repo.
+#      "Parallel|Scc|Memo|Trace|Batch|Simd|Fleet": the parallel experiment
+#      runner, the engine's root fan-out — including the per-worker
+#      transposition caches of DESIGN.md §11 — the topology-aware SCC
+#      solver's level/chunk threading, and the batched decision engine +
+#      fleet driver of §13), which exercise every cross-thread code path in
+#      the repo.
 #
 #   4. robustness: ASan/UBSan run of the guard/mismatch test binaries plus a
 #      mini chaos soak (robustness_campaign at --faults=50) that must finish
@@ -20,12 +22,17 @@
 #      tools/trace2summary.py — a smoke test that the span trace is valid
 #      Chrome-trace JSON and the provenance JSONL parses.
 #
+#   7. throughput: a smoke run of the batched-decision fleet campaign (small
+#      widths, Batch-vs-Loop bitwise parity; the binary exits nonzero on any
+#      parity mismatch).
+#
 # Usage: tools/check.sh            # all passes
 #        SKIP_SANITIZE=1 tools/check.sh   # skip the ASan/UBSan pass
 #        SKIP_TSAN=1 tools/check.sh       # skip the ThreadSanitizer pass
 #        SKIP_ROBUSTNESS=1 tools/check.sh # skip the chaos soak
 #        SKIP_SCALING=1 tools/check.sh    # skip the scaling smoke
 #        SKIP_TRACE=1 tools/check.sh      # skip the trace smoke
+#        SKIP_THROUGHPUT=1 tools/check.sh # skip the throughput smoke
 #        JOBS=8 tools/check.sh     # override parallelism
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -53,9 +60,10 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake --build build-tsan -j "$JOBS" \
     --target sim_parallel_experiment_test pomdp_expansion_parity_test \
              pomdp_memo_test linalg_scc_test linalg_parallel_solve_test \
-             obs_trace_test trace_parity_test
+             obs_trace_test trace_parity_test util_simd_test \
+             pomdp_batch_parity_test sim_fleet_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R "Parallel|Scc|Memo|Trace"
+    -R "Parallel|Scc|Memo|Trace|Batch|Simd|Fleet"
 fi
 
 if [[ "${SKIP_ROBUSTNESS:-0}" != "1" ]]; then
@@ -92,6 +100,14 @@ if [[ "${SKIP_TRACE:-0}" != "1" ]]; then
   python3 tools/trace2summary.py /tmp/recoverd_trace_smoke.json \
     | grep -q "controller.decide"
   [[ -s /tmp/recoverd_provenance_smoke.jsonl ]]
+fi
+
+if [[ "${SKIP_THROUGHPUT:-0}" != "1" ]]; then
+  echo "== throughput: batched fleet campaign smoke (Batch-vs-Loop bitwise parity) =="
+  # Small widths, no speedup gate; the binary exits nonzero when a Batch
+  # fleet and a Loop fleet from the same seed diverge by a single bit.
+  cmake --build build -j "$JOBS" --target throughput_campaign
+  ./build/bench/throughput_campaign --smoke --out=/tmp/recoverd_throughput_smoke.json
 fi
 
 echo "All checks passed."
