@@ -10,17 +10,18 @@ EmnExperimentSetup parse_emn_setup(const CliArgs& args) {
   EmnExperimentSetup setup;
   setup.emn.operator_response_time =
       args.get_double("top", setup.emn.operator_response_time);
-  setup.seed = static_cast<std::uint64_t>(args.get_int("seed", 2006));
-  setup.bound_capacity = static_cast<std::size_t>(args.get_int("capacity", 64));
+  setup.seed = static_cast<std::uint64_t>(args.get_size("seed", 2006));
+  // Validated parses (util/cli.hpp): a negative count used to wrap through
+  // the size_t cast into an absurd huge value; now it fails loudly.
+  setup.bound_capacity = args.get_size("capacity", 64);  // 0 = unlimited
   setup.branch_floor = args.get_double("branch-floor", setup.branch_floor);
   setup.termination_probability =
       args.get_double("termination-probability", setup.termination_probability);
-  setup.bootstrap_runs =
-      static_cast<std::size_t>(args.get_int("bootstrap-runs", 10));
-  setup.bootstrap_depth = static_cast<int>(args.get_int("bootstrap-depth", 2));
+  setup.bootstrap_runs = args.get_count("bootstrap-runs", 10);
+  setup.bootstrap_depth = static_cast<int>(args.get_count("bootstrap-depth", 2));
   setup.jobs = args.get_jobs(1);
   setup.memo = args.get_int("memo", 1) != 0;
-  setup.memo_max_mb = static_cast<std::size_t>(args.get_int("memo-max-mb", 64));
+  setup.memo_max_mb = args.get_size("memo-max-mb", 64);
   setup.mismatch = sim::parse_mismatch_options(args);
   setup.guard = controller::parse_guard_options(args);
   return setup;

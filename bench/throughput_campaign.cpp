@@ -41,6 +41,7 @@
 #include "sim/fleet_driver.hpp"
 #include "util/check.hpp"
 #include "util/obs_main.hpp"
+#include "util/shutdown.hpp"
 #include "util/simd.hpp"
 #include "util/timer.hpp"
 
@@ -61,6 +62,7 @@ struct CellResult {
 };
 
 double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;  // interrupted cell (shutdown mid-warmup)
   std::sort(sorted.begin(), sorted.end());
   const std::size_t n = sorted.size();
   const auto index = static_cast<std::size_t>(q * static_cast<double>(n - 1) + 0.5);
@@ -72,12 +74,12 @@ CellResult run_cell(const Pomdp& recovery, const Pomdp& base,
                     std::uint64_t seed, const sim::FleetOptions& options,
                     std::size_t warmup, std::size_t ticks) {
   sim::FleetDriver fleet(recovery, base, set, injector, seed, options);
-  for (std::size_t i = 0; i < warmup; ++i) fleet.tick();
+  for (std::size_t i = 0; i < warmup && !shutdown_requested(); ++i) fleet.tick();
 
   const sim::FleetStats before = fleet.stats();
   std::vector<double> tick_ms;
   tick_ms.reserve(ticks);
-  for (std::size_t i = 0; i < ticks; ++i) {
+  for (std::size_t i = 0; i < ticks && !shutdown_requested(); ++i) {
     Timer timer;
     fleet.tick();
     tick_ms.push_back(timer.elapsed_ms());
@@ -86,7 +88,7 @@ CellResult run_cell(const Pomdp& recovery, const Pomdp& base,
 
   CellResult cell;
   cell.sessions = options.sessions;
-  cell.ticks = ticks;
+  cell.ticks = tick_ms.size();
   for (const double ms : tick_ms) cell.total_ms += ms;
   cell.tick_ms_p50 = percentile(tick_ms, 0.5);
   cell.tick_ms_p99 = percentile(tick_ms, 0.99);
@@ -163,15 +165,14 @@ bool parity_check(const Pomdp& recovery, const Pomdp& base, bounds::BoundSet& se
 int run(const CliArgs& args) {
   const EmnExperimentSetup setup = parse_emn_setup(args);
   const bool smoke = args.get_bool("smoke", false);
-  const auto max_sessions =
-      static_cast<std::size_t>(args.get_int("sessions", smoke ? 256 : 100000));
-  const auto ticks = static_cast<std::size_t>(args.get_int("ticks", smoke ? 5 : 20));
-  const auto warmup = static_cast<std::size_t>(args.get_int("warmup", 2));
-  const auto loop_sessions =
-      static_cast<std::size_t>(args.get_int("loop-sessions", 512));
-  const auto parity_sessions =
-      static_cast<std::size_t>(args.get_int("parity-sessions", 64));
-  const auto parity_ticks = static_cast<std::size_t>(args.get_int("parity-ticks", 8));
+  // Validated parses (util/cli.hpp): zero/negative widths or tick counts
+  // fail loudly instead of wrapping through the size_t casts.
+  const std::size_t max_sessions = args.get_count("sessions", smoke ? 256 : 100000);
+  const std::size_t ticks = args.get_count("ticks", smoke ? 5 : 20);
+  const std::size_t warmup = args.get_size("warmup", 2);
+  const std::size_t loop_sessions = args.get_count("loop-sessions", 512);
+  const std::size_t parity_sessions = args.get_count("parity-sessions", 64);
+  const std::size_t parity_ticks = args.get_count("parity-ticks", 8);
 
   const Pomdp base = models::make_emn_base(setup.emn);
   const Pomdp recovery = models::make_emn_recovery_model(setup.emn);
@@ -225,6 +226,7 @@ int run(const CliArgs& args) {
   obs::Json::Array rows;
   bool all_checks_passed = parity_ok;
   for (const std::size_t sessions : widths) {
+    if (shutdown_requested()) break;  // wind down, still flush the report
     sim::FleetOptions options = fleet_options;
     options.sessions = sessions;
     options.mode = sim::FleetMode::Batch;

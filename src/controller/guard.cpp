@@ -131,6 +131,24 @@ void GuardRuntime::note_decide(double elapsed_ms, int achieved_depth,
   }
 }
 
+GuardRuntime::State GuardRuntime::state() const {
+  State state;
+  state.escalated = escalated_;
+  state.consecutive_overruns = consecutive_overruns_;
+  state.stalled_decides = stalled_decides_;
+  state.has_best_bound = has_best_bound_;
+  state.best_bound = best_bound_;
+  return state;
+}
+
+void GuardRuntime::set_state(const State& state) {
+  escalated_ = state.escalated;
+  consecutive_overruns_ = state.consecutive_overruns;
+  stalled_decides_ = static_cast<std::size_t>(state.stalled_decides);
+  has_best_bound_ = state.has_best_bound;
+  best_bound_ = state.best_bound;
+}
+
 void GuardRuntime::note_expected_bound(double value) {
   if (options_.livelock_window == 0) return;
   if (!has_best_bound_ || value > best_bound_ + options_.livelock_min_improvement) {

@@ -24,6 +24,7 @@
 // report *how* the controller degraded, not just that it survived.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -112,6 +113,24 @@ class GuardRuntime {
 
   /// Tree depth the most recent note_decide() reported (0 before any).
   int last_achieved_depth() const { return last_achieved_depth_; }
+
+  /// The mutable per-episode state, for crash-safe checkpointing of fleets
+  /// that hold one GuardRuntime per session (sim/checkpoint.hpp). Options
+  /// and the last_* provenance labels are reconstructed by the host, not
+  /// checkpointed.
+  struct State {
+    bool escalated = false;
+    std::int32_t consecutive_overruns = 0;
+    std::uint64_t stalled_decides = 0;
+    bool has_best_bound = false;
+    double best_bound = 0.0;
+  };
+
+  State state() const;
+
+  /// Restores a state() capture; a restored runtime continues the episode's
+  /// livelock/overrun accounting exactly where the capture left it.
+  void set_state(const State& state);
 
  private:
   GuardOptions options_;

@@ -1,0 +1,93 @@
+#include "sim/chaos_injector.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace recoverd::sim {
+
+namespace {
+// Salt separating the chaos master stream from the fleet's (seed-derived)
+// fault/environment streams: enabling chaos must never shift baseline draws.
+constexpr std::uint64_t kChaosSeedSalt = 0x43484f53464c54ULL;  // "CHOSFLT"
+}  // namespace
+
+ChaosOptions parse_chaos_options(const CliArgs& args) {
+  ChaosOptions options;
+  options.stall_rate = args.get_double("chaos-stall-rate", 0.0);
+  options.stall_ms = args.has("chaos-stall-ms")
+                         ? args.get_positive_double("chaos-stall-ms", options.stall_ms)
+                         : options.stall_ms;
+  options.obs_corrupt_rate = args.get_double("chaos-obs-corrupt", 0.0);
+  options.poison_rate = args.get_double("chaos-poison", 0.0);
+  for (const auto& [name, rate] :
+       {std::pair<const char*, double>{"chaos-stall-rate", options.stall_rate},
+        {"chaos-obs-corrupt", options.obs_corrupt_rate},
+        {"chaos-poison", options.poison_rate}}) {
+    RD_EXPECTS(rate >= 0.0 && rate <= 1.0,
+               std::string("CliArgs: --") + name + " must be in [0, 1]");
+  }
+  return options;
+}
+
+std::vector<std::string> chaos_flag_names() {
+  return {"chaos-stall-rate", "chaos-stall-ms", "chaos-obs-corrupt", "chaos-poison"};
+}
+
+ChaosInjector::ChaosInjector(ChaosOptions options, std::uint64_t seed,
+                             std::size_t slots)
+    : options_(options) {
+  Rng master(seed ^ kChaosSeedSalt);
+  rng_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) rng_.push_back(master.split());
+}
+
+bool ChaosInjector::draw_stall(std::size_t slot) {
+  if (options_.stall_rate <= 0.0) return false;
+  return rng_[slot].bernoulli(options_.stall_rate);
+}
+
+ObsId ChaosInjector::corrupt_observation(std::size_t slot, ObsId fresh,
+                                         std::size_t num_obs, bool& corrupted) {
+  corrupted = false;
+  if (options_.obs_corrupt_rate <= 0.0) return fresh;
+  Rng& rng = rng_[slot];
+  if (!rng.bernoulli(options_.obs_corrupt_rate)) return fresh;
+  corrupted = true;
+  // Half the corruptions stay in-alphabet (silent wrong readings the Bayes
+  // update must absorb), half go out of range (ids the fleet must reject
+  // before indexing anything).
+  if (rng.bernoulli(0.5)) {
+    return static_cast<ObsId>(rng.uniform_index(num_obs));
+  }
+  return static_cast<ObsId>(num_obs + rng.uniform_index(num_obs) + 1);
+}
+
+bool ChaosInjector::draw_poison(std::size_t slot, std::size_t num_states,
+                                std::size_t& state, double& value) {
+  if (options_.poison_rate <= 0.0) return false;
+  Rng& rng = rng_[slot];
+  if (!rng.bernoulli(options_.poison_rate)) return false;
+  state = rng.uniform_index(num_states);
+  // NaN half the time, a denormal (smaller than any honest probability the
+  // normalised updates can produce) the other half.
+  value = rng.bernoulli(0.5) ? std::numeric_limits<double>::quiet_NaN()
+                             : std::numeric_limits<double>::denorm_min();
+  return true;
+}
+
+std::vector<std::array<std::uint64_t, 4>> ChaosInjector::rng_states() const {
+  std::vector<std::array<std::uint64_t, 4>> states;
+  states.reserve(rng_.size());
+  for (const Rng& rng : rng_) states.push_back(rng.state());
+  return states;
+}
+
+void ChaosInjector::set_rng_states(
+    std::span<const std::array<std::uint64_t, 4>> states) {
+  RD_EXPECTS(states.size() == rng_.size(),
+             "ChaosInjector::set_rng_states: slot count mismatch");
+  for (std::size_t i = 0; i < rng_.size(); ++i) rng_[i].set_state(states[i]);
+}
+
+}  // namespace recoverd::sim

@@ -1,0 +1,107 @@
+// Infra-chaos injection for the fleet runtime (DESIGN.md §14) — the
+// *infrastructure* counterpart of sim/mismatch_injector.hpp's model-mismatch
+// axes. MismatchInjector perturbs the world the sessions recover; this
+// injector perturbs the machinery that runs them:
+//
+//  - decide stalls: with per-decide rate p a session's expansion "hangs" for
+//    stall_ms — the event a production deadline guard must isolate. With the
+//    fleet guard enabled, the stalled session is degraded down the ladder
+//    *alone* (no solve is attempted, so the stall never materialises); with
+//    the guard disabled, the fleet really spins for stall_ms, which is what
+//    collapses a batch tick and motivates the guard;
+//  - corrupted observation ids: with per-reading rate p the id delivered to
+//    the belief update is replaced — half the time by a random *valid* id
+//    (silent corruption the Bayes update surfaces as a zero-likelihood
+//    mismatch at worst), half the time by an out-of-range id that the fleet
+//    must detect and reject before it indexes the observation tables;
+//  - belief poisoning: with per-tick rate p one entry of a session's belief
+//    row is overwritten with NaN or a denormal — the classic symptom of an
+//    upstream numeric bug or torn write. The fleet's hygiene scan must
+//    detect the lane, quarantine it (reset to the episode prior), and keep
+//    the rest of the batch untouched.
+//
+// (The fourth infra axis — truncated/bit-flipped checkpoint files — lives in
+// the checkpoint reader's corruption matrix, sim/checkpoint.hpp.)
+//
+// Determinism: the injector owns one RNG stream per fleet slot, seeded from
+// (seed ⊕ salt, slot) independently of the fleet's own streams — enabling an
+// axis never perturbs the baseline fault/transition/observation draws, and
+// both fleet modes (Batch/Loop) consume identical chaos sequences, so the
+// Batch ≡ Loop and across-`--jobs`/`--simd` bitwise contracts hold under
+// chaos. Every axis draws unconditionally at its fixed point in the tick
+// (poison → stall → per-reading corruption), so event sequences are a
+// function of (seed, slot, tick) alone.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pomdp/types.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd::sim {
+
+/// Infra-chaos axes; all rates in [0, 1], all defaults "off".
+struct ChaosOptions {
+  double stall_rate = 0.0;   ///< per-decide probability of an injected stall
+  double stall_ms = 5.0;     ///< stall length (really spun only when unguarded)
+  double obs_corrupt_rate = 0.0;  ///< per-reading id-corruption probability
+  double poison_rate = 0.0;  ///< per-tick per-slot belief-poisoning probability
+
+  /// True when any axis is active — the fleet only allocates per-slot chaos
+  /// streams in that case.
+  bool enabled() const {
+    return stall_rate > 0.0 || obs_corrupt_rate > 0.0 || poison_rate > 0.0;
+  }
+};
+
+/// Parses the shared `--chaos-*` flags (all default 0 = off):
+/// --chaos-stall-rate, --chaos-stall-ms, --chaos-obs-corrupt,
+/// --chaos-poison. Rates validated to [0, 1], stall-ms to > 0.
+ChaosOptions parse_chaos_options(const CliArgs& args);
+
+/// The flag keys above, for require_known() lists.
+std::vector<std::string> chaos_flag_names();
+
+/// Per-fleet chaos state machine: one private RNG stream per slot, drawn in
+/// a fixed per-tick order by the fleet driver.
+class ChaosInjector {
+ public:
+  /// `slots` fleet lanes, streams derived from (seed ⊕ salt, slot).
+  ChaosInjector(ChaosOptions options, std::uint64_t seed, std::size_t slots);
+
+  const ChaosOptions& options() const { return options_; }
+  std::size_t slots() const { return rng_.size(); }
+
+  /// Draws this tick's decide-stall event for a slot (only when the stall
+  /// axis is on; otherwise false without consuming a draw).
+  bool draw_stall(std::size_t slot);
+
+  /// Runs a delivered observation id through the corruption channel. Sets
+  /// `corrupted` when the id was replaced; the result may be >= num_obs
+  /// (the out-of-range half of the axis) — callers must validate before
+  /// indexing any observation table.
+  ObsId corrupt_observation(std::size_t slot, ObsId fresh, std::size_t num_obs,
+                            bool& corrupted);
+
+  /// Draws this tick's belief-poisoning event for a slot. On a hit, fills
+  /// the target state index and the poison value (NaN or a denormal) and
+  /// returns true.
+  bool draw_poison(std::size_t slot, std::size_t num_states, std::size_t& state,
+                   double& value);
+
+  /// Raw per-slot stream states, for checkpointing (sim/checkpoint.hpp).
+  std::vector<std::array<std::uint64_t, 4>> rng_states() const;
+  void set_rng_states(std::span<const std::array<std::uint64_t, 4>> states);
+
+ private:
+  ChaosOptions options_;
+  std::vector<Rng> rng_;
+};
+
+}  // namespace recoverd::sim

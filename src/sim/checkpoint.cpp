@@ -1,0 +1,385 @@
+#include "sim/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "util/check.hpp"
+
+namespace recoverd::sim {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x314b43544c464452ULL;  // "RDFLTCK1" LE
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8;           // magic+version+len
+
+// ---- CRC-64/XZ (reflected, poly 0x42F0E1EBA9EA3693) --------------------
+
+const std::uint64_t* crc64_table() {
+  static std::uint64_t table[256];
+  static const bool built = [] {
+    const std::uint64_t poly = 0xC96C5795D7870F42ULL;  // reflected polynomial
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      std::uint64_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+      }
+      table[i] = crc;
+    }
+    return true;
+  }();
+  (void)built;
+  return table;
+}
+
+std::uint64_t crc64(const unsigned char* data, std::size_t n) {
+  const std::uint64_t* table = crc64_table();
+  std::uint64_t crc = ~0ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// ---- byte-buffer writer/reader -----------------------------------------
+
+struct Writer {
+  std::vector<unsigned char> bytes;
+
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    bytes.insert(bytes.end(), p, p + n);
+  }
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+  void rng(const std::array<std::uint64_t, 4>& s) {
+    for (const std::uint64_t word : s) u64(word);
+  }
+};
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw ModelError("fleet checkpoint '" + path + "': " + why);
+}
+
+struct Reader {
+  const std::string& path;
+  const unsigned char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  void need(std::size_t n, const char* what) {
+    if (size - pos < n) {
+      fail(path, std::string("truncated while reading ") + what + " (need " +
+                     std::to_string(n) + " bytes at offset " + std::to_string(pos) +
+                     ", file has " + std::to_string(size) + ") — the file was cut "
+                     "short; restore from an intact checkpoint");
+    }
+  }
+  std::uint8_t u8(const char* what) {
+    need(1, what);
+    return data[pos++];
+  }
+  std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v;
+    std::memcpy(&v, data + pos, 4);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v;
+    std::memcpy(&v, data + pos, 8);
+    pos += 8;
+    return v;
+  }
+  double f64(const char* what) {
+    need(8, what);
+    double v;
+    std::memcpy(&v, data + pos, 8);
+    pos += 8;
+    return v;
+  }
+  std::array<std::uint64_t, 4> rng(const char* what) {
+    return {u64(what), u64(what), u64(what), u64(what)};
+  }
+};
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t mix_in(std::uint64_t h, std::uint64_t v) { return mix64(h ^ v); }
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, 8);
+  return b;
+}
+
+std::uint64_t hash_sparse(std::uint64_t h, const linalg::SparseMatrix& m) {
+  h = mix_in(h, m.rows());
+  h = mix_in(h, m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (const linalg::SparseEntry& e : m.row(r)) {
+      h = mix_in(h, e.col);
+      h = mix_in(h, bits_of(e.value));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t hash_pomdp(const Pomdp& model) {
+  std::uint64_t h = 0x5245434f56455244ULL;  // "RECOVERD"
+  const Mdp& mdp = model.mdp();
+  h = mix_in(h, model.num_states());
+  h = mix_in(h, model.num_actions());
+  h = mix_in(h, model.num_observations());
+  h = mix_in(h, model.terminate_action());
+  h = mix_in(h, model.terminate_state());
+  for (StateId s = 0; s < model.num_states(); ++s) {
+    h = mix_in(h, mdp.is_goal(s) ? 1 : 0);
+  }
+  for (ActionId a = 0; a < model.num_actions(); ++a) {
+    h = mix_in(h, bits_of(mdp.duration(a)));
+    for (const double r : mdp.rewards(a)) h = mix_in(h, bits_of(r));
+    h = hash_sparse(h, mdp.transition(a));
+    h = hash_sparse(h, model.observation(a));
+  }
+  return h;
+}
+
+void write_fleet_checkpoint(const std::string& path, const FleetCheckpoint& cp) {
+  const std::uint64_t n = cp.sessions;
+  RD_EXPECTS(cp.slot_rng.size() == n && cp.envs.size() == n &&
+                 cp.episode_steps.size() == n && cp.last_actions.size() == n &&
+                 cp.pending_action.size() == n && cp.pending_obs.size() == n &&
+                 cp.beliefs.size() == n * cp.num_states,
+             "write_fleet_checkpoint: per-slot arrays must match `sessions`");
+  RD_EXPECTS(cp.chaos_rng.empty() || cp.chaos_rng.size() == n,
+             "write_fleet_checkpoint: chaos_rng must be empty or per-slot");
+  const bool has_guard = !cp.ladder_stage.empty();
+  RD_EXPECTS(!has_guard ||
+                 (cp.ladder_stage.size() == n && cp.clean_streak.size() == n &&
+                  cp.ticks_since_fresh.size() == n && cp.guard_state.size() == n),
+             "write_fleet_checkpoint: guard arrays must be empty or per-slot");
+
+  Writer payload;
+  payload.u64(cp.model_hash);
+  payload.u64(cp.options_hash);
+  payload.u64(cp.seed);
+  payload.u64(cp.tick);
+  payload.u64(cp.sessions);
+  payload.u64(cp.num_states);
+  payload.u64(cp.num_actions);
+  payload.u64(cp.num_observations);
+  payload.u64(cp.stats.size());
+  for (const std::uint64_t v : cp.stats) payload.u64(v);
+  payload.u8(cp.chaos_rng.empty() ? 0 : 1);
+  payload.u8(has_guard ? 1 : 0);
+  for (const auto& s : cp.slot_rng) payload.rng(s);
+  for (const Environment::Snapshot& env : cp.envs) {
+    payload.u64(env.state);
+    payload.f64(env.elapsed);
+    payload.f64(env.cost);
+    payload.f64(env.recovery_entered);
+    payload.u64(env.steps);
+    payload.rng(env.rng);
+  }
+  for (const auto& s : cp.chaos_rng) payload.rng(s);
+  payload.raw(cp.beliefs.data(), cp.beliefs.size() * sizeof(double));
+  for (const std::uint64_t v : cp.episode_steps) payload.u64(v);
+  for (const std::uint64_t v : cp.last_actions) payload.u64(v);
+  for (const std::uint64_t v : cp.pending_action) payload.u64(v);
+  for (const std::uint64_t v : cp.pending_obs) payload.u64(v);
+  if (has_guard) {
+    payload.raw(cp.ladder_stage.data(), cp.ladder_stage.size());
+    for (const std::uint64_t v : cp.clean_streak) payload.u64(v);
+    for (const std::uint64_t v : cp.ticks_since_fresh) payload.u64(v);
+    for (const controller::GuardRuntime::State& g : cp.guard_state) {
+      payload.u8(g.escalated ? 1 : 0);
+      payload.u64(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(g.consecutive_overruns)));
+      payload.u64(g.stalled_decides);
+      payload.u8(g.has_best_bound ? 1 : 0);
+      payload.f64(g.best_bound);
+    }
+  }
+
+  Writer file;
+  file.u64(kMagic);
+  file.u32(kFleetCheckpointVersion);
+  file.u64(payload.bytes.size());
+  file.raw(payload.bytes.data(), payload.bytes.size());
+  // CRC over everything after the magic (version + length + payload), so a
+  // flipped bit anywhere in the meaningful bytes is caught.
+  file.u64(crc64(file.bytes.data() + 8, file.bytes.size() - 8));
+
+  // Atomic write: tmp file in the same directory, fsync, rename over.
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    fail(path, "cannot create '" + tmp + "' — check the directory exists and is "
+               "writable");
+  }
+  const std::size_t written = std::fwrite(file.bytes.data(), 1, file.bytes.size(), out);
+  const bool flushed = std::fflush(out) == 0;
+  const bool synced = ::fsync(::fileno(out)) == 0;
+  std::fclose(out);
+  if (written != file.bytes.size() || !flushed || !synced) {
+    std::remove(tmp.c_str());
+    fail(path, "short write to '" + tmp + "' — disk full or I/O error; the previous "
+               "checkpoint (if any) is untouched");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail(path, "cannot rename '" + tmp + "' into place");
+  }
+}
+
+FleetCheckpoint read_fleet_checkpoint(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    fail(path, "cannot open — no checkpoint at this path (nothing to restore)");
+  }
+  std::vector<unsigned char> bytes;
+  unsigned char chunk[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(chunk, 1, sizeof(chunk), in);
+    bytes.insert(bytes.end(), chunk, chunk + got);
+    if (got < sizeof(chunk)) break;
+  }
+  std::fclose(in);
+
+  if (bytes.size() < kHeaderBytes + 8) {
+    fail(path, "truncated header (" + std::to_string(bytes.size()) + " bytes, need at "
+               "least " + std::to_string(kHeaderBytes + 8) + ") — the file was cut "
+               "short; restore from an intact checkpoint");
+  }
+  Reader r{path, bytes.data(), bytes.size()};
+  const std::uint64_t magic = r.u64("magic");
+  if (magic != kMagic) {
+    fail(path, "not a recoverd fleet checkpoint (bad magic) — was this file written "
+               "by write_fleet_checkpoint?");
+  }
+  const std::uint32_t version = r.u32("version");
+  if (version != kFleetCheckpointVersion) {
+    fail(path, "unsupported version " + std::to_string(version) + " (this build reads "
+               "version " + std::to_string(kFleetCheckpointVersion) + ") — re-save "
+               "the checkpoint with this build");
+  }
+  const std::uint64_t payload_len = r.u64("payload length");
+  if (bytes.size() != kHeaderBytes + payload_len + 8) {
+    fail(path, "length mismatch (header says " + std::to_string(payload_len) +
+               " payload bytes, file holds " +
+               std::to_string(bytes.size() >= kHeaderBytes + 8
+                                  ? bytes.size() - kHeaderBytes - 8
+                                  : 0) +
+               ") — the file was truncated or grew; restore from an intact "
+               "checkpoint");
+  }
+  const std::uint64_t stored_crc = crc64(bytes.data() + 8, bytes.size() - 16);
+  std::uint64_t file_crc;
+  std::memcpy(&file_crc, bytes.data() + bytes.size() - 8, 8);
+  if (stored_crc != file_crc) {
+    fail(path, "checksum mismatch (CRC-64 of contents does not match the stored "
+               "value) — the file is corrupted (bit flip or partial overwrite); "
+               "restore from an intact checkpoint");
+  }
+
+  FleetCheckpoint cp;
+  cp.model_hash = r.u64("model hash");
+  cp.options_hash = r.u64("options hash");
+  cp.seed = r.u64("seed");
+  cp.tick = r.u64("tick");
+  cp.sessions = r.u64("sessions");
+  cp.num_states = r.u64("num_states");
+  cp.num_actions = r.u64("num_actions");
+  cp.num_observations = r.u64("num_observations");
+  const std::uint64_t num_stats = r.u64("stats count");
+  if (num_stats > 1024) {
+    fail(path, "implausible stats count " + std::to_string(num_stats) +
+               " — the file is corrupted");
+  }
+  cp.stats.reserve(num_stats);
+  for (std::uint64_t i = 0; i < num_stats; ++i) cp.stats.push_back(r.u64("stats"));
+  const bool has_chaos = r.u8("chaos flag") != 0;
+  const bool has_guard = r.u8("guard flag") != 0;
+
+  const std::uint64_t n = cp.sessions;
+  // A corrupted sessions/num_states field would make the loops below demand
+  // absurd byte counts; the need() checks turn that into "truncated", but
+  // catch the obvious case with a better message first.
+  if (n == 0 || cp.num_states == 0) {
+    fail(path, "empty fleet dimensions — the file is corrupted");
+  }
+  cp.slot_rng.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) cp.slot_rng.push_back(r.rng("slot rng"));
+  cp.envs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Environment::Snapshot env;
+    env.state = static_cast<StateId>(r.u64("env state"));
+    env.elapsed = r.f64("env elapsed");
+    env.cost = r.f64("env cost");
+    env.recovery_entered = r.f64("env recovery time");
+    env.steps = r.u64("env steps");
+    env.rng = r.rng("env rng");
+    cp.envs.push_back(env);
+  }
+  if (has_chaos) {
+    cp.chaos_rng.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) cp.chaos_rng.push_back(r.rng("chaos rng"));
+  }
+  const std::size_t belief_doubles = static_cast<std::size_t>(n * cp.num_states);
+  r.need(belief_doubles * sizeof(double), "beliefs");
+  cp.beliefs.resize(belief_doubles);
+  std::memcpy(cp.beliefs.data(), r.data + r.pos, belief_doubles * sizeof(double));
+  r.pos += belief_doubles * sizeof(double);
+  cp.episode_steps.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) cp.episode_steps.push_back(r.u64("episode steps"));
+  cp.last_actions.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) cp.last_actions.push_back(r.u64("last actions"));
+  cp.pending_action.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) cp.pending_action.push_back(r.u64("pending actions"));
+  cp.pending_obs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) cp.pending_obs.push_back(r.u64("pending observations"));
+  if (has_guard) {
+    r.need(n, "ladder stages");
+    cp.ladder_stage.assign(r.data + r.pos, r.data + r.pos + n);
+    r.pos += n;
+    cp.clean_streak.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) cp.clean_streak.push_back(r.u64("clean streak"));
+    cp.ticks_since_fresh.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      cp.ticks_since_fresh.push_back(r.u64("staleness"));
+    }
+    cp.guard_state.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      controller::GuardRuntime::State g;
+      g.escalated = r.u8("guard escalated") != 0;
+      g.consecutive_overruns = static_cast<std::int32_t>(
+          static_cast<std::int64_t>(r.u64("guard overruns")));
+      g.stalled_decides = r.u64("guard stalls");
+      g.has_best_bound = r.u8("guard best flag") != 0;
+      g.best_bound = r.f64("guard best bound");
+      cp.guard_state.push_back(g);
+    }
+  }
+  if (r.pos != bytes.size() - 8) {
+    fail(path, "trailing bytes after payload — the file is corrupted");
+  }
+  return cp;
+}
+
+}  // namespace recoverd::sim

@@ -59,4 +59,26 @@ Environment::StepResult Environment::step(ActionId action) {
 
 bool Environment::recovered() const { return model_.mdp().is_goal(state_); }
 
+Environment::Snapshot Environment::snapshot() const {
+  Snapshot snap;
+  snap.state = state_;
+  snap.elapsed = elapsed_;
+  snap.cost = cost_;
+  snap.recovery_entered = recovery_entered_;
+  snap.steps = steps_;
+  snap.rng = rng_.state();
+  return snap;
+}
+
+void Environment::restore(const Snapshot& snapshot) {
+  RD_EXPECTS(snapshot.state < model_.num_states(),
+             "Environment::restore: snapshot state out of range for this model");
+  state_ = snapshot.state;
+  elapsed_ = snapshot.elapsed;
+  cost_ = snapshot.cost;
+  recovery_entered_ = snapshot.recovery_entered;
+  steps_ = static_cast<std::size_t>(snapshot.steps);
+  rng_.set_state(snapshot.rng);
+}
+
 }  // namespace recoverd::sim

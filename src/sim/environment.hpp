@@ -3,6 +3,8 @@
 // monitor model, and accounts cost and wall-clock time.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <limits>
 #include <optional>
 
@@ -61,6 +63,26 @@ class Environment {
   const MismatchInjector* mismatch() const {
     return mismatch_.has_value() ? &*mismatch_ : nullptr;
   }
+
+  /// Everything a crash-safe checkpoint needs to resume this environment
+  /// bitwise-identically: the hidden state, the accumulators, and the raw
+  /// RNG stream position. (A mismatch injector's channel state is not
+  /// captured — the fleet path runs clean environments; sim/checkpoint.hpp
+  /// documents the restriction.)
+  struct Snapshot {
+    StateId state = 0;
+    double elapsed = 0.0;
+    double cost = 0.0;
+    double recovery_entered = std::numeric_limits<double>::infinity();
+    std::uint64_t steps = 0;
+    std::array<std::uint64_t, 4> rng{};
+  };
+
+  Snapshot snapshot() const;
+
+  /// Restores a snapshot() capture. Precondition: the snapshot's state is in
+  /// range for this environment's model.
+  void restore(const Snapshot& snapshot);
 
  private:
   const Pomdp& model_;

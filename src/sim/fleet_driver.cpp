@@ -1,11 +1,15 @@
 #include "sim/fleet_driver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/checkpoint.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace recoverd::sim {
 
@@ -35,6 +39,36 @@ std::uint64_t hash_belief_bits(const double* belief, std::size_t n) {
   }
   return h;
 }
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+// Busy-wait for an injected, unguarded decide stall — the cost a production
+// fleet would really pay when one session's solve hangs inside a lock-step
+// tick. (With the guard on the solve is never attempted, so this never runs.)
+void spin_for_ms(double ms) {
+  const Timer timer;
+  while (timer.elapsed_ms() < ms) {
+  }
+}
+
+// A lane poisoned by chaos (or an upstream numeric bug) shows one of:
+// non-finite entries, subnormals (no honest normalised Bayes posterior over
+// these models produces one), negative mass, or a total that drifted off 1.
+bool lane_unhealthy(const double* lane, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const double v = lane[s];
+    if (!std::isfinite(v) || v < 0.0) return true;
+    if (v != 0.0 && v < std::numeric_limits<double>::min()) return true;
+    sum += v;
+  }
+  return std::fabs(sum - 1.0) > 1e-6;
+}
+
 struct FleetInstruments {
   obs::Counter& ticks;
   obs::Counter& decisions;
@@ -43,6 +77,16 @@ struct FleetInstruments {
   obs::Counter& episodes;
   obs::Counter& truncated;
   obs::Counter& mismatches;
+  obs::Counter& degraded;
+  obs::Counter& shed;
+  obs::Counter& demotions;
+  obs::Counter& promotions;
+  obs::Counter& livelock_respawns;
+  obs::Counter& beliefs_repaired;
+  obs::Counter& stalls;
+  obs::Counter& poisons;
+  obs::Counter& obs_corrupted;
+  obs::Counter& obs_rejected;
 
   static FleetInstruments& get() {
     static FleetInstruments instruments{
@@ -53,11 +97,48 @@ struct FleetInstruments {
         obs::metrics().counter("sim.fleet.episodes"),
         obs::metrics().counter("sim.fleet.episodes_truncated"),
         obs::metrics().counter("sim.fleet.belief_mismatches"),
+        obs::metrics().counter("sim.fleet.guard.degraded"),
+        obs::metrics().counter("sim.fleet.guard.shed"),
+        obs::metrics().counter("sim.fleet.guard.demotions"),
+        obs::metrics().counter("sim.fleet.guard.promotions"),
+        obs::metrics().counter("sim.fleet.guard.livelock_respawns"),
+        obs::metrics().counter("sim.fleet.guard.beliefs_repaired"),
+        obs::metrics().counter("sim.fleet.chaos.stalls"),
+        obs::metrics().counter("sim.fleet.chaos.poisons"),
+        obs::metrics().counter("sim.fleet.chaos.obs_corrupted"),
+        obs::metrics().counter("sim.fleet.obs_invalid_rejected"),
     };
     return instruments;
   }
 };
+
 }  // namespace
+
+void apply_fleet_resilience_flags(const CliArgs& args, FleetOptions& options) {
+  options.guard.enabled = args.get_bool("fleet-guard", options.guard.enabled);
+  options.guard.reduced_depth = static_cast<int>(
+      args.get_count("fleet-reduced-depth",
+                     static_cast<std::size_t>(options.guard.reduced_depth)));
+  options.guard.promote_after =
+      args.get_count("fleet-promote-after", options.guard.promote_after);
+  options.guard.livelock_window =
+      args.get_size("fleet-livelock-window", options.guard.livelock_window);
+  options.tick_budget_decisions =
+      args.get_size("tick-budget-decisions", options.tick_budget_decisions);
+  options.tick_budget_ms = args.has("tick-budget-ms")
+                               ? args.get_positive_double("tick-budget-ms",
+                                                          options.tick_budget_ms)
+                               : options.tick_budget_ms;
+  options.chaos = parse_chaos_options(args);
+}
+
+std::vector<std::string> fleet_resilience_flag_names() {
+  std::vector<std::string> names = {"fleet-guard", "fleet-reduced-depth",
+                                    "fleet-promote-after", "fleet-livelock-window",
+                                    "tick-budget-decisions", "tick-budget-ms"};
+  for (std::string& name : chaos_flag_names()) names.push_back(std::move(name));
+  return names;
+}
 
 FleetDriver::FleetDriver(const Pomdp& controller_model, const Pomdp& env_model,
                          bounds::BoundSet& set, const FaultInjector& injector,
@@ -67,12 +148,18 @@ FleetDriver::FleetDriver(const Pomdp& controller_model, const Pomdp& env_model,
       set_(set),
       injector_(injector),
       options_(std::move(options)),
+      seed_(seed),
       engine_(controller_model),
       batch_(controller_model.num_states()),
-      decide_batch_(controller_model.num_states()) {
+      decide_batch_(controller_model.num_states()),
+      reduced_batch_(controller_model.num_states()) {
   RD_EXPECTS(options_.sessions >= 1, "FleetDriver: at least one session required");
   RD_EXPECTS(options_.tree_depth >= 1, "FleetDriver: tree depth must be >= 1");
   RD_EXPECTS(options_.root_jobs >= 1, "FleetDriver: root_jobs must be >= 1");
+  RD_EXPECTS(options_.guard.reduced_depth >= 1,
+             "FleetDriver: guard reduced_depth must be >= 1");
+  RD_EXPECTS(options_.guard.promote_after >= 1,
+             "FleetDriver: guard promote_after must be >= 1");
   RD_EXPECTS(options_.observe_action != kInvalidId,
              "FleetDriver: FleetOptions.observe_action was not set — assign the "
              "model's monitoring action before building a fleet");
@@ -95,7 +182,9 @@ FleetDriver::FleetDriver(const Pomdp& controller_model, const Pomdp& env_model,
 
   // One RNG stream per slot, split in slot order: a slot's fault sequence
   // and environment draws are a function of (seed, slot) alone, independent
-  // of fleet width interleaving and identical in both fleet modes.
+  // of fleet width interleaving and identical in both fleet modes. Chaos
+  // streams come from a salted master (sim/chaos_injector.hpp), so enabling
+  // an axis never perturbs these baseline draws.
   const std::size_t n = options_.sessions;
   Rng master(seed);
   slot_rng_.reserve(n);
@@ -104,6 +193,7 @@ FleetDriver::FleetDriver(const Pomdp& controller_model, const Pomdp& env_model,
   for (std::size_t i = 0; i < n; ++i) {
     envs_.emplace_back(env_model_, slot_rng_[i].split());
   }
+  if (options_.chaos.enabled()) chaos_.emplace(options_.chaos, seed, n);
 
   batch_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) batch_.push_back(initial_probs_, i);
@@ -112,6 +202,19 @@ FleetDriver::FleetDriver(const Pomdp& controller_model, const Pomdp& env_model,
   pending_action_.assign(n, kInvalidId);
   pending_obs_.assign(n, 0);
   lane_scratch_.resize(model_.num_states());
+
+  ladder_stage_.assign(n, LadderStage::Full);
+  clean_streak_.assign(n, 0);
+  ticks_since_fresh_.assign(n, 0);
+  intent_.assign(n, Intent::Solve);
+  lane_depth_.assign(n, options_.tree_depth);
+  fault_this_tick_.assign(n, 0);
+  if (options_.guard.enabled && options_.guard.livelock_window > 0) {
+    controller::GuardOptions guard_options;
+    guard_options.livelock_window = options_.guard.livelock_window;
+    guard_options.livelock_min_improvement = options_.guard.livelock_min_improvement;
+    guards_.assign(n, controller::GuardRuntime(guard_options));
+  }
 
   if (options_.decision_cache && options_.mode == FleetMode::Batch) {
     const std::size_t entry_bytes = model_.num_states() * sizeof(double) +
@@ -149,15 +252,29 @@ void FleetDriver::cache_insert(const double* belief, const ActionValue* values) 
   cache_buckets_[hash_belief_bits(belief, num_states)].push_back(entry);
 }
 
+ObsId FleetDriver::deliver_observation(std::size_t slot, ObsId fresh) {
+  if (!chaos_) return fresh;
+  bool corrupted = false;
+  const ObsId delivered = chaos_->corrupt_observation(
+      slot, fresh, model_.num_observations(), corrupted);
+  if (corrupted) ++stats_.obs_corrupted;
+  return delivered;
+}
+
 void FleetDriver::spawn(std::size_t slot) {
   const StateId fault = injector_.sample(slot_rng_[slot]);
   envs_[slot].reset(fault);
   batch_.assign_lane(slot, initial_probs_);
   episode_steps_[slot] = 0;
+  ticks_since_fresh_[slot] = 0;
+  if (!guards_.empty()) guards_[slot].begin_episode();
+  // The degradation ladder deliberately survives respawns: it tracks the
+  // *infrastructure* health of the slot (stalls, poisonings), not the
+  // episode — promotion is earned by clean ticks, not by a fresh fault.
   if (options_.initial_observation) {
     const auto step = envs_[slot].step(options_.observe_action);
     pending_action_[slot] = options_.observe_action;
-    pending_obs_[slot] = step.obs;
+    pending_obs_[slot] = deliver_observation(slot, step.obs);
   } else {
     pending_action_[slot] = kInvalidId;  // nothing to condition on this tick
   }
@@ -172,7 +289,8 @@ void FleetDriver::finish_episode(std::size_t slot, bool terminated) {
 // Replicates BoundedController::decide()'s selection over a per-lane value
 // row (index a = action a): max with ascending strict >, then the aT
 // near-tie preference. kInvalidId in last_actions_ marks termination.
-void FleetDriver::select_decision(std::size_t slot, const ActionValue* values) {
+// Returns the chosen action's expected bound (the livelock monitor's food).
+double FleetDriver::select_decision(std::size_t slot, const ActionValue* values) {
   const std::size_t num_actions = model_.num_actions();
   ActionValue best = values[0];
   for (std::size_t a = 1; a < num_actions; ++a) {
@@ -187,6 +305,61 @@ void FleetDriver::select_decision(std::size_t slot, const ActionValue* values) {
     if (best.action == at) terminate = true;
   }
   last_actions_[slot] = terminate ? kInvalidId : best.action;
+  return best.value;
+}
+
+// Bookkeeping shared by every lane that received a fresh value row this tick
+// (a solve at either depth, or a bit-identical cache hit): reset staleness
+// and feed the livelock monitor. An escalated slot is steered to termination
+// — act_phase finishes the episode and respawns it.
+void FleetDriver::note_fresh_decision(std::size_t slot, double expected_bound) {
+  ticks_since_fresh_[slot] = 0;
+  if (guards_.empty()) return;
+  controller::GuardRuntime& guard = guards_[slot];
+  const bool was_escalated = guard.escalation_requested();
+  guard.note_expected_bound(expected_bound);
+  if (guard.escalation_requested() && !was_escalated) {
+    ++stats_.livelock_respawns;
+  }
+  if (guard.escalation_requested()) last_actions_[slot] = kInvalidId;
+}
+
+// Serves a lane that takes no solve this tick (Cached/Heuristic rung, a shed
+// lane, or a stall-faulted lane): repeat the previous action when one exists
+// and the rung allows it, else take the monitor reading. Both are valid
+// environment actions by construction (aT is stored as kInvalidId).
+void FleetDriver::apply_fallback(std::size_t slot, bool heuristic_only) {
+  ++stats_.degraded_decides;
+  const ActionId prev = last_actions_[slot];
+  if (heuristic_only || prev == kInvalidId) {
+    last_actions_[slot] = options_.observe_action;
+    ++stats_.heuristic_fallbacks;
+  } else {
+    last_actions_[slot] = prev;  // repeat: the cross-tick cached action
+    ++stats_.cached_fallbacks;
+  }
+}
+
+// Admission quota for this tick's fresh solves. tick_budget_decisions is the
+// deterministic source (exact count, preserved by the bitwise contracts);
+// tick_budget_ms sizes the quota from an EWMA of measured per-lane solve
+// cost, with a ±10% hysteresis band so the fleet does not flap between
+// shedding and not on timer noise.
+std::size_t FleetDriver::tick_quota(std::size_t solve_intents) {
+  if (options_.tick_budget_decisions > 0) return options_.tick_budget_decisions;
+  if (options_.tick_budget_ms > 0.0 && ewma_lane_ms_ > 0.0) {
+    const double projected = static_cast<double>(solve_intents) * ewma_lane_ms_;
+    if (!shedding_active_) {
+      if (projected > 1.1 * options_.tick_budget_ms) shedding_active_ = true;
+    } else if (projected < 0.9 * options_.tick_budget_ms) {
+      shedding_active_ = false;
+    }
+    if (shedding_active_) {
+      const double fit = options_.tick_budget_ms / ewma_lane_ms_;
+      return std::max<std::size_t>(1, static_cast<std::size_t>(fit));
+    }
+  }
+  return solve_intents;  // no (engaged) budget: admit everything
 }
 
 void FleetDriver::decide_phase() {
@@ -203,56 +376,218 @@ void FleetDriver::decide_phase() {
   const SpanLeaf span_leaf = SpanLeaf::of_batched(leaf, set_.size() + 1);
 
   const bool has_terminate = model_.has_terminate_action();
+  const bool guard = options_.guard.enabled;
   const std::size_t n = envs_.size();
-  decide_batch_.clear();
+  const std::size_t num_states = model_.num_states();
+  const int full_depth = options_.tree_depth;
+  const int reduced_depth = std::min(options_.guard.reduced_depth, full_depth);
+  std::fill(fault_this_tick_.begin(), fault_this_tick_.end(), std::uint8_t{0});
+
+  // --- chaos/hygiene pre-pass (fixed draw order: poison, then stalls) ----
+  if (chaos_ && chaos_->options().poison_rate > 0.0) {
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      std::size_t state = 0;
+      double value = 0.0;
+      if (chaos_->draw_poison(slot, num_states, state, value)) {
+        batch_.set(slot, static_cast<StateId>(state), value);
+        ++stats_.poisons_injected;
+      }
+    }
+  }
+  if (guard) {
+    // Belief hygiene: quarantine poisoned/inconsistent lanes back to the
+    // episode prior before anything reads them. Guarded fleets only — the
+    // unguarded baseline lets the NaNs flow, which is the failure the
+    // resilience campaign demonstrates.
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      batch_.copy_lane(slot, lane_scratch_);
+      if (lane_unhealthy(lane_scratch_.data(), num_states)) {
+        batch_.assign_lane(slot, initial_probs_);
+        ++stats_.beliefs_repaired;
+        fault_this_tick_[slot] = 1;
+      }
+    }
+  }
+
+  // --- intent pass (slot-ascending, mode-independent) --------------------
+  std::size_t solve_intents = 0;
   for (std::size_t slot = 0; slot < n; ++slot) {
+    // Stall draws advance the chaos stream for every slot, so the event
+    // sequence is a function of (seed, slot, tick) alone; the event is
+    // discarded for lanes that terminate without deciding.
+    const bool stalled = chaos_ && chaos_->draw_stall(slot);
     batch_.copy_lane(slot, lane_scratch_);
     // Recovery-notification models: certain-enough beliefs terminate without
     // an expansion (BoundedController's goal-certainty exit).
     if (!has_terminate && model_.mdp().goal_probability(lane_scratch_) >=
                               options_.goal_certainty) {
       last_actions_[slot] = kInvalidId;
+      intent_[slot] = Intent::Terminate;
       continue;
     }
-    ++stats_.decisions;
-    if (options_.mode == FleetMode::Batch) {
+    if (stalled) {
+      ++stats_.stalls_injected;
+      if (guard) {
+        // Isolate the stalled session: no solve is attempted (the stall
+        // never materialises), the lane falls back and steps down the
+        // ladder alone, and the rest of the tick proceeds at full speed.
+        fault_this_tick_[slot] = 1;
+        intent_[slot] = Intent::Fallback;
+        continue;
+      }
+      // Unguarded: the lock-step tick really hangs — the cost the guard
+      // exists to remove.
+      spin_for_ms(chaos_->options().stall_ms);
+    }
+    const LadderStage stage = guard ? ladder_stage_[slot] : LadderStage::Full;
+    if (stage == LadderStage::Cached || stage == LadderStage::Heuristic) {
+      intent_[slot] = Intent::Fallback;
+      continue;
+    }
+    intent_[slot] = Intent::Solve;
+    lane_depth_[slot] = stage == LadderStage::Reduced ? reduced_depth : full_depth;
+    ++solve_intents;
+  }
+
+  // --- admission control (deterministic order: staleness desc, slot asc) --
+  const std::size_t quota = tick_quota(solve_intents);
+  std::size_t admitted = solve_intents;
+  if (quota < solve_intents) {
+    solve_slots_.clear();
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      if (intent_[slot] == Intent::Solve) solve_slots_.push_back(slot);
+    }
+    std::sort(solve_slots_.begin(), solve_slots_.end(),
+              [this](std::size_t a, std::size_t b) {
+                if (ticks_since_fresh_[a] != ticks_since_fresh_[b]) {
+                  return ticks_since_fresh_[a] > ticks_since_fresh_[b];
+                }
+                return a < b;
+              });
+    for (std::size_t i = quota; i < solve_slots_.size(); ++i) {
+      // Shedding is overload response, not a slot fault: the lane falls
+      // back this tick but keeps its ladder stage. Most-stale lanes were
+      // admitted first, so no lane starves under a sustained budget.
+      intent_[solve_slots_[i]] = Intent::Fallback;
+      ++stats_.shed;
+    }
+    admitted = quota;
+  }
+
+  // --- execute solves ----------------------------------------------------
+  const bool measure = options_.tick_budget_ms > 0.0 &&
+                       options_.tick_budget_decisions == 0 && admitted > 0;
+  const Timer solve_timer;
+  if (options_.mode == FleetMode::Batch) {
+    decide_batch_.clear();
+    reduced_batch_.clear();
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      if (intent_[slot] != Intent::Solve) continue;
+      ++stats_.decisions;
+      batch_.copy_lane(slot, lane_scratch_);
+      if (lane_depth_[slot] != full_depth) {
+        // Reduced-rung lanes solve in their own sub-batch and never touch
+        // the cross-tick cache (its entries are keyed by belief bits alone
+        // and must all mean "full depth").
+        ++stats_.reduced_decides;
+        ++stats_.degraded_decides;
+        reduced_batch_.push_back(lane_scratch_, slot);
+        continue;
+      }
       if (cache_entry_cap_ > 0) {
         const std::size_t entry = cache_lookup(lane_scratch_.data());
         if (entry != kNoEntry) {
           ++stats_.shared_hits;  // cross-tick reuse: bits of a past solve
-          select_decision(slot, cache_values_.data() + entry * model_.num_actions());
+          const double value = select_decision(
+              slot, cache_values_.data() + entry * model_.num_actions());
+          note_fresh_decision(slot, value);
           continue;
         }
       }
       decide_batch_.push_back(lane_scratch_, slot);
-    } else {
-      engine_.action_values(lane_scratch_, options_.tree_depth, span_leaf, expansion,
-                            lane_values_);
-      ++stats_.classes;
-      select_decision(slot, lane_values_.data());
     }
-  }
-
-  if (options_.mode == FleetMode::Batch && !decide_batch_.empty()) {
-    BatchExpansionStats batch_stats;
-    engine_.action_values_batch(decide_batch_, options_.tree_depth, span_leaf, expansion,
-                                values_scratch_, &batch_stats);
-    stats_.classes += batch_stats.classes;
-    stats_.shared_hits += batch_stats.shared_hits;
     const std::size_t num_actions = model_.num_actions();
-    for (std::size_t lane = 0; lane < decide_batch_.size(); ++lane) {
-      const auto slot = static_cast<std::size_t>(decide_batch_.session_id(lane));
-      const ActionValue* values = values_scratch_.data() + lane * num_actions;
-      select_decision(slot, values);
-      if (cache_entry_cap_ > 0) {
-        // First lane of each intra-tick class inserts; classmates find the
-        // fresh entry and skip. Lanes share `values` rows bit-for-bit with
-        // the class solve, so a future hit replays the exact solve output.
-        decide_batch_.copy_lane(lane, lane_scratch_);
-        if (cache_lookup(lane_scratch_.data()) == kNoEntry) {
-          cache_insert(lane_scratch_.data(), values);
+    if (!decide_batch_.empty()) {
+      BatchExpansionStats batch_stats;
+      engine_.action_values_batch(decide_batch_, full_depth, span_leaf, expansion,
+                                  values_scratch_, &batch_stats);
+      stats_.classes += batch_stats.classes;
+      stats_.shared_hits += batch_stats.shared_hits;
+      for (std::size_t lane = 0; lane < decide_batch_.size(); ++lane) {
+        const auto slot = static_cast<std::size_t>(decide_batch_.session_id(lane));
+        const ActionValue* values = values_scratch_.data() + lane * num_actions;
+        const double value = select_decision(slot, values);
+        note_fresh_decision(slot, value);
+        if (cache_entry_cap_ > 0) {
+          // First lane of each intra-tick class inserts; classmates find the
+          // fresh entry and skip. Lanes share `values` rows bit-for-bit with
+          // the class solve, so a future hit replays the exact solve output.
+          decide_batch_.copy_lane(lane, lane_scratch_);
+          if (cache_lookup(lane_scratch_.data()) == kNoEntry) {
+            cache_insert(lane_scratch_.data(), values);
+          }
         }
       }
+    }
+    if (!reduced_batch_.empty()) {
+      BatchExpansionStats batch_stats;
+      engine_.action_values_batch(reduced_batch_, reduced_depth, span_leaf,
+                                  expansion, reduced_values_scratch_, &batch_stats);
+      stats_.classes += batch_stats.classes;
+      stats_.shared_hits += batch_stats.shared_hits;
+      for (std::size_t lane = 0; lane < reduced_batch_.size(); ++lane) {
+        const auto slot = static_cast<std::size_t>(reduced_batch_.session_id(lane));
+        const double value = select_decision(
+            slot, reduced_values_scratch_.data() + lane * num_actions);
+        note_fresh_decision(slot, value);
+      }
+    }
+  } else {
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      if (intent_[slot] != Intent::Solve) continue;
+      ++stats_.decisions;
+      if (lane_depth_[slot] != full_depth) {
+        ++stats_.reduced_decides;
+        ++stats_.degraded_decides;
+      }
+      batch_.copy_lane(slot, lane_scratch_);
+      engine_.action_values(lane_scratch_, lane_depth_[slot], span_leaf, expansion,
+                            lane_values_);
+      ++stats_.classes;
+      const double value = select_decision(slot, lane_values_.data());
+      note_fresh_decision(slot, value);
+    }
+  }
+  if (measure) {
+    const double lane_ms = solve_timer.elapsed_ms() / static_cast<double>(admitted);
+    ewma_lane_ms_ = ewma_lane_ms_ <= 0.0 ? lane_ms
+                                         : 0.8 * ewma_lane_ms_ + 0.2 * lane_ms;
+  }
+
+  // --- fallbacks + ladder bookkeeping ------------------------------------
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    if (intent_[slot] == Intent::Fallback) {
+      const bool heuristic_only =
+          guard && ladder_stage_[slot] == LadderStage::Heuristic;
+      apply_fallback(slot, heuristic_only);
+      ++ticks_since_fresh_[slot];
+    }
+    if (!guard || intent_[slot] == Intent::Terminate) continue;
+    const auto stage = static_cast<std::uint8_t>(ladder_stage_[slot]);
+    if (fault_this_tick_[slot] != 0) {
+      clean_streak_[slot] = 0;
+      if (ladder_stage_[slot] != LadderStage::Heuristic) {
+        ladder_stage_[slot] = static_cast<LadderStage>(stage + 1);
+        ++stats_.ladder_demotions;
+      }
+    } else if (ladder_stage_[slot] != LadderStage::Full) {
+      if (++clean_streak_[slot] >= options_.guard.promote_after) {
+        ladder_stage_[slot] = static_cast<LadderStage>(stage - 1);
+        clean_streak_[slot] = 0;
+        ++stats_.ladder_promotions;
+      }
+    } else {
+      clean_streak_[slot] = 0;
     }
   }
 
@@ -276,17 +611,34 @@ void FleetDriver::act_phase() {
       spawn(slot);  // the cap-hitting step's observation dies with the episode
     } else {
       pending_action_[slot] = action;
-      pending_obs_[slot] = step.obs;
+      pending_obs_[slot] = deliver_observation(slot, step.obs);
     }
   }
 }
 
 void FleetDriver::update_phase() {
+  const std::size_t n = envs_.size();
+  // Out-of-range observation ids (the chaos axis' loud half) must be caught
+  // before anything indexes the observation tables — this is input
+  // validation, not a guard feature, so it runs regardless of the guard.
+  // The lane keeps its belief (nothing sound to condition on) and the tick
+  // proceeds; in-range corruptions flow into the Bayes update and surface
+  // as zero-likelihood mismatches at worst.
+  if (chaos_ && chaos_->options().obs_corrupt_rate > 0.0) {
+    const std::size_t num_obs = model_.num_observations();
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      if (pending_action_[slot] == kInvalidId) continue;
+      if (pending_obs_[slot] >= num_obs) {
+        ++stats_.obs_invalid_rejected;
+        pending_action_[slot] = kInvalidId;
+        pending_obs_[slot] = 0;
+      }
+    }
+  }
   if (options_.mode == FleetMode::Batch) {
     update_batch(model_, batch_, pending_action_, pending_obs_, update_ws_);
     stats_.belief_mismatches += update_ws_.failures;
   } else {
-    const std::size_t n = envs_.size();
     for (std::size_t slot = 0; slot < n; ++slot) {
       if (pending_action_[slot] == kInvalidId) continue;
       batch_.copy_lane(slot, lane_scratch_);
@@ -321,6 +673,19 @@ void FleetDriver::tick() {
   instruments.episodes.add(stats_.episodes_completed - before.episodes_completed);
   instruments.truncated.add(stats_.episodes_truncated - before.episodes_truncated);
   instruments.mismatches.add(stats_.belief_mismatches - before.belief_mismatches);
+  instruments.degraded.add(stats_.degraded_decides - before.degraded_decides);
+  instruments.shed.add(stats_.shed - before.shed);
+  instruments.demotions.add(stats_.ladder_demotions - before.ladder_demotions);
+  instruments.promotions.add(stats_.ladder_promotions - before.ladder_promotions);
+  instruments.livelock_respawns.add(stats_.livelock_respawns -
+                                    before.livelock_respawns);
+  instruments.beliefs_repaired.add(stats_.beliefs_repaired -
+                                   before.beliefs_repaired);
+  instruments.stalls.add(stats_.stalls_injected - before.stalls_injected);
+  instruments.poisons.add(stats_.poisons_injected - before.poisons_injected);
+  instruments.obs_corrupted.add(stats_.obs_corrupted - before.obs_corrupted);
+  instruments.obs_rejected.add(stats_.obs_invalid_rejected -
+                               before.obs_invalid_rejected);
   span.arg("classes", static_cast<double>(stats_.classes - before.classes));
 }
 
@@ -331,6 +696,214 @@ double FleetDriver::healthy_fraction() const {
     if (env.recovered()) ++healthy;
   }
   return static_cast<double>(healthy) / static_cast<double>(envs_.size());
+}
+
+// ---- crash safety --------------------------------------------------------
+
+// Hash of every option that shapes the decision/draw sequence. Options that
+// only change *how fast* the same bits are produced — mode, root_jobs, memo,
+// the decision cache, tick_budget_ms, chaos stall_ms — are deliberately
+// excluded, so a checkpoint moves freely across those (the bitwise
+// invariance contracts are exactly what makes that sound).
+std::uint64_t FleetDriver::options_hash() const {
+  std::uint64_t h = 0x464c454554435250ULL;  // "FLEETCRP"
+  const auto mix = [&h](std::uint64_t v) { h = mix64(h ^ v); };
+  mix(options_.sessions);
+  mix(options_.observe_action);
+  mix(static_cast<std::uint64_t>(options_.tree_depth));
+  mix(bits_of(options_.branch_floor));
+  mix(bits_of(options_.goal_certainty));
+  mix(bits_of(options_.terminate_tie_epsilon));
+  mix(options_.max_steps);
+  mix(options_.initial_observation ? 1 : 0);
+  mix(options_.fault_support.size());
+  for (const StateId s : options_.fault_support) mix(s);
+  mix(options_.guard.enabled ? 1 : 0);
+  if (options_.guard.enabled) {
+    mix(static_cast<std::uint64_t>(options_.guard.reduced_depth));
+    mix(options_.guard.promote_after);
+    mix(options_.guard.livelock_window);
+    mix(bits_of(options_.guard.livelock_min_improvement));
+  }
+  mix(bits_of(options_.chaos.stall_rate));
+  mix(bits_of(options_.chaos.obs_corrupt_rate));
+  mix(bits_of(options_.chaos.poison_rate));
+  mix(options_.tick_budget_decisions);
+  return h;
+}
+
+FleetCheckpoint FleetDriver::capture_checkpoint() const {
+  const std::size_t n = envs_.size();
+  const std::size_t num_states = model_.num_states();
+  FleetCheckpoint cp;
+  cp.model_hash = hash_pomdp(model_);
+  cp.options_hash = options_hash();
+  cp.seed = seed_;
+  cp.tick = stats_.ticks;
+  cp.sessions = n;
+  cp.num_states = num_states;
+  cp.num_actions = model_.num_actions();
+  cp.num_observations = model_.num_observations();
+  cp.stats = {stats_.ticks,
+              stats_.decisions,
+              stats_.classes,
+              stats_.shared_hits,
+              stats_.episodes_completed,
+              stats_.episodes_recovered,
+              stats_.episodes_truncated,
+              stats_.belief_mismatches,
+              stats_.degraded_decides,
+              stats_.reduced_decides,
+              stats_.cached_fallbacks,
+              stats_.heuristic_fallbacks,
+              stats_.shed,
+              stats_.stalls_injected,
+              stats_.poisons_injected,
+              stats_.beliefs_repaired,
+              stats_.obs_corrupted,
+              stats_.obs_invalid_rejected,
+              stats_.livelock_respawns,
+              stats_.ladder_demotions,
+              stats_.ladder_promotions};
+  cp.slot_rng.reserve(n);
+  for (const Rng& rng : slot_rng_) cp.slot_rng.push_back(rng.state());
+  cp.envs.reserve(n);
+  for (const Environment& env : envs_) cp.envs.push_back(env.snapshot());
+  if (chaos_) cp.chaos_rng = chaos_->rng_states();
+  cp.beliefs.resize(n * num_states);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    batch_.copy_lane(slot, std::span<double>(cp.beliefs.data() + slot * num_states,
+                                             num_states));
+  }
+  cp.episode_steps.assign(episode_steps_.begin(), episode_steps_.end());
+  cp.last_actions.assign(last_actions_.begin(), last_actions_.end());
+  cp.pending_action.assign(pending_action_.begin(), pending_action_.end());
+  cp.pending_obs.assign(pending_obs_.begin(), pending_obs_.end());
+  // Guard/overload arrays are always captured (the staleness clock also
+  // drives guard-less budgeted fleets); GuardRuntime state is default when
+  // livelock monitoring is off.
+  cp.ladder_stage.reserve(n);
+  for (const LadderStage stage : ladder_stage_) {
+    cp.ladder_stage.push_back(static_cast<std::uint8_t>(stage));
+  }
+  cp.clean_streak.assign(clean_streak_.begin(), clean_streak_.end());
+  cp.ticks_since_fresh.assign(ticks_since_fresh_.begin(), ticks_since_fresh_.end());
+  cp.guard_state.resize(n);
+  for (std::size_t slot = 0; slot < guards_.size(); ++slot) {
+    cp.guard_state[slot] = guards_[slot].state();
+  }
+  return cp;
+}
+
+void FleetDriver::adopt_checkpoint(const FleetCheckpoint& cp) {
+  const std::size_t n = envs_.size();
+  const std::size_t num_states = model_.num_states();
+  // Validate everything before touching any state: a rejected checkpoint
+  // leaves the driver exactly as it was.
+  if (cp.model_hash != hash_pomdp(model_)) {
+    throw ModelError(
+        "fleet checkpoint was saved from a different model (model hash "
+        "mismatch) — rebuild the checkpoint against this model or restore "
+        "into the fleet it came from");
+  }
+  if (cp.sessions != n || cp.num_states != num_states ||
+      cp.num_actions != model_.num_actions() ||
+      cp.num_observations != model_.num_observations()) {
+    throw ModelError(
+        "fleet checkpoint shape mismatch (saved " + std::to_string(cp.sessions) +
+        " sessions over " + std::to_string(cp.num_states) + " states, this fleet "
+        "runs " + std::to_string(n) + " over " + std::to_string(num_states) +
+        ") — restore with the same --sessions and model");
+  }
+  if (cp.options_hash != options_hash()) {
+    throw ModelError(
+        "fleet checkpoint was saved under different fleet options (decision-"
+        "relevant options hash mismatch) — depth, budgets, guard and chaos "
+        "settings must match the saving run (mode/jobs/simd/memo/cache and "
+        "--tick-budget-ms may differ freely)");
+  }
+  if (cp.stats.size() != 21) {
+    throw ModelError("fleet checkpoint carries " + std::to_string(cp.stats.size()) +
+                     " stats counters, this build expects 21 — the checkpoint "
+                     "was written by an incompatible build");
+  }
+  const bool sized = cp.slot_rng.size() == n && cp.envs.size() == n &&
+                     cp.beliefs.size() == n * num_states &&
+                     cp.episode_steps.size() == n && cp.last_actions.size() == n &&
+                     cp.pending_action.size() == n && cp.pending_obs.size() == n &&
+                     cp.ladder_stage.size() == n && cp.clean_streak.size() == n &&
+                     cp.ticks_since_fresh.size() == n && cp.guard_state.size() == n;
+  if (!sized || (chaos_.has_value() ? cp.chaos_rng.size() != n
+                                    : !cp.chaos_rng.empty())) {
+    throw ModelError(
+        "fleet checkpoint per-slot arrays do not match the fleet shape — the "
+        "file is corrupted or from an incompatible configuration");
+  }
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    if (cp.ladder_stage[slot] >
+        static_cast<std::uint8_t>(LadderStage::Heuristic)) {
+      throw ModelError("fleet checkpoint holds an invalid ladder stage — the "
+                       "file is corrupted");
+    }
+  }
+
+  stats_.ticks = cp.stats[0];
+  stats_.decisions = cp.stats[1];
+  stats_.classes = cp.stats[2];
+  stats_.shared_hits = cp.stats[3];
+  stats_.episodes_completed = cp.stats[4];
+  stats_.episodes_recovered = cp.stats[5];
+  stats_.episodes_truncated = cp.stats[6];
+  stats_.belief_mismatches = cp.stats[7];
+  stats_.degraded_decides = cp.stats[8];
+  stats_.reduced_decides = cp.stats[9];
+  stats_.cached_fallbacks = cp.stats[10];
+  stats_.heuristic_fallbacks = cp.stats[11];
+  stats_.shed = cp.stats[12];
+  stats_.stalls_injected = cp.stats[13];
+  stats_.poisons_injected = cp.stats[14];
+  stats_.beliefs_repaired = cp.stats[15];
+  stats_.obs_corrupted = cp.stats[16];
+  stats_.obs_invalid_rejected = cp.stats[17];
+  stats_.livelock_respawns = cp.stats[18];
+  stats_.ladder_demotions = cp.stats[19];
+  stats_.ladder_promotions = cp.stats[20];
+
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    slot_rng_[slot].set_state(cp.slot_rng[slot]);
+    envs_[slot].restore(cp.envs[slot]);
+    batch_.assign_lane(slot, std::span<const double>(
+                                 cp.beliefs.data() + slot * num_states, num_states));
+    episode_steps_[slot] = cp.episode_steps[slot];
+    last_actions_[slot] = static_cast<ActionId>(cp.last_actions[slot]);
+    pending_action_[slot] = static_cast<ActionId>(cp.pending_action[slot]);
+    pending_obs_[slot] = static_cast<ObsId>(cp.pending_obs[slot]);
+    ladder_stage_[slot] = static_cast<LadderStage>(cp.ladder_stage[slot]);
+    clean_streak_[slot] = cp.clean_streak[slot];
+    ticks_since_fresh_[slot] = cp.ticks_since_fresh[slot];
+  }
+  for (std::size_t slot = 0; slot < guards_.size(); ++slot) {
+    guards_[slot].set_state(cp.guard_state[slot]);
+  }
+  if (chaos_) chaos_->set_rng_states(cp.chaos_rng);
+
+  // Caches restart cold and refill with the exact bits a fresh solve
+  // produces: resumed *decisions* are unchanged; only the classes /
+  // shared_hits work accounting can differ from the uninterrupted run
+  // (which the parity conventions already exclude).
+  cache_buckets_.clear();
+  cache_keys_.clear();
+  cache_values_.clear();
+  ewma_lane_ms_ = 0.0;
+  shedding_active_ = false;
+}
+
+void FleetDriver::save_checkpoint(const std::string& path) const {
+  write_fleet_checkpoint(path, capture_checkpoint());
+}
+
+void FleetDriver::restore_checkpoint(const std::string& path) {
+  adopt_checkpoint(read_fleet_checkpoint(path));
 }
 
 }  // namespace recoverd::sim

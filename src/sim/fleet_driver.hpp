@@ -1,12 +1,12 @@
-// Throughput-mode fleet simulation (DESIGN.md §13): N synchronized recovery
-// sessions advance in lock-step *ticks* against private hidden-state
-// environments, with every per-session decision and belief update routed
-// through the batch-first engine entry points — one
-// ExpansionEngine::action_values_batch() call (shared-subtree reuse across
-// sessions whose beliefs coincide bitwise) and one update_batch() call per
-// tick. A session that terminates (or hits the step cap) is respawned with a
-// fresh injected fault, so the fleet stays at constant width and
-// decisions/second is a steady-state measurement.
+// Throughput-mode fleet simulation (DESIGN.md §13) hardened into a
+// fault-tolerant runtime (§14): N synchronized recovery sessions advance in
+// lock-step *ticks* against private hidden-state environments, with every
+// per-session decision and belief update routed through the batch-first
+// engine entry points — one ExpansionEngine::action_values_batch() call
+// (shared-subtree reuse across sessions whose beliefs coincide bitwise) and
+// one update_batch() call per tick. A session that terminates (or hits the
+// step cap) is respawned with a fresh injected fault, so the fleet stays at
+// constant width and decisions/second is a steady-state measurement.
 //
 // FleetMode::Loop runs the identical schedule through the single-session
 // primitives (action_values() + update_belief() per lane). Both modes
@@ -15,33 +15,94 @@
 // and a Loop run from the same seed produce bit-identical beliefs, actions,
 // and episode outcomes at every tick — the fleet-level parity contract the
 // throughput bench and tests/sim_fleet_test.cpp check.
+//
+// The *fault story* (DESIGN.md §14) adds three mode-invariant layers:
+//
+//  1. Per-session guard ladder (FleetGuardOptions). Each slot carries a
+//     degradation stage — Full depth → Reduced depth → Cached action →
+//     Heuristic fallback (a monitor reading). A slot that suffers a fault
+//     event (injected decide stall, poisoned/inconsistent belief) is
+//     stepped *down* one rung alone, the rest of the tick proceeds
+//     untouched; `promote_after` consecutive clean ticks climb one rung
+//     back (hysteresis). Livelocked slots (expected bound stalled for
+//     `livelock_window` fresh decisions, via controller::GuardRuntime) are
+//     escalated to termination and respawned.
+//  2. Overload control. A per-tick admission quota caps how many slots may
+//     take a fresh solve; the excess is shed to its ladder fallback in a
+//     deterministic staleness-then-slot order (most-stale first, so no slot
+//     starves). The quota comes either from `tick_budget_decisions` (exact,
+//     deterministic — the parity contracts hold with it enabled) or from
+//     `tick_budget_ms` (wall-clock: an EWMA of per-lane solve cost sizes
+//     the quota, with a ±10% hysteresis band before shedding engages or
+//     releases — effective, but timing-dependent by nature).
+//  3. Crash safety. capture/adopt + save/restore checkpointing of the full
+//     per-slot state (sim/checkpoint.hpp): a restored fleet replays the
+//     exact beliefs, actions, and episode tallies the uninterrupted run
+//     would have produced (caches rebuild cold with identical bits; only
+//     the classes/shared_hits work accounting may differ).
+//
+// Chaos axes (sim/chaos_injector.hpp) draw from per-slot streams seeded
+// independently of the fleet's own, so enabling them never perturbs the
+// baseline draw sequence, and Batch/Loop consume identical event sequences
+// — the Batch ≡ Loop and across-`--jobs`/`--simd` contracts hold with
+// guards, chaos, deterministic budgets, and checkpointing all enabled.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "bounds/bound_set.hpp"
+#include "controller/guard.hpp"
 #include "pomdp/belief_batch.hpp"
 #include "pomdp/expansion.hpp"
 #include "pomdp/pomdp.hpp"
+#include "sim/chaos_injector.hpp"
 #include "sim/environment.hpp"
 #include "sim/fault_injector.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 
 namespace recoverd::sim {
+
+struct FleetCheckpoint;
 
 enum class FleetMode {
   Batch,  ///< batched engine calls (the throughput path)
   Loop,   ///< looped single-session calls (the parity reference)
 };
 
+/// Per-session degradation ladder of the fleet guard, in demotion order.
+enum class LadderStage : std::uint8_t {
+  Full = 0,       ///< configured tree_depth expansion
+  Reduced = 1,    ///< reduced_depth expansion
+  Cached = 2,     ///< repeat the slot's previous action (no solve)
+  Heuristic = 3,  ///< take the monitoring action (no solve)
+};
+
+/// Per-session fault isolation knobs; `enabled = false` keeps the driver on
+/// the exact pre-guard code path (byte-identical ticks).
+struct FleetGuardOptions {
+  bool enabled = false;
+  /// Tree depth of the Reduced rung (clamped to the configured depth).
+  int reduced_depth = 1;
+  /// Consecutive clean ticks before a degraded slot climbs one rung.
+  std::size_t promote_after = 4;
+  /// Escalate a slot to termination when its expected bound has not improved
+  /// over this many fresh decisions; 0 disables (GuardRuntime semantics).
+  std::size_t livelock_window = 0;
+  double livelock_min_improvement = 1e-9;
+};
+
 struct FleetOptions {
   /// Number of synchronized sessions (fleet width, constant over time).
   std::size_t sessions = 1;
   FleetMode mode = FleetMode::Batch;
-  /// The monitoring action (used for the respawn initial reading). Required.
+  /// The monitoring action (used for the respawn initial reading and the
+  /// ladder's Heuristic rung). Required.
   ActionId observe_action = kInvalidId;
   // Decision knobs, mirroring BoundedControllerOptions (no deadline ladder
   // or online bound improvement: the bound set stays frozen during ticks so
@@ -66,20 +127,45 @@ struct FleetOptions {
   /// the engine deterministic — a hit returns the very bits a fresh solve
   /// would produce, so Batch stays bitwise identical to (uncached) Loop.
   /// In steady state most lanes sit at recurring belief states, so this is
-  /// where the fleet's throughput headroom comes from.
+  /// where the fleet's throughput headroom comes from. Full-depth rows only;
+  /// Reduced-rung solves are never cached.
   bool decision_cache = true;
   /// Entry cap of the decision cache (keys + value rows); insertions stop
   /// at the cap, lookups keep working.
   std::size_t decision_cache_mb = 64;
+
+  /// Per-session fault isolation (DESIGN.md §14).
+  FleetGuardOptions guard;
+  /// Infra-chaos axes (decide stalls, corrupted observation ids, belief
+  /// poisoning); inert by default.
+  ChaosOptions chaos;
+  /// Deterministic admission quota: at most this many slots take a fresh
+  /// solve per tick, the rest shed to their ladder fallback in staleness
+  /// order. 0 = unlimited. Takes precedence over tick_budget_ms.
+  std::size_t tick_budget_decisions = 0;
+  /// Wall-clock tick budget: an EWMA of measured per-lane solve cost sizes
+  /// the admission quota (±10% hysteresis). 0 = unlimited. Timing-dependent
+  /// — excluded from the bitwise contracts (use tick_budget_decisions for
+  /// deterministic shedding).
+  double tick_budget_ms = 0.0;
 };
+
+/// Applies the shared fleet-resilience flags onto `options` (defaults leave
+/// it untouched): --fleet-guard, --fleet-reduced-depth,
+/// --fleet-promote-after, --fleet-livelock-window, --tick-budget-decisions,
+/// --tick-budget-ms, plus the --chaos-* axes (parse_chaos_options).
+void apply_fleet_resilience_flags(const CliArgs& args, FleetOptions& options);
+
+/// The flag keys above, for require_known() lists.
+std::vector<std::string> fleet_resilience_flag_names();
 
 /// Cumulative fleet tallies. `classes`/`shared_hits` are Batch-mode work
 /// accounting (Loop mode counts every decision as its own class) — exclude
 /// them from Batch-vs-Loop parity comparisons; everything else matches
-/// bitwise across modes.
+/// bitwise across modes (given a deterministic or disabled tick budget).
 struct FleetStats {
   std::size_t ticks = 0;
-  std::size_t decisions = 0;     ///< lanes decided by tree expansion
+  std::size_t decisions = 0;     ///< lanes served a fresh value row
   std::size_t classes = 0;       ///< canonical root classes actually solved
   std::size_t shared_hits = 0;   ///< lanes served by another lane's solve
                                  ///< (same tick or the cross-tick cache)
@@ -87,6 +173,22 @@ struct FleetStats {
   std::size_t episodes_recovered = 0;  ///< completed with true state in Sφ
   std::size_t episodes_truncated = 0;  ///< completed by the max_steps cap
   std::size_t belief_mismatches = 0;   ///< zero-likelihood updates (lane kept)
+
+  // Resilience accounting (DESIGN.md §14). All deterministic under the
+  // bitwise contracts except via tick_budget_ms.
+  std::size_t degraded_decides = 0;    ///< lanes served below Full this tick
+  std::size_t reduced_decides = 0;     ///< … via the Reduced rung (fresh solve)
+  std::size_t cached_fallbacks = 0;    ///< … by repeating the previous action
+  std::size_t heuristic_fallbacks = 0; ///< … by the monitoring action
+  std::size_t shed = 0;                ///< solve intents shed by admission ctrl
+  std::size_t stalls_injected = 0;     ///< chaos decide-stall events
+  std::size_t poisons_injected = 0;    ///< chaos belief-poisoning events
+  std::size_t beliefs_repaired = 0;    ///< hygiene scan quarantines (reset)
+  std::size_t obs_corrupted = 0;       ///< chaos-corrupted readings delivered
+  std::size_t obs_invalid_rejected = 0;///< out-of-range ids detected+rejected
+  std::size_t livelock_respawns = 0;   ///< guard escalations → respawn
+  std::size_t ladder_demotions = 0;
+  std::size_t ladder_promotions = 0;
 };
 
 /// Lock-step driver of `sessions` recovery sessions. Each tick runs three
@@ -120,13 +222,40 @@ class FleetDriver {
   /// terminated (and respawned) that tick.
   std::span<const ActionId> last_actions() const { return last_actions_; }
 
+  /// Current guard-ladder stage per slot (all Full when the guard is off).
+  std::span<const LadderStage> ladder_stages() const { return ladder_stage_; }
+
   /// Fraction of slots whose true environment state is currently in Sφ.
   double healthy_fraction() const;
+
+  // --- crash safety (sim/checkpoint.hpp) ---------------------------------
+
+  /// Snapshots the complete resumable state (beliefs, RNG streams, hidden
+  /// env state, pending conditioning, guard ladder, stats, tick counter).
+  FleetCheckpoint capture_checkpoint() const;
+
+  /// Applies a capture. Throws ModelError when the checkpoint was saved
+  /// from a different model, fleet shape, or decision-relevant options —
+  /// validation happens before any state is touched. Decision/memo caches
+  /// restart cold (they refill with identical bits).
+  void adopt_checkpoint(const FleetCheckpoint& cp);
+
+  /// capture_checkpoint() → atomic file write (tmp + fsync + rename).
+  void save_checkpoint(const std::string& path) const;
+
+  /// read (full corruption validation) → adopt. Throws ModelError with an
+  /// actionable one-line message on any corruption or mismatch.
+  void restore_checkpoint(const std::string& path);
 
  private:
   void spawn(std::size_t slot);
   void finish_episode(std::size_t slot, bool terminated);
-  void select_decision(std::size_t slot, const ActionValue* values);
+  double select_decision(std::size_t slot, const ActionValue* values);
+  void note_fresh_decision(std::size_t slot, double expected_bound);
+  void apply_fallback(std::size_t slot, bool count_shed);
+  ObsId deliver_observation(std::size_t slot, ObsId fresh);
+  std::size_t tick_quota(std::size_t solve_intents);
+  std::uint64_t options_hash() const;
   void decide_phase();
   void act_phase();
   void update_phase();
@@ -136,13 +265,25 @@ class FleetDriver {
   bounds::BoundSet& set_;
   const FaultInjector& injector_;
   FleetOptions options_;
+  std::uint64_t seed_;
   ExpansionEngine engine_;
   std::vector<double> initial_probs_;  // uniform over the fault support
   std::vector<Rng> slot_rng_;          // fault-injection stream per slot
   std::vector<Environment> envs_;
+  std::optional<ChaosInjector> chaos_;
   BeliefBatch batch_;  // lane i == slot i, always `sessions` lanes
   std::vector<std::size_t> episode_steps_;
   FleetStats stats_;
+
+  // Guard ladder + overload-control state (per slot; always allocated so
+  // checkpoints have one shape). GuardRuntime instances exist only when the
+  // guard is enabled with a livelock window.
+  std::vector<LadderStage> ladder_stage_;
+  std::vector<std::size_t> clean_streak_;
+  std::vector<std::size_t> ticks_since_fresh_;
+  std::vector<controller::GuardRuntime> guards_;
+  double ewma_lane_ms_ = 0.0;   // wall-clock budget estimator (not checkpointed)
+  bool shedding_active_ = false;
 
   // Cross-tick decision cache (Batch mode): belief-bit keys in a flat arena,
   // num_actions-strided value rows, hash buckets of entry indices confirmed
@@ -155,8 +296,15 @@ class FleetDriver {
   std::size_t cache_entry_cap_ = 0;
 
   // Per-tick scratch (capacities persist across ticks).
-  BeliefBatch decide_batch_;  // lanes needing expansion; session_id = slot
+  enum class Intent : std::uint8_t { Terminate, Solve, Fallback };
+  std::vector<Intent> intent_;
+  std::vector<int> lane_depth_;           // Solve lanes: depth to expand at
+  std::vector<std::uint8_t> fault_this_tick_;
+  std::vector<std::size_t> solve_slots_;  // Solve intents, ascending slot
+  BeliefBatch decide_batch_;   // full-depth lanes needing expansion
+  BeliefBatch reduced_batch_;  // Reduced-rung lanes needing expansion
   std::vector<ActionValue> values_scratch_;
+  std::vector<ActionValue> reduced_values_scratch_;
   std::vector<ActionValue> lane_values_;
   std::vector<double> lane_scratch_;
   std::vector<ActionId> last_actions_;

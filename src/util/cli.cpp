@@ -73,6 +73,25 @@ bool CliArgs::get_bool(const std::string& key, bool fallback) const {
   return fallback;
 }
 
+std::size_t CliArgs::get_count(const std::string& key, std::size_t fallback) const {
+  const std::int64_t v = get_int(key, static_cast<std::int64_t>(fallback));
+  RD_EXPECTS(v >= 1, "CliArgs: --" + key + " must be a positive integer, got " +
+                         std::to_string(v));
+  return static_cast<std::size_t>(v);
+}
+
+std::size_t CliArgs::get_size(const std::string& key, std::size_t fallback) const {
+  const std::int64_t v = get_int(key, static_cast<std::int64_t>(fallback));
+  RD_EXPECTS(v >= 0, "CliArgs: --" + key + " must be >= 0, got " + std::to_string(v));
+  return static_cast<std::size_t>(v);
+}
+
+double CliArgs::get_positive_double(const std::string& key, double fallback) const {
+  const double v = get_double(key, fallback);
+  RD_EXPECTS(v > 0.0, "CliArgs: --" + key + " must be > 0, got " + std::to_string(v));
+  return v;
+}
+
 std::size_t CliArgs::get_jobs(std::size_t fallback) const {
   const std::int64_t jobs = get_int("jobs", static_cast<std::int64_t>(fallback));
   RD_EXPECTS(jobs >= 1, "CliArgs: --jobs must be >= 1");

@@ -30,6 +30,22 @@ class CliArgs {
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
 
+  /// get_int() validated to be >= 1 — for flags whose zero/negative values
+  /// were previously accepted silently and then cast to std::size_t
+  /// (--sessions=0 building an empty fleet, --memo-max-mb=-1 becoming an
+  /// 18-exabyte cache cap). Throws PreconditionError with a one-line
+  /// actionable message.
+  std::size_t get_count(const std::string& key, std::size_t fallback) const;
+
+  /// get_int() validated to be >= 0 (counts where zero is meaningful, e.g.
+  /// --warmup=0). Rejects negatives before any size_t cast.
+  std::size_t get_size(const std::string& key, std::size_t fallback) const;
+
+  /// get_double() validated to be > 0 — for budgets/durations where zero or
+  /// a negative is never meaningful when the flag is passed explicitly
+  /// (--tick-budget-ms=0 should be "omit the flag", not "shed everything").
+  double get_positive_double(const std::string& key, double fallback) const;
+
   /// Parses the shared `--jobs=N` worker-count flag (validated ≥ 1). The
   /// default of 1 keeps every binary serial — and hence byte-for-byte
   /// compatible with pre-`--jobs` runs — unless parallelism is requested.

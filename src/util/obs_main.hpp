@@ -26,6 +26,7 @@
 #include "obs/export.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
+#include "util/shutdown.hpp"
 #include "util/simd.hpp"
 
 namespace recoverd {
@@ -33,10 +34,15 @@ namespace recoverd {
 /// Parses flags, applies the shared observability + SIMD plumbing, and runs
 /// `body`:
 ///   1. rejects flags outside `known` + the obs flags + `simd`,
-///   2. simd::configure(--simd) with a startup log line (stderr, Info),
-///   3. obs::init_observability (--trace-out/--trace-level/--provenance-out),
-///   4. exit code = body(args),
-///   5. obs::finish_observability (--metrics-out + trace/provenance drain).
+///   2. installs the SIGINT/SIGTERM shutdown-flag handlers (util/shutdown.hpp)
+///      so an interrupted run still reaches step 5 and keeps its artifacts —
+///      long-running bodies poll shutdown_requested() and wind down; a second
+///      signal falls back to the default (terminating) disposition,
+///   3. simd::configure(--simd) with a startup log line (stderr, Info),
+///   4. obs::init_observability (--trace-out/--trace-level/--provenance-out),
+///   5. exit code = body(args), 130 when the body returned because of a
+///      shutdown signal,
+///   6. obs::finish_observability (--metrics-out + trace/provenance drain).
 /// Configuration errors (unknown flag, bad --simd, unwritable sink) print
 /// one actionable line to stderr and return 2 instead of crashing.
 template <typename Body>
@@ -51,12 +57,17 @@ int run_obs_main(int argc, const char* const* argv, std::vector<std::string> kno
     known.insert(known.end(), obs_flags.begin(), obs_flags.end());
     args.require_known(known);
 
+    install_shutdown_handlers();
     simd::configure(args.get_simd());
     log_info("simd kernels: ", simd::describe_active_mode());
 
     obs::init_observability(args);
     initialized = true;
     code = body(args);
+    if (shutdown_requested()) {
+      log_warn("shutdown signal received — run ended early, flushing artifacts");
+      code = 130;
+    }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     code = 2;

@@ -79,6 +79,12 @@ std::size_t Rng::discrete(std::span<const double> weights) {
   return weights.size() - 1;
 }
 
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) {
+  RD_EXPECTS((state[0] | state[1] | state[2] | state[3]) != 0,
+             "Rng::set_state: the all-zero state is invalid");
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state[i];
+}
+
 Rng Rng::split() {
   // Derive a child seed from two raw draws; the parent stream advances, so
   // successive splits produce distinct children.

@@ -7,6 +7,7 @@
 // specified semantics.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -52,6 +53,15 @@ class Rng {
   /// Creates a child generator with an independent stream; used to give each
   /// experiment replication its own deterministic stream.
   Rng split();
+
+  /// The raw 256-bit generator state, for checkpointing. A generator
+  /// restored via set_state() replays the exact draw sequence the original
+  /// would have produced from this point on.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+
+  /// Restores a state captured with state(). Precondition: not all zero
+  /// (the all-zero state is a fixed point of xoshiro256++).
+  void set_state(const std::array<std::uint64_t, 4>& state);
 
  private:
   std::uint64_t s_[4];

@@ -1,0 +1,36 @@
+#include "util/shutdown.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace recoverd {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void shutdown_signal_handler(int sig) {
+  g_shutdown.store(true, std::memory_order_relaxed);
+  // Re-arm with the default disposition: a second signal must still be able
+  // to kill a loop that ignores the flag. std::signal is async-signal-safe
+  // for this use per POSIX (establishing a disposition).
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  std::signal(SIGINT, shutdown_signal_handler);
+  std::signal(SIGTERM, shutdown_signal_handler);
+}
+
+bool shutdown_requested() { return g_shutdown.load(std::memory_order_relaxed); }
+
+void request_shutdown() { g_shutdown.store(true, std::memory_order_relaxed); }
+
+void reset_shutdown_for_tests() {
+  g_shutdown.store(false, std::memory_order_relaxed);
+  install_shutdown_handlers();
+}
+
+}  // namespace recoverd

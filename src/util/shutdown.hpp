@@ -1,0 +1,37 @@
+// Signal-safe cooperative shutdown for the long-running binaries.
+//
+// A SIGINT/SIGTERM used to take the default disposition and kill a campaign
+// mid-run, losing every artifact the run had accumulated (--metrics-out,
+// --trace-out, --provenance-out, the fleet checkpoint). The shared harness
+// (util/obs_main.hpp) now installs a handler whose only action is to set a
+// process-wide atomic flag; long-running loops poll shutdown_requested()
+// and wind down normally, so the harness epilogue still flushes every
+// artifact. A *second* signal restores the default disposition, so a hung
+// loop can still be killed with a repeated Ctrl-C.
+//
+// The handler itself is async-signal-safe (one relaxed atomic store plus a
+// sigaction() re-arm); everything observable happens on the polling thread.
+#pragma once
+
+namespace recoverd {
+
+/// Installs the SIGINT/SIGTERM flag handlers. Idempotent; safe to call from
+/// every binary's startup path. First delivery of either signal sets the
+/// shutdown flag; the next delivery of the same signal takes the default
+/// (terminating) disposition.
+void install_shutdown_handlers();
+
+/// True once a shutdown signal arrived (or request_shutdown() was called).
+/// Long-running loops should poll this between units of work and exit
+/// cleanly, letting the caller flush artifacts.
+bool shutdown_requested();
+
+/// Programmatic trigger with the same effect as a first SIGINT/SIGTERM
+/// (used by tests and by deadline-style wrappers).
+void request_shutdown();
+
+/// Clears the flag (tests only — a real shutdown request should stay latched
+/// through the wind-down path).
+void reset_shutdown_for_tests();
+
+}  // namespace recoverd

@@ -1,0 +1,399 @@
+// Crash-safety suite (DESIGN.md §14): a fleet saved mid-run and restored
+// into a fresh driver must replay the exact beliefs, actions, and episode
+// tallies of the uninterrupted run (caches rebuild cold — only the
+// classes/shared_hits work accounting may differ), writes must be atomic,
+// and the checkpoint corruption matrix (truncation, bit flips, bad magic,
+// version/model/options mismatches) must be rejected with an actionable
+// error before any driver state is touched.
+#include "sim/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bounds/ra_bound.hpp"
+#include "controller/bootstrap.hpp"
+#include "models/emn.hpp"
+#include "pomdp/belief.hpp"
+#include "sim/fleet_driver.hpp"
+#include "util/check.hpp"
+
+namespace recoverd::sim {
+namespace {
+
+struct EmnFleet {
+  Pomdp base;
+  Pomdp recovery;
+  models::EmnIds ids;
+  FaultInjector injector;
+  bounds::BoundSet set;
+
+  EmnFleet()
+      : base(models::make_emn_base()),
+        recovery(models::make_emn_recovery_model()),
+        ids(models::emn_ids(base)),
+        injector(std::vector<StateId>(ids.topo.zombie_states.begin(),
+                                      ids.topo.zombie_states.end())),
+        set(bounds::make_ra_bound_set(recovery.mdp(), 32)) {
+    controller::BootstrapOptions boot;
+    boot.iterations = 4;
+    boot.tree_depth = 2;
+    boot.observe_action = ids.topo.observe_action;
+    boot.seed = 7;
+    boot.branch_floor = 1e-2;
+    controller::bootstrap_bounds(recovery, set,
+                                 Belief::uniform(recovery.num_states()), boot);
+  }
+};
+
+EmnFleet& emn() {
+  static EmnFleet* fleet = new EmnFleet();
+  return *fleet;
+}
+
+FleetOptions make_options(std::size_t sessions, FleetMode mode) {
+  FleetOptions options;
+  options.sessions = sessions;
+  options.mode = mode;
+  options.observe_action = emn().ids.topo.observe_action;
+  options.tree_depth = 1;
+  options.branch_floor = 1e-2;
+  options.max_steps = 10000;
+  return options;
+}
+
+FleetOptions make_resilient_options(std::size_t sessions, FleetMode mode) {
+  FleetOptions options = make_options(sessions, mode);
+  options.guard.enabled = true;
+  options.guard.promote_after = 2;
+  options.guard.livelock_window = 16;
+  options.chaos.stall_rate = 0.3;
+  options.chaos.stall_ms = 0.1;
+  options.chaos.obs_corrupt_rate = 0.3;
+  options.chaos.poison_rate = 0.3;
+  options.tick_budget_decisions = sessions / 2;
+  return options;
+}
+
+FleetDriver make_fleet(FleetOptions options, std::uint64_t seed = 41) {
+  EmnFleet& f = emn();
+  return FleetDriver(f.recovery, f.base, f.set, f.injector, seed, options);
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+// Equality after a restore: everything except the classes/shared_hits work
+// accounting, which a cold cache is allowed to redistribute.
+void expect_resumed_equal(const FleetDriver& resumed, const FleetDriver& straight,
+                          std::size_t tick) {
+  ASSERT_EQ(resumed.sessions(), straight.sessions());
+  const std::size_t num_states = resumed.beliefs().num_states();
+  for (StateId s = 0; s < num_states; ++s) {
+    const auto lanes_a = resumed.beliefs().state_lanes(s);
+    const auto lanes_b = straight.beliefs().state_lanes(s);
+    ASSERT_EQ(std::memcmp(lanes_a.data(), lanes_b.data(),
+                          resumed.sessions() * sizeof(double)),
+              0)
+        << "belief bits diverged after restore at tick " << tick << ", state "
+        << s;
+  }
+  const auto actions_a = resumed.last_actions();
+  const auto actions_b = straight.last_actions();
+  EXPECT_TRUE(std::equal(actions_a.begin(), actions_a.end(), actions_b.begin()))
+      << "actions diverged after restore at tick " << tick;
+  const auto stages_a = resumed.ladder_stages();
+  const auto stages_b = straight.ladder_stages();
+  EXPECT_TRUE(std::equal(stages_a.begin(), stages_a.end(), stages_b.begin()))
+      << "ladder stages diverged after restore at tick " << tick;
+  const FleetStats& sa = resumed.stats();
+  const FleetStats& sb = straight.stats();
+  EXPECT_EQ(sa.ticks, sb.ticks);
+  EXPECT_EQ(sa.decisions, sb.decisions);
+  EXPECT_EQ(sa.episodes_completed, sb.episodes_completed);
+  EXPECT_EQ(sa.episodes_recovered, sb.episodes_recovered);
+  EXPECT_EQ(sa.episodes_truncated, sb.episodes_truncated);
+  EXPECT_EQ(sa.belief_mismatches, sb.belief_mismatches);
+  EXPECT_EQ(sa.degraded_decides, sb.degraded_decides);
+  EXPECT_EQ(sa.shed, sb.shed);
+  EXPECT_EQ(sa.stalls_injected, sb.stalls_injected);
+  EXPECT_EQ(sa.poisons_injected, sb.poisons_injected);
+  EXPECT_EQ(sa.beliefs_repaired, sb.beliefs_repaired);
+  EXPECT_EQ(sa.obs_corrupted, sb.obs_corrupted);
+  EXPECT_EQ(sa.obs_invalid_rejected, sb.obs_invalid_rejected);
+  EXPECT_EQ(sa.livelock_respawns, sb.livelock_respawns);
+  EXPECT_EQ(sa.ladder_demotions, sb.ladder_demotions);
+  EXPECT_EQ(sa.ladder_promotions, sb.ladder_promotions);
+}
+
+std::vector<unsigned char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Runs `fn`, requires it to throw ModelError, returns the message.
+std::string model_error_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const ModelError& e) {
+    return e.what();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "expected ModelError, got: " << e.what();
+    return "";
+  }
+  ADD_FAILURE() << "expected ModelError, got no exception";
+  return "";
+}
+
+// ---- round trips --------------------------------------------------------
+
+TEST(CheckpointTest, RoundTripResumesBitwise) {
+  const std::string path = temp_path("fleet_roundtrip.ckpt");
+  FleetDriver straight = make_fleet(make_options(16, FleetMode::Batch));
+  FleetDriver interrupted = make_fleet(make_options(16, FleetMode::Batch));
+  for (std::size_t tick = 0; tick < 4; ++tick) {
+    straight.tick();
+    interrupted.tick();
+  }
+  interrupted.save_checkpoint(path);
+
+  FleetDriver resumed = make_fleet(make_options(16, FleetMode::Batch), 999);
+  resumed.restore_checkpoint(path);
+  for (std::size_t tick = 4; tick < 8; ++tick) {
+    straight.tick();
+    resumed.tick();
+    expect_resumed_equal(resumed, straight, tick);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RoundTripWithGuardsChaosAndBudgetResumesBitwise) {
+  const std::string path = temp_path("fleet_chaos_roundtrip.ckpt");
+  FleetDriver straight = make_fleet(make_resilient_options(16, FleetMode::Batch));
+  FleetDriver interrupted = make_fleet(make_resilient_options(16, FleetMode::Batch));
+  for (std::size_t tick = 0; tick < 5; ++tick) {
+    straight.tick();
+    interrupted.tick();
+  }
+  interrupted.save_checkpoint(path);
+
+  FleetDriver resumed = make_fleet(make_resilient_options(16, FleetMode::Batch), 7);
+  resumed.restore_checkpoint(path);
+  for (std::size_t tick = 5; tick < 10; ++tick) {
+    straight.tick();
+    resumed.tick();
+    expect_resumed_equal(resumed, straight, tick);
+  }
+  // The restored half must have replayed real chaos, not a clean fleet.
+  EXPECT_GT(straight.stats().stalls_injected, 0u);
+  EXPECT_GT(straight.stats().poisons_injected, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RestoreCrossesFleetModes) {
+  // mode/jobs/simd/memo/cache are excluded from the options hash on
+  // purpose: the bitwise invariance contracts make a Batch checkpoint
+  // meaningful to a Loop fleet (and vice versa).
+  const std::string path = temp_path("fleet_crossmode.ckpt");
+  FleetDriver batch = make_fleet(make_options(12, FleetMode::Batch));
+  for (std::size_t tick = 0; tick < 4; ++tick) batch.tick();
+  batch.save_checkpoint(path);
+
+  FleetDriver loop = make_fleet(make_options(12, FleetMode::Loop));
+  loop.restore_checkpoint(path);
+  for (std::size_t tick = 4; tick < 7; ++tick) {
+    batch.tick();
+    loop.tick();
+    expect_resumed_equal(loop, batch, tick);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CaptureAdoptWorksInMemory) {
+  FleetDriver source = make_fleet(make_options(8, FleetMode::Batch));
+  for (std::size_t tick = 0; tick < 3; ++tick) source.tick();
+  const FleetCheckpoint cp = source.capture_checkpoint();
+  EXPECT_EQ(cp.sessions, 8u);
+  EXPECT_EQ(cp.tick, 3u);
+  EXPECT_EQ(cp.stats.size(), 21u);
+
+  FleetDriver target = make_fleet(make_options(8, FleetMode::Batch), 1234);
+  target.adopt_checkpoint(cp);
+  for (std::size_t tick = 3; tick < 6; ++tick) {
+    source.tick();
+    target.tick();
+    expect_resumed_equal(target, source, tick);
+  }
+}
+
+TEST(CheckpointTest, SaveIsAtomicAndOverwrites) {
+  const std::string path = temp_path("fleet_atomic.ckpt");
+  FleetDriver fleet = make_fleet(make_options(8, FleetMode::Batch));
+  fleet.tick();
+  fleet.save_checkpoint(path);
+  const std::vector<unsigned char> first = read_file(path);
+  fleet.tick();
+  fleet.save_checkpoint(path);  // overwrite via rename, never in place
+  const std::vector<unsigned char> second = read_file(path);
+  EXPECT_NE(first, second);
+  // No tmp residue: the staging file was renamed into place.
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+  // Both snapshots are independently restorable artifacts.
+  FleetDriver resumed = make_fleet(make_options(8, FleetMode::Batch), 5);
+  resumed.restore_checkpoint(path);
+  EXPECT_EQ(resumed.stats().ticks, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, HashPomdpSeparatesModels) {
+  EXPECT_NE(hash_pomdp(emn().base), hash_pomdp(emn().recovery));
+  EXPECT_EQ(hash_pomdp(emn().recovery), hash_pomdp(emn().recovery));
+}
+
+// ---- corruption matrix --------------------------------------------------
+
+struct CheckpointFile {
+  std::string path;
+  std::vector<unsigned char> bytes;
+
+  explicit CheckpointFile(const char* name) : path(temp_path(name)) {
+    FleetDriver fleet = make_fleet(make_options(8, FleetMode::Batch));
+    for (std::size_t tick = 0; tick < 3; ++tick) fleet.tick();
+    fleet.save_checkpoint(path);
+    bytes = read_file(path);
+  }
+  ~CheckpointFile() { std::remove(path.c_str()); }
+};
+
+TEST(CheckpointCorruptionTest, MissingFileIsRejected) {
+  const std::string message = model_error_of(
+      [] { read_fleet_checkpoint("/nonexistent/dir/fleet.ckpt"); });
+  EXPECT_NE(message.find("cannot open"), std::string::npos) << message;
+}
+
+TEST(CheckpointCorruptionTest, TruncationIsRejectedAtEveryLength) {
+  CheckpointFile file("fleet_truncate.ckpt");
+  // A torn write can stop anywhere: inside the header, mid-payload, or one
+  // byte short of the checksum. Every prefix must be cleanly rejected.
+  for (const double fraction : {0.01, 0.3, 0.7, 0.999}) {
+    std::vector<unsigned char> cut = file.bytes;
+    cut.resize(static_cast<std::size_t>(
+        static_cast<double>(file.bytes.size()) * fraction));
+    write_file(file.path, cut);
+    const std::string message =
+        model_error_of([&] { read_fleet_checkpoint(file.path); });
+    const bool actionable =
+        message.find("truncated") != std::string::npos ||
+        message.find("length mismatch") != std::string::npos;
+    EXPECT_TRUE(actionable) << "at fraction " << fraction << ": " << message;
+  }
+}
+
+TEST(CheckpointCorruptionTest, BitFlipsAreRejectedByChecksum) {
+  CheckpointFile file("fleet_bitflip.ckpt");
+  // Flip one bit in the length field, the payload, and the stored CRC.
+  for (const std::size_t offset :
+       {std::size_t{14}, file.bytes.size() / 2, file.bytes.size() - 3}) {
+    std::vector<unsigned char> flipped = file.bytes;
+    flipped[offset] ^= 0x10;
+    write_file(file.path, flipped);
+    const std::string message =
+        model_error_of([&] { read_fleet_checkpoint(file.path); });
+    const bool actionable =
+        message.find("checksum mismatch") != std::string::npos ||
+        message.find("length mismatch") != std::string::npos;
+    EXPECT_TRUE(actionable) << "at offset " << offset << ": " << message;
+  }
+}
+
+TEST(CheckpointCorruptionTest, ForeignFilesAreRejectedByMagic) {
+  CheckpointFile file("fleet_magic.ckpt");
+  std::vector<unsigned char> foreign = file.bytes;
+  foreign[0] ^= 0xff;
+  write_file(file.path, foreign);
+  const std::string message =
+      model_error_of([&] { read_fleet_checkpoint(file.path); });
+  EXPECT_NE(message.find("not a recoverd fleet checkpoint"), std::string::npos)
+      << message;
+}
+
+TEST(CheckpointCorruptionTest, UnknownVersionsAreRejected) {
+  CheckpointFile file("fleet_version.ckpt");
+  std::vector<unsigned char> future = file.bytes;
+  future[8] = 99;  // version field, checked before the checksum
+  write_file(file.path, future);
+  const std::string message =
+      model_error_of([&] { read_fleet_checkpoint(file.path); });
+  EXPECT_NE(message.find("unsupported version 99"), std::string::npos) << message;
+}
+
+TEST(CheckpointCorruptionTest, WrongModelIsRejectedByHash) {
+  CheckpointFile file("fleet_model.ckpt");
+  // A fleet over a *different* EMN (slower DB restart → different durations,
+  // rewards, transitions — same shape): the checkpoint parses fine, but
+  // restore must refuse to mix models.
+  EmnFleet& f = emn();
+  models::EmnConfig altered;
+  altered.db_restart = 480.0;
+  const Pomdp other_recovery = models::make_emn_recovery_model(altered);
+  ASSERT_NE(hash_pomdp(other_recovery), hash_pomdp(f.recovery));
+  bounds::BoundSet other_set = bounds::make_ra_bound_set(other_recovery.mdp(), 32);
+  FleetOptions options = make_options(8, FleetMode::Batch);
+  FleetDriver other(other_recovery, f.base, other_set, f.injector, 41, options);
+  const std::string message =
+      model_error_of([&] { other.restore_checkpoint(file.path); });
+  EXPECT_NE(message.find("different model"), std::string::npos) << message;
+}
+
+TEST(CheckpointCorruptionTest, WrongFleetShapeIsRejected) {
+  CheckpointFile file("fleet_shape.ckpt");  // saved with 8 sessions
+  FleetDriver wider = make_fleet(make_options(12, FleetMode::Batch));
+  const std::string message =
+      model_error_of([&] { wider.restore_checkpoint(file.path); });
+  EXPECT_NE(message.find("shape mismatch"), std::string::npos) << message;
+}
+
+TEST(CheckpointCorruptionTest, ChangedOptionsAreRejectedByHash) {
+  CheckpointFile file("fleet_options.ckpt");  // saved at tree_depth = 1
+  FleetOptions deeper = make_options(8, FleetMode::Batch);
+  deeper.tree_depth = 2;
+  FleetDriver fleet = make_fleet(deeper);
+  const std::string message =
+      model_error_of([&] { fleet.restore_checkpoint(file.path); });
+  EXPECT_NE(message.find("different fleet options"), std::string::npos) << message;
+}
+
+TEST(CheckpointCorruptionTest, RejectionLeavesDriverStateUntouched) {
+  CheckpointFile file("fleet_untouched.ckpt");  // 8-session checkpoint
+  FleetDriver fleet = make_fleet(make_options(12, FleetMode::Batch));
+  FleetDriver twin = make_fleet(make_options(12, FleetMode::Batch));
+  for (std::size_t tick = 0; tick < 2; ++tick) {
+    fleet.tick();
+    twin.tick();
+  }
+  EXPECT_THROW(fleet.restore_checkpoint(file.path), ModelError);
+  // The rejected restore was validated before application: the fleet keeps
+  // ticking in lock-step with its untouched twin.
+  for (std::size_t tick = 2; tick < 5; ++tick) {
+    fleet.tick();
+    twin.tick();
+    expect_resumed_equal(fleet, twin, tick);
+  }
+}
+
+}  // namespace
+}  // namespace recoverd::sim

@@ -3,10 +3,13 @@
 #include <sstream>
 #include <vector>
 
+#include <csignal>
+
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
+#include "util/shutdown.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -83,6 +86,36 @@ TEST(CliArgs, RejectsMalformedNumbers) {
   EXPECT_THROW(args.get_int("faults", 0), PreconditionError);
 }
 
+TEST(CliArgs, ValidatedCountsRejectZeroAndNegatives) {
+  const char* argv[] = {"prog", "--jobs=0", "--sessions=-3", "--warmup=0",
+                        "--deadline-ms=-1.5", "--memo-max-mb=16"};
+  CliArgs args(6, argv);
+  // get_count: >= 1. Zero and negatives used to slip through the size_t
+  // cast (an empty fleet, an 18-exabyte memo cap); now they fail loudly
+  // with the offending value in the message.
+  try {
+    args.get_count("jobs", 1);
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("jobs"), std::string::npos);
+    EXPECT_NE(what.find("0"), std::string::npos);
+  }
+  EXPECT_THROW(args.get_count("sessions", 1), PreconditionError);
+  EXPECT_EQ(args.get_count("memo-max-mb", 64), 16u);
+  EXPECT_EQ(args.get_count("absent", 7), 7u);
+  // get_size: >= 0 — zero is meaningful, negatives are not.
+  EXPECT_EQ(args.get_size("warmup", 5), 0u);
+  EXPECT_THROW(args.get_size("sessions", 0), PreconditionError);
+  // get_positive_double: > 0 when the flag is passed explicitly.
+  EXPECT_THROW(args.get_positive_double("deadline-ms", 1.0), PreconditionError);
+  EXPECT_DOUBLE_EQ(args.get_positive_double("absent", 2.5), 2.5);
+  const char* zero[] = {"prog", "--deadline-ms=0"};
+  CliArgs zero_args(2, zero);
+  EXPECT_THROW(zero_args.get_positive_double("deadline-ms", 1.0),
+               PreconditionError);
+}
+
 TEST(CliArgs, RequireKnownCatchesTypos) {
   const char* argv[] = {"prog", "--falts=10"};
   CliArgs args(2, argv);
@@ -101,6 +134,29 @@ TEST(Logging, ThresholdFilters) {
   EXPECT_NO_THROW(log_debug("dropped ", 1));
   EXPECT_NO_THROW(log_info("dropped"));
   set_log_level(prior);
+}
+
+TEST(Shutdown, ProgrammaticRequestLatchesUntilReset) {
+  reset_shutdown_for_tests();
+  EXPECT_FALSE(shutdown_requested());
+  request_shutdown();
+  EXPECT_TRUE(shutdown_requested());
+  EXPECT_TRUE(shutdown_requested());  // latched, not consumed
+  reset_shutdown_for_tests();
+  EXPECT_FALSE(shutdown_requested());
+}
+
+TEST(Shutdown, FirstSignalSetsFlagInsteadOfKilling) {
+  install_shutdown_handlers();
+  reset_shutdown_for_tests();
+  EXPECT_FALSE(shutdown_requested());
+  // The first SIGTERM only sets the flag (the handler then restores the
+  // default disposition so a second one can still kill a hung process —
+  // which is why this test sends exactly one).
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(shutdown_requested());
+  install_shutdown_handlers();  // re-arm for any later test in this binary
+  reset_shutdown_for_tests();
 }
 
 TEST(Timer, MeasuresElapsedMonotonically) {

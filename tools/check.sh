@@ -10,9 +10,11 @@
 #      fleet driver of §13), which exercise every cross-thread code path in
 #      the repo.
 #
-#   4. robustness: ASan/UBSan run of the guard/mismatch test binaries plus a
-#      mini chaos soak (robustness_campaign at --faults=50) that must finish
-#      with zero crashes or livelocks.
+#   4. robustness: ASan/UBSan run of the guard/mismatch/fleet-guard/
+#      checkpoint test binaries (the checkpoint corruption matrix under ASan
+#      is the buffer-overread soak for the reader) plus a mini chaos soak
+#      (robustness_campaign at --faults=50) that must finish with zero
+#      crashes or livelocks.
 #
 #   5. scaling: a smoke run of the RA-Bound scaling campaign (10^5 states,
 #      legacy-vs-SCC parity and bitwise determinism across --solver-jobs);
@@ -26,6 +28,11 @@
 #      widths, Batch-vs-Loop bitwise parity; the binary exits nonzero on any
 #      parity mismatch).
 #
+#   8. resilience: a smoke run of the fault-tolerant fleet campaign
+#      (DESIGN.md §14: guard ladder under every chaos axis, overload
+#      shedding, checkpoint round trip + corruption matrix; the binary exits
+#      nonzero when any survival/parity/crash-safety gate fails).
+#
 # Usage: tools/check.sh            # all passes
 #        SKIP_SANITIZE=1 tools/check.sh   # skip the ASan/UBSan pass
 #        SKIP_TSAN=1 tools/check.sh       # skip the ThreadSanitizer pass
@@ -33,6 +40,7 @@
 #        SKIP_SCALING=1 tools/check.sh    # skip the scaling smoke
 #        SKIP_TRACE=1 tools/check.sh      # skip the trace smoke
 #        SKIP_THROUGHPUT=1 tools/check.sh # skip the throughput smoke
+#        SKIP_RESILIENCE=1 tools/check.sh # skip the resilience smoke
 #        JOBS=8 tools/check.sh     # override parallelism
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -61,9 +69,10 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     --target sim_parallel_experiment_test pomdp_expansion_parity_test \
              pomdp_memo_test linalg_scc_test linalg_parallel_solve_test \
              obs_trace_test trace_parity_test util_simd_test \
-             pomdp_batch_parity_test sim_fleet_test
+             pomdp_batch_parity_test sim_fleet_test sim_fleet_guard_test \
+             sim_checkpoint_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R "Parallel|Scc|Memo|Trace|Batch|Simd|Fleet"
+    -R "Parallel|Scc|Memo|Trace|Batch|Simd|Fleet|Checkpoint"
 fi
 
 if [[ "${SKIP_ROBUSTNESS:-0}" != "1" ]]; then
@@ -74,9 +83,9 @@ if [[ "${SKIP_ROBUSTNESS:-0}" != "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all"
   cmake --build build-sanitize -j "$JOBS" \
     --target controller_guard_test sim_mismatch_test sim_fault_injector_test \
-             robustness_campaign
+             sim_fleet_guard_test sim_checkpoint_test robustness_campaign
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS" \
-    -R "Guard|Mismatch|FaultInjector"
+    -R "Guard|Mismatch|FaultInjector|Checkpoint"
   ./build-sanitize/bench/robustness_campaign --faults=50 --max-steps=200
 fi
 
@@ -108,6 +117,15 @@ if [[ "${SKIP_THROUGHPUT:-0}" != "1" ]]; then
   # fleet and a Loop fleet from the same seed diverge by a single bit.
   cmake --build build -j "$JOBS" --target throughput_campaign
   ./build/bench/throughput_campaign --smoke --out=/tmp/recoverd_throughput_smoke.json
+fi
+
+if [[ "${SKIP_RESILIENCE:-0}" != "1" ]]; then
+  echo "== resilience: fault-tolerant fleet campaign smoke (guards, chaos, checkpoints) =="
+  # Small guarded fleets through every chaos axis plus the checkpoint
+  # corruption matrix; the binary exits nonzero when any cell aborts, the
+  # quota is exceeded, parity breaks, or a corrupted checkpoint is accepted.
+  cmake --build build -j "$JOBS" --target resilience_campaign
+  ./build/bench/resilience_campaign --smoke --out=/tmp/recoverd_resilience_smoke.json
 fi
 
 echo "All checks passed."
