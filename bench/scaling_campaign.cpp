@@ -35,10 +35,12 @@
 //   --metrics-out=FILE    dump the obs registry after the campaign
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <thread>
 
+#include "bounds/artifact.hpp"
 #include "bounds/ra_bound.hpp"
 #include "linalg/gauss_seidel.hpp"
 #include "models/synthetic.hpp"
@@ -129,6 +131,82 @@ SccOutcome scc_ra_bound(const Mdp& mdp, std::size_t jobs,
   out.singletons = chain.plan.num_singletons;
   out.largest_component = chain.plan.largest_component;
   out.levels = chain.plan.num_levels();
+  return out;
+}
+
+/// Per-size bound-artifact measurement: cold construction (chain assembly +
+/// Eq. 5 solve + set seeding) versus save + mmap warm start, with a bitwise
+/// equality check between the cold-built and loaded state.
+struct ArtifactOutcome {
+  double cold_build_ms = 0.0;    ///< assembly + solve + seed, first eval incl. below
+  double save_ms = 0.0;
+  double load_ms = 0.0;
+  double cold_first_eval_ms = 0.0;  ///< cold build + one V_B⁻ evaluation
+  double warm_first_eval_ms = 0.0;  ///< artifact load + one V_B⁻ evaluation
+  double warm_speedup = 0.0;        ///< cold_build_ms / load_ms
+  std::uint64_t bytes = 0;
+  bool bitwise_identical = false;
+};
+
+ArtifactOutcome artifact_warm_start(const Mdp& mdp, std::size_t jobs,
+                                    const std::string& path) {
+  ArtifactOutcome out;
+  Timer timer;
+  const bounds::RandomActionChain chain = bounds::build_random_action_chain(mdp, jobs);
+  const bounds::BoundSet cold_set = bounds::make_ra_bound_set(chain);
+  out.cold_build_ms = timer.elapsed_ms();
+
+  const std::uint64_t model_hash = bounds::hash_mdp(mdp);
+  timer.reset();
+  bounds::save_bound_artifact(path, chain, cold_set, model_hash);
+  out.save_ms = timer.elapsed_ms();
+
+  timer.reset();
+  const bounds::BoundArtifact warm = bounds::load_bound_artifact(path, model_hash);
+  out.load_ms = timer.elapsed_ms();
+  out.warm_speedup = out.cold_build_ms / std::max(out.load_ms, 1e-9);
+
+  {
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    out.bytes = f.good() ? static_cast<std::uint64_t>(f.tellg()) : 0;
+  }
+  std::remove(path.c_str());
+
+  // The evaluations below bump the winning plane's use counter, so the
+  // snapshots for the lossless comparison are taken first, while both sets
+  // still hold exactly the saved state.
+  const std::size_t n = mdp.num_states();
+  const std::vector<double> belief(n, 1.0 / static_cast<double>(n));
+  const bool values_match = [&] {
+    const bounds::BoundSet::Snapshot cold_pre = cold_set.snapshot();
+    const bounds::BoundSet::Snapshot warm_pre = warm.set.snapshot();
+    if (cold_pre.planes.size() != warm_pre.planes.size()) return false;
+    for (std::size_t i = 0; i < cold_pre.planes.size(); ++i) {
+      if (cold_pre.planes[i].vector != warm_pre.planes[i].vector ||
+          cold_pre.planes[i].is_protected != warm_pre.planes[i].is_protected ||
+          cold_pre.planes[i].uses != warm_pre.planes[i].uses) {
+        return false;
+      }
+    }
+    return cold_pre.generation == warm_pre.generation;
+  }();
+
+  timer.reset();
+  const double cold_value = cold_set.evaluate(belief);
+  out.cold_first_eval_ms = out.cold_build_ms + timer.elapsed_ms();
+  timer.reset();
+  const double warm_value = warm.set.evaluate(belief);
+  out.warm_first_eval_ms = out.load_ms + timer.elapsed_ms();
+
+  // Lossless contract: the loaded chain and set are the cold-built bits.
+  bool same = values_match && warm_value == cold_value &&
+              warm.chain.c == chain.c &&
+              warm.chain.q.nonzeros() == chain.q.nonzeros();
+  const auto a = chain.q.entry_array();
+  const auto b = warm.chain.q.entry_array();
+  same = same && a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size_bytes()) == 0;
+  out.bitwise_identical = same;
   return out;
 }
 
@@ -274,6 +352,30 @@ int run(const recoverd::CliArgs& args) {
       row["end_to_end_speedup"] = legacy_total / scc_total;
     }
 
+    // Bound-artifact warm start: save the cold-built chain + seeded set,
+    // mmap it back, and compare against rebuilding from the model. The
+    // acceptance gate (warm start ≥ 10x faster than cold construction at
+    // 10^6 states) runs only on the full sweep — smoke runs still check the
+    // lossless round-trip, just not the timing ratio.
+    const ArtifactOutcome artifact = artifact_warm_start(
+        mdp, jobs_sweep.back(), "bench_scaling_bounds.tmp.rdb");
+    {
+      obs::Json::Object aj;
+      aj["save_ms"] = artifact.save_ms;
+      aj["load_ms"] = artifact.load_ms;
+      aj["bytes"] = artifact.bytes;
+      aj["cold_build_ms"] = artifact.cold_build_ms;
+      aj["cold_first_eval_ms"] = artifact.cold_first_eval_ms;
+      aj["warm_first_eval_ms"] = artifact.warm_first_eval_ms;
+      aj["warm_speedup"] = artifact.warm_speedup;
+      aj["round_trip_bitwise"] = artifact.bitwise_identical;
+      const bool gate = !smoke && n >= 1000000;
+      if (gate) aj["warm_speedup_gate_10x"] = artifact.warm_speedup >= 10.0;
+      row["artifact"] = obs::Json(std::move(aj));
+      all_checks_passed = all_checks_passed && artifact.bitwise_identical &&
+                          (!gate || artifact.warm_speedup >= 10.0);
+    }
+
     for (std::size_t k = 0; k < outcomes.size(); ++k) {
       const SccOutcome& o = outcomes[k];
       const double scc_total = o.assembly_ms + o.solve_ms;
@@ -297,6 +399,13 @@ int run(const recoverd::CliArgs& args) {
                     bitwise_identical ? "bitwise=" : "MISMATCH");
       }
     }
+    std::printf("%9s artifact: save %.1f ms, load %.1f ms (%.1f MB) | cold build "
+                "%.1f ms -> warm %.0fx | first eval cold %.1f ms / warm %.1f ms | %s\n",
+                "", artifact.save_ms, artifact.load_ms,
+                static_cast<double>(artifact.bytes) / (1024.0 * 1024.0),
+                artifact.cold_build_ms, artifact.warm_speedup,
+                artifact.cold_first_eval_ms, artifact.warm_first_eval_ms,
+                artifact.bitwise_identical ? "bitwise=" : "MISMATCH");
     rows.push_back(obs::Json(std::move(row)));
   }
 
@@ -311,8 +420,10 @@ int run(const recoverd::CliArgs& args) {
         "solve, per --solver-jobs worker count. Near-DAG synthetic recovery "
         "models (locality window, rare forward edges). Absolute times are "
         "machine-dependent; the committed claims are the legacy/scc ratio per "
-        "size, max_abs_diff_vs_legacy within solver tolerance, and "
-        "bitwise_identical_across_jobs.";
+        "size, max_abs_diff_vs_legacy within solver tolerance, "
+        "bitwise_identical_across_jobs, the artifact round_trip_bitwise "
+        "check, and the >=10x artifact warm_speedup gate at 10^6 states "
+        "(mmap load of the saved chain + bound set vs cold assembly+solve).";
     doc["model"] = "synthetic-recovery";
     obs::Json::Object pj;
     pj["num_actions"] = static_cast<std::uint64_t>(params.num_actions);

@@ -201,6 +201,7 @@ int run(const CliArgs& args) {
   fleet_options.branch_floor = setup.branch_floor;
   fleet_options.memo = setup.memo;
   fleet_options.memo_max_mb = setup.memo_max_mb;
+  fleet_options.memo_carry = args.get_bool("memo-carry", false);
   fleet_options.max_steps = 10000;
 
   std::printf("=== Batched decision throughput (EMN fleet, depth 1) ===\n");
@@ -313,7 +314,7 @@ int main(int argc, char** argv) {
       "parity-sessions", "parity-ticks", "smoke",     "out",
       "top",      "seed",           "capacity",       "branch-floor",
       "termination-probability",    "bootstrap-runs", "bootstrap-depth",
-      "jobs",     "memo",           "memo-max-mb"};
+      "jobs",     "memo",           "memo-max-mb",    "memo-carry"};
   const std::vector<std::string> robustness = recoverd::bench::robustness_flag_names();
   known.insert(known.end(), robustness.begin(), robustness.end());
   return recoverd::run_obs_main(argc, argv, std::move(known),

@@ -7,10 +7,14 @@
 //                                    [--trace-out=trace.json] [--trace-level=full]
 //                                    [--provenance-out=decisions.jsonl]
 //                                    [--episode-trace-out=episode.jsonl]
+//                                    [--bounds-out=b.rdb] [--bounds-in=b.rdb]
+//                                    [--memo-carry] [--anytime]
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 
+#include "bounds/artifact.hpp"
 #include "bounds/ra_bound.hpp"
 #include "obs/export.hpp"
 #include "controller/bootstrap.hpp"
@@ -38,19 +42,46 @@ int run(const recoverd::CliArgs& args) {
     return 2;
   }
 
-  // Warm the bound set as the paper's controller does (§5: 10 runs, depth 2).
-  bounds::BoundSet set = bounds::make_ra_bound_set(recovery.mdp());
-  controller::BootstrapOptions boot;
-  boot.iterations = 10;
-  boot.tree_depth = 2;
-  boot.observe_action = ids.topo.observe_action;
-  boot.seed = seed;
-  boot.branch_floor = 1e-2;
-  controller::bootstrap_bounds(recovery, set, Belief::uniform(recovery.num_states()), boot);
-  std::cout << "Bootstrapped lower bound: |B| = " << set.size() << " hyperplanes\n\n";
+  // Bound provenance: --bounds-in warm-starts from a saved artifact
+  // (skipping the Eq. 5 solve and the bootstrap entirely), --bounds-out
+  // saves the warmed set for the next run. hash_mdp ties the artifact to
+  // this exact recovery model — a stale file is rejected, not misused.
+  const std::string bounds_in = args.get_string("bounds-in", "");
+  const std::string bounds_out = args.get_string("bounds-out", "");
+  const std::uint64_t model_hash = bounds::hash_mdp(recovery.mdp());
+
+  std::optional<bounds::BoundArtifact> loaded;
+  if (!bounds_in.empty()) {
+    loaded.emplace(bounds::load_bound_artifact(bounds_in, model_hash));
+  }
+  bounds::RandomActionChain chain =
+      loaded ? std::move(loaded->chain)
+             : bounds::build_random_action_chain(recovery.mdp());
+  bounds::BoundSet set =
+      loaded ? std::move(loaded->set) : bounds::make_ra_bound_set(chain);
+  if (loaded) {
+    std::cout << "Warm-started bound set from '" << bounds_in
+              << "': |B| = " << set.size() << " hyperplanes\n\n";
+  } else {
+    // Warm the bound set as the paper's controller does (§5: 10 runs, depth 2).
+    controller::BootstrapOptions boot;
+    boot.iterations = 10;
+    boot.tree_depth = 2;
+    boot.observe_action = ids.topo.observe_action;
+    boot.seed = seed;
+    boot.branch_floor = 1e-2;
+    controller::bootstrap_bounds(recovery, set, Belief::uniform(recovery.num_states()), boot);
+    std::cout << "Bootstrapped lower bound: |B| = " << set.size() << " hyperplanes\n\n";
+  }
+  if (!bounds_out.empty()) {
+    bounds::save_bound_artifact(bounds_out, chain, set, model_hash);
+    std::cout << "bound artifact written to " << bounds_out << "\n\n";
+  }
 
   controller::BoundedControllerOptions opts;
   opts.branch_floor = 1e-2;
+  opts.memo_carry = args.get_bool("memo-carry", false);
+  opts.anytime = args.get_bool("anytime", false);
   controller::BoundedController controller(recovery, set, opts);
 
   sim::Environment env(base, Rng(seed));
@@ -125,5 +156,8 @@ int run(const recoverd::CliArgs& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  return recoverd::run_obs_main(argc, argv, {"fault", "seed", "episode-trace-out"}, run);
+  return recoverd::run_obs_main(argc, argv,
+                                {"fault", "seed", "episode-trace-out", "bounds-in",
+                                 "bounds-out", "memo-carry", "anytime"},
+                                run);
 }

@@ -337,6 +337,42 @@ std::size_t BoundSet::use_count(std::size_t index) const {
   return entries_[index].uses;
 }
 
+BoundSet::Snapshot BoundSet::snapshot() const {
+  Snapshot snap;
+  snap.dimension = dimension_;
+  snap.capacity = capacity_;
+  snap.generation = generation_;
+  snap.first_added = first_added_;
+  snap.planes.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    Snapshot::Plane plane;
+    plane.vector = e.vector;
+    plane.is_protected = e.is_protected;
+    plane.uses = static_cast<std::uint64_t>(e.uses);
+    snap.planes.push_back(std::move(plane));
+  }
+  return snap;
+}
+
+BoundSet BoundSet::restore(const Snapshot& snapshot) {
+  BoundSet set(snapshot.dimension, snapshot.capacity);
+  set.generation_ = snapshot.generation;
+  set.first_added_ = snapshot.first_added;
+  set.entries_.reserve(snapshot.planes.size());
+  for (const Snapshot::Plane& plane : snapshot.planes) {
+    RD_EXPECTS(plane.vector.size() == snapshot.dimension,
+               "BoundSet::restore: plane dimension mismatch");
+    for (double v : plane.vector) {
+      RD_EXPECTS(std::isfinite(v), "BoundSet::restore: entries must be finite");
+    }
+    Entry entry = set.make_entry(plane.vector);
+    entry.is_protected = plane.is_protected;
+    entry.uses = static_cast<std::size_t>(plane.uses);
+    set.entries_.push_back(std::move(entry));
+  }
+  return set;
+}
+
 void BoundSet::evict_least_used() {
   std::size_t victim = entries_.size();
   std::size_t fewest = std::numeric_limits<std::size_t>::max();

@@ -137,6 +137,39 @@ class BoundSet {
   /// Number of evaluate() calls the vector at `index` has won.
   std::size_t use_count(std::size_t index) const;
 
+  /// Lossless serialization image of a BoundSet — everything restore() needs
+  /// to rebuild a set whose decisions, eviction order, and generation-based
+  /// cache invalidation behave bitwise-identically to the original. Planes
+  /// are stored in index order; prune keys are NOT stored (restore()
+  /// recomputes them through make_entry, so they can never drift from the
+  /// vector bits).
+  struct Snapshot {
+    struct Plane {
+      BoundVector vector;
+      bool is_protected = false;
+      std::uint64_t uses = 0;
+    };
+    std::size_t dimension = 0;
+    std::size_t capacity = 0;
+    std::uint64_t generation = 0;
+    /// Whether a first vector was ever added (controls whether the *next*
+    /// add() is auto-protected); distinct from planes.empty() after prunes.
+    bool first_added = false;
+    std::vector<Plane> planes;
+  };
+
+  /// Captures the complete set state. Not safe against concurrent mutation
+  /// (concurrent evaluate() is fine — use counts are read racily but each
+  /// value read is a real count).
+  Snapshot snapshot() const;
+
+  /// Rebuilds a set from a snapshot, bypassing add(): no domination checks,
+  /// no pruning, no eviction, no generation bumps — planes land at the same
+  /// indices with the same protection flags, use counts, and generation as
+  /// the captured set. Throws PreconditionError on inconsistent snapshots
+  /// (zero dimension, plane length mismatch, non-finite coefficients).
+  static BoundSet restore(const Snapshot& snapshot);
+
  private:
   struct Entry {
     BoundVector vector;

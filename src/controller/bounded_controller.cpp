@@ -19,6 +19,8 @@ struct DecideInstruments {
   obs::Counter& decides;
   obs::Counter& terminate_ties;
   obs::Counter& nodes_expanded;
+  obs::Counter& anytime_backups;
+  obs::Counter& anytime_added;
   obs::Histogram& decide_ms;
   obs::Histogram& nodes_per_decide;
 
@@ -27,6 +29,8 @@ struct DecideInstruments {
         obs::metrics().counter("controller.bounded.decides"),
         obs::metrics().counter("controller.bounded.terminate_ties"),
         obs::metrics().counter("pomdp.bellman.nodes_expanded"),
+        obs::metrics().counter("controller.bounded.anytime_backups"),
+        obs::metrics().counter("controller.bounded.anytime_added"),
         obs::metrics().histogram("controller.bounded.decide_ms",
                                  obs::exponential_buckets(0.001, 2.0, 26)),
         obs::metrics().histogram("controller.bounded.nodes_per_decide",
@@ -59,6 +63,9 @@ void fill_expansion_provenance(obs::DecisionProvenance& record,
   record.expansion.memo_hits = stats.memo_hits;
   record.expansion.memo_misses = stats.memo_misses;
   record.expansion.memo_insertions = stats.memo_insertions;
+  record.expansion.memo_carry_hits = stats.memo_carry_hits;
+  record.expansion.memo_carry_misses = stats.memo_carry_misses;
+  record.expansion.memo_carry_invalidations = stats.memo_carry_invalidations;
   // Trim trailing all-zero levels so shallow trees emit short arrays.
   std::size_t levels = ExpansionNodeStats::kMaxLevels;
   while (levels > 0 && stats.nodes_per_level[levels - 1] == 0) --levels;
@@ -148,6 +155,11 @@ Decision BoundedController::decide() {
   expansion.root_jobs = options_.root_jobs;
   expansion.memo = options_.memo;
   expansion.memo_max_bytes = options_.memo_max_mb << 20;
+  // Carry-over context: the bound-set generation identifies the leaf
+  // evaluator exactly — sampled here, after the improve_at() above may have
+  // bumped it, so stale values can never survive a set mutation.
+  expansion.memo_carry = options_.memo_carry;
+  expansion.memo_context = set_.generation();
   ExpansionNodeStats node_stats;
   if (provenance) expansion.stats = &node_stats;
 
@@ -177,6 +189,7 @@ Decision BoundedController::decide() {
   const std::uint64_t nodes_before = instruments.nodes_expanded.value();
   GuardRuntime& runtime = guard();
   int achieved_depth = options_.tree_depth;
+  double expansion_ms = 0.0;  // ladder time, charged against the anytime budget
   if (runtime.deadline_enabled()) {
     // Degradation ladder: iterative deepening under the per-decide budget.
     // Depth 1 (the greedy lower-bound action) always completes, then each
@@ -193,6 +206,7 @@ Decision BoundedController::decide() {
       if (deadline.elapsed_ms() >= runtime.options().decide_deadline_ms) break;
     }
     runtime.note_decide(deadline.elapsed_ms(), achieved, options_.tree_depth);
+    expansion_ms = deadline.elapsed_ms();
     achieved_depth = achieved;
   } else {
     batch_values(options_.tree_depth);
@@ -233,10 +247,47 @@ Decision BoundedController::decide() {
     }
   }
 
+  // Anytime deepening: leftover deadline budget goes into Eq. 7 point
+  // backups at this belief and the chosen action's successor beliefs, so
+  // the bound arrives tighter at the *next* decide(). The decision above is
+  // already final — this only mutates set_, which bumps its generation and
+  // thereby invalidates any carried memo exactly. With no deadline
+  // configured the loop runs to the backup cap (deterministic).
+  std::uint64_t anytime_backups = 0;
+  std::uint64_t anytime_added = 0;
+  if (options_.anytime && !decision.terminate && decision.action != kInvalidId) {
+    obs::TraceSpan anytime_span("controller.anytime", obs::TraceLevel::Decide);
+    const bool deadline_on = runtime.deadline_enabled();
+    const double budget_ms = deadline_on ? runtime.options().decide_deadline_ms : 0.0;
+    const ObsId num_obs = pomdp.num_observations();
+    Timer anytime_timer;
+    bool root_done = false;
+    ObsId next_obs = 0;
+    while (anytime_backups < options_.anytime_max_backups &&
+           (!deadline_on || expansion_ms + anytime_timer.elapsed_ms() < budget_ms)) {
+      bounds::UpdateResult backup;
+      if (!root_done) {
+        backup = bounds::improve_at(pomdp, set_, pi);
+        root_done = true;
+      } else {
+        if (next_obs >= num_obs) break;  // one pass over the successors
+        const auto update = update_belief(pomdp, pi, decision.action, next_obs++);
+        if (!update) continue;  // zero-likelihood observation: no posterior
+        backup = bounds::improve_at(pomdp, set_, update->next);
+      }
+      ++anytime_backups;
+      if (backup.added) ++anytime_added;
+    }
+    instruments.anytime_backups.add(anytime_backups);
+    instruments.anytime_added.add(anytime_added);
+  }
+
   if (provenance) {
     obs::DecisionProvenance record = provenance_base(
         stage, provenance_timer.elapsed_ms(), set_, options_.tree_depth,
         achieved_depth);
+    record.anytime_backups = anytime_backups;
+    record.anytime_added = anytime_added;
     record.chosen_action = decision.terminate && decision.action == kInvalidId
                                ? -1
                                : static_cast<std::int64_t>(decision.action);

@@ -53,6 +53,23 @@ struct BoundedControllerOptions {
   /// (hash table + key arena) per expansion workspace.
   bool memo = true;
   std::size_t memo_max_mb = 64;
+  /// Cross-decide carry-over of the transposition cache (`--memo-carry`):
+  /// memoized subtree values survive between decide() calls and across root
+  /// actions, invalidated exactly when the bound set's generation bumps
+  /// (every online improvement) or the expansion options change. Hits are
+  /// bitwise-exact, so decisions are bit-identical with carry on or off;
+  /// repeated decides over a stable bound set skip most of the tree.
+  bool memo_carry = false;
+  /// Anytime deepening (`--anytime`): after the decision is chosen, spend
+  /// leftover per-decide deadline budget growing the bound set with Eq. 7
+  /// point backups at the current belief and the chosen action's successor
+  /// beliefs (HSVI-style). Each backup weakly tightens V_B⁻, so *future*
+  /// decisions improve; the already-made decision is untouched. With no
+  /// deadline configured, exactly `anytime_max_backups` backups run — a
+  /// deterministic variant for tests. Off by default: baselines unchanged.
+  bool anytime = false;
+  /// Cap on Eq. 7 backups per decide() when `anytime` is on.
+  std::size_t anytime_max_backups = 8;
 };
 
 /// Bounded controller over a §3.1-transformed model. The model must either

@@ -9,7 +9,8 @@ namespace recoverd::linalg {
 
 std::span<const SparseEntry> SparseMatrix::row(std::size_t i) const {
   RD_EXPECTS(i < rows(), "SparseMatrix::row: index out of range");
-  return {entries_.data() + row_ptr_[i], row_ptr_[i + 1] - row_ptr_[i]};
+  const std::span<const std::size_t> rp = row_offsets();
+  return entry_array().subspan(rp[i], rp[i + 1] - rp[i]);
 }
 
 double SparseMatrix::at(std::size_t i, std::size_t j) const {
@@ -30,9 +31,14 @@ std::vector<double> SparseMatrix::multiply(std::span<const double> x) const {
 void SparseMatrix::multiply_into(std::span<const double> x, std::span<double> y) const {
   RD_EXPECTS(x.size() == cols_, "SparseMatrix::multiply_into: dimension mismatch");
   RD_EXPECTS(y.size() == rows(), "SparseMatrix::multiply_into: output size mismatch");
-  for (std::size_t i = 0; i < rows(); ++i) {
+  // Storage-mode dispatch hoisted out of the loop; the accumulation order is
+  // unchanged, so results stay bit-identical to the pre-view kernel.
+  const std::span<const std::size_t> rp = row_offsets();
+  const SparseEntry* const es = entry_array().data();
+  const std::size_t n = rows();
+  for (std::size_t i = 0; i < n; ++i) {
     double acc = 0.0;
-    for (const auto& e : row(i)) acc += e.value * x[e.col];
+    for (std::size_t k = rp[i]; k < rp[i + 1]; ++k) acc += es[k].value * x[es[k].col];
     y[i] = acc;
   }
 }
@@ -50,10 +56,13 @@ void SparseMatrix::multiply_transpose_into(std::span<const double> x,
   RD_EXPECTS(y.size() == cols_,
              "SparseMatrix::multiply_transpose_into: output size mismatch");
   std::fill(y.begin(), y.end(), 0.0);
-  for (std::size_t i = 0; i < rows(); ++i) {
+  const std::span<const std::size_t> rp = row_offsets();
+  const SparseEntry* const es = entry_array().data();
+  const std::size_t n = rows();
+  for (std::size_t i = 0; i < n; ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
-    for (const auto& e : row(i)) y[e.col] += e.value * xi;
+    for (std::size_t k = rp[i]; k < rp[i + 1]; ++k) y[es[k].col] += es[k].value * xi;
   }
 }
 
@@ -89,10 +98,32 @@ SparseMatrix SparseMatrix::from_csr(std::size_t cols, std::vector<std::size_t> r
                  "SparseMatrix::from_csr: row columns must be strictly ascending");
     }
   }
+  return from_csr_trusted(cols, std::move(row_ptr), std::move(entries));
+}
+
+SparseMatrix SparseMatrix::from_csr_trusted(std::size_t cols,
+                                            std::vector<std::size_t> row_ptr,
+                                            std::vector<SparseEntry> entries) {
   SparseMatrix out;
   out.cols_ = cols;
   out.row_ptr_ = std::move(row_ptr);
   out.entries_ = std::move(entries);
+  return out;
+}
+
+SparseMatrix SparseMatrix::view_csr_trusted(std::size_t cols,
+                                            std::span<const std::size_t> row_ptr,
+                                            std::span<const SparseEntry> entries,
+                                            std::shared_ptr<const void> storage) {
+  RD_EXPECTS(!row_ptr.empty(),
+             "SparseMatrix::view_csr_trusted: row_ptr must have rows+1 entries");
+  SparseMatrix out;
+  out.cols_ = cols;
+  out.ext_row_ptr_ = row_ptr.data();
+  out.ext_rows_ = row_ptr.size() - 1;
+  out.ext_entries_ = entries.data();
+  out.ext_nnz_ = entries.size();
+  out.storage_ = std::move(storage);
   return out;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -23,9 +24,14 @@ class SparseMatrix {
  public:
   SparseMatrix() = default;
 
-  std::size_t rows() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+  std::size_t rows() const {
+    if (ext_row_ptr_ != nullptr) return ext_rows_;
+    return row_ptr_.empty() ? 0 : row_ptr_.size() - 1;
+  }
   std::size_t cols() const { return cols_; }
-  std::size_t nonzeros() const { return entries_.size(); }
+  std::size_t nonzeros() const {
+    return ext_row_ptr_ != nullptr ? ext_nnz_ : entries_.size();
+  }
 
   /// Entries of row i, ordered by column.
   std::span<const SparseEntry> row(std::size_t i) const;
@@ -68,11 +74,53 @@ class SparseMatrix {
   static SparseMatrix from_csr(std::size_t cols, std::vector<std::size_t> row_ptr,
                                std::vector<SparseEntry> entries);
 
+  /// from_csr without the O(nnz) invariant validation, for callers that
+  /// already hold an integrity proof over the exact bytes — the bound-
+  /// artifact loader, whose CRC-64 covers both arrays and whose writer only
+  /// ever serializes matrices that passed from_csr. Feeding unvalidated
+  /// arrays through this is undefined behaviour downstream.
+  static SparseMatrix from_csr_trusted(std::size_t cols,
+                                       std::vector<std::size_t> row_ptr,
+                                       std::vector<SparseEntry> entries);
+
+  /// Zero-copy variant of from_csr_trusted: the matrix *borrows* the CSR
+  /// arrays instead of owning them, and `storage` keeps whatever owns the
+  /// bytes (e.g. a file mapping) alive for the matrix's lifetime. The bound-
+  /// artifact mmap loader uses this so a 10^6-state chain warm-starts
+  /// without copying its ~hundreds of MB of entries. Same trust contract as
+  /// from_csr_trusted; the spans must stay valid (and immutable) as long as
+  /// `storage` is held. Copies of the matrix share `storage`.
+  static SparseMatrix view_csr_trusted(std::size_t cols,
+                                       std::span<const std::size_t> row_ptr,
+                                       std::span<const SparseEntry> entries,
+                                       std::shared_ptr<const void> storage);
+
+  /// Raw CSR row offsets (size rows()+1) for serialization.
+  std::span<const std::size_t> row_offsets() const {
+    if (ext_row_ptr_ != nullptr) return {ext_row_ptr_, ext_rows_ + 1};
+    return row_ptr_;
+  }
+
+  /// Raw CSR entry array (row-major, ascending column within each row) for
+  /// serialization.
+  std::span<const SparseEntry> entry_array() const {
+    if (ext_row_ptr_ != nullptr) return {ext_entries_, ext_nnz_};
+    return entries_;
+  }
+
  private:
   friend class SparseMatrixBuilder;
   std::size_t cols_ = 0;
-  std::vector<std::size_t> row_ptr_;  // size rows()+1
-  std::vector<SparseEntry> entries_;
+  std::vector<std::size_t> row_ptr_;  // size rows()+1; owning mode only
+  std::vector<SparseEntry> entries_;  // owning mode only
+  // View mode (view_csr_trusted): borrowed CSR arrays plus the keep-alive
+  // owning their bytes. Raw pointers (not spans into the vectors above) so
+  // the defaulted copy/move members stay correct in both modes.
+  const std::size_t* ext_row_ptr_ = nullptr;  // size ext_rows_ + 1
+  const SparseEntry* ext_entries_ = nullptr;  // size ext_nnz_
+  std::size_t ext_rows_ = 0;
+  std::size_t ext_nnz_ = 0;
+  std::shared_ptr<const void> storage_;
 };
 
 /// Accumulating triplet builder: duplicate (row, col) contributions are

@@ -41,6 +41,12 @@ std::string provenance_to_json(const DecisionProvenance& record) {
   obj["decide_ms"] = Json(record.decide_ms);
   obj["bound_generation"] = Json(record.bound_generation);
   obj["bound_size"] = Json(record.bound_size);
+  // Anytime fields only appear when the feature did work, so records from
+  // builds/runs without --anytime stay byte-identical.
+  if (record.anytime_backups > 0 || record.anytime_added > 0) {
+    obj["anytime_backups"] = Json(record.anytime_backups);
+    obj["anytime_added"] = Json(record.anytime_added);
+  }
 
   Json::Object expansion;
   expansion["nodes"] = Json(record.expansion.nodes);
@@ -48,6 +54,15 @@ std::string provenance_to_json(const DecisionProvenance& record) {
   expansion["memo_hits"] = Json(record.expansion.memo_hits);
   expansion["memo_misses"] = Json(record.expansion.memo_misses);
   expansion["memo_insertions"] = Json(record.expansion.memo_insertions);
+  // Carry tallies likewise appear only under --memo-carry.
+  if (record.expansion.memo_carry_hits > 0 ||
+      record.expansion.memo_carry_misses > 0 ||
+      record.expansion.memo_carry_invalidations > 0) {
+    expansion["memo_carry_hits"] = Json(record.expansion.memo_carry_hits);
+    expansion["memo_carry_misses"] = Json(record.expansion.memo_carry_misses);
+    expansion["memo_carry_invalidations"] =
+        Json(record.expansion.memo_carry_invalidations);
+  }
   Json::Array levels;
   for (std::uint64_t n : record.expansion.nodes_per_level) levels.emplace_back(n);
   expansion["nodes_per_level"] = Json(std::move(levels));
@@ -91,6 +106,12 @@ DecisionProvenance provenance_from_json(const std::string& line) {
   record.bound_generation =
       static_cast<std::uint64_t>(doc.at("bound_generation").as_number());
   record.bound_size = static_cast<std::uint64_t>(doc.at("bound_size").as_number());
+  if (doc.contains("anytime_backups")) {
+    record.anytime_backups =
+        static_cast<std::uint64_t>(doc.at("anytime_backups").as_number());
+    record.anytime_added =
+        static_cast<std::uint64_t>(doc.at("anytime_added").as_number());
+  }
 
   const Json& expansion = doc.at("expansion");
   record.expansion.nodes =
@@ -103,6 +124,14 @@ DecisionProvenance provenance_from_json(const std::string& line) {
       static_cast<std::uint64_t>(expansion.at("memo_misses").as_number());
   record.expansion.memo_insertions =
       static_cast<std::uint64_t>(expansion.at("memo_insertions").as_number());
+  if (expansion.contains("memo_carry_hits")) {
+    record.expansion.memo_carry_hits =
+        static_cast<std::uint64_t>(expansion.at("memo_carry_hits").as_number());
+    record.expansion.memo_carry_misses =
+        static_cast<std::uint64_t>(expansion.at("memo_carry_misses").as_number());
+    record.expansion.memo_carry_invalidations = static_cast<std::uint64_t>(
+        expansion.at("memo_carry_invalidations").as_number());
+  }
   for (const Json& level : expansion.at("nodes_per_level").as_array()) {
     record.expansion.nodes_per_level.push_back(
         static_cast<std::uint64_t>(level.as_number()));

@@ -42,6 +42,12 @@ struct ExpansionProvenance {
   std::uint64_t memo_hits = 0;
   std::uint64_t memo_misses = 0;
   std::uint64_t memo_insertions = 0;
+  /// Cross-decide carry-over tallies (zero unless --memo-carry): hits served
+  /// by an earlier expansion, misses while carrying, and whole-cache
+  /// invalidations (bound-set generation bump or option change).
+  std::uint64_t memo_carry_hits = 0;
+  std::uint64_t memo_carry_misses = 0;
+  std::uint64_t memo_carry_invalidations = 0;
   std::vector<std::uint64_t> nodes_per_level;  ///< size <= kMaxProvenanceLevels
 };
 
@@ -58,6 +64,10 @@ struct DecisionProvenance {
   double decide_ms = 0.0;
   std::uint64_t bound_generation = 0;  ///< BoundSet::generation() snapshot
   std::uint64_t bound_size = 0;        ///< hyperplanes in the set
+  /// Anytime deepening work after the decision (zero unless --anytime):
+  /// Eq. 7 backups attempted and how many grew the bound set.
+  std::uint64_t anytime_backups = 0;
+  std::uint64_t anytime_added = 0;
   ExpansionProvenance expansion;
   std::vector<ActionProvenance> actions;
 };

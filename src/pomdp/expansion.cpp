@@ -54,6 +54,9 @@ struct MemoInstruments {
   obs::Counter& misses;
   obs::Counter& insertions;
   obs::Counter& capped;
+  obs::Counter& carry_hits;
+  obs::Counter& carry_misses;
+  obs::Counter& carry_invalidations;
   obs::Gauge& bytes;
 
   static MemoInstruments& get() {
@@ -62,6 +65,9 @@ struct MemoInstruments {
         obs::metrics().counter("pomdp.memo.misses"),
         obs::metrics().counter("pomdp.memo.insertions"),
         obs::metrics().counter("pomdp.memo.capped"),
+        obs::metrics().counter("expansion.memo.carry_hits"),
+        obs::metrics().counter("expansion.memo.carry_misses"),
+        obs::metrics().counter("expansion.memo.carry_invalidations"),
         obs::metrics().gauge("pomdp.memo.bytes"),
     };
     return instruments;
@@ -176,6 +182,7 @@ struct ExpansionEngine::MemoCache {
     std::int32_t depth = -1;         // remaining subtree depth of the entry
     std::size_t key_offset = 0;      // into keys_, units of doubles
     double value = 0.0;
+    std::uint32_t era = 0;           // expansion era the entry was inserted in
   };
 
   std::vector<Slot> slots;   // power-of-two capacity
@@ -188,11 +195,25 @@ struct ExpansionEngine::MemoCache {
   bool enabled = false;
   bool capped = false;  // admission stopped until the next clear
 
+  // Carry-over state (ExpansionOptions::memo_carry): while carrying, the
+  // per-root-action and per-call clears are skipped and the cache lives
+  // until configure() sees a different option seed or memo_context — the
+  // exact-invalidation contract. `era` stamps each entry with the
+  // configure() round that inserted it, so hits on entries from an earlier
+  // expansion are classified as carry hits (classification only; never
+  // read by the walk).
+  bool carry = false;
+  std::uint64_t context = 0;
+  std::uint32_t era = 0;
+
   // Per-expansion tallies, drained by note_expansion_finished().
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t capped_insertions = 0;
+  std::uint64_t carry_hits = 0;
+  std::uint64_t carry_misses = 0;
+  std::uint64_t carry_invalidations = 0;
 
   std::size_t bytes() const {
     return slots.capacity() * sizeof(Slot) + keys.capacity() * sizeof(double);
@@ -207,7 +228,23 @@ struct ExpansionEngine::MemoCache {
     h = mix64(h, bits);
     std::memcpy(&bits, &o.branch_floor, sizeof(bits));
     h = mix64(h, bits);
-    seed = mix64(h, static_cast<std::uint64_t>(o.skip_action));
+    const std::uint64_t new_seed = mix64(h, static_cast<std::uint64_t>(o.skip_action));
+    const bool was_carrying = carry;
+    carry = o.memo_carry;
+    if (carry) {
+      // A carried entry is only exact while the options that keyed it and
+      // the leaf evaluator behind it are unchanged; any drift discards the
+      // whole cache (O(1) epoch bump), never individual entries.
+      const bool stale =
+          !was_carrying || new_seed != seed || o.memo_context != context;
+      if (stale) {
+        if (was_carrying && count > 0) ++carry_invalidations;
+        clear();
+      }
+    }
+    seed = new_seed;
+    context = o.memo_context;
+    ++era;
   }
 
   // O(1): invalidates every entry by bumping the epoch; capacities persist.
@@ -239,6 +276,7 @@ struct ExpansionEngine::MemoCache {
               double* value) {
     if (slots.empty() || count == 0) {
       ++misses;
+      if (carry) ++carry_misses;
       return false;
     }
     const std::size_t mask = slots.size() - 1;
@@ -250,10 +288,12 @@ struct ExpansionEngine::MemoCache {
                       belief.size() * sizeof(double)) == 0) {
         *value = s.value;
         ++hits;
+        if (carry && s.era != era) ++carry_hits;  // served by an earlier expansion
         return true;
       }
     }
     ++misses;
+    if (carry) ++carry_misses;
     return false;
   }
 
@@ -269,7 +309,7 @@ struct ExpansionEngine::MemoCache {
     std::size_t i = hash & mask;
     while (slots[i].epoch == epoch) i = (i + 1) & mask;
     std::memcpy(keys.data() + keys_used, belief.data(), dim * sizeof(double));
-    slots[i] = Slot{hash, epoch, depth, keys_used, value};
+    slots[i] = Slot{hash, epoch, depth, keys_used, value, era};
     keys_used += dim;
     ++count;
     ++insertions;
@@ -585,7 +625,9 @@ double ExpansionEngine::root_action_future(Workspace& ws, std::span<const double
   const Pomdp& pomdp = *pomdp_;
   const std::size_t num_states = pomdp.num_states();
   MemoCache& memo = ws.memo;
-  if (memo.enabled) memo.clear();
+  // Carry-over keeps the cache across root actions and across calls: hits
+  // are bitwise-exact, so values stay identical — only the tallies change.
+  if (memo.enabled && !memo.carry) memo.clear();
   Frame& fr = ws.frames[0];
   fr.num_kept = expand_successors_into(pomdp, belief, action, options.branch_floor,
                                        fr.pred, fr.weight, fr.branch_of, fr.kept,
@@ -665,8 +707,9 @@ double ExpansionEngine::value(std::span<const double> belief, int depth,
   if (main_->collect_stats) main_->local_stats.reset();
   // value() is always serial, so one cache may span the whole tree: root
   // actions share subtree values here, which action_values() forgoes for
-  // cross-worker determinism.
-  if (main_->memo.enabled) main_->memo.clear();
+  // cross-worker determinism. Under carry-over the cache additionally
+  // survives across calls (configure() above handled invalidation).
+  if (main_->memo.enabled && !main_->memo.carry) main_->memo.clear();
   const double result = expand_iterative(*main_, 0, belief, depth, leaf, options);
   note_expansion_finished(options.stats);
   return result;
@@ -861,13 +904,20 @@ void ExpansionEngine::note_expansion_finished(ExpansionNodeStats* stats) {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t capped = 0;
+  std::uint64_t carry_hits = 0;
+  std::uint64_t carry_misses = 0;
+  std::uint64_t carry_invalidations = 0;
   std::size_t memo_bytes = 0;
   auto drain = [&](Workspace& ws) {
     hits += ws.memo.hits;
     misses += ws.memo.misses;
     insertions += ws.memo.insertions;
     capped += ws.memo.capped_insertions;
+    carry_hits += ws.memo.carry_hits;
+    carry_misses += ws.memo.carry_misses;
+    carry_invalidations += ws.memo.carry_invalidations;
     ws.memo.hits = ws.memo.misses = ws.memo.insertions = ws.memo.capped_insertions = 0;
+    ws.memo.carry_hits = ws.memo.carry_misses = ws.memo.carry_invalidations = 0;
     memo_bytes += ws.memo.bytes();
     if (stats != nullptr && ws.collect_stats) {
       stats->nodes += ws.local_stats.nodes;
@@ -885,13 +935,22 @@ void ExpansionEngine::note_expansion_finished(ExpansionNodeStats* stats) {
     stats->memo_hits = hits;
     stats->memo_misses = misses;
     stats->memo_insertions = insertions;
+    stats->memo_carry_hits = carry_hits;
+    stats->memo_carry_misses = carry_misses;
+    stats->memo_carry_invalidations = carry_invalidations;
   }
-  if (hits + misses + insertions + capped > 0) {
+  if (hits + misses + insertions + capped + carry_hits + carry_misses +
+          carry_invalidations > 0) {
     MemoInstruments& instruments = MemoInstruments::get();
     if (hits > 0) instruments.hits.add(hits);
     if (misses > 0) instruments.misses.add(misses);
     if (insertions > 0) instruments.insertions.add(insertions);
     if (capped > 0) instruments.capped.add(capped);
+    if (carry_hits > 0) instruments.carry_hits.add(carry_hits);
+    if (carry_misses > 0) instruments.carry_misses.add(carry_misses);
+    if (carry_invalidations > 0) {
+      instruments.carry_invalidations.add(carry_invalidations);
+    }
     if (static_cast<double>(memo_bytes) > instruments.bytes.value()) {
       instruments.bytes.set(static_cast<double>(memo_bytes));
     }

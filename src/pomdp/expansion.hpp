@@ -190,6 +190,12 @@ struct ExpansionNodeStats {
   std::uint64_t memo_hits = 0;
   std::uint64_t memo_misses = 0;
   std::uint64_t memo_insertions = 0;
+  /// Carry-over tallies (meaningful when ExpansionOptions::memo_carry is
+  /// on): hits on entries inserted by an *earlier* expansion, misses while
+  /// carrying, and carried caches discarded by a seed/context change.
+  std::uint64_t memo_carry_hits = 0;
+  std::uint64_t memo_carry_misses = 0;
+  std::uint64_t memo_carry_invalidations = 0;
   std::array<std::uint64_t, kMaxLevels> nodes_per_level{};
 
   void reset() { *this = ExpansionNodeStats{}; }
@@ -222,6 +228,21 @@ struct ExpansionOptions {
   /// root-action subtree (lookups keep working); nothing is evicted, since
   /// entries only live until the next root action clears the cache.
   std::size_t memo_max_bytes = 64ull << 20;
+  /// Cross-decide/cross-episode carry-over: keep memoized subtree values
+  /// across root actions AND across engine calls instead of clearing per
+  /// root-action subtree. Hits are bitwise-exact (an entry returns exactly
+  /// what re-expanding its subtree would compute), so *decisions and
+  /// values* stay bit-identical with carry on or off and for any root_jobs
+  /// count — only the work tallies (hits/misses/leaf evaluations) may
+  /// differ, since workers' carried caches depend on the actions they
+  /// solved before. The carried cache is discarded exactly when the option
+  /// seed (beta/branch_floor/skip_action) or `memo_context` changes.
+  bool memo_carry = false;
+  /// Identity of everything a carried value depends on beyond the options:
+  /// callers MUST change it whenever the leaf evaluator's output may change
+  /// (controllers pass the BoundSet generation, so any bound-set mutation
+  /// invalidates the carried cache exactly). Ignored unless memo_carry.
+  std::uint64_t memo_context = 0;
   /// When non-null, reset at the start of value()/action_values() and
   /// filled with that one expansion's work tallies (provenance). Purely
   /// observational: never read by the walk, so values are unchanged.

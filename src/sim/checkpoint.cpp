@@ -7,41 +7,16 @@
 #include <unistd.h>
 
 #include "util/check.hpp"
+#include "util/crc64.hpp"
 
 namespace recoverd::sim {
 
 namespace {
 
+using util::crc64;
+
 constexpr std::uint64_t kMagic = 0x314b43544c464452ULL;  // "RDFLTCK1" LE
 constexpr std::size_t kHeaderBytes = 8 + 4 + 8;           // magic+version+len
-
-// ---- CRC-64/XZ (reflected, poly 0x42F0E1EBA9EA3693) --------------------
-
-const std::uint64_t* crc64_table() {
-  static std::uint64_t table[256];
-  static const bool built = [] {
-    const std::uint64_t poly = 0xC96C5795D7870F42ULL;  // reflected polynomial
-    for (std::uint64_t i = 0; i < 256; ++i) {
-      std::uint64_t crc = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
-      }
-      table[i] = crc;
-    }
-    return true;
-  }();
-  (void)built;
-  return table;
-}
-
-std::uint64_t crc64(const unsigned char* data, std::size_t n) {
-  const std::uint64_t* table = crc64_table();
-  std::uint64_t crc = ~0ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
-  }
-  return ~crc;
-}
 
 // ---- byte-buffer writer/reader -----------------------------------------
 
@@ -178,6 +153,7 @@ void write_fleet_checkpoint(const std::string& path, const FleetCheckpoint& cp) 
   Writer payload;
   payload.u64(cp.model_hash);
   payload.u64(cp.options_hash);
+  payload.u64(cp.bound_artifact_hash);
   payload.u64(cp.seed);
   payload.u64(cp.tick);
   payload.u64(cp.sessions);
@@ -301,6 +277,7 @@ FleetCheckpoint read_fleet_checkpoint(const std::string& path) {
   FleetCheckpoint cp;
   cp.model_hash = r.u64("model hash");
   cp.options_hash = r.u64("options hash");
+  cp.bound_artifact_hash = r.u64("bound artifact hash");
   cp.seed = r.u64("seed");
   cp.tick = r.u64("tick");
   cp.sessions = r.u64("sessions");

@@ -9,7 +9,7 @@
 // (decision/memo caches start cold after a restore and refill with the
 // exact bits a fresh solve produces, so resumed decisions are unchanged).
 //
-// File format (`recoverd fleet checkpoint v1`, little-endian):
+// File format (`recoverd fleet checkpoint v2`, little-endian):
 //
 //   [0]  magic      u64  "RDFLTCK1"
 //   [8]  version    u32  kFleetCheckpointVersion
@@ -29,7 +29,12 @@
 //   - any flipped bit                → "checksum mismatch",
 //   - model changed since the save   → "different model" (hash mismatch,
 //                                      checked by FleetDriver::restore),
-//   - options changed since the save → "different fleet options".
+//   - options changed since the save → "different fleet options",
+//   - bound artifact changed         → "different bound artifact" (the v2
+//                                      header records the content hash of the
+//                                      bound artifact the fleet was warm-
+//                                      started from; restoring into a fleet
+//                                      over different bounds is rejected).
 // A rejected checkpoint is never partially applied: validation happens
 // before any driver state is touched.
 #pragma once
@@ -45,7 +50,7 @@
 
 namespace recoverd::sim {
 
-inline constexpr std::uint32_t kFleetCheckpointVersion = 1;
+inline constexpr std::uint32_t kFleetCheckpointVersion = 2;
 
 /// The serialized fleet state. Plain data: FleetDriver::capture_checkpoint()
 /// fills it, FleetDriver::adopt_checkpoint() applies it; the write/read pair
@@ -53,6 +58,11 @@ inline constexpr std::uint32_t kFleetCheckpointVersion = 1;
 struct FleetCheckpoint {
   std::uint64_t model_hash = 0;    ///< hash_pomdp of the controller model
   std::uint64_t options_hash = 0;  ///< hash of the decision-relevant options
+  /// Content hash of the bound artifact the fleet was warm-started from
+  /// (bounds::BoundArtifact::content_hash), or 0 for a cold-built bound set.
+  /// Restoring into a fleet over a different artifact is rejected: the bound
+  /// set shapes every decision, so a silent swap would break bitwise resume.
+  std::uint64_t bound_artifact_hash = 0;
   std::uint64_t seed = 0;          ///< fleet seed (informational)
   std::uint64_t tick = 0;
 

@@ -115,6 +115,7 @@ struct FleetInstruments {
 }  // namespace
 
 void apply_fleet_resilience_flags(const CliArgs& args, FleetOptions& options) {
+  options.memo_carry = args.get_bool("memo-carry", options.memo_carry);
   options.guard.enabled = args.get_bool("fleet-guard", options.guard.enabled);
   options.guard.reduced_depth = static_cast<int>(
       args.get_count("fleet-reduced-depth",
@@ -133,7 +134,7 @@ void apply_fleet_resilience_flags(const CliArgs& args, FleetOptions& options) {
 }
 
 std::vector<std::string> fleet_resilience_flag_names() {
-  std::vector<std::string> names = {"fleet-guard", "fleet-reduced-depth",
+  std::vector<std::string> names = {"memo-carry", "fleet-guard", "fleet-reduced-depth",
                                     "fleet-promote-after", "fleet-livelock-window",
                                     "tick-budget-decisions", "tick-budget-ms"};
   for (std::string& name : chaos_flag_names()) names.push_back(std::move(name));
@@ -368,6 +369,10 @@ void FleetDriver::decide_phase() {
   expansion.root_jobs = options_.root_jobs;
   expansion.memo = options_.memo;
   expansion.memo_max_bytes = options_.memo_max_mb << 20;
+  // Cross-tick carry-over: the fleet's bound set is frozen during ticks, so
+  // its generation is constant and carried entries stay valid tick to tick.
+  expansion.memo_carry = options_.memo_carry;
+  expansion.memo_context = set_.generation();
 
   const std::size_t slots = ExpansionEngine::leaf_slots(expansion);
   if (eval_scratch_.size() < slots) eval_scratch_.resize(slots);
@@ -738,6 +743,7 @@ FleetCheckpoint FleetDriver::capture_checkpoint() const {
   FleetCheckpoint cp;
   cp.model_hash = hash_pomdp(model_);
   cp.options_hash = options_hash();
+  cp.bound_artifact_hash = options_.bound_artifact_hash;
   cp.seed = seed_;
   cp.tick = stats_.ticks;
   cp.sessions = n;
@@ -821,6 +827,14 @@ void FleetDriver::adopt_checkpoint(const FleetCheckpoint& cp) {
         "relevant options hash mismatch) — depth, budgets, guard and chaos "
         "settings must match the saving run (mode/jobs/simd/memo/cache and "
         "--tick-budget-ms may differ freely)");
+  }
+  if (cp.bound_artifact_hash != options_.bound_artifact_hash) {
+    throw ModelError(
+        "fleet checkpoint was saved with a different bound artifact (saved "
+        "hash " + std::to_string(cp.bound_artifact_hash) + ", this fleet has " +
+        std::to_string(options_.bound_artifact_hash) +
+        "; 0 means cold-built) — warm-start from the same --bounds-in "
+        "artifact the saving run used, or rebuild the checkpoint");
   }
   if (cp.stats.size() != 21) {
     throw ModelError("fleet checkpoint carries " + std::to_string(cp.stats.size()) +

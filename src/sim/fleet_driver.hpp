@@ -112,6 +112,13 @@ struct FleetOptions {
   int root_jobs = 1;
   bool memo = true;
   std::size_t memo_max_mb = 64;
+  /// Cross-tick carry-over of the expansion memo (`--memo-carry`): memoized
+  /// subtree values survive between ticks, invalidated exactly on a
+  /// bound-set generation bump. The fleet's set is frozen during ticks, so
+  /// in steady state carried entries serve most repeat beliefs. Hits are
+  /// bitwise-exact — a speed-only knob, excluded from options_hash() like
+  /// memo/mode/jobs, so checkpoints move freely across it.
+  bool memo_carry = false;
   double goal_certainty = 1.0 - 1e-9;
   double terminate_tie_epsilon = 1e-9;
   /// Decide/act steps after which an episode is cut off (truncated) and the
@@ -148,6 +155,11 @@ struct FleetOptions {
   /// — excluded from the bitwise contracts (use tick_budget_decisions for
   /// deterministic shedding).
   double tick_budget_ms = 0.0;
+  /// Content hash of the bound artifact the fleet's set was warm-started
+  /// from (bounds/artifact.hpp), 0 when the set was built cold. Recorded in
+  /// checkpoints; restore rejects a mismatch, since decisions depend on the
+  /// exact plane set.
+  std::uint64_t bound_artifact_hash = 0;
 };
 
 /// Applies the shared fleet-resilience flags onto `options` (defaults leave

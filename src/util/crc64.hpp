@@ -1,0 +1,23 @@
+// CRC-64/XZ (reflected polynomial 0x42F0E1EBA9EA3693, init/final ~0).
+//
+// Shared by the fleet-checkpoint framing (sim/checkpoint.cpp) and the bound
+// artifact format (bounds/artifact.cpp). The slice-by-8 kernel processes
+// eight input bytes per table round, which matters for bound artifacts: a
+// 10⁶-state artifact is hundreds of megabytes and the CRC pass is the single
+// largest fixed cost of a warm start, so it has to run at memory speed, not
+// at one table lookup per byte.
+//
+// crc64("123456789") == 0x995DC9BBDF1939FA (the CRC-64/XZ check value); the
+// output is bitwise identical to the byte-at-a-time implementation the fleet
+// checkpoints shipped with, so existing checkpoint files keep validating.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace recoverd::util {
+
+/// One-shot CRC-64/XZ over `n` bytes.
+std::uint64_t crc64(const void* data, std::size_t n);
+
+}  // namespace recoverd::util

@@ -1,0 +1,348 @@
+// Bound-artifact suite (DESIGN.md §15): a chain + bound set saved with
+// save_bound_artifact and loaded back must be bitwise-equal to the
+// originals — same CSR bits, same solve plan, same plane coefficients,
+// protection flags, use counters and generation — so warm-started decisions
+// are indistinguishable from cold-built ones. The corruption matrix mirrors
+// the fleet-checkpoint one: truncation at every depth, bit flips, foreign
+// magic, version drift, nonzero reserved bytes, model-hash mismatch, empty
+// and odd-sized files all map to an actionable ModelError, never partial
+// data or a fault.
+#include "bounds/artifact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bounds/incremental_update.hpp"
+#include "bounds/ra_bound.hpp"
+#include "models/emn.hpp"
+#include "obs/metrics.hpp"
+#include "pomdp/belief.hpp"
+#include "util/check.hpp"
+#include "util/crc64.hpp"
+
+namespace recoverd::bounds {
+namespace {
+
+struct Fixture {
+  Pomdp recovery;
+  RandomActionChain chain;
+  std::uint64_t model_hash;
+
+  Fixture()
+      : recovery(models::make_emn_recovery_model()),
+        chain(build_random_action_chain(recovery.mdp())),
+        model_hash(hash_mdp(recovery.mdp())) {}
+
+  // A set with history: extra planes from Eq. 7 backups (generation bumps),
+  // plus evaluations so some use counters are nonzero — the round trip must
+  // preserve all of it, not just a freshly seeded set.
+  BoundSet make_warmed_set() const {
+    BoundSet set = make_ra_bound_set(chain, 32);
+    const std::size_t n = recovery.num_states();
+    for (std::uint64_t k = 0; k < 4; ++k) {
+      std::vector<double> pi(n, 0.0);
+      pi[k % n] = 0.7;
+      pi[(k + 3) % n] = 0.3;
+      (void)improve_at(recovery, set, Belief(std::move(pi)));
+    }
+    (void)set.evaluate(Belief::uniform(n).probabilities());
+    return set;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+std::string temp_path(const char* name) { return testing::TempDir() + name; }
+
+std::vector<unsigned char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string model_error_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const ModelError& e) {
+    return e.what();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "expected ModelError, got: " << e.what();
+    return "";
+  }
+  ADD_FAILURE() << "expected ModelError, got no exception";
+  return "";
+}
+
+void expect_chains_bitwise_equal(const RandomActionChain& a,
+                                 const RandomActionChain& b) {
+  ASSERT_EQ(a.num_states(), b.num_states());
+  EXPECT_EQ(a.num_actions, b.num_actions);
+  ASSERT_EQ(a.q.rows(), b.q.rows());
+  ASSERT_EQ(a.q.cols(), b.q.cols());
+  ASSERT_EQ(a.q.nonzeros(), b.q.nonzeros());
+  const auto rp_a = a.q.row_offsets();
+  const auto rp_b = b.q.row_offsets();
+  EXPECT_EQ(std::memcmp(rp_a.data(), rp_b.data(), rp_a.size() * sizeof(std::size_t)), 0);
+  const auto e_a = a.q.entry_array();
+  const auto e_b = b.q.entry_array();
+  EXPECT_EQ(std::memcmp(e_a.data(), e_b.data(), e_a.size() * sizeof(linalg::SparseEntry)),
+            0);
+  ASSERT_EQ(a.c.size(), b.c.size());
+  EXPECT_EQ(std::memcmp(a.c.data(), b.c.data(), a.c.size() * sizeof(double)), 0);
+  const linalg::SolvePlan& pa = a.plan;
+  const linalg::SolvePlan& pb = b.plan;
+  EXPECT_EQ(pa.num_components, pb.num_components);
+  EXPECT_EQ(pa.num_singletons, pb.num_singletons);
+  EXPECT_EQ(pa.largest_component, pb.largest_component);
+  EXPECT_EQ(pa.component, pb.component);
+  EXPECT_EQ(pa.members, pb.members);
+  EXPECT_EQ(pa.component_ptr, pb.component_ptr);
+  EXPECT_EQ(pa.level_of, pb.level_of);
+  EXPECT_EQ(pa.level_components, pb.level_components);
+  EXPECT_EQ(pa.level_ptr, pb.level_ptr);
+}
+
+void expect_sets_bitwise_equal(const BoundSet& a, const BoundSet& b) {
+  const BoundSet::Snapshot sa = a.snapshot();
+  const BoundSet::Snapshot sb = b.snapshot();
+  EXPECT_EQ(sa.dimension, sb.dimension);
+  EXPECT_EQ(sa.capacity, sb.capacity);
+  EXPECT_EQ(sa.generation, sb.generation);
+  EXPECT_EQ(sa.first_added, sb.first_added);
+  ASSERT_EQ(sa.planes.size(), sb.planes.size());
+  for (std::size_t i = 0; i < sa.planes.size(); ++i) {
+    EXPECT_EQ(sa.planes[i].is_protected, sb.planes[i].is_protected) << "plane " << i;
+    EXPECT_EQ(sa.planes[i].uses, sb.planes[i].uses) << "plane " << i;
+    ASSERT_EQ(sa.planes[i].vector.size(), sb.planes[i].vector.size());
+    EXPECT_EQ(std::memcmp(sa.planes[i].vector.data(), sb.planes[i].vector.data(),
+                          sa.planes[i].vector.size() * sizeof(double)),
+              0)
+        << "plane " << i << " coefficient bits";
+  }
+}
+
+// ---- round trips --------------------------------------------------------
+
+TEST(ArtifactTest, RoundTripIsBitwise) {
+  Fixture& f = fixture();
+  const std::string path = temp_path("bounds_roundtrip.rdb");
+  const BoundSet set = f.make_warmed_set();
+  const std::uint64_t crc = save_bound_artifact(path, f.chain, set, f.model_hash);
+  const BoundArtifact loaded = load_bound_artifact(path, f.model_hash);
+  EXPECT_EQ(loaded.model_hash, f.model_hash);
+  EXPECT_EQ(loaded.content_hash, crc);
+  expect_chains_bitwise_equal(loaded.chain, f.chain);
+  expect_sets_bitwise_equal(loaded.set, set);
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactTest, WarmStartedEvaluationsAndBackupsMatchColdBitwise) {
+  Fixture& f = fixture();
+  const std::string path = temp_path("bounds_warmcold.rdb");
+  BoundSet cold = f.make_warmed_set();
+  save_bound_artifact(path, f.chain, cold, f.model_hash);
+  BoundArtifact warm = load_bound_artifact(path, f.model_hash);
+
+  const std::size_t n = f.recovery.num_states();
+  // Same evaluations bit for bit (evaluate bumps use counters identically on
+  // both sides, so the comparison stays symmetric).
+  for (std::uint64_t k = 0; k < 6; ++k) {
+    std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+    pi[k % n] += 0.5;
+    const Belief b{std::move(pi)};  // normalises
+    EXPECT_EQ(cold.evaluate(b.probabilities()), warm.set.evaluate(b.probabilities()))
+        << "evaluation " << k;
+  }
+  // Same Eq. 7 backup, bit for bit — including whether a plane was added and
+  // the exact before/after values.
+  std::vector<double> pi(n, 0.0);
+  pi[1] = 1.0;
+  const Belief target{std::move(pi)};
+  const UpdateResult uc = improve_at(f.recovery, cold, target);
+  const UpdateResult uw = improve_at(f.recovery, warm.set, target);
+  EXPECT_EQ(uc.added, uw.added);
+  EXPECT_EQ(uc.value_before, uw.value_before);
+  EXPECT_EQ(uc.value_after, uw.value_after);
+  EXPECT_EQ(uc.backing_action, uw.backing_action);
+  expect_sets_bitwise_equal(cold, warm.set);
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactTest, SaveIsAtomicAndOverwrites) {
+  Fixture& f = fixture();
+  const std::string path = temp_path("bounds_atomic.rdb");
+  BoundSet set = make_ra_bound_set(f.chain, 32);
+  save_bound_artifact(path, f.chain, set, f.model_hash);
+  const std::vector<unsigned char> first = read_file(path);
+  (void)improve_at(f.recovery, set, Belief::uniform(f.recovery.num_states()));
+  save_bound_artifact(path, f.chain, set, f.model_hash);
+  const std::vector<unsigned char> second = read_file(path);
+  EXPECT_NE(first, second);
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());  // staging file was renamed into place
+  (void)load_bound_artifact(path, f.model_hash);  // still a valid artifact
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactTest, ZeroExpectedHashSkipsTheModelCheck) {
+  Fixture& f = fixture();
+  const std::string path = temp_path("bounds_anyhash.rdb");
+  const BoundSet set = make_ra_bound_set(f.chain, 32);
+  save_bound_artifact(path, f.chain, set, f.model_hash);
+  const BoundArtifact loaded = load_bound_artifact(path);  // no expectation
+  EXPECT_EQ(loaded.model_hash, f.model_hash);
+  std::remove(path.c_str());
+}
+
+// ---- corruption matrix --------------------------------------------------
+
+struct ArtifactFile {
+  std::string path;
+  std::vector<unsigned char> bytes;
+
+  explicit ArtifactFile(const char* name) : path(temp_path(name)) {
+    Fixture& f = fixture();
+    const BoundSet set = f.make_warmed_set();
+    save_bound_artifact(path, f.chain, set, f.model_hash);
+    bytes = read_file(path);
+  }
+  ~ArtifactFile() { std::remove(path.c_str()); }
+
+  void load() const { (void)load_bound_artifact(path, fixture().model_hash); }
+};
+
+TEST(ArtifactCorruptionTest, MissingFileIsRejected) {
+  const std::string message = model_error_of(
+      [] { load_bound_artifact("/nonexistent/dir/bounds.rdb"); });
+  EXPECT_NE(message.find("cannot open"), std::string::npos) << message;
+}
+
+TEST(ArtifactCorruptionTest, EmptyFileIsRejected) {
+  const std::string path = temp_path("bounds_empty.rdb");
+  write_file(path, {});
+  const std::string message = model_error_of([&] { load_bound_artifact(path); });
+  EXPECT_NE(message.find("empty file"), std::string::npos) << message;
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactCorruptionTest, TruncationIsRejectedAtEveryLength) {
+  ArtifactFile file("bounds_truncate.rdb");
+  // A torn write can stop anywhere: inside the header, mid-payload (at odd,
+  // unaligned offsets), or one byte short of the checksum.
+  for (const double fraction : {0.001, 0.3, 0.7, 0.999}) {
+    std::vector<unsigned char> cut = file.bytes;
+    std::size_t len = static_cast<std::size_t>(
+        static_cast<double>(file.bytes.size()) * fraction);
+    len |= 1;  // force an odd (unaligned) size — the mmap path must not care
+    cut.resize(len);
+    write_file(file.path, cut);
+    const std::string message = model_error_of([&] { file.load(); });
+    const bool actionable =
+        message.find("truncated") != std::string::npos ||
+        message.find("length mismatch") != std::string::npos;
+    EXPECT_TRUE(actionable) << "at fraction " << fraction << ": " << message;
+  }
+}
+
+TEST(ArtifactCorruptionTest, TrailingBytesAreRejected) {
+  ArtifactFile file("bounds_trailing.rdb");
+  std::vector<unsigned char> grown = file.bytes;
+  grown.push_back(0x5a);
+  write_file(file.path, grown);
+  const std::string message = model_error_of([&] { file.load(); });
+  EXPECT_NE(message.find("length mismatch"), std::string::npos) << message;
+}
+
+TEST(ArtifactCorruptionTest, BitFlipsAreRejectedByChecksum) {
+  ArtifactFile file("bounds_bitflip.rdb");
+  // One bit in the payload's front (model hash), the middle (CSR bits), and
+  // the stored CRC itself.
+  for (const std::size_t offset :
+       {std::size_t{25}, file.bytes.size() / 2, file.bytes.size() - 3}) {
+    std::vector<unsigned char> flipped = file.bytes;
+    flipped[offset] ^= 0x04;
+    write_file(file.path, flipped);
+    const std::string message = model_error_of([&] { file.load(); });
+    EXPECT_NE(message.find("checksum mismatch"), std::string::npos)
+        << "at offset " << offset << ": " << message;
+  }
+}
+
+TEST(ArtifactCorruptionTest, ForeignFilesAreRejectedByMagic) {
+  ArtifactFile file("bounds_magic.rdb");
+  std::vector<unsigned char> foreign = file.bytes;
+  foreign[0] ^= 0xff;
+  write_file(file.path, foreign);
+  const std::string message = model_error_of([&] { file.load(); });
+  EXPECT_NE(message.find("not a recoverd bound artifact"), std::string::npos)
+      << message;
+}
+
+TEST(ArtifactCorruptionTest, UnknownVersionsAreRejected) {
+  ArtifactFile file("bounds_version.rdb");
+  std::vector<unsigned char> future = file.bytes;
+  future[8] = 99;  // version field, checked before the checksum
+  write_file(file.path, future);
+  const std::string message = model_error_of([&] { file.load(); });
+  EXPECT_NE(message.find("unsupported version 99"), std::string::npos) << message;
+}
+
+TEST(ArtifactCorruptionTest, NonzeroReservedBytesAreRejected) {
+  ArtifactFile file("bounds_reserved.rdb");
+  std::vector<unsigned char> drifted = file.bytes;
+  drifted[12] = 1;  // reserved field, must be zero in v1
+  write_file(file.path, drifted);
+  const std::string message = model_error_of([&] { file.load(); });
+  EXPECT_NE(message.find("reserved"), std::string::npos) << message;
+}
+
+TEST(ArtifactCorruptionTest, WrongModelHashIsRejected) {
+  ArtifactFile file("bounds_model.rdb");
+  const std::string message = model_error_of(
+      [&] { load_bound_artifact(file.path, fixture().model_hash ^ 1); });
+  EXPECT_NE(message.find("different model"), std::string::npos) << message;
+}
+
+TEST(ArtifactCorruptionTest, StructuralDriftBehindAValidChecksumIsRejected) {
+  // A hostile or buggy writer can produce a file whose CRC checks out but
+  // whose fields are inconsistent; the structural validation must still
+  // catch it. Corrupt the num_states field (payload offset 8 → file offset
+  // 32) and re-seal the checksum.
+  ArtifactFile file("bounds_structural.rdb");
+  std::vector<unsigned char> forged = file.bytes;
+  forged[32] ^= 0x01;  // num_states no longer matches the matrix dimensions
+  const std::uint64_t crc = util::crc64(forged.data() + 8, forged.size() - 16);
+  std::memcpy(forged.data() + forged.size() - 8, &crc, 8);
+  write_file(file.path, forged);
+  const std::string message = model_error_of([&] { file.load(); });
+  EXPECT_NE(message.find("corrupted"), std::string::npos) << message;
+}
+
+TEST(ArtifactCorruptionTest, RejectedLoadsBumpTheRejectCounter) {
+  ArtifactFile file("bounds_counter.rdb");
+  std::vector<unsigned char> flipped = file.bytes;
+  flipped[flipped.size() / 3] ^= 0x80;
+  write_file(file.path, flipped);
+  obs::Counter& rejects = obs::metrics().counter("bounds.artifact.load_rejects");
+  const std::uint64_t before = rejects.value();
+  EXPECT_THROW(file.load(), ModelError);
+  EXPECT_EQ(rejects.value(), before + 1);
+}
+
+}  // namespace
+}  // namespace recoverd::bounds

@@ -1,0 +1,353 @@
+// Exactness suite for memo *carry-over* (cross-decide/cross-episode cache
+// reuse, ExpansionOptions::memo_carry): on 120 randomized recovery POMDPs,
+// a sequence of expansions with the carried cache must reproduce the
+// per-call-cleared walk BIT FOR BIT — same values, same chosen actions —
+// across depths, masks, floors, root_jobs fan-outs, and across a
+// memo_context bump mid-sequence (the exact-invalidation contract: the
+// carried cache is discarded, values computed fresh, and the invalidation
+// tallied). The carry counters themselves are pinned on a colliding model.
+#include "pomdp/expansion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "pomdp/belief.hpp"
+#include "util/rng.hpp"
+
+namespace recoverd {
+namespace {
+
+// Random but valid recovery POMDP, the same shape the memo and expansion
+// parity suites use: state 0 is the goal, action 0 repairs downward, and
+// observation rows mix large and tiny entries so branch floors prune some
+// branches but not all.
+Pomdp make_random_pomdp(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t num_states = 3 + rng.uniform_index(5);   // 3..7
+  const std::size_t num_actions = 2 + rng.uniform_index(3);  // 2..4
+  const std::size_t num_obs = 2 + rng.uniform_index(4);      // 2..5
+
+  PomdpBuilder b;
+  for (StateId s = 0; s < num_states; ++s) {
+    std::string name = "s";
+    name += std::to_string(s);
+    b.add_state(name, s == 0 ? 0.0 : -rng.uniform(0.05, 1.0));
+  }
+  b.mark_goal(0);
+  for (ActionId a = 0; a < num_actions; ++a) {
+    std::string name = "a";
+    name += std::to_string(a);
+    b.add_action(name, rng.uniform(0.5, 10.0));
+  }
+  for (ObsId o = 0; o < num_obs; ++o) {
+    std::string name = "o";
+    name += std::to_string(o);
+    b.add_observation(name);
+  }
+  for (StateId s = 0; s < num_states; ++s) {
+    for (ActionId a = 0; a < num_actions; ++a) {
+      std::vector<StateId> targets;
+      if (s > 0 && a == 0) targets.push_back(rng.uniform_index(s));
+      targets.push_back(rng.uniform_index(num_states));
+      if (rng.bernoulli(0.5)) targets.push_back(rng.uniform_index(num_states));
+      std::vector<double> row(num_states, 0.0);
+      double total = 0.0;
+      std::vector<double> weights(targets.size());
+      for (auto& w : weights) {
+        w = rng.uniform(0.1, 1.0);
+        total += w;
+      }
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        row[targets[i]] += weights[i] / total;
+      }
+      for (StateId t = 0; t < num_states; ++t) {
+        if (row[t] > 0.0) b.set_transition(s, a, t, row[t]);
+      }
+      if (rng.bernoulli(0.3)) b.set_impulse_reward(s, a, -rng.uniform(0.0, 2.0));
+    }
+  }
+  for (StateId s = 0; s < num_states; ++s) {
+    for (ActionId a = 0; a < num_actions; ++a) {
+      std::vector<double> row(num_obs);
+      double total = 0.0;
+      for (auto& v : row) {
+        v = rng.bernoulli(0.4) ? rng.uniform(0.5, 1.0) : rng.uniform(0.001, 0.05);
+        total += v;
+      }
+      for (ObsId o = 0; o < num_obs; ++o) b.set_observation(s, a, o, row[o] / total);
+    }
+  }
+  return b.build();
+}
+
+// Piecewise-linear leaf (max over random hyperplanes), shaped like the
+// BoundSet evaluations the controllers use.
+struct SawLeaf {
+  std::vector<std::vector<double>> planes;
+
+  static SawLeaf random(std::size_t num_states, Rng& rng) {
+    SawLeaf leaf;
+    const std::size_t n = 1 + rng.uniform_index(3);
+    for (std::size_t k = 0; k < n; ++k) {
+      std::vector<double> w(num_states);
+      for (auto& v : w) v = -rng.uniform(0.0, 50.0);
+      leaf.planes.push_back(std::move(w));
+    }
+    return leaf;
+  }
+
+  double operator()(std::span<const double> pi) const {
+    double best = -std::numeric_limits<double>::infinity();
+    for (const auto& w : planes) best = std::max(best, linalg::dot(w, pi));
+    return best;
+  }
+};
+
+// One carry case: a model, a leaf, a *sequence* of root beliefs (the shape
+// of consecutive decides in one episode), and seed-derived knobs.
+struct CarryCase {
+  Pomdp pomdp;
+  std::vector<Belief> roots;
+  SawLeaf leaf;
+  int depth;
+  double beta;
+  ActionId skip;
+  double floor;
+};
+
+CarryCase make_case(std::uint64_t seed) {
+  CarryCase c{make_random_pomdp(seed), {}, {}, 1, 1.0, kInvalidId, 0.0};
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  const std::size_t num_roots = 3 + rng.uniform_index(3);  // 3..5 decides
+  for (std::size_t k = 0; k < num_roots; ++k) {
+    std::vector<double> pi(c.pomdp.num_states());
+    for (auto& v : pi) v = rng.uniform(0.01, 1.0);
+    c.roots.emplace_back(std::move(pi));  // Belief normalises
+  }
+  c.leaf = SawLeaf::random(c.pomdp.num_states(), rng);
+  c.depth = 1 + static_cast<int>(rng.uniform_index(3));  // 1..3
+  c.beta = rng.bernoulli(0.5) ? 1.0 : rng.uniform(0.5, 1.0);
+  c.skip = rng.bernoulli(0.3) ? ActionId{0} : kInvalidId;
+  const double floors[] = {0.0, 1e-3, 5e-2, 0.2};
+  c.floor = floors[rng.uniform_index(4)];
+  return c;
+}
+
+ExpansionOptions carry_options(const CarryCase& c, bool carry,
+                               std::uint64_t context = 1) {
+  ExpansionOptions opts;
+  opts.beta = c.beta;
+  opts.skip_action = c.skip;
+  opts.branch_floor = c.floor;
+  opts.memo = true;
+  opts.memo_carry = carry;
+  opts.memo_context = context;
+  return opts;
+}
+
+void run_sequence(const CarryCase& c, ExpansionEngine& engine,
+                  const ExpansionOptions& opts,
+                  std::vector<std::vector<ActionValue>>& out) {
+  out.clear();
+  for (const Belief& root : c.roots) {
+    std::vector<ActionValue> values;
+    engine.action_values(root.probabilities(), c.depth, SpanLeaf::of(c.leaf), opts,
+                         values);
+    out.push_back(std::move(values));
+  }
+}
+
+void expect_sequences_equal(const std::vector<std::vector<ActionValue>>& a,
+                            const std::vector<std::vector<ActionValue>>& b,
+                            std::uint64_t seed, const char* label) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    ASSERT_EQ(a[d].size(), b[d].size());
+    for (std::size_t i = 0; i < a[d].size(); ++i) {
+      EXPECT_EQ(a[d][i].action, b[d][i].action)
+          << label << " seed=" << seed << " decide=" << d << " action=" << i;
+      EXPECT_EQ(a[d][i].value, b[d][i].value)
+          << label << " seed=" << seed << " decide=" << d << " action=" << i;
+    }
+  }
+}
+
+class CarryParityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CarryParityTest, DecideSequenceMatchesCarryOffBitwise) {
+  const CarryCase c = make_case(GetParam());
+  ExpansionEngine off_engine(c.pomdp);
+  ExpansionEngine on_engine(c.pomdp);
+  std::vector<std::vector<ActionValue>> off;
+  std::vector<std::vector<ActionValue>> on;
+  run_sequence(c, off_engine, carry_options(c, false), off);
+  run_sequence(c, on_engine, carry_options(c, true), on);
+  expect_sequences_equal(off, on, GetParam(), "carry on/off");
+}
+
+TEST_P(CarryParityTest, RootJobsInvariantWithCarryOn) {
+  const CarryCase c = make_case(GetParam());
+  ExpansionEngine serial_engine(c.pomdp);
+  ExpansionEngine fanout_engine(c.pomdp);
+  ExpansionOptions serial = carry_options(c, true);
+  ExpansionOptions fanout = serial;
+  fanout.root_jobs = 3;
+  std::vector<std::vector<ActionValue>> serial_out;
+  std::vector<std::vector<ActionValue>> fanout_out;
+  run_sequence(c, serial_engine, serial, serial_out);
+  run_sequence(c, fanout_engine, fanout, fanout_out);
+  expect_sequences_equal(serial_out, fanout_out, GetParam(), "root_jobs");
+}
+
+TEST_P(CarryParityTest, ContextBumpInvalidatesExactly) {
+  // The controller contract: when the bound set mutates (generation bump),
+  // memo_context changes and the carried cache must be discarded — the next
+  // expansion computes fresh values identical to a never-carried engine, and
+  // tallies the invalidation.
+  const CarryCase c = make_case(GetParam());
+  ExpansionEngine carried(c.pomdp);
+  std::vector<std::vector<ActionValue>> warmup;
+  run_sequence(c, carried, carry_options(c, true, /*context=*/1), warmup);
+
+  ExpansionNodeStats stats;
+  ExpansionOptions bumped = carry_options(c, true, /*context=*/2);
+  bumped.stats = &stats;
+  std::vector<ActionValue> after_bump;
+  carried.action_values(c.roots[0].probabilities(), c.depth, SpanLeaf::of(c.leaf),
+                        bumped, after_bump);
+  EXPECT_GE(stats.memo_carry_invalidations, 1u) << "seed=" << GetParam();
+  // No stale hit survived: a fresh engine that never carried agrees bitwise.
+  ExpansionEngine fresh(c.pomdp);
+  std::vector<ActionValue> reference;
+  fresh.action_values(c.roots[0].probabilities(), c.depth, SpanLeaf::of(c.leaf),
+                      carry_options(c, false), reference);
+  ASSERT_EQ(after_bump.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(after_bump[i].action, reference[i].action);
+    EXPECT_EQ(after_bump[i].value, reference[i].value)
+        << "seed=" << GetParam() << " action=" << i;
+  }
+}
+
+// 120 seeds x the tests above, with the decide sequence, depth, beta, mask
+// and floor all derived from the seed; every comparison EXPECT_EQ (bitwise).
+INSTANTIATE_TEST_SUITE_P(Seeds, CarryParityTest,
+                         ::testing::Range<std::uint64_t>(1, 121));
+
+// A model engineered to collide (uniform state-independent observations):
+// repeated decides over the same belief make carried entries unmissable.
+Pomdp make_colliding_pomdp() {
+  constexpr std::size_t kStates = 4;
+  constexpr std::size_t kObs = 3;
+  PomdpBuilder b;
+  for (StateId s = 0; s < kStates; ++s) {
+    std::string name = "s";
+    name += std::to_string(s);
+    b.add_state(name, s == 0 ? 0.0 : -1.0 * static_cast<double>(s));
+  }
+  b.mark_goal(0);
+  b.add_action("repair", 2.0);
+  b.add_action("swap", 5.0);
+  for (ObsId o = 0; o < kObs; ++o) {
+    std::string name = "o";
+    name += std::to_string(o);
+    b.add_observation(name);
+  }
+  for (StateId s = 0; s < kStates; ++s) {
+    b.set_transition(s, 0, s > 0 ? s - 1 : 0, 1.0);
+    b.set_transition(s, 1, (s + 1) % kStates, 0.5);
+    b.set_transition(s, 1, s, 0.5);
+    for (ActionId a = 0; a < 2; ++a) {
+      for (ObsId o = 0; o < kObs; ++o) {
+        b.set_observation(s, a, o, 1.0 / static_cast<double>(kObs));
+      }
+    }
+  }
+  return b.build();
+}
+
+struct QuadraticLeaf {
+  double operator()(std::span<const double> pi) const {
+    double v = 0.0;
+    for (double x : pi) v -= x * x;
+    return v;
+  }
+};
+
+TEST(CarryMetricsTest, RepeatDecideHitsCarriedEntriesAndTalliesThem) {
+  const Pomdp p = make_colliding_pomdp();
+  ExpansionEngine engine(p);
+  const QuadraticLeaf leaf;
+  const Belief pi = Belief::uniform(p.num_states());
+
+  obs::Counter& carry_hits = obs::metrics().counter("expansion.memo.carry_hits");
+  const std::uint64_t global_before = carry_hits.value();
+
+  ExpansionOptions opts;
+  opts.memo = true;
+  opts.memo_carry = true;
+  opts.memo_context = 1;
+  ExpansionNodeStats stats;
+  opts.stats = &stats;
+
+  const double first = engine.value(pi.probabilities(), 3, SpanLeaf::of(leaf), opts);
+  EXPECT_EQ(stats.memo_carry_hits, 0u);  // nothing carried yet on a fresh engine
+
+  const double second = engine.value(pi.probabilities(), 3, SpanLeaf::of(leaf), opts);
+  EXPECT_EQ(first, second);
+  // The second decide re-walks a tree whose subtrees were all inserted by
+  // the first one: its probes hit entries carried across the call.
+  EXPECT_GT(stats.memo_carry_hits, 0u);
+  EXPECT_GT(carry_hits.value(), global_before);
+}
+
+TEST(CarryMetricsTest, ContextChangeTalliesOneInvalidation) {
+  const Pomdp p = make_colliding_pomdp();
+  ExpansionEngine engine(p);
+  const QuadraticLeaf leaf;
+  const Belief pi = Belief::uniform(p.num_states());
+
+  obs::Counter& invalidations =
+      obs::metrics().counter("expansion.memo.carry_invalidations");
+  const std::uint64_t global_before = invalidations.value();
+
+  ExpansionOptions opts;
+  opts.memo = true;
+  opts.memo_carry = true;
+  opts.memo_context = 7;
+  (void)engine.value(pi.probabilities(), 2, SpanLeaf::of(leaf), opts);
+
+  ExpansionNodeStats stats;
+  opts.memo_context = 8;  // the bound set mutated
+  opts.stats = &stats;
+  (void)engine.value(pi.probabilities(), 2, SpanLeaf::of(leaf), opts);
+  EXPECT_GE(stats.memo_carry_invalidations, 1u);
+  EXPECT_GT(invalidations.value(), global_before);
+  EXPECT_EQ(stats.memo_carry_hits, 0u);  // nothing stale survived the bump
+}
+
+TEST(CarryMetricsTest, CarryOffNeverTouchesCarryCounters) {
+  const Pomdp p = make_colliding_pomdp();
+  ExpansionEngine engine(p);
+  const QuadraticLeaf leaf;
+  const Belief pi = Belief::uniform(p.num_states());
+
+  ExpansionOptions opts;
+  opts.memo = true;
+  ExpansionNodeStats stats;
+  opts.stats = &stats;
+  (void)engine.value(pi.probabilities(), 3, SpanLeaf::of(leaf), opts);
+  (void)engine.value(pi.probabilities(), 3, SpanLeaf::of(leaf), opts);
+  EXPECT_EQ(stats.memo_carry_hits, 0u);
+  EXPECT_EQ(stats.memo_carry_misses, 0u);
+  EXPECT_EQ(stats.memo_carry_invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace recoverd

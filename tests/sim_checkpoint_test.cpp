@@ -367,6 +367,34 @@ TEST(CheckpointCorruptionTest, WrongFleetShapeIsRejected) {
   EXPECT_NE(message.find("shape mismatch"), std::string::npos) << message;
 }
 
+TEST(CheckpointCorruptionTest, DifferentBoundArtifactIsRejected) {
+  // A checkpoint records the content hash of the bound artifact the fleet
+  // warm-started from (0 = cold-built). Restoring it into a fleet running
+  // on different bounds would silently change every subsequent decision, so
+  // it must be refused with a hint at the fix.
+  CheckpointFile file("fleet_artifact.ckpt");  // saved with cold-built bounds
+  FleetOptions warm = make_options(8, FleetMode::Batch);
+  warm.bound_artifact_hash = 0x1234abcd5678ef90ULL;
+  FleetDriver fleet = make_fleet(warm);
+  const std::string message =
+      model_error_of([&] { fleet.restore_checkpoint(file.path); });
+  EXPECT_NE(message.find("different bound artifact"), std::string::npos) << message;
+  EXPECT_NE(message.find("--bounds-in"), std::string::npos) << message;
+}
+
+TEST(CheckpointTest, MatchingBoundArtifactHashRoundTrips) {
+  FleetOptions options = make_options(8, FleetMode::Batch);
+  options.bound_artifact_hash = 0x1234abcd5678ef90ULL;
+  FleetDriver source = make_fleet(options);
+  for (std::size_t tick = 0; tick < 2; ++tick) source.tick();
+  const FleetCheckpoint cp = source.capture_checkpoint();
+  EXPECT_EQ(cp.bound_artifact_hash, options.bound_artifact_hash);
+
+  FleetDriver target = make_fleet(options, 99);
+  target.adopt_checkpoint(cp);  // same artifact identity: accepted
+  EXPECT_EQ(target.stats().ticks, 2u);
+}
+
 TEST(CheckpointCorruptionTest, ChangedOptionsAreRejectedByHash) {
   CheckpointFile file("fleet_options.ckpt");  // saved at tree_depth = 1
   FleetOptions deeper = make_options(8, FleetMode::Batch);

@@ -138,6 +138,23 @@ TEST(FleetParityTest, CrossTickDecisionCacheIsExact) {
   EXPECT_LT(with_cache.stats().classes, without_cache.stats().classes);
 }
 
+TEST(FleetParityTest, MemoCarryOverIsExact) {
+  // --memo-carry keeps each decide's transposition cache alive across
+  // decides and episodes (the bound set is frozen during ticks, so carried
+  // entries stay valid). Hits are bitwise-exact, so the whole fleet must
+  // stay bit-identical to a carry-off twin, tick by tick.
+  FleetOptions plain = make_options(24, FleetMode::Batch);
+  FleetOptions carrying = plain;
+  carrying.memo_carry = true;
+  FleetDriver without = make_fleet(plain);
+  FleetDriver with = make_fleet(carrying);
+  for (std::size_t tick = 1; tick <= 6; ++tick) {
+    without.tick();
+    with.tick();
+    expect_fleets_bitwise_equal(without, with, tick);
+  }
+}
+
 TEST(FleetParityTest, ScalarMatchesAutoKernelsBitwise) {
   SimdModeGuard guard;
   simd::configure("scalar");

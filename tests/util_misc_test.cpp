@@ -7,6 +7,7 @@
 
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/crc64.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/shutdown.hpp"
@@ -171,6 +172,63 @@ TEST(Timer, MeasuresElapsedMonotonically) {
   t.reset();
   EXPECT_LT(t.elapsed_seconds(), second + 1.0);
   EXPECT_GE(t.elapsed_ms(), 0.0);
+}
+
+// CRC-64/XZ check value (the CRC of the ASCII digits "123456789") — pins
+// the polynomial, reflection, init and final-XOR conventions, and with them
+// the bound-artifact and fleet-checkpoint file formats.
+TEST(Crc64, MatchesTheStandardCheckValue) {
+  EXPECT_EQ(util::crc64("123456789", 9), 0x995DC9BBDF1939FAULL);
+}
+
+TEST(Crc64, EmptyAndSingleByteInputs) {
+  EXPECT_EQ(util::crc64("", 0), 0x0000000000000000ULL);
+  // One zero byte must differ from empty input (length is encoded by the
+  // shifting, not by an explicit field).
+  const unsigned char zero = 0;
+  EXPECT_NE(util::crc64(&zero, 1), util::crc64(&zero, 0));
+}
+
+// Every internal path — the byte/8-byte tails, the slice-by-16 table loop,
+// and the carry-less-multiply folding kernel that takes over at >= 64 bytes
+// — must agree with the bit-at-a-time polynomial definition at every
+// length that straddles their boundaries.
+TEST(Crc64, AllLengthsMatchTheBitwiseReference) {
+  const std::uint64_t poly = 0xC96C5795D7870F42ULL;  // reflected CRC-64/XZ
+  std::vector<unsigned char> buf(1024);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<unsigned char>((i * 2654435761u) >> 13);
+  }
+  auto reference = [&](std::size_t n) {
+    std::uint64_t crc = ~0ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+      crc ^= buf[i];
+      for (int b = 0; b < 8; ++b) crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+    }
+    return ~crc;
+  };
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{8},
+                              std::size_t{15}, std::size_t{16}, std::size_t{17},
+                              std::size_t{63}, std::size_t{64}, std::size_t{65},
+                              std::size_t{127}, std::size_t{128}, std::size_t{129},
+                              std::size_t{255}, std::size_t{1024}}) {
+    EXPECT_EQ(util::crc64(buf.data(), n), reference(n)) << "length " << n;
+  }
+}
+
+// Unaligned start addresses (the mmap loader hands the CRC a pointer at
+// file offset 8) must not change the result for the same bytes.
+TEST(Crc64, UnalignedBasePointerIsExact) {
+  std::vector<unsigned char> buf(512 + 8);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<unsigned char>(i * 131u + 17u);
+  }
+  for (std::size_t shift = 0; shift < 8; ++shift) {
+    std::vector<unsigned char> copy(buf.begin() + static_cast<std::ptrdiff_t>(shift),
+                                    buf.begin() + static_cast<std::ptrdiff_t>(shift) + 512);
+    EXPECT_EQ(util::crc64(buf.data() + shift, 512), util::crc64(copy.data(), 512))
+        << "shift " << shift;
+  }
 }
 
 }  // namespace

@@ -3,22 +3,26 @@
 #   1. tier-1: Release configure + build + full ctest run (the ROADMAP gate);
 #   2. sanitize: RelWithDebInfo + ASan/UBSan build + full ctest run;
 #   3. tsan: ThreadSanitizer build + the concurrency tests (names matching
-#      "Parallel|Scc|Memo|Trace|Batch|Simd|Fleet": the parallel experiment
-#      runner, the engine's root fan-out — including the per-worker
-#      transposition caches of DESIGN.md §11 — the topology-aware SCC
-#      solver's level/chunk threading, and the batched decision engine +
-#      fleet driver of §13), which exercise every cross-thread code path in
-#      the repo.
+#      "Parallel|Scc|Memo|Trace|Batch|Simd|Fleet|Checkpoint|Artifact|Carry":
+#      the parallel experiment runner, the engine's root fan-out — including
+#      the per-worker transposition caches of DESIGN.md §11 and their
+#      cross-decide carry-over of §15 — the topology-aware SCC solver's
+#      level/chunk threading, the batched decision engine + fleet driver of
+#      §13, and the bound-artifact round trip under threaded evaluation),
+#      which exercise every cross-thread code path in the repo.
 #
 #   4. robustness: ASan/UBSan run of the guard/mismatch/fleet-guard/
-#      checkpoint test binaries (the checkpoint corruption matrix under ASan
-#      is the buffer-overread soak for the reader) plus a mini chaos soak
-#      (robustness_campaign at --faults=50) that must finish with zero
-#      crashes or livelocks.
+#      checkpoint/bound-artifact test binaries (the checkpoint and artifact
+#      corruption matrices under ASan are the buffer-overread soak for both
+#      readers, the artifact one covering the zero-copy mmap path) plus a
+#      mini chaos soak (robustness_campaign at --faults=50) that must finish
+#      with zero crashes or livelocks.
 #
 #   5. scaling: a smoke run of the RA-Bound scaling campaign (10^5 states,
-#      legacy-vs-SCC parity and bitwise determinism across --solver-jobs);
-#      exits nonzero if any correctness check fails.
+#      legacy-vs-SCC parity, bitwise determinism across --solver-jobs, and
+#      the bound-artifact save/mmap-load round trip at every size), plus an
+#      emn_recovery warm-start smoke: --bounds-out then --bounds-in must
+#      replay the identical episode; exits nonzero if any check fails.
 #
 #   6. trace: emn_recovery with --trace-out/--provenance-out, folded through
 #      tools/trace2summary.py — a smoke test that the span trace is valid
@@ -67,12 +71,12 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   # the pass fast; gtest_discover_tests registers their cases at build time.
   cmake --build build-tsan -j "$JOBS" \
     --target sim_parallel_experiment_test pomdp_expansion_parity_test \
-             pomdp_memo_test linalg_scc_test linalg_parallel_solve_test \
-             obs_trace_test trace_parity_test util_simd_test \
-             pomdp_batch_parity_test sim_fleet_test sim_fleet_guard_test \
-             sim_checkpoint_test
+             pomdp_memo_test pomdp_memo_carry_test linalg_scc_test \
+             linalg_parallel_solve_test obs_trace_test trace_parity_test \
+             util_simd_test pomdp_batch_parity_test sim_fleet_test \
+             sim_fleet_guard_test sim_checkpoint_test bounds_artifact_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R "Parallel|Scc|Memo|Trace|Batch|Simd|Fleet|Checkpoint"
+    -R "Parallel|Scc|Memo|Trace|Batch|Simd|Fleet|Checkpoint|Artifact|Carry"
 fi
 
 if [[ "${SKIP_ROBUSTNESS:-0}" != "1" ]]; then
@@ -83,9 +87,10 @@ if [[ "${SKIP_ROBUSTNESS:-0}" != "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all"
   cmake --build build-sanitize -j "$JOBS" \
     --target controller_guard_test sim_mismatch_test sim_fault_injector_test \
-             sim_fleet_guard_test sim_checkpoint_test robustness_campaign
+             sim_fleet_guard_test sim_checkpoint_test bounds_artifact_test \
+             robustness_campaign
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS" \
-    -R "Guard|Mismatch|FaultInjector|Checkpoint"
+    -R "Guard|Mismatch|FaultInjector|Checkpoint|Artifact"
   ./build-sanitize/bench/robustness_campaign --faults=50 --max-steps=200
 fi
 
@@ -96,6 +101,20 @@ if [[ "${SKIP_SCALING:-0}" != "1" ]]; then
   # across-jobs check fails.
   cmake --build build -j "$JOBS" --target scaling_campaign
   ./build/bench/scaling_campaign --smoke --out=/tmp/recoverd_scaling_smoke.json
+
+  echo "== scaling: bound-artifact warm-start smoke (cold and warm runs must match) =="
+  # The warm run mmaps the artifact the cold run saved; a lossless restore
+  # means the two episodes are step-for-step identical.
+  cmake --build build -j "$JOBS" --target emn_recovery
+  ./build/examples/emn_recovery --fault=DB \
+    --bounds-out=/tmp/recoverd_warmstart_smoke.rdb > /tmp/recoverd_cold_smoke.txt
+  ./build/examples/emn_recovery --fault=DB \
+    --bounds-in=/tmp/recoverd_warmstart_smoke.rdb > /tmp/recoverd_warm_smoke.txt
+  # Drop the bound-provenance banner lines (cold: "Bootstrapped lower
+  # bound... / bound artifact written...", warm: "Warm-started bound
+  # set...") and require everything else equal.
+  diff <(grep -Ev "bound|^$" /tmp/recoverd_cold_smoke.txt) \
+       <(grep -Ev "bound|^$" /tmp/recoverd_warm_smoke.txt)
 fi
 
 if [[ "${SKIP_TRACE:-0}" != "1" ]]; then
