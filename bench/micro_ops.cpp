@@ -10,7 +10,9 @@
 #include "bounds/incremental_update.hpp"
 #include "bounds/ra_bound.hpp"
 #include "models/emn.hpp"
+#include "pomdp/belief_batch.hpp"
 #include "pomdp/bellman.hpp"
+#include "pomdp/expansion.hpp"
 #include "pomdp/sampling.hpp"
 #include "util/rng.hpp"
 
@@ -187,6 +189,76 @@ void BM_ExpansionMemo(benchmark::State& state) {
 }
 BENCHMARK(BM_ExpansionMemo)
     ->ArgsProduct({{1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+// A fleet-like belief population: a small pool of distinct beliefs
+// (random action/observation histories off the uniform fault belief, long
+// enough to concentrate), with every lane drawn from the pool. Mirrors the
+// steady-state FleetDriver class structure the throughput campaign
+// measures — a 10^4-session EMN fleet decides ~600 distinct root beliefs
+// per tick, so lanes coincide heavily and successors overlap across roots
+// and levels.
+BeliefBatch make_fleet_like_batch(const Pomdp& p, std::size_t lanes) {
+  const Belief root = uniform_fault_belief();
+  Rng rng(41);
+  const std::size_t pool_size = std::max<std::size_t>(1, lanes / 32);
+  std::vector<Belief> pool;
+  pool.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    Belief b = root;
+    const std::size_t steps = 4 + rng.uniform_index(9);  // 4..12 updates
+    for (std::size_t k = 0; k < steps; ++k) {
+      const ActionId a = rng.uniform_index(p.num_actions());
+      const StateId s = sample_state(b, rng);
+      const StateId next = sample_transition(p.mdp(), s, a, rng);
+      const ObsId o = sample_observation(p, next, a, rng);
+      if (auto u = update_belief(p, b, a, o)) b = std::move(u->next);
+    }
+    pool.push_back(std::move(b));
+  }
+  BeliefBatch batch(p.num_states());
+  batch.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    batch.push_back(pool[rng.uniform_index(pool.size())], lane);
+  }
+  return batch;
+}
+
+// Whole-batch decide() on that population: the deep pipeline (DESIGN.md
+// §16 — level-wise frontier expansion with global canonicalization and one
+// giant leaf batch) against the classic per-class walks (arg 2 = 0, the
+// §13 path with the transposition cache on). Bit-identical results; the
+// per-depth ratio is the headline §16 number. Args: (depth, lanes, deep).
+void BM_DeepBatch(benchmark::State& state) {
+  const Pomdp& p = emn_recovery();
+  bounds::BoundSet set = bounds::make_ra_bound_set(p.mdp());
+  bounds::BoundSet::EvalScratch scratch;
+  const bounds::ScratchBoundLeaf leaf{&set, &scratch};
+  ExpansionEngine engine(p);
+  ExpansionOptions opts;
+  opts.branch_floor = 1e-2;
+  const int depth = static_cast<int>(state.range(0));
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+  const bool deep = state.range(2) != 0;
+  const BeliefBatch batch = make_fleet_like_batch(p, lanes);
+  std::vector<ActionValue> best;
+  for (auto _ : state) {
+    set.begin_eval(scratch);
+    if (deep) {
+      engine.decide_batch_deep(batch, depth,
+                               SpanLeaf::of_batched(leaf, set.size() + 1), opts, best);
+    } else {
+      engine.decide_batch(batch, depth, SpanLeaf::of_batched(leaf, set.size() + 1),
+                          opts, best);
+    }
+    set.flush_eval(scratch);
+    benchmark::DoNotOptimize(best.data());
+  }
+  state.counters["deep"] = static_cast<double>(state.range(2));
+  state.counters["arena_bytes"] = static_cast<double>(engine.arena_bytes());
+}
+BENCHMARK(BM_DeepBatch)
+    ->ArgsProduct({{2, 3}, {256, 4096}, {0, 1}})
     ->Unit(benchmark::kMicrosecond);
 
 // The Eq. 6 leaf kernel in isolation, on synthetic hyperplane sets of

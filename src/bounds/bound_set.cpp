@@ -233,6 +233,50 @@ double BoundSet::evaluate(std::span<const double> belief, EvalScratch& scratch) 
 std::size_t BoundSet::evaluate_batch_simd(const double* beliefs, std::size_t count,
                                           double* out, EvalScratch& scratch) const {
 #if RECOVERD_SIMD_KERNELS_X86
+  if (simd::active_mode() == simd::Mode::Avx512) {
+    // 8-row tiles through dot8: same full ascending scan as the 4-row AVX2
+    // path below, two lanes wider. Lane arithmetic and the strict `>`
+    // winner rule are unchanged, so values and win tallies stay bitwise
+    // equal to the scalar scan.
+    const std::size_t groups = count / 8;
+    if (groups == 0) return 0;
+    RD_EXPECTS(!entries_.empty(), "BoundSet: no vectors stored");
+    RD_EXPECTS(scratch.wins.size() == entries_.size(),
+               "BoundSet::evaluate_batch: scratch not sized for this set");
+    const std::size_t n = entries_.size();
+    scratch.tile.resize(8 * dimension_);
+    double* tile = scratch.tile.data();
+    for (std::size_t g = 0; g < groups; ++g) {
+      const double* base = beliefs + 8 * g * dimension_;
+      const double* rows[8];
+      for (std::size_t l = 0; l < 8; ++l) rows[l] = base + l * dimension_;
+      linalg::simd::transpose8(rows, dimension_, tile);
+      double best[8];
+      std::size_t win[8];
+      for (std::size_t l = 0; l < 8; ++l) {
+        best[l] = -std::numeric_limits<double>::infinity();
+        win[l] = n;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        double vals[8];
+        linalg::simd::dot8(entries_[i].vector.data(), tile, dimension_, vals);
+        for (std::size_t l = 0; l < 8; ++l) {
+          if (vals[l] > best[l]) {
+            best[l] = vals[l];
+            win[l] = i;
+          }
+        }
+      }
+      for (std::size_t l = 0; l < 8; ++l) {
+        out[8 * g + l] = best[l];
+        ++scratch.wins[win[l]];
+        ++scratch.evaluations;
+        if (win[l] == scratch.warm) ++scratch.warm_start_hits;
+        scratch.warm = win[l];
+      }
+    }
+    return groups * 8;
+  }
   if (simd::active_mode() != simd::Mode::Avx2) return 0;
   const std::size_t groups = count / 4;
   if (groups == 0) return 0;

@@ -1,12 +1,12 @@
 #include "bounds/ra_bound.hpp"
 
 #include <algorithm>
-#include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/work_pool.hpp"
 
 namespace recoverd::bounds {
 
@@ -122,12 +122,12 @@ RandomActionChain build_random_action_chain(const Mdp& mdp, linalg::SolverJobs j
   if (workers <= 1) {
     assemble_rows(0, n);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t) {
-      pool.emplace_back(assemble_rows, n * t / workers, n * (t + 1) / workers);
-    }
-    for (auto& w : pool) w.join();
+    // Same contiguous row partition as the per-call thread team this
+    // replaces; rows are assembled into disjoint scratch slices, so the
+    // assembly is bit-identical for any worker count.
+    util::WorkPool::instance().run(workers, [&](std::size_t t) {
+      assemble_rows(n * t / workers, n * (t + 1) / workers);
+    });
   }
 
   // Compact the merged rows into the final CSR arrays.

@@ -14,7 +14,6 @@
 //  - statuses/iterations/deltas reduce over components in id order.
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "linalg/convergence.hpp"
 #include "linalg/gauss_seidel.hpp"
@@ -22,6 +21,7 @@
 #include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/work_pool.hpp"
 
 namespace recoverd::linalg {
 namespace {
@@ -206,14 +206,14 @@ ComponentOutcome solve_block_chunked(const SparseMatrix& q, std::span<const doub
     if (workers <= 1) {
       for (std::size_t ci = 0; ci < num_chunks; ++ci) sweep_chunk(ci);
     } else {
-      std::vector<std::thread> pool;
-      pool.reserve(workers);
-      for (std::size_t t = 0; t < workers; ++t) {
-        pool.emplace_back([&, t] {
-          for (std::size_t ci = t; ci < num_chunks; ci += workers) sweep_chunk(ci);
-        });
-      }
-      for (auto& w : pool) w.join();
+      // One shared-pool dispatch per sweep instead of a thread team per
+      // sweep; the strided chunk→task assignment is unchanged and chunks
+      // write disjoint `next`/`chunk_delta` slices, so iterates stay
+      // bit-identical across --solver-jobs (the delta reduction below runs
+      // on the caller in fixed chunk order).
+      util::WorkPool::instance().run(workers, [&](std::size_t t) {
+        for (std::size_t ci = t; ci < num_chunks; ci += workers) sweep_chunk(ci);
+      });
     }
     double delta = 0.0;
     for (std::size_t ci = 0; ci < num_chunks; ++ci) {
@@ -362,16 +362,16 @@ SolveResult solve_fixed_point_scc_impl(const SparseMatrix& q, std::span<const do
     if (workers <= 1) {
       for (const std::uint32_t k : small) solve_component(k);
     } else {
-      std::vector<std::thread> pool;
-      pool.reserve(workers);
-      for (std::size_t t = 0; t < workers; ++t) {
-        pool.emplace_back([&, t] {
-          for (std::size_t idx = t; idx < small.size(); idx += workers) {
-            solve_component(small[idx]);
-          }
-        });
-      }
-      for (auto& w : pool) w.join();
+      // The shared pool keeps its team across the (often tens of thousands
+      // of) condensation levels — this site used to respawn a thread team
+      // per level. Task→component striding is unchanged; components write
+      // disjoint x/outcome slices and the level reduction below stays on
+      // the caller in component-id order.
+      util::WorkPool::instance().run(workers, [&](std::size_t t) {
+        for (std::size_t idx = t; idx < small.size(); idx += workers) {
+          solve_component(small[idx]);
+        }
+      });
     }
     for (const std::uint32_t k : large) solve_component(k);
 

@@ -1,21 +1,23 @@
-// AVX2 variants of the hot vector kernels, bitwise identical to their
-// scalar references (DESIGN.md §13).
+// AVX2 and AVX-512 variants of the hot vector kernels, bitwise identical
+// to their scalar references (DESIGN.md §13, §16).
 //
 // The parity argument, shared by every kernel here: IEEE-754 requires each
 // individual +, ×, ÷ to be correctly rounded, so a vector lane performing
 // the same operations on the same values in the same order as a scalar
 // loop produces the same bits. These kernels therefore vectorize only
 //
-//  - across *independent accumulators* — four beliefs' dot products, or
-//    four observations' likelihood sums, each lane owning one accumulator
-//    whose terms arrive in exactly the scalar order — or
+//  - across *independent accumulators* — four (AVX2) or eight (AVX-512)
+//    beliefs' dot products, or as many observations' likelihood sums, each
+//    lane owning one accumulator whose terms arrive in exactly the scalar
+//    order — or
 //  - across *elementwise* maps (products, divisions) with no reduction at
 //    all.
 //
 // Nothing reassociates a single sum, and no FMA can be contracted: the
-// functions are compiled with `target("avx2")` only (no FMA ISA), so the
-// compiler has no fused instruction to emit. The scalar tails inside run
-// the same double arithmetic as the reference loops.
+// functions are compiled with `target("avx2")` / `target("avx512f")` only
+// (no FMA contraction is licensed at -O2 without -ffast-math, and the AVX2
+// functions lack the FMA ISA outright). The scalar tails inside run the
+// same double arithmetic as the reference loops.
 //
 // Callers dispatch on simd::active_mode() and must keep their scalar path
 // as the reference; tests/util_simd_test.cpp holds each pair equal bitwise
@@ -29,6 +31,24 @@
 #include <immintrin.h>
 #else
 #define RECOVERD_SIMD_KERNELS_X86 0
+#endif
+
+// AVX-512F carries fused multiply-add instructions (plain AVX2 does not),
+// so the avx512 functions must explicitly forbid contraction of their
+// mul+add intrinsic chains — GCC at -O2 otherwise emits vfmadd and breaks
+// bitwise parity with the scalar reference. GCC takes a function-level
+// optimize attribute; Clang takes `#pragma clang fp contract(off)` in the
+// body (RECOVERD_FP_NO_CONTRACT below).
+#if defined(__clang__)
+#define RECOVERD_AVX512_TARGET __attribute__((target("avx512f")))
+#define RECOVERD_FP_NO_CONTRACT _Pragma("clang fp contract(off)")
+#elif defined(__GNUC__)
+#define RECOVERD_AVX512_TARGET \
+  __attribute__((target("avx512f"), optimize("fp-contract=off")))
+#define RECOVERD_FP_NO_CONTRACT
+#else
+#define RECOVERD_AVX512_TARGET
+#define RECOVERD_FP_NO_CONTRACT
 #endif
 
 namespace recoverd::linalg::simd {
@@ -91,6 +111,61 @@ __attribute__((target("avx2"))) inline void divide_in_place(double* v, double di
   for (; i < n; ++i) v[i] /= divisor;
 }
 
+/// Eight dot products against one shared vector: out[l] = Σ_i a[i]·tile[8i+l]
+/// for lanes l = 0..7 — the AVX-512 widening of dot4(). Each lane's sum
+/// accumulates in ascending i, the exact order of linalg::dot.
+RECOVERD_AVX512_TARGET inline void dot8(const double* a, const double* tile,
+                                        std::size_t n, double out[8]) {
+  RECOVERD_FP_NO_CONTRACT
+  __m512d acc = _mm512_setzero_pd();
+  for (std::size_t i = 0; i < n; ++i) {
+    const __m512d lanes = _mm512_loadu_pd(tile + 8 * i);
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(_mm512_set1_pd(a[i]), lanes));
+  }
+  _mm512_storeu_pd(out, acc);
+}
+
+/// AVX-512 widening of accumulate_scaled(): w[o] += row[o] · scale, eight
+/// independent accumulators per step.
+RECOVERD_AVX512_TARGET inline void accumulate_scaled_avx512(double* w,
+                                                            const double* row,
+                                                            double scale,
+                                                            std::size_t n) {
+  RECOVERD_FP_NO_CONTRACT
+  const __m512d vs = _mm512_set1_pd(scale);
+  std::size_t o = 0;
+  for (; o + 8 <= n; o += 8) {
+    const __m512d cur = _mm512_loadu_pd(w + o);
+    const __m512d term = _mm512_mul_pd(_mm512_loadu_pd(row + o), vs);
+    _mm512_storeu_pd(w + o, _mm512_add_pd(cur, term));
+  }
+  for (; o < n; ++o) w[o] += row[o] * scale;
+}
+
+/// AVX-512 widening of multiply_elementwise(): out[i] = a[i] · b[i].
+RECOVERD_AVX512_TARGET inline void multiply_elementwise_avx512(double* out,
+                                                               const double* a,
+                                                               const double* b,
+                                                               std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(out + i,
+                     _mm512_mul_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+/// AVX-512 widening of divide_in_place(): v[i] /= divisor.
+RECOVERD_AVX512_TARGET inline void divide_in_place_avx512(double* v, double divisor,
+                                                          std::size_t n) {
+  const __m512d vd = _mm512_set1_pd(divisor);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(v + i, _mm512_div_pd(_mm512_loadu_pd(v + i), vd));
+  }
+  for (; i < n; ++i) v[i] /= divisor;
+}
+
 #endif  // RECOVERD_SIMD_KERNELS_X86
 
 /// Gathers four row-major rows into the dot4() interleaved tile:
@@ -103,6 +178,14 @@ inline void transpose4(const double* r0, const double* r1, const double* r2,
     tile[4 * i + 1] = r1[i];
     tile[4 * i + 2] = r2[i];
     tile[4 * i + 3] = r3[i];
+  }
+}
+
+/// Gathers eight row-major rows into the dot8() interleaved tile:
+/// tile[8i+l] = rows[l][i]. Pure data movement, so no ISA gate.
+inline void transpose8(const double* const rows[8], std::size_t n, double* tile) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t l = 0; l < 8; ++l) tile[8 * i + l] = rows[l][i];
   }
 }
 

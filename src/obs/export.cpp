@@ -10,6 +10,7 @@
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
+#include "util/work_pool.hpp"
 
 namespace recoverd::obs {
 
@@ -195,9 +196,23 @@ void write_metrics_file(const std::string& path, const MetricsSnapshot& snapshot
   if (!out.good()) throw ModelError("write_metrics_file: write to '" + path + "' failed");
 }
 
+void publish_work_pool_metrics(MetricsRegistry& registry) {
+  // util sits below obs in the layer graph, so the shared WorkPool cannot
+  // report into the registry itself; the exporter mirrors its cumulative
+  // tallies into gauges whenever a snapshot is about to be taken.
+  const util::WorkPool::Stats s = util::WorkPool::instance().stats();
+  registry.gauge("pool.dispatches").set(static_cast<double>(s.dispatches));
+  registry.gauge("pool.tasks").set(static_cast<double>(s.tasks));
+  registry.gauge("pool.inline_tasks").set(static_cast<double>(s.inline_tasks));
+  registry.gauge("pool.spawns_avoided").set(static_cast<double>(s.spawns_avoided));
+  registry.gauge("pool.threads_created").set(static_cast<double>(s.threads_created));
+  registry.gauge("pool.threads_live").set(static_cast<double>(s.threads_live));
+}
+
 bool dump_metrics_if_requested(const CliArgs& args, MetricsRegistry& registry) {
   const std::string path = args.get_string("metrics-out", "");
   if (path.empty()) return false;
+  publish_work_pool_metrics(registry);
   write_metrics_file(path, registry.snapshot());
   log_info("metrics snapshot written to ", path);
   return true;

@@ -57,6 +57,13 @@ std::string prometheus_name(const std::string& name);
 /// ModelError when the file cannot be opened.
 void write_metrics_file(const std::string& path, const MetricsSnapshot& snapshot);
 
+/// Mirrors the shared util::WorkPool's cumulative tallies into `pool.*`
+/// gauges (`pool.tasks`, `pool.spawns_avoided`, …). The pool lives below
+/// the obs layer and cannot report into the registry itself;
+/// dump_metrics_if_requested() calls this before every snapshot, and tests
+/// or long-running exporters may call it directly.
+void publish_work_pool_metrics(MetricsRegistry& registry = metrics());
+
 /// The standard `--metrics-out=<path>` hook for binaries: when the flag is
 /// present, snapshots the given registry (the process-global one by
 /// default) into the file and returns true. Call once, at exit.

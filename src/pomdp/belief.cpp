@@ -21,6 +21,26 @@ bool use_avx2() {
 #endif
 }
 
+bool use_avx512() {
+#if RECOVERD_SIMD_KERNELS_X86
+  return simd::active_mode() == simd::Mode::Avx512;
+#else
+  return false;
+#endif
+}
+
+// Hints the prefetcher at the next CSR observation row while the current
+// one is being reduced — sparse qᵀ rows are short and scattered, so the
+// row-to-row latency otherwise dominates the frontier expansion. A pure
+// hint: no arithmetic, no semantic effect.
+inline void prefetch_row(std::span<const linalg::SparseEntry> row) {
+#if defined(__GNUC__) || defined(__clang__)
+  if (!row.empty()) __builtin_prefetch(row.data());
+#else
+  (void)row;
+#endif
+}
+
 }  // namespace
 
 Belief Belief::uniform(std::size_t n) {
@@ -164,7 +184,12 @@ std::size_t expand_successors_into(const Pomdp& pomdp, std::span<const double> b
     double* w = weight.data();
     std::fill(w, w + num_obs, 0.0);
 #if RECOVERD_SIMD_KERNELS_X86
-    if (use_avx2()) {
+    if (use_avx512()) {
+      for (std::size_t s = 0; s < num_states; ++s) {
+        linalg::simd::accumulate_scaled_avx512(w, q_rows.data() + s * num_obs, pred[s],
+                                               num_obs);
+      }
+    } else if (use_avx2()) {
       for (std::size_t s = 0; s < num_states; ++s) {
         linalg::simd::accumulate_scaled(w, q_rows.data() + s * num_obs, pred[s], num_obs);
       }
@@ -184,6 +209,7 @@ std::size_t expand_successors_into(const Pomdp& pomdp, std::span<const double> b
 #endif
   } else {
     for (ObsId o = 0; o < num_obs; ++o) {
+      if (o + 1 < num_obs) prefetch_row(qt.row(o + 1));
       double gamma = 0.0;
       for (const auto& e : qt.row(o)) gamma += e.value * pred[e.col];
       weight[o] = gamma;
@@ -212,7 +238,13 @@ std::size_t expand_successors_into(const Pomdp& pomdp, std::span<const double> b
   posteriors.assign(kept.size() * num_states, 0.0);
   if (!qd.empty()) {
 #if RECOVERD_SIMD_KERNELS_X86
-    if (use_avx2()) {
+    if (use_avx512()) {
+      for (std::size_t i = 0; i < kept.size(); ++i) {
+        linalg::simd::multiply_elementwise_avx512(posteriors.data() + i * num_states,
+                                                  qd.data() + kept[i] * num_states,
+                                                  pred.data(), num_states);
+      }
+    } else if (use_avx2()) {
       for (std::size_t i = 0; i < kept.size(); ++i) {
         linalg::simd::multiply_elementwise(posteriors.data() + i * num_states,
                                            qd.data() + kept[i] * num_states, pred.data(),
@@ -234,11 +266,47 @@ std::size_t expand_successors_into(const Pomdp& pomdp, std::span<const double> b
 #endif
   } else {
     for (std::size_t i = 0; i < kept.size(); ++i) {
+      if (i + 1 < kept.size()) prefetch_row(qt.row(kept[i + 1]));
       double* row_out = posteriors.data() + i * num_states;
       for (const auto& e : qt.row(kept[i])) row_out[e.col] = e.value * pred[e.col];
     }
   }
   return kept.size();
+}
+
+std::size_t expand_successors_batch(const Pomdp& pomdp, const double* beliefs,
+                                    std::size_t lanes, std::size_t stride,
+                                    ActionId action, double min_probability,
+                                    SuccessorFrontier& out) {
+  RD_EXPECTS(stride >= pomdp.num_states(),
+             "expand_successors_batch: row stride below the state count");
+  const std::size_t num_states = pomdp.num_states();
+  out.offsets.clear();
+  out.obs.clear();
+  out.gamma.clear();
+  out.posteriors.clear();
+  out.offsets.push_back(0);
+  // One pass over the whole batch: every lane runs the identical
+  // expand_successors_into() kernel sequence (prefetched CSR traversal,
+  // SIMD-dispatched likelihood and scatter passes) and appends its kept
+  // branches — ascending ObsId, exactly the per-node order — to the shared
+  // SoA arrays. Per-lane results are bit-identical to lone calls because
+  // the kernels never look across lanes.
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const std::span<const double> belief{beliefs + lane * stride, num_states};
+    const std::size_t num_kept =
+        expand_successors_into(pomdp, belief, action, min_probability, out.pred,
+                               out.weight, out.branch_of, out.kept, out.row_scratch);
+    for (std::size_t i = 0; i < num_kept; ++i) {
+      out.obs.push_back(out.kept[i]);
+      out.gamma.push_back(out.weight[out.kept[i]]);
+    }
+    out.posteriors.insert(out.posteriors.end(), out.row_scratch.begin(),
+                          out.row_scratch.begin() +
+                              static_cast<std::ptrdiff_t>(num_kept * num_states));
+    out.offsets.push_back(out.obs.size());
+  }
+  return out.obs.size();
 }
 
 std::vector<ObservationBranch> belief_successors(const Pomdp& pomdp, const Belief& belief,

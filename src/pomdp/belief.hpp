@@ -102,6 +102,41 @@ std::size_t expand_successors_into(const Pomdp& pomdp, std::span<const double> b
                                    std::vector<ObsId>& kept,
                                    std::vector<double>& posteriors);
 
+/// SoA successor frontier of a whole batch of beliefs under one action —
+/// the unit the deep-batch pipeline (DESIGN.md §16) expands per tree
+/// level. Branches are stored lane-major: lane l's kept branches occupy
+/// positions [offsets[l], offsets[l+1]) of `obs`/`gamma` and the matching
+/// row-major rows of `posteriors`, in ascending ObsId — exactly the order
+/// a lone expand_successors_into() call emits for that lane.
+struct SuccessorFrontier {
+  std::vector<std::size_t> offsets;  ///< lanes + 1 prefix sums
+  std::vector<ObsId> obs;            ///< kept observation ids
+  std::vector<double> gamma;         ///< γ^{π,a}(o) per kept branch
+  std::vector<double> posteriors;    ///< unnormalised posterior rows (|S| each)
+
+  std::size_t branches() const { return obs.size(); }
+
+  // Reused per-call scratch (same role as expand_successors_into()'s
+  // caller-owned vectors; kept here so batch callers hold one object).
+  std::vector<double> pred;
+  std::vector<double> weight;
+  std::vector<std::size_t> branch_of;
+  std::vector<ObsId> kept;
+  std::vector<double> row_scratch;
+};
+
+/// Expands `lanes` beliefs (rows of `beliefs`, `stride` doubles apart — a
+/// BeliefBatch's state-major mirror or any row-major matrix) under one
+/// action in a single pass, appending every surviving branch to `out` with
+/// prefetched CSR row traversal and the SIMD-dispatched likelihood/scatter
+/// kernels. Per lane the arithmetic (and the branches_kept/branches_pruned
+/// accounting) is bit-identical to expand_successors_into(). Returns the
+/// total branch count.
+std::size_t expand_successors_batch(const Pomdp& pomdp, const double* beliefs,
+                                    std::size_t lanes, std::size_t stride,
+                                    ActionId action, double min_probability,
+                                    SuccessorFrontier& out);
+
 /// γ^{π,a}(o) of Eq. 3.
 double observation_likelihood(const Pomdp& pomdp, const Belief& belief, ActionId action,
                               ObsId obs);

@@ -27,6 +27,14 @@ bool use_avx2() {
 #endif
 }
 
+bool use_avx512() {
+#if RECOVERD_SIMD_KERNELS_X86
+  return simd::active_mode() == simd::Mode::Avx512;
+#else
+  return false;
+#endif
+}
+
 }  // namespace
 
 BeliefBatch::BeliefBatch(std::size_t num_states) : num_states_(num_states) {
@@ -109,6 +117,7 @@ void update_batch(const Pomdp& pomdp, BeliefBatch& batch,
   workspace.pred.resize(num_states);
   workspace.unnormalized.resize(num_states);
   const bool avx2 = use_avx2();
+  const bool avx512 = use_avx512();
 
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     const ActionId action = actions[lane];
@@ -134,7 +143,9 @@ void update_batch(const Pomdp& pomdp, BeliefBatch& batch,
       const double* q_row = qt_dense.data() + obs * num_states;
       const double* pred = workspace.pred.data();
 #if RECOVERD_SIMD_KERNELS_X86
-      if (avx2) {
+      if (avx512) {
+        linalg::simd::multiply_elementwise_avx512(unnorm, q_row, pred, num_states);
+      } else if (avx2) {
         linalg::simd::multiply_elementwise(unnorm, q_row, pred, num_states);
       } else {
         for (std::size_t s = 0; s < num_states; ++s) unnorm[s] = q_row[s] * pred[s];
@@ -164,7 +175,13 @@ void update_batch(const Pomdp& pomdp, BeliefBatch& batch,
     // constructor normalises the result again; both divisions must happen
     // for bitwise parity with the single-belief path.
 #if RECOVERD_SIMD_KERNELS_X86
-    if (avx2) {
+    if (avx512) {
+      linalg::simd::divide_in_place_avx512(unnorm, gamma, num_states);
+      const double total = linalg::sum(workspace.unnormalized);
+      RD_EXPECTS(total > 0.0 && std::isfinite(total),
+                 "update_batch: posterior must have a positive finite sum");
+      linalg::simd::divide_in_place_avx512(unnorm, total, num_states);
+    } else if (avx2) {
       linalg::simd::divide_in_place(unnorm, gamma, num_states);
       const double total = linalg::sum(workspace.unnormalized);
       RD_EXPECTS(total > 0.0 && std::isfinite(total),

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
-#include <thread>
 
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
@@ -12,6 +11,7 @@
 #include "pomdp/belief.hpp"
 #include "pomdp/belief_batch.hpp"
 #include "util/check.hpp"
+#include "util/work_pool.hpp"
 
 namespace recoverd {
 
@@ -115,6 +115,40 @@ struct BatchInstruments {
     return instruments;
   }
 };
+
+// Deep-pipeline instruments (DESIGN.md §16): `nodes` counts the distinct
+// Max nodes expanded across every level, `leaves` the distinct depth-0
+// beliefs in the single frontier batch, `fallbacks` the calls that hit the
+// node budget and reran through the per-class walks.
+struct DeepInstruments {
+  obs::Counter& calls;
+  obs::Counter& nodes;
+  obs::Counter& leaves;
+  obs::Counter& fallbacks;
+
+  static DeepInstruments& get() {
+    static DeepInstruments instruments{
+        obs::metrics().counter("engine.deep.calls"),
+        obs::metrics().counter("engine.deep.nodes"),
+        obs::metrics().counter("engine.deep.leaves"),
+        obs::metrics().counter("engine.deep.fallbacks"),
+    };
+    return instruments;
+  }
+};
+
+// Belief-bits hash shared by root canonicalization and the deep pipeline's
+// per-level node tables: FNV-style mix over the raw double bits. Equality
+// is always confirmed by memcmp, so collisions can only split classes.
+std::uint64_t hash_belief_bits(const double* row, std::size_t num_states) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t s = 0; s < num_states; ++s) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, row + s, sizeof(bits));
+    h = mix64(h, bits);
+  }
+  return h;
+}
 }  // namespace
 
 // One tree level of the arena: the successor buffers of the node currently
@@ -395,6 +429,83 @@ struct ExpansionEngine::Workspace {
     total += frontier_miss_values.capacity() * sizeof(double);
     total += frontier_miss_index.capacity() * sizeof(std::size_t);
     for (const Frame& f : frames) total += f.bytes();
+    return total;
+  }
+};
+
+// Arena of the deep pipeline (DESIGN.md §16). Per level the pipeline keeps
+// a *node table* — the distinct beliefs at that root distance, row-major —
+// and a per-(action, node) CSR edge list into the next level's table:
+// `edge_offsets` is action-major (index a·N + n), `edge_gamma` the branch
+// likelihoods in ascending ObsId order, `edge_child` the canonical index of
+// each normalised posterior one level down. Back-substitution then folds
+// values bottom-up through the same CSR. Capacities persist across calls,
+// so the steady state allocates nothing — same contract as the frames.
+struct ExpansionEngine::DeepScratch {
+  struct Level {
+    std::size_t num_nodes = 0;
+    std::vector<double> immediate;          // action-major: a·num_nodes + n
+    std::vector<std::size_t> edge_offsets;  // num_actions·num_nodes + 1
+    std::vector<double> edge_gamma;
+    std::vector<std::uint32_t> edge_child;
+
+    std::size_t bytes() const {
+      return immediate.capacity() * sizeof(double) +
+             edge_offsets.capacity() * sizeof(std::size_t) +
+             edge_gamma.capacity() * sizeof(double) +
+             edge_child.capacity() * sizeof(std::uint32_t);
+    }
+  };
+
+  // Open-addressing canonicalization table: slot 0 is "empty", otherwise
+  // node index + 1. Allocation-free in steady state (a std::unordered_map
+  // of bucket vectors here costs one-plus allocations per distinct branch
+  // — tens of thousands per tick at fleet widths). `hashes` is parallel to
+  // the node table so probes skip memcmp on hash mismatch.
+  struct CanonTable {
+    std::vector<std::uint32_t> slots;
+    std::size_t mask = 0;
+
+    void reset(std::size_t expected_nodes) {
+      std::size_t want = 64;
+      while (want < 2 * expected_nodes) want <<= 1;
+      if (slots.size() < want) {
+        slots.assign(want, 0);
+      } else {
+        std::fill(slots.begin(), slots.end(), 0u);
+      }
+      mask = slots.size() - 1;
+    }
+
+    void grow_if_loaded(std::size_t nodes, const std::vector<std::uint64_t>& hashes) {
+      if (2 * nodes < slots.size()) return;
+      slots.assign(slots.size() * 2, 0);
+      mask = slots.size() - 1;
+      for (std::size_t n = 0; n < nodes; ++n) {
+        std::size_t pos = hashes[n] & mask;
+        while (slots[pos] != 0) pos = (pos + 1) & mask;
+        slots[pos] = static_cast<std::uint32_t>(n + 1);
+      }
+    }
+  };
+
+  std::vector<double> rows;       // node table of the level being expanded
+  std::vector<double> next_rows;  // node table being built beneath it
+  std::vector<std::uint64_t> next_hashes;  // parallel to next_rows' nodes
+  CanonTable table;
+  std::vector<Level> levels;
+  SuccessorFrontier frontier;
+  std::vector<double> values;        // back-substitution: this level
+  std::vector<double> child_values;  // back-substitution: one level down
+
+  std::size_t bytes() const {
+    std::size_t total = rows.capacity() * sizeof(double) +
+                        next_rows.capacity() * sizeof(double) +
+                        next_hashes.capacity() * sizeof(std::uint64_t) +
+                        table.slots.capacity() * sizeof(std::uint32_t) +
+                        values.capacity() * sizeof(double) +
+                        child_values.capacity() * sizeof(double);
+    for (const Level& level : levels) total += level.bytes();
     return total;
   }
 };
@@ -739,16 +850,11 @@ void ExpansionEngine::action_values(std::span<const double> belief, int depth,
     // to the serial loop for any worker count.
     parallel_batches_counter().add();
     while (pool_.size() < jobs) pool_.push_back(std::make_unique<Workspace>(pool_.size()));
-    std::vector<std::thread> workers;
-    workers.reserve(jobs);
-    for (std::size_t t = 0; t < jobs; ++t) {
-      workers.emplace_back([&, t] {
-        obs::TraceSpan worker_span("expansion.worker", obs::TraceLevel::Full);
-        worker_span.arg("worker", static_cast<double>(t));
-        compute_action_value_range(*pool_[t], belief, depth, leaf, options, t, jobs, out);
-      });
-    }
-    for (auto& w : workers) w.join();
+    util::WorkPool::instance().run(jobs, [&](std::size_t t) {
+      obs::TraceSpan worker_span("expansion.worker", obs::TraceLevel::Full);
+      worker_span.arg("worker", static_cast<double>(t));
+      compute_action_value_range(*pool_[t], belief, depth, leaf, options, t, jobs, out);
+    });
   }
   if (options.stats != nullptr) {
     // The root Max node (counted into nodes_expanded_counter above) is
@@ -775,6 +881,73 @@ ActionValue ExpansionEngine::best_action(std::span<const double> belief, int dep
   return best;
 }
 
+// Canonicalize: hash each lane's belief bit pattern, then group bitwise-
+// equal lanes (memcmp-confirmed, so a hash collision can only split a
+// class, never merge distinct beliefs). Classes are numbered in first-
+// occurrence lane order — the solve order of both batch paths — which keeps
+// the whole pass deterministic for any batch composition.
+std::size_t ExpansionEngine::canonicalize_roots(const BeliefBatch& batch) {
+  const std::size_t num_states = pomdp_->num_states();
+  const std::size_t lanes = batch.size();
+  batch_rows_.resize(lanes * num_states);
+  batch_hashes_.resize(lanes);
+  batch_class_of_.resize(lanes);
+  batch_reps_.clear();
+  batch_buckets_.clear();
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    double* row = batch_rows_.data() + lane * num_states;
+    batch.copy_lane(lane, {row, num_states});
+    const std::uint64_t h = hash_belief_bits(row, num_states);
+    batch_hashes_[lane] = h;
+    auto& bucket = batch_buckets_[h];
+    std::size_t cls = batch_reps_.size();
+    for (std::size_t candidate : bucket) {
+      const double* rep_row = batch_rows_.data() + batch_reps_[candidate] * num_states;
+      if (std::memcmp(rep_row, row, num_states * sizeof(double)) == 0) {
+        cls = candidate;
+        break;
+      }
+    }
+    if (cls == batch_reps_.size()) {
+      batch_reps_.push_back(lane);
+      bucket.push_back(cls);
+    }
+    batch_class_of_[lane] = cls;
+  }
+  return batch_reps_.size();
+}
+
+// One action_values() per class, in class (= first-occurrence) order.
+// Each call configures its own workspace and clears the memo per root
+// action, so its results are bit-identical to a standalone call — the
+// scatter afterwards therefore reproduces the looped single-session path
+// exactly, with `classes` expansions instead of `lanes`.
+void ExpansionEngine::solve_classes_classic(int depth, const SpanLeaf& leaf,
+                                            const ExpansionOptions& options) {
+  const std::size_t num_states = pomdp_->num_states();
+  const std::size_t num_actions = pomdp_->num_actions();
+  const std::size_t num_classes = batch_reps_.size();
+  batch_class_values_.resize(num_classes * num_actions);
+  for (std::size_t cls = 0; cls < num_classes; ++cls) {
+    const double* row = batch_rows_.data() + batch_reps_[cls] * num_states;
+    action_values({row, num_states}, depth, leaf, options, class_values_scratch_);
+    std::copy(class_values_scratch_.begin(), class_values_scratch_.end(),
+              batch_class_values_.begin() +
+                  static_cast<std::ptrdiff_t>(cls * num_actions));
+  }
+}
+
+void ExpansionEngine::scatter_class_values(std::size_t lanes,
+                                           std::vector<ActionValue>& out) {
+  const std::size_t num_actions = pomdp_->num_actions();
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const ActionValue* src =
+        batch_class_values_.data() + batch_class_of_[lane] * num_actions;
+    std::copy(src, src + num_actions,
+              out.begin() + static_cast<std::ptrdiff_t>(lane * num_actions));
+  }
+}
+
 void ExpansionEngine::action_values_batch(const BeliefBatch& batch, int depth,
                                           const SpanLeaf& leaf,
                                           const ExpansionOptions& options,
@@ -794,62 +967,9 @@ void ExpansionEngine::action_values_batch(const BeliefBatch& batch, int depth,
   span.arg("sessions", static_cast<double>(lanes));
   span.arg("depth", static_cast<double>(depth));
 
-  // Canonicalize: hash each lane's belief bit pattern, then group bitwise-
-  // equal lanes (memcmp-confirmed, so a hash collision can only split a
-  // class, never merge distinct beliefs). Classes are numbered in first-
-  // occurrence lane order — the solve order below — which keeps the whole
-  // pass deterministic for any batch composition.
-  batch_rows_.resize(lanes * num_states);
-  batch_hashes_.resize(lanes);
-  batch_class_of_.resize(lanes);
-  batch_reps_.clear();
-  batch_buckets_.clear();
-  for (std::size_t lane = 0; lane < lanes; ++lane) {
-    double* row = batch_rows_.data() + lane * num_states;
-    batch.copy_lane(lane, {row, num_states});
-    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (std::size_t s = 0; s < num_states; ++s) {
-      std::uint64_t bits = 0;
-      std::memcpy(&bits, row + s, sizeof(bits));
-      h = mix64(h, bits);
-    }
-    batch_hashes_[lane] = h;
-    auto& bucket = batch_buckets_[h];
-    std::size_t cls = batch_reps_.size();
-    for (std::size_t candidate : bucket) {
-      const double* rep_row = batch_rows_.data() + batch_reps_[candidate] * num_states;
-      if (std::memcmp(rep_row, row, num_states * sizeof(double)) == 0) {
-        cls = candidate;
-        break;
-      }
-    }
-    if (cls == batch_reps_.size()) {
-      batch_reps_.push_back(lane);
-      bucket.push_back(cls);
-    }
-    batch_class_of_[lane] = cls;
-  }
-
-  // One action_values() per class, in class (= first-occurrence) order.
-  // Each call configures its own workspace and clears the memo per root
-  // action, so its results are bit-identical to a standalone call — the
-  // scatter below therefore reproduces the looped single-session path
-  // exactly, with `classes` expansions instead of `lanes`.
-  const std::size_t num_classes = batch_reps_.size();
-  batch_class_values_.resize(num_classes * num_actions);
-  for (std::size_t cls = 0; cls < num_classes; ++cls) {
-    const double* row = batch_rows_.data() + batch_reps_[cls] * num_states;
-    action_values({row, num_states}, depth, leaf, options, class_values_scratch_);
-    std::copy(class_values_scratch_.begin(), class_values_scratch_.end(),
-              batch_class_values_.begin() +
-                  static_cast<std::ptrdiff_t>(cls * num_actions));
-  }
-  for (std::size_t lane = 0; lane < lanes; ++lane) {
-    const ActionValue* src =
-        batch_class_values_.data() + batch_class_of_[lane] * num_actions;
-    std::copy(src, src + num_actions,
-              out.begin() + static_cast<std::ptrdiff_t>(lane * num_actions));
-  }
+  const std::size_t num_classes = canonicalize_roots(batch);
+  solve_classes_classic(depth, leaf, options);
+  scatter_class_values(lanes, out);
 
   span.arg("classes", static_cast<double>(num_classes));
   if (stats != nullptr) {
@@ -864,15 +984,12 @@ void ExpansionEngine::action_values_batch(const BeliefBatch& batch, int depth,
   if (lanes > num_classes) instruments.shared_hits.add(lanes - num_classes);
 }
 
-void ExpansionEngine::decide_batch(const BeliefBatch& batch, int depth,
-                                   const SpanLeaf& leaf, const ExpansionOptions& options,
-                                   std::vector<ActionValue>& best,
-                                   BatchExpansionStats* stats) {
-  action_values_batch(batch, depth, leaf, options, batch_best_scratch_, stats);
+void ExpansionEngine::select_best_lanes(std::size_t lanes,
+                                        const ExpansionOptions& options,
+                                        std::vector<ActionValue>& best) {
   const std::size_t num_actions = pomdp_->num_actions();
   RD_EXPECTS(options.skip_action != 0 || num_actions > 1,
              "ExpansionEngine::decide_batch: cannot mask the only action");
-  const std::size_t lanes = batch.size();
   best.resize(lanes);
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     const ActionValue* row = batch_best_scratch_.data() + lane * num_actions;
@@ -887,9 +1004,274 @@ void ExpansionEngine::decide_batch(const BeliefBatch& batch, int depth,
   }
 }
 
+void ExpansionEngine::decide_batch(const BeliefBatch& batch, int depth,
+                                   const SpanLeaf& leaf, const ExpansionOptions& options,
+                                   std::vector<ActionValue>& best,
+                                   BatchExpansionStats* stats) {
+  action_values_batch(batch, depth, leaf, options, batch_best_scratch_, stats);
+  select_best_lanes(batch.size(), options, best);
+}
+
+// The level-wise core of the deep pipeline. Expands the canonical roots in
+// batch_reps_ down to depth 0 — one expand_successors_batch() sweep per
+// (level, action), children canonicalized globally per level — evaluates
+// the distinct depth-0 frontier in one leaf batch, and back-substitutes
+// bottom-up. Every per-node fold replays the serial walk's exact operation
+// order (immediate via linalg::dot; per branch ascending ObsId: kept_mass
+// += γ then value_acc += (β·γ)·child; future = kept_mass <= 0 ? 0 :
+// value_acc/kept_mass; std::max over actions ascending), so a node's value
+// is bitwise the value expand_iterative() computes for the same belief bits
+// at the same remaining depth. Returns false — leaving batch_class_values_
+// untouched — when a level exceeds options.deep_node_budget.
+bool ExpansionEngine::solve_classes_deep(int depth, const SpanLeaf& leaf,
+                                         const ExpansionOptions& options,
+                                         BatchExpansionStats* stats) {
+  const Pomdp& pomdp = *pomdp_;
+  const std::size_t num_states = pomdp.num_states();
+  const std::size_t num_actions = pomdp.num_actions();
+  if (!deep_) deep_ = std::make_unique<DeepScratch>();
+  DeepScratch& d = *deep_;
+  const std::size_t num_classes = batch_reps_.size();
+  if (num_classes > options.deep_node_budget) return false;
+
+  // Level-0 node table: the class representatives, gathered contiguous.
+  d.rows.resize(num_classes * num_states);
+  for (std::size_t cls = 0; cls < num_classes; ++cls) {
+    std::memcpy(d.rows.data() + cls * num_states,
+                batch_rows_.data() + batch_reps_[cls] * num_states,
+                num_states * sizeof(double));
+  }
+  std::size_t cur_count = num_classes;
+
+  const auto num_levels = static_cast<std::size_t>(depth);
+  if (d.levels.size() < num_levels) d.levels.resize(num_levels);
+  std::size_t total_nodes = 0;
+
+  for (std::size_t lvl = 0; lvl < num_levels; ++lvl) {
+    DeepScratch::Level& level = d.levels[lvl];
+    level.num_nodes = cur_count;
+    total_nodes += cur_count;
+    level.immediate.resize(cur_count * num_actions);
+    level.edge_offsets.clear();
+    level.edge_offsets.push_back(0);
+    level.edge_gamma.clear();
+    level.edge_child.clear();
+    d.next_rows.clear();
+    d.next_hashes.clear();
+    d.table.reset(cur_count);
+    std::size_t next_count = 0;
+
+    obs::TraceSpan level_span("expansion.deep_level", obs::TraceLevel::Full);
+    level_span.arg("level", static_cast<double>(lvl));
+    level_span.arg("nodes", static_cast<double>(cur_count));
+
+    for (ActionId a = 0; a < num_actions; ++a) {
+      if (a == options.skip_action) {
+        // Keep the action-major CSR aligned: zero-width ranges. The
+        // immediate slots of a masked action are never read.
+        for (std::size_t n = 0; n < cur_count; ++n) {
+          level.edge_offsets.push_back(level.edge_gamma.size());
+        }
+        continue;
+      }
+      // Chunked expansion: materializing the whole level×action frontier
+      // at once costs hundreds of MB at large levels (every posterior row
+      // lives until canonicalization). Chunks of nodes bound the transient
+      // to a few MB while visiting the exact same branches in the exact
+      // same order, so the CSR — and every bit downstream — is unchanged.
+      constexpr std::size_t kExpandChunk = 2048;
+      for (std::size_t chunk = 0; chunk < cur_count; chunk += kExpandChunk) {
+        const std::size_t chunk_count = std::min(kExpandChunk, cur_count - chunk);
+        expand_successors_batch(pomdp, d.rows.data() + chunk * num_states, chunk_count,
+                                num_states, a, options.branch_floor, d.frontier);
+        for (std::size_t c = 0; c < chunk_count; ++c) {
+          const std::size_t n = chunk + c;
+          const double* node = d.rows.data() + n * num_states;
+          level.immediate[a * cur_count + n] =
+              linalg::dot(pomdp.mdp().rewards(a), {node, num_states});
+          for (std::size_t b = d.frontier.offsets[c]; b < d.frontier.offsets[c + 1];
+               ++b) {
+            double* post = d.frontier.posteriors.data() + b * num_states;
+            // Normalise exactly once — the same sum-then-divide every walk
+            // performs — *before* canonicalizing, so the child key is the
+            // bit pattern the leaf/subtree actually sees.
+            linalg::normalize_probability({post, num_states});
+            const std::uint64_t h = hash_belief_bits(post, num_states);
+            std::size_t child = next_count;
+            std::size_t pos = h & d.table.mask;
+            while (d.table.slots[pos] != 0) {
+              const std::size_t candidate = d.table.slots[pos] - 1;
+              if (d.next_hashes[candidate] == h &&
+                  std::memcmp(d.next_rows.data() + candidate * num_states, post,
+                              num_states * sizeof(double)) == 0) {
+                child = candidate;
+                break;
+              }
+              pos = (pos + 1) & d.table.mask;
+            }
+            if (child == next_count) {
+              if (next_count + 1 > options.deep_node_budget) return false;
+              d.next_rows.insert(d.next_rows.end(), post, post + num_states);
+              d.next_hashes.push_back(h);
+              d.table.slots[pos] = static_cast<std::uint32_t>(next_count + 1);
+              ++next_count;
+              d.table.grow_if_loaded(next_count, d.next_hashes);
+            }
+            level.edge_gamma.push_back(d.frontier.gamma[b]);
+            level.edge_child.push_back(static_cast<std::uint32_t>(child));
+          }
+          level.edge_offsets.push_back(level.edge_gamma.size());
+        }
+      }
+    }
+    // Every node at this level is a Max node the serial walk would open
+    // (at least once; typically many times).
+    nodes_expanded_counter().add(cur_count);
+    std::swap(d.rows, d.next_rows);
+    cur_count = next_count;
+  }
+
+  // The entire depth-0 frontier — every distinct leaf belief under every
+  // root and action — in one batch evaluation.
+  d.child_values.resize(cur_count);
+  if (cur_count > 0) {
+    obs::TraceSpan leaf_span("expansion.deep_leaf_frontier", obs::TraceLevel::Full);
+    leaf_span.arg("count", static_cast<double>(cur_count));
+    if (leaf.has_batch() && cur_count > 1) {
+      leaf.batch(d.rows.data(), cur_count, num_states, d.child_values.data(),
+                 main_->slot);
+    } else {
+      for (std::size_t i = 0; i < cur_count; ++i) {
+        d.child_values[i] = leaf({d.rows.data() + i * num_states, num_states},
+                                 main_->slot);
+      }
+    }
+    leaf_evaluations_counter().add(cur_count);
+  }
+
+  // Back-substitute bottom-up. Interior levels fold to one value per node;
+  // level 0 keeps the per-action values the batch contract returns.
+  for (std::size_t lvl = num_levels; lvl-- > 1;) {
+    const DeepScratch::Level& level = d.levels[lvl];
+    d.values.resize(level.num_nodes);
+    for (std::size_t n = 0; n < level.num_nodes; ++n) {
+      double best = kNegInf;
+      for (ActionId a = 0; a < num_actions; ++a) {
+        if (a == options.skip_action) continue;
+        const std::size_t idx = a * level.num_nodes + n;
+        double value_acc = 0.0;
+        double kept_mass = 0.0;
+        for (std::size_t e = level.edge_offsets[idx]; e < level.edge_offsets[idx + 1];
+             ++e) {
+          kept_mass += level.edge_gamma[e];
+          value_acc +=
+              (options.beta * level.edge_gamma[e]) * d.child_values[level.edge_child[e]];
+        }
+        const double future = kept_mass <= 0.0 ? 0.0 : value_acc / kept_mass;
+        best = std::max(best, level.immediate[idx] + future);
+      }
+      d.values[n] = best;
+    }
+    std::swap(d.values, d.child_values);
+  }
+
+  const DeepScratch::Level& root = d.levels[0];
+  batch_class_values_.resize(num_classes * num_actions);
+  for (std::size_t cls = 0; cls < num_classes; ++cls) {
+    for (ActionId a = 0; a < num_actions; ++a) {
+      if (a == options.skip_action) {
+        batch_class_values_[cls * num_actions + a] = {a, kNegInf};
+        continue;
+      }
+      const std::size_t idx = a * root.num_nodes + cls;
+      double value_acc = 0.0;
+      double kept_mass = 0.0;
+      for (std::size_t e = root.edge_offsets[idx]; e < root.edge_offsets[idx + 1]; ++e) {
+        kept_mass += root.edge_gamma[e];
+        value_acc +=
+            (options.beta * root.edge_gamma[e]) * d.child_values[root.edge_child[e]];
+      }
+      const double future = kept_mass <= 0.0 ? 0.0 : value_acc / kept_mass;
+      batch_class_values_[cls * num_actions + a] = {a, root.immediate[idx] + future};
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->frontier_nodes = total_nodes;
+    stats->frontier_leaves = cur_count;
+    stats->deep = true;
+  }
+  DeepInstruments& instruments = DeepInstruments::get();
+  instruments.calls.add();
+  instruments.nodes.add(total_nodes);
+  instruments.leaves.add(cur_count);
+  return true;
+}
+
+void ExpansionEngine::action_values_batch_deep(const BeliefBatch& batch, int depth,
+                                               const SpanLeaf& leaf,
+                                               const ExpansionOptions& options,
+                                               std::vector<ActionValue>& out,
+                                               BatchExpansionStats* stats) {
+  RD_EXPECTS(depth >= 1, "ExpansionEngine::action_values_batch_deep: depth must be >= 1");
+  const std::size_t num_states = pomdp_->num_states();
+  const std::size_t num_actions = pomdp_->num_actions();
+  RD_EXPECTS(batch.num_states() == num_states,
+             "ExpansionEngine::action_values_batch_deep: batch/model dimension mismatch");
+  // The option checks of check_common_options(), minus the belief-dimension
+  // one (the batch constructor already fixed the lane dimension).
+  RD_EXPECTS(options.beta >= 0.0 && options.beta <= 1.0,
+             "ExpansionEngine: beta must lie in [0,1]");
+  RD_EXPECTS(options.skip_action == kInvalidId || num_actions > 1,
+             "ExpansionEngine: cannot mask the only action");
+  RD_EXPECTS(options.branch_floor >= 0.0 && options.branch_floor < 1.0,
+             "ExpansionEngine: branch floor must lie in [0,1)");
+  RD_EXPECTS(options.root_jobs >= 1, "ExpansionEngine: root_jobs must be >= 1");
+  const std::size_t lanes = batch.size();
+  out.assign(lanes * num_actions, ActionValue{});
+  if (stats != nullptr) *stats = BatchExpansionStats{};
+  if (lanes == 0) return;
+
+  obs::TraceSpan span("expansion.decide_batch_deep", obs::TraceLevel::Decide);
+  span.arg("sessions", static_cast<double>(lanes));
+  span.arg("depth", static_cast<double>(depth));
+
+  const std::size_t num_classes = canonicalize_roots(batch);
+  if (!solve_classes_deep(depth, leaf, options, stats)) {
+    // Budget exceeded mid-level: rerun through the per-class walks. Values
+    // are bit-identical either way, so the fallback is purely a memory cap
+    // (the partial deep work only cost time and some instrument noise).
+    DeepInstruments::get().fallbacks.add();
+    solve_classes_classic(depth, leaf, options);
+  }
+  scatter_class_values(lanes, out);
+
+  span.arg("classes", static_cast<double>(num_classes));
+  if (stats != nullptr) {
+    stats->sessions = lanes;
+    stats->classes = num_classes;
+    stats->shared_hits = lanes - num_classes;
+  }
+  BatchInstruments& instruments = BatchInstruments::get();
+  instruments.calls.add();
+  instruments.sessions.add(lanes);
+  instruments.classes.add(num_classes);
+  if (lanes > num_classes) instruments.shared_hits.add(lanes - num_classes);
+}
+
+void ExpansionEngine::decide_batch_deep(const BeliefBatch& batch, int depth,
+                                        const SpanLeaf& leaf,
+                                        const ExpansionOptions& options,
+                                        std::vector<ActionValue>& best,
+                                        BatchExpansionStats* stats) {
+  action_values_batch_deep(batch, depth, leaf, options, batch_best_scratch_, stats);
+  select_best_lanes(batch.size(), options, best);
+}
+
 std::size_t ExpansionEngine::arena_bytes() const {
   std::size_t total = main_->bytes();
   for (const auto& ws : pool_) total += ws->bytes();
+  if (deep_) total += deep_->bytes();
   return total;
 }
 

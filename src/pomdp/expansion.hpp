@@ -65,11 +65,20 @@ struct ActionValue {
 };
 
 /// Work summary of one action_values_batch()/decide_batch() call: how much
-/// of the batch was served by cross-session root canonicalization.
+/// of the batch was served by cross-session root canonicalization, and — on
+/// the deep pipeline — how small the canonicalized tree actually was.
 struct BatchExpansionStats {
   std::size_t sessions = 0;     ///< lanes in the batch
   std::size_t classes = 0;      ///< distinct (belief-bits) roots solved
   std::size_t shared_hits = 0;  ///< lanes that reused an earlier lane's solve
+  /// Deep-pipeline tallies (action_values_batch_deep; zero on the classic
+  /// path): distinct Max nodes expanded across every tree level, and
+  /// distinct depth-0 beliefs evaluated in the single frontier leaf batch.
+  std::size_t frontier_nodes = 0;
+  std::size_t frontier_leaves = 0;
+  /// True when the deep pipeline solved the batch; false when it fell back
+  /// to the per-class walks (node budget exceeded) or was never asked.
+  bool deep = false;
 };
 
 /// Devirtualized leaf evaluator: raw function pointers plus an opaque
@@ -243,6 +252,17 @@ struct ExpansionOptions {
   /// (controllers pass the BoundSet generation, so any bound-set mutation
   /// invalidates the carried cache exactly). Ignored unless memo_carry.
   std::uint64_t memo_context = 0;
+  /// Deep-pipeline node budget (action_values_batch_deep only): when any
+  /// tree level's distinct-node count would exceed this, the pipeline
+  /// abandons the level-wise expansion and falls back to the per-class
+  /// walks. Values are bit-identical either way — the budget only bounds
+  /// the deep scratch footprint (a node is |S| doubles plus its edges).
+  /// The default admits the transient frontier of a 10^4-session fleet
+  /// before its belief population converges (the steady state is an order
+  /// of magnitude smaller); a fallback tick pays the partial deep work on
+  /// top of the classic walks, so the budget should only bite when memory
+  /// genuinely matters.
+  std::size_t deep_node_budget = 1u << 20;
   /// When non-null, reset at the start of value()/action_values() and
   /// filled with that one expansion's work tallies (provenance). Purely
   /// observational: never read by the walk, so values are unchanged.
@@ -312,6 +332,30 @@ class ExpansionEngine {
                     const ExpansionOptions& options, std::vector<ActionValue>& best,
                     BatchExpansionStats* stats = nullptr);
 
+  /// Deep-batched variant of action_values_batch() (DESIGN.md §16): instead
+  /// of walking one per-class tree at a time, the whole action×observation
+  /// frontier of every canonical root is expanded level by level in SoA
+  /// passes (expand_successors_batch), with successors canonicalized
+  /// *globally* — across actions, roots, and levels — so each distinct
+  /// belief at each remaining depth is expanded exactly once and the entire
+  /// depth-0 frontier is evaluated in one leaf batch call. Because a
+  /// subtree's value is a pure function of (belief bits, remaining depth)
+  /// under the engine's fixed operation order, the back-substituted values
+  /// are bit-identical to action_values_batch() — for any batch
+  /// composition, SIMD mode, root_jobs count, and memo setting. When a
+  /// level would exceed options.deep_node_budget the call falls back to
+  /// action_values_batch() (stats->deep reports which path ran).
+  void action_values_batch_deep(const BeliefBatch& batch, int depth, const SpanLeaf& leaf,
+                                const ExpansionOptions& options,
+                                std::vector<ActionValue>& out,
+                                BatchExpansionStats* stats = nullptr);
+
+  /// decide_batch() atop action_values_batch_deep(): the same per-lane
+  /// lowest-ActionId argmax over the deep pipeline's value rows.
+  void decide_batch_deep(const BeliefBatch& batch, int depth, const SpanLeaf& leaf,
+                         const ExpansionOptions& options, std::vector<ActionValue>& best,
+                         BatchExpansionStats* stats = nullptr);
+
   /// Current arena footprint in bytes (sum of scratch-buffer and memo-cache
   /// capacities across all levels and worker workspaces).
   std::size_t arena_bytes() const;
@@ -320,6 +364,7 @@ class ExpansionEngine {
   struct Frame;
   struct MemoCache;
   struct Workspace;
+  struct DeepScratch;
 
   double expand_iterative(Workspace& ws, std::size_t base_level,
                           std::span<const double> belief, int depth, const SpanLeaf& leaf,
@@ -334,6 +379,16 @@ class ExpansionEngine {
   void evaluate_frontier(Workspace& ws, Frame& fr, const SpanLeaf& leaf,
                          const ExpansionOptions& options);
   void note_expansion_finished(ExpansionNodeStats* stats);
+
+  // Batch plumbing shared by the classic and deep entry points.
+  std::size_t canonicalize_roots(const BeliefBatch& batch);
+  void solve_classes_classic(int depth, const SpanLeaf& leaf,
+                             const ExpansionOptions& options);
+  bool solve_classes_deep(int depth, const SpanLeaf& leaf,
+                          const ExpansionOptions& options, BatchExpansionStats* stats);
+  void scatter_class_values(std::size_t lanes, std::vector<ActionValue>& out);
+  void select_best_lanes(std::size_t lanes, const ExpansionOptions& options,
+                         std::vector<ActionValue>& best);
 
   const Pomdp* pomdp_;
   std::unique_ptr<Workspace> main_;
@@ -350,6 +405,7 @@ class ExpansionEngine {
   std::vector<ActionValue> batch_best_scratch_;  // decide_batch() scratch
   std::vector<ActionValue> class_values_scratch_;
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> batch_buckets_;
+  std::unique_ptr<DeepScratch> deep_;  // lazily built by the deep pipeline
 };
 
 }  // namespace recoverd

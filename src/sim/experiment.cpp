@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
+#include "util/work_pool.hpp"
 
 namespace recoverd::sim {
 
@@ -254,19 +254,17 @@ ExperimentResult run_experiment(const Pomdp& env_model,
     static obs::Counter& campaigns =
         obs::metrics().counter("sim.parallel.campaigns");
     campaigns.add();
+    // Episodes still claim work through the shared atomic cursor into
+    // index-addressed `metrics` slots (RNG streams are pre-derived per
+    // episode), so which pool task runs which episode never matters.
     std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= episodes) return;
-          run_one(i);
-        }
-      });
-    }
-    for (auto& worker : pool) worker.join();
+    util::WorkPool::instance().run(workers, [&](std::size_t) {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= episodes) return;
+        run_one(i);
+      }
+    });
   }
 
   // Reduce in episode order via singleton merges for *every* jobs value

@@ -116,6 +116,7 @@ struct FleetInstruments {
 
 void apply_fleet_resilience_flags(const CliArgs& args, FleetOptions& options) {
   options.memo_carry = args.get_bool("memo-carry", options.memo_carry);
+  options.deep_batch = args.get_bool("deep-batch", options.deep_batch);
   options.guard.enabled = args.get_bool("fleet-guard", options.guard.enabled);
   options.guard.reduced_depth = static_cast<int>(
       args.get_count("fleet-reduced-depth",
@@ -134,7 +135,8 @@ void apply_fleet_resilience_flags(const CliArgs& args, FleetOptions& options) {
 }
 
 std::vector<std::string> fleet_resilience_flag_names() {
-  std::vector<std::string> names = {"memo-carry", "fleet-guard", "fleet-reduced-depth",
+  std::vector<std::string> names = {"memo-carry", "deep-batch", "fleet-guard",
+                                    "fleet-reduced-depth",
                                     "fleet-promote-after", "fleet-livelock-window",
                                     "tick-budget-decisions", "tick-budget-ms"};
   for (std::string& name : chaos_flag_names()) names.push_back(std::move(name));
@@ -514,8 +516,13 @@ void FleetDriver::decide_phase() {
     const std::size_t num_actions = model_.num_actions();
     if (!decide_batch_.empty()) {
       BatchExpansionStats batch_stats;
-      engine_.action_values_batch(decide_batch_, full_depth, span_leaf, expansion,
-                                  values_scratch_, &batch_stats);
+      if (options_.deep_batch) {
+        engine_.action_values_batch_deep(decide_batch_, full_depth, span_leaf,
+                                         expansion, values_scratch_, &batch_stats);
+      } else {
+        engine_.action_values_batch(decide_batch_, full_depth, span_leaf, expansion,
+                                    values_scratch_, &batch_stats);
+      }
       stats_.classes += batch_stats.classes;
       stats_.shared_hits += batch_stats.shared_hits;
       for (std::size_t lane = 0; lane < decide_batch_.size(); ++lane) {
@@ -536,8 +543,14 @@ void FleetDriver::decide_phase() {
     }
     if (!reduced_batch_.empty()) {
       BatchExpansionStats batch_stats;
-      engine_.action_values_batch(reduced_batch_, reduced_depth, span_leaf,
-                                  expansion, reduced_values_scratch_, &batch_stats);
+      if (options_.deep_batch) {
+        engine_.action_values_batch_deep(reduced_batch_, reduced_depth, span_leaf,
+                                         expansion, reduced_values_scratch_,
+                                         &batch_stats);
+      } else {
+        engine_.action_values_batch(reduced_batch_, reduced_depth, span_leaf,
+                                    expansion, reduced_values_scratch_, &batch_stats);
+      }
       stats_.classes += batch_stats.classes;
       stats_.shared_hits += batch_stats.shared_hits;
       for (std::size_t lane = 0; lane < reduced_batch_.size(); ++lane) {

@@ -140,6 +140,13 @@ struct FleetOptions {
   /// Entry cap of the decision cache (keys + value rows); insertions stop
   /// at the cap, lookups keep working.
   std::size_t decision_cache_mb = 64;
+  /// Batch-mode deep pipeline (`--deep-batch`, DESIGN.md §16): solve each
+  /// tick's canonical roots through ExpansionEngine::action_values_batch_deep
+  /// — level-wise SoA successor expansion with global canonicalization and
+  /// one frontier leaf batch — instead of one per-class tree walk at a
+  /// time. Bitwise-exact (the deep values are identical bits), so this is a
+  /// speed-only knob excluded from options_hash() like mode/memo/jobs.
+  bool deep_batch = true;
 
   /// Per-session fault isolation (DESIGN.md §14).
   FleetGuardOptions guard;
@@ -163,9 +170,10 @@ struct FleetOptions {
 };
 
 /// Applies the shared fleet-resilience flags onto `options` (defaults leave
-/// it untouched): --fleet-guard, --fleet-reduced-depth,
-/// --fleet-promote-after, --fleet-livelock-window, --tick-budget-decisions,
-/// --tick-budget-ms, plus the --chaos-* axes (parse_chaos_options).
+/// it untouched): --memo-carry, --deep-batch, --fleet-guard,
+/// --fleet-reduced-depth, --fleet-promote-after, --fleet-livelock-window,
+/// --tick-budget-decisions, --tick-budget-ms, plus the --chaos-* axes
+/// (parse_chaos_options).
 void apply_fleet_resilience_flags(const CliArgs& args, FleetOptions& options);
 
 /// The flag keys above, for require_known() lists.

@@ -99,7 +99,12 @@ std::size_t CliArgs::get_jobs(std::size_t fallback) const {
 }
 
 std::string CliArgs::get_simd() const {
-  return get_choice("simd", "auto", {"auto", "avx2", "scalar"});
+  return get_choice("simd", "auto", {"auto", "avx512", "avx2", "scalar"});
+}
+
+std::size_t CliArgs::get_pool_jobs() const {
+  if (!has("pool-jobs")) return 0;
+  return get_count("pool-jobs", 1);
 }
 
 void CliArgs::require_known(const std::vector<std::string>& known) const {

@@ -51,10 +51,18 @@ class CliArgs {
   /// compatible with pre-`--jobs` runs — unless parallelism is requested.
   std::size_t get_jobs(std::size_t fallback = 1) const;
 
-  /// Parses the shared `--simd={auto,avx2,scalar}` kernel-selection flag
-  /// (default "auto"). Only validates the spelling here; pass the result to
-  /// simd::configure(), which checks hardware support for a forced "avx2".
+  /// Parses the shared `--simd={auto,avx512,avx2,scalar}` kernel-selection
+  /// flag (default "auto"). Only validates the spelling here; pass the
+  /// result to simd::configure(), which checks hardware support for a
+  /// forced vector tier.
   std::string get_simd() const;
+
+  /// Parses the shared `--pool-jobs=N` work-pool thread cap (validated
+  /// ≥ 1: a zero/negative cap would mean "no thread may run", which is
+  /// "don't pass the flag", not a usable pool). The fallback 0 means "flag
+  /// absent — leave the pool uncapped"; callers check for it before
+  /// calling util::WorkPool::configure_threads().
+  std::size_t get_pool_jobs() const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

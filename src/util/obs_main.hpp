@@ -3,7 +3,8 @@
 // Every binary used to repeat the same boilerplate: collect its flag list,
 // append the observability flags, require_known(), init_observability(),
 // run, finish_observability(). run_obs_main() centralises that sequence —
-// and adds the `--simd` kernel-selection flag (util/simd.hpp) with a
+// and adds the `--simd` kernel-selection flag (util/simd.hpp) and the
+// `--pool-jobs` work-pool thread cap (util/work_pool.hpp), each with a
 // one-line startup log — so a binary's main() is three lines:
 //
 //   int main(int argc, char** argv) {
@@ -28,17 +29,21 @@
 #include "util/logging.hpp"
 #include "util/shutdown.hpp"
 #include "util/simd.hpp"
+#include "util/work_pool.hpp"
 
 namespace recoverd {
 
 /// Parses flags, applies the shared observability + SIMD plumbing, and runs
 /// `body`:
-///   1. rejects flags outside `known` + the obs flags + `simd`,
+///   1. rejects flags outside `known` + the obs flags + `simd`/`pool-jobs`,
 ///   2. installs the SIGINT/SIGTERM shutdown-flag handlers (util/shutdown.hpp)
 ///      so an interrupted run still reaches step 5 and keeps its artifacts —
 ///      long-running bodies poll shutdown_requested() and wind down; a second
 ///      signal falls back to the default (terminating) disposition,
-///   3. simd::configure(--simd) with a startup log line (stderr, Info),
+///   3. simd::configure(--simd) with a startup log line (stderr, Info) and
+///      WorkPool::configure_threads(--pool-jobs) when the cap is passed
+///      (thread caps never change results — every pool site is
+///      worker-count invariant — so the flag is a pure resource knob),
 ///   4. obs::init_observability (--trace-out/--trace-level/--provenance-out),
 ///   5. exit code = body(args), 130 when the body returned because of a
 ///      shutdown signal,
@@ -53,6 +58,7 @@ int run_obs_main(int argc, const char* const* argv, std::vector<std::string> kno
   bool initialized = false;
   try {
     known.emplace_back("simd");
+    known.emplace_back("pool-jobs");
     const std::vector<std::string> obs_flags = obs::obs_flag_names();
     known.insert(known.end(), obs_flags.begin(), obs_flags.end());
     args.require_known(known);
@@ -60,6 +66,10 @@ int run_obs_main(int argc, const char* const* argv, std::vector<std::string> kno
     install_shutdown_handlers();
     simd::configure(args.get_simd());
     log_info("simd kernels: ", simd::describe_active_mode());
+    if (const std::size_t pool_jobs = args.get_pool_jobs(); pool_jobs != 0) {
+      util::WorkPool::instance().configure_threads(pool_jobs);
+      log_info("work pool capped at ", pool_jobs, " thread(s)");
+    }
 
     obs::init_observability(args);
     initialized = true;

@@ -5,8 +5,9 @@
 #include "util/check.hpp"
 
 // The kernels themselves live in linalg/simd_kernels.hpp behind function-
-// level `target("avx2")` attributes, so the build needs no global -mavx2 —
-// this detection gate is what keeps them off unsupported hardware.
+// level `target("avx2")` / `target("avx512f")` attributes, so the build
+// needs no global -mavx2/-mavx512f — this detection gate is what keeps
+// them off unsupported hardware.
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define RECOVERD_SIMD_X86 1
 #else
@@ -16,14 +17,22 @@
 namespace recoverd::simd {
 
 namespace {
+Mode auto_mode() {
+  if (cpu_supports_avx512()) return Mode::Avx512;
+  if (cpu_supports_avx2()) return Mode::Avx2;
+  return Mode::Scalar;
+}
+
 // Mode plus provenance ("auto" vs "forced") for the startup log. Relaxed
 // atomics: configure() runs once at startup before any kernel dispatch;
 // later reads only need to see *a* consistent value.
-std::atomic<Mode> g_mode{cpu_supports_avx2() ? Mode::Avx2 : Mode::Scalar};
+std::atomic<Mode> g_mode{auto_mode()};
 std::atomic<bool> g_forced{false};
 }  // namespace
 
 bool compiled_with_avx2() { return RECOVERD_SIMD_X86 != 0; }
+
+bool compiled_with_avx512() { return RECOVERD_SIMD_X86 != 0; }
 
 bool cpu_supports_avx2() {
 #if RECOVERD_SIMD_X86
@@ -34,12 +43,20 @@ bool cpu_supports_avx2() {
 #endif
 }
 
+bool cpu_supports_avx512() {
+#if RECOVERD_SIMD_X86
+  static const bool supported = __builtin_cpu_supports("avx512f");
+  return supported;
+#else
+  return false;
+#endif
+}
+
 Mode active_mode() { return g_mode.load(std::memory_order_relaxed); }
 
 void configure(const std::string& flag) {
   if (flag == "auto") {
-    g_mode.store(cpu_supports_avx2() ? Mode::Avx2 : Mode::Scalar,
-                 std::memory_order_relaxed);
+    g_mode.store(auto_mode(), std::memory_order_relaxed);
     g_forced.store(false, std::memory_order_relaxed);
     return;
   }
@@ -59,11 +76,28 @@ void configure(const std::string& flag) {
     g_forced.store(true, std::memory_order_relaxed);
     return;
   }
-  RD_EXPECTS(false, "--simd: unknown value '" + flag + "' (expected auto, avx2, scalar)");
+  if (flag == "avx512") {
+    RD_EXPECTS(compiled_with_avx512(),
+               "--simd=avx512: this build has no AVX-512 kernels (non-x86-64 "
+               "target); use --simd=auto or --simd=scalar");
+    RD_EXPECTS(cpu_supports_avx512(),
+               "--simd=avx512: this CPU does not support AVX-512F; "
+               "use --simd=auto, --simd=avx2 or --simd=scalar");
+    g_mode.store(Mode::Avx512, std::memory_order_relaxed);
+    g_forced.store(true, std::memory_order_relaxed);
+    return;
+  }
+  RD_EXPECTS(false, "--simd: unknown value '" + flag +
+                        "' (expected auto, avx512, avx2, scalar)");
 }
 
 const char* mode_name(Mode mode) {
-  return mode == Mode::Avx2 ? "avx2" : "scalar";
+  switch (mode) {
+    case Mode::Avx512: return "avx512";
+    case Mode::Avx2: return "avx2";
+    case Mode::Scalar: break;
+  }
+  return "scalar";
 }
 
 std::string describe_active_mode() {

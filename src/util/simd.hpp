@@ -1,19 +1,20 @@
-// Process-wide SIMD kernel selection (`--simd={auto,avx2,scalar}`).
+// Process-wide SIMD kernel selection (`--simd={auto,avx512,avx2,scalar}`).
 //
 // The repo's vector kernels (the BoundSet leaf dot products and the
-// successor-expansion / Bayes-update inner loops) each exist in two
-// versions: a scalar reference and an AVX2 variant that is *bitwise
-// identical* to it — the AVX2 kernels vectorize only across independent
-// accumulators (one belief per lane, one observation per lane) or across
-// elementwise operations, never inside a single floating-point reduction,
-// so every accumulator sees its terms in exactly the scalar order and no
-// FMA contraction is permitted (DESIGN.md §13). Which version runs is a
-// process-global mode resolved here: `auto` picks AVX2 when the CPU has it,
-// `scalar` forces the reference kernels (the parity-test baseline), `avx2`
-// forces the vector kernels and fails with a clear error — not a crash —
-// on hardware without them.
+// successor-expansion / Bayes-update inner loops) each exist in three
+// versions: a scalar reference, an AVX2 variant and an AVX-512 variant
+// that are *bitwise identical* to it — the vector kernels vectorize only
+// across independent accumulators (one belief per lane, one observation
+// per lane) or across elementwise operations, never inside a single
+// floating-point reduction, so every accumulator sees its terms in exactly
+// the scalar order and no FMA contraction is permitted (DESIGN.md §13,
+// §16). Which version runs is a process-global mode resolved here: `auto`
+// picks the widest tier the CPU has (AVX-512 > AVX2 > scalar), `scalar`
+// forces the reference kernels (the parity-test baseline), `avx2`/`avx512`
+// force a vector tier and fail with a clear error — not a crash — on
+// hardware without it.
 //
-// Because the two versions produce the same bits, the mode is a pure
+// Because all versions produce the same bits, the mode is a pure
 // performance knob: campaign outputs are byte-identical across modes.
 #pragma once
 
@@ -25,29 +26,39 @@ namespace recoverd::simd {
 enum class Mode {
   Scalar,  ///< reference kernels, available everywhere
   Avx2,    ///< 4-lane double kernels (x86-64 AVX2)
+  Avx512,  ///< 8-lane double kernels (x86-64 AVX-512F)
 };
 
 /// True when this build carries the AVX2 kernels at all (x86-64 GCC/Clang).
 bool compiled_with_avx2();
 
+/// True when this build carries the AVX-512 kernels (same gate: the
+/// kernels use function-level target attributes, so any x86-64 GCC/Clang
+/// build has them compiled in).
+bool compiled_with_avx512();
+
 /// True when the CPU running this process supports AVX2 (false when the
 /// build lacks the kernels, regardless of the hardware).
 bool cpu_supports_avx2();
 
-/// The currently selected mode. Defaults to the `auto` resolution (AVX2
-/// when supported, scalar otherwise) until configure() overrides it.
+/// True when the CPU running this process supports AVX-512F.
+bool cpu_supports_avx512();
+
+/// The currently selected mode. Defaults to the `auto` resolution (the
+/// widest supported tier) until configure() overrides it.
 Mode active_mode();
 
-/// Resolves a `--simd` flag value: "auto" (default), "avx2", "scalar".
-/// Throws PreconditionError with an actionable message when "avx2" is
-/// requested on hardware (or a build) without it, and on unknown values.
+/// Resolves a `--simd` flag value: "auto" (default), "avx512", "avx2",
+/// "scalar". Throws PreconditionError with an actionable message when a
+/// vector tier is requested on hardware (or a build) without it, and on
+/// unknown values.
 void configure(const std::string& flag);
 
-/// "scalar" / "avx2".
+/// "scalar" / "avx2" / "avx512".
 const char* mode_name(Mode mode);
 
 /// One-line description for startup logs: the active kernel plus how it was
-/// chosen, e.g. "avx2 (auto)" or "scalar (forced)".
+/// chosen, e.g. "avx512 (auto)" or "scalar (forced)".
 std::string describe_active_mode();
 
 }  // namespace recoverd::simd

@@ -1,0 +1,181 @@
+#include "util/work_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace recoverd::util {
+
+namespace {
+// Set while a thread is executing pool tasks; a nested run() on such a
+// thread must execute inline (the team is busy with the outer epoch).
+thread_local bool t_inside_pool = false;
+}  // namespace
+
+struct WorkPool::Impl {
+  // Serializes external submitters: one epoch in flight at a time.
+  std::mutex submit_mutex;
+
+  // Guards the epoch hand-off state below. cv_work wakes workers on a new
+  // epoch (or stop); cv_done wakes the submitter when the epoch quiesces.
+  //
+  // Epoch protocol: a worker *registers* (++active, under `mutex`) before
+  // touching any epoch state and deregisters when its claims run dry. The
+  // submitter only mutates `fn/ctx/total` while `active == 0` and waits for
+  // `active == 0` again after draining its own share, so the epoch state is
+  // stable for exactly the window in which registered workers read it —
+  // plain mutex happens-before, nothing for TSan to object to. A worker
+  // that wakes late for an already-drained epoch registers, finds the
+  // cursor exhausted and deregisters without ever calling a task.
+  std::mutex mutex;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::uint64_t epoch = 0;
+  std::size_t active = 0;
+  bool stop = false;
+  TaskFn fn = nullptr;
+  void* ctx = nullptr;
+  std::size_t total = 0;
+  std::atomic<std::size_t> cursor{0};
+
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> cap{std::numeric_limits<std::size_t>::max()};
+
+  std::atomic<std::uint64_t> stat_dispatches{0};
+  std::atomic<std::uint64_t> stat_tasks{0};
+  std::atomic<std::uint64_t> stat_inline_tasks{0};
+  std::atomic<std::uint64_t> stat_spawns_avoided{0};
+  std::atomic<std::uint64_t> stat_threads_created{0};
+
+  // Claim-and-run loop shared by registered workers and the submitter.
+  void drain_current_epoch() {
+    for (;;) {
+      const std::size_t t = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (t >= total) return;
+      fn(ctx, t);
+    }
+  }
+
+  void worker_loop() {
+    t_inside_pool = true;
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv_work.wait(lock, [&] { return stop || epoch != seen_epoch; });
+        if (stop) return;
+        seen_epoch = epoch;
+        ++active;
+      }
+      drain_current_epoch();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--active == 0) cv_done.notify_all();
+      }
+    }
+  }
+};
+
+WorkPool::WorkPool() : impl_(new Impl) {}
+
+WorkPool::~WorkPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+WorkPool& WorkPool::instance() {
+  static WorkPool pool;
+  return pool;
+}
+
+void WorkPool::configure_threads(std::size_t cap) {
+  RD_EXPECTS(cap >= 1, "WorkPool thread cap must be >= 1");
+  impl_->cap.store(cap, std::memory_order_relaxed);
+}
+
+std::size_t WorkPool::thread_cap() const {
+  return impl_->cap.load(std::memory_order_relaxed);
+}
+
+void WorkPool::run_impl(std::size_t tasks, TaskFn fn, void* ctx) {
+  if (tasks == 0) return;
+  if (tasks == 1 || t_inside_pool) {
+    // Single-task regions and nested submissions execute inline; every
+    // call site is worker-count invariant, so running all indices on one
+    // thread is bit-identical to any team size.
+    for (std::size_t t = 0; t < tasks; ++t) fn(ctx, t);
+    impl_->stat_inline_tasks.fetch_add(tasks, std::memory_order_relaxed);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
+
+  // Grow the team towards `tasks - 1` helpers (the caller takes the
+  // remaining share), bounded by the --pool-jobs cap. Fewer helpers than
+  // tasks just means each claims more indices.
+  const std::size_t cap = impl_->cap.load(std::memory_order_relaxed);
+  const std::size_t want = std::min(tasks - 1, cap - 1);
+  std::uint64_t created = 0;
+  while (impl_->threads.size() < want) {
+    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+    ++created;
+  }
+  impl_->stat_threads_created.fetch_add(created, std::memory_order_relaxed);
+  // A spawn-per-call design creates one thread per task index every call
+  // (that is what all five pre-pool sites did); the persistent team only
+  // pays for first-time growth.
+  impl_->stat_spawns_avoided.fetch_add(tasks - created, std::memory_order_relaxed);
+  impl_->stat_dispatches.fetch_add(1, std::memory_order_relaxed);
+  impl_->stat_tasks.fetch_add(tasks, std::memory_order_relaxed);
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    // Stale workers from a previous epoch may still be registered; epoch
+    // state must not change under them.
+    impl_->cv_done.wait(lock, [&] { return impl_->active == 0; });
+    impl_->fn = fn;
+    impl_->ctx = ctx;
+    impl_->total = tasks;
+    impl_->cursor.store(0, std::memory_order_relaxed);
+    ++impl_->epoch;
+  }
+  impl_->cv_work.notify_all();
+
+  // The caller works the epoch too (its drain exhausts the cursor before
+  // returning), then blocks until every registered worker deregistered —
+  // the barrier the old per-call join provided.
+  t_inside_pool = true;
+  impl_->drain_current_epoch();
+  t_inside_pool = false;
+
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->cv_done.wait(lock, [&] { return impl_->active == 0; });
+}
+
+WorkPool::Stats WorkPool::stats() const {
+  Stats s;
+  s.dispatches = impl_->stat_dispatches.load(std::memory_order_relaxed);
+  s.tasks = impl_->stat_tasks.load(std::memory_order_relaxed);
+  s.inline_tasks = impl_->stat_inline_tasks.load(std::memory_order_relaxed);
+  s.spawns_avoided = impl_->stat_spawns_avoided.load(std::memory_order_relaxed);
+  s.threads_created = impl_->stat_threads_created.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl_->submit_mutex);
+    s.threads_live = impl_->threads.size();
+  }
+  return s;
+}
+
+}  // namespace recoverd::util

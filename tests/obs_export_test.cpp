@@ -202,7 +202,17 @@ TEST(Export, DumpMetricsIfRequestedHonoursFlag) {
   std::stringstream buf;
   buf << f.rdbuf();
   const MetricsSnapshot back = read_json_text(buf.str());
-  EXPECT_EQ(back.gauges.size(), 1u);
+  // populate() adds one gauge; the dump path also publishes the six pool.*
+  // work-pool gauges (publish_work_pool_metrics) before snapshotting.
+  EXPECT_EQ(back.gauges.size(), 7u);
+  const auto has_gauge = [&](const std::string& name) {
+    for (const auto& g : back.gauges) {
+      if (g.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_gauge("pool.tasks"));
+  EXPECT_TRUE(has_gauge("pool.spawns_avoided"));
   std::remove(path.c_str());
 }
 

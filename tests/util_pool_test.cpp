@@ -1,0 +1,140 @@
+// Determinism and protocol tests for the persistent work pool (util/
+// work_pool.hpp): every task index runs exactly once for any thread cap,
+// results gathered into index-addressed slots are bitwise invariant across
+// caps, nested run() executes inline instead of deadlocking, and the stats
+// tallies the obs layer mirrors into pool.* gauges move the right way.
+#include "util/work_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace recoverd::util {
+namespace {
+
+// The pool is a process-wide singleton; every test restores an effectively
+// uncapped team so suite order can't leak a tiny cap into later tests.
+struct WorkPoolTest : ::testing::Test {
+  ~WorkPoolTest() override {
+    WorkPool::instance().configure_threads(static_cast<std::size_t>(-1));
+  }
+};
+
+TEST_F(WorkPoolTest, RunExecutesEveryTaskExactlyOnce) {
+  WorkPool& pool = WorkPool::instance();
+  for (const std::size_t tasks : {std::size_t{1}, std::size_t{2}, std::size_t{16},
+                                  std::size_t{33}}) {
+    std::vector<std::atomic<int>> ran(tasks);
+    for (auto& r : ran) r.store(0);
+    pool.run(tasks, [&](std::size_t t) { ran[t].fetch_add(1); });
+    for (std::size_t t = 0; t < tasks; ++t) {
+      EXPECT_EQ(ran[t].load(), 1) << "tasks=" << tasks << " index=" << t;
+    }
+  }
+}
+
+// The call-site discipline the pool documents: tasks fill disjoint
+// index-addressed slots, the caller reduces in fixed index order after
+// run() returns. The reduced value must be bitwise identical for any
+// thread cap — including a cap of 1, which runs everything inline.
+TEST_F(WorkPoolTest, IndexedSlotsAreBitwiseInvariantAcrossThreadCaps) {
+  WorkPool& pool = WorkPool::instance();
+  constexpr std::size_t kTasks = 64;
+  const auto reduce_with_cap = [&](std::size_t cap) {
+    pool.configure_threads(cap);
+    std::vector<double> slots(kTasks);
+    pool.run(kTasks, [&](std::size_t t) {
+      double v = 1.0;
+      for (std::size_t i = 0; i <= t; ++i) v = v * 0.9999 + std::sin(double(i));
+      slots[t] = v;
+    });
+    double total = 0.0;
+    for (std::size_t t = 0; t < kTasks; ++t) total += slots[t];  // fixed order
+    return total;
+  };
+  const double reference = reduce_with_cap(1);
+  for (const std::size_t cap : {std::size_t{2}, std::size_t{3}, std::size_t{8}}) {
+    const double got = reduce_with_cap(cap);
+    EXPECT_EQ(got, reference) << "cap=" << cap;  // bitwise, not approximate
+  }
+}
+
+// A task that submits again (an episode whose controller fans out root
+// actions) must run the nested indices inline on its own thread rather
+// than deadlock on the shared team.
+TEST_F(WorkPoolTest, NestedRunExecutesInlineWithoutDeadlock) {
+  WorkPool& pool = WorkPool::instance();
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 5;
+  std::vector<std::atomic<int>> inner_runs(kOuter * kInner);
+  for (auto& r : inner_runs) r.store(0);
+  pool.run(kOuter, [&](std::size_t outer) {
+    pool.run(kInner, [&](std::size_t inner) {
+      inner_runs[outer * kInner + inner].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < inner_runs.size(); ++i) {
+    EXPECT_EQ(inner_runs[i].load(), 1) << "nested index " << i;
+  }
+}
+
+TEST_F(WorkPoolTest, SingleTaskRunsInlineAndZeroTasksIsANoop) {
+  WorkPool& pool = WorkPool::instance();
+  const WorkPool::Stats before = pool.stats();
+  std::atomic<int> ran{0};
+  pool.run(0, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 0);
+  pool.run(1, [&](std::size_t t) {
+    EXPECT_EQ(t, 0u);
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 1);
+  const WorkPool::Stats after = pool.stats();
+  EXPECT_EQ(after.dispatches, before.dispatches);  // never engaged the team
+  EXPECT_EQ(after.inline_tasks, before.inline_tasks + 1);
+}
+
+// The zero-per-decide-spawn contract the throughput campaign gates on:
+// once the team is warm, further dispatches create no threads, and every
+// dispatched task counts a spawn the old spawn-per-call design would have
+// paid.
+TEST_F(WorkPoolTest, WarmPoolDispatchesWithoutCreatingThreads) {
+  WorkPool& pool = WorkPool::instance();
+  pool.configure_threads(4);
+  pool.run(4, [](std::size_t) {});  // warm the team
+  const WorkPool::Stats warm = pool.stats();
+  for (int i = 0; i < 10; ++i) {
+    pool.run(4, [](std::size_t) {});
+  }
+  const WorkPool::Stats after = pool.stats();
+  EXPECT_EQ(after.threads_created, warm.threads_created);
+  EXPECT_EQ(after.dispatches, warm.dispatches + 10);
+  EXPECT_EQ(after.tasks, warm.tasks + 40);
+  // Warm dispatches create nothing, so every task index is a spawn the
+  // old spawn-per-call design would have paid.
+  EXPECT_EQ(after.spawns_avoided, warm.spawns_avoided + 40);
+  EXPECT_EQ(after.threads_live, after.threads_created);  // nothing exited
+}
+
+TEST_F(WorkPoolTest, ConfigureThreadsRejectsZero) {
+  EXPECT_THROW(WorkPool::instance().configure_threads(0), PreconditionError);
+  EXPECT_GE(WorkPool::instance().thread_cap(), 1u);  // cap unchanged by the throw
+}
+
+TEST_F(WorkPoolTest, ThreadCapRoundTrips) {
+  WorkPool& pool = WorkPool::instance();
+  pool.configure_threads(3);
+  EXPECT_EQ(pool.thread_cap(), 3u);
+  pool.configure_threads(1);  // caller-only: run() must still complete
+  std::atomic<int> ran{0};
+  pool.run(9, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 9);
+}
+
+}  // namespace
+}  // namespace recoverd::util

@@ -1,6 +1,9 @@
-// Process-wide SIMD mode selection (`--simd={auto,avx2,scalar}`): flag
-// resolution, CPU feature consistency, and the actionable-error contract
-// when AVX2 is forced on hardware (or a build) without it.
+// Process-wide SIMD mode selection (`--simd={auto,avx512,avx2,scalar}`):
+// flag resolution, CPU feature consistency, and the actionable-error
+// contract when a vector tier is forced on hardware (or a build) without
+// it. Kernel-level bitwise parity lives in pomdp_batch_parity_test (whole
+// decide/update paths, scalar vs auto) and tests/pomdp_deep_batch_test.cpp
+// (per-tier deep-batch parity).
 #include "util/simd.hpp"
 
 #include <gtest/gtest.h>
@@ -21,12 +24,17 @@ struct SimdConfigTest : ::testing::Test {
 TEST_F(SimdConfigTest, ModeNamesRoundTrip) {
   EXPECT_STREQ(mode_name(Mode::Scalar), "scalar");
   EXPECT_STREQ(mode_name(Mode::Avx2), "avx2");
+  EXPECT_STREQ(mode_name(Mode::Avx512), "avx512");
 }
 
 TEST_F(SimdConfigTest, CpuSupportImpliesCompiledSupport) {
   if (cpu_supports_avx2()) {
     EXPECT_TRUE(compiled_with_avx2())
         << "cpu_supports_avx2() must be false when the build lacks the kernels";
+  }
+  if (cpu_supports_avx512()) {
+    EXPECT_TRUE(compiled_with_avx512())
+        << "cpu_supports_avx512() must be false when the build lacks the kernels";
   }
 }
 
@@ -39,7 +47,9 @@ TEST_F(SimdConfigTest, ScalarForcesReferenceKernels) {
 
 TEST_F(SimdConfigTest, AutoResolvesToBestSupportedKernel) {
   configure("auto");
-  const Mode expected = cpu_supports_avx2() ? Mode::Avx2 : Mode::Scalar;
+  const Mode expected = cpu_supports_avx512() ? Mode::Avx512
+                        : cpu_supports_avx2() ? Mode::Avx2
+                                              : Mode::Scalar;
   EXPECT_EQ(active_mode(), expected);
   EXPECT_NE(describe_active_mode().find("auto"), std::string::npos);
 }
@@ -51,6 +61,24 @@ TEST_F(SimdConfigTest, ForcedAvx2RunsOrFailsActionably) {
   } else {
     // The contract is a clear error, not a crash or an SIGILL later on.
     EXPECT_THROW(configure("avx2"), PreconditionError);
+    EXPECT_EQ(active_mode(), Mode::Scalar);
+  }
+}
+
+TEST_F(SimdConfigTest, ForcedAvx512RunsOrFailsActionably) {
+  configure("scalar");  // a failed force must leave the previous mode alone
+  if (cpu_supports_avx512()) {
+    configure("avx512");
+    EXPECT_EQ(active_mode(), Mode::Avx512);
+  } else {
+    try {
+      configure("avx512");
+      FAIL() << "--simd=avx512 must throw on hardware without AVX-512F";
+    } catch (const PreconditionError& error) {
+      // Actionable: names the flag and the tiers that do work here.
+      EXPECT_NE(std::string(error.what()).find("--simd=avx512"), std::string::npos);
+      EXPECT_NE(std::string(error.what()).find("--simd=auto"), std::string::npos);
+    }
     EXPECT_EQ(active_mode(), Mode::Scalar);
   }
 }

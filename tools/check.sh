@@ -3,13 +3,14 @@
 #   1. tier-1: Release configure + build + full ctest run (the ROADMAP gate);
 #   2. sanitize: RelWithDebInfo + ASan/UBSan build + full ctest run;
 #   3. tsan: ThreadSanitizer build + the concurrency tests (names matching
-#      "Parallel|Scc|Memo|Trace|Batch|Simd|Fleet|Checkpoint|Artifact|Carry":
-#      the parallel experiment runner, the engine's root fan-out — including
-#      the per-worker transposition caches of DESIGN.md §11 and their
-#      cross-decide carry-over of §15 — the topology-aware SCC solver's
-#      level/chunk threading, the batched decision engine + fleet driver of
-#      §13, and the bound-artifact round trip under threaded evaluation),
-#      which exercise every cross-thread code path in the repo.
+#      "Parallel|Scc|Memo|Trace|Batch|Simd|Fleet|Checkpoint|Artifact|Carry|
+#      Pool|DeepBatch": the parallel experiment runner, the engine's root
+#      fan-out — including the per-worker transposition caches of DESIGN.md
+#      §11 and their cross-decide carry-over of §15 — the topology-aware SCC
+#      solver's level/chunk threading, the batched decision engine + fleet
+#      driver of §13, the persistent work pool + deep-batch pipeline of §16,
+#      and the bound-artifact round trip under threaded evaluation), which
+#      exercise every cross-thread code path in the repo.
 #
 #   4. robustness: ASan/UBSan run of the guard/mismatch/fleet-guard/
 #      checkpoint/bound-artifact test binaries (the checkpoint and artifact
@@ -30,7 +31,10 @@
 #
 #   7. throughput: a smoke run of the batched-decision fleet campaign (small
 #      widths, Batch-vs-Loop bitwise parity; the binary exits nonzero on any
-#      parity mismatch).
+#      parity mismatch), plus a forced --simd=avx512 emn_recovery smoke: on
+#      AVX-512F hosts the episode must run on the widest kernels and match
+#      the --simd=scalar episode line-for-line; elsewhere the forced flag
+#      must fail fast with the actionable error instead of crashing.
 #
 #   8. resilience: a smoke run of the fault-tolerant fleet campaign
 #      (DESIGN.md §14: guard ladder under every chaos axis, overload
@@ -74,9 +78,10 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
              pomdp_memo_test pomdp_memo_carry_test linalg_scc_test \
              linalg_parallel_solve_test obs_trace_test trace_parity_test \
              util_simd_test pomdp_batch_parity_test sim_fleet_test \
-             sim_fleet_guard_test sim_checkpoint_test bounds_artifact_test
+             sim_fleet_guard_test sim_checkpoint_test bounds_artifact_test \
+             util_pool_test pomdp_deep_batch_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R "Parallel|Scc|Memo|Trace|Batch|Simd|Fleet|Checkpoint|Artifact|Carry"
+    -R "Parallel|Scc|Memo|Trace|Batch|Simd|Fleet|Checkpoint|Artifact|Carry|Pool|DeepBatch"
 fi
 
 if [[ "${SKIP_ROBUSTNESS:-0}" != "1" ]]; then
@@ -136,6 +141,27 @@ if [[ "${SKIP_THROUGHPUT:-0}" != "1" ]]; then
   # fleet and a Loop fleet from the same seed diverge by a single bit.
   cmake --build build -j "$JOBS" --target throughput_campaign
   ./build/bench/throughput_campaign --smoke --out=/tmp/recoverd_throughput_smoke.json
+
+  echo "== throughput: forced --simd=avx512 smoke =="
+  cmake --build build -j "$JOBS" --target emn_recovery
+  if grep -q avx512f /proc/cpuinfo; then
+    # AVX-512F host: the forced run must succeed AND be bitwise-identical
+    # (line-for-line on stdout) to the scalar reference episode.
+    ./build/examples/emn_recovery --fault=DB --simd=avx512 \
+      > /tmp/recoverd_avx512_smoke.txt
+    ./build/examples/emn_recovery --fault=DB --simd=scalar \
+      > /tmp/recoverd_scalar_smoke.txt
+    diff /tmp/recoverd_avx512_smoke.txt /tmp/recoverd_scalar_smoke.txt
+  else
+    # No AVX-512F: forcing the tier must fail fast with the actionable
+    # message, not crash or silently fall back.
+    if ./build/examples/emn_recovery --fault=DB --simd=avx512 \
+        > /dev/null 2> /tmp/recoverd_avx512_err.txt; then
+      echo "forced --simd=avx512 unexpectedly succeeded on a non-AVX-512 host" >&2
+      exit 1
+    fi
+    grep -q -- "--simd=auto" /tmp/recoverd_avx512_err.txt
+  fi
 fi
 
 if [[ "${SKIP_RESILIENCE:-0}" != "1" ]]; then
